@@ -1,0 +1,46 @@
+# satcheck build & reproduction targets. Everything is stdlib Go; the only
+# prerequisite is a Go toolchain (>= 1.22).
+
+GO ?= go
+
+.PHONY: all build test vet bench experiments examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Record the full test and benchmark logs the repository ships with.
+outputs:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table of the paper (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/experiments -table all -df-mem-limit-mb 8
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/equivalence
+	$(GO) run ./examples/unsatcore
+	$(GO) run ./examples/faultinjection
+	$(GO) run ./examples/bmc
+	$(GO) run ./examples/interpolation
+
+# Short fuzz sessions over the three input parsers.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzParseDimacs -fuzztime 30s ./internal/cnf/
+	$(GO) test -run xxx -fuzz FuzzReaderAuto -fuzztime 30s ./internal/trace/
+	$(GO) test -run xxx -fuzz FuzzParseVerify -fuzztime 30s ./internal/tracecheck/
+
+clean:
+	rm -rf internal/*/testdata/fuzz

@@ -1,0 +1,261 @@
+package satcheck_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildTools compiles the command-line tools once per test binary and
+// returns the directory holding them.
+var buildTools = sync.OnceValues(func() (string, error) {
+	dir, err := os.MkdirTemp("", "satcheck-cli-*")
+	if err != nil {
+		return "", err
+	}
+	for _, tool := range []string{"zsat", "zverify", "zcore", "zgen", "zproof"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			return "", &buildError{tool: tool, out: string(out), err: err}
+		}
+	}
+	return dir, nil
+})
+
+type buildError struct {
+	tool string
+	out  string
+	err  error
+}
+
+func (e *buildError) Error() string {
+	return "building " + e.tool + ": " + e.err.Error() + "\n" + e.out
+}
+
+// runTool executes a built tool, returning stdout+stderr and exit code.
+func runTool(t *testing.T, bin string, args ...string) (string, int) {
+	t.Helper()
+	dir, err := buildTools()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(filepath.Join(dir, bin), args...)
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v", bin, args, err)
+	}
+	return string(out), code
+}
+
+// TestCLISolveVerifyPipeline drives the full production flow: generate a
+// benchmark, solve with a trace file, verify with all three checkers,
+// extract the core, export and re-check a TraceCheck proof.
+func TestCLISolveVerifyPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	work := t.TempDir()
+	cnfPath := filepath.Join(work, "inst.cnf")
+	tracePath := filepath.Join(work, "inst.trace")
+
+	out, code := runTool(t, "zgen", "-family", "php", "-n", "5", "-o", cnfPath)
+	if code != 0 {
+		t.Fatalf("zgen: %s", out)
+	}
+
+	out, code = runTool(t, "zsat", "-trace", tracePath, "-stats", cnfPath)
+	if code != 20 {
+		t.Fatalf("zsat exit %d (want 20=UNSAT): %s", code, out)
+	}
+	if !strings.Contains(out, "s UNSATISFIABLE") {
+		t.Fatalf("zsat output: %s", out)
+	}
+	if !strings.Contains(out, "trace-bytes=") {
+		t.Errorf("zsat -stats missing trace-bytes: %s", out)
+	}
+
+	for _, method := range []string{"df", "bf", "hybrid"} {
+		out, code = runTool(t, "zverify", "-method", method, cnfPath, tracePath)
+		if code != 0 {
+			t.Fatalf("zverify -method %s exit %d: %s", method, code, out)
+		}
+		if !strings.Contains(out, "PROOF VALID") {
+			t.Errorf("zverify %s output: %s", method, out)
+		}
+	}
+
+	out, code = runTool(t, "zcore", "-v", cnfPath)
+	if code != 0 {
+		t.Fatalf("zcore exit %d: %s", code, out)
+	}
+	if !strings.Contains(out, "iterations") {
+		t.Errorf("zcore output: %s", out)
+	}
+
+	tcPath := filepath.Join(work, "inst.tc")
+	out, code = runTool(t, "zproof", "export", "-cnf", cnfPath, "-trace", tracePath, "-o", tcPath)
+	if code != 0 {
+		t.Fatalf("zproof export exit %d: %s", code, out)
+	}
+	out, code = runTool(t, "zproof", "check", "-cnf", cnfPath, tcPath)
+	if code != 0 || !strings.Contains(out, "PROOF VALID") {
+		t.Fatalf("zproof check exit %d: %s", code, out)
+	}
+	out, code = runTool(t, "zproof", "stats", "-cnf", cnfPath, "-trace", tracePath)
+	if code != 0 || !strings.Contains(out, "proof depth") {
+		t.Fatalf("zproof stats exit %d: %s", code, out)
+	}
+
+	trimmedPath := filepath.Join(work, "trimmed.trace")
+	out, code = runTool(t, "zproof", "trim", "-cnf", cnfPath, "-trace", tracePath, "-o", trimmedPath)
+	if code != 0 || !strings.Contains(out, "kept") {
+		t.Fatalf("zproof trim exit %d: %s", code, out)
+	}
+	out, code = runTool(t, "zverify", "-method", "bf", cnfPath, trimmedPath)
+	if code != 0 || !strings.Contains(out, "PROOF VALID") {
+		t.Fatalf("zverify on trimmed trace exit %d: %s", code, out)
+	}
+
+	out, code = runTool(t, "zproof", "interpolate", "-cnf", cnfPath, "-trace", tracePath, "-split", "3")
+	if code != 0 || !strings.Contains(out, "INTERPOLANT VERIFIED") {
+		t.Fatalf("zproof interpolate exit %d: %s", code, out)
+	}
+}
+
+// TestCLIBinaryGzipTrace exercises the alternate encodings end to end.
+func TestCLIBinaryGzipTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	work := t.TempDir()
+	cnfPath := filepath.Join(work, "inst.cnf")
+	if out, code := runTool(t, "zgen", "-family", "tseitin", "-n", "10", "-seed", "4", "-o", cnfPath); code != 0 {
+		t.Fatalf("zgen: %s", out)
+	}
+	for _, args := range [][]string{
+		{"-format", "binary"},
+		{"-format", "ascii", "-gzip"},
+		{"-format", "binary", "-gzip"},
+	} {
+		tracePath := filepath.Join(work, "t"+strings.Join(args, "")+".trace")
+		full := append(append([]string{"-trace", tracePath}, args...), cnfPath)
+		if out, code := runTool(t, "zsat", full...); code != 20 {
+			t.Fatalf("zsat %v exit %d: %s", args, code, out)
+		}
+		if out, code := runTool(t, "zverify", "-method", "bf", cnfPath, tracePath); code != 0 {
+			t.Fatalf("zverify on %v trace exit %d: %s", args, code, out)
+		}
+	}
+}
+
+// TestCLISatModel verifies the SAT path: exit code 10 and a model line.
+func TestCLISatModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	work := t.TempDir()
+	cnfPath := filepath.Join(work, "sat.cnf")
+	if err := os.WriteFile(cnfPath, []byte("p cnf 2 2\n1 2 0\n-1 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := runTool(t, "zsat", "-model", cnfPath)
+	if code != 10 {
+		t.Fatalf("zsat exit %d (want 10=SAT): %s", code, out)
+	}
+	if !strings.Contains(out, "v -1 2 0") {
+		t.Errorf("model line missing or wrong: %s", out)
+	}
+	// WalkSAT mode reaches the same verdict with a verified model.
+	out, code = runTool(t, "zsat", "-local", "-model", cnfPath)
+	if code != 10 || !strings.Contains(out, "v -1 2 0") {
+		t.Errorf("zsat -local: exit %d, out %s", code, out)
+	}
+	// zcore on a satisfiable formula exits 3.
+	out, code = runTool(t, "zcore", cnfPath)
+	if code != 3 || !strings.Contains(out, "SATISFIABLE") {
+		t.Errorf("zcore on SAT: exit %d, out %s", code, out)
+	}
+}
+
+// TestCLIMinimalCore exercises zcore -mus end to end.
+func TestCLIMinimalCore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	work := t.TempDir()
+	cnfPath := filepath.Join(work, "sched.cnf")
+	if out, code := runTool(t, "zgen", "-family", "sched", "-n", "10", "-aux", "3", "-o", cnfPath); code != 0 {
+		t.Fatalf("zgen: %s", out)
+	}
+	musPath := filepath.Join(work, "mus.cnf")
+	out, code := runTool(t, "zcore", "-mus", "-out", musPath, cnfPath)
+	if code != 0 || !strings.Contains(out, "minimal unsatisfiable subformula") {
+		t.Fatalf("zcore -mus exit %d: %s", code, out)
+	}
+	// The written MUS must itself be UNSAT.
+	out, code = runTool(t, "zsat", musPath)
+	if code != 20 {
+		t.Fatalf("zsat on MUS exit %d: %s", code, out)
+	}
+}
+
+// TestCLIVerifyRejectsCorruptTrace checks the failure path and exit code 2.
+func TestCLIVerifyRejectsCorruptTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	work := t.TempDir()
+	cnfPath := filepath.Join(work, "inst.cnf")
+	tracePath := filepath.Join(work, "inst.trace")
+	if out, code := runTool(t, "zgen", "-family", "php", "-n", "4", "-o", cnfPath); code != 0 {
+		t.Fatalf("zgen: %s", out)
+	}
+	if out, code := runTool(t, "zsat", "-trace", tracePath, cnfPath); code != 20 {
+		t.Fatalf("zsat: %s", out)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove the final-conflict line.
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	var kept []string
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "C ") {
+			kept = append(kept, l)
+		}
+	}
+	if err := os.WriteFile(tracePath, []byte(strings.Join(kept, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := runTool(t, "zverify", cnfPath, tracePath)
+	if code != 2 || !strings.Contains(out, "CHECK FAILED") {
+		t.Errorf("zverify on corrupt trace: exit %d, out %s", code, out)
+	}
+}
+
+// TestCLIGenList sanity-checks the generator catalogue.
+func TestCLIGenList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	out, code := runTool(t, "zgen", "-list")
+	if code != 0 {
+		t.Fatalf("zgen -list exit %d", code)
+	}
+	for _, fam := range []string{"php", "tseitin", "cec-adder", "cec-mult", "alu", "bmc-counter", "fpga", "sched", "rand3"} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("family %s missing from -list:\n%s", fam, out)
+		}
+	}
+	if out, code := runTool(t, "zgen", "-family", "nope"); code == 0 {
+		t.Errorf("unknown family accepted: %s", out)
+	}
+}

@@ -1,0 +1,450 @@
+// Command experiments regenerates every table of the paper's evaluation
+// (plus the ablations listed in DESIGN.md §4) on the substitute benchmark
+// suite. Output is row-for-row in the shape of the paper's Tables 1-3 so
+// EXPERIMENTS.md can record paper-vs-measured comparisons directly.
+//
+// Usage:
+//
+//	experiments -table 1            # trace-generation overhead
+//	experiments -table 2            # depth-first vs breadth-first checking
+//	experiments -table 3            # unsatisfiable-core iteration
+//	experiments -table encoding     # ASCII vs binary trace (paper §4 remark)
+//	experiments -table hybrid       # hybrid checker (paper's future work)
+//	experiments -table ablation     # solver-feature ablations
+//	experiments -table all
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/core"
+	"satcheck/internal/dp"
+	"satcheck/internal/gen"
+	"satcheck/internal/solver"
+	"satcheck/internal/trace"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3, encoding, hybrid, ablation, all")
+	suite := flag.String("suite", "full", "benchmark suite: quick or full")
+	memLimitMB := flag.Int64("df-mem-limit-mb", 0, "memory-model budget for the depth-first checker in table 2 (0 = unlimited; the paper used 800MB)")
+	flag.Parse()
+
+	var instances []gen.Instance
+	switch *suite {
+	case "quick":
+		instances = gen.SuiteQuick()
+	case "full":
+		instances = gen.Suite()
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown suite %q\n", *suite)
+		os.Exit(1)
+	}
+
+	run := func(name string, fn func([]gen.Instance) error) {
+		if *table != "all" && *table != name {
+			return
+		}
+		if err := fn(instances); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: table %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	run("1", table1)
+	run("2", func(ins []gen.Instance) error { return table2(ins, *memLimitMB) })
+	run("3", table3)
+	run("encoding", tableEncoding)
+	run("hybrid", tableHybrid)
+	run("ablation", tableAblation)
+	run("dp", tableDP)
+}
+
+// solveTraced solves the instance streaming an ASCII trace to a temp file,
+// returning the solver, trace path and byte size. The caller removes the
+// file.
+func solveTraced(ins gen.Instance) (*solver.Solver, string, int64, time.Duration, error) {
+	s, err := solver.New(ins.F, solver.Options{})
+	if err != nil {
+		return nil, "", 0, 0, err
+	}
+	f, err := os.CreateTemp("", "satcheck-exp-*.trace")
+	if err != nil {
+		return nil, "", 0, 0, err
+	}
+	w := trace.NewASCIIWriter(f)
+	s.SetTrace(w)
+	start := time.Now()
+	status, err := s.Solve()
+	elapsed := time.Since(start)
+	f.Close()
+	if err == nil && status != solver.StatusUnsat {
+		err = fmt.Errorf("instance %s: expected UNSAT, got %v", ins.Name, status)
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return nil, "", 0, 0, err
+	}
+	return s, f.Name(), w.BytesWritten(), elapsed, nil
+}
+
+func header(title string) {
+	fmt.Println(title)
+	fmt.Println(stringsRepeat("=", len(title)))
+}
+
+func stringsRepeat(s string, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		out += s
+	}
+	return out
+}
+
+// table1 reproduces Table 1: solver statistics with trace generation turned
+// off and on, and the trace-generation overhead.
+func table1(instances []gen.Instance) error {
+	header("Table 1: zsat with trace generation turned on and off")
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "Instance\tVars\tClauses\tLearned\tTraceOff(s)\tTraceOn(s)\tOverhead\t")
+	for _, ins := range instances {
+		// Trace off.
+		sOff, err := solver.New(ins.F, solver.Options{})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		status, err := sOff.Solve()
+		offTime := time.Since(start)
+		if err != nil {
+			return err
+		}
+		if status != solver.StatusUnsat {
+			return fmt.Errorf("instance %s: expected UNSAT, got %v", ins.Name, status)
+		}
+		// Trace on (streamed to disk like zchaff's instrumentation).
+		sOn, path, _, onTime, err := solveTraced(ins)
+		if err != nil {
+			return err
+		}
+		os.Remove(path)
+		overhead := float64(onTime-offTime) / float64(offTime) * 100
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.3f\t%.3f\t%+.1f%%\t\n",
+			ins.Name, ins.F.NumVars, ins.F.NumClauses(), sOn.Stats().Learned,
+			offTime.Seconds(), onTime.Seconds(), overhead)
+	}
+	return tw.Flush()
+}
+
+// table2 reproduces Table 2: trace size and the depth-first vs breadth-first
+// checker comparison (clauses built, Built%, runtime, peak memory). A
+// df-mem-limit reproduces the paper's "*" memory-out rows.
+func table2(instances []gen.Instance, memLimitMB int64) error {
+	header("Table 2: statistics for the two checking strategies")
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "Instance\tTrace(KB)\tDF built\tBuilt%\tDF time(s)\tDF mem(KB)\tBF time(s)\tBF mem(KB)\t")
+	for _, ins := range instances {
+		_, path, traceBytes, _, err := solveTraced(ins)
+		if err != nil {
+			return err
+		}
+		src := trace.FileSource(path)
+
+		dfCols := "*\t*\t*\t*"
+		dfOpts := checker.Options{MemLimitWords: memLimitMB * (1 << 20) / 4}
+		start := time.Now()
+		dfRes, dfErr := checker.DepthFirst(ins.F, src, dfOpts)
+		dfTime := time.Since(start)
+		if dfErr == nil {
+			dfCols = fmt.Sprintf("%d\t%.0f%%\t%.3f\t%d",
+				dfRes.ClausesBuilt, 100*dfRes.BuiltFraction(), dfTime.Seconds(), dfRes.PeakMemWords*4/1024)
+		} else if ce := new(checker.CheckError); !errors.As(dfErr, &ce) || ce.Kind != checker.FailMemoryLimit {
+			os.Remove(path)
+			return fmt.Errorf("%s: depth-first: %w", ins.Name, dfErr)
+		}
+
+		start = time.Now()
+		bfRes, err := checker.BreadthFirst(ins.F, src, checker.Options{})
+		bfTime := time.Since(start)
+		if err != nil {
+			os.Remove(path)
+			return fmt.Errorf("%s: breadth-first: %w", ins.Name, err)
+		}
+		os.Remove(path)
+
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%.3f\t%d\t\n",
+			ins.Name, traceBytes/1024, dfCols, bfTime.Seconds(), bfRes.PeakMemWords*4/1024)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("(* = depth-first exceeded the memory budget, as in the paper's hardest rows)")
+	return nil
+}
+
+// table3 reproduces Table 3: unsatisfiable-core size at the first iteration
+// and after up to 30 iterations (or a fixed point).
+func table3(instances []gen.Instance) error {
+	header("Table 3: clauses and variables involved in the proof (core iteration)")
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "Instance\tOrig Cls\tOrig Vars\tIter1 Cls\tIter1 Vars\tFinal Cls\tFinal Vars\tIters\t")
+	skipped := 0
+	for _, ins := range instances {
+		if ins.Hardest {
+			// The paper's Table 3 omits 6pipe and 7pipe, whose proofs the
+			// depth-first checker could not hold in memory; mirror that.
+			skipped++
+			continue
+		}
+		res, err := core.Iterate(ins.F, 30, solver.Options{})
+		if err != nil {
+			return fmt.Errorf("%s: %w", ins.Name, err)
+		}
+		first, _ := res.First()
+		last := res.Stats[len(res.Stats)-1]
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t\n",
+			ins.Name, ins.F.NumClauses(), ins.F.UsedVars(),
+			first.NumClauses, first.NumVars, last.NumClauses, last.NumVars, res.Iterations)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if skipped > 0 {
+		fmt.Printf("(%d hardest instances omitted, as the paper's Table 3 omits 6pipe/7pipe)\n", skipped)
+	}
+	return nil
+}
+
+// tableEncoding measures the ASCII vs binary trace encodings (the paper's
+// "2-3x compaction ... expect the efficiency of the checker to improve").
+func tableEncoding(instances []gen.Instance) error {
+	header("Ablation A: ASCII vs binary trace encoding")
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "Instance\tASCII(KB)\tBinary(KB)\tRatio\tBF time ASCII(s)\tBF time binary(s)\t")
+	for _, ins := range instances {
+		s, err := solver.New(ins.F, solver.Options{})
+		if err != nil {
+			return err
+		}
+		mem := &trace.MemoryTrace{}
+		s.SetTrace(mem)
+		if _, err := s.Solve(); err != nil {
+			return err
+		}
+
+		dir, err := os.MkdirTemp("", "satcheck-enc-*")
+		if err != nil {
+			return err
+		}
+		asciiPath := filepath.Join(dir, "proof.trace")
+		binPath := filepath.Join(dir, "proof.btrace")
+		af, err := os.Create(asciiPath)
+		if err != nil {
+			return err
+		}
+		aw := trace.NewASCIIWriter(af)
+		if err := mem.Replay(aw); err != nil {
+			return err
+		}
+		af.Close()
+		bf, err := os.Create(binPath)
+		if err != nil {
+			return err
+		}
+		bw := trace.NewBinaryWriter(bf)
+		if err := mem.Replay(bw); err != nil {
+			return err
+		}
+		bf.Close()
+
+		start := time.Now()
+		if _, err := checker.BreadthFirst(ins.F, trace.FileSource(asciiPath), checker.Options{}); err != nil {
+			return err
+		}
+		asciiTime := time.Since(start)
+		start = time.Now()
+		if _, err := checker.BreadthFirst(ins.F, trace.FileSource(binPath), checker.Options{}); err != nil {
+			return err
+		}
+		binTime := time.Since(start)
+		os.RemoveAll(dir)
+
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2fx\t%.3f\t%.3f\t\n",
+			ins.Name, aw.BytesWritten()/1024, bw.BytesWritten()/1024,
+			float64(aw.BytesWritten())/float64(bw.BytesWritten()),
+			asciiTime.Seconds(), binTime.Seconds())
+	}
+	return tw.Flush()
+}
+
+// tableHybrid compares all three checkers (the paper's proposed
+// best-of-both future work against its two implementations).
+func tableHybrid(instances []gen.Instance) error {
+	header("Ablation B: hybrid checker vs depth-first and breadth-first")
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "Instance\tDF built\tDF mem(KB)\tBF built\tBF mem(KB)\tHY built\tHY mem(KB)\tHY time(s)\t")
+	for _, ins := range instances {
+		_, path, _, _, err := solveTraced(ins)
+		if err != nil {
+			return err
+		}
+		src := trace.FileSource(path)
+		dfRes, err := checker.DepthFirst(ins.F, src, checker.Options{})
+		if err != nil {
+			return err
+		}
+		bfRes, err := checker.BreadthFirst(ins.F, src, checker.Options{})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		hyRes, err := checker.Hybrid(ins.F, src, checker.Options{})
+		hyTime := time.Since(start)
+		if err != nil {
+			return err
+		}
+		os.Remove(path)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%.3f\t\n",
+			ins.Name,
+			dfRes.ClausesBuilt, dfRes.PeakMemWords*4/1024,
+			bfRes.ClausesBuilt, bfRes.PeakMemWords*4/1024,
+			hyRes.ClausesBuilt, hyRes.PeakMemWords*4/1024, hyTime.Seconds())
+	}
+	return tw.Flush()
+}
+
+// tableAblation ablates the solver features DESIGN.md calls out
+// (minimization, clause deletion, restarts) and reports their effect on the
+// proof and its checkability.
+func tableAblation(instances []gen.Instance) error {
+	header("Ablation C: solver features (effect on proof size and check time)")
+	configs := []struct {
+		name string
+		opts solver.Options
+	}{
+		{"default", solver.Options{}},
+		{"no-minimize", solver.Options{DisableMinimize: true}},
+		{"recursive-min", solver.Options{RecursiveMinimize: true}},
+		{"no-delete", solver.Options{DisableReduce: true}},
+		{"no-restart", solver.Options{DisableRestarts: true}},
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "Instance\tConfig\tConflicts\tLearned\tTrace(KB)\tSolve(s)\tBF check(s)\t")
+	for _, ins := range instances {
+		for _, cfg := range configs {
+			s, err := solver.New(ins.F, cfg.opts)
+			if err != nil {
+				return err
+			}
+			mem := &trace.MemoryTrace{}
+			s.SetTrace(mem)
+			start := time.Now()
+			status, err := s.Solve()
+			solveTime := time.Since(start)
+			if err != nil {
+				return err
+			}
+			if status != solver.StatusUnsat {
+				return fmt.Errorf("%s/%s: expected UNSAT, got %v", ins.Name, cfg.name, status)
+			}
+			aw := trace.NewASCIIWriter(discard{})
+			if err := mem.Replay(aw); err != nil {
+				return err
+			}
+			start = time.Now()
+			if _, err := checker.BreadthFirst(ins.F, mem, checker.Options{}); err != nil {
+				return fmt.Errorf("%s/%s: %w", ins.Name, cfg.name, err)
+			}
+			checkTime := time.Since(start)
+			st := s.Stats()
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%.3f\t%.3f\t\n",
+				ins.Name, cfg.name, st.Conflicts, st.Learned,
+				aw.BytesWritten()/1024, solveTime.Seconds(), checkTime.Seconds())
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("(GOMAXPROCS=%d, everything single-threaded)\n", runtime.GOMAXPROCS(0))
+	return nil
+}
+
+// discard is an io.Writer that throws bytes away (the ASCII writer still
+// counts them, giving trace sizes without disk I/O).
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// tableDP measures the paper's §1 motivation: the original Davis-Putnam
+// procedure works by resolution directly but blows up in space, which is why
+// DLL/CDCL search won — and, because DP's derivations ARE resolution
+// derivations, the same independent checker validates them.
+func tableDP(_ []gen.Instance) error {
+	header("Baseline: Davis-Putnam (1960) vs CDCL — the paper's §1 space argument")
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "Instance\tDP peak cls\tDP resolvents\tDP time(s)\tDP proof valid\tCDCL peak lits\tCDCL time(s)\t")
+	budget := 10000
+	rows := []gen.Instance{
+		gen.Pigeonhole(3),
+		gen.Pigeonhole(4),
+		gen.Pigeonhole(5),
+		gen.Pigeonhole(6),
+		gen.TseitinCharge(20, 3),
+		gen.RandomKSAT(24, 3, 5.5, 42),
+		gen.RandomKSAT(40, 3, 5.5, 42),
+	}
+	for _, ins := range rows {
+		d, err := dp.New(ins.F, dp.Options{MaxClauses: budget})
+		if err != nil {
+			return err
+		}
+		mt := &trace.MemoryTrace{}
+		d.SetTrace(mt)
+		start := time.Now()
+		st, _, derr := d.Solve()
+		dpTime := time.Since(start)
+		dpCols := ""
+		switch {
+		case derr != nil && errors.Is(derr, dp.ErrSpace):
+			dpCols = fmt.Sprintf(">%d\t%d\t*space*\t-", budget, d.Stats().Resolvents)
+		case derr != nil:
+			return derr
+		case st != solver.StatusUnsat:
+			return fmt.Errorf("dp on %s: %v", ins.Name, st)
+		default:
+			valid := "yes"
+			if _, err := checker.BreadthFirst(ins.F, mt, checker.Options{}); err != nil {
+				valid = "NO: " + err.Error()
+			}
+			dpCols = fmt.Sprintf("%d\t%d\t%.3f\t%s", d.Stats().PeakClauses, d.Stats().Resolvents, dpTime.Seconds(), valid)
+		}
+
+		c, err := solver.New(ins.F, solver.Options{})
+		if err != nil {
+			return err
+		}
+		start = time.Now()
+		cst, err := c.Solve()
+		cdclTime := time.Since(start)
+		if err != nil {
+			return err
+		}
+		if cst != solver.StatusUnsat {
+			return fmt.Errorf("cdcl on %s: %v", ins.Name, cst)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.3f\t\n", ins.Name, dpCols, c.Stats().PeakLiveLits, cdclTime.Seconds())
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("(*space* = exceeded the clause budget: the paper's \"prohibitive space requirements\")")
+	return nil
+}

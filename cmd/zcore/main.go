@@ -1,0 +1,91 @@
+// Command zcore extracts an unsatisfiable core from a DIMACS CNF formula by
+// solving it, validating the resolution proof with the depth-first checker,
+// and (optionally) iterating solve→check→extract to a fixed point as in the
+// paper's Table 3.
+//
+// Usage:
+//
+//	zcore [-iters 30] [-out core.cnf] formula.cnf
+//
+// Exit status: 0 on success, 3 when the formula is satisfiable, 1 on error.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"satcheck"
+	"satcheck/internal/cnf"
+	"satcheck/internal/core"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	iters := flag.Int("iters", 30, "maximum solve→check→extract iterations (paper: 30)")
+	out := flag.String("out", "", "write the final core as DIMACS to this file")
+	verbose := flag.Bool("v", false, "print per-iteration sizes")
+	mus := flag.Bool("mus", false, "continue past the fixed point to a minimal unsatisfiable subformula (deletion-based; one solve per clause)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: zcore [flags] formula.cnf")
+		flag.PrintDefaults()
+		return 1
+	}
+
+	f, err := satcheck.ParseDimacsFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zcore:", err)
+		return 1
+	}
+
+	res, err := satcheck.IterateCore(f, *iters, satcheck.SolverOptions{})
+	if err != nil {
+		if errors.Is(err, core.ErrSatisfiable) {
+			fmt.Println("formula is SATISFIABLE; no unsatisfiable core exists")
+			return 3
+		}
+		fmt.Fprintln(os.Stderr, "zcore:", err)
+		return 1
+	}
+
+	fmt.Printf("original: %d clauses, %d vars used\n", f.NumClauses(), f.UsedVars())
+	if first, ok := res.First(); ok {
+		fmt.Printf("first iteration: %d clauses, %d vars\n", first.NumClauses, first.NumVars)
+	}
+	last := res.Stats[len(res.Stats)-1]
+	fp := ""
+	if res.FixedPoint {
+		fp = " (fixed point)"
+	}
+	fmt.Printf("after %d iterations%s: %d clauses, %d vars\n",
+		res.Iterations, fp, last.NumClauses, last.NumVars)
+	if *verbose {
+		for _, st := range res.Stats {
+			fmt.Printf("  iter %2d: clauses=%d vars=%d\n", st.Iteration, st.NumClauses, st.NumVars)
+		}
+	}
+	final := res.Core
+	if *mus {
+		ext, stat, err := core.Minimal(f, satcheck.SolverOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zcore:", err)
+			return 1
+		}
+		fmt.Printf("minimal unsatisfiable subformula: %d clauses, %d vars (%d removal candidates tested)\n",
+			ext.NumClauses, ext.NumVars, stat.Tested)
+		final = ext.Core
+	}
+	if *out != "" {
+		if err := cnf.WriteDimacsFile(*out, final); err != nil {
+			fmt.Fprintln(os.Stderr, "zcore:", err)
+			return 1
+		}
+		fmt.Printf("core written to %s\n", *out)
+	}
+	return 0
+}

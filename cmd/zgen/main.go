@@ -1,0 +1,128 @@
+// Command zgen generates DIMACS CNF benchmark instances from the families
+// used in the experiment suite (see DESIGN.md §3 for how each family stands
+// in for one of the paper's industrial benchmarks).
+//
+// Usage:
+//
+//	zgen -family php -n 8 > php8.cnf
+//	zgen -family cec-mult -n 5 -o mult5.cnf
+//	zgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+
+	"satcheck/internal/cnf"
+	"satcheck/internal/gen"
+)
+
+type family struct {
+	name  string
+	usage string
+	build func(n, aux int, seed int64) gen.Instance
+}
+
+var families = []family{
+	{"php", "n = holes (pigeons = n+1)", func(n, _ int, _ int64) gen.Instance { return gen.Pigeonhole(n) }},
+	{"tseitin", "n = graph vertices; -seed", func(n, _ int, seed int64) gen.Instance { return gen.TseitinCharge(n, seed) }},
+	{"rand3", "n = variables at ratio 5.0; -seed", func(n, _ int, seed int64) gen.Instance { return gen.RandomKSAT(n, 3, 5.0, seed) }},
+	{"cec-adder", "n = adder width", func(n, _ int, _ int64) gen.Instance { return gen.CECAdder(n) }},
+	{"cec-mult", "n = multiplier width", func(n, _ int, _ int64) gen.Instance { return gen.CECMultiplier(n) }},
+	{"cec-parity", "n = parity width", func(n, _ int, _ int64) gen.Instance { return gen.CECParity(n) }},
+	{"alu", "n = ALU width", func(n, _ int, _ int64) gen.Instance { return gen.PipelineALU(n) }},
+	{"bmc-counter", "n = counter bits, -aux = steps", func(n, aux int, _ int64) gen.Instance { return gen.BMCCounter(n, aux) }},
+	{"bmc-shift", "n = register width, -aux = steps", func(n, aux int, _ int64) gen.Instance { return gen.BMCShiftRegister(n, aux) }},
+	{"fpga", "n = nets, -aux = tracks; -seed", func(n, aux int, seed int64) gen.Instance { return gen.FPGARouting(n, aux, 5*aux, seed) }},
+	{"sched", "n = jobs, -aux = slots; -seed", func(n, aux int, seed int64) gen.Instance { return gen.Scheduling(n, aux, 2*n, seed) }},
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fam := flag.String("family", "", "instance family (see -list)")
+	n := flag.Int("n", 6, "primary size parameter")
+	aux := flag.Int("aux", 8, "secondary size parameter (steps/tracks/slots)")
+	seed := flag.Int64("seed", 1, "random seed for randomized families")
+	out := flag.String("o", "", "output file (default stdout)")
+	list := flag.Bool("list", false, "list available families")
+	suite := flag.String("suite", "", "write a whole suite (full or quick) of .cnf files into the -dir directory")
+	dir := flag.String("dir", ".", "output directory for -suite")
+	flag.Parse()
+
+	if *suite != "" {
+		var instances []gen.Instance
+		switch *suite {
+		case "full":
+			instances = gen.Suite()
+		case "quick":
+			instances = gen.SuiteQuick()
+		default:
+			fmt.Fprintf(os.Stderr, "zgen: unknown suite %q\n", *suite)
+			return 1
+		}
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "zgen:", err)
+			return 1
+		}
+		for _, ins := range instances {
+			path := filepath.Join(*dir, ins.Name+".cnf")
+			fh, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "zgen:", err)
+				return 1
+			}
+			fmt.Fprintf(fh, "c %s\nc domain: %s\nc stands in for: %s\n", ins.Name, ins.Domain, ins.Analog)
+			if err := cnf.WriteDimacs(fh, ins.F); err != nil {
+				fh.Close()
+				fmt.Fprintln(os.Stderr, "zgen:", err)
+				return 1
+			}
+			fh.Close()
+			fmt.Printf("%s: %d vars, %d clauses\n", path, ins.F.NumVars, ins.F.NumClauses())
+		}
+		return 0
+	}
+
+	if *list {
+		tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		for _, f := range families {
+			fmt.Fprintf(tw, "%s\t%s\n", f.name, f.usage)
+		}
+		tw.Flush()
+		return 0
+	}
+
+	for _, f := range families {
+		if f.name != *fam {
+			continue
+		}
+		ins := f.build(*n, *aux, *seed)
+		w := os.Stdout
+		if *out != "" {
+			fh, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "zgen:", err)
+				return 1
+			}
+			defer fh.Close()
+			w = fh
+		}
+		fmt.Fprintf(w, "c %s\nc domain: %s\n", ins.Name, ins.Domain)
+		if ins.Analog != "" {
+			fmt.Fprintf(w, "c stands in for: %s\n", ins.Analog)
+		}
+		if err := cnf.WriteDimacs(w, ins.F); err != nil {
+			fmt.Fprintln(os.Stderr, "zgen:", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "zgen: unknown family %q (try -list)\n", *fam)
+	return 1
+}

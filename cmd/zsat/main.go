@@ -1,0 +1,148 @@
+// Command zsat is the instrumented CDCL SAT solver: it decides a DIMACS CNF
+// file and optionally records the resolution trace that lets zverify
+// independently validate an UNSAT answer.
+//
+// Usage:
+//
+//	zsat [-trace out.trace] [-format ascii|binary] [-model] [-stats] formula.cnf
+//
+// Exit status follows the SAT-competition convention: 10 satisfiable,
+// 20 unsatisfiable, 1 error or unknown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"satcheck/internal/cnf"
+	"satcheck/internal/solver"
+	"satcheck/internal/trace"
+	"satcheck/internal/walksat"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	tracePath := flag.String("trace", "", "write the resolution trace to this file")
+	format := flag.String("format", "ascii", "trace encoding: ascii or binary")
+	gzipTrace := flag.Bool("gzip", false, "gzip-compress the trace (stacks with either encoding)")
+	showModel := flag.Bool("model", false, "print the satisfying assignment (v line)")
+	showStats := flag.Bool("stats", false, "print solver statistics")
+	maxConflicts := flag.Int64("max-conflicts", 0, "abort after this many conflicts (0 = none)")
+	local := flag.Bool("local", false, "use WalkSAT local search instead of CDCL (incomplete: answers SAT or UNKNOWN, never UNSAT)")
+	seed := flag.Int64("seed", 1, "random seed for -local")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: zsat [flags] formula.cnf")
+		flag.PrintDefaults()
+		return 1
+	}
+
+	f, err := cnf.ParseDimacsFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zsat:", err)
+		return 1
+	}
+
+	if *local {
+		found, m, stats := walksat.Solve(f, walksat.Options{Seed: *seed})
+		if !found {
+			fmt.Println("s UNKNOWN")
+			return 1
+		}
+		if bad, ok := cnf.VerifyModel(f, m); !ok {
+			fmt.Fprintf(os.Stderr, "zsat: internal: local-search model fails clause %d\n", bad)
+			return 1
+		}
+		fmt.Println("s SATISFIABLE")
+		if *showStats {
+			fmt.Printf("c tries=%d flips=%d\n", stats.Tries, stats.Flips)
+		}
+		if *showModel {
+			printModel(f, m)
+		}
+		return 10
+	}
+
+	s, err := solver.New(f, solver.Options{MaxConflicts: *maxConflicts})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zsat:", err)
+		return 1
+	}
+
+	var traceBytes func() int64
+	if *tracePath != "" {
+		out, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zsat:", err)
+			return 1
+		}
+		defer out.Close()
+		var encode func(w io.Writer) trace.Sink
+		switch *format {
+		case "ascii":
+			encode = func(w io.Writer) trace.Sink { return trace.NewASCIIWriter(w) }
+		case "binary":
+			encode = func(w io.Writer) trace.Sink { return trace.NewBinaryWriter(w) }
+		default:
+			fmt.Fprintf(os.Stderr, "zsat: unknown trace format %q\n", *format)
+			return 1
+		}
+		if *gzipTrace {
+			gz := trace.NewGzipSink(out, encode)
+			s.SetTrace(gz)
+			traceBytes = gz.BytesWritten
+		} else {
+			sink := encode(out)
+			s.SetTrace(sink)
+			switch w := sink.(type) {
+			case *trace.ASCIIWriter:
+				traceBytes = w.BytesWritten
+			case *trace.BinaryWriter:
+				traceBytes = w.BytesWritten
+			}
+		}
+	}
+
+	status, err := s.Solve()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zsat:", err)
+		return 1
+	}
+	fmt.Printf("s %s\n", status)
+	if *showStats {
+		st := s.Stats()
+		fmt.Printf("c decisions=%d propagations=%d conflicts=%d learned=%d deleted=%d restarts=%d\n",
+			st.Decisions, st.Propagations, st.Conflicts, st.Learned, st.Deleted, st.Restarts)
+		if traceBytes != nil {
+			fmt.Printf("c trace-bytes=%d\n", traceBytes())
+		}
+	}
+	switch status {
+	case solver.StatusSat:
+		if *showModel {
+			printModel(f, s.Model())
+		}
+		return 10
+	case solver.StatusUnsat:
+		return 20
+	default:
+		return 1
+	}
+}
+
+func printModel(f *cnf.Formula, m cnf.Model) {
+	fmt.Print("v")
+	for v := cnf.Var(1); int(v) <= f.NumVars; v++ {
+		d := int(v)
+		if m.Value(v) != cnf.True {
+			d = -d
+		}
+		fmt.Printf(" %d", d)
+	}
+	fmt.Println(" 0")
+}

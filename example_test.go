@@ -1,0 +1,118 @@
+package satcheck_test
+
+import (
+	"fmt"
+	"log"
+
+	"satcheck"
+)
+
+// php32 builds the pigeonhole instance PHP(3,2): 3 pigeons, 2 holes —
+// unsatisfiable.
+func php32() *satcheck.Formula {
+	f := satcheck.NewFormula(6)
+	v := func(p, h int) int { return p*2 + h + 1 }
+	for p := 0; p < 3; p++ {
+		f.AddClause(v(p, 0), v(p, 1))
+	}
+	for h := 0; h < 2; h++ {
+		for p1 := 0; p1 < 3; p1++ {
+			for p2 := p1 + 1; p2 < 3; p2++ {
+				f.AddClause(-v(p1, h), -v(p2, h))
+			}
+		}
+	}
+	return f
+}
+
+// The fundamental flow: solve, then validate the UNSAT claim independently.
+func Example() {
+	f := php32()
+	run, err := satcheck.SolveWithProof(f, satcheck.SolverOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(run.Status)
+
+	_, err = satcheck.Check(f, run.Trace, satcheck.BreadthFirst, satcheck.CheckOptions{})
+	fmt.Println("proof valid:", err == nil)
+	// Output:
+	// UNSATISFIABLE
+	// proof valid: true
+}
+
+// Validating the SAT direction is a linear-time model check.
+func ExampleVerifyModel() {
+	f := satcheck.NewFormula(2)
+	f.AddClause(1, 2)
+	f.AddClause(-1)
+	st, model, err := satcheck.Solve(f, satcheck.SolverOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(st)
+	_, ok := satcheck.VerifyModel(f, model)
+	fmt.Println("model valid:", ok)
+	// Output:
+	// SATISFIABLE
+	// model valid: true
+}
+
+// The depth-first checker's by-product is an unsatisfiable core; iterating
+// shrinks it (the paper's Table 3 procedure).
+func ExampleIterateCore() {
+	f := php32()
+	// Add satisfiable padding the core must exclude.
+	f.AddClause(7, 8)
+	f.AddClause(-7, 9)
+
+	res, err := satcheck.IterateCore(f, 30, satcheck.SolverOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := res.Stats[len(res.Stats)-1]
+	fmt.Printf("core: %d of %d clauses\n", last.NumClauses, f.NumClauses())
+	// Output:
+	// core: 9 of 11 clauses
+}
+
+// A Craig interpolant separates an A/B clause partition in their shared
+// vocabulary; the result is machine-checkable.
+func ExampleInterpolate() {
+	f := satcheck.NewFormula(2)
+	f.AddClause(1)     // A
+	f.AddClause(-1, 2) // A
+	f.AddClause(-2)    // B
+	run, err := satcheck.SolveWithProof(f, satcheck.SolverOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inA := []bool{true, true, false}
+	it, err := satcheck.Interpolate(f, run.Trace, inA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("shared vars:", len(it.Vars))
+	fmt.Println("verified:", it.VerifyAgainst(f, inA, satcheck.SolverOptions{}) == nil)
+	// Output:
+	// shared vars: 1
+	// verified: true
+}
+
+// Trimming keeps only the clauses the proof needs; the result is still a
+// valid trace for the same formula.
+func ExampleTrimTrace() {
+	f := php32()
+	run, err := satcheck.SolveWithProof(f, satcheck.SolverOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	trimmed := &satcheck.MemoryTrace{}
+	if _, err := satcheck.TrimTrace(f, run.Trace, trimmed); err != nil {
+		log.Fatal(err)
+	}
+	_, err = satcheck.Check(f, trimmed, satcheck.DepthFirst, satcheck.CheckOptions{})
+	fmt.Println("trimmed proof valid:", err == nil)
+	// Output:
+	// trimmed proof valid: true
+}

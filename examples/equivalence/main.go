@@ -1,0 +1,93 @@
+// Equivalence checking with a validated verdict.
+//
+// Combinational equivalence checking (CEC) is one of the EDA applications
+// the paper's introduction motivates: "as these applications are often
+// mission critical, it is very important to ensure that the results
+// provided by their SAT engines are correct." Here we check a ripple-carry
+// adder against a carry-select adder using the cec package, which validates
+// the SAT solver's verdict either way: UNSAT (equivalent) by replaying the
+// resolution proof through the independent checker, SAT (different) by
+// simulating the counterexample on both circuits.
+//
+// Run with:
+//
+//	go run ./examples/equivalence
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"satcheck/internal/cec"
+	"satcheck/internal/checker"
+	"satcheck/internal/circuit"
+)
+
+const width = 16
+
+func buildAdder(carrySelect bool) *circuit.Circuit {
+	c := circuit.New()
+	a := c.InputBus("a", width)
+	b := c.InputBus("b", width)
+	cin := c.Input("cin")
+	var sum []circuit.Signal
+	var cout circuit.Signal
+	if carrySelect {
+		sum, cout = c.CarrySelectAdder(a, b, cin)
+	} else {
+		sum, cout = c.RippleAdder(a, b, cin)
+	}
+	for _, s := range sum {
+		c.MarkOutput(s)
+	}
+	c.MarkOutput(cout)
+	return c
+}
+
+// buildBroken returns a ripple adder with its carry chain cut at bit 7 —
+// a classic copy-paste optimization bug.
+func buildBroken() *circuit.Circuit {
+	c := circuit.New()
+	a := c.InputBus("a", width)
+	b := c.InputBus("b", width)
+	cin := c.Input("cin")
+	sum := make([]circuit.Signal, width)
+	carry := cin
+	for i := 0; i < width; i++ {
+		sum[i], carry = c.FullAdder(a[i], b[i], carry)
+		if i == 7 {
+			carry = c.Const(false) // the bug
+		}
+	}
+	for _, s := range sum {
+		c.MarkOutput(s)
+	}
+	c.MarkOutput(carry)
+	return c
+}
+
+func report(title string, a, b *circuit.Circuit) {
+	fmt.Println(title)
+	v, err := cec.Check(a, b, cec.Options{Method: checker.DepthFirst})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if v.Equivalent {
+		res := v.CheckResult
+		fmt.Printf("  EQUIVALENT — proof validated: %d learned clauses, %d built (%.0f%%), %d resolutions\n",
+			res.LearnedTotal, res.ClausesBuilt, 100*res.BuiltFraction(), res.ResolutionSteps)
+		fmt.Printf("  unsat core: %d clauses\n", len(res.CoreClauses))
+	} else {
+		fmt.Printf("  NOT EQUIVALENT — counterexample validated by simulation\n")
+		// Decode the first few differing inputs for the report.
+		fmt.Printf("  distinguishing inputs: a/b/cin bits = %v...\n", v.Counterexample[:8])
+	}
+	fmt.Println()
+}
+
+func main() {
+	report(fmt.Sprintf("CEC: ripple-carry vs carry-select adder, %d bits", width),
+		buildAdder(false), buildAdder(true))
+	report("CEC: ripple-carry vs broken adder (carry chain cut at bit 7)",
+		buildAdder(false), buildBroken())
+}

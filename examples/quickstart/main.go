@@ -1,0 +1,82 @@
+// Quickstart: solve a CNF formula and independently validate the answer.
+//
+// The two directions of solver validation from the paper's introduction:
+//   - SAT claims are validated by checking the model against the formula
+//     (linear time);
+//   - UNSAT claims are validated by replaying the solver's resolution trace
+//     with an independent checker.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"satcheck"
+)
+
+func main() {
+	// A satisfiable formula: (x1 ∨ x2) ∧ (¬x1 ∨ x3) ∧ (¬x2 ∨ ¬x3).
+	sat := satcheck.NewFormula(3)
+	sat.AddClause(1, 2)
+	sat.AddClause(-1, 3)
+	sat.AddClause(-2, -3)
+
+	status, model, err := satcheck.Solve(sat, satcheck.SolverOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("formula 1: %v\n", status)
+	if status == satcheck.StatusSat {
+		if bad, ok := satcheck.VerifyModel(sat, model); ok {
+			fmt.Println("  model independently verified against every clause")
+		} else {
+			log.Fatalf("  BUG: model fails clause %d", bad)
+		}
+	}
+
+	// An unsatisfiable formula: the pigeonhole principle PHP(3,2) —
+	// 3 pigeons, 2 holes.
+	unsat := satcheck.NewFormula(6)
+	v := func(p, h int) int { return p*2 + h + 1 }
+	for p := 0; p < 3; p++ {
+		unsat.AddClause(v(p, 0), v(p, 1))
+	}
+	for h := 0; h < 2; h++ {
+		for p1 := 0; p1 < 3; p1++ {
+			for p2 := p1 + 1; p2 < 3; p2++ {
+				unsat.AddClause(-v(p1, h), -v(p2, h))
+			}
+		}
+	}
+
+	run, err := satcheck.SolveWithProof(unsat, satcheck.SolverOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("formula 2: %v\n", run.Status)
+	if run.Status != satcheck.StatusUnsat {
+		log.Fatal("expected UNSAT")
+	}
+
+	// Validate the unsatisfiability claim with all three checker
+	// strategies. A nil error is a machine-checked resolution proof that
+	// the formula has no satisfying assignment.
+	for _, m := range []satcheck.Method{satcheck.DepthFirst, satcheck.BreadthFirst, satcheck.Hybrid} {
+		res, err := satcheck.Check(unsat, run.Trace, m, satcheck.CheckOptions{})
+		if err != nil {
+			log.Fatalf("  %v checker rejected the proof: %v", m, err)
+		}
+		fmt.Printf("  %-13v proof valid: %d/%d learned clauses built, %d resolutions\n",
+			m, res.ClausesBuilt, res.LearnedTotal, res.ResolutionSteps)
+	}
+
+	// The depth-first checker also reports which original clauses the proof
+	// used — here, all of them (the pigeonhole principle needs every
+	// constraint).
+	res, _ := satcheck.Check(unsat, run.Trace, satcheck.DepthFirst, satcheck.CheckOptions{})
+	fmt.Printf("  unsatisfiable core: %d of %d clauses\n", len(res.CoreClauses), unsat.NumClauses())
+}

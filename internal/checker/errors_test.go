@@ -1,0 +1,215 @@
+package checker
+
+import (
+	"errors"
+	"testing"
+
+	"satcheck/internal/cnf"
+	"satcheck/internal/solver"
+	"satcheck/internal/trace"
+)
+
+// mtrace builds an in-memory trace from events.
+func mtrace(events ...trace.Event) *trace.MemoryTrace {
+	return &trace.MemoryTrace{Events: events}
+}
+
+// twoClauseFormula: (1) and (-1) — refutable in one resolution.
+func twoClauseFormula() *cnf.Formula {
+	f := cnf.NewFormula(1)
+	f.AddClause(1)
+	f.AddClause(-1)
+	return f
+}
+
+func TestAllCheckersRejectMalformedTraces(t *testing.T) {
+	f := twoClauseFormula()
+	bad := map[string]*trace.MemoryTrace{
+		"no final conflict": mtrace(
+			trace.Event{Kind: trace.KindLearned, ID: 2, Sources: []int{0, 1}},
+		),
+		"final out of range": mtrace(
+			trace.Event{Kind: trace.KindFinalConflict, ID: 99},
+		),
+		"negative final": mtrace(
+			trace.Event{Kind: trace.KindFinalConflict, ID: -1},
+		),
+		"learned skips an ID": mtrace(
+			trace.Event{Kind: trace.KindLearned, ID: 5, Sources: []int{0, 1}},
+			trace.Event{Kind: trace.KindFinalConflict, ID: 5},
+		),
+		"source not earlier": mtrace(
+			trace.Event{Kind: trace.KindLearned, ID: 2, Sources: []int{2}},
+			trace.Event{Kind: trace.KindFinalConflict, ID: 2},
+		),
+		"no sources": mtrace(
+			trace.Event{Kind: trace.KindLearned, ID: 2, Sources: nil},
+			trace.Event{Kind: trace.KindFinalConflict, ID: 2},
+		),
+		"level0 ante out of range": mtrace(
+			trace.Event{Kind: trace.KindLevelZero, Var: 1, Value: true, Ante: 50},
+			trace.Event{Kind: trace.KindFinalConflict, ID: 1},
+		),
+		"duplicate level0 var": mtrace(
+			trace.Event{Kind: trace.KindLevelZero, Var: 1, Value: true, Ante: 0},
+			trace.Event{Kind: trace.KindLevelZero, Var: 1, Value: false, Ante: 1},
+			trace.Event{Kind: trace.KindFinalConflict, ID: 1},
+		),
+		"double final conflict": mtrace(
+			trace.Event{Kind: trace.KindFinalConflict, ID: 0},
+			trace.Event{Kind: trace.KindFinalConflict, ID: 1},
+		),
+		"resolution without clash": mtrace(
+			trace.Event{Kind: trace.KindLearned, ID: 2, Sources: []int{0, 0}},
+			trace.Event{Kind: trace.KindFinalConflict, ID: 2},
+		),
+	}
+	for name, mt := range bad {
+		for _, m := range methods() {
+			_, err := m.check(f, mt, Options{})
+			if err == nil {
+				t.Errorf("%s: %s accepted", name, m.name)
+				continue
+			}
+			var ce *CheckError
+			if !errors.As(err, &ce) {
+				t.Errorf("%s: %s returned unstructured error %v", name, m.name, err)
+			}
+		}
+	}
+}
+
+// TestFinalStageNotEmptyDetected: a trace whose final derivation stalls
+// (level-0 var lacks a usable antecedent chain) is rejected rather than
+// accepted or looped.
+func TestFinalStageBadAntecedents(t *testing.T) {
+	// Formula: (1), (-1 2), (-2). Level-0 propagation: 1, then 2, then
+	// conflict on (-2).
+	f := cnf.NewFormula(2)
+	f.AddClause(1)
+	f.AddClause(-1, 2)
+	f.AddClause(-2)
+	good := mtrace(
+		trace.Event{Kind: trace.KindLevelZero, Var: 1, Value: true, Ante: 0},
+		trace.Event{Kind: trace.KindLevelZero, Var: 2, Value: true, Ante: 1},
+		trace.Event{Kind: trace.KindFinalConflict, ID: 2},
+	)
+	for _, m := range methods() {
+		if _, err := m.check(f, good, Options{}); err != nil {
+			t.Fatalf("%s rejected valid hand-built trace: %v", m.name, err)
+		}
+	}
+
+	// Swap the antecedents: var 2's antecedent (1) implies var 2 only after
+	// var 1 is assigned, so claiming it for var 1 must fail.
+	swapped := mtrace(
+		trace.Event{Kind: trace.KindLevelZero, Var: 1, Value: true, Ante: 1},
+		trace.Event{Kind: trace.KindLevelZero, Var: 2, Value: true, Ante: 0},
+		trace.Event{Kind: trace.KindFinalConflict, ID: 2},
+	)
+	for _, m := range methods() {
+		_, err := m.check(f, swapped, Options{})
+		var ce *CheckError
+		if !errors.As(err, &ce) || (ce.Kind != FailBadAntecedent && ce.Kind != FailNotConflicting) {
+			t.Errorf("%s: swapped antecedents gave %v", m.name, err)
+		}
+	}
+
+	// Final conflicting clause satisfied by the recorded assignment.
+	satisfied := mtrace(
+		trace.Event{Kind: trace.KindLevelZero, Var: 1, Value: true, Ante: 0},
+		trace.Event{Kind: trace.KindLevelZero, Var: 2, Value: true, Ante: 1},
+		trace.Event{Kind: trace.KindFinalConflict, ID: 1}, // (-1 2) is true
+	)
+	for _, m := range methods() {
+		_, err := m.check(f, satisfied, Options{})
+		var ce *CheckError
+		if !errors.As(err, &ce) || ce.Kind != FailNotConflicting {
+			t.Errorf("%s: satisfied final clause gave %v", m.name, err)
+		}
+	}
+
+	// Final conflicting clause with an unassigned literal.
+	unassigned := mtrace(
+		trace.Event{Kind: trace.KindLevelZero, Var: 1, Value: true, Ante: 0},
+		trace.Event{Kind: trace.KindFinalConflict, ID: 1},
+	)
+	for _, m := range methods() {
+		_, err := m.check(f, unassigned, Options{})
+		var ce *CheckError
+		if !errors.As(err, &ce) || ce.Kind != FailNotConflicting {
+			t.Errorf("%s: unassigned final literal gave %v", m.name, err)
+		}
+	}
+}
+
+func TestMemoryLimitBFAndHybrid(t *testing.T) {
+	f := php(6)
+	mt, _ := solveUnsat(t, f, solver.Options{})
+	// A budget below even the formula size: every checker must fail with
+	// the structured memory diagnostic.
+	for _, m := range methods() {
+		_, err := m.check(f, mt, Options{MemLimitWords: 10})
+		var ce *CheckError
+		if !errors.As(err, &ce) || ce.Kind != FailMemoryLimit {
+			t.Errorf("%s under 10-word budget: %v", m.name, err)
+		}
+	}
+}
+
+func TestCountsOnDiskNoLearnedClauses(t *testing.T) {
+	// BCP-only refutation: the counting pass sees zero learned clauses.
+	f := cnf.NewFormula(2)
+	f.AddClause(1)
+	f.AddClause(-1, 2)
+	f.AddClause(-2)
+	mt, _ := solveUnsat(t, f, solver.Options{})
+	res, err := BreadthFirst(f, mt, Options{CountsOnDisk: true, CountRange: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LearnedTotal != 0 || res.ClausesBuilt != 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestCountsOnDiskDefaultRange(t *testing.T) {
+	f := php(4)
+	mt, _ := solveUnsat(t, f, solver.Options{})
+	// CountRange 0 takes the default.
+	if _, err := BreadthFirst(f, mt, Options{CountsOnDisk: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuiltFractionZeroLearned(t *testing.T) {
+	r := &Result{}
+	if r.BuiltFraction() != 0 {
+		t.Error("BuiltFraction of empty result must be 0")
+	}
+	r = &Result{LearnedTotal: 4, ClausesBuilt: 1}
+	if r.BuiltFraction() != 0.25 {
+		t.Errorf("BuiltFraction = %v", r.BuiltFraction())
+	}
+}
+
+func TestUnknownFailureKindString(t *testing.T) {
+	if FailureKind(99).String() == "" {
+		t.Error("unknown kind must render something")
+	}
+}
+
+// TestHybridTempDirFailure: an unusable temp dir surfaces as an error, not
+// a panic.
+func TestHybridTempDirFailure(t *testing.T) {
+	f := php(4)
+	mt, _ := solveUnsat(t, f, solver.Options{})
+	_, err := Hybrid(f, mt, Options{TempDir: "/nonexistent/dir/for/sure"})
+	if err == nil {
+		t.Error("bad TempDir accepted")
+	}
+	_, err = BreadthFirst(f, mt, Options{CountsOnDisk: true, TempDir: "/nonexistent/dir/for/sure"})
+	if err == nil {
+		t.Error("bad TempDir accepted by BF counts spill")
+	}
+}

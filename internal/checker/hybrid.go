@@ -1,0 +1,408 @@
+package checker
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"satcheck/internal/cnf"
+	"satcheck/internal/resolve"
+	"satcheck/internal/trace"
+)
+
+// Hybrid validates an UNSAT trace with the strategy the paper's conclusion
+// asks for: "a checker that has the advantage of both the depth-first and
+// breadth-first approaches without suffering from their respective
+// shortcomings ... a depth-first algorithm for the graph on disk".
+//
+// Phase 1 streams the trace once, spilling each learned clause's resolve
+// sources to a temporary file with a fixed-width offset index. Phase 2 walks
+// learned-clause IDs backward (sources always precede the clauses they
+// derive) marking exactly the clauses reachable from the empty-clause
+// derivation roots — the final conflicting clause and the level-0
+// antecedents — and counting uses among marked clauses. Phase 3 is a
+// breadth-first build pass restricted to marked clauses with use-count
+// eviction.
+//
+// In memory it keeps one *bit* per learned clause plus counters for the
+// marked subset only, and it materializes literals only for marked clauses:
+// depth-first's "build only what the proof needs" at breadth-first's bounded
+// memory.
+//
+// Result.CoreClauses is a valid unsatisfiable core but can be a superset of
+// the depth-first core: the mark phase must conservatively include every
+// level-0 antecedent, while depth-first discovers which of them the final
+// derivation actually touches.
+func Hybrid(f *cnf.Formula, src trace.Source, opts Options) (*Result, error) {
+	h := &hybridChecker{
+		originals: normalizeOriginals(f),
+		nOrig:     len(f.Clauses),
+		res:       &Result{},
+	}
+	h.mem.limit = opts.MemLimitWords
+	if err := h.mem.add(int64(f.NumLiterals())); err != nil {
+		return nil, err
+	}
+
+	spill, err := h.spillSources(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer spill.close()
+
+	if err := h.markPhase(spill); err != nil {
+		return nil, err
+	}
+	if err := h.buildPass(src); err != nil {
+		return nil, err
+	}
+	h.res.PeakMemWords = h.mem.peak
+	h.res.CoreClauses, h.res.CoreVars = h.core(f)
+	return h.res, nil
+}
+
+type hybridChecker struct {
+	originals []cnf.Clause
+	nOrig     int
+	numL      int
+	finalID   int
+	level0    []trace.Level0Record
+
+	marked   []uint64      // bitmap over learned clauses
+	counts   map[int]int32 // uses of each *marked* learned clause
+	live     map[int]*liveClause
+	usedOrig map[int]struct{}
+
+	mem memModel
+	res *Result
+}
+
+func (h *hybridChecker) mark(id int) bool {
+	i := id - h.nOrig
+	w, b := i/64, uint(i%64)
+	old := h.marked[w]&(1<<b) != 0
+	h.marked[w] |= 1 << b
+	return old
+}
+
+func (h *hybridChecker) isMarked(id int) bool {
+	i := id - h.nOrig
+	return h.marked[i/64]&(1<<uint(i%64)) != 0
+}
+
+// sourcesSpill is the on-disk representation of the learned-clause source
+// lists: a data file of varint-encoded records and a fixed 8-byte-per-clause
+// offset index, both unlinked on creation.
+type sourcesSpill struct {
+	data  *os.File
+	index *os.File
+}
+
+func (s *sourcesSpill) close() {
+	if s == nil {
+		return
+	}
+	s.data.Close()
+	s.index.Close()
+}
+
+// read returns the resolve sources of learned clause number i (0-based).
+func (s *sourcesSpill) read(i int) ([]int, error) {
+	var off [8]byte
+	if _, err := s.index.ReadAt(off[:], int64(i)*8); err != nil {
+		return nil, fmt.Errorf("checker: hybrid index read: %w", err)
+	}
+	sec := io.NewSectionReader(s.data, int64(binary.LittleEndian.Uint64(off[:])), 1<<62)
+	br := bufio.NewReaderSize(sec, 512)
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("checker: hybrid spill read: %w", err)
+	}
+	srcs := make([]int, n)
+	for j := range srcs {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("checker: hybrid spill read: %w", err)
+		}
+		srcs[j] = int(v)
+	}
+	return srcs, nil
+}
+
+// spillSources is phase 1: one forward pass that validates trace structure,
+// records the level-0 assignments and final conflict, and spills source
+// lists to disk.
+func (h *hybridChecker) spillSources(src trace.Source, opts Options) (*sourcesSpill, error) {
+	data, err := os.CreateTemp(opts.TempDir, "satcheck-hybrid-data-*")
+	if err != nil {
+		return nil, fmt.Errorf("checker: creating spill file: %w", err)
+	}
+	os.Remove(data.Name())
+	index, err := os.CreateTemp(opts.TempDir, "satcheck-hybrid-index-*")
+	if err != nil {
+		data.Close()
+		return nil, fmt.Errorf("checker: creating spill index: %w", err)
+	}
+	os.Remove(index.Name())
+	spill := &sourcesSpill{data: data, index: index}
+
+	dw := bufio.NewWriterSize(data, 1<<16)
+	iw := bufio.NewWriterSize(index, 1<<16)
+	offset := int64(0)
+	var vbuf [binary.MaxVarintLen64]byte
+	writeUvarint := func(w *bufio.Writer, v uint64) error {
+		k := binary.PutUvarint(vbuf[:], v)
+		n, err := w.Write(vbuf[:k])
+		offset += int64(n)
+		return err
+	}
+
+	h.finalID = trace.NoClause
+	sawConflict := false
+	err = h.scan(src, func(ev trace.Event) error {
+		switch ev.Kind {
+		case trace.KindLearned:
+			if ev.ID != h.nOrig+h.numL {
+				return failf(FailTrace, ev.ID, -1, "expected learned clause ID %d", h.nOrig+h.numL)
+			}
+			if len(ev.Sources) == 0 {
+				return failf(FailTrace, ev.ID, -1, "learned clause has no resolve sources")
+			}
+			h.numL++
+			var off [8]byte
+			binary.LittleEndian.PutUint64(off[:], uint64(offset))
+			if _, err := iw.Write(off[:]); err != nil {
+				return err
+			}
+			if err := writeUvarint(dw, uint64(len(ev.Sources))); err != nil {
+				return err
+			}
+			for _, s := range ev.Sources {
+				if s < 0 || s >= ev.ID {
+					return failf(FailBadSourceRef, s, -1, "learned clause %d references non-earlier clause", ev.ID)
+				}
+				if err := writeUvarint(dw, uint64(s)); err != nil {
+					return err
+				}
+			}
+		case trace.KindLevelZero:
+			h.level0 = append(h.level0, trace.Level0Record{Var: ev.Var, Value: ev.Value, Ante: ev.Ante})
+			return h.mem.add(3)
+		case trace.KindFinalConflict:
+			if sawConflict {
+				return failf(FailTrace, ev.ID, -1, "multiple final-conflict records")
+			}
+			sawConflict = true
+			h.finalID = ev.ID
+		}
+		return nil
+	})
+	if err != nil {
+		spill.close()
+		return nil, err
+	}
+	if !sawConflict {
+		spill.close()
+		return nil, failf(FailTrace, trace.NoClause, -1, "no final-conflict record; trace does not claim UNSAT")
+	}
+	if h.finalID < 0 || h.finalID >= h.nOrig+h.numL {
+		spill.close()
+		return nil, failf(FailBadSourceRef, h.finalID, -1, "final conflicting clause out of range")
+	}
+	if err := dw.Flush(); err != nil {
+		spill.close()
+		return nil, err
+	}
+	if err := iw.Flush(); err != nil {
+		spill.close()
+		return nil, err
+	}
+	return spill, nil
+}
+
+// markPhase is phase 2: the backward sweep. Roots are the final conflicting
+// clause and every level-0 antecedent; each marked clause's sources are read
+// from the spill and marked in turn. Because sources strictly precede their
+// clause, a single descending-ID sweep reaches the full closure.
+func (h *hybridChecker) markPhase(spill *sourcesSpill) error {
+	h.marked = make([]uint64, (h.numL+63)/64)
+	h.counts = make(map[int]int32)
+	h.usedOrig = make(map[int]struct{})
+	if err := h.mem.add(int64(len(h.marked)) * 2); err != nil { // 64-bit words = 2 model words
+		return err
+	}
+
+	root := func(id int) error {
+		if id < 0 || id >= h.nOrig+h.numL {
+			return failf(FailBadSourceRef, id, -1, "root clause out of range")
+		}
+		if id < h.nOrig {
+			h.usedOrig[id] = struct{}{}
+			return nil
+		}
+		if !h.mark(id) {
+			if err := h.mem.add(2); err != nil { // new counter map entry
+				return err
+			}
+		}
+		h.counts[id]++
+		return nil
+	}
+	if err := root(h.finalID); err != nil {
+		return err
+	}
+	for _, rec := range h.level0 {
+		if err := root(rec.Ante); err != nil {
+			return err
+		}
+	}
+
+	for i := h.numL - 1; i >= 0; i-- {
+		if !h.isMarked(h.nOrig + i) {
+			continue
+		}
+		srcs, err := spill.read(i)
+		if err != nil {
+			return &CheckError{Kind: FailTrace, ClauseID: h.nOrig + i, Step: -1, Err: err}
+		}
+		for _, s := range srcs {
+			if err := root(s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// buildPass is phase 3: breadth-first construction restricted to marked
+// clauses, followed by the final empty-clause derivation.
+func (h *hybridChecker) buildPass(src trace.Source) error {
+	h.live = make(map[int]*liveClause)
+	l0 := newLevel0Table()
+	for _, rec := range h.level0 {
+		if err := l0.add(rec.Var, rec.Value, rec.Ante); err != nil {
+			return err
+		}
+	}
+	h.res.LearnedTotal = h.numL
+
+	err := h.scan(src, func(ev trace.Event) error {
+		if ev.Kind != trace.KindLearned || !h.isMarked(ev.ID) {
+			return nil
+		}
+		cur, err := h.getClause(ev.Sources[0])
+		if err != nil {
+			return &CheckError{Kind: FailBadSourceRef, ClauseID: ev.ID, Step: 0, Err: err}
+		}
+		if len(ev.Sources) == 1 {
+			cur = cur.Clone()
+		}
+		for i, s := range ev.Sources[1:] {
+			next, err := h.getClause(s)
+			if err != nil {
+				return &CheckError{Kind: FailBadSourceRef, ClauseID: ev.ID, Step: i + 1, Err: err}
+			}
+			resv, _, rerr := resolve.Resolvent(cur, next)
+			if rerr != nil {
+				return &CheckError{Kind: FailResolution, ClauseID: ev.ID, Step: i + 1,
+					Detail: fmt.Sprintf("resolving with source %d", s), Err: rerr}
+			}
+			cur = resv
+			h.res.ResolutionSteps++
+		}
+		for _, s := range ev.Sources {
+			h.consume(s)
+		}
+		h.res.ClausesBuilt++
+		h.live[ev.ID] = &liveClause{lits: cur, remaining: h.counts[ev.ID]}
+		return h.mem.add(int64(len(cur)))
+	})
+	if err != nil {
+		return err
+	}
+
+	final, err := h.getClause(h.finalID)
+	if err != nil {
+		return &CheckError{Kind: FailBadSourceRef, ClauseID: h.finalID, Step: -1,
+			Detail: "final conflicting clause", Err: err}
+	}
+	final = final.Clone()
+	h.consume(h.finalID)
+	getAnte := func(id int) (cnf.Clause, error) {
+		cl, err := h.getClause(id)
+		if err != nil {
+			return nil, err
+		}
+		cl = cl.Clone()
+		h.consume(id)
+		return cl, nil
+	}
+	return finalStage(final, h.finalID, l0, getAnte, func() { h.res.ResolutionSteps++ })
+}
+
+func (h *hybridChecker) getClause(id int) (cnf.Clause, error) {
+	if id < 0 {
+		return nil, fmt.Errorf("negative clause ID %d", id)
+	}
+	if id < h.nOrig {
+		h.usedOrig[id] = struct{}{}
+		return h.originals[id], nil
+	}
+	lc, ok := h.live[id]
+	if !ok {
+		return nil, fmt.Errorf("learned clause %d is not live (unmarked, consumed, or forward reference)", id)
+	}
+	return lc.lits, nil
+}
+
+func (h *hybridChecker) consume(id int) {
+	if id < h.nOrig {
+		return
+	}
+	lc, ok := h.live[id]
+	if !ok {
+		return
+	}
+	lc.remaining--
+	if lc.remaining <= 0 {
+		h.mem.sub(int64(len(lc.lits)))
+		delete(h.live, id)
+	}
+}
+
+func (h *hybridChecker) core(f *cnf.Formula) ([]int, int) {
+	ids := make([]int, 0, len(h.usedOrig))
+	for id := range h.usedOrig {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	seenVar := make(map[cnf.Var]struct{})
+	for _, id := range ids {
+		for _, l := range f.Clauses[id] {
+			seenVar[l.Var()] = struct{}{}
+		}
+	}
+	return ids, len(seenVar)
+}
+
+func (h *hybridChecker) scan(src trace.Source, fn func(trace.Event) error) error {
+	r, err := src.Open()
+	if err != nil {
+		return fmt.Errorf("checker: opening trace: %w", err)
+	}
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return &CheckError{Kind: FailTrace, ClauseID: trace.NoClause, Step: -1, Err: err}
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+}

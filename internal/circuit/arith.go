@@ -1,0 +1,188 @@
+package circuit
+
+import "fmt"
+
+// FullAdder returns (sum, carry) of three bits.
+func (c *Circuit) FullAdder(a, b, cin Signal) (sum, cout Signal) {
+	sum = c.Xor(a, b, cin)
+	cout = c.Or(c.And(a, b), c.And(a, cin), c.And(b, cin))
+	return sum, cout
+}
+
+// RippleAdder adds two equal-width buses with carry-in, returning the sum
+// bus and carry-out. Bit 0 is least significant.
+func (c *Circuit) RippleAdder(a, b []Signal, cin Signal) (sum []Signal, cout Signal) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("circuit: adder width mismatch %d vs %d", len(a), len(b)))
+	}
+	sum = make([]Signal, len(a))
+	carry := cin
+	for i := range a {
+		sum[i], carry = c.FullAdder(a[i], b[i], carry)
+	}
+	return sum, carry
+}
+
+// CarrySelectAdder is a structurally different adder: it computes each
+// upper block twice (carry 0 and carry 1) and muxes on the lower block's
+// carry-out. Functionally identical to RippleAdder — the classic
+// combinational-equivalence-checking pair.
+func (c *Circuit) CarrySelectAdder(a, b []Signal, cin Signal) (sum []Signal, cout Signal) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("circuit: adder width mismatch %d vs %d", len(a), len(b)))
+	}
+	const block = 2
+	sum = make([]Signal, 0, len(a))
+	carry := cin
+	for lo := 0; lo < len(a); lo += block {
+		hi := min(lo+block, len(a))
+		s0, c0 := c.RippleAdder(a[lo:hi], b[lo:hi], c.Const(false))
+		s1, c1 := c.RippleAdder(a[lo:hi], b[lo:hi], c.Const(true))
+		for i := range s0 {
+			sum = append(sum, c.Mux(carry, s1[i], s0[i]))
+		}
+		carry = c.Mux(carry, c1, c0)
+	}
+	return sum, carry
+}
+
+// ArrayMultiplier multiplies two equal-width buses, returning the full
+// 2n-bit product, built as the classic array of partial-product rows summed
+// with ripple adders.
+func (c *Circuit) ArrayMultiplier(a, b []Signal) []Signal {
+	n := len(a)
+	if n != len(b) {
+		panic(fmt.Sprintf("circuit: multiplier width mismatch %d vs %d", n, len(b)))
+	}
+	zero := c.Const(false)
+	acc := make([]Signal, 2*n)
+	for i := range acc {
+		acc[i] = zero
+	}
+	for i := 0; i < n; i++ {
+		// Partial product row i, shifted by i.
+		row := make([]Signal, 2*n)
+		for k := range row {
+			row[k] = zero
+		}
+		for j := 0; j < n; j++ {
+			row[i+j] = c.And(a[j], b[i])
+		}
+		acc, _ = c.RippleAdder(acc, row, zero)
+	}
+	return acc
+}
+
+// ShiftAddMultiplier is a structurally different multiplier: it conditionally
+// adds the shifted multiplicand per multiplier bit using muxes, mirroring a
+// sequential shift-add datapath flattened in space. Functionally identical
+// to ArrayMultiplier.
+func (c *Circuit) ShiftAddMultiplier(a, b []Signal) []Signal {
+	n := len(a)
+	if n != len(b) {
+		panic(fmt.Sprintf("circuit: multiplier width mismatch %d vs %d", n, len(b)))
+	}
+	zero := c.Const(false)
+	acc := make([]Signal, 2*n)
+	for i := range acc {
+		acc[i] = zero
+	}
+	// Wide copy of a, shifted left i bits each round.
+	wide := make([]Signal, 2*n)
+	for i := range wide {
+		if i < n {
+			wide[i] = a[i]
+		} else {
+			wide[i] = zero
+		}
+	}
+	for i := 0; i < n; i++ {
+		shifted := make([]Signal, 2*n)
+		for k := range shifted {
+			if k < i {
+				shifted[k] = zero
+			} else {
+				shifted[k] = wide[k-i]
+			}
+		}
+		added, _ := c.RippleAdder(acc, shifted, zero)
+		next := make([]Signal, 2*n)
+		for k := range next {
+			next[k] = c.Mux(b[i], added[k], acc[k])
+		}
+		acc = next
+	}
+	return acc
+}
+
+// EqualBus returns a signal that is true iff the two buses carry equal
+// values.
+func (c *Circuit) EqualBus(a, b []Signal) Signal {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("circuit: bus width mismatch %d vs %d", len(a), len(b)))
+	}
+	eqs := make([]Signal, len(a))
+	for i := range a {
+		eqs[i] = c.Xnor(a[i], b[i])
+	}
+	return c.And(eqs...)
+}
+
+// ParityTree XORs the bus down to one bit using a balanced tree.
+func (c *Circuit) ParityTree(bus []Signal) Signal {
+	for len(bus) > 1 {
+		next := make([]Signal, 0, (len(bus)+1)/2)
+		for i := 0; i+1 < len(bus); i += 2 {
+			next = append(next, c.Xor(bus[i], bus[i+1]))
+		}
+		if len(bus)%2 == 1 {
+			next = append(next, bus[len(bus)-1])
+		}
+		bus = next
+	}
+	return bus[0]
+}
+
+// ParityChain XORs the bus down to one bit with a linear chain — same
+// function as ParityTree, maximally different structure.
+func (c *Circuit) ParityChain(bus []Signal) Signal {
+	out := bus[0]
+	for _, s := range bus[1:] {
+		out = c.Xor(out, s)
+	}
+	return out
+}
+
+// IncrementBus returns bus+1 (modulo 2^len) — the next-state logic of a
+// binary counter.
+func (c *Circuit) IncrementBus(bus []Signal) []Signal {
+	return c.AddBit(bus, c.Const(true))
+}
+
+// AddBit returns bus+b (modulo 2^len) for a single-bit addend — a counter
+// with an enable input.
+func (c *Circuit) AddBit(bus []Signal, b Signal) []Signal {
+	out := make([]Signal, len(bus))
+	carry := b
+	for i, s := range bus {
+		out[i] = c.Xor(s, carry)
+		carry = c.And(s, carry)
+	}
+	return out
+}
+
+// ConstBus returns a bus of constant signals spelling value (bit 0 = LSB).
+func (c *Circuit) ConstBus(value uint64, width int) []Signal {
+	out := make([]Signal, width)
+	for i := range out {
+		out[i] = c.Const(value&(1<<uint(i)) != 0)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,202 @@
+// Package circuit provides a small gate-level netlist library with Tseitin
+// CNF encoding, combinational arithmetic blocks, miter construction for
+// equivalence checking, and sequential-circuit unrolling for bounded model
+// checking. It is the EDA substrate behind the benchmark families that stand
+// in for the paper's industrial instances (microprocessor-verification
+// miters, BMC unrollings, combinational equivalence checks).
+package circuit
+
+import "fmt"
+
+// Signal identifies a net in a circuit. Signals are 1-based; 0 is invalid.
+type Signal int32
+
+// NoSignal is the invalid Signal.
+const NoSignal Signal = 0
+
+// Kind is a gate type.
+type Kind uint8
+
+// Gate kinds. Input gates have no fanin; Not has exactly one; the logic
+// gates are n-ary (n >= 1).
+const (
+	KindInput Kind = iota + 1
+	KindConst      // value in Gate.Value
+	KindNot
+	KindAnd
+	KindOr
+	KindXor
+)
+
+// String names the gate kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInput:
+		return "input"
+	case KindConst:
+		return "const"
+	case KindNot:
+		return "not"
+	case KindAnd:
+		return "and"
+	case KindOr:
+		return "or"
+	case KindXor:
+		return "xor"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Gate is one node of the netlist.
+type Gate struct {
+	Kind  Kind
+	In    []Signal
+	Value bool   // for KindConst
+	Name  string // for KindInput (diagnostics)
+}
+
+// Circuit is a combinational netlist. Construction order guarantees
+// topological order: a gate's fanins always have smaller Signal values.
+type Circuit struct {
+	Gates   []Gate   // Gates[s-1] drives Signal s
+	Inputs  []Signal // in declaration order
+	Outputs []Signal
+}
+
+// New returns an empty circuit.
+func New() *Circuit { return &Circuit{} }
+
+// NumSignals returns the number of nets.
+func (c *Circuit) NumSignals() int { return len(c.Gates) }
+
+func (c *Circuit) add(g Gate) Signal {
+	for _, in := range g.In {
+		if in <= 0 || int(in) > len(c.Gates) {
+			panic(fmt.Sprintf("circuit: fanin %d out of range", in))
+		}
+	}
+	c.Gates = append(c.Gates, g)
+	return Signal(len(c.Gates))
+}
+
+// Input declares a new primary input.
+func (c *Circuit) Input(name string) Signal {
+	s := c.add(Gate{Kind: KindInput, Name: name})
+	c.Inputs = append(c.Inputs, s)
+	return s
+}
+
+// InputBus declares width inputs named name[0..width).
+func (c *Circuit) InputBus(name string, width int) []Signal {
+	bus := make([]Signal, width)
+	for i := range bus {
+		bus[i] = c.Input(fmt.Sprintf("%s[%d]", name, i))
+	}
+	return bus
+}
+
+// Const returns a constant-valued signal.
+func (c *Circuit) Const(v bool) Signal {
+	return c.add(Gate{Kind: KindConst, Value: v})
+}
+
+// Not returns the complement of a.
+func (c *Circuit) Not(a Signal) Signal {
+	return c.add(Gate{Kind: KindNot, In: []Signal{a}})
+}
+
+// And returns the conjunction of ins (which must be non-empty).
+func (c *Circuit) And(ins ...Signal) Signal {
+	return c.nary(KindAnd, ins)
+}
+
+// Or returns the disjunction of ins.
+func (c *Circuit) Or(ins ...Signal) Signal {
+	return c.nary(KindOr, ins)
+}
+
+// Xor returns the parity of ins.
+func (c *Circuit) Xor(ins ...Signal) Signal {
+	return c.nary(KindXor, ins)
+}
+
+func (c *Circuit) nary(k Kind, ins []Signal) Signal {
+	if len(ins) == 0 {
+		panic("circuit: gate with no fanin")
+	}
+	if len(ins) == 1 {
+		return ins[0]
+	}
+	cp := make([]Signal, len(ins))
+	copy(cp, ins)
+	return c.add(Gate{Kind: k, In: cp})
+}
+
+// Nand, Nor and Xnor are the complemented forms.
+func (c *Circuit) Nand(ins ...Signal) Signal { return c.Not(c.And(ins...)) }
+
+// Nor returns NOT(OR(ins...)).
+func (c *Circuit) Nor(ins ...Signal) Signal { return c.Not(c.Or(ins...)) }
+
+// Xnor returns NOT(XOR(ins...)).
+func (c *Circuit) Xnor(ins ...Signal) Signal { return c.Not(c.Xor(ins...)) }
+
+// Mux returns `a` when sel is true, else b.
+func (c *Circuit) Mux(sel, a, b Signal) Signal {
+	return c.Or(c.And(sel, a), c.And(c.Not(sel), b))
+}
+
+// Implies returns NOT(a) OR b.
+func (c *Circuit) Implies(a, b Signal) Signal {
+	return c.Or(c.Not(a), b)
+}
+
+// MarkOutput declares s a primary output.
+func (c *Circuit) MarkOutput(s Signal) {
+	c.Outputs = append(c.Outputs, s)
+}
+
+// Eval simulates the circuit: inputs maps each primary input (in
+// declaration order) to a value; the result holds every signal's value
+// indexed by Signal-1. It is the oracle Tseitin-encoding tests compare
+// against.
+func (c *Circuit) Eval(inputs []bool) ([]bool, error) {
+	if len(inputs) != len(c.Inputs) {
+		return nil, fmt.Errorf("circuit: have %d input values, need %d", len(inputs), len(c.Inputs))
+	}
+	vals := make([]bool, len(c.Gates))
+	inIdx := 0
+	for i, g := range c.Gates {
+		switch g.Kind {
+		case KindInput:
+			vals[i] = inputs[inIdx]
+			inIdx++
+		case KindConst:
+			vals[i] = g.Value
+		case KindNot:
+			vals[i] = !vals[g.In[0]-1]
+		case KindAnd:
+			v := true
+			for _, in := range g.In {
+				v = v && vals[in-1]
+			}
+			vals[i] = v
+		case KindOr:
+			v := false
+			for _, in := range g.In {
+				v = v || vals[in-1]
+			}
+			vals[i] = v
+		case KindXor:
+			v := false
+			for _, in := range g.In {
+				v = v != vals[in-1]
+			}
+			vals[i] = v
+		default:
+			return nil, fmt.Errorf("circuit: gate %d has unknown kind %v", i+1, g.Kind)
+		}
+	}
+	return vals, nil
+}

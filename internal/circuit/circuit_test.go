@@ -1,0 +1,345 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func evalOne(t *testing.T, c *Circuit, out Signal, inputs []bool) bool {
+	t.Helper()
+	vals, err := c.Eval(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vals[out-1]
+}
+
+func TestGateTruthTables(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	b := c.Input("b")
+	and := c.And(a, b)
+	or := c.Or(a, b)
+	xor := c.Xor(a, b)
+	not := c.Not(a)
+	nand := c.Nand(a, b)
+	nor := c.Nor(a, b)
+	xnor := c.Xnor(a, b)
+	imp := c.Implies(a, b)
+	for _, av := range []bool{false, true} {
+		for _, bv := range []bool{false, true} {
+			in := []bool{av, bv}
+			check := func(name string, s Signal, want bool) {
+				if got := evalOne(t, c, s, in); got != want {
+					t.Errorf("%s(%v,%v) = %v, want %v", name, av, bv, got, want)
+				}
+			}
+			check("and", and, av && bv)
+			check("or", or, av || bv)
+			check("xor", xor, av != bv)
+			check("not", not, !av)
+			check("nand", nand, !(av && bv))
+			check("nor", nor, !(av || bv))
+			check("xnor", xnor, av == bv)
+			check("implies", imp, !av || bv)
+		}
+	}
+}
+
+func TestMux(t *testing.T) {
+	c := New()
+	sel := c.Input("sel")
+	a := c.Input("a")
+	b := c.Input("b")
+	m := c.Mux(sel, a, b)
+	for _, sv := range []bool{false, true} {
+		for _, av := range []bool{false, true} {
+			for _, bv := range []bool{false, true} {
+				want := bv
+				if sv {
+					want = av
+				}
+				if got := evalOne(t, c, m, []bool{sv, av, bv}); got != want {
+					t.Errorf("mux(%v,%v,%v) = %v, want %v", sv, av, bv, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestConstAndNarySingleton(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	if c.And(a) != a || c.Or(a) != a || c.Xor(a) != a {
+		t.Error("single-input n-ary gates must pass through")
+	}
+	tr := c.Const(true)
+	fa := c.Const(false)
+	if !evalOne(t, c, tr, []bool{false}) || evalOne(t, c, fa, []bool{false}) {
+		t.Error("constants wrong")
+	}
+}
+
+func TestNaryGates(t *testing.T) {
+	c := New()
+	ins := c.InputBus("x", 5)
+	and := c.And(ins...)
+	or := c.Or(ins...)
+	xor := c.Xor(ins...)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		vals := make([]bool, 5)
+		all, any, par := true, false, false
+		for i := range vals {
+			vals[i] = rng.Intn(2) == 0
+			all = all && vals[i]
+			any = any || vals[i]
+			par = par != vals[i]
+		}
+		if evalOne(t, c, and, vals) != all || evalOne(t, c, or, vals) != any || evalOne(t, c, xor, vals) != par {
+			t.Fatalf("n-ary gates wrong on %v", vals)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	c := New()
+	c.Input("a")
+	if _, err := c.Eval([]bool{}); err == nil {
+		t.Error("wrong input arity accepted")
+	}
+}
+
+func TestAddPanicsOnBadFanin(t *testing.T) {
+	c := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range fanin must panic")
+		}
+	}()
+	c.Not(Signal(99))
+}
+
+func busValue(vals []bool, bus []Signal) uint64 {
+	var out uint64
+	for i, s := range bus {
+		if vals[s-1] {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+func boolsFor(value uint64, width int) []bool {
+	out := make([]bool, width)
+	for i := range out {
+		out[i] = value&(1<<uint(i)) != 0
+	}
+	return out
+}
+
+func TestRippleAdder(t *testing.T) {
+	const w = 4
+	c := New()
+	a := c.InputBus("a", w)
+	b := c.InputBus("b", w)
+	cin := c.Input("cin")
+	sum, cout := c.RippleAdder(a, b, cin)
+	for av := uint64(0); av < 1<<w; av++ {
+		for bv := uint64(0); bv < 1<<w; bv++ {
+			for _, cv := range []uint64{0, 1} {
+				in := append(append(boolsFor(av, w), boolsFor(bv, w)...), cv == 1)
+				vals, err := c.Eval(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := busValue(vals, sum)
+				gotC := uint64(0)
+				if vals[cout-1] {
+					gotC = 1
+				}
+				want := av + bv + cv
+				if got != want&(1<<w-1) || gotC != want>>w {
+					t.Fatalf("%d+%d+%d = %d carry %d, want %d", av, bv, cv, got, gotC, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCarrySelectAdderMatchesRipple(t *testing.T) {
+	const w = 5
+	c := New()
+	a := c.InputBus("a", w)
+	b := c.InputBus("b", w)
+	cin := c.Input("cin")
+	s1, c1 := c.RippleAdder(a, b, cin)
+	s2, c2 := c.CarrySelectAdder(a, b, cin)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		in := make([]bool, 2*w+1)
+		for i := range in {
+			in[i] = rng.Intn(2) == 0
+		}
+		vals, err := c.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if busValue(vals, s1) != busValue(vals, s2) || vals[c1-1] != vals[c2-1] {
+			t.Fatalf("adders disagree on input %v", in)
+		}
+	}
+}
+
+func TestMultipliers(t *testing.T) {
+	const w = 3
+	c := New()
+	a := c.InputBus("a", w)
+	b := c.InputBus("b", w)
+	arr := c.ArrayMultiplier(a, b)
+	sha := c.ShiftAddMultiplier(a, b)
+	for av := uint64(0); av < 1<<w; av++ {
+		for bv := uint64(0); bv < 1<<w; bv++ {
+			in := append(boolsFor(av, w), boolsFor(bv, w)...)
+			vals, err := c.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := av * bv
+			if got := busValue(vals, arr); got != want {
+				t.Fatalf("array: %d*%d = %d, want %d", av, bv, got, want)
+			}
+			if got := busValue(vals, sha); got != want {
+				t.Fatalf("shift-add: %d*%d = %d, want %d", av, bv, got, want)
+			}
+		}
+	}
+}
+
+func TestParityAndEqual(t *testing.T) {
+	const w = 6
+	c := New()
+	x := c.InputBus("x", w)
+	y := c.InputBus("y", w)
+	tree := c.ParityTree(x)
+	chain := c.ParityChain(x)
+	eq := c.EqualBus(x, y)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		in := make([]bool, 2*w)
+		for i := range in {
+			in[i] = rng.Intn(2) == 0
+		}
+		vals, err := c.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := false
+		same := true
+		for i := 0; i < w; i++ {
+			par = par != in[i]
+			same = same && in[i] == in[w+i]
+		}
+		if vals[tree-1] != par || vals[chain-1] != par {
+			t.Fatalf("parity wrong on %v", in)
+		}
+		if vals[eq-1] != same {
+			t.Fatalf("equal wrong on %v", in)
+		}
+	}
+}
+
+func TestIncrementAndAddBit(t *testing.T) {
+	const w = 4
+	c := New()
+	x := c.InputBus("x", w)
+	en := c.Input("en")
+	inc := c.IncrementBus(x)
+	add := c.AddBit(x, en)
+	for v := uint64(0); v < 1<<w; v++ {
+		for _, ev := range []bool{false, true} {
+			in := append(boolsFor(v, w), ev)
+			vals, err := c.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := busValue(vals, inc); got != (v+1)&(1<<w-1) {
+				t.Fatalf("inc(%d) = %d", v, got)
+			}
+			want := v
+			if ev {
+				want = (v + 1) & (1<<w - 1)
+			}
+			if got := busValue(vals, add); got != want {
+				t.Fatalf("addbit(%d,%v) = %d, want %d", v, ev, got, want)
+			}
+		}
+	}
+}
+
+func TestConstBus(t *testing.T) {
+	c := New()
+	bus := c.ConstBus(0b1011, 4)
+	vals, err := c.Eval(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := busValue(vals, bus); got != 0b1011 {
+		t.Errorf("ConstBus = %b", got)
+	}
+}
+
+// randomCircuit builds a random DAG circuit for property tests, returning
+// the circuit with one marked output.
+func randomCircuit(rng *rand.Rand, nIn, nGates int) *Circuit {
+	c := New()
+	sigs := make([]Signal, 0, nIn+nGates)
+	for i := 0; i < nIn; i++ {
+		sigs = append(sigs, c.Input("x"))
+	}
+	pickSig := func() Signal { return sigs[rng.Intn(len(sigs))] }
+	for i := 0; i < nGates; i++ {
+		var s Signal
+		switch rng.Intn(5) {
+		case 0:
+			s = c.Not(pickSig())
+		case 1:
+			s = c.And(pickSig(), pickSig())
+		case 2:
+			s = c.Or(pickSig(), pickSig(), pickSig())
+		case 3:
+			s = c.Xor(pickSig(), pickSig())
+		case 4:
+			s = c.Mux(pickSig(), pickSig(), pickSig())
+		}
+		sigs = append(sigs, s)
+	}
+	c.MarkOutput(sigs[len(sigs)-1])
+	return c
+}
+
+func TestRandomCircuitEvalDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	prop := func() bool {
+		c := randomCircuit(rng, 1+rng.Intn(4), 1+rng.Intn(20))
+		in := make([]bool, len(c.Inputs))
+		for i := range in {
+			in[i] = rng.Intn(2) == 0
+		}
+		v1, err1 := c.Eval(in)
+		v2, err2 := c.Eval(in)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range v1 {
+			if v1[i] != v2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return prop() }, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+package circuit
+
+import "fmt"
+
+// Miter builds the standard equivalence-checking construction: both circuits
+// driven by shared fresh inputs, outputs pairwise XORed and ORed into a
+// single "difference" signal. Asserting that signal true yields a CNF that
+// is unsatisfiable iff the circuits are equivalent.
+//
+// The two circuits must have the same input and output counts; inputs are
+// paired in declaration order.
+func Miter(a, b *Circuit) (*Circuit, Signal, error) {
+	if len(a.Inputs) != len(b.Inputs) {
+		return nil, NoSignal, fmt.Errorf("circuit: miter input count mismatch: %d vs %d", len(a.Inputs), len(b.Inputs))
+	}
+	if len(a.Outputs) != len(b.Outputs) {
+		return nil, NoSignal, fmt.Errorf("circuit: miter output count mismatch: %d vs %d", len(a.Outputs), len(b.Outputs))
+	}
+	if len(a.Outputs) == 0 {
+		return nil, NoSignal, fmt.Errorf("circuit: miter needs at least one output")
+	}
+	m := New()
+	shared := make([]Signal, len(a.Inputs))
+	for i := range shared {
+		shared[i] = m.Input(fmt.Sprintf("in[%d]", i))
+	}
+	outsA := m.copyFrom(a, shared)
+	outsB := m.copyFrom(b, shared)
+	diffs := make([]Signal, len(outsA))
+	for i := range outsA {
+		diffs[i] = m.Xor(outsA[i], outsB[i])
+	}
+	diff := m.Or(diffs...)
+	m.MarkOutput(diff)
+	return m, diff, nil
+}
+
+// copyFrom instantiates src inside c with its primary inputs replaced by the
+// given signals, returning the mapped outputs. Gates are copied in index
+// order, which is topological by construction.
+func (c *Circuit) copyFrom(src *Circuit, inputs []Signal) []Signal {
+	mapping := make([]Signal, len(src.Gates))
+	inIdx := 0
+	for i, g := range src.Gates {
+		switch g.Kind {
+		case KindInput:
+			mapping[i] = inputs[inIdx]
+			inIdx++
+		case KindConst:
+			mapping[i] = c.Const(g.Value)
+		default:
+			in := make([]Signal, len(g.In))
+			for j, s := range g.In {
+				in[j] = mapping[s-1]
+			}
+			mapping[i] = c.add(Gate{Kind: g.Kind, In: in})
+		}
+	}
+	outs := make([]Signal, len(src.Outputs))
+	for i, s := range src.Outputs {
+		outs[i] = mapping[s-1]
+	}
+	return outs
+}
+
+// Register is one state element of a sequential circuit: Q is the
+// state-holding net (declared as a primary input of the combinational
+// core), D is the next-state function's output net, and Init is the reset
+// value.
+type Register struct {
+	Q    Signal
+	D    Signal
+	Init bool
+}
+
+// Sequential is a synchronous sequential circuit expressed as a
+// combinational core plus registers, the standard BMC front-end view.
+// Bad is a net that is true exactly in the "bad" states the property
+// forbids.
+type Sequential struct {
+	Comb      *Circuit
+	Registers []Register
+	Bad       Signal
+}
+
+// Unroll flattens k transitions of the sequential circuit into one
+// combinational circuit with k+1 time frames: frame 0 sees the reset state,
+// frame t's register inputs are frame t-1's next-state outputs, and every
+// frame's Bad net is returned (and marked as an output), so all states
+// reachable in at most k steps are checked. Asserting "some returned signal
+// is true" gives the standard BMC formula — unsatisfiable iff no bad state
+// is reachable within k steps.
+func (s *Sequential) Unroll(k int) (*Circuit, []Signal, error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("circuit: unroll depth must be >= 1, got %d", k)
+	}
+	if s.Bad == NoSignal {
+		return nil, nil, fmt.Errorf("circuit: sequential circuit has no bad-state net")
+	}
+	isReg := make(map[Signal]int, len(s.Registers)) // Q signal -> register index
+	for i, r := range s.Registers {
+		if s.Comb.Gates[r.Q-1].Kind != KindInput {
+			return nil, nil, fmt.Errorf("circuit: register %d's Q net %d is not an input of the core", i, r.Q)
+		}
+		isReg[r.Q] = i
+	}
+
+	u := New()
+	state := make([]Signal, len(s.Registers))
+	for i, r := range s.Registers {
+		state[i] = u.Const(r.Init)
+	}
+	bads := make([]Signal, 0, k+1)
+	for t := 0; t <= k; t++ {
+		mapping := make([]Signal, len(s.Comb.Gates))
+		for i, g := range s.Comb.Gates {
+			sig := Signal(i + 1)
+			switch g.Kind {
+			case KindInput:
+				if ri, ok := isReg[sig]; ok {
+					mapping[i] = state[ri]
+				} else {
+					mapping[i] = u.Input(fmt.Sprintf("%s@%d", g.Name, t))
+				}
+			case KindConst:
+				mapping[i] = u.Const(g.Value)
+			default:
+				in := make([]Signal, len(g.In))
+				for j, f := range g.In {
+					in[j] = mapping[f-1]
+				}
+				mapping[i] = u.add(Gate{Kind: g.Kind, In: in})
+			}
+		}
+		bad := mapping[s.Bad-1]
+		u.MarkOutput(bad)
+		bads = append(bads, bad)
+		for i, r := range s.Registers {
+			state[i] = mapping[r.D-1]
+		}
+	}
+	return u, bads, nil
+}

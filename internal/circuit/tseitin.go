@@ -1,0 +1,139 @@
+package circuit
+
+import (
+	"fmt"
+
+	"satcheck/internal/cnf"
+)
+
+// Encoding is the Tseitin CNF encoding of a circuit: one variable per
+// signal, and clauses constraining each gate variable to equal its function
+// of the fanin variables. The encoding is equisatisfiable with the circuit
+// under any output assertions added with Assert.
+type Encoding struct {
+	F *cnf.Formula
+	// Vars maps Signal s to its CNF variable Vars[s-1].
+	Vars []cnf.Var
+	// ClauseGate maps each clause index of F to the Signal whose gate
+	// produced it (NoSignal for clauses added later via Assert/AssertAny).
+	// This provenance supports clause partitioning — e.g. handing one
+	// sub-circuit's clauses to the interpolation engine — and mapping
+	// unsatisfiable cores back to gates.
+	ClauseGate []Signal
+}
+
+// Encode builds the Tseitin encoding of c.
+func Encode(c *Circuit) *Encoding {
+	e := &Encoding{
+		F:    cnf.NewFormula(len(c.Gates)),
+		Vars: make([]cnf.Var, len(c.Gates)),
+	}
+	for i := range c.Gates {
+		e.Vars[i] = cnf.Var(i + 1)
+	}
+	for i, g := range c.Gates {
+		out := cnf.PosLit(e.Vars[i])
+		switch g.Kind {
+		case KindInput:
+			// Free variable: no clauses.
+		case KindConst:
+			if g.Value {
+				e.F.Add(cnf.Clause{out})
+			} else {
+				e.F.Add(cnf.Clause{out.Neg()})
+			}
+		case KindNot:
+			a := cnf.PosLit(e.Vars[g.In[0]-1])
+			// out = ¬a:  (¬out ∨ ¬a) ∧ (out ∨ a)
+			e.F.Add(cnf.Clause{out.Neg(), a.Neg()})
+			e.F.Add(cnf.Clause{out, a})
+		case KindAnd:
+			// out = AND(a_i):  (¬out ∨ a_i) for all i;  (out ∨ ¬a_1 ∨ ... ∨ ¬a_n)
+			long := make(cnf.Clause, 0, len(g.In)+1)
+			long = append(long, out)
+			for _, in := range g.In {
+				a := cnf.PosLit(e.Vars[in-1])
+				e.F.Add(cnf.Clause{out.Neg(), a})
+				long = append(long, a.Neg())
+			}
+			e.F.Add(long)
+		case KindOr:
+			// out = OR(a_i):  (out ∨ ¬a_i) for all i;  (¬out ∨ a_1 ∨ ... ∨ a_n)
+			long := make(cnf.Clause, 0, len(g.In)+1)
+			long = append(long, out.Neg())
+			for _, in := range g.In {
+				a := cnf.PosLit(e.Vars[in-1])
+				e.F.Add(cnf.Clause{out, a.Neg()})
+				long = append(long, a)
+			}
+			e.F.Add(long)
+		case KindXor:
+			// n-ary XOR is chained through fresh intermediate variables to
+			// keep the clause count linear: t_1 = a_1, t_k = t_{k-1} ⊕ a_k,
+			// out = t_n.
+			cur := cnf.PosLit(e.Vars[g.In[0]-1])
+			for k := 1; k < len(g.In); k++ {
+				a := cnf.PosLit(e.Vars[g.In[k]-1])
+				var t cnf.Lit
+				if k == len(g.In)-1 {
+					t = out
+				} else {
+					e.F.NumVars++
+					t = cnf.PosLit(cnf.Var(e.F.NumVars))
+				}
+				// t = cur ⊕ a
+				e.F.Add(cnf.Clause{t.Neg(), cur, a})
+				e.F.Add(cnf.Clause{t.Neg(), cur.Neg(), a.Neg()})
+				e.F.Add(cnf.Clause{t, cur.Neg(), a})
+				e.F.Add(cnf.Clause{t, cur, a.Neg()})
+				cur = t
+			}
+		default:
+			panic(fmt.Sprintf("circuit: cannot encode gate kind %v", g.Kind))
+		}
+		for len(e.ClauseGate) < len(e.F.Clauses) {
+			e.ClauseGate = append(e.ClauseGate, Signal(i+1))
+		}
+	}
+	return e
+}
+
+// GateOfClause returns the Signal whose gate produced clause index i, or
+// NoSignal for assertion clauses added after encoding.
+func (e *Encoding) GateOfClause(i int) Signal {
+	if i < 0 || i >= len(e.ClauseGate) {
+		return NoSignal
+	}
+	return e.ClauseGate[i]
+}
+
+// Lit returns the CNF literal asserting signal s has the given value.
+func (e *Encoding) Lit(s Signal, value bool) cnf.Lit {
+	return cnf.NewLit(e.Vars[s-1], !value)
+}
+
+// Assert adds a unit clause pinning signal s to value.
+func (e *Encoding) Assert(s Signal, value bool) {
+	e.F.Add(cnf.Clause{e.Lit(s, value)})
+}
+
+// AssertAny adds one clause requiring at least one of the signals to take
+// the given value (used to assert "some unrolled step reaches the bad
+// state").
+func (e *Encoding) AssertAny(ss []Signal, value bool) {
+	cl := make(cnf.Clause, 0, len(ss))
+	for _, s := range ss {
+		cl = append(cl, e.Lit(s, value))
+	}
+	e.F.Add(cl)
+}
+
+// ExtractInputs converts a CNF model back to circuit input values in
+// declaration order — for round-trip tests and counterexample reporting.
+func (e *Encoding) ExtractInputs(c *Circuit, m cnf.Model) []bool {
+	out := make([]bool, len(c.Inputs))
+	for i, s := range c.Inputs {
+		out[i] = m.Value(e.Vars[s-1]) == cnf.True
+	}
+	return out
+}

@@ -1,0 +1,306 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"satcheck/internal/cnf"
+	"satcheck/internal/solver"
+	"satcheck/internal/testutil"
+)
+
+// TestTseitinConsistentWithSimulation: for random circuits and random input
+// vectors, pinning the CNF's input variables to the vector forces every gate
+// variable to the simulated value.
+func TestTseitinConsistentWithSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	prop := func() bool {
+		c := randomCircuit(rng, 1+rng.Intn(4), 1+rng.Intn(15))
+		enc := Encode(c)
+		in := make([]bool, len(c.Inputs))
+		for i := range in {
+			in[i] = rng.Intn(2) == 0
+		}
+		want, err := c.Eval(in)
+		if err != nil {
+			return false
+		}
+		f := enc.F.Clone()
+		for i, s := range c.Inputs {
+			f.Add(cnf.Clause{enc.Lit(s, in[i])})
+		}
+		s, err := solver.New(f, solver.Options{})
+		if err != nil {
+			return false
+		}
+		st, err := s.Solve()
+		if err != nil || st != solver.StatusSat {
+			t.Logf("pinned encoding unexpectedly %v (err %v)", st, err)
+			return false
+		}
+		m := s.Model()
+		for i := range c.Gates {
+			got := m.Value(enc.Vars[i]) == cnf.True
+			if got != want[i] {
+				t.Logf("signal %d: CNF says %v, simulation says %v", i+1, got, want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return prop() }, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTseitinAssertUnsatWhenImpossible: asserting an output value the
+// circuit can never produce yields UNSAT.
+func TestTseitinAssertUnsatWhenImpossible(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	out := c.And(a, c.Not(a)) // constant false
+	enc := Encode(c)
+	enc.Assert(out, true)
+	st, err := solveStatus(enc.F)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != solver.StatusUnsat {
+		t.Errorf("impossible assertion: %v", st)
+	}
+}
+
+func solveStatus(f *cnf.Formula) (solver.Status, error) {
+	s, err := solver.New(f, solver.Options{})
+	if err != nil {
+		return solver.StatusUnknown, err
+	}
+	return s.Solve()
+}
+
+func TestAssertAny(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	b := c.Input("b")
+	na := c.Not(a)
+	enc := Encode(c)
+	enc.AssertAny([]Signal{a, na}, true) // tautology: SAT
+	st, err := solveStatus(enc.F)
+	if err != nil || st != solver.StatusSat {
+		t.Errorf("tautological AssertAny: %v err %v", st, err)
+	}
+	enc2 := Encode(c)
+	enc2.Assert(a, false)
+	enc2.Assert(b, false)
+	enc2.AssertAny([]Signal{a, b}, true)
+	st, err = solveStatus(enc2.F)
+	if err != nil || st != solver.StatusUnsat {
+		t.Errorf("contradictory AssertAny: %v err %v", st, err)
+	}
+}
+
+func TestExtractInputs(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	b := c.Input("b")
+	out := c.And(a, c.Not(b))
+	enc := Encode(c)
+	enc.Assert(out, true)
+	s, err := solver.New(enc.F, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := s.Solve(); err != nil || st != solver.StatusSat {
+		t.Fatalf("st=%v err=%v", st, err)
+	}
+	in := enc.ExtractInputs(c, s.Model())
+	if !in[0] || in[1] {
+		t.Errorf("extracted inputs %v, want [true false]", in)
+	}
+}
+
+// TestMiterEquivalentUnsat: a miter of a circuit against a restructured but
+// equal circuit must be UNSAT; against a genuinely different circuit, SAT.
+func TestMiterEquivalentUnsat(t *testing.T) {
+	build := func(flavor int) *Circuit {
+		c := New()
+		x := c.InputBus("x", 3)
+		var out Signal
+		switch flavor {
+		case 0:
+			out = c.Or(c.And(x[0], x[1]), c.And(x[0], x[2]))
+		case 1: // distributed form, same function
+			out = c.And(x[0], c.Or(x[1], x[2]))
+		default: // different function
+			out = c.And(x[0], c.Or(x[1], c.Not(x[2])))
+		}
+		c.MarkOutput(out)
+		return c
+	}
+	m, diff, err := Miter(build(0), build(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := Encode(m)
+	enc.Assert(diff, true)
+	st, err := solveStatus(enc.F)
+	if err != nil || st != solver.StatusUnsat {
+		t.Errorf("equivalent miter: %v err %v", st, err)
+	}
+
+	m2, diff2, err := Miter(build(0), build(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2 := Encode(m2)
+	enc2.Assert(diff2, true)
+	st, err = solveStatus(enc2.F)
+	if err != nil || st != solver.StatusSat {
+		t.Errorf("inequivalent miter: %v err %v", st, err)
+	}
+}
+
+func TestMiterArityChecks(t *testing.T) {
+	a := New()
+	a.MarkOutput(a.Input("x"))
+	b := New()
+	b.Input("x")
+	b.Input("y")
+	b.MarkOutput(b.Inputs[0])
+	if _, _, err := Miter(a, b); err == nil {
+		t.Error("input arity mismatch accepted")
+	}
+	c := New()
+	c.Input("x")
+	if _, _, err := Miter(a, c); err == nil {
+		t.Error("output arity mismatch accepted")
+	}
+}
+
+// TestUnrollCounter checks the BMC machinery: a free-running counter with
+// enable reaches exactly the values <= steps.
+func TestUnrollCounter(t *testing.T) {
+	const bits, steps = 3, 4
+	comb := New()
+	q := comb.InputBus("q", bits)
+	en := comb.Input("en")
+	next := comb.AddBit(q, en)
+	regs := make([]Register, bits)
+	for i := range regs {
+		regs[i] = Register{Q: q[i], D: next[i], Init: false}
+	}
+
+	for target, wantSat := range map[uint64]bool{
+		uint64(steps):     true,  // reachable: enable always on
+		uint64(steps + 1): false, // unreachable within steps
+	} {
+		c := New()
+		q2 := c.InputBus("q", bits)
+		en2 := c.Input("en")
+		next2 := c.AddBit(q2, en2)
+		bad := c.EqualBus(q2, c.ConstBus(target, bits))
+		regs2 := make([]Register, bits)
+		for i := range regs2 {
+			regs2[i] = Register{Q: q2[i], D: next2[i], Init: false}
+		}
+		seq := &Sequential{Comb: c, Registers: regs2, Bad: bad}
+		unrolled, bads, err := seq.Unroll(steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := Encode(unrolled)
+		enc.AssertAny(bads, true)
+		st, err := solveStatus(enc.F)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (st == solver.StatusSat) != wantSat {
+			t.Errorf("target %d: %v, want sat=%v", target, st, wantSat)
+		}
+	}
+	_ = regs
+}
+
+func TestUnrollValidation(t *testing.T) {
+	comb := New()
+	q := comb.Input("q")
+	seq := &Sequential{Comb: comb, Registers: []Register{{Q: q, D: q, Init: false}}}
+	if _, _, err := seq.Unroll(3); err == nil {
+		t.Error("missing bad net accepted")
+	}
+	seq.Bad = q
+	if _, _, err := seq.Unroll(0); err == nil {
+		t.Error("zero depth accepted")
+	}
+	// Q net that is not an input.
+	comb2 := New()
+	in := comb2.Input("x")
+	g := comb2.Not(in)
+	seq2 := &Sequential{Comb: comb2, Registers: []Register{{Q: g, D: g, Init: false}}, Bad: in}
+	if _, _, err := seq2.Unroll(2); err == nil {
+		t.Error("non-input Q net accepted")
+	}
+}
+
+// TestEncodingEquisatisfiable: the Tseitin encoding with no assertions is
+// satisfiable (any input vector extends to a model).
+func TestEncodingEquisatisfiable(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 30; trial++ {
+		c := randomCircuit(rng, 1+rng.Intn(3), 1+rng.Intn(10))
+		enc := Encode(c)
+		if sat, _ := testutil.BruteForceSat(enc.F); !sat {
+			t.Fatal("unconstrained Tseitin encoding unsatisfiable")
+		}
+	}
+}
+
+func TestClauseProvenance(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	b := c.Input("b")
+	g1 := c.And(a, b)
+	g2 := c.Or(g1, a)
+	enc := Encode(c)
+	if len(enc.ClauseGate) != enc.F.NumClauses() {
+		t.Fatalf("provenance covers %d of %d clauses", len(enc.ClauseGate), enc.F.NumClauses())
+	}
+	seen := map[Signal]int{}
+	for i := range enc.F.Clauses {
+		g := enc.GateOfClause(i)
+		if g == NoSignal {
+			t.Fatalf("clause %d has no provenance", i)
+		}
+		seen[g]++
+	}
+	// AND over 2 inputs: 3 clauses; OR over 2 inputs: 3 clauses.
+	if seen[g1] != 3 || seen[g2] != 3 {
+		t.Errorf("provenance counts = %v", seen)
+	}
+	// Assertions added afterwards have no gate.
+	enc.Assert(g2, true)
+	if got := enc.GateOfClause(enc.F.NumClauses() - 1); got != NoSignal {
+		t.Errorf("assertion clause attributed to gate %d", got)
+	}
+	if enc.GateOfClause(-1) != NoSignal || enc.GateOfClause(1<<20) != NoSignal {
+		t.Error("out-of-range provenance must be NoSignal")
+	}
+}
+
+func TestClauseProvenanceXorChain(t *testing.T) {
+	c := New()
+	x := c.InputBus("x", 4)
+	g := c.Xor(x...)
+	enc := Encode(c)
+	// Every clause of the chained XOR encoding belongs to the XOR gate.
+	for i := range enc.F.Clauses {
+		if enc.GateOfClause(i) != g {
+			t.Fatalf("clause %d attributed to %d, want %d", i, enc.GateOfClause(i), g)
+		}
+	}
+	// 3 chain steps x 4 clauses each.
+	if enc.F.NumClauses() != 12 {
+		t.Errorf("xor-4 encoding has %d clauses, want 12", enc.F.NumClauses())
+	}
+}

@@ -1,0 +1,68 @@
+package cnf
+
+// Assignment maps variables to truth values. Index 0 is unused; index v holds
+// the value of variable v. A nil or short Assignment treats missing variables
+// as Unknown.
+type Assignment []Value
+
+// NewAssignment returns an all-Unknown assignment for numVars variables.
+func NewAssignment(numVars int) Assignment {
+	return make(Assignment, numVars+1)
+}
+
+// Value returns the value of variable v (Unknown if out of range).
+func (a Assignment) Value(v Var) Value {
+	if int(v) >= len(a) {
+		return Unknown
+	}
+	return a[v]
+}
+
+// LitValue returns the value of literal l under a.
+func (a Assignment) LitValue(l Lit) Value {
+	v := a.Value(l.Var())
+	if l.IsNeg() {
+		return v.Not()
+	}
+	return v
+}
+
+// Set assigns variable v. It panics if v is out of range.
+func (a Assignment) Set(v Var, val Value) { a[v] = val }
+
+// SetLit makes literal l true (assigns its variable accordingly).
+func (a Assignment) SetLit(l Lit) {
+	if l.IsNeg() {
+		a[l.Var()] = False
+	} else {
+		a[l.Var()] = True
+	}
+}
+
+// Complete reports whether every variable 1..n has a non-Unknown value.
+func (a Assignment) Complete() bool {
+	for _, v := range a[1:] {
+		if v == Unknown {
+			return false
+		}
+	}
+	return true
+}
+
+// Model is a satisfying assignment reported by a solver.
+type Model = Assignment
+
+// VerifyModel checks that m satisfies every clause of f — the "easy
+// direction" of solver validation from the paper's introduction: linear time
+// in the formula size. It returns the index of the first unsatisfied clause
+// and false, or (-1, true) when the model is valid. A clause with an Unknown
+// literal but no true literal counts as unsatisfied: a model must determine
+// the formula.
+func VerifyModel(f *Formula, m Model) (badClause int, ok bool) {
+	for i, c := range f.Clauses {
+		if c.Eval(m) != True {
+			return i, false
+		}
+	}
+	return -1, true
+}

@@ -1,0 +1,113 @@
+package cnf
+
+import (
+	"sort"
+	"strings"
+)
+
+// Clause is a disjunction of literals. Most of the package treats clauses as
+// plain slices; Normalize establishes the canonical sorted, duplicate-free
+// form the resolution engine relies on.
+type Clause []Lit
+
+// Clone returns an independent copy of c.
+func (c Clause) Clone() Clause {
+	out := make(Clause, len(c))
+	copy(out, c)
+	return out
+}
+
+// Normalize sorts c, removes duplicate literals, and reports whether c is a
+// tautology (contains both polarities of some variable). The returned clause
+// reuses c's storage. Tautologies are returned in sorted-deduped form too so
+// callers can still store them.
+func (c Clause) Normalize() (Clause, bool) {
+	if len(c) <= 1 {
+		return c, false
+	}
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	out := c[:1]
+	taut := false
+	for _, l := range c[1:] {
+		last := out[len(out)-1]
+		if l == last {
+			continue
+		}
+		if l == last.Neg() {
+			taut = true
+		}
+		out = append(out, l)
+	}
+	return out, taut
+}
+
+// IsSorted reports whether c is in canonical sorted order without duplicates.
+func (c Clause) IsSorted() bool {
+	for i := 1; i < len(c); i++ {
+		if c[i] <= c[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether c contains the literal l. c need not be sorted.
+func (c Clause) Contains(l Lit) bool {
+	for _, x := range c {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsVar reports whether any literal of c is over variable v.
+func (c Clause) ContainsVar(v Var) bool {
+	for _, x := range c {
+		if x.Var() == v {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxVar returns the largest variable mentioned in c (NoVar if empty).
+func (c Clause) MaxVar() Var {
+	var m Var
+	for _, l := range c {
+		if l.Var() > m {
+			m = l.Var()
+		}
+	}
+	return m
+}
+
+// Eval evaluates c under the assignment: True if any literal is true,
+// False if all literals are false, Unknown otherwise. The empty clause
+// evaluates to False.
+func (c Clause) Eval(a Assignment) Value {
+	res := False
+	for _, l := range c {
+		switch a.LitValue(l) {
+		case True:
+			return True
+		case Unknown:
+			res = Unknown
+		}
+	}
+	return res
+}
+
+// String formats c as a DIMACS-style literal list, e.g. "(1 -3 7)".
+func (c Clause) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, l := range c {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(l.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

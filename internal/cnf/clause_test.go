@@ -1,0 +1,144 @@
+package cnf
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func clauseFromDimacs(lits ...int) Clause {
+	c := make(Clause, 0, len(lits))
+	for _, d := range lits {
+		c = append(c, LitFromDimacs(d))
+	}
+	return c
+}
+
+func TestNormalizeSortsAndDedupes(t *testing.T) {
+	c := clauseFromDimacs(5, -3, 5, 1, -3)
+	n, taut := c.Normalize()
+	if taut {
+		t.Error("not a tautology")
+	}
+	want := clauseFromDimacs(1, -3, 5)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(n) != 3 {
+		t.Fatalf("normalized length %d, want 3", len(n))
+	}
+	for i := range want {
+		if n[i] != want[i] {
+			t.Fatalf("normalized = %v, want %v", n, want)
+		}
+	}
+	if !n.IsSorted() {
+		t.Error("normalized clause not sorted")
+	}
+}
+
+func TestNormalizeDetectsTautology(t *testing.T) {
+	_, taut := clauseFromDimacs(2, -7, -2).Normalize()
+	if !taut {
+		t.Error("clause with 2 and -2 must be a tautology")
+	}
+	_, taut = clauseFromDimacs(2, -7, 3).Normalize()
+	if taut {
+		t.Error("clause without complementary pair flagged as tautology")
+	}
+}
+
+func TestNormalizeEmptyAndUnit(t *testing.T) {
+	n, taut := Clause{}.Normalize()
+	if len(n) != 0 || taut {
+		t.Error("empty clause must normalize to itself")
+	}
+	n, taut = clauseFromDimacs(4).Normalize()
+	if len(n) != 1 || taut || n[0] != PosLit(4) {
+		t.Error("unit clause must normalize to itself")
+	}
+}
+
+func TestNormalizeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	prop := func() bool {
+		n := rng.Intn(12)
+		c := make(Clause, n)
+		for i := range c {
+			c[i] = NewLit(Var(1+rng.Intn(6)), rng.Intn(2) == 0)
+		}
+		orig := c.Clone()
+		norm, _ := c.Normalize()
+		if !norm.IsSorted() {
+			return false
+		}
+		// Same literal set.
+		for _, l := range orig {
+			if !norm.Contains(l) {
+				return false
+			}
+		}
+		for _, l := range norm {
+			if !orig.Contains(l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return prop() }, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClauseEval(t *testing.T) {
+	a := NewAssignment(4)
+	a.Set(1, True)
+	a.Set(2, False)
+	cases := []struct {
+		c    Clause
+		want Value
+	}{
+		{clauseFromDimacs(1, 3), True},     // satisfied by 1
+		{clauseFromDimacs(-1, 2), False},   // both false
+		{clauseFromDimacs(-1, 3), Unknown}, // 3 free
+		{clauseFromDimacs(-2), True},       // 2 is false, so -2 true
+		{Clause{}, False},                  // empty clause is false
+		{clauseFromDimacs(4, -4), Unknown}, // free tautology is undetermined under partial eval
+		{clauseFromDimacs(-1, -1), False},  // duplicates don't change falsity
+	}
+	for i, tc := range cases {
+		if got := tc.c.Eval(a); got != tc.want {
+			t.Errorf("case %d: Eval(%s) = %v, want %v", i, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestClauseContainsVar(t *testing.T) {
+	c := clauseFromDimacs(1, -3)
+	if !c.ContainsVar(3) || !c.ContainsVar(1) || c.ContainsVar(2) {
+		t.Error("ContainsVar wrong")
+	}
+	if c.MaxVar() != 3 {
+		t.Errorf("MaxVar = %d, want 3", c.MaxVar())
+	}
+	if (Clause{}).MaxVar() != NoVar {
+		t.Error("empty clause MaxVar must be NoVar")
+	}
+}
+
+func TestClauseCloneIndependent(t *testing.T) {
+	c := clauseFromDimacs(1, 2)
+	d := c.Clone()
+	d[0] = NegLit(9)
+	if c[0] != PosLit(1) {
+		t.Error("Clone must not alias")
+	}
+}
+
+func TestClauseString(t *testing.T) {
+	if got := clauseFromDimacs(1, -2).String(); got != "(1 -2)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Clause{}).String(); got != "()" {
+		t.Errorf("empty String = %q", got)
+	}
+}

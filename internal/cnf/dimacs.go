@@ -1,0 +1,132 @@
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ParseDimacs reads a CNF formula in DIMACS format. It is tolerant in the
+// ways practical tools are: comment lines anywhere, clauses spanning multiple
+// lines, a missing "p cnf" header (variable count inferred), and a header
+// that understates the variable count (grown to the maximum seen). It is
+// strict about malformed tokens and a truncated final clause.
+func ParseDimacs(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 256*1024*1024)
+
+	f := &Formula{}
+	declaredVars := 0
+	sawHeader := false
+	var cur Clause
+	lineNo := 0
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == 'c' || line[0] == '%' {
+			continue
+		}
+		if line[0] == 'p' {
+			if sawHeader {
+				return nil, fmt.Errorf("cnf: line %d: duplicate problem line", lineNo)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[0] != "p" || fields[1] != "cnf" {
+				return nil, fmt.Errorf("cnf: line %d: malformed problem line %q", lineNo, line)
+			}
+			nv, err1 := strconv.Atoi(fields[2])
+			nc, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || nv < 0 || nc < 0 {
+				return nil, fmt.Errorf("cnf: line %d: malformed problem line %q", lineNo, line)
+			}
+			declaredVars = nv
+			sawHeader = true
+			if cap(f.Clauses) < nc {
+				f.Clauses = make([]Clause, 0, nc)
+			}
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			d, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("cnf: line %d: bad literal %q", lineNo, tok)
+			}
+			if d == 0 {
+				f.Add(cur)
+				cur = nil
+				continue
+			}
+			cur = append(cur, LitFromDimacs(d))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cnf: read: %w", err)
+	}
+	if len(cur) != 0 {
+		return nil, fmt.Errorf("cnf: truncated input: final clause %s missing terminating 0", cur)
+	}
+	if declaredVars > f.NumVars {
+		f.NumVars = declaredVars
+	}
+	return f, nil
+}
+
+// ParseDimacsString parses a DIMACS formula held in a string.
+func ParseDimacsString(s string) (*Formula, error) {
+	return ParseDimacs(strings.NewReader(s))
+}
+
+// ParseDimacsFile parses the DIMACS file at path.
+func ParseDimacsFile(path string) (*Formula, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return ParseDimacs(fh)
+}
+
+// WriteDimacs writes f in DIMACS format with a standard "p cnf" header.
+func WriteDimacs(w io.Writer, f *Formula) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if _, err := fmt.Fprintf(bw, "%d ", l.Dimacs()); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("0\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteDimacsFile writes f to the file at path, creating or truncating it.
+func WriteDimacsFile(path string, f *Formula) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteDimacs(fh, f); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}
+
+// DimacsString renders f as a DIMACS string, mainly for tests and examples.
+func DimacsString(f *Formula) string {
+	var b strings.Builder
+	if err := WriteDimacs(&b, f); err != nil {
+		panic(err) // strings.Builder cannot fail
+	}
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package cnf
+
+import (
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseDimacsBasic(t *testing.T) {
+	f, err := ParseDimacsString("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 3 || f.NumClauses() != 2 {
+		t.Fatalf("got %d vars %d clauses", f.NumVars, f.NumClauses())
+	}
+	if f.Clauses[0][1] != NegLit(2) {
+		t.Errorf("clause 0 = %s", f.Clauses[0])
+	}
+}
+
+func TestParseDimacsMultiLineClause(t *testing.T) {
+	f, err := ParseDimacsString("p cnf 4 1\n1 2\n3\n-4 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 1 || len(f.Clauses[0]) != 4 {
+		t.Fatalf("clauses = %v", f.Clauses)
+	}
+}
+
+func TestParseDimacsMultipleClausesPerLine(t *testing.T) {
+	f, err := ParseDimacsString("p cnf 2 2\n1 0 -2 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 2 {
+		t.Fatalf("got %d clauses", f.NumClauses())
+	}
+}
+
+func TestParseDimacsNoHeader(t *testing.T) {
+	f, err := ParseDimacsString("1 5 0\n-5 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 5 || f.NumClauses() != 2 {
+		t.Fatalf("got %d vars %d clauses", f.NumVars, f.NumClauses())
+	}
+}
+
+func TestParseDimacsHeaderUnderstatesVars(t *testing.T) {
+	f, err := ParseDimacsString("p cnf 2 1\n1 7 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 7 {
+		t.Fatalf("NumVars = %d, want 7", f.NumVars)
+	}
+}
+
+func TestParseDimacsHeaderOverstatesVars(t *testing.T) {
+	f, err := ParseDimacsString("p cnf 10 1\n1 2 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 10 {
+		t.Fatalf("NumVars = %d, want 10 (header counts)", f.NumVars)
+	}
+}
+
+func TestParseDimacsEmptyClause(t *testing.T) {
+	f, err := ParseDimacsString("p cnf 1 1\n0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 1 || len(f.Clauses[0]) != 0 {
+		t.Fatalf("clauses = %v", f.Clauses)
+	}
+}
+
+func TestParseDimacsPercentTerminator(t *testing.T) {
+	// Some SATLIB files end with a '%' line.
+	f, err := ParseDimacsString("p cnf 1 1\n1 0\n%\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 1 {
+		t.Fatalf("got %d clauses", f.NumClauses())
+	}
+}
+
+func TestParseDimacsErrors(t *testing.T) {
+	cases := map[string]string{
+		"truncated clause":   "p cnf 2 1\n1 2\n",
+		"bad token":          "p cnf 2 1\n1 x 0\n",
+		"duplicate header":   "p cnf 1 1\np cnf 1 1\n1 0\n",
+		"malformed header":   "p cnf x 1\n1 0\n",
+		"header wrong arity": "p cnf 1\n1 0\n",
+	}
+	for name, input := range cases {
+		if _, err := ParseDimacsString(input); err == nil {
+			t.Errorf("%s: expected error for %q", name, input)
+		}
+	}
+}
+
+func TestDimacsRoundTripFile(t *testing.T) {
+	f := NewFormula(4)
+	f.AddClause(1, -2)
+	f.AddClause(3, 4, -1)
+	f.AddClause(-4)
+	path := filepath.Join(t.TempDir(), "t.cnf")
+	if err := WriteDimacsFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseDimacsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DimacsString(f) != DimacsString(g) {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", DimacsString(f), DimacsString(g))
+	}
+}
+
+func TestDimacsRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	prop := func() bool {
+		nv := 1 + rng.Intn(10)
+		f := NewFormula(nv)
+		for i := rng.Intn(8); i > 0; i-- {
+			cl := make(Clause, 0, 3)
+			for j := rng.Intn(4); j > 0; j-- {
+				cl = append(cl, NewLit(Var(1+rng.Intn(nv)), rng.Intn(2) == 0))
+			}
+			f.Add(cl)
+		}
+		g, err := ParseDimacsString(DimacsString(f))
+		if err != nil {
+			return false
+		}
+		if g.NumVars != f.NumVars || g.NumClauses() != f.NumClauses() {
+			return false
+		}
+		for i := range f.Clauses {
+			if len(f.Clauses[i]) != len(g.Clauses[i]) {
+				return false
+			}
+			for j := range f.Clauses[i] {
+				if f.Clauses[i][j] != g.Clauses[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return prop() }, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseDimacsEmptyInput(t *testing.T) {
+	f, err := ParseDimacsString("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 0 || f.NumClauses() != 0 {
+		t.Error("empty input should give empty formula")
+	}
+}
+
+func TestParseDimacsCommentOnlyLinesInsideClauses(t *testing.T) {
+	f, err := ParseDimacs(strings.NewReader("p cnf 2 1\n1\nc interrupting comment\n2 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Clauses[0]) != 2 {
+		t.Fatalf("clause = %s", f.Clauses[0])
+	}
+}

@@ -1,0 +1,120 @@
+package cnf
+
+import "fmt"
+
+// Formula is a CNF formula: a conjunction of clauses over variables
+// 1..NumVars. Clause order is significant: the solver and the checker agree
+// that original clause i has ID i (the paper's "order of appearance"
+// convention).
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// NewFormula returns an empty formula over numVars variables.
+func NewFormula(numVars int) *Formula {
+	return &Formula{NumVars: numVars}
+}
+
+// AddClause appends a clause built from DIMACS-style integers.
+// It panics on a zero literal or a variable outside 1..NumVars growth;
+// variables above NumVars extend the formula.
+func (f *Formula) AddClause(dimacsLits ...int) {
+	c := make(Clause, 0, len(dimacsLits))
+	for _, d := range dimacsLits {
+		c = append(c, LitFromDimacs(d))
+	}
+	f.Add(c)
+}
+
+// Add appends a clause of Lits, growing NumVars as needed.
+func (f *Formula) Add(c Clause) {
+	if mv := int(c.MaxVar()); mv > f.NumVars {
+		f.NumVars = mv
+	}
+	f.Clauses = append(f.Clauses, c)
+}
+
+// NumClauses returns the number of clauses.
+func (f *Formula) NumClauses() int { return len(f.Clauses) }
+
+// Clone returns a deep copy of f.
+func (f *Formula) Clone() *Formula {
+	out := &Formula{NumVars: f.NumVars, Clauses: make([]Clause, len(f.Clauses))}
+	for i, c := range f.Clauses {
+		out.Clauses[i] = c.Clone()
+	}
+	return out
+}
+
+// NumLiterals returns the total literal count across all clauses.
+func (f *Formula) NumLiterals() int {
+	n := 0
+	for _, c := range f.Clauses {
+		n += len(c)
+	}
+	return n
+}
+
+// UsedVars returns the number of distinct variables that actually occur in
+// some clause. The paper's Table 3 notes this can be smaller than the
+// header's declared variable count.
+func (f *Formula) UsedVars() int {
+	seen := make([]bool, f.NumVars+1)
+	n := 0
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if v := l.Var(); !seen[v] {
+				seen[v] = true
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Eval evaluates the formula under a (possibly partial) assignment:
+// False if any clause is false, True if all clauses are true,
+// Unknown otherwise. The empty formula evaluates to True.
+func (f *Formula) Eval(a Assignment) Value {
+	res := True
+	for _, c := range f.Clauses {
+		switch c.Eval(a) {
+		case False:
+			return False
+		case Unknown:
+			res = Unknown
+		}
+	}
+	return res
+}
+
+// Validate checks structural sanity: every literal's variable lies in
+// 1..NumVars and is a valid literal.
+func (f *Formula) Validate() error {
+	for i, c := range f.Clauses {
+		for _, l := range c {
+			if !l.IsValid() {
+				return fmt.Errorf("cnf: clause %d contains invalid literal %d", i, uint32(l))
+			}
+			if int(l.Var()) > f.NumVars {
+				return fmt.Errorf("cnf: clause %d literal %s exceeds declared %d variables", i, l, f.NumVars)
+			}
+		}
+	}
+	return nil
+}
+
+// SubFormula returns a new formula containing only the clauses whose indices
+// appear in ids (in the given order), over the same variable space. It is the
+// building block of unsatisfiable-core iteration.
+func (f *Formula) SubFormula(ids []int) (*Formula, error) {
+	out := &Formula{NumVars: f.NumVars, Clauses: make([]Clause, 0, len(ids))}
+	for _, id := range ids {
+		if id < 0 || id >= len(f.Clauses) {
+			return nil, fmt.Errorf("cnf: clause id %d out of range [0,%d)", id, len(f.Clauses))
+		}
+		out.Clauses = append(out.Clauses, f.Clauses[id].Clone())
+	}
+	return out, nil
+}

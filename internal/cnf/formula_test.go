@@ -1,0 +1,142 @@
+package cnf
+
+import "testing"
+
+func TestFormulaAddGrowsVars(t *testing.T) {
+	f := NewFormula(2)
+	f.AddClause(1, -5)
+	if f.NumVars != 5 {
+		t.Errorf("NumVars = %d, want 5", f.NumVars)
+	}
+	if f.NumLiterals() != 2 {
+		t.Errorf("NumLiterals = %d, want 2", f.NumLiterals())
+	}
+}
+
+func TestFormulaEval(t *testing.T) {
+	f := NewFormula(3)
+	f.AddClause(1, 2)
+	f.AddClause(-1, 3)
+	a := NewAssignment(3)
+	if got := f.Eval(a); got != Unknown {
+		t.Errorf("empty assignment: %v", got)
+	}
+	a.Set(1, True)
+	a.Set(3, True)
+	if got := f.Eval(a); got != True {
+		t.Errorf("satisfying assignment: %v", got)
+	}
+	a.Set(3, False)
+	if got := f.Eval(a); got != False {
+		t.Errorf("falsifying assignment: %v", got)
+	}
+}
+
+func TestFormulaEvalEmpty(t *testing.T) {
+	if got := NewFormula(0).Eval(nil); got != True {
+		t.Errorf("empty formula = %v, want True", got)
+	}
+}
+
+func TestUsedVars(t *testing.T) {
+	f := NewFormula(10)
+	f.AddClause(1, -3)
+	f.AddClause(3, 7)
+	if got := f.UsedVars(); got != 3 {
+		t.Errorf("UsedVars = %d, want 3", got)
+	}
+}
+
+func TestSubFormula(t *testing.T) {
+	f := NewFormula(3)
+	f.AddClause(1)
+	f.AddClause(2)
+	f.AddClause(3)
+	sub, err := f.SubFormula([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumClauses() != 2 || sub.Clauses[0][0] != PosLit(3) || sub.Clauses[1][0] != PosLit(1) {
+		t.Errorf("sub = %v", sub.Clauses)
+	}
+	if sub.NumVars != 3 {
+		t.Errorf("sub.NumVars = %d, want 3 (variable space preserved)", sub.NumVars)
+	}
+	if _, err := f.SubFormula([]int{5}); err == nil {
+		t.Error("out-of-range id must error")
+	}
+}
+
+func TestFormulaCloneIndependent(t *testing.T) {
+	f := NewFormula(2)
+	f.AddClause(1, 2)
+	g := f.Clone()
+	g.Clauses[0][0] = NegLit(1)
+	if f.Clauses[0][0] != PosLit(1) {
+		t.Error("Clone must deep-copy clauses")
+	}
+}
+
+func TestFormulaValidate(t *testing.T) {
+	f := NewFormula(2)
+	f.AddClause(1, -2)
+	if err := f.Validate(); err != nil {
+		t.Errorf("valid formula rejected: %v", err)
+	}
+	f.Clauses = append(f.Clauses, Clause{NoLit})
+	if err := f.Validate(); err == nil {
+		t.Error("invalid literal accepted")
+	}
+	g := NewFormula(1)
+	g.Clauses = append(g.Clauses, Clause{PosLit(9)}) // bypass Add's growth
+	if err := g.Validate(); err == nil {
+		t.Error("out-of-range variable accepted")
+	}
+}
+
+func TestVerifyModel(t *testing.T) {
+	f := NewFormula(2)
+	f.AddClause(1, 2)
+	f.AddClause(-1)
+	m := NewAssignment(2)
+	m.Set(1, False)
+	m.Set(2, True)
+	if bad, ok := VerifyModel(f, m); !ok {
+		t.Errorf("valid model rejected at clause %d", bad)
+	}
+	m.Set(2, False)
+	if bad, ok := VerifyModel(f, m); ok || bad != 0 {
+		t.Errorf("invalid model: ok=%v bad=%d, want clause 0", ok, bad)
+	}
+	// Partial model leaving a clause undetermined is not a model.
+	m.Set(2, Unknown)
+	if _, ok := VerifyModel(f, m); ok {
+		t.Error("partial model accepted")
+	}
+}
+
+func TestAssignmentBasics(t *testing.T) {
+	a := NewAssignment(3)
+	a.SetLit(NegLit(2))
+	if a.Value(2) != False {
+		t.Error("SetLit(−2) should make var 2 false")
+	}
+	if a.LitValue(NegLit(2)) != True {
+		t.Error("literal −2 should be true")
+	}
+	if a.Value(99) != Unknown {
+		t.Error("out-of-range var should read Unknown")
+	}
+	if a.LitValue(PosLit(99)) != Unknown {
+		t.Error("out-of-range literal should read Unknown")
+	}
+	if a.Complete() {
+		t.Error("partial assignment reported complete")
+	}
+	a.SetLit(PosLit(1))
+	a.SetLit(PosLit(3))
+	a.SetLit(PosLit(2))
+	if !a.Complete() {
+		t.Error("complete assignment reported partial")
+	}
+}

@@ -1,0 +1,44 @@
+package cnf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDimacs asserts the DIMACS parser never panics and that accepted
+// input round-trips: parse → write → parse gives an identical formula.
+func FuzzParseDimacs(f *testing.F) {
+	f.Add("p cnf 3 2\n1 -2 0\n2 3 0\n")
+	f.Add("1 5 0\n-5 0\n")
+	f.Add("c comment\np cnf 1 1\n0\n")
+	f.Add("p cnf 2 1\n1 2\n")
+	f.Add("")
+	f.Add("p cnf 0 0\n")
+	f.Add("%\n0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		parsed, err := ParseDimacsString(input)
+		if err != nil {
+			return
+		}
+		text := DimacsString(parsed)
+		again, err := ParseDimacsString(text)
+		if err != nil {
+			t.Fatalf("canonical output failed to reparse: %v\n%s", err, text)
+		}
+		if again.NumVars != parsed.NumVars || again.NumClauses() != parsed.NumClauses() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
+				parsed.NumVars, parsed.NumClauses(), again.NumVars, again.NumClauses())
+		}
+		for i := range parsed.Clauses {
+			if len(parsed.Clauses[i]) != len(again.Clauses[i]) {
+				t.Fatalf("clause %d length changed", i)
+			}
+			for j := range parsed.Clauses[i] {
+				if parsed.Clauses[i][j] != again.Clauses[i][j] {
+					t.Fatalf("clause %d literal %d changed", i, j)
+				}
+			}
+		}
+		_ = strings.TrimSpace(text)
+	})
+}

@@ -1,0 +1,110 @@
+// Package cnf provides the propositional-logic substrate shared by the
+// solver, the resolution checker, and the instance generators: variables,
+// literals, clauses, CNF formulas, assignments, and DIMACS I/O.
+//
+// The encoding follows the MiniSat convention: a variable v (1-based) has a
+// positive literal 2v and a negative literal 2v+1, so a literal's variable
+// and sign are single shifts/masks and literals index arrays densely.
+package cnf
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Var identifies a propositional variable. Variables are numbered from 1;
+// 0 is reserved as "no variable".
+type Var uint32
+
+// NoVar is the zero Var, used as a sentinel.
+const NoVar Var = 0
+
+// Lit is a literal: a variable together with a polarity.
+// The zero Lit is invalid and usable as a sentinel.
+type Lit uint32
+
+// NoLit is the zero Lit sentinel.
+const NoLit Lit = 0
+
+// NewLit returns the literal for variable v, negated if neg is true.
+func NewLit(v Var, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// PosLit returns the positive literal of v.
+func PosLit(v Var) Lit { return Lit(v << 1) }
+
+// NegLit returns the negative literal of v.
+func NegLit(v Var) Lit { return Lit(v<<1 | 1) }
+
+// Var returns the variable underlying l.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// IsNeg reports whether l is a negative literal.
+func (l Lit) IsNeg() bool { return l&1 == 1 }
+
+// Neg returns the complement of l.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+// IsValid reports whether l denotes a real literal (variable ≥ 1).
+func (l Lit) IsValid() bool { return l >= 2 }
+
+// Dimacs returns the DIMACS integer form of l: +v or -v.
+func (l Lit) Dimacs() int {
+	if l.IsNeg() {
+		return -int(l.Var())
+	}
+	return int(l.Var())
+}
+
+// LitFromDimacs converts a nonzero DIMACS integer to a Lit.
+// It panics on 0, which DIMACS reserves as the clause terminator.
+func LitFromDimacs(d int) Lit {
+	if d == 0 {
+		panic("cnf: literal 0 is the DIMACS clause terminator, not a literal")
+	}
+	if d < 0 {
+		return NegLit(Var(-d))
+	}
+	return PosLit(Var(d))
+}
+
+// String formats l in DIMACS style ("7", "-13").
+func (l Lit) String() string {
+	if !l.IsValid() {
+		return "lit(invalid)"
+	}
+	return strconv.Itoa(l.Dimacs())
+}
+
+// Value is a three-valued truth assignment for a variable or literal.
+type Value int8
+
+// The three truth values. Unknown is the zero value so fresh assignment
+// slices start out unassigned.
+const (
+	Unknown Value = 0
+	True    Value = 1
+	False   Value = -1
+)
+
+// Not returns the negation of v; Unknown stays Unknown.
+func (v Value) Not() Value { return -v }
+
+// String returns "true", "false" or "unknown".
+func (v Value) String() string {
+	switch v {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	case Unknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("value(%d)", int8(v))
+	}
+}

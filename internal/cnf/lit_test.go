@@ -1,0 +1,95 @@
+package cnf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLitBasics(t *testing.T) {
+	l := PosLit(7)
+	if l.Var() != 7 || l.IsNeg() {
+		t.Fatalf("PosLit(7) = var %d neg %v", l.Var(), l.IsNeg())
+	}
+	n := NegLit(7)
+	if n.Var() != 7 || !n.IsNeg() {
+		t.Fatalf("NegLit(7) = var %d neg %v", n.Var(), n.IsNeg())
+	}
+	if l.Neg() != n || n.Neg() != l {
+		t.Fatal("Neg is not an involution between polarities")
+	}
+	if NewLit(7, false) != l || NewLit(7, true) != n {
+		t.Fatal("NewLit disagrees with PosLit/NegLit")
+	}
+}
+
+func TestLitValidity(t *testing.T) {
+	if NoLit.IsValid() {
+		t.Error("NoLit must be invalid")
+	}
+	if Lit(1).IsValid() {
+		t.Error("literal over variable 0 must be invalid")
+	}
+	if !PosLit(1).IsValid() || !NegLit(1).IsValid() {
+		t.Error("literals over variable 1 must be valid")
+	}
+}
+
+func TestLitDimacsRoundTrip(t *testing.T) {
+	prop := func(raw int16, neg bool) bool {
+		v := int(raw)
+		if v < 0 {
+			v = -v
+		}
+		v++ // 1..32769
+		d := v
+		if neg {
+			d = -v
+		}
+		l := LitFromDimacs(d)
+		return l.Dimacs() == d && l.Var() == Var(v) && l.IsNeg() == neg
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLitFromDimacsZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("LitFromDimacs(0) must panic")
+		}
+	}()
+	LitFromDimacs(0)
+}
+
+func TestLitString(t *testing.T) {
+	for _, tc := range []struct {
+		l    Lit
+		want string
+	}{
+		{PosLit(3), "3"},
+		{NegLit(12), "-12"},
+		{NoLit, "lit(invalid)"},
+	} {
+		if got := tc.l.String(); got != tc.want {
+			t.Errorf("String(%d) = %q, want %q", uint32(tc.l), got, tc.want)
+		}
+	}
+}
+
+func TestValueNot(t *testing.T) {
+	if True.Not() != False || False.Not() != True || Unknown.Not() != Unknown {
+		t.Error("Value.Not truth table wrong")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	for _, tc := range []struct {
+		v    Value
+		want string
+	}{{True, "true"}, {False, "false"}, {Unknown, "unknown"}} {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package core implements the "other applications" of the paper's §4:
+// extracting an unsatisfiable core of a CNF formula from the depth-first
+// checker's by-product (the set of original clauses involved in the
+// resolution proof), and shrinking it by iterating solve→check→extract up to
+// a bound or a fixed point — the procedure behind the paper's Table 3.
+//
+// Cores are useful wherever one must explain *why* no solution exists: the
+// paper cites debugging Alloy software models, diagnosing un-routable FPGA
+// channels, and explaining infeasible AI-planning schedules.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/cnf"
+	"satcheck/internal/solver"
+	"satcheck/internal/trace"
+)
+
+// ErrSatisfiable is returned when a formula given to the core extractor
+// turns out to be satisfiable (a core only exists for unsatisfiable input).
+var ErrSatisfiable = errors.New("core: formula is satisfiable; no unsatisfiable core exists")
+
+// ErrBudget is returned when the solver hit its conflict budget before
+// deciding the instance.
+var ErrBudget = errors.New("core: solver exceeded its conflict budget")
+
+// Extraction is one validated unsatisfiable core.
+type Extraction struct {
+	// ClauseIDs are the clause indices of the core within the input formula,
+	// in increasing order.
+	ClauseIDs []int
+	// Core is the sub-formula made of exactly those clauses (same variable
+	// numbering as the input).
+	Core *cnf.Formula
+	// NumClauses and NumVars are the paper's Table 3 columns: core size and
+	// the number of distinct variables the core mentions.
+	NumClauses, NumVars int
+	// Check is the depth-first checker result the core came from.
+	Check *checker.Result
+}
+
+// Extract solves f, validates the UNSAT result with the depth-first checker,
+// and returns the set of original clauses involved in the proof.
+func Extract(f *cnf.Formula, sopts solver.Options) (*Extraction, error) {
+	s, err := solver.New(f, sopts)
+	if err != nil {
+		return nil, err
+	}
+	tr := &trace.MemoryTrace{}
+	s.SetTrace(tr)
+	status, err := s.Solve()
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case solver.StatusSat:
+		return nil, ErrSatisfiable
+	case solver.StatusUnknown:
+		return nil, ErrBudget
+	}
+	res, err := checker.DepthFirst(f, tr, checker.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("core: proof validation failed: %w", err)
+	}
+	return fromResult(f, res)
+}
+
+// FromCheck converts an existing depth-first checker result into an
+// Extraction without re-solving.
+func FromCheck(f *cnf.Formula, res *checker.Result) (*Extraction, error) {
+	return fromResult(f, res)
+}
+
+func fromResult(f *cnf.Formula, res *checker.Result) (*Extraction, error) {
+	if res.CoreClauses == nil {
+		return nil, fmt.Errorf("core: checker result carries no core (use the depth-first checker)")
+	}
+	sub, err := f.SubFormula(res.CoreClauses)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int, len(res.CoreClauses))
+	copy(ids, res.CoreClauses)
+	return &Extraction{
+		ClauseIDs:  ids,
+		Core:       sub,
+		NumClauses: len(ids),
+		NumVars:    res.CoreVars,
+		Check:      res,
+	}, nil
+}
+
+// IterationStat records one round of core iteration.
+type IterationStat struct {
+	Iteration  int // 1-based
+	NumClauses int
+	NumVars    int
+}
+
+// IterateResult is the outcome of the fixed-point iteration.
+type IterateResult struct {
+	// Stats holds one entry per iteration performed.
+	Stats []IterationStat
+	// ClauseIDs are the final core's clause indices in the *original* input
+	// formula.
+	ClauseIDs []int
+	// Core is the final core as a formula.
+	Core *cnf.Formula
+	// FixedPoint is true when an iteration needed every clause of its input
+	// (so further iterations cannot shrink the core).
+	FixedPoint bool
+	// Iterations is the number of solve→check→extract rounds performed.
+	Iterations int
+}
+
+// First returns the first-iteration stats (the paper's "First Iteration"
+// columns); ok is false if no iterations ran.
+func (r *IterateResult) First() (IterationStat, bool) {
+	if len(r.Stats) == 0 {
+		return IterationStat{}, false
+	}
+	return r.Stats[0], true
+}
+
+// Iterate repeatedly extracts a core and feeds it back to the solver
+// ("We can use these involved clauses as a new SAT instance ... and
+// iteratively perform the depth-first checking again"), stopping after
+// maxIter rounds or at a fixed point. The paper uses maxIter = 30.
+func Iterate(f *cnf.Formula, maxIter int, sopts solver.Options) (*IterateResult, error) {
+	if maxIter <= 0 {
+		maxIter = 30
+	}
+	cur := f
+	// ids[i] = index in the original formula of clause i of cur.
+	ids := make([]int, len(f.Clauses))
+	for i := range ids {
+		ids[i] = i
+	}
+	out := &IterateResult{}
+	for iter := 1; iter <= maxIter; iter++ {
+		ext, err := Extract(cur, sopts)
+		if err != nil {
+			return nil, fmt.Errorf("core: iteration %d: %w", iter, err)
+		}
+		mapped := make([]int, len(ext.ClauseIDs))
+		for i, id := range ext.ClauseIDs {
+			mapped[i] = ids[id]
+		}
+		out.Iterations = iter
+		out.Stats = append(out.Stats, IterationStat{
+			Iteration:  iter,
+			NumClauses: ext.NumClauses,
+			NumVars:    ext.NumVars,
+		})
+		out.ClauseIDs = mapped
+		out.Core = ext.Core
+		if ext.NumClauses == len(cur.Clauses) {
+			// Every clause of the instance participated in the proof: a
+			// fixed point in the paper's sense.
+			out.FixedPoint = true
+			return out, nil
+		}
+		cur = ext.Core
+		ids = mapped
+	}
+	return out, nil
+}
+
+// MinimalStat records one round of MUS extraction.
+type MinimalStat struct {
+	Tested  int // candidate clauses tried for removal
+	Removed int // clauses removed (instance stayed UNSAT without them)
+}
+
+// Minimal shrinks a validated unsatisfiable core to a *minimal* unsatisfiable
+// subformula (MUS): removing any single clause of the result makes it
+// satisfiable. This is the stronger guarantee behind the paper's citation
+// [16] (Bruni & Sassano, "finding small unsatisfiable subformulae"); the
+// paper's own fixed-point iteration gives small — but not necessarily
+// minimal — cores.
+//
+// The algorithm is destructive deletion seeded by proof-based extraction:
+// start from the depth-first checker's core, then for each clause test
+// whether the rest is still unsatisfiable; if so drop it, re-extracting the
+// (validated) proof core after each successful deletion to skip whole groups
+// of newly irrelevant clauses. Every UNSAT verdict along the way is proof-
+// checked; every SAT verdict is model-checked.
+func Minimal(f *cnf.Formula, sopts solver.Options) (*Extraction, *MinimalStat, error) {
+	ext, err := Extract(f, sopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	stat := &MinimalStat{}
+	ids := ext.ClauseIDs // indices into f
+	for i := 0; i < len(ids); {
+		stat.Tested++
+		// Candidate set: ids without element i.
+		cand := make([]int, 0, len(ids)-1)
+		cand = append(cand, ids[:i]...)
+		cand = append(cand, ids[i+1:]...)
+		sub, err := f.SubFormula(cand)
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := solver.New(sub, sopts)
+		if err != nil {
+			return nil, nil, err
+		}
+		tr := &trace.MemoryTrace{}
+		s.SetTrace(tr)
+		status, err := s.Solve()
+		if err != nil {
+			return nil, nil, err
+		}
+		switch status {
+		case solver.StatusSat:
+			// Clause i is necessary: removing it made the rest satisfiable.
+			if bad, ok := cnf.VerifyModel(sub, s.Model()); !ok {
+				return nil, nil, fmt.Errorf("core: solver model fails clause %d", bad)
+			}
+			i++
+		case solver.StatusUnsat:
+			// Clause i is redundant; validate the proof and restrict to the
+			// clauses it actually used (mapped back to f's indices).
+			res, err := checker.DepthFirst(sub, tr, checker.Options{})
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: proof validation failed during minimization: %w", err)
+			}
+			stat.Removed += len(ids) - len(res.CoreClauses)
+			mapped := make([]int, len(res.CoreClauses))
+			for j, id := range res.CoreClauses {
+				mapped[j] = cand[id]
+			}
+			ids = mapped
+			// Resume at the same position: necessity is monotone under
+			// subsets (if S\{c} was satisfiable, so is any subset), so the
+			// already-confirmed prefix stays confirmed, and because clause
+			// indices ascend, every proof core retains it as its first i
+			// elements.
+		default:
+			return nil, nil, ErrBudget
+		}
+	}
+	sub, err := f.SubFormula(ids)
+	if err != nil {
+		return nil, nil, err
+	}
+	seenVar := make(map[cnf.Var]struct{})
+	for _, id := range ids {
+		for _, l := range f.Clauses[id] {
+			seenVar[l.Var()] = struct{}{}
+		}
+	}
+	return &Extraction{
+		ClauseIDs:  ids,
+		Core:       sub,
+		NumClauses: len(ids),
+		NumVars:    len(seenVar),
+	}, stat, nil
+}

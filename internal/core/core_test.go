@@ -1,0 +1,262 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/cnf"
+	"satcheck/internal/gen"
+	"satcheck/internal/solver"
+	"satcheck/internal/testutil"
+)
+
+func TestExtractOnSatisfiable(t *testing.T) {
+	f := cnf.NewFormula(2)
+	f.AddClause(1, 2)
+	_, err := Extract(f, solver.Options{})
+	if !errors.Is(err, ErrSatisfiable) {
+		t.Errorf("err = %v, want ErrSatisfiable", err)
+	}
+}
+
+func TestExtractOnBudget(t *testing.T) {
+	ins := gen.Pigeonhole(6)
+	_, err := Extract(ins.F, solver.Options{MaxConflicts: 2})
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestExtractCoreIsUnsatAndMinimalShape(t *testing.T) {
+	// PHP core plus satisfiable padding: extraction must discard padding.
+	ins := gen.Pigeonhole(4)
+	f := ins.F
+	base := f.NumClauses()
+	for i := 1; i <= 8; i += 2 {
+		f.AddClause(f.NumVars+i, f.NumVars+i+1)
+	}
+	ext, err := Extract(f, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.NumClauses != len(ext.ClauseIDs) || ext.NumClauses != ext.Core.NumClauses() {
+		t.Error("inconsistent clause counts")
+	}
+	for _, id := range ext.ClauseIDs {
+		if id >= base {
+			t.Errorf("core contains padding clause %d", id)
+		}
+	}
+	if sat, _ := testutil.BruteForceSat(ext.Core); sat {
+		t.Error("core is satisfiable")
+	}
+	if ext.Check == nil || ext.Check.CoreClauses == nil {
+		t.Error("extraction must carry the checker result")
+	}
+}
+
+func TestIterateConverges(t *testing.T) {
+	// Scheduling has a tiny core (the clique); iteration should find it and
+	// reach a fixed point quickly.
+	ins := gen.Scheduling(12, 3, 8, 5)
+	res, err := Iterate(ins.F, 30, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) == 0 {
+		t.Fatal("no iterations recorded")
+	}
+	// Core sizes must be non-increasing.
+	for i := 1; i < len(res.Stats); i++ {
+		if res.Stats[i].NumClauses > res.Stats[i-1].NumClauses {
+			t.Errorf("core grew at iteration %d: %d -> %d",
+				i+1, res.Stats[i-1].NumClauses, res.Stats[i].NumClauses)
+		}
+	}
+	first, ok := res.First()
+	if !ok || first.Iteration != 1 {
+		t.Error("First() broken")
+	}
+	if first.NumClauses >= ins.F.NumClauses() {
+		t.Errorf("first core (%d) not smaller than input (%d)", first.NumClauses, ins.F.NumClauses())
+	}
+	// Final core references valid original clause IDs and is unsat.
+	sub, err := ins.F.SubFormula(res.ClauseIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat, _ := testutil.BruteForceSat(sub); sat {
+		t.Error("final core (mapped to original IDs) is satisfiable")
+	}
+	if res.Core.NumClauses() != len(res.ClauseIDs) {
+		t.Error("Core and ClauseIDs disagree")
+	}
+}
+
+func TestIterateFixedPointOnPHP(t *testing.T) {
+	// PHP needs every clause: fixed point at iteration 1.
+	ins := gen.Pigeonhole(4)
+	res, err := Iterate(ins.F, 30, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FixedPoint {
+		t.Error("PHP should hit a fixed point")
+	}
+	if res.Iterations != 1 {
+		t.Errorf("PHP fixed point at iteration %d, want 1", res.Iterations)
+	}
+	if len(res.ClauseIDs) != ins.F.NumClauses() {
+		t.Errorf("PHP core %d clauses, want all %d", len(res.ClauseIDs), ins.F.NumClauses())
+	}
+}
+
+func TestIterateRespectsMaxIter(t *testing.T) {
+	ins := gen.Scheduling(12, 3, 8, 5)
+	res, err := Iterate(ins.F, 1, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1 || len(res.Stats) != 1 {
+		t.Errorf("iterations = %d, want exactly 1", res.Iterations)
+	}
+	// maxIter <= 0 defaults to 30 (and converges long before).
+	res2, err := Iterate(ins.F, 0, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Iterations < 1 {
+		t.Error("default maxIter did not iterate")
+	}
+}
+
+func TestIterateMapsIDsThroughRounds(t *testing.T) {
+	// Put the contradiction at the END of the formula so ID mapping between
+	// rounds is exercised (sub-formula IDs differ from original IDs).
+	f := cnf.NewFormula(0)
+	for i := 1; i <= 10; i += 2 {
+		f.AddClause(i, i+1) // padding over vars 1..11
+	}
+	n := f.NumVars
+	f.AddClause(n + 1)
+	f.AddClause(-(n + 1), n+2)
+	f.AddClause(-(n + 2))
+	res, err := Iterate(f, 30, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Padding occupies clause IDs 0..4; the unit-chain contradiction is
+	// clauses 5, 6, 7.
+	want := map[int]bool{5: true, 6: true, 7: true}
+	for _, id := range res.ClauseIDs {
+		if !want[id] {
+			t.Errorf("final core contains unexpected original clause %d", id)
+		}
+	}
+	sub, err := f.SubFormula(res.ClauseIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat, _ := testutil.BruteForceSat(sub); sat {
+		t.Error("mapped core is satisfiable")
+	}
+}
+
+func TestFromCheckRequiresCore(t *testing.T) {
+	f := cnf.NewFormula(1)
+	f.AddClause(1)
+	f.AddClause(-1)
+	// A breadth-first result has no CoreClauses; FromCheck must refuse it.
+	if _, err := FromCheck(f, &checker.Result{}); err == nil {
+		t.Error("result without a core accepted")
+	}
+	// A depth-first-style result converts.
+	ext, err := FromCheck(f, &checker.Result{CoreClauses: []int{0, 1}, CoreVars: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.NumClauses != 2 || ext.NumVars != 1 {
+		t.Errorf("ext = %+v", ext)
+	}
+	// Out-of-range IDs propagate as errors.
+	if _, err := FromCheck(f, &checker.Result{CoreClauses: []int{9}}); err == nil {
+		t.Error("out-of-range core ID accepted")
+	}
+}
+
+func TestMinimalIsMUS(t *testing.T) {
+	// PHP(4,3) plus redundant extra clauses and padding: the MUS must be
+	// genuinely minimal — removing any single clause makes it satisfiable.
+	ins := gen.Pigeonhole(3)
+	f := ins.F
+	f.AddClause(1, 2, 3)                  // subsumed by pigeon 0's ALO clause
+	f.AddClause(f.NumVars+1, f.NumVars+2) // satisfiable padding
+	ext, stat, err := Minimal(f, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.Tested == 0 {
+		t.Error("no candidates tested")
+	}
+	if sat, _ := testutil.BruteForceSat(ext.Core); sat {
+		t.Fatal("MUS is satisfiable")
+	}
+	// Minimality: drop each clause in turn; result must be SAT.
+	for i := range ext.ClauseIDs {
+		sub := ext.Core.Clone()
+		sub.Clauses = append(sub.Clauses[:i:i], sub.Clauses[i+1:]...)
+		if sat, _ := testutil.BruteForceSat(sub); !sat {
+			t.Errorf("dropping MUS clause %d leaves an unsatisfiable formula — not minimal", i)
+		}
+	}
+	// For PHP every original clause is needed: the MUS is exactly PHP.
+	if ext.NumClauses != ins.F.NumClauses()-2 {
+		t.Errorf("MUS has %d clauses, want the %d PHP clauses", ext.NumClauses, ins.F.NumClauses()-2)
+	}
+}
+
+func TestMinimalOnContradictoryChain(t *testing.T) {
+	// Padding plus a 3-clause contradiction: the MUS is exactly those 3.
+	f := cnf.NewFormula(0)
+	for i := 1; i <= 9; i += 2 {
+		f.AddClause(i, i+1)
+	}
+	n := f.NumVars
+	f.AddClause(n + 1)
+	f.AddClause(-(n + 1), n+2)
+	f.AddClause(-(n + 2))
+	ext, _, err := Minimal(f, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.NumClauses != 3 {
+		t.Errorf("MUS has %d clauses, want 3", ext.NumClauses)
+	}
+}
+
+func TestMinimalOnSatisfiable(t *testing.T) {
+	f := cnf.NewFormula(1)
+	f.AddClause(1)
+	if _, _, err := Minimal(f, solver.Options{}); !errors.Is(err, ErrSatisfiable) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMinimalSmallerThanIterate(t *testing.T) {
+	// Scheduling cores stop shrinking at the fixed point; the MUS can be
+	// smaller (or at worst equal).
+	ins := gen.Scheduling(10, 3, 6, 4)
+	it, err := Iterate(ins.F, 30, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mus, _, err := Minimal(ins.F, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := it.Stats[len(it.Stats)-1]
+	if mus.NumClauses > last.NumClauses {
+		t.Errorf("MUS (%d clauses) larger than fixed-point core (%d)", mus.NumClauses, last.NumClauses)
+	}
+}

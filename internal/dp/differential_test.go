@@ -1,0 +1,50 @@
+package dp
+
+import (
+	"math/rand"
+	"testing"
+
+	"satcheck/internal/cnf"
+	"satcheck/internal/solver"
+	"satcheck/internal/testutil"
+)
+
+// TestDPAgreesWithCDCL differential-tests the two complete procedures
+// against each other on formulas larger than brute force comfortably
+// handles: any status disagreement means one of them is wrong.
+func TestDPAgreesWithCDCL(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	for trial := 0; trial < 300; trial++ {
+		nv := 10 + rng.Intn(6)
+		f := testutil.RandomFormula(rng, nv, 4*nv, 3)
+
+		d, err := New(f, Options{MaxClauses: 200000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dpStatus, dpModel, err := d.Solve()
+		if err != nil {
+			continue // space-out: no verdict to compare
+		}
+
+		c, err := solver.New(f, solver.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cdclStatus, err := c.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dpStatus != cdclStatus {
+			t.Fatalf("disagreement on %s: DP=%v CDCL=%v", cnf.DimacsString(f), dpStatus, cdclStatus)
+		}
+		if dpStatus == solver.StatusSat {
+			if bad, ok := cnf.VerifyModel(f, dpModel); !ok {
+				t.Fatalf("DP model fails clause %d of %s", bad, cnf.DimacsString(f))
+			}
+			if bad, ok := cnf.VerifyModel(f, c.Model()); !ok {
+				t.Fatalf("CDCL model fails clause %d of %s", bad, cnf.DimacsString(f))
+			}
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package faults injects the classes of solver bugs the paper's checker is
+// designed to catch ("quite a few submitted SAT solvers were found to be
+// buggy", §3). Each Mutation corrupts a recorded resolution trace the way a
+// specific implementation bug would — a missed resolution step, a wrong
+// antecedent, a bogus conflict claim — so tests and demos can verify that
+// every checker rejects the proof and reports a useful diagnostic.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"satcheck/internal/trace"
+)
+
+// Mutation is one fault-injection operator over an in-memory trace.
+type Mutation struct {
+	// Name identifies the fault class.
+	Name string
+	// Bug describes the solver bug this trace corruption models.
+	Bug string
+	// Apply corrupts a copy of the events, returning the corrupted events
+	// and whether the mutation was applicable to this trace.
+	Apply func(events []trace.Event, rng *rand.Rand) ([]trace.Event, bool)
+}
+
+// clone deep-copies events so mutations never alias the input trace.
+func clone(events []trace.Event) []trace.Event {
+	out := make([]trace.Event, len(events))
+	for i, ev := range events {
+		out[i] = ev
+		if ev.Sources != nil {
+			out[i].Sources = append([]int(nil), ev.Sources...)
+		}
+	}
+	return out
+}
+
+// pick returns the indices of events of the given kind.
+func pick(events []trace.Event, kind trace.Kind) []int {
+	var idx []int
+	for i, ev := range events {
+		if ev.Kind == kind {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// All returns the full mutation catalogue.
+func All() []Mutation {
+	return []Mutation{
+		{
+			Name: "drop-resolution-step",
+			Bug:  "conflict analysis forgets to record one antecedent it resolved with",
+			Apply: func(events []trace.Event, rng *rand.Rand) ([]trace.Event, bool) {
+				events = clone(events)
+				idx := pick(events, trace.KindLearned)
+				for _, tries := range rng.Perm(len(idx)) {
+					ev := &events[idx[tries]]
+					if len(ev.Sources) >= 3 {
+						k := 1 + rng.Intn(len(ev.Sources)-1)
+						ev.Sources = append(ev.Sources[:k], ev.Sources[k+1:]...)
+						return events, true
+					}
+				}
+				return nil, false
+			},
+		},
+		{
+			Name: "swap-resolution-order",
+			Bug:  "conflict analysis records antecedents out of resolution order",
+			Apply: func(events []trace.Event, rng *rand.Rand) ([]trace.Event, bool) {
+				events = clone(events)
+				idx := pick(events, trace.KindLearned)
+				for _, tries := range rng.Perm(len(idx)) {
+					ev := &events[idx[tries]]
+					if len(ev.Sources) >= 3 {
+						ev.Sources[0], ev.Sources[len(ev.Sources)-1] =
+							ev.Sources[len(ev.Sources)-1], ev.Sources[0]
+						return events, true
+					}
+				}
+				return nil, false
+			},
+		},
+		{
+			Name: "wrong-source-id",
+			Bug:  "clause ID bookkeeping is off by one when recording resolve sources",
+			Apply: func(events []trace.Event, rng *rand.Rand) ([]trace.Event, bool) {
+				events = clone(events)
+				idx := pick(events, trace.KindLearned)
+				if len(idx) == 0 {
+					return nil, false
+				}
+				ev := &events[idx[rng.Intn(len(idx))]]
+				k := rng.Intn(len(ev.Sources))
+				if ev.Sources[k] == 0 {
+					ev.Sources[k]++
+				} else {
+					ev.Sources[k]--
+				}
+				return events, true
+			},
+		},
+		{
+			Name: "drop-learned-clause",
+			Bug:  "a learned clause is added to the database without being traced",
+			Apply: func(events []trace.Event, rng *rand.Rand) ([]trace.Event, bool) {
+				events = clone(events)
+				idx := pick(events, trace.KindLearned)
+				if len(idx) < 2 {
+					return nil, false
+				}
+				// Drop one learned record (not the last: its ID gap is then
+				// guaranteed to be observed by the consecutive-ID check or a
+				// dangling reference).
+				k := idx[rng.Intn(len(idx)-1)]
+				return append(events[:k], events[k+1:]...), true
+			},
+		},
+		{
+			Name: "wrong-antecedent",
+			Bug:  "the level-0 stage records the wrong antecedent clause for a variable",
+			Apply: func(events []trace.Event, rng *rand.Rand) ([]trace.Event, bool) {
+				events = clone(events)
+				idx := pick(events, trace.KindLevelZero)
+				if len(idx) == 0 {
+					return nil, false
+				}
+				ev := &events[idx[rng.Intn(len(idx))]]
+				if ev.Ante == 0 {
+					ev.Ante++
+				} else {
+					ev.Ante--
+				}
+				return events, true
+			},
+		},
+		{
+			Name: "flip-level0-value",
+			Bug:  "the level-0 stage records a variable with the wrong polarity",
+			Apply: func(events []trace.Event, rng *rand.Rand) ([]trace.Event, bool) {
+				events = clone(events)
+				idx := pick(events, trace.KindLevelZero)
+				if len(idx) == 0 {
+					return nil, false
+				}
+				ev := &events[idx[rng.Intn(len(idx))]]
+				ev.Value = !ev.Value
+				return events, true
+			},
+		},
+		{
+			Name: "bogus-final-conflict",
+			Bug:  "the solver reports a clause that is not actually conflicting at level 0",
+			Apply: func(events []trace.Event, rng *rand.Rand) ([]trace.Event, bool) {
+				events = clone(events)
+				idx := pick(events, trace.KindFinalConflict)
+				if len(idx) == 0 {
+					return nil, false
+				}
+				ev := &events[idx[0]]
+				if ev.ID == 0 {
+					ev.ID++
+				} else {
+					ev.ID--
+				}
+				return events, true
+			},
+		},
+		{
+			Name: "truncated-trace",
+			Bug:  "the solver crashes (or buffers are lost) before the final conflict is written",
+			Apply: func(events []trace.Event, rng *rand.Rand) ([]trace.Event, bool) {
+				events = clone(events)
+				idx := pick(events, trace.KindFinalConflict)
+				if len(idx) == 0 {
+					return nil, false
+				}
+				k := idx[0]
+				return append(events[:k], events[k+1:]...), true
+			},
+		},
+		{
+			Name: "sourceless-learned-clause",
+			Bug:  "a learned clause is traced with an empty resolve-source list",
+			Apply: func(events []trace.Event, rng *rand.Rand) ([]trace.Event, bool) {
+				events = clone(events)
+				idx := pick(events, trace.KindLearned)
+				if len(idx) == 0 {
+					return nil, false
+				}
+				events[idx[rng.Intn(len(idx))]].Sources = nil
+				return events, true
+			},
+		},
+	}
+}
+
+// Inject applies the mutation to a recorded trace, returning a corrupted
+// MemoryTrace, or ok=false when the mutation does not apply (e.g. no learned
+// clause has enough sources).
+func Inject(m Mutation, tr *trace.MemoryTrace, seed int64) (*trace.MemoryTrace, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	events, ok := m.Apply(tr.Events, rng)
+	if !ok {
+		return nil, false
+	}
+	return &trace.MemoryTrace{Events: events}, true
+}
+
+// ByName returns the named mutation.
+func ByName(name string) (Mutation, error) {
+	for _, m := range All() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mutation{}, fmt.Errorf("faults: unknown mutation %q", name)
+}

@@ -1,0 +1,175 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/cnf"
+	"satcheck/internal/solver"
+	"satcheck/internal/trace"
+)
+
+func php(holes int) *cnf.Formula {
+	pigeons := holes + 1
+	f := cnf.NewFormula(pigeons * holes)
+	v := func(p, h int) int { return p*holes + h + 1 }
+	for p := 0; p < pigeons; p++ {
+		cl := make([]int, holes)
+		for h := range cl {
+			cl[h] = v(p, h)
+		}
+		f.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				f.AddClause(-v(p1, h), -v(p2, h))
+			}
+		}
+	}
+	return f
+}
+
+func solveTrace(t *testing.T, f *cnf.Formula) *trace.MemoryTrace {
+	t.Helper()
+	s, err := solver.New(f, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := &trace.MemoryTrace{}
+	s.SetTrace(mt)
+	st, err := s.Solve()
+	if err != nil || st != solver.StatusUnsat {
+		t.Fatalf("st=%v err=%v", st, err)
+	}
+	return mt
+}
+
+// TestEveryMutationApplies ensures the catalogue is exercised by a real
+// trace (a mutation that never applies is dead weight).
+func TestEveryMutationApplies(t *testing.T) {
+	mt := solveTrace(t, php(5))
+	for _, m := range All() {
+		if _, ok := Inject(m, mt, 1); !ok {
+			t.Errorf("mutation %s did not apply to a PHP trace", m.Name)
+		}
+	}
+}
+
+// TestMutationsDoNotAliasInput verifies injection never corrupts the
+// original trace.
+func TestMutationsDoNotAliasInput(t *testing.T) {
+	f := php(4)
+	mt := solveTrace(t, f)
+	for _, m := range All() {
+		if _, ok := Inject(m, mt, 3); !ok {
+			continue
+		}
+		// The pristine trace must still verify after each injection.
+		if _, err := checker.BreadthFirst(f, mt, checker.Options{}); err != nil {
+			t.Fatalf("mutation %s corrupted the original trace: %v", m.Name, err)
+		}
+	}
+}
+
+// TestBreadthFirstCatchesMutations: the breadth-first checker validates
+// every learned clause, so across a handful of seeds each fault class must
+// be detected on at least one injection, and most injections must be
+// rejected. (A mutation can occasionally leave behind a different-but-valid
+// resolution proof; the claim being checked is unsatisfiability, not
+// bit-exactness of the solver's internal derivation.)
+func TestBreadthFirstCatchesMutations(t *testing.T) {
+	f := php(5)
+	mt := solveTrace(t, f)
+	for _, m := range All() {
+		applied, rejected := 0, 0
+		for seed := int64(0); seed < 8; seed++ {
+			bad, ok := Inject(m, mt, seed)
+			if !ok {
+				continue
+			}
+			applied++
+			if _, err := checker.BreadthFirst(f, bad, checker.Options{}); err != nil {
+				rejected++
+				var ce *checker.CheckError
+				if !errors.As(err, &ce) {
+					t.Errorf("%s: rejection is not a structured CheckError: %v", m.Name, err)
+				}
+			}
+		}
+		if applied == 0 {
+			t.Errorf("%s: never applied", m.Name)
+			continue
+		}
+		if rejected == 0 {
+			t.Errorf("%s: breadth-first accepted all %d injected traces", m.Name, applied)
+		}
+	}
+}
+
+// TestStructuralMutationsAlwaysRejected: fault classes that break the trace
+// structure itself can never be mistaken for a valid proof, by any checker.
+func TestStructuralMutationsAlwaysRejected(t *testing.T) {
+	f := php(5)
+	mt := solveTrace(t, f)
+	structural := []string{"truncated-trace", "sourceless-learned-clause", "drop-learned-clause"}
+	checkers := map[string]func(*cnf.Formula, trace.Source, checker.Options) (*checker.Result, error){
+		"depth-first":   checker.DepthFirst,
+		"breadth-first": checker.BreadthFirst,
+		"hybrid":        checker.Hybrid,
+	}
+	for _, name := range structural {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 5; seed++ {
+			bad, ok := Inject(m, mt, seed)
+			if !ok {
+				continue
+			}
+			for cname, check := range checkers {
+				if _, err := check(f, bad, checker.Options{}); err == nil {
+					t.Errorf("%s: %s accepted structurally corrupt trace (seed %d)", name, cname, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestDiagnosticsNameTheFaultSite: rejections should point at a concrete
+// clause, which is what makes the checker useful for debugging solvers.
+func TestDiagnosticsNameTheFaultSite(t *testing.T) {
+	f := php(5)
+	mt := solveTrace(t, f)
+	m, err := ByName("drop-resolution-step")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for seed := int64(0); seed < 8 && !found; seed++ {
+		bad, ok := Inject(m, mt, seed)
+		if !ok {
+			continue
+		}
+		_, cerr := checker.BreadthFirst(f, bad, checker.Options{})
+		var ce *checker.CheckError
+		if errors.As(cerr, &ce) && ce.ClauseID >= 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no rejection carried a clause ID diagnostic")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("no-such-fault"); err == nil {
+		t.Error("unknown name accepted")
+	}
+	m, err := ByName("wrong-antecedent")
+	if err != nil || m.Name != "wrong-antecedent" {
+		t.Errorf("ByName: %v %v", m.Name, err)
+	}
+}

@@ -1,0 +1,225 @@
+package gen
+
+import (
+	"fmt"
+
+	"satcheck/internal/circuit"
+	"satcheck/internal/cnf"
+)
+
+// miterInstance encodes an equivalence miter and asserts the difference
+// signal, yielding a formula that is UNSAT iff the circuits are equivalent.
+func miterInstance(name, domain, analog string, a, b *circuit.Circuit) Instance {
+	m, diff, err := circuit.Miter(a, b)
+	if err != nil {
+		panic(fmt.Sprintf("gen: %s: %v", name, err))
+	}
+	enc := circuit.Encode(m)
+	enc.Assert(diff, true)
+	return Instance{Name: name, Domain: domain, Analog: analog, F: enc.F, ExpectUnsat: true}
+}
+
+// CECAdder returns the combinational-equivalence instance for two
+// structurally different width-bit adders (ripple vs carry-select), the
+// stand-in for the paper's c5135/c7225 CEC benchmarks.
+func CECAdder(width int) Instance {
+	build := func(sel bool) *circuit.Circuit {
+		c := circuit.New()
+		a := c.InputBus("a", width)
+		b := c.InputBus("b", width)
+		cin := c.Input("cin")
+		var sum []circuit.Signal
+		var cout circuit.Signal
+		if sel {
+			sum, cout = c.CarrySelectAdder(a, b, cin)
+		} else {
+			sum, cout = c.RippleAdder(a, b, cin)
+		}
+		for _, s := range sum {
+			c.MarkOutput(s)
+		}
+		c.MarkOutput(cout)
+		return c
+	}
+	return miterInstance(fmt.Sprintf("cec-adder-%d", width),
+		"combinational equivalence checking", "c5135/c7225",
+		build(false), build(true))
+}
+
+// CECMultiplier returns the equivalence miter of two structurally different
+// width-bit multipliers (array vs shift-add). Multiplier equivalence is the
+// classic resolution-hard CEC workload (the longmult phenomenon).
+func CECMultiplier(width int) Instance {
+	array := circuit.New()
+	{
+		a := array.InputBus("a", width)
+		b := array.InputBus("b", width)
+		for _, s := range array.ArrayMultiplier(a, b) {
+			array.MarkOutput(s)
+		}
+	}
+	shift := circuit.New()
+	{
+		a := shift.InputBus("a", width)
+		b := shift.InputBus("b", width)
+		for _, s := range shift.ShiftAddMultiplier(a, b) {
+			shift.MarkOutput(s)
+		}
+	}
+	return miterInstance(fmt.Sprintf("cec-mult-%d", width),
+		"combinational equivalence checking (XOR-heavy)", "longmult/c7225",
+		array, shift)
+}
+
+// CECParity returns the equivalence miter of a balanced parity tree against
+// a linear parity chain over width inputs.
+func CECParity(width int) Instance {
+	tree := circuit.New()
+	tree.MarkOutput(tree.ParityTree(tree.InputBus("x", width)))
+	chain := circuit.New()
+	chain.MarkOutput(chain.ParityChain(chain.InputBus("x", width)))
+	return miterInstance(fmt.Sprintf("cec-parity-%d", width),
+		"combinational equivalence checking (XOR-heavy)", "longmult",
+		tree, chain)
+}
+
+// aluCircuit builds a small ALU: op selects among ADD, SUB, AND, OR, XOR on
+// two width-bit operands. The variant changes the implementation structure
+// (shared adder with two's-complement subtraction and late op muxing vs
+// dedicated datapaths), not the function.
+func aluCircuit(width int, variant bool) *circuit.Circuit {
+	c := circuit.New()
+	a := c.InputBus("a", width)
+	b := c.InputBus("b", width)
+	op := c.InputBus("op", 3) // one-hot-ish select via mux cascade on 3 bits
+	notB := make([]circuit.Signal, width)
+	for i := range b {
+		notB[i] = c.Not(b[i])
+	}
+
+	var add, sub []circuit.Signal
+	if variant {
+		// Shared adder: a + (b XOR sub) + sub, computed with the ripple
+		// adder and a muxed operand.
+		sum0, _ := c.RippleAdder(a, b, c.Const(false))
+		sum1, _ := c.RippleAdder(a, notB, c.Const(true))
+		add, sub = sum0, sum1
+	} else {
+		add, _ = c.CarrySelectAdder(a, b, c.Const(false))
+		sub, _ = c.CarrySelectAdder(a, notB, c.Const(true))
+	}
+
+	andv := make([]circuit.Signal, width)
+	orv := make([]circuit.Signal, width)
+	xorv := make([]circuit.Signal, width)
+	for i := 0; i < width; i++ {
+		andv[i] = c.And(a[i], b[i])
+		orv[i] = c.Or(a[i], b[i])
+		xorv[i] = c.Xor(a[i], b[i])
+	}
+	// Result mux: op[2] ? (op[0] ? xor : or) : (op[1] ? (op[0] ? sub : add) : and)
+	for i := 0; i < width; i++ {
+		logicSel := c.Mux(op[0], xorv[i], orv[i])
+		arithSel := c.Mux(op[0], sub[i], add[i])
+		lower := c.Mux(op[1], arithSel, andv[i])
+		c.MarkOutput(c.Mux(op[2], logicSel, lower))
+	}
+	return c
+}
+
+// PipelineALU returns the microprocessor-verification stand-in: an
+// equivalence miter between two structurally different ALU datapaths, the
+// flavor of formula Velev's 2dlx/pipe/vliw suites reduce to.
+func PipelineALU(width int) Instance {
+	return miterInstance(fmt.Sprintf("alu-miter-%d", width),
+		"microprocessor verification", "2dlx/5pipe/9vliw",
+		aluCircuit(width, false), aluCircuit(width, true))
+}
+
+// BMCCounter returns a bounded-model-checking instance: a bits-wide binary
+// counter starting at 0 that increments only when a free per-step enable
+// input is high, with bad state "counter == steps+1". Within `steps`
+// transitions the counter can reach at most `steps`, so the bad state is
+// unreachable and the CNF is UNSAT — but proving it requires reasoning about
+// every enable pattern, not just propagation (the barrel BMC shape).
+func BMCCounter(bits, steps int) Instance {
+	target := uint64(steps + 1)
+	if bits < 64 && target >= uint64(1)<<uint(bits) {
+		panic("gen: BMCCounter target does not fit the counter width")
+	}
+	comb := circuit.New()
+	q := comb.InputBus("q", bits)
+	en := comb.Input("en")
+	next := comb.AddBit(q, en)
+	bad := comb.EqualBus(q, comb.ConstBus(target, bits))
+	regs := make([]circuit.Register, bits)
+	for i := range regs {
+		regs[i] = circuit.Register{Q: q[i], D: next[i], Init: false}
+	}
+	seq := &circuit.Sequential{Comb: comb, Registers: regs, Bad: bad}
+	unrolled, bads, err := seq.Unroll(steps)
+	if err != nil {
+		panic(fmt.Sprintf("gen: BMCCounter: %v", err))
+	}
+	enc := circuit.Encode(unrolled)
+	enc.AssertAny(bads, true)
+	return Instance{
+		Name:        fmt.Sprintf("bmc-counter-%db-%ds", bits, steps),
+		Domain:      "bounded model checking",
+		Analog:      "barrel",
+		F:           enc.F,
+		ExpectUnsat: true,
+	}
+}
+
+// BMCShiftRegister returns a BMC instance over a width-bit ring shifter
+// seeded with a single 1 that rotates left or right under a free per-step
+// direction input: the bad state has two adjacent 1s, which rotation in
+// either direction can never create from a one-hot state. Unrolled `steps`
+// frames; always UNSAT, and the free directions force genuine case
+// reasoning.
+func BMCShiftRegister(width, steps int) Instance {
+	comb := circuit.New()
+	q := comb.InputBus("q", width)
+	dir := comb.Input("dir")
+	next := make([]circuit.Signal, width)
+	for i := range next {
+		left := q[(i+width-1)%width]
+		right := q[(i+1)%width]
+		next[i] = comb.Mux(dir, left, right)
+	}
+	pairs := make([]circuit.Signal, width)
+	for i := range pairs {
+		pairs[i] = comb.And(q[i], q[(i+1)%width])
+	}
+	bad := comb.Or(pairs...)
+	regs := make([]circuit.Register, width)
+	for i := range regs {
+		regs[i] = circuit.Register{Q: q[i], D: next[i], Init: i == 0}
+	}
+	seq := &circuit.Sequential{Comb: comb, Registers: regs, Bad: bad}
+	unrolled, bads, err := seq.Unroll(steps)
+	if err != nil {
+		panic(fmt.Sprintf("gen: BMCShiftRegister: %v", err))
+	}
+	enc := circuit.Encode(unrolled)
+	enc.AssertAny(bads, true)
+	return Instance{
+		Name:        fmt.Sprintf("bmc-shift-%dw-%ds", width, steps),
+		Domain:      "bounded model checking",
+		Analog:      "barrel",
+		F:           enc.F,
+		ExpectUnsat: true,
+	}
+}
+
+// exactlyOne adds clauses forcing exactly one of the (1-based DIMACS)
+// variables true: one at-least-one clause plus pairwise at-most-one.
+func exactlyOne(f *cnf.Formula, vars []int) {
+	f.AddClause(vars...)
+	for i := 0; i < len(vars); i++ {
+		for j := i + 1; j < len(vars); j++ {
+			f.AddClause(-vars[i], -vars[j])
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package gen generates the CNF benchmark families used to reproduce the
+// paper's evaluation. The paper measured proprietary industrial instances
+// (Velev microprocessor-verification suites, BMC unrollings, FPGA routing,
+// combinational equivalence miters, AI planning); this package provides
+// synthetic stand-ins from the same problem domains, built on the circuit
+// substrate, so every code path and proof shape of the original evaluation
+// is exercised. See DESIGN.md §3 for the substitution table.
+//
+// Every generator is deterministic (seeded where randomized) and returns an
+// Instance carrying provenance for the experiment reports.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"satcheck/internal/cnf"
+)
+
+// Instance is one generated benchmark.
+type Instance struct {
+	// Name identifies the instance in reports ("php-8", "cec-mult-5", ...).
+	Name string
+	// Domain is the application area the instance stands in for.
+	Domain string
+	// Analog names the paper benchmark this instance substitutes, if any.
+	Analog string
+	// F is the formula.
+	F *cnf.Formula
+	// ExpectUnsat records the constructed-by-design status. Random instances
+	// at high clause/variable ratio are unsatisfiable only with high
+	// probability; RandomKSAT sets ExpectUnsat accordingly and callers must
+	// verify.
+	ExpectUnsat bool
+	// Hardest marks the suite rows standing in for the paper's 6pipe/7pipe:
+	// the proofs that exceed the depth-first checker's memory budget and are
+	// therefore excluded from the core-iteration table, as in the paper.
+	Hardest bool
+}
+
+func (ins Instance) String() string {
+	return fmt.Sprintf("%s (%s): %d vars, %d clauses", ins.Name, ins.Domain, ins.F.NumVars, ins.F.NumClauses())
+}
+
+// Pigeonhole returns PHP(holes+1, holes): holes+1 pigeons into holes holes.
+// Provably unsatisfiable and provably exponential for resolution — the
+// control family for long proofs.
+func Pigeonhole(holes int) Instance {
+	pigeons := holes + 1
+	f := cnf.NewFormula(pigeons * holes)
+	v := func(p, h int) int { return p*holes + h + 1 } // 0-based p,h
+	// Every pigeon sits somewhere.
+	for p := 0; p < pigeons; p++ {
+		cl := make([]int, holes)
+		for h := 0; h < holes; h++ {
+			cl[h] = v(p, h)
+		}
+		f.AddClause(cl...)
+	}
+	// No two pigeons share a hole.
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				f.AddClause(-v(p1, h), -v(p2, h))
+			}
+		}
+	}
+	return Instance{
+		Name:        fmt.Sprintf("php-%d", holes),
+		Domain:      "combinatorial control",
+		F:           f,
+		ExpectUnsat: true,
+	}
+}
+
+// TseitinCharge returns an unsatisfiable Tseitin parity formula over a
+// random 3-regular multigraph on n vertices with odd total charge. XOR-heavy
+// instances like these are the paper's longmult case: "xor gates often
+// require long proofs by resolution".
+func TseitinCharge(n int, seed int64) Instance {
+	if n%2 == 1 {
+		n++ // 3-regular graphs need an even vertex count
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Build a random 3-regular multigraph: three perfect matchings.
+	edges := make([][2]int, 0, 3*n/2)
+	for m := 0; m < 3; m++ {
+		perm := rng.Perm(n)
+		for i := 0; i+1 < n; i += 2 {
+			edges = append(edges, [2]int{perm[i], perm[i+1]})
+		}
+	}
+	incident := make([][]int, n) // vertex -> edge variable indices (1-based)
+	for ei, e := range edges {
+		incident[e[0]] = append(incident[e[0]], ei+1)
+		incident[e[1]] = append(incident[e[1]], ei+1)
+	}
+	f := cnf.NewFormula(len(edges))
+	// Vertex 0 gets charge 1, the rest charge 0: total charge odd => UNSAT.
+	for vtx := 0; vtx < n; vtx++ {
+		charge := vtx == 0
+		addParityClauses(f, incident[vtx], charge)
+	}
+	return Instance{
+		Name:        fmt.Sprintf("tseitin-%d-s%d", n, seed),
+		Domain:      "bounded model checking (XOR-heavy)",
+		Analog:      "longmult",
+		F:           f,
+		ExpectUnsat: true,
+	}
+}
+
+// addParityClauses adds CNF clauses asserting XOR(vars) = charge
+// (2^(len-1) clauses; callers keep len small).
+func addParityClauses(f *cnf.Formula, vars []int, charge bool) {
+	n := len(vars)
+	if n == 0 {
+		if charge {
+			// XOR of nothing is 0; requiring 1 is an immediate contradiction.
+			f.Add(cnf.Clause{})
+		}
+		return
+	}
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		// Forbid every assignment with the wrong parity: assignment a is
+		// excluded by the clause OR_i (lit_i != a_i).
+		parity := false
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				parity = !parity
+			}
+		}
+		if parity == charge {
+			continue
+		}
+		cl := make([]int, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				cl[i] = -vars[i]
+			} else {
+				cl[i] = vars[i]
+			}
+		}
+		f.AddClause(cl...)
+	}
+}
+
+// RandomKSAT returns a uniformly random k-SAT instance with the given
+// clause/variable ratio. At ratio well above the phase transition
+// (~4.27 for 3-SAT) the instance is unsatisfiable with high probability;
+// callers must still verify, so ExpectUnsat is set only for ratios >= 5.
+func RandomKSAT(vars, k int, ratio float64, seed int64) Instance {
+	rng := rand.New(rand.NewSource(seed))
+	numClauses := int(float64(vars) * ratio)
+	f := cnf.NewFormula(vars)
+	lits := make([]int, k)
+	for i := 0; i < numClauses; i++ {
+		seen := map[int]bool{}
+		for j := 0; j < k; {
+			v := rng.Intn(vars) + 1
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			if rng.Intn(2) == 0 {
+				lits[j] = v
+			} else {
+				lits[j] = -v
+			}
+			j++
+		}
+		f.AddClause(lits...)
+	}
+	return Instance{
+		Name:        fmt.Sprintf("rand%d-v%d-r%.1f-s%d", k, vars, ratio, seed),
+		Domain:      "random",
+		F:           f,
+		ExpectUnsat: k == 3 && ratio >= 5,
+	}
+}

@@ -1,0 +1,356 @@
+package gen
+
+import (
+	"testing"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/cnf"
+	"satcheck/internal/solver"
+	"satcheck/internal/testutil"
+	tracepkg "satcheck/internal/trace"
+)
+
+// decide solves with the CDCL solver (instances here are too big for brute
+// force but tiny for CDCL).
+func decide(t *testing.T, f *cnf.Formula) solver.Status {
+	t.Helper()
+	s, err := solver.New(f, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestPigeonholeStructure(t *testing.T) {
+	ins := Pigeonhole(3)
+	// 4 pigeons * 3 holes vars; 4 ALO clauses + 3 * C(4,2)=6 pairs = 22.
+	if ins.F.NumVars != 12 {
+		t.Errorf("vars = %d, want 12", ins.F.NumVars)
+	}
+	if got := ins.F.NumClauses(); got != 4+3*6 {
+		t.Errorf("clauses = %d, want 22", got)
+	}
+	if !ins.ExpectUnsat {
+		t.Error("PHP must be marked unsat")
+	}
+	if sat, _ := testutil.BruteForceSat(ins.F); sat {
+		t.Error("PHP(4,3) is satisfiable?!")
+	}
+}
+
+func TestPigeonholeSatisfiableSibling(t *testing.T) {
+	// Sanity check of the encoding: same construction with pigeons == holes
+	// (drop pigeon 0's clauses... easiest: n pigeons in n holes directly).
+	holes := 3
+	f := cnf.NewFormula(holes * holes)
+	v := func(p, h int) int { return p*holes + h + 1 }
+	for p := 0; p < holes; p++ {
+		cl := make([]int, holes)
+		for h := range cl {
+			cl[h] = v(p, h)
+		}
+		f.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < holes; p1++ {
+			for p2 := p1 + 1; p2 < holes; p2++ {
+				f.AddClause(-v(p1, h), -v(p2, h))
+			}
+		}
+	}
+	if sat, _ := testutil.BruteForceSat(f); !sat {
+		t.Error("PHP(3,3) should be satisfiable")
+	}
+}
+
+func TestTseitinChargeUnsat(t *testing.T) {
+	ins := TseitinCharge(8, 5)
+	if sat, _ := testutil.BruteForceSat(ins.F); sat {
+		t.Error("odd-charge Tseitin formula is satisfiable?!")
+	}
+	// Even-vertex normalization.
+	odd := TseitinCharge(7, 5)
+	if odd.F.NumVars != TseitinCharge(8, 5).F.NumVars {
+		t.Error("odd n must round up to even vertex count")
+	}
+}
+
+func TestTseitinDeterministic(t *testing.T) {
+	a := TseitinCharge(12, 9)
+	b := TseitinCharge(12, 9)
+	if cnf.DimacsString(a.F) != cnf.DimacsString(b.F) {
+		t.Error("same seed must generate identical instances")
+	}
+	c := TseitinCharge(12, 10)
+	if cnf.DimacsString(a.F) == cnf.DimacsString(c.F) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestParityClausesHelper(t *testing.T) {
+	// XOR(v1,v2) = 1 has models exactly where parities differ.
+	f := cnf.NewFormula(2)
+	addParityClauses(f, []int{1, 2}, true)
+	count := 0
+	m := cnf.NewAssignment(2)
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			m.Set(1, boolToValue(a == 1))
+			m.Set(2, boolToValue(b == 1))
+			if f.Eval(m) == cnf.True {
+				count++
+				if (a ^ b) != 1 {
+					t.Errorf("model %d,%d has even parity", a, b)
+				}
+			}
+		}
+	}
+	if count != 2 {
+		t.Errorf("XOR=1 has %d models, want 2", count)
+	}
+	// Empty support with charge 1 is an immediate contradiction.
+	g := cnf.NewFormula(0)
+	addParityClauses(g, nil, true)
+	if g.NumClauses() != 1 || len(g.Clauses[0]) != 0 {
+		t.Error("empty odd parity must add the empty clause")
+	}
+	// Empty support with charge 0 adds nothing.
+	h := cnf.NewFormula(0)
+	addParityClauses(h, nil, false)
+	if h.NumClauses() != 0 {
+		t.Error("empty even parity must add nothing")
+	}
+}
+
+func boolToValue(b bool) cnf.Value {
+	if b {
+		return cnf.True
+	}
+	return cnf.False
+}
+
+func TestRandomKSATShape(t *testing.T) {
+	ins := RandomKSAT(20, 3, 5.0, 123)
+	if ins.F.NumVars != 20 {
+		t.Errorf("vars = %d", ins.F.NumVars)
+	}
+	if ins.F.NumClauses() != 100 {
+		t.Errorf("clauses = %d, want 100", ins.F.NumClauses())
+	}
+	for i, c := range ins.F.Clauses {
+		if len(c) != 3 {
+			t.Fatalf("clause %d has %d literals", i, len(c))
+		}
+		seen := map[cnf.Var]bool{}
+		for _, l := range c {
+			if seen[l.Var()] {
+				t.Fatalf("clause %d repeats variable %d", i, l.Var())
+			}
+			seen[l.Var()] = true
+		}
+	}
+	if !ins.ExpectUnsat {
+		t.Error("ratio-5 random 3-SAT should be flagged expect-unsat")
+	}
+	if RandomKSAT(20, 3, 2.0, 1).ExpectUnsat {
+		t.Error("low-ratio random 3-SAT must not be flagged unsat")
+	}
+}
+
+func TestRandomKSATVerifiedUnsat(t *testing.T) {
+	ins := RandomKSAT(30, 3, 5.5, 42)
+	if st := decide(t, ins.F); st != solver.StatusUnsat {
+		t.Errorf("seed 42 at ratio 5.5: %v (pick another seed if generator changed)", st)
+	}
+}
+
+func TestEDAFamiliesUnsat(t *testing.T) {
+	// Every constructed-unsat family, small sizes, decided by the solver.
+	instances := []Instance{
+		CECAdder(4),
+		CECMultiplier(2),
+		CECParity(5),
+		PipelineALU(3),
+		BMCCounter(3, 5),
+		BMCShiftRegister(4, 5),
+		FPGARouting(8, 3, 4, 2),
+		Scheduling(10, 3, 6, 2),
+		Pigeonhole(4),
+		TseitinCharge(10, 1),
+	}
+	for _, ins := range instances {
+		if !ins.ExpectUnsat {
+			t.Errorf("%s not marked unsat", ins.Name)
+			continue
+		}
+		if err := ins.F.Validate(); err != nil {
+			t.Errorf("%s: invalid formula: %v", ins.Name, err)
+			continue
+		}
+		if st := decide(t, ins.F); st != solver.StatusUnsat {
+			t.Errorf("%s: expected UNSAT, got %v", ins.Name, st)
+		}
+	}
+}
+
+func TestEDASatisfiableSiblings(t *testing.T) {
+	// The same generators with a feasible configuration must be SAT —
+	// guards against encodings that are accidentally contradictory.
+	// Routing with enough tracks:
+	feasible := routingFeasible(8, 9, 4, 2)
+	if st := decide(t, feasible); st != solver.StatusSat {
+		t.Errorf("feasible routing: %v", st)
+	}
+	// Scheduling without the clique (slots >= clique-1):
+	sched := schedulingFeasible(10, 4, 6, 2)
+	if st := decide(t, sched); st != solver.StatusSat {
+		t.Errorf("feasible scheduling: %v", st)
+	}
+}
+
+// routingFeasible builds a routing encoding with no conflicting channels:
+// every net exactly-one track, trivially satisfiable, exercising the same
+// clause shapes as FPGARouting.
+func routingFeasible(nets, tracks, channels int, seed int64) *cnf.Formula {
+	f := cnf.NewFormula(nets * tracks)
+	v := func(n, t int) int { return n*tracks + t + 1 }
+	for n := 0; n < nets; n++ {
+		vars := make([]int, tracks)
+		for t := 0; t < tracks; t++ {
+			vars[t] = v(n, t)
+		}
+		exactlyOne(f, vars)
+	}
+	return f
+}
+
+func schedulingFeasible(jobs, slots, extra int, seed int64) *cnf.Formula {
+	f := cnf.NewFormula(jobs * slots)
+	v := func(j, s int) int { return j*slots + s + 1 }
+	for j := 0; j < jobs; j++ {
+		vars := make([]int, slots)
+		for s := 0; s < slots; s++ {
+			vars[s] = v(j, s)
+		}
+		exactlyOne(f, vars)
+	}
+	return f
+}
+
+func TestSuiteShapes(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 12 {
+		t.Errorf("Suite has %d rows, want 12 like the paper", len(suite))
+	}
+	hardest := 0
+	for _, ins := range suite {
+		if ins.Analog == "" {
+			t.Errorf("%s: suite instances must name their paper analog", ins.Name)
+		}
+		if ins.Hardest {
+			hardest++
+		}
+		if err := ins.F.Validate(); err != nil {
+			t.Errorf("%s: %v", ins.Name, err)
+		}
+	}
+	if hardest != 3 {
+		t.Errorf("suite flags %d hardest rows, want 3 (pipe-machine + 6pipe/7pipe analogs)", hardest)
+	}
+	quick := SuiteQuick()
+	if len(quick) < 8 {
+		t.Errorf("quick suite too small: %d", len(quick))
+	}
+}
+
+func TestInstanceString(t *testing.T) {
+	s := Pigeonhole(3).String()
+	if s == "" || !contains(s, "php-3") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestExactlyOne(t *testing.T) {
+	f := cnf.NewFormula(3)
+	exactlyOne(f, []int{1, 2, 3})
+	m := cnf.NewAssignment(3)
+	models := 0
+	for mask := 0; mask < 8; mask++ {
+		for v := 1; v <= 3; v++ {
+			m.Set(cnf.Var(v), boolToValue(mask&(1<<uint(v-1)) != 0))
+		}
+		if f.Eval(m) == cnf.True {
+			models++
+			ones := 0
+			for v := 1; v <= 3; v++ {
+				if m.Value(cnf.Var(v)) == cnf.True {
+					ones++
+				}
+			}
+			if ones != 1 {
+				t.Errorf("model with %d ones", ones)
+			}
+		}
+	}
+	if models != 3 {
+		t.Errorf("exactly-one over 3 vars has %d models, want 3", models)
+	}
+}
+
+func TestPipelineMachine(t *testing.T) {
+	// Correct pipeline: equivalence instance is UNSAT.
+	ins := PipelineMachine(2, 2)
+	if !ins.ExpectUnsat {
+		t.Error("pipeline machine must be marked unsat")
+	}
+	if st := decide(t, ins.F); st != solver.StatusUnsat {
+		t.Errorf("correct pipeline: %v", st)
+	}
+	// Buggy pipeline (no forwarding): SAT, and the model is a concrete
+	// hazard-exposing program.
+	bug := PipelineMachineBuggy(2, 2)
+	if bug.ExpectUnsat {
+		t.Error("buggy pipeline must not be marked unsat")
+	}
+	s, err := solver.New(bug.F, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Solve()
+	if err != nil || st != solver.StatusSat {
+		t.Fatalf("buggy pipeline: %v err=%v", st, err)
+	}
+	if bad, ok := cnf.VerifyModel(bug.F, s.Model()); !ok {
+		t.Errorf("hazard model fails clause %d", bad)
+	}
+}
+
+func TestPipelineMachineProofChecks(t *testing.T) {
+	ins := PipelineMachine(2, 2)
+	s, err := solver.New(ins.F, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := &tracepkg.MemoryTrace{}
+	s.SetTrace(mt)
+	st, err := s.Solve()
+	if err != nil || st != solver.StatusUnsat {
+		t.Fatalf("st=%v err=%v", st, err)
+	}
+	if _, err := checker.BreadthFirst(ins.F, mt, checker.Options{}); err != nil {
+		t.Errorf("pipeline-machine proof rejected: %v", err)
+	}
+}

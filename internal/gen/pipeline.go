@@ -1,0 +1,249 @@
+package gen
+
+import (
+	"fmt"
+
+	"satcheck/internal/circuit"
+)
+
+// pipelineISA is the micro-ISA shared by the specification machine and the
+// pipelined implementation in PipelineMachine: four general-purpose
+// registers and four ALU operations.
+//
+//	op 00: add   op 01: sub   op 10: and   op 11: xor
+//
+// An instruction is (op[2], dst[2], src1[2], src2[2]), all symbolic.
+type pipelineISA struct {
+	c     *circuit.Circuit
+	width int
+}
+
+// regFile is four buses of architectural state.
+type regFile [4][]circuit.Signal
+
+func (isa pipelineISA) freshRegFile(name string) regFile {
+	var rf regFile
+	for i := range rf {
+		rf[i] = isa.c.InputBus(fmt.Sprintf("%s%d", name, i), isa.width)
+	}
+	return rf
+}
+
+// instruction is one symbolic instruction's fields.
+type instruction struct {
+	op   []circuit.Signal // 2 bits
+	dst  []circuit.Signal // 2 bits
+	src1 []circuit.Signal // 2 bits
+	src2 []circuit.Signal // 2 bits
+}
+
+func (isa pipelineISA) freshInstruction(step int) instruction {
+	mk := func(field string) []circuit.Signal {
+		return isa.c.InputBus(fmt.Sprintf("i%d.%s", step, field), 2)
+	}
+	return instruction{op: mk("op"), dst: mk("dst"), src1: mk("src1"), src2: mk("src2")}
+}
+
+// selEquals returns sel == k for a 2-bit selector and constant k.
+func (isa pipelineISA) selEquals(sel []circuit.Signal, k int) circuit.Signal {
+	c := isa.c
+	b0, b1 := sel[0], sel[1]
+	if k&1 == 0 {
+		b0 = c.Not(b0)
+	}
+	if k&2 == 0 {
+		b1 = c.Not(b1)
+	}
+	return c.And(b0, b1)
+}
+
+// readReg muxes the register file by a 2-bit selector.
+func (isa pipelineISA) readReg(rf regFile, sel []circuit.Signal) []circuit.Signal {
+	c := isa.c
+	out := make([]circuit.Signal, isa.width)
+	for b := 0; b < isa.width; b++ {
+		lo := c.Mux(sel[0], rf[1][b], rf[0][b])
+		hi := c.Mux(sel[0], rf[3][b], rf[2][b])
+		out[b] = c.Mux(sel[1], hi, lo)
+	}
+	return out
+}
+
+// alu computes the four operations and muxes by op.
+func (isa pipelineISA) alu(op []circuit.Signal, x, y []circuit.Signal) []circuit.Signal {
+	c := isa.c
+	notY := make([]circuit.Signal, isa.width)
+	andv := make([]circuit.Signal, isa.width)
+	xorv := make([]circuit.Signal, isa.width)
+	for b := 0; b < isa.width; b++ {
+		notY[b] = c.Not(y[b])
+		andv[b] = c.And(x[b], y[b])
+		xorv[b] = c.Xor(x[b], y[b])
+	}
+	add, _ := c.RippleAdder(x, y, c.Const(false))
+	sub, _ := c.RippleAdder(x, notY, c.Const(true))
+	out := make([]circuit.Signal, isa.width)
+	for b := 0; b < isa.width; b++ {
+		arith := c.Mux(op[0], sub[b], add[b])
+		logic := c.Mux(op[0], xorv[b], andv[b])
+		out[b] = c.Mux(op[1], logic, arith)
+	}
+	return out
+}
+
+// writeReg returns the register file after conditionally writing result to
+// dst (when en is true).
+func (isa pipelineISA) writeReg(rf regFile, dst []circuit.Signal, result []circuit.Signal, en circuit.Signal) regFile {
+	c := isa.c
+	var out regFile
+	for r := 0; r < 4; r++ {
+		hit := c.And(en, isa.selEquals(dst, r))
+		out[r] = make([]circuit.Signal, isa.width)
+		for b := 0; b < isa.width; b++ {
+			out[r][b] = c.Mux(hit, result[b], rf[r][b])
+		}
+	}
+	return out
+}
+
+// specMachine executes the instructions one at a time, architecturally.
+func (isa pipelineISA) specMachine(rf regFile, instrs []instruction) regFile {
+	for _, ins := range instrs {
+		x := isa.readReg(rf, ins.src1)
+		y := isa.readReg(rf, ins.src2)
+		res := isa.alu(ins.op, x, y)
+		rf = isa.writeReg(rf, ins.dst, res, isa.c.Const(true))
+	}
+	return rf
+}
+
+// pipeMachine executes the instructions on a two-stage pipeline (execute,
+// writeback) with full result forwarding: operand reads bypass the register
+// file when the in-flight instruction targets the source register. A final
+// bubble cycle drains the pipe.
+func (isa pipelineISA) pipeMachine(rf regFile, instrs []instruction) regFile {
+	c := isa.c
+	pipeValid := c.Const(false)
+	pipeDst := []circuit.Signal{c.Const(false), c.Const(false)}
+	pipeRes := make([]circuit.Signal, isa.width)
+	for b := range pipeRes {
+		pipeRes[b] = c.Const(false)
+	}
+
+	forward := func(sel []circuit.Signal, regVal []circuit.Signal) []circuit.Signal {
+		match := c.And(pipeValid, c.Xnor(pipeDst[0], sel[0]), c.Xnor(pipeDst[1], sel[1]))
+		out := make([]circuit.Signal, isa.width)
+		for b := 0; b < isa.width; b++ {
+			out[b] = c.Mux(match, pipeRes[b], regVal[b])
+		}
+		return out
+	}
+
+	for _, ins := range instrs {
+		// Execute stage reads (possibly stale) architectural state and
+		// forwards from the in-flight result.
+		x := forward(ins.src1, isa.readReg(rf, ins.src1))
+		y := forward(ins.src2, isa.readReg(rf, ins.src2))
+		res := isa.alu(ins.op, x, y)
+		// Writeback stage retires the previous instruction this cycle.
+		rf = isa.writeReg(rf, pipeDst, pipeRes, pipeValid)
+		pipeValid = c.Const(true)
+		pipeDst = ins.dst
+		pipeRes = res
+	}
+	// Drain: one bubble cycle retires the last instruction.
+	rf = isa.writeReg(rf, pipeDst, pipeRes, pipeValid)
+	return rf
+}
+
+// PipelineMachine returns the Burch-Dill-style correctness instance for the
+// pipelined micro-machine: starting from a symbolic register file and a
+// symbolic program of `steps` instructions, the pipelined implementation
+// (with forwarding and a drain cycle) must end in the same architectural
+// state as the one-instruction-at-a-time specification. The CNF asserts the
+// states differ, so it is UNSAT exactly because the forwarding logic is
+// correct — the actual shape of the paper's Velev microprocessor-
+// verification benchmarks.
+func PipelineMachine(width, steps int) Instance {
+	c := circuit.New()
+	isa := pipelineISA{c: c, width: width}
+	rf0 := isa.freshRegFile("r")
+	instrs := make([]instruction, steps)
+	for i := range instrs {
+		instrs[i] = isa.freshInstruction(i)
+	}
+	specRF := isa.specMachine(rf0, instrs)
+	pipeRF := isa.pipeMachine(rf0, instrs)
+
+	var diffs []circuit.Signal
+	for r := 0; r < 4; r++ {
+		for b := 0; b < width; b++ {
+			diffs = append(diffs, c.Xor(specRF[r][b], pipeRF[r][b]))
+		}
+	}
+	diff := c.Or(diffs...)
+	c.MarkOutput(diff)
+
+	enc := circuit.Encode(c)
+	enc.Assert(diff, true)
+	return Instance{
+		Name:        fmt.Sprintf("pipe-machine-%dw-%ds", width, steps),
+		Domain:      "microprocessor verification",
+		Analog:      "2dlx/pipe (Burch-Dill flush equivalence)",
+		F:           enc.F,
+		ExpectUnsat: true,
+	}
+}
+
+// PipelineMachineBuggy is the same construction with the forwarding path
+// disabled: the pipeline reads stale operands, so the instance is
+// SATISFIABLE and every model is a concrete failing program — the other
+// side of the verification flow.
+func PipelineMachineBuggy(width, steps int) Instance {
+	c := circuit.New()
+	isa := pipelineISA{c: c, width: width}
+	rf0 := isa.freshRegFile("r")
+	instrs := make([]instruction, steps)
+	for i := range instrs {
+		instrs[i] = isa.freshInstruction(i)
+	}
+	specRF := isa.specMachine(rf0, instrs)
+
+	// Buggy pipe: no forwarding.
+	pipeRF := rf0
+	pipeValid := c.Const(false)
+	pipeDst := []circuit.Signal{c.Const(false), c.Const(false)}
+	pipeRes := make([]circuit.Signal, width)
+	for b := range pipeRes {
+		pipeRes[b] = c.Const(false)
+	}
+	for _, ins := range instrs {
+		x := isa.readReg(pipeRF, ins.src1)
+		y := isa.readReg(pipeRF, ins.src2)
+		res := isa.alu(ins.op, x, y)
+		pipeRF = isa.writeReg(pipeRF, pipeDst, pipeRes, pipeValid)
+		pipeValid = c.Const(true)
+		pipeDst = ins.dst
+		pipeRes = res
+	}
+	pipeRF = isa.writeReg(pipeRF, pipeDst, pipeRes, pipeValid)
+
+	var diffs []circuit.Signal
+	for r := 0; r < 4; r++ {
+		for b := 0; b < width; b++ {
+			diffs = append(diffs, c.Xor(specRF[r][b], pipeRF[r][b]))
+		}
+	}
+	diff := c.Or(diffs...)
+	c.MarkOutput(diff)
+
+	enc := circuit.Encode(c)
+	enc.Assert(diff, true)
+	return Instance{
+		Name:        fmt.Sprintf("pipe-machine-buggy-%dw-%ds", width, steps),
+		Domain:      "microprocessor verification",
+		Analog:      "hazard bug (satisfiable)",
+		F:           enc.F,
+		ExpectUnsat: false,
+	}
+}

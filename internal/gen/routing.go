@@ -1,0 +1,123 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FPGARouting returns the FPGA-routing stand-in (the paper's
+// too_largefs3w8v262): nets must each be assigned one of `tracks` routing
+// tracks; nets whose bounding boxes overlap a channel cannot share a track
+// there. The generator lays out `channels` routing channels, each crossed by
+// a random subset of nets, and over-subscribes exactly one channel with
+// tracks+1 mutually conflicting nets. The instance is UNSAT, and — as the
+// paper observes for routing — its unsatisfiable core is tiny relative to
+// the formula: just the over-subscribed channel's constraints.
+func FPGARouting(nets, tracks, channels int, seed int64) Instance {
+	rng := rand.New(rand.NewSource(seed))
+	f := cnfFormula(nets * tracks)
+	v := func(net, track int) int { return net*tracks + track + 1 }
+
+	// Every net takes exactly one track.
+	for n := 0; n < nets; n++ {
+		vars := make([]int, tracks)
+		for t := 0; t < tracks; t++ {
+			vars[t] = v(n, t)
+		}
+		exactlyOne(f, vars)
+	}
+
+	// Channel capacity: nets crossing the same channel must use distinct
+	// tracks — pairwise at-most-one per (channel, track).
+	conflict := func(a, b int) {
+		for t := 0; t < tracks; t++ {
+			f.AddClause(-v(a, t), -v(b, t))
+		}
+	}
+
+	// The over-subscribed channel: tracks+1 nets all crossing it.
+	over := tracks + 1
+	if over > nets {
+		panic(fmt.Sprintf("gen: FPGARouting needs at least %d nets for %d tracks", over, tracks))
+	}
+	for a := 0; a < over; a++ {
+		for b := a + 1; b < over; b++ {
+			conflict(a, b)
+		}
+	}
+
+	// Routable channels: small random net subsets (at most `tracks` nets
+	// each, so they never conflict unsatisfiably).
+	for ch := 0; ch < channels; ch++ {
+		k := 2 + rng.Intn(tracks-1)
+		members := rng.Perm(nets)[:k]
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				conflict(members[i], members[j])
+			}
+		}
+	}
+
+	return Instance{
+		Name:        fmt.Sprintf("fpga-route-n%d-t%d-c%d", nets, tracks, channels),
+		Domain:      "FPGA routing",
+		Analog:      "too_largefs3w8v262",
+		F:           f,
+		ExpectUnsat: true,
+	}
+}
+
+// Scheduling returns the AI-planning stand-in (the paper's bw_large.d):
+// jobs must each be placed into one of `slots` time slots; conflicting jobs
+// (shared machine) need distinct slots. A hidden clique of slots+1 mutually
+// conflicting jobs makes the schedule infeasible; the rest of the conflict
+// graph is sparse and satisfiable on its own, so the unsatisfiable core is a
+// small fraction of the encoding — the paper's planning observation.
+func Scheduling(jobs, slots int, extraConflicts int, seed int64) Instance {
+	rng := rand.New(rand.NewSource(seed))
+	f := cnfFormula(jobs * slots)
+	v := func(job, slot int) int { return job*slots + slot + 1 }
+
+	for j := 0; j < jobs; j++ {
+		vars := make([]int, slots)
+		for s := 0; s < slots; s++ {
+			vars[s] = v(j, s)
+		}
+		exactlyOne(f, vars)
+	}
+
+	conflict := func(a, b int) {
+		for s := 0; s < slots; s++ {
+			f.AddClause(-v(a, s), -v(b, s))
+		}
+	}
+
+	clique := slots + 1
+	if clique > jobs {
+		panic(fmt.Sprintf("gen: Scheduling needs at least %d jobs for %d slots", clique, slots))
+	}
+	for a := 0; a < clique; a++ {
+		for b := a + 1; b < clique; b++ {
+			conflict(a, b)
+		}
+	}
+
+	// Sparse random conflicts among the remaining jobs only, so the
+	// contradiction stays localized in the clique.
+	for e := 0; e < extraConflicts; e++ {
+		a := clique + rng.Intn(jobs-clique)
+		b := clique + rng.Intn(jobs-clique)
+		if a == b {
+			continue
+		}
+		conflict(a, b)
+	}
+
+	return Instance{
+		Name:        fmt.Sprintf("sched-j%d-s%d", jobs, slots),
+		Domain:      "AI planning",
+		Analog:      "bw_large.d",
+		F:           f,
+		ExpectUnsat: true,
+	}
+}

@@ -1,0 +1,160 @@
+// Package proofstat computes structural statistics of a resolution trace:
+// the shape of the DAG "that describes the sequence of resolutions starting
+// from the original clauses at the leaves and ending with the empty clause
+// at the root" (§3.1). These are the numbers behind the paper's Table 2
+// discussion — how much of the trace a proof actually needs, how deep the
+// derivation is, and where the resolution effort is spent — exposed as a
+// library and through `zproof stats`.
+package proofstat
+
+import (
+	"fmt"
+
+	"satcheck/internal/cnf"
+	"satcheck/internal/trace"
+)
+
+// Stats describes one UNSAT trace relative to its formula.
+type Stats struct {
+	// NumOriginal and NumLearned count the graph's leaves and internal
+	// candidates.
+	NumOriginal int
+	NumLearned  int
+
+	// NeededLearned counts learned clauses reachable from the empty-clause
+	// derivation (what the depth-first checker would build; the hybrid
+	// checker's mark set). NeededOriginal counts the original clauses those
+	// reach — an unsatisfiable core.
+	NeededLearned  int
+	NeededOriginal int
+
+	// Depth is the height of the needed subgraph: an original clause has
+	// depth 0, a learned clause 1 + max over its resolve sources; the
+	// reported value is the maximum over the derivation roots.
+	Depth int
+
+	// ChainTotal/ChainMax describe resolution chain lengths (resolve sources
+	// per learned clause, counting all learned clauses).
+	ChainTotal int64
+	ChainMax   int
+
+	// Level0 counts the recorded level-0 assignments; FinalStageRefs counts
+	// how many distinct antecedents the final derivation may touch.
+	Level0         int
+	FinalStageRefs int
+
+	// TraceInts is the total number of integers in the trace — the
+	// encoding-independent size of the proof.
+	TraceInts int64
+}
+
+// AvgChain returns the mean resolve-source count per learned clause.
+func (s *Stats) AvgChain() float64 {
+	if s.NumLearned == 0 {
+		return 0
+	}
+	return float64(s.ChainTotal) / float64(s.NumLearned)
+}
+
+// NeededFraction returns NeededLearned/NumLearned (the paper's "Built%").
+func (s *Stats) NeededFraction() float64 {
+	if s.NumLearned == 0 {
+		return 0
+	}
+	return float64(s.NeededLearned) / float64(s.NumLearned)
+}
+
+// String renders a one-line summary.
+func (s *Stats) String() string {
+	return fmt.Sprintf("learned=%d needed=%d (%.0f%%) core=%d/%d depth=%d avg-chain=%.1f max-chain=%d level0=%d trace-ints=%d",
+		s.NumLearned, s.NeededLearned, 100*s.NeededFraction(),
+		s.NeededOriginal, s.NumOriginal, s.Depth, s.AvgChain(), s.ChainMax, s.Level0, s.TraceInts)
+}
+
+// Analyze loads the trace and computes its statistics. The needed set is
+// derived by backward reachability from the final conflicting clause and
+// every level-0 antecedent (the hybrid checker's conservative roots).
+func Analyze(f *cnf.Formula, src trace.Source) (*Stats, error) {
+	data, err := trace.Load(src)
+	if err != nil {
+		return nil, err
+	}
+	nOrig := len(f.Clauses)
+	if data.FirstLearned != -1 && data.FirstLearned != nOrig {
+		return nil, fmt.Errorf("proofstat: trace starts learned IDs at %d but formula has %d clauses",
+			data.FirstLearned, nOrig)
+	}
+	nL := data.NumLearned()
+	st := &Stats{
+		NumOriginal: nOrig,
+		NumLearned:  nL,
+		Level0:      len(data.Level0),
+	}
+
+	needed := make([]bool, nL)
+	neededOrig := make(map[int]struct{})
+	root := func(id int) error {
+		switch {
+		case id < 0 || id >= nOrig+nL:
+			return fmt.Errorf("proofstat: clause %d out of range", id)
+		case id < nOrig:
+			neededOrig[id] = struct{}{}
+		default:
+			needed[id-nOrig] = true
+		}
+		return nil
+	}
+	if err := root(data.FinalConflict); err != nil {
+		return nil, err
+	}
+	for _, rec := range data.Level0 {
+		if err := root(rec.Ante); err != nil {
+			return nil, err
+		}
+		st.FinalStageRefs++
+	}
+
+	for i := nL - 1; i >= 0; i-- {
+		srcs := data.LearnedSources[i]
+		st.ChainTotal += int64(len(srcs))
+		if len(srcs) > st.ChainMax {
+			st.ChainMax = len(srcs)
+		}
+		st.TraceInts += int64(len(srcs)) + 1
+		if !needed[i] {
+			continue
+		}
+		for _, s := range srcs {
+			if err := root(s); err != nil {
+				return nil, err
+			}
+		}
+	}
+	st.TraceInts += 3*int64(len(data.Level0)) + 1
+
+	// Depth over the needed subgraph, in increasing ID order (sources always
+	// precede their clause).
+	depth := make([]int32, nL)
+	maxDepth := int32(0)
+	for i := 0; i < nL; i++ {
+		if !needed[i] {
+			continue
+		}
+		st.NeededLearned++
+		d := int32(0)
+		for _, s := range data.LearnedSources[i] {
+			if s >= nOrig {
+				if sd := depth[s-nOrig]; sd > d {
+					d = sd
+				}
+			}
+		}
+		depth[i] = d + 1
+		if depth[i] > maxDepth {
+			maxDepth = depth[i]
+		}
+	}
+	st.Depth = int(maxDepth)
+	st.NeededOriginal = len(neededOrig)
+	return st, nil
+}

@@ -1,0 +1,104 @@
+package proofstat
+
+import (
+	"testing"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/cnf"
+	"satcheck/internal/gen"
+	"satcheck/internal/solver"
+	"satcheck/internal/trace"
+)
+
+func solveTrace(t *testing.T, f *cnf.Formula) *trace.MemoryTrace {
+	t.Helper()
+	s, err := solver.New(f, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := &trace.MemoryTrace{}
+	s.SetTrace(mt)
+	st, err := s.Solve()
+	if err != nil || st != solver.StatusUnsat {
+		t.Fatalf("st=%v err=%v", st, err)
+	}
+	return mt
+}
+
+func TestAnalyzeAgreesWithHybridChecker(t *testing.T) {
+	for _, ins := range []gen.Instance{
+		gen.Pigeonhole(5),
+		gen.CECAdder(8),
+		gen.Scheduling(12, 3, 6, 2),
+	} {
+		mt := solveTrace(t, ins.F)
+		st, err := Analyze(ins.F, mt)
+		if err != nil {
+			t.Fatalf("%s: %v", ins.Name, err)
+		}
+		hy, err := checker.Hybrid(ins.F, mt, checker.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The needed set is defined identically to the hybrid mark set.
+		if st.NeededLearned != hy.ClausesBuilt {
+			t.Errorf("%s: NeededLearned=%d, hybrid built %d", ins.Name, st.NeededLearned, hy.ClausesBuilt)
+		}
+		if st.NeededOriginal != len(hy.CoreClauses) {
+			t.Errorf("%s: NeededOriginal=%d, hybrid core %d", ins.Name, st.NeededOriginal, len(hy.CoreClauses))
+		}
+		if st.NumLearned < st.NeededLearned || st.Depth <= 0 && st.NeededLearned > 0 {
+			t.Errorf("%s: implausible stats %+v", ins.Name, st)
+		}
+		if f := st.NeededFraction(); f < 0 || f > 1 {
+			t.Errorf("%s: NeededFraction=%v", ins.Name, f)
+		}
+		if st.String() == "" {
+			t.Error("empty summary")
+		}
+	}
+}
+
+func TestAnalyzeDepthMonotone(t *testing.T) {
+	// On a trivially refuted formula the proof has no learned clauses and
+	// depth 0.
+	f := cnf.NewFormula(1)
+	f.AddClause(1)
+	f.AddClause(-1)
+	mt := solveTrace(t, f)
+	st, err := Analyze(f, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumLearned != 0 || st.Depth != 0 || st.NeededLearned != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Level0 == 0 {
+		t.Error("unit refutation should record level-0 assignments")
+	}
+}
+
+func TestAnalyzeMismatchRejected(t *testing.T) {
+	ins := gen.Pigeonhole(4)
+	mt := solveTrace(t, ins.F)
+	g := ins.F.Clone()
+	g.AddClause(1, 2)
+	if _, err := Analyze(g, mt); err == nil {
+		t.Error("formula/trace mismatch accepted")
+	}
+}
+
+func TestAnalyzeChainStats(t *testing.T) {
+	ins := gen.Pigeonhole(5)
+	mt := solveTrace(t, ins.F)
+	st, err := Analyze(ins.F, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChainMax <= 0 || st.AvgChain() <= 1 {
+		t.Errorf("chain stats implausible: max=%d avg=%v", st.ChainMax, st.AvgChain())
+	}
+	if st.TraceInts <= st.ChainTotal {
+		t.Errorf("TraceInts=%d should exceed ChainTotal=%d", st.TraceInts, st.ChainTotal)
+	}
+}

@@ -1,0 +1,192 @@
+package solver
+
+import (
+	"sort"
+
+	"satcheck/internal/cnf"
+)
+
+// analyze performs first-UIP conflict analysis (the paper's Figure 2): it
+// iteratively resolves the conflicting clause with the antecedent of the
+// most recently assigned literal until the resolvent is an asserting clause
+// (exactly one literal at the current decision level).
+//
+// Returned values:
+//   - learnt: the asserting clause; learnt[0] is the asserting (UIP) literal
+//     and, when len > 1, learnt[1] is a literal at the asserting level, so
+//     the pair is directly watchable;
+//   - btLevel: the asserting level to backtrack to;
+//   - sources: the resolve sources in derivation order — the conflicting
+//     clause, then one antecedent per resolution step. Replaying
+//     cl = resolve(cl, sources[i]) left-to-right rederives learnt exactly,
+//     which is the contract the trace checker enforces.
+//
+// Literals falsified at level 0 are kept (zchaff behaviour) so the source
+// list is an exact resolution derivation; see the package comment.
+func (s *Solver) analyze(confl int) (learnt cnf.Clause, btLevel int, sources []int) {
+	curLevel := int32(s.decisionLevel())
+	learnt = append(learnt, cnf.NoLit) // slot 0 reserved for the UIP literal
+	sources = append(sources, confl)
+
+	pathC := 0
+	p := cnf.NoLit
+	idx := len(s.trail) - 1
+	c := s.clauses[confl].lits
+
+	for {
+		for _, q := range c {
+			v := q.Var()
+			if p != cnf.NoLit && v == p.Var() {
+				continue // skip the pivot literal of this resolution step
+			}
+			if s.seen[v] {
+				continue
+			}
+			s.seen[v] = true
+			s.toClear = append(s.toClear, v)
+			s.bumpVar(v)
+			if s.level[v] >= curLevel {
+				pathC++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Choose the next literal to resolve on: the most recently assigned
+		// marked literal ("reverse chronological order", choose_literal()).
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		pathC--
+		if pathC == 0 {
+			break // p is the first UIP
+		}
+		r := s.reason[p.Var()]
+		c = s.clauses[r].lits
+		sources = append(sources, r)
+	}
+	learnt[0] = p.Neg()
+
+	if !s.opts.DisableMinimize {
+		if s.opts.RecursiveMinimize {
+			learnt, sources = s.minimizeRecursive(learnt, sources)
+		} else {
+			learnt, sources = s.minimize(learnt, sources)
+		}
+	}
+
+	// Find the asserting level: the highest level among the non-UIP
+	// literals. Swap that literal into position 1 for watching.
+	btLevel = 0
+	for i := 1; i < len(learnt); i++ {
+		if lv := int(s.level[learnt[i].Var()]); lv > btLevel {
+			btLevel = lv
+			learnt[1], learnt[i] = learnt[i], learnt[1]
+		}
+	}
+
+	for _, v := range s.toClear {
+		s.seen[v] = false
+	}
+	s.toClear = s.toClear[:0]
+	return learnt, btLevel, sources
+}
+
+// minimize performs local (non-recursive) conflict-clause minimization:
+// a literal q of the learnt clause is redundant if every other literal of
+// its antecedent already appears in the learnt clause, in which case
+// resolving the learnt clause with antecedent(q) removes q and adds nothing.
+//
+// Each removal is itself a resolution step and is appended to sources so the
+// trace stays an exact derivation. Removals are emitted in decreasing trail
+// position. That order keeps every step valid: antecedent(q) mentions only
+// variables assigned before q, while previously removed literals are all
+// assigned after q, so at q's turn antecedent(q)\{¬q} is still a subset of
+// the current resolvent and q's variable is the unique clash.
+func (s *Solver) minimize(learnt cnf.Clause, sources []int) (cnf.Clause, []int) {
+	type removal struct {
+		pos    int32 // trail position, for ordering
+		reason int
+	}
+	var removals []removal
+	kept := learnt[:1]
+	for _, q := range learnt[1:] {
+		v := q.Var()
+		r := s.reason[v]
+		if r == NoReason {
+			kept = append(kept, q)
+			continue
+		}
+		redundant := true
+		for _, rl := range s.clauses[r].lits {
+			if rl.Var() == v {
+				continue
+			}
+			// seen[] is exactly "appears in the (unminimized) learnt clause"
+			// for below-current-level variables, and antecedents of
+			// below-current-level literals mention only such variables.
+			if !s.seen[rl.Var()] {
+				redundant = false
+				break
+			}
+		}
+		if redundant {
+			removals = append(removals, removal{pos: s.trailPos[v], reason: r})
+			s.stats.Minimized++
+		} else {
+			kept = append(kept, q)
+		}
+	}
+	sort.Slice(removals, func(i, j int) bool { return removals[i].pos > removals[j].pos })
+	for _, rm := range removals {
+		sources = append(sources, rm.reason)
+	}
+	return kept, sources
+}
+
+// The redundancy test above must not treat a literal as "in the learnt
+// clause" when it was merely resolved away at the current level. That cannot
+// happen: resolved-away variables are all at the current decision level,
+// while the antecedent of a below-current-level literal only mentions
+// variables assigned at or before that literal's level.
+
+// addLearnt installs a learned clause and returns its ID. Learned clauses of
+// length >= 2 are watched on positions 0 (the asserting literal) and 1 (a
+// literal at the asserting level), which is the standard watch invariant
+// after backtracking.
+func (s *Solver) addLearnt(lits cnf.Clause) int {
+	id := len(s.clauses)
+	own := lits.Clone()
+	s.clauses = append(s.clauses, clause{lits: own, learned: true, act: s.claInc})
+	s.numLearnts++
+	s.stats.Learned++
+	s.stats.LearnedLits += int64(len(own))
+	s.liveLits += int64(len(own))
+	if s.liveLits > s.stats.PeakLiveLits {
+		s.stats.PeakLiveLits = s.liveLits
+	}
+	if len(own) >= 2 {
+		s.watch(id)
+	}
+	return id
+}
+
+// bumpVar increases a variable's VSIDS activity, rescaling on overflow.
+func (s *Solver) bumpVar(v cnf.Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+		s.order.rebuild()
+	}
+	s.order.bumped(v)
+}
+
+// decayActivities applies per-conflict VSIDS and clause-activity decay.
+func (s *Solver) decayActivities() {
+	s.varInc /= s.opts.VarDecay
+	s.claInc /= s.opts.ClauseDecay
+}

@@ -1,0 +1,148 @@
+package solver
+
+import "satcheck/internal/cnf"
+
+// enqueue makes literal l true with antecedent clause `from` (NoReason for
+// decisions). It returns false if l is already false — a conflict the caller
+// must handle; true otherwise (already-true literals are a no-op).
+func (s *Solver) enqueue(l cnf.Lit, from int) bool {
+	switch s.assign.LitValue(l) {
+	case cnf.True:
+		return true
+	case cnf.False:
+		return false
+	}
+	v := l.Var()
+	s.assign.SetLit(l)
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trailPos[v] = int32(len(s.trail))
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate runs Boolean constraint propagation (the paper's deduce()) until
+// fixpoint or conflict, returning the conflicting clause ID or NoReason.
+//
+// Invariant maintained for conflict analysis: when a clause implies a
+// literal, that literal is moved to position 0 of the clause.
+func (s *Solver) propagate() int {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+
+		falseLit := p.Neg()
+		ws := s.watches[falseLit]
+		i, j := 0, 0
+	watchers:
+		for i < len(ws) {
+			w := ws[i]
+			// Cheap pre-check: a true blocker means the clause is satisfied.
+			if s.assign.LitValue(w.blocker) == cnf.True {
+				ws[j] = w
+				i++
+				j++
+				continue
+			}
+			lits := s.clauses[w.cid].lits
+			if lits[0] == falseLit {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			// Now lits[1] == falseLit.
+			first := lits[0]
+			if first != w.blocker && s.assign.LitValue(first) == cnf.True {
+				ws[j] = watcher{w.cid, first}
+				i++
+				j++
+				continue
+			}
+			// Find a replacement watch among the tail literals.
+			for k := 2; k < len(lits); k++ {
+				if s.assign.LitValue(lits[k]) != cnf.False {
+					lits[1], lits[k] = lits[k], lits[1]
+					s.watches[lits[1]] = append(s.watches[lits[1]], watcher{w.cid, first})
+					i++
+					continue watchers // clause leaves this watch list
+				}
+			}
+			// No replacement: the clause is unit (on first) or conflicting.
+			ws[j] = w
+			i++
+			j++
+			if !s.enqueue(first, w.cid) {
+				// Conflict: keep remaining watchers and report.
+				for i < len(ws) {
+					ws[j] = ws[i]
+					i++
+					j++
+				}
+				s.watches[falseLit] = ws[:j]
+				s.qhead = len(s.trail)
+				return w.cid
+			}
+		}
+		s.watches[falseLit] = ws[:j]
+	}
+	return NoReason
+}
+
+// decide picks the next branching variable via VSIDS and the saved phase
+// (decide_next_branch() in the paper). It returns false when every variable
+// is assigned, i.e. the formula is satisfied.
+func (s *Solver) decide() bool {
+	for {
+		v, ok := s.order.popMax()
+		if !ok {
+			return false
+		}
+		if s.assign.Value(v) != cnf.Unknown {
+			continue
+		}
+		s.stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		neg := true
+		if !s.opts.DisablePhaseSaving {
+			neg = !s.polarity[v]
+		}
+		s.enqueue(cnf.NewLit(v, neg), NoReason)
+		return true
+	}
+}
+
+// backtrack undoes all assignments above the given decision level
+// (assertion-based backtracking, §2.1).
+func (s *Solver) backtrack(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	keep := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= keep; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		s.polarity[v] = !l.IsNeg()
+		s.assign.Set(v, cnf.Unknown)
+		s.reason[v] = NoReason
+		s.level[v] = -1
+		s.order.push(v)
+	}
+	s.trail = s.trail[:keep]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = keep
+}
+
+// luby returns the i-th element (0-based) of the Luby restart sequence
+// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,... whose growing period guarantees solver
+// termination in the presence of restarts (§2.2, Proposition 1 discussion).
+func luby(i int) int {
+	// Find the subsequence [2^(k-1), 2^k - 2] containing i, or the power
+	// boundary i == 2^k - 2 where the value is 2^(k-1).
+	for k := 1; ; k++ {
+		if i+2 == 1<<k {
+			return 1 << (k - 1)
+		}
+		if i+2 < 1<<k {
+			return luby(i + 1 - 1<<(k-1))
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package solver
+
+import "satcheck/internal/cnf"
+
+// varHeap is an indexed binary max-heap of variables ordered by VSIDS
+// activity, with ties broken by variable number for determinism.
+type varHeap struct {
+	heap []cnf.Var
+	pos  []int32 // by var; -1 when absent
+	act  []float64
+}
+
+func (h *varHeap) init(nVars int, act []float64) {
+	h.act = act
+	h.pos = make([]int32, nVars+1)
+	h.heap = make([]cnf.Var, 0, nVars)
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	for v := cnf.Var(1); int(v) <= nVars; v++ {
+		h.push(v)
+	}
+}
+
+func (h *varHeap) less(a, b cnf.Var) bool {
+	if h.act[a] != h.act[b] {
+		return h.act[a] > h.act[b]
+	}
+	return a < b
+}
+
+func (h *varHeap) contains(v cnf.Var) bool { return h.pos[v] >= 0 }
+
+func (h *varHeap) push(v cnf.Var) {
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.pos[v] = int32(len(h.heap) - 1)
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) popMax() (cnf.Var, bool) {
+	if len(h.heap) == 0 {
+		return cnf.NoVar, false
+	}
+	top := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.pos[top] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return top, true
+}
+
+// bumped restores heap order after v's activity increased.
+func (h *varHeap) bumped(v cnf.Var) {
+	if p := h.pos[v]; p >= 0 {
+		h.up(int(p))
+	}
+}
+
+// rebuild re-heapifies after a global activity rescale (order is preserved
+// by uniform scaling, so this is defensive; it is cheap and rare).
+func (h *varHeap) rebuild() {
+	for i := len(h.heap)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = int32(i)
+	h.pos[h.heap[j]] = int32(j)
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.heap[i], h.heap[parent]) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(h.heap[l], h.heap[best]) {
+			best = l
+		}
+		if r < n && h.less(h.heap[r], h.heap[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}

@@ -1,0 +1,107 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"satcheck/internal/cnf"
+)
+
+func TestHeapPopOrder(t *testing.T) {
+	act := []float64{0, 5, 1, 9, 3} // vars 1..4
+	var h varHeap
+	h.init(4, act)
+	want := []cnf.Var{3, 1, 4, 2}
+	for i, w := range want {
+		v, ok := h.popMax()
+		if !ok || v != w {
+			t.Fatalf("pop %d = %v (ok=%v), want %v", i, v, ok, w)
+		}
+	}
+	if _, ok := h.popMax(); ok {
+		t.Error("pop from empty heap succeeded")
+	}
+}
+
+func TestHeapTieBreakByVarNumber(t *testing.T) {
+	act := []float64{0, 1, 1, 1}
+	var h varHeap
+	h.init(3, act)
+	for want := cnf.Var(1); want <= 3; want++ {
+		if v, _ := h.popMax(); v != want {
+			t.Fatalf("tie-break pop = %v, want %v", v, want)
+		}
+	}
+}
+
+func TestHeapPushIdempotent(t *testing.T) {
+	act := []float64{0, 1, 2}
+	var h varHeap
+	h.init(2, act)
+	h.push(1) // already present
+	if len(h.heap) != 2 {
+		t.Errorf("duplicate push grew heap to %d", len(h.heap))
+	}
+	h.popMax()
+	h.popMax()
+	h.push(1)
+	h.push(1)
+	if len(h.heap) != 1 {
+		t.Errorf("heap size %d after re-push, want 1", len(h.heap))
+	}
+}
+
+func TestHeapBumped(t *testing.T) {
+	act := []float64{0, 1, 2, 3}
+	var h varHeap
+	h.init(3, act)
+	act[1] = 10
+	h.bumped(1)
+	if v, _ := h.popMax(); v != 1 {
+		t.Errorf("after bump, popMax = %v, want 1", v)
+	}
+	// Bumping an absent variable must not panic or corrupt the heap.
+	h.bumped(1)
+	if v, _ := h.popMax(); v != 3 {
+		t.Errorf("popMax = %v, want 3", v)
+	}
+}
+
+func TestHeapRandomizedAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		act := make([]float64, n+1)
+		for i := 1; i <= n; i++ {
+			act[i] = float64(rng.Intn(10))
+		}
+		var h varHeap
+		h.init(n, act)
+		// Random interleaving of pops, pushes and bumps.
+		var popped []cnf.Var
+		for len(h.heap) > 0 {
+			switch rng.Intn(4) {
+			case 0:
+				if len(popped) > 0 {
+					h.push(popped[rng.Intn(len(popped))])
+				}
+			case 1:
+				v := cnf.Var(1 + rng.Intn(n))
+				if h.contains(v) {
+					act[v] += float64(rng.Intn(5))
+					h.bumped(v)
+				}
+			default:
+				v, _ := h.popMax()
+				// Heap order check: no remaining element may beat v.
+				for _, u := range h.heap {
+					if h.less(u, v) {
+						t.Fatalf("popped %v(act %v) but %v(act %v) remains and is greater",
+							v, act[v], u, act[u])
+					}
+				}
+				popped = append(popped, v)
+			}
+		}
+	}
+}

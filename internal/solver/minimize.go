@@ -1,0 +1,107 @@
+package solver
+
+import (
+	"sort"
+
+	"satcheck/internal/cnf"
+)
+
+// minimizeRecursive implements recursive conflict-clause minimization
+// (MiniSat's litRedundant): a below-current-level literal q of the learnt
+// clause is redundant if every other literal of its antecedent is either in
+// the learnt clause or itself (recursively) redundant.
+//
+// Like the local rule, every removal is expressed as resolution steps in the
+// trace so the recorded source list remains an exact derivation. The
+// recursive case introduces *intermediate* literals: resolving away q adds
+// antecedent(q)'s literals, some of which are not in the learnt clause and
+// must themselves be resolved away. Processing the full closure in strictly
+// decreasing trail position makes every step valid:
+//
+//   - a variable's literal is in the working clause when its turn comes,
+//     because whichever redundant literal's antecedent mentions it is
+//     deeper on the trail and was therefore resolved first, introducing it;
+//   - each step clashes on exactly one variable, because all literals
+//     involved are falsified by the current assignment, so any variable
+//     shared between the working clause and the antecedent (other than the
+//     pivot) appears in the same phase;
+//   - positions strictly decrease, so the chain terminates with exactly the
+//     recursively minimized clause.
+func (s *Solver) minimizeRecursive(learnt cnf.Clause, sources []int) (cnf.Clause, []int) {
+	// memo: 0 unknown, 1 redundant, -1 not redundant (by variable).
+	memo := make(map[cnf.Var]int8)
+
+	var litRedundant func(l cnf.Lit) bool
+	litRedundant = func(l cnf.Lit) bool {
+		v := l.Var()
+		if m := memo[v]; m != 0 {
+			return m > 0
+		}
+		r := s.reason[v]
+		if r == NoReason {
+			memo[v] = -1
+			return false
+		}
+		// Tentatively mark redundant: antecedents strictly precede their
+		// variable on the trail, so the expansion is acyclic and a self
+		// lookup cannot occur; the optimistic mark just memoizes shared
+		// sub-DAGs.
+		for _, rl := range s.clauses[r].lits {
+			w := rl.Var()
+			if w == v || s.seen[w] {
+				continue // pivot, or literal already in the learnt clause
+			}
+			if !litRedundant(rl) {
+				memo[v] = -1
+				return false
+			}
+		}
+		memo[v] = 1
+		return true
+	}
+
+	kept := learnt[:1]
+	var removedVars []cnf.Var
+	for _, q := range learnt[1:] {
+		if litRedundant(q) {
+			removedVars = append(removedVars, q.Var())
+			s.stats.Minimized++
+		} else {
+			kept = append(kept, q)
+		}
+	}
+	if len(removedVars) == 0 {
+		return learnt, sources
+	}
+
+	// Collect the closure of variables the resolution chain must eliminate:
+	// the removed learnt literals plus every certified-redundant
+	// intermediate their antecedents introduce.
+	visited := make(map[cnf.Var]bool, len(removedVars))
+	var closure []cnf.Var
+	var collect func(v cnf.Var)
+	collect = func(v cnf.Var) {
+		if visited[v] {
+			return
+		}
+		visited[v] = true
+		closure = append(closure, v)
+		for _, rl := range s.clauses[s.reason[v]].lits {
+			w := rl.Var()
+			if w == v || s.seen[w] {
+				continue
+			}
+			collect(w)
+		}
+	}
+	for _, v := range removedVars {
+		collect(v)
+	}
+	sort.Slice(closure, func(i, j int) bool {
+		return s.trailPos[closure[i]] > s.trailPos[closure[j]]
+	})
+	for _, v := range closure {
+		sources = append(sources, s.reason[v])
+	}
+	return kept, sources
+}

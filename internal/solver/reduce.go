@@ -1,0 +1,78 @@
+package solver
+
+import (
+	"sort"
+
+	"satcheck/internal/cnf"
+)
+
+// locked reports whether clause cid is the antecedent of a currently
+// assigned variable. The paper is explicit that such clauses must be kept
+// "because they may be used in the future resolution process".
+func (s *Solver) locked(cid int) bool {
+	lits := s.clauses[cid].lits
+	if len(lits) == 0 {
+		return false
+	}
+	v := lits[0].Var()
+	return s.assign.LitValue(lits[0]) == cnf.True && s.reason[v] == cid
+}
+
+// reduceDB deletes roughly half of the learned clauses, lowest activity
+// first, keeping binary clauses and locked antecedents. Deleted clauses keep
+// their ID slot (tombstone) so clause IDs recorded in the trace remain
+// stable; learning remains sound because learned clauses are redundant
+// (§2.1: "Learned clauses can also be deleted in the future if necessary").
+func (s *Solver) reduceDB() {
+	live := make([]int, 0, s.numLearnts)
+	for id := s.nOrig; id < len(s.clauses); id++ {
+		c := &s.clauses[id]
+		if c.learned && !c.deleted {
+			live = append(live, id)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool {
+		return s.clauses[live[i]].act < s.clauses[live[j]].act
+	})
+	target := len(live) / 2
+	removed := 0
+	for _, id := range live {
+		if removed >= target {
+			break
+		}
+		c := &s.clauses[id]
+		if len(c.lits) <= 2 || s.locked(id) {
+			continue
+		}
+		s.deleteClause(id)
+		removed++
+	}
+	s.maxLearnts *= 1.1
+}
+
+// deleteClause tombstones a clause: watchers are removed eagerly and the
+// literal storage is released, but the ID slot survives.
+func (s *Solver) deleteClause(id int) {
+	c := &s.clauses[id]
+	if len(c.lits) >= 2 {
+		s.unwatch(c.lits[0], id)
+		s.unwatch(c.lits[1], id)
+	}
+	s.liveLits -= int64(len(c.lits))
+	c.lits = nil
+	c.deleted = true
+	s.numLearnts--
+	s.stats.Deleted++
+}
+
+// unwatch removes clause cid from the watch list of literal l.
+func (s *Solver) unwatch(l cnf.Lit, cid int) {
+	ws := s.watches[l]
+	for i, w := range ws {
+		if w.cid == cid {
+			ws[i] = ws[len(ws)-1]
+			s.watches[l] = ws[:len(ws)-1]
+			return
+		}
+	}
+}

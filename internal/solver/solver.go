@@ -1,0 +1,409 @@
+// Package solver implements a Chaff-style CDCL SAT solver (§2 of the paper):
+// two-watched-literal Boolean constraint propagation, VSIDS decision
+// heuristic, first-UIP conflict-driven clause learning by resolution,
+// assertion-based backtracking, phase saving, Luby restarts with an
+// increasing period (required for termination, §2.2 Proposition 1), and
+// activity-based learned-clause deletion that never deletes the antecedent
+// of an assigned variable (§2.1).
+//
+// The solver carries the paper's instrumentation natively: attach a
+// trace.Sink with SetTrace and every learned clause's resolve sources, the
+// final level-0 assignments, and the final conflicting clause are recorded,
+// which is everything the independent checker needs to rebuild a resolution
+// proof of unsatisfiability.
+//
+// One deliberate deviation from MiniSat-lineage solvers: literals falsified
+// at decision level 0 are kept in learned clauses rather than dropped
+// (zchaff's behaviour). Dropping them is not a resolution step, so keeping
+// them is what makes the trace an exact resolution derivation; the level-0
+// literals are resolved away by the checker's final stage.
+package solver
+
+import (
+	"errors"
+	"fmt"
+
+	"satcheck/internal/cnf"
+	"satcheck/internal/trace"
+)
+
+// Status is the outcome of a Solve call.
+type Status int
+
+// Solve outcomes. StatusUnknown is returned only when a resource budget
+// (Options.MaxConflicts) expires.
+const (
+	StatusUnknown Status = iota
+	StatusSat
+	StatusUnsat
+)
+
+// String names the status like competition solvers do.
+func (s Status) String() string {
+	switch s {
+	case StatusSat:
+		return "SATISFIABLE"
+	case StatusUnsat:
+		return "UNSATISFIABLE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// NoReason marks a variable with no antecedent clause (decisions and
+// unassigned variables).
+const NoReason = -1
+
+// Options configures the solver. The zero value enables every feature with
+// the defaults below; Disable* flags exist so experiments can ablate
+// individual techniques.
+type Options struct {
+	// VarDecay is the VSIDS activity decay factor (default 0.95).
+	VarDecay float64
+	// ClauseDecay is the learned-clause activity decay factor (default 0.999).
+	ClauseDecay float64
+	// RestartBase is the Luby restart unit in conflicts (default 256).
+	RestartBase int
+	// MaxConflicts aborts with StatusUnknown after this many conflicts
+	// (0 = no budget).
+	MaxConflicts int64
+	// DisableRestarts turns restarts off.
+	DisableRestarts bool
+	// DisableReduce turns learned-clause deletion off.
+	DisableReduce bool
+	// DisableMinimize turns conflict-clause minimization off entirely.
+	DisableMinimize bool
+	// RecursiveMinimize upgrades minimization from the local rule (a
+	// literal is redundant if its antecedent's other literals are all in
+	// the learnt clause) to the recursive rule (…or are themselves
+	// redundant). Both variants are emitted as extra resolution steps, so
+	// traces stay exact derivations.
+	RecursiveMinimize bool
+	// DisablePhaseSaving makes decisions always pick the negative phase.
+	DisablePhaseSaving bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.VarDecay == 0 {
+		o.VarDecay = 0.95
+	}
+	if o.ClauseDecay == 0 {
+		o.ClauseDecay = 0.999
+	}
+	if o.RestartBase == 0 {
+		o.RestartBase = 256
+	}
+	return o
+}
+
+// Stats aggregates solver counters; the experiment harness prints them as
+// the per-instance columns of the paper's Table 1.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Learned      int64 // learned clauses recorded (paper: "Num. Learned Clauses")
+	LearnedLits  int64
+	Minimized    int64 // literals removed by clause minimization
+	Deleted      int64 // learned clauses deleted by DB reduction
+	Restarts     int64
+	PeakLiveLits int64 // peak live literal count across the clause DB
+}
+
+type clause struct {
+	lits    cnf.Clause
+	act     float64
+	learned bool
+	deleted bool
+}
+
+type watcher struct {
+	cid     int
+	blocker cnf.Lit
+}
+
+// Solver is a single-use CDCL solver over a fixed formula. Create with New,
+// call Solve once, then read Model / stats. (Single-use keeps clause IDs in
+// exact correspondence with the trace, which is the whole point here.)
+type Solver struct {
+	opts Options
+
+	nVars    int
+	clauses  []clause // index == clause ID; originals first, in formula order
+	nOrig    int
+	watches  [][]watcher // indexed by literal
+	emptyCl  int         // ID of an empty original clause, or NoReason
+	liveLits int64
+
+	assign   cnf.Assignment
+	level    []int32 // by var; -1 when unassigned
+	reason   []int   // by var
+	trailPos []int32 // by var
+	trail    []cnf.Lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    varHeap
+	polarity []bool
+
+	claInc     float64
+	numLearnts int // live learned clauses
+	maxLearnts float64
+
+	seen    []bool
+	toClear []cnf.Var
+
+	sink    trace.Sink
+	sinkErr error
+
+	stats  Stats
+	status Status
+	solved bool
+
+	// testAfterConflict, when set (tests only), runs after each conflict is
+	// resolved — learned clause added, backtrack done, asserting literal
+	// enqueued — so invariants like Proposition 1's ranking function can be
+	// observed at exactly the state the paper's proof talks about.
+	testAfterConflict func()
+}
+
+// New builds a solver for f. The formula is copied into the internal clause
+// database (deduplicated per clause; tautological clauses keep their ID slot
+// but are never watched), so f may be mutated afterwards.
+func New(f *cnf.Formula, opts Options) (*Solver, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	n := f.NumVars
+	s := &Solver{
+		opts:     opts.withDefaults(),
+		nVars:    n,
+		emptyCl:  NoReason,
+		watches:  make([][]watcher, 2*n+2),
+		assign:   cnf.NewAssignment(n),
+		level:    make([]int32, n+1),
+		reason:   make([]int, n+1),
+		trailPos: make([]int32, n+1),
+		activity: make([]float64, n+1),
+		polarity: make([]bool, n+1),
+		seen:     make([]bool, n+1),
+		varInc:   1,
+		claInc:   1,
+	}
+	for i := range s.level {
+		s.level[i] = -1
+		s.reason[i] = NoReason
+	}
+	s.order.init(n, s.activity)
+	s.clauses = make([]clause, 0, len(f.Clauses))
+	for _, c := range f.Clauses {
+		s.attachOriginal(c)
+	}
+	s.nOrig = len(s.clauses)
+	s.maxLearnts = float64(len(f.Clauses))/3 + 1000
+	return s, nil
+}
+
+// attachOriginal installs one input clause under the next ID.
+func (s *Solver) attachOriginal(c cnf.Clause) {
+	id := len(s.clauses)
+	work, taut := c.Clone().Normalize()
+	s.clauses = append(s.clauses, clause{lits: work})
+	s.liveLits += int64(len(work))
+	if s.liveLits > s.stats.PeakLiveLits {
+		s.stats.PeakLiveLits = s.liveLits
+	}
+	switch {
+	case taut:
+		// Always satisfied; keep the ID slot but never watch it.
+	case len(work) == 0:
+		if s.emptyCl == NoReason {
+			s.emptyCl = id
+		}
+	case len(work) == 1:
+		// Deferred to the preprocessing BCP in Solve so duplicate/conflicting
+		// units are handled through the normal enqueue path.
+	default:
+		s.watch(id)
+	}
+}
+
+func (s *Solver) watch(cid int) {
+	lits := s.clauses[cid].lits
+	s.watches[lits[0]] = append(s.watches[lits[0]], watcher{cid, lits[1]})
+	s.watches[lits[1]] = append(s.watches[lits[1]], watcher{cid, lits[0]})
+}
+
+// SetTrace attaches a trace sink; pass nil to disable tracing. Must be
+// called before Solve.
+func (s *Solver) SetTrace(sink trace.Sink) { s.sink = sink }
+
+// Stats returns the solver counters (valid during and after Solve).
+func (s *Solver) Stats() Stats { return s.stats }
+
+// NumOriginalClauses reports how many clause IDs belong to the input formula.
+func (s *Solver) NumOriginalClauses() int { return s.nOrig }
+
+// NumVars reports the variable count.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// Status returns the outcome of the last Solve.
+func (s *Solver) Status() Status { return s.status }
+
+// Model returns the satisfying assignment after a StatusSat Solve.
+// It returns nil otherwise.
+func (s *Solver) Model() cnf.Model {
+	if s.status != StatusSat {
+		return nil
+	}
+	m := cnf.NewAssignment(s.nVars)
+	copy(m, s.assign)
+	// Variables that occur in no clause stay unconstrained; fix them to
+	// False so the model is total.
+	for v := 1; v <= s.nVars; v++ {
+		if m[v] == cnf.Unknown {
+			m[v] = cnf.False
+		}
+	}
+	return m
+}
+
+// ErrResolved is returned when Solve is called twice.
+var ErrResolved = errors.New("solver: Solve already called; solvers are single-use")
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// Solve runs the CDCL main loop of Figure 1 in the paper: preprocess, then
+// branch / deduce / learn / backtrack until SAT, UNSAT, or budget.
+func (s *Solver) Solve() (Status, error) {
+	if s.solved {
+		return StatusUnknown, ErrResolved
+	}
+	s.solved = true
+
+	if st, done := s.preprocess(); done {
+		s.status = st
+		return s.finish()
+	}
+
+	restartSeq := 0
+	conflictsAtRestart := s.stats.Conflicts
+	restartLimit := int64(luby(restartSeq) * s.opts.RestartBase)
+
+	for {
+		confl := s.propagate()
+		if confl != NoReason {
+			s.stats.Conflicts++
+			if s.decisionLevel() == 0 {
+				// analyze_conflict at level 0 returns -1 (paper Fig. 2):
+				// the formula is unsatisfiable.
+				s.recordFinal(confl)
+				s.status = StatusUnsat
+				return s.finish()
+			}
+			learnt, btLevel, sources := s.analyze(confl)
+			s.backtrack(btLevel)
+			id := s.addLearnt(learnt)
+			s.recordLearned(id, sources)
+			s.enqueue(learnt[0], id)
+			if s.testAfterConflict != nil {
+				s.testAfterConflict()
+			}
+			s.decayActivities()
+			if s.opts.MaxConflicts > 0 && s.stats.Conflicts >= s.opts.MaxConflicts {
+				s.status = StatusUnknown
+				return s.finish()
+			}
+			continue
+		}
+
+		if !s.opts.DisableRestarts && s.stats.Conflicts-conflictsAtRestart >= restartLimit {
+			s.stats.Restarts++
+			restartSeq++
+			conflictsAtRestart = s.stats.Conflicts
+			restartLimit = int64(luby(restartSeq) * s.opts.RestartBase)
+			s.backtrack(0)
+			continue
+		}
+
+		if !s.opts.DisableReduce && float64(s.numLearnts) >= s.maxLearnts {
+			s.reduceDB()
+		}
+
+		if !s.decide() {
+			// No free variables and no conflict: satisfiable (Proposition 2).
+			s.status = StatusSat
+			return s.finish()
+		}
+	}
+}
+
+// preprocess performs the level-0 BCP of the paper's preprocess(): it
+// enqueues unit clauses and propagates. done is true when the instance is
+// decided already (empty clause in input, or conflicting level-0 BCP).
+func (s *Solver) preprocess() (Status, bool) {
+	if s.emptyCl != NoReason {
+		s.recordFinal(s.emptyCl)
+		return StatusUnsat, true
+	}
+	for id := range s.clauses {
+		c := &s.clauses[id]
+		if len(c.lits) != 1 {
+			continue
+		}
+		if !s.enqueue(c.lits[0], id) {
+			// Two contradictory unit clauses: the second one is conflicting.
+			s.recordFinal(id)
+			return StatusUnsat, true
+		}
+	}
+	if confl := s.propagate(); confl != NoReason {
+		s.recordFinal(confl)
+		return StatusUnsat, true
+	}
+	if len(s.trail) == s.nVars {
+		return StatusSat, true
+	}
+	return StatusUnknown, false
+}
+
+// finish flushes the trace sink and surfaces any deferred sink error.
+func (s *Solver) finish() (Status, error) {
+	if s.sink != nil && s.sinkErr == nil {
+		s.sinkErr = s.sink.Close()
+	}
+	if s.sinkErr != nil {
+		return s.status, fmt.Errorf("solver: trace sink: %w", s.sinkErr)
+	}
+	return s.status, nil
+}
+
+// recordLearned emits a learned-clause trace record.
+func (s *Solver) recordLearned(id int, sources []int) {
+	if s.sink == nil || s.sinkErr != nil {
+		return
+	}
+	s.sinkErr = s.sink.Learned(id, sources)
+}
+
+// recordFinal emits the final stage of the trace (§3.1 items 2 and 3):
+// every level-0 assignment in trail order with its antecedent, then the
+// final conflicting clause ID.
+func (s *Solver) recordFinal(confl int) {
+	if s.sink == nil || s.sinkErr != nil {
+		return
+	}
+	for _, l := range s.trail {
+		v := l.Var()
+		if s.level[v] != 0 {
+			break // level-0 assignments are a prefix of the trail
+		}
+		if err := s.sink.LevelZero(v, !l.IsNeg(), s.reason[v]); err != nil {
+			s.sinkErr = err
+			return
+		}
+	}
+	s.sinkErr = s.sink.FinalConflict(confl)
+}

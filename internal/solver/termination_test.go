@@ -1,0 +1,113 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"satcheck/internal/cnf"
+	"satcheck/internal/testutil"
+)
+
+// levelVector returns k(0..n): how many variables are assigned at each
+// decision level — the quantity the paper's Proposition 1 ranking function
+//
+//	f = Σ_l k(l) / (n+1)^l
+//
+// is built from. Comparing f values is exactly comparing these vectors
+// lexicographically (lower levels dominate).
+func (s *Solver) levelVector() []int {
+	k := make([]int, s.nVars+1)
+	for _, l := range s.trail {
+		k[s.level[l.Var()]]++
+	}
+	return k
+}
+
+// lexLess reports whether f(a) < f(b) under the paper's bias towards low
+// decision levels.
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// TestProposition1RankingFunction mechanically checks the termination
+// argument of §2.2: with restarts disabled, the ranking function f strictly
+// increases at every conflict resolution (assertion-based backtracking moves
+// an assignment from the current decision level to the lower asserting
+// level). With restarts enabled the paper notes f can decrease — but only
+// at restarts, which is also asserted.
+func TestProposition1RankingFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 120; trial++ {
+		f := testutil.RandomFormula(rng, 9, 40, 3)
+		s, err := New(f, Options{DisableRestarts: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev []int
+		violations := 0
+		s.testAfterConflict = func() {
+			cur := s.levelVector()
+			if prev != nil && !lexLess(prev, cur) {
+				violations++
+				t.Logf("formula %s: f did not increase: %v -> %v", cnf.DimacsString(f), prev, cur)
+			}
+			prev = cur
+		}
+		if _, err := s.Solve(); err != nil {
+			t.Fatal(err)
+		}
+		if violations > 0 {
+			t.Fatalf("ranking function decreased %d times without restarts", violations)
+		}
+	}
+}
+
+// TestProposition1RestartsReset confirms the other half of the discussion:
+// across a restart the ranking function may drop (all non-level-0
+// assignments are undone), which is why restart periods must grow.
+func TestProposition1RestartsReset(t *testing.T) {
+	// PHP(6,5) with tiny restart base restarts many times.
+	f := phpFormulaForTermination()
+	s, err := New(f, Options{RestartBase: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != StatusUnsat {
+		t.Fatalf("status %v", st)
+	}
+	if s.Stats().Restarts == 0 {
+		t.Fatal("expected restarts under RestartBase=1")
+	}
+	// Termination despite frequent restarts is itself the point: Luby's
+	// growing period keeps the solver complete.
+}
+
+func phpFormulaForTermination() *cnf.Formula {
+	const holes, pigeons = 5, 6
+	f := cnf.NewFormula(pigeons * holes)
+	v := func(p, h int) int { return p*holes + h + 1 }
+	for p := 0; p < pigeons; p++ {
+		cl := make([]int, holes)
+		for h := range cl {
+			cl[h] = v(p, h)
+		}
+		f.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				f.AddClause(-v(p1, h), -v(p2, h))
+			}
+		}
+	}
+	return f
+}

@@ -1,0 +1,66 @@
+// Package testutil holds small helpers shared by the test suites: an
+// exhaustive brute-force SAT oracle and random-formula generators for
+// property-based testing against the CDCL solver.
+package testutil
+
+import (
+	"math/rand"
+
+	"satcheck/internal/cnf"
+)
+
+// BruteForceSat exhaustively decides satisfiability of f. It is exponential
+// in f.NumVars and intended for formulas with at most ~20 variables.
+// It returns the satisfying model if one exists.
+func BruteForceSat(f *cnf.Formula) (bool, cnf.Model) {
+	n := f.NumVars
+	m := cnf.NewAssignment(n)
+	var rec func(v cnf.Var) bool
+	rec = func(v cnf.Var) bool {
+		if int(v) > n {
+			return f.Eval(m) == cnf.True
+		}
+		for _, val := range []cnf.Value{cnf.True, cnf.False} {
+			m.Set(v, val)
+			// Prune: if some clause is already false, stop descending.
+			if f.Eval(m) != cnf.False && rec(v+1) {
+				return true
+			}
+		}
+		m.Set(v, cnf.Unknown)
+		return false
+	}
+	if rec(1) {
+		return true, m
+	}
+	return false, nil
+}
+
+// RandomFormula generates a random k-CNF formula for property tests.
+func RandomFormula(rng *rand.Rand, maxVars, maxClauses, k int) *cnf.Formula {
+	nv := 1 + rng.Intn(maxVars)
+	nc := rng.Intn(maxClauses + 1)
+	f := cnf.NewFormula(nv)
+	for i := 0; i < nc; i++ {
+		clen := 1 + rng.Intn(k)
+		cl := make(cnf.Clause, 0, clen)
+		for j := 0; j < clen; j++ {
+			v := cnf.Var(1 + rng.Intn(nv))
+			cl = append(cl, cnf.NewLit(v, rng.Intn(2) == 0))
+		}
+		f.Add(cl)
+	}
+	return f
+}
+
+// RandomClause generates a random clause over maxVars variables with up to
+// maxLen literals (possibly duplicate/tautological before normalization).
+func RandomClause(rng *rand.Rand, maxVars, maxLen int) cnf.Clause {
+	n := rng.Intn(maxLen + 1)
+	cl := make(cnf.Clause, 0, n)
+	for i := 0; i < n; i++ {
+		v := cnf.Var(1 + rng.Intn(maxVars))
+		cl = append(cl, cnf.NewLit(v, rng.Intn(2) == 0))
+	}
+	return cl
+}

@@ -1,0 +1,76 @@
+package testutil
+
+import (
+	"math/rand"
+	"testing"
+
+	"satcheck/internal/cnf"
+)
+
+func TestBruteForceSatBasics(t *testing.T) {
+	f := cnf.NewFormula(2)
+	f.AddClause(1, 2)
+	f.AddClause(-1)
+	sat, m := BruteForceSat(f)
+	if !sat {
+		t.Fatal("satisfiable formula reported unsat")
+	}
+	if bad, ok := cnf.VerifyModel(f, m); !ok {
+		t.Errorf("model fails clause %d", bad)
+	}
+
+	g := cnf.NewFormula(1)
+	g.AddClause(1)
+	g.AddClause(-1)
+	if sat, m := BruteForceSat(g); sat || m != nil {
+		t.Error("unsatisfiable formula reported sat")
+	}
+
+	// Empty formula is satisfiable (by the empty assignment).
+	if sat, _ := BruteForceSat(cnf.NewFormula(0)); !sat {
+		t.Error("empty formula reported unsat")
+	}
+
+	// Empty clause is unsatisfiable.
+	h := cnf.NewFormula(1)
+	h.Add(cnf.Clause{})
+	if sat, _ := BruteForceSat(h); sat {
+		t.Error("empty clause reported sat")
+	}
+}
+
+func TestRandomFormulaShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		f := RandomFormula(rng, 6, 20, 3)
+		if f.NumVars < 1 || f.NumVars > 6 {
+			t.Fatalf("NumVars = %d", f.NumVars)
+		}
+		if f.NumClauses() > 20 {
+			t.Fatalf("NumClauses = %d", f.NumClauses())
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range f.Clauses {
+			if len(c) == 0 || len(c) > 3 {
+				t.Fatalf("clause length %d", len(c))
+			}
+		}
+	}
+}
+
+func TestRandomClauseShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		c := RandomClause(rng, 5, 6)
+		if len(c) > 6 {
+			t.Fatalf("clause length %d", len(c))
+		}
+		for _, l := range c {
+			if !l.IsValid() || l.Var() > 5 {
+				t.Fatalf("bad literal %v", l)
+			}
+		}
+	}
+}

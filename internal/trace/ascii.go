@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"satcheck/internal/cnf"
+)
+
+// asciiMagic is the first line of every ASCII trace.
+const asciiMagic = "t res ascii 1"
+
+// ASCIIWriter encodes trace records as human-readable lines:
+//
+//	t res ascii 1
+//	L <id> <src1> <src2> ... <srck>
+//	V <var> <0|1> <anteID>
+//	C <id>
+//
+// This mirrors the paper's readable zchaff trace. Byte counts are tracked so
+// experiments can report trace sizes.
+type ASCIIWriter struct {
+	w     *bufio.Writer
+	n     int64
+	err   error
+	began bool
+}
+
+// NewASCIIWriter returns an ASCII trace writer over w.
+func NewASCIIWriter(w io.Writer) *ASCIIWriter {
+	return &ASCIIWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (aw *ASCIIWriter) begin() {
+	if aw.began || aw.err != nil {
+		return
+	}
+	aw.began = true
+	aw.writeString(asciiMagic)
+	aw.writeByte('\n')
+}
+
+func (aw *ASCIIWriter) writeString(s string) {
+	if aw.err != nil {
+		return
+	}
+	n, err := aw.w.WriteString(s)
+	aw.n += int64(n)
+	aw.err = err
+}
+
+func (aw *ASCIIWriter) writeByte(b byte) {
+	if aw.err != nil {
+		return
+	}
+	if aw.err = aw.w.WriteByte(b); aw.err == nil {
+		aw.n++
+	}
+}
+
+func (aw *ASCIIWriter) writeInt(v int) {
+	if aw.err != nil {
+		return
+	}
+	var buf [20]byte
+	s := strconv.AppendInt(buf[:0], int64(v), 10)
+	n, err := aw.w.Write(s)
+	aw.n += int64(n)
+	aw.err = err
+}
+
+// Learned implements Sink.
+func (aw *ASCIIWriter) Learned(id int, sources []int) error {
+	aw.begin()
+	aw.writeString("L ")
+	aw.writeInt(id)
+	for _, s := range sources {
+		aw.writeByte(' ')
+		aw.writeInt(s)
+	}
+	aw.writeByte('\n')
+	return aw.err
+}
+
+// LevelZero implements Sink.
+func (aw *ASCIIWriter) LevelZero(v cnf.Var, value bool, ante int) error {
+	aw.begin()
+	aw.writeString("V ")
+	aw.writeInt(int(v))
+	if value {
+		aw.writeString(" 1 ")
+	} else {
+		aw.writeString(" 0 ")
+	}
+	aw.writeInt(ante)
+	aw.writeByte('\n')
+	return aw.err
+}
+
+// FinalConflict implements Sink.
+func (aw *ASCIIWriter) FinalConflict(id int) error {
+	aw.begin()
+	aw.writeString("C ")
+	aw.writeInt(id)
+	aw.writeByte('\n')
+	return aw.err
+}
+
+// Close flushes buffered output. It does not close the underlying writer.
+func (aw *ASCIIWriter) Close() error {
+	aw.begin()
+	if aw.err != nil {
+		return aw.err
+	}
+	return aw.w.Flush()
+}
+
+// BytesWritten reports the number of encoded bytes so far (pre-flush bytes
+// included), the paper's "Trace Size" column.
+func (aw *ASCIIWriter) BytesWritten() int64 { return aw.n }
+
+// asciiReader decodes the ASCII trace format.
+type asciiReader struct {
+	sc     *bufio.Scanner
+	lineNo int
+}
+
+func newASCIIReader(r io.Reader) (*asciiReader, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<30)
+	ar := &asciiReader{sc: sc}
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	ar.lineNo = 1
+	if strings.TrimSpace(sc.Text()) != asciiMagic {
+		return nil, fmt.Errorf("trace: bad magic line %q", sc.Text())
+	}
+	return ar, nil
+}
+
+// Next implements Reader; it returns io.EOF after the last record.
+func (ar *asciiReader) Next() (Event, error) {
+	for ar.sc.Scan() {
+		ar.lineNo++
+		line := strings.TrimSpace(ar.sc.Text())
+		if line == "" || line[0] == 'c' || line[0] == '#' {
+			continue
+		}
+		fields := strings.Fields(line)
+		bad := func() (Event, error) {
+			return Event{}, fmt.Errorf("trace: line %d: malformed record %q", ar.lineNo, line)
+		}
+		ints := func(ss []string) ([]int, bool) {
+			out := make([]int, len(ss))
+			for i, s := range ss {
+				v, err := strconv.Atoi(s)
+				if err != nil {
+					return nil, false
+				}
+				out[i] = v
+			}
+			return out, true
+		}
+		switch fields[0] {
+		case "L":
+			vals, ok := ints(fields[1:])
+			if !ok || len(vals) < 2 {
+				return bad()
+			}
+			return Event{Kind: KindLearned, ID: vals[0], Sources: vals[1:]}, nil
+		case "V":
+			vals, ok := ints(fields[1:])
+			if !ok || len(vals) != 3 || (vals[1] != 0 && vals[1] != 1) || vals[0] <= 0 {
+				return bad()
+			}
+			return Event{Kind: KindLevelZero, Var: cnf.Var(vals[0]), Value: vals[1] == 1, Ante: vals[2]}, nil
+		case "C":
+			vals, ok := ints(fields[1:])
+			if !ok || len(vals) != 1 {
+				return bad()
+			}
+			return Event{Kind: KindFinalConflict, ID: vals[0]}, nil
+		default:
+			return bad()
+		}
+	}
+	if err := ar.sc.Err(); err != nil {
+		return Event{}, err
+	}
+	return Event{}, io.EOF
+}

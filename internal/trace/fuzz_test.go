@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReaderAuto asserts the trace decoders (ASCII, binary, gzip sniffing)
+// never panic and never loop on arbitrary bytes.
+func FuzzReaderAuto(f *testing.F) {
+	// Seeds: one valid trace per encoding plus malformed fragments.
+	mk := func(enc func(io.Writer) Sink) []byte {
+		var buf bytes.Buffer
+		s := enc(&buf)
+		_ = s.Learned(3, []int{0, 2})
+		_ = s.LevelZero(1, true, 3)
+		_ = s.FinalConflict(3)
+		_ = s.Close()
+		return buf.Bytes()
+	}
+	f.Add(mk(func(w io.Writer) Sink { return NewASCIIWriter(w) }))
+	f.Add(mk(func(w io.Writer) Sink { return NewBinaryWriter(w) }))
+	f.Add(mk(func(w io.Writer) Sink {
+		return NewGzipSink(w, func(w io.Writer) Sink { return NewBinaryWriter(w) })
+	}))
+	f.Add([]byte("t res ascii 1\nL 3"))
+	f.Add([]byte{0x1f, 0x8b, 0x00})
+	f.Add([]byte("TRB1\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := ReaderAuto(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Bounded event drain: a decoder must terminate with EOF or error.
+		for i := 0; i < 1<<20; i++ {
+			if _, err := r.Next(); err != nil {
+				return
+			}
+		}
+		t.Fatal("decoder produced over a million events from a small input")
+	})
+}

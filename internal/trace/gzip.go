@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+
+	"satcheck/internal/cnf"
+)
+
+// gzipMagic are the first two bytes of any gzip stream; ReaderAuto uses
+// them to transparently decompress compressed traces.
+var gzipMagic = [2]byte{0x1f, 0x8b}
+
+// GzipSink wraps an inner trace encoding in a gzip stream. Hard instances
+// produce traces of tens of megabytes (paper §4: "the trace files produced
+// by the SAT solvers are quite large for hard benchmarks"); compression
+// stacks with the binary encoding for another multiple of space.
+type GzipSink struct {
+	inner Sink
+	gz    *gzip.Writer
+	cw    *countingWriter
+}
+
+// NewGzipSink returns a Sink writing a gzip-compressed trace to w.
+// encode chooses the inner encoding from the gzip-stream writer, e.g.
+//
+//	NewGzipSink(f, func(w io.Writer) Sink { return NewBinaryWriter(w) })
+func NewGzipSink(w io.Writer, encode func(io.Writer) Sink) *GzipSink {
+	cw := &countingWriter{w: w}
+	gz := gzip.NewWriter(cw)
+	return &GzipSink{inner: encode(gz), gz: gz, cw: cw}
+}
+
+// Learned implements Sink.
+func (g *GzipSink) Learned(id int, sources []int) error { return g.inner.Learned(id, sources) }
+
+// LevelZero implements Sink.
+func (g *GzipSink) LevelZero(v cnf.Var, value bool, ante int) error {
+	return g.inner.LevelZero(v, value, ante)
+}
+
+// FinalConflict implements Sink.
+func (g *GzipSink) FinalConflict(id int) error { return g.inner.FinalConflict(id) }
+
+// Close flushes the inner encoder and terminates the gzip stream.
+func (g *GzipSink) Close() error {
+	if err := g.inner.Close(); err != nil {
+		return err
+	}
+	return g.gz.Close()
+}
+
+// BytesWritten reports compressed bytes emitted so far (complete only after
+// Close).
+func (g *GzipSink) BytesWritten() int64 { return g.cw.n }
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// ReaderAuto extends NewReader with transparent gzip decompression, so
+// FileSource (and therefore every checker) accepts plain ASCII, binary,
+// gzipped ASCII, and gzipped binary traces interchangeably.
+func ReaderAuto(r io.Reader) (Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(2)
+	if err != nil {
+		return nil, fmt.Errorf("trace: empty or unreadable input: %w", err)
+	}
+	if head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: gzip: %w", err)
+		}
+		return NewReader(gz)
+	}
+	return NewReader(br)
+}
+
+// OpenFile opens a trace file of any supported encoding (ASCII, binary,
+// either gzipped), returning a Reader and a closer for the file handle.
+func OpenFile(path string) (Reader, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := ReaderAuto(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return r, f, nil
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGzipRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	evs := randomEvents(rng)
+	for len(evs) < 20 {
+		evs = randomEvents(rng)
+	}
+	encoders := map[string]func(io.Writer) Sink{
+		"ascii":  func(w io.Writer) Sink { return NewASCIIWriter(w) },
+		"binary": func(w io.Writer) Sink { return NewBinaryWriter(w) },
+	}
+	for name, enc := range encoders {
+		var buf bytes.Buffer
+		gz := NewGzipSink(&buf, enc)
+		mt := &MemoryTrace{Events: evs}
+		if err := mt.Replay(gz); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if gz.BytesWritten() != int64(buf.Len()) {
+			t.Errorf("%s: BytesWritten=%d, buffer=%d", name, gz.BytesWritten(), buf.Len())
+		}
+		r, err := ReaderAuto(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := collect(t, r)
+		if !sameEvents(evs, got) {
+			t.Errorf("%s: gzip round trip mismatch", name)
+		}
+	}
+}
+
+func TestGzipCompresses(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	var evs []Event
+	for len(evs) < 40 {
+		evs = randomEvents(rng)
+	}
+	mt := &MemoryTrace{Events: evs}
+	var plain, compressed bytes.Buffer
+	if err := mt.Replay(NewASCIIWriter(&plain)); err != nil {
+		t.Fatal(err)
+	}
+	gz := NewGzipSink(&compressed, func(w io.Writer) Sink { return NewASCIIWriter(w) })
+	if err := mt.Replay(gz); err != nil {
+		t.Fatal(err)
+	}
+	if compressed.Len() >= plain.Len() {
+		t.Errorf("gzip did not compress: %d vs %d bytes", compressed.Len(), plain.Len())
+	}
+}
+
+func TestFileSourceGzipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "proof.trace.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz := NewGzipSink(f, func(w io.Writer) Sink { return NewBinaryWriter(w) })
+	if err := gz.Learned(3, []int{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.FinalConflict(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	src := FileSource(path)
+	for pass := 0; pass < 2; pass++ {
+		r, err := src.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs := collect(t, r)
+		if len(evs) != 2 || evs[0].Kind != KindLearned || evs[1].ID != 3 {
+			t.Fatalf("pass %d: events = %v", pass, evs)
+		}
+	}
+}
+
+func TestReaderAutoRejectsGarbage(t *testing.T) {
+	if _, err := ReaderAuto(bytes.NewReader([]byte{0x1f, 0x8b, 0x00})); err == nil {
+		t.Error("truncated gzip header accepted")
+	}
+	if _, err := ReaderAuto(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestOpenFileMissing(t *testing.T) {
+	if _, _, err := OpenFile(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"satcheck/internal/cnf"
+)
+
+// Reader iterates the records of one pass over a trace. Next returns io.EOF
+// after the final record.
+type Reader interface {
+	Next() (Event, error)
+}
+
+// Source opens fresh passes over a trace. The breadth-first checker needs
+// two (or more) passes; the depth-first checker needs one.
+type Source interface {
+	Open() (Reader, error)
+}
+
+// NewReader sniffs the encoding of r (ASCII vs binary) and returns the
+// matching decoder.
+func NewReader(r io.Reader) (Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, fmt.Errorf("trace: empty or unreadable input: %w", err)
+	}
+	if first[0] == binaryMagic[0] {
+		return newBinaryReader(br)
+	}
+	return newASCIIReader(br)
+}
+
+// FileSource reads a trace file from disk, one fresh pass per Open. This is
+// the normal production configuration: the solver streams the trace to disk
+// and the checker replays it without holding it in memory. All encodings are
+// accepted (ASCII, binary, either gzipped).
+type FileSource string
+
+// Open implements Source.
+func (p FileSource) Open() (Reader, error) {
+	r, closer, err := OpenFile(string(p))
+	if err != nil {
+		return nil, err
+	}
+	return &closingReader{Reader: r, c: closer}, nil
+}
+
+// closingReader closes the underlying file once the pass hits EOF or errors.
+type closingReader struct {
+	Reader
+	c      io.Closer
+	closed bool
+}
+
+func (cr *closingReader) Next() (Event, error) {
+	ev, err := cr.Reader.Next()
+	if err != nil && !cr.closed {
+		cr.closed = true
+		cr.c.Close()
+	}
+	return ev, err
+}
+
+// MemoryTrace is a Sink that accumulates events in memory and a Source that
+// replays them. It is the cheapest way to connect solver and checker inside
+// one process, and what the unsat-core iteration loop uses.
+type MemoryTrace struct {
+	Events []Event
+}
+
+// Learned implements Sink.
+func (m *MemoryTrace) Learned(id int, sources []int) error {
+	srcs := make([]int, len(sources))
+	copy(srcs, sources)
+	m.Events = append(m.Events, Event{Kind: KindLearned, ID: id, Sources: srcs})
+	return nil
+}
+
+// LevelZero implements Sink.
+func (m *MemoryTrace) LevelZero(v cnf.Var, value bool, ante int) error {
+	m.Events = append(m.Events, Event{Kind: KindLevelZero, Var: v, Value: value, Ante: ante})
+	return nil
+}
+
+// FinalConflict implements Sink.
+func (m *MemoryTrace) FinalConflict(id int) error {
+	m.Events = append(m.Events, Event{Kind: KindFinalConflict, ID: id})
+	return nil
+}
+
+// Close implements Sink.
+func (m *MemoryTrace) Close() error { return nil }
+
+// Open implements Source.
+func (m *MemoryTrace) Open() (Reader, error) {
+	return &sliceReader{events: m.Events}, nil
+}
+
+// Replay feeds every recorded event into sink, converting between encodings
+// (e.g. MemoryTrace -> BinaryWriter).
+func (m *MemoryTrace) Replay(sink Sink) error {
+	for _, ev := range m.Events {
+		var err error
+		switch ev.Kind {
+		case KindLearned:
+			err = sink.Learned(ev.ID, ev.Sources)
+		case KindLevelZero:
+			err = sink.LevelZero(ev.Var, ev.Value, ev.Ante)
+		case KindFinalConflict:
+			err = sink.FinalConflict(ev.ID)
+		default:
+			err = fmt.Errorf("trace: replay: unknown kind %v", ev.Kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return sink.Close()
+}
+
+type sliceReader struct {
+	events []Event
+	pos    int
+}
+
+func (sr *sliceReader) Next() (Event, error) {
+	if sr.pos >= len(sr.events) {
+		return Event{}, io.EOF
+	}
+	ev := sr.events[sr.pos]
+	sr.pos++
+	return ev, nil
+}
+
+// Level0Record is one level-zero assignment from the trace's final stage.
+type Level0Record struct {
+	Var   cnf.Var
+	Value bool
+	Ante  int
+}
+
+// Data is a fully loaded trace, the in-memory structure the depth-first
+// checker traverses. Learned clause i (ID FirstLearned+i) has resolve
+// sources LearnedSources[i].
+type Data struct {
+	FirstLearned   int
+	LearnedSources [][]int
+	Level0         []Level0Record // in trail (chronological) order
+	FinalConflict  int
+	HasConflict    bool
+}
+
+// NumLearned returns the number of learned-clause records.
+func (d *Data) NumLearned() int { return len(d.LearnedSources) }
+
+// SourcesOf returns the resolve sources of learned clause id, or nil if id
+// is not a learned clause in this trace.
+func (d *Data) SourcesOf(id int) []int {
+	i := id - d.FirstLearned
+	if i < 0 || i >= len(d.LearnedSources) {
+		return nil
+	}
+	return d.LearnedSources[i]
+}
+
+// Load reads an entire trace into memory, validating the structural
+// invariants every well-formed solver trace satisfies: learned clause IDs
+// are consecutive, every resolve source precedes the clause it derives, and
+// the final conflict record appears exactly once.
+func Load(src Source) (*Data, error) {
+	r, err := src.Open()
+	if err != nil {
+		return nil, err
+	}
+	d := &Data{FirstLearned: -1, FinalConflict: NoClause}
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch ev.Kind {
+		case KindLearned:
+			if d.FirstLearned == -1 {
+				d.FirstLearned = ev.ID
+			}
+			want := d.FirstLearned + len(d.LearnedSources)
+			if ev.ID != want {
+				return nil, fmt.Errorf("trace: learned clause IDs not consecutive: got %d, want %d", ev.ID, want)
+			}
+			if len(ev.Sources) == 0 {
+				// A sourceless learned clause would let a buggy solver
+				// "derive" anything; reject it structurally.
+				return nil, fmt.Errorf("trace: learned clause %d has no resolve sources", ev.ID)
+			}
+			for _, s := range ev.Sources {
+				if s < 0 || s >= ev.ID {
+					return nil, fmt.Errorf("trace: learned clause %d uses out-of-order source %d", ev.ID, s)
+				}
+			}
+			d.LearnedSources = append(d.LearnedSources, ev.Sources)
+		case KindLevelZero:
+			d.Level0 = append(d.Level0, Level0Record{Var: ev.Var, Value: ev.Value, Ante: ev.Ante})
+		case KindFinalConflict:
+			if d.HasConflict {
+				return nil, fmt.Errorf("trace: multiple final-conflict records (%d then %d)", d.FinalConflict, ev.ID)
+			}
+			d.HasConflict = true
+			d.FinalConflict = ev.ID
+		}
+	}
+	if !d.HasConflict {
+		return nil, fmt.Errorf("trace: no final-conflict record; trace does not claim UNSAT")
+	}
+	return d, nil
+}

@@ -1,0 +1,388 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"satcheck/internal/cnf"
+)
+
+// randomEvents produces a structurally valid random trace.
+func randomEvents(rng *rand.Rand) []Event {
+	nOrig := 1 + rng.Intn(50)
+	nLearned := rng.Intn(40)
+	var evs []Event
+	for i := 0; i < nLearned; i++ {
+		id := nOrig + i
+		k := 1 + rng.Intn(5)
+		srcs := make([]int, k)
+		for j := range srcs {
+			srcs[j] = rng.Intn(id)
+		}
+		evs = append(evs, Event{Kind: KindLearned, ID: id, Sources: srcs})
+	}
+	for v := 1; v <= rng.Intn(10); v++ {
+		evs = append(evs, Event{Kind: KindLevelZero, Var: cnf.Var(v), Value: rng.Intn(2) == 0, Ante: rng.Intn(nOrig + nLearned)})
+	}
+	evs = append(evs, Event{Kind: KindFinalConflict, ID: rng.Intn(nOrig + nLearned)})
+	return evs
+}
+
+func sameEvents(a, b []Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Kind != y.Kind || x.ID != y.ID || x.Var != y.Var || x.Value != y.Value || x.Ante != y.Ante {
+			return false
+		}
+		if len(x.Sources) != len(y.Sources) {
+			return false
+		}
+		for j := range x.Sources {
+			if x.Sources[j] != y.Sources[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func collect(t *testing.T, r Reader) []Event {
+	t.Helper()
+	var out []Event
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, ev)
+	}
+}
+
+func roundTrip(t *testing.T, evs []Event, mk func(io.Writer) Sink) []Event {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := mk(&buf)
+	mt := &MemoryTrace{Events: evs}
+	if err := mt.Replay(sink); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	return collect(t, r)
+}
+
+func TestASCIIRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	prop := func() bool {
+		evs := randomEvents(rng)
+		return sameEvents(evs, roundTrip(t, evs, func(w io.Writer) Sink { return NewASCIIWriter(w) }))
+	}
+	if err := quick.Check(func() bool { return prop() }, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	prop := func() bool {
+		evs := randomEvents(rng)
+		return sameEvents(evs, roundTrip(t, evs, func(w io.Writer) Sink { return NewBinaryWriter(w) }))
+	}
+	if err := quick.Check(func() bool { return prop() }, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinarySmallerThanASCII(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	evs := randomEvents(rng)
+	for len(evs) < 30 {
+		evs = randomEvents(rng)
+	}
+	var ab, bb bytes.Buffer
+	aw := NewASCIIWriter(&ab)
+	bw := NewBinaryWriter(&bb)
+	mt := &MemoryTrace{Events: evs}
+	if err := mt.Replay(aw); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Replay(bw); err != nil {
+		t.Fatal(err)
+	}
+	if bw.BytesWritten() >= aw.BytesWritten() {
+		t.Errorf("binary (%d bytes) not smaller than ASCII (%d bytes)", bw.BytesWritten(), aw.BytesWritten())
+	}
+	if aw.BytesWritten() != int64(ab.Len()) || bw.BytesWritten() != int64(bb.Len()) {
+		t.Error("BytesWritten disagrees with actual output size")
+	}
+}
+
+func TestEmptyTraceHasMagicOnly(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewASCIIWriter(&buf)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs := collect(t, r); len(evs) != 0 {
+		t.Errorf("got %d events from empty trace", len(evs))
+	}
+}
+
+func TestReaderSniffsFormat(t *testing.T) {
+	evs := []Event{{Kind: KindFinalConflict, ID: 3}}
+	for _, mk := range []func(io.Writer) Sink{
+		func(w io.Writer) Sink { return NewASCIIWriter(w) },
+		func(w io.Writer) Sink { return NewBinaryWriter(w) },
+	} {
+		got := roundTrip(t, evs, mk)
+		if !sameEvents(evs, got) {
+			t.Errorf("sniffing round trip failed: %v vs %v", evs, got)
+		}
+	}
+}
+
+func TestASCIIMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad magic":          "not a trace\nC 1\n",
+		"unknown record":     "t res ascii 1\nX 1\n",
+		"L without sources":  "t res ascii 1\nL 5\n",
+		"V wrong arity":      "t res ascii 1\nV 1 1\n",
+		"V bad value":        "t res ascii 1\nV 1 2 0\n",
+		"V variable zero":    "t res ascii 1\nV 0 1 0\n",
+		"C wrong arity":      "t res ascii 1\nC 1 2\n",
+		"non-integer fields": "t res ascii 1\nC x\n",
+		"empty input":        "",
+	}
+	for name, in := range cases {
+		r, err := NewReader(strings.NewReader(in))
+		if err != nil {
+			continue // magic-level failures are fine too
+		}
+		_, err = r.Next()
+		if err == nil || err == io.EOF {
+			t.Errorf("%s: expected decode error, got %v", name, err)
+		}
+	}
+}
+
+func TestASCIICommentsSkipped(t *testing.T) {
+	in := "t res ascii 1\nc a comment\n# another\n\nC 2\n"
+	r, err := NewReader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := collect(t, r)
+	if len(evs) != 1 || evs[0].ID != 2 {
+		t.Errorf("events = %v", evs)
+	}
+}
+
+func TestBinaryMalformed(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	if err := w.Learned(10, []int{3, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Truncations anywhere after the magic must produce an error, not a
+	// silent partial decode.
+	for cut := 5; cut < len(full); cut++ {
+		r, err := NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			continue
+		}
+		_, err = r.Next()
+		if err == nil {
+			t.Errorf("truncation at %d silently decoded", cut)
+		}
+	}
+	// Unknown tag.
+	bad := append(append([]byte{}, full[:4]...), 0x7f)
+	r, err := NewReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("unknown tag accepted")
+	}
+}
+
+func TestBinaryRejectsForwardSources(t *testing.T) {
+	w := NewBinaryWriter(io.Discard)
+	if err := w.Learned(5, []int{5}); err == nil {
+		t.Error("source >= id accepted by writer")
+	}
+	if err := NewBinaryWriter(io.Discard).Learned(5, []int{-1}); err == nil {
+		t.Error("negative source accepted by writer")
+	}
+}
+
+func TestFileSource(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "proof.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewASCIIWriter(f)
+	if err := w.Learned(4, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.FinalConflict(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	src := FileSource(path)
+	for pass := 0; pass < 2; pass++ { // sources must be reopenable
+		r, err := src.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs := collect(t, r)
+		if len(evs) != 2 || evs[0].Kind != KindLearned || evs[1].Kind != KindFinalConflict {
+			t.Fatalf("pass %d: events = %v", pass, evs)
+		}
+	}
+}
+
+func TestLoadValidates(t *testing.T) {
+	ok := []Event{
+		{Kind: KindLearned, ID: 10, Sources: []int{1, 2}},
+		{Kind: KindLearned, ID: 11, Sources: []int{10, 3}},
+		{Kind: KindLevelZero, Var: 1, Value: true, Ante: 11},
+		{Kind: KindFinalConflict, ID: 5},
+	}
+	d, err := Load(&MemoryTrace{Events: ok})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FirstLearned != 10 || d.NumLearned() != 2 || d.FinalConflict != 5 || len(d.Level0) != 1 {
+		t.Errorf("loaded: %+v", d)
+	}
+	if got := d.SourcesOf(11); len(got) != 2 || got[0] != 10 {
+		t.Errorf("SourcesOf(11) = %v", got)
+	}
+	if d.SourcesOf(12) != nil || d.SourcesOf(9) != nil {
+		t.Error("SourcesOf out of range should be nil")
+	}
+
+	bad := map[string][]Event{
+		"non-consecutive IDs": {
+			{Kind: KindLearned, ID: 10, Sources: []int{1}},
+			{Kind: KindLearned, ID: 12, Sources: []int{1}},
+			{Kind: KindFinalConflict, ID: 5},
+		},
+		"forward source": {
+			{Kind: KindLearned, ID: 10, Sources: []int{10}},
+			{Kind: KindFinalConflict, ID: 5},
+		},
+		"no sources": {
+			{Kind: KindLearned, ID: 10, Sources: nil},
+			{Kind: KindFinalConflict, ID: 5},
+		},
+		"double conflict": {
+			{Kind: KindFinalConflict, ID: 5},
+			{Kind: KindFinalConflict, ID: 6},
+		},
+		"no conflict": {
+			{Kind: KindLearned, ID: 10, Sources: []int{1}},
+		},
+	}
+	for name, evs := range bad {
+		if _, err := Load(&MemoryTrace{Events: evs}); err == nil {
+			t.Errorf("%s: Load accepted malformed trace", name)
+		}
+	}
+}
+
+func TestDiscardSink(t *testing.T) {
+	var d Discard
+	if d.Learned(1, nil) != nil || d.LevelZero(1, true, 0) != nil || d.FinalConflict(1) != nil || d.Close() != nil {
+		t.Error("Discard must never error")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	for _, tc := range []struct {
+		ev   Event
+		want string
+	}{
+		{Event{Kind: KindLearned, ID: 5, Sources: []int{1, 2}}, "L 5 <- [1 2]"},
+		{Event{Kind: KindLevelZero, Var: 3, Value: true, Ante: 7}, "V 3=1 ante 7"},
+		{Event{Kind: KindFinalConflict, ID: 9}, "C 9"},
+	} {
+		if got := tc.ev.String(); got != tc.want {
+			t.Errorf("String = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindLearned.String() != "learned" || KindLevelZero.String() != "level0" ||
+		KindFinalConflict.String() != "final-conflict" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind must render")
+	}
+}
+
+func TestMemoryTraceSinkDirect(t *testing.T) {
+	mt := &MemoryTrace{}
+	if err := mt.Learned(7, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.LevelZero(3, true, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.FinalConflict(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(mt.Events) != 3 {
+		t.Fatalf("events = %v", mt.Events)
+	}
+	// Learned must deep-copy sources.
+	src := []int{1, 2}
+	mt2 := &MemoryTrace{}
+	if err := mt2.Learned(7, src); err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 99
+	if mt2.Events[0].Sources[0] != 1 {
+		t.Error("Learned aliased the caller's source slice")
+	}
+}
+
+func TestReplayUnknownKind(t *testing.T) {
+	mt := &MemoryTrace{Events: []Event{{Kind: Kind(42)}}}
+	if err := mt.Replay(Discard{}); err == nil {
+		t.Error("unknown kind replayed silently")
+	}
+}

@@ -1,0 +1,38 @@
+package tracecheck
+
+import (
+	"strings"
+	"testing"
+
+	"satcheck/internal/cnf"
+)
+
+// FuzzParseVerify asserts the TraceCheck parser and verifier never panic on
+// arbitrary input, and that whatever Verify accepts against the fixed
+// formula really contains a grounded empty-clause derivation.
+func FuzzParseVerify(f *testing.F) {
+	f.Add("1 1 0 0\n2 -1 0 0\n3 0 1 2 0\n")
+	f.Add("1 1 0 0\n2 -1 0 0\n")
+	f.Add("1 x 0 0\n")
+	f.Add("")
+	f.Add("9999999 1 0 1 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		clauses, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		formula := cnf.NewFormula(1)
+		formula.AddClause(1)
+		formula.AddClause(-1)
+		if _, err := Verify(formula, clauses); err != nil {
+			return
+		}
+		// Accepted: there must be an empty clause among the lines.
+		for _, c := range clauses {
+			if len(c.Lits) == 0 {
+				return
+			}
+		}
+		t.Fatal("Verify accepted a derivation with no empty clause")
+	})
+}

@@ -1,0 +1,385 @@
+// Package tracecheck converts satcheck resolution traces into the
+// TraceCheck format — the clause-level trace format that grew out of
+// zchaff-style checkers and became the lingua franca of early proof
+// checking (a precursor of today's DRUP/DRAT) — and independently verifies
+// files in that format.
+//
+// A TraceCheck file is a sequence of lines
+//
+//	<idx> <lit>* 0 <antecedent-idx>* 0
+//
+// where a clause with no antecedents is an original clause and a clause
+// with antecedents must be derivable by resolving the antecedent clauses in
+// the given order (a "trivial resolution" chain). A derivation is a proof
+// of unsatisfiability when it contains the empty clause.
+//
+// Unlike the native satcheck trace (§3.1 of the paper), TraceCheck lines
+// carry the *literals* of every derived clause, so the format is larger but
+// self-contained: a TraceCheck file can be validated without re-deriving
+// clause contents. Export materializes the literals by running the same
+// chain resolutions the checker performs — so a successful Export is itself
+// a full validation pass — and compiles the final level-0 stage into one
+// last chain deriving the empty clause.
+package tracecheck
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"satcheck/internal/cnf"
+	"satcheck/internal/resolve"
+	"satcheck/internal/trace"
+)
+
+// Clause is one TraceCheck line.
+type Clause struct {
+	// ID is the 1-based clause index.
+	ID int
+	// Lits is the clause content in canonical order.
+	Lits cnf.Clause
+	// Antecedents is the resolution chain deriving the clause (empty for
+	// original clauses).
+	Antecedents []int
+}
+
+// ExportStats summarizes an Export.
+type ExportStats struct {
+	Originals   int
+	Derived     int   // learned clauses plus the final empty-clause chain
+	Resolutions int64 // validated resolution steps
+	Bytes       int64
+}
+
+// Export converts a formula plus its UNSAT trace into TraceCheck format.
+// Every chain is validated while exporting; the output always ends with the
+// empty clause. Learned clause contents are materialized in memory, so this
+// is offline tooling rather than a bounded-memory checker (use the checker
+// package for that).
+func Export(f *cnf.Formula, src trace.Source, w io.Writer) (*ExportStats, error) {
+	data, err := trace.Load(src)
+	if err != nil {
+		return nil, err
+	}
+	nOrig := len(f.Clauses)
+	if data.FirstLearned != -1 && data.FirstLearned != nOrig {
+		return nil, fmt.Errorf("tracecheck: trace starts learned IDs at %d but formula has %d clauses",
+			data.FirstLearned, nOrig)
+	}
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	stats := &ExportStats{}
+	cw := &countWriter{w: bw}
+
+	originals := make([]cnf.Clause, nOrig)
+	for i, c := range f.Clauses {
+		nc, _ := c.Clone().Normalize()
+		originals[i] = nc
+		if err := writeLine(cw, i+1, nc, nil); err != nil {
+			return nil, err
+		}
+		stats.Originals++
+	}
+
+	learned := make([]cnf.Clause, data.NumLearned())
+	getClause := func(id int) (cnf.Clause, error) {
+		switch {
+		case id < 0 || id >= nOrig+len(learned):
+			return nil, fmt.Errorf("tracecheck: clause %d out of range", id)
+		case id < nOrig:
+			return originals[id], nil
+		default:
+			cl := learned[id-nOrig]
+			if cl == nil {
+				return nil, fmt.Errorf("tracecheck: clause %d used before derivation", id)
+			}
+			return cl, nil
+		}
+	}
+
+	for i, srcs := range data.LearnedSources {
+		id := nOrig + i
+		start, err := getClause(srcs[0])
+		if err != nil {
+			return nil, err
+		}
+		rest := make([]cnf.Clause, 0, len(srcs)-1)
+		for _, sid := range srcs[1:] {
+			cl, err := getClause(sid)
+			if err != nil {
+				return nil, err
+			}
+			rest = append(rest, cl)
+		}
+		out, err := resolve.Chain(start, rest)
+		if err != nil {
+			return nil, fmt.Errorf("tracecheck: deriving clause %d: %w", id, err)
+		}
+		stats.Resolutions += int64(len(rest))
+		if out == nil {
+			out = cnf.Clause{}
+		}
+		learned[i] = out
+		ante := make([]int, len(srcs))
+		for j, sid := range srcs {
+			ante[j] = sid + 1
+		}
+		if err := writeLine(cw, id+1, out, ante); err != nil {
+			return nil, err
+		}
+		stats.Derived++
+	}
+
+	// Compile the final stage (conflicting clause resolved against level-0
+	// antecedents in reverse chronological order) into one last chain.
+	finalChain, steps, err := finalChain(data, getClause)
+	if err != nil {
+		return nil, err
+	}
+	stats.Resolutions += int64(steps)
+	if len(finalChain) > 1 || stepsNeeded(data, getClause) {
+		if err := writeLine(cw, nOrig+len(learned)+1, cnf.Clause{}, finalChain); err != nil {
+			return nil, err
+		}
+		stats.Derived++
+	} else {
+		// The final conflicting clause is already empty; it was emitted
+		// above (or is an original), so no extra line is needed — but for
+		// uniformity emit the empty-clause line referencing it unless it IS
+		// already the empty clause line.
+		cl, err := getClause(data.FinalConflict)
+		if err != nil {
+			return nil, err
+		}
+		if len(cl) != 0 {
+			return nil, fmt.Errorf("tracecheck: final clause %d not empty and no level-0 chain", data.FinalConflict)
+		}
+	}
+
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	stats.Bytes = cw.n
+	return stats, nil
+}
+
+// stepsNeeded reports whether the final conflicting clause is non-empty (so
+// a final chain line is required).
+func stepsNeeded(data *trace.Data, getClause func(int) (cnf.Clause, error)) bool {
+	cl, err := getClause(data.FinalConflict)
+	return err == nil && len(cl) > 0
+}
+
+// finalChain replays the final stage and returns the 1-based antecedent
+// chain [final conflicting clause, antecedents...] and the step count.
+func finalChain(data *trace.Data, getClause func(int) (cnf.Clause, error)) ([]int, int, error) {
+	type rec struct {
+		value bool
+		ante  int
+		pos   int
+	}
+	recs := make(map[cnf.Var]rec, len(data.Level0))
+	for i, r := range data.Level0 {
+		recs[r.Var] = rec{value: r.Value, ante: r.Ante, pos: i}
+	}
+	cl, err := getClause(data.FinalConflict)
+	if err != nil {
+		return nil, 0, err
+	}
+	chain := []int{data.FinalConflict + 1}
+	steps := 0
+	for len(cl) > 0 {
+		best := -1
+		bestPos := -1
+		for i, l := range cl {
+			r, ok := recs[l.Var()]
+			if !ok {
+				return nil, 0, fmt.Errorf("tracecheck: final-stage literal %s unassigned at level 0", l)
+			}
+			if r.pos > bestPos {
+				bestPos = r.pos
+				best = i
+			}
+		}
+		v := cl[best].Var()
+		r := recs[v]
+		ante, err := getClause(r.ante)
+		if err != nil {
+			return nil, 0, err
+		}
+		next, rerr := resolve.ResolventOn(cl, ante, v)
+		if rerr != nil {
+			return nil, 0, fmt.Errorf("tracecheck: final stage on variable %d: %w", v, rerr)
+		}
+		chain = append(chain, r.ante+1)
+		cl = next
+		steps++
+	}
+	return chain, steps, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+func writeLine(w io.Writer, id int, lits cnf.Clause, antecedents []int) error {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(id))
+	for _, l := range lits {
+		b.WriteByte(' ')
+		b.WriteString(strconv.Itoa(l.Dimacs()))
+	}
+	b.WriteString(" 0")
+	for _, a := range antecedents {
+		b.WriteByte(' ')
+		b.WriteString(strconv.Itoa(a))
+	}
+	b.WriteString(" 0\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Parse reads a TraceCheck file.
+func Parse(r io.Reader) ([]Clause, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<30)
+	var out []Clause
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == 'c' || line[0] == '#' {
+			continue
+		}
+		fields := strings.Fields(line)
+		vals := make([]int, len(fields))
+		for i, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("tracecheck: line %d: bad token %q", lineNo, f)
+			}
+			vals[i] = v
+		}
+		if len(vals) < 3 {
+			return nil, fmt.Errorf("tracecheck: line %d: too short", lineNo)
+		}
+		if vals[0] <= 0 {
+			return nil, fmt.Errorf("tracecheck: line %d: clause index must be positive", lineNo)
+		}
+		c := Clause{ID: vals[0]}
+		i := 1
+		for ; i < len(vals) && vals[i] != 0; i++ {
+			c.Lits = append(c.Lits, cnf.LitFromDimacs(vals[i]))
+		}
+		if i >= len(vals) {
+			return nil, fmt.Errorf("tracecheck: line %d: missing literal terminator", lineNo)
+		}
+		i++ // skip the 0
+		for ; i < len(vals) && vals[i] != 0; i++ {
+			if vals[i] <= 0 {
+				return nil, fmt.Errorf("tracecheck: line %d: antecedent index must be positive", lineNo)
+			}
+			c.Antecedents = append(c.Antecedents, vals[i])
+		}
+		if i != len(vals)-1 || vals[i] != 0 {
+			return nil, fmt.Errorf("tracecheck: line %d: malformed terminators", lineNo)
+		}
+		c.Lits, _ = c.Lits.Normalize()
+		out = append(out, c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// VerifyStats summarizes a Verify.
+type VerifyStats struct {
+	Originals   int
+	Derived     int
+	Resolutions int64
+}
+
+// Verify independently validates a parsed TraceCheck derivation:
+// every derived clause's chain must resolve to exactly its declared
+// literals, antecedents must be declared earlier, and the empty clause must
+// appear. When f is non-nil, clauses without antecedents must additionally
+// match f's clauses: clause index i (1-based) must equal formula clause
+// i-1 — the exporter's convention — so the proof is grounded in the formula
+// being refuted rather than in arbitrary axioms.
+func Verify(f *cnf.Formula, clauses []Clause) (*VerifyStats, error) {
+	byID := make(map[int]cnf.Clause, len(clauses))
+	stats := &VerifyStats{}
+	sawEmpty := false
+	for _, c := range clauses {
+		if _, dup := byID[c.ID]; dup {
+			return nil, fmt.Errorf("tracecheck: clause index %d declared twice", c.ID)
+		}
+		if len(c.Antecedents) == 0 {
+			if f != nil {
+				if c.ID > len(f.Clauses) {
+					return nil, fmt.Errorf("tracecheck: original clause %d beyond formula (%d clauses)", c.ID, len(f.Clauses))
+				}
+				want, _ := f.Clauses[c.ID-1].Clone().Normalize()
+				if !sameClause(c.Lits, want) {
+					return nil, fmt.Errorf("tracecheck: original clause %d is %s, formula has %s", c.ID, c.Lits, want)
+				}
+			}
+			byID[c.ID] = c.Lits
+			stats.Originals++
+		} else {
+			chainCls := make([]cnf.Clause, 0, len(c.Antecedents))
+			for _, a := range c.Antecedents {
+				cl, ok := byID[a]
+				if !ok {
+					return nil, fmt.Errorf("tracecheck: clause %d uses undeclared antecedent %d", c.ID, a)
+				}
+				chainCls = append(chainCls, cl)
+			}
+			out, err := resolve.Chain(chainCls[0], chainCls[1:])
+			if err != nil {
+				return nil, fmt.Errorf("tracecheck: clause %d: %w", c.ID, err)
+			}
+			stats.Resolutions += int64(len(chainCls) - 1)
+			if !sameClause(out, c.Lits) {
+				return nil, fmt.Errorf("tracecheck: clause %d declares %s but its chain derives %s", c.ID, c.Lits, out)
+			}
+			byID[c.ID] = c.Lits
+			stats.Derived++
+		}
+		if len(c.Lits) == 0 {
+			sawEmpty = true
+		}
+	}
+	if !sawEmpty {
+		return nil, fmt.Errorf("tracecheck: no empty clause; the file is not a refutation")
+	}
+	return stats, nil
+}
+
+func sameClause(a, b cnf.Clause) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	// Both canonical: compare positionally.
+	sa := append(cnf.Clause(nil), a...)
+	sb := append(cnf.Clause(nil), b...)
+	sort.Slice(sa, func(i, j int) bool { return sa[i] < sa[j] })
+	sort.Slice(sb, func(i, j int) bool { return sb[i] < sb[j] })
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return false
+		}
+	}
+	return true
+}

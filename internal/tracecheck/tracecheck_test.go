@@ -1,0 +1,236 @@
+package tracecheck
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"satcheck/internal/cnf"
+	"satcheck/internal/dp"
+	"satcheck/internal/gen"
+	"satcheck/internal/solver"
+	"satcheck/internal/testutil"
+	"satcheck/internal/trace"
+)
+
+func solveTrace(t *testing.T, f *cnf.Formula) *trace.MemoryTrace {
+	t.Helper()
+	s, err := solver.New(f, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := &trace.MemoryTrace{}
+	s.SetTrace(mt)
+	st, err := s.Solve()
+	if err != nil || st != solver.StatusUnsat {
+		t.Fatalf("st=%v err=%v", st, err)
+	}
+	return mt
+}
+
+func exportVerify(t *testing.T, f *cnf.Formula, mt *trace.MemoryTrace) (*ExportStats, *VerifyStats) {
+	t.Helper()
+	var sb strings.Builder
+	es, err := Export(f, mt, &sb)
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	clauses, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	vs, err := Verify(f, clauses)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return es, vs
+}
+
+func TestExportVerifyRoundTrip(t *testing.T) {
+	for _, ins := range []gen.Instance{
+		gen.Pigeonhole(5),
+		gen.TseitinCharge(12, 3),
+		gen.CECAdder(6),
+		gen.Scheduling(10, 3, 5, 1),
+	} {
+		mt := solveTrace(t, ins.F)
+		es, vs := exportVerify(t, ins.F, mt)
+		if es.Originals != ins.F.NumClauses() {
+			t.Errorf("%s: exported %d originals, want %d", ins.Name, es.Originals, ins.F.NumClauses())
+		}
+		if vs.Derived != es.Derived {
+			t.Errorf("%s: verified %d derived, exported %d", ins.Name, vs.Derived, es.Derived)
+		}
+		if es.Resolutions == 0 {
+			t.Errorf("%s: no resolutions exported", ins.Name)
+		}
+	}
+}
+
+func TestExportVerifyEmptyClauseInput(t *testing.T) {
+	f := cnf.NewFormula(1)
+	f.AddClause(1)
+	f.Add(cnf.Clause{})
+	mt := solveTrace(t, f)
+	es, _ := exportVerify(t, f, mt)
+	if es.Derived != 0 {
+		t.Errorf("input empty clause needs no derived lines, got %d", es.Derived)
+	}
+}
+
+func TestExportVerifyBCPOnly(t *testing.T) {
+	// Level-0 refutation: the whole proof is one final chain.
+	f := cnf.NewFormula(3)
+	f.AddClause(1)
+	f.AddClause(-1, 2)
+	f.AddClause(-1, 3)
+	f.AddClause(-2, -3)
+	mt := solveTrace(t, f)
+	es, vs := exportVerify(t, f, mt)
+	if es.Derived != 1 || vs.Derived != 1 {
+		t.Errorf("expected exactly the final chain, got %d derived", es.Derived)
+	}
+}
+
+func TestExportDPProofs(t *testing.T) {
+	// Davis-Putnam refutations export to TraceCheck too.
+	ins := gen.Pigeonhole(4)
+	s, err := dp.New(ins.F, dp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := &trace.MemoryTrace{}
+	s.SetTrace(mt)
+	st, _, err := s.Solve()
+	if err != nil || st != solver.StatusUnsat {
+		t.Fatalf("st=%v err=%v", st, err)
+	}
+	exportVerify(t, ins.F, mt)
+}
+
+func TestExportRandomUnsat(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	checked := 0
+	prop := func() bool {
+		f := testutil.RandomFormula(rng, 7, 30, 3)
+		if sat, _ := testutil.BruteForceSat(f); sat {
+			return true
+		}
+		mt := solveTrace(t, f)
+		var sb strings.Builder
+		if _, err := Export(f, mt, &sb); err != nil {
+			t.Logf("export failed on %s: %v", cnf.DimacsString(f), err)
+			return false
+		}
+		clauses, err := Parse(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		if _, err := Verify(f, clauses); err != nil {
+			t.Logf("verify failed on %s: %v", cnf.DimacsString(f), err)
+			return false
+		}
+		checked++
+		return true
+	}
+	if err := quick.Check(func() bool { return prop() }, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+	if checked < 20 {
+		t.Errorf("only %d UNSAT formulas exercised", checked)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad token":          "1 x 0 0\n",
+		"too short":          "1 0\n",
+		"zero index":         "0 1 0 0\n",
+		"negative ante":      "2 1 0 -1 0\n",
+		"missing terminator": "1 2 3\n",
+		"trailing junk":      "1 2 0 0 7\n",
+	}
+	for name, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestParseSkipsComments(t *testing.T) {
+	in := "c header\n1 5 0 0\n# note\n2 -5 0 0\n3 0 1 2 0\n"
+	clauses, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clauses) != 3 || len(clauses[2].Antecedents) != 2 {
+		t.Errorf("clauses = %+v", clauses)
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	f := cnf.NewFormula(1)
+	f.AddClause(1)
+	f.AddClause(-1)
+	mustParse := func(s string) []Clause {
+		cl, err := Parse(strings.NewReader(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+	cases := map[string]string{
+		"no empty clause":        "1 1 0 0\n2 -1 0 0\n",
+		"wrong derived literals": "1 1 0 0\n2 -1 0 0\n3 1 0 1 2 0\n",
+		"undeclared antecedent":  "1 1 0 0\n2 -1 0 0\n3 0 1 9 0\n",
+		"duplicate index":        "1 1 0 0\n1 -1 0 0\n2 0 1 1 0\n",
+		"original mismatch":      "1 -1 0 0\n2 1 0 0\n3 0 1 2 0\n",
+		"original beyond":        "1 1 0 0\n2 -1 0 0\n5 1 0 0\n3 0 1 2 0\n",
+		"invalid chain":          "1 1 0 0\n2 -1 0 0\n3 0 1 1 0\n",
+	}
+	for name, in := range cases {
+		if _, err := Verify(f, mustParse(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// The valid proof passes.
+	if _, err := Verify(f, mustParse("1 1 0 0\n2 -1 0 0\n3 0 1 2 0\n")); err != nil {
+		t.Errorf("valid refutation rejected: %v", err)
+	}
+	// Without a formula, arbitrary axioms are allowed.
+	if _, err := Verify(nil, mustParse("1 -1 0 0\n2 1 0 0\n3 0 1 2 0\n")); err != nil {
+		t.Errorf("formula-free verify rejected: %v", err)
+	}
+}
+
+func TestVerifyDetectsTamperedExport(t *testing.T) {
+	ins := gen.Pigeonhole(4)
+	mt := solveTrace(t, ins.F)
+	var sb strings.Builder
+	if _, err := Export(ins.F, mt, &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	// Tamper with a derived clause's literals (flip the first literal of the
+	// last derived line that has literals).
+	for i := len(lines) - 1; i >= 0; i-- {
+		fields := strings.Fields(lines[i])
+		if len(fields) >= 4 && fields[1] != "0" && strings.Contains(lines[i], " 0 ") {
+			if fields[1][0] == '-' {
+				fields[1] = fields[1][1:]
+			} else {
+				fields[1] = "-" + fields[1]
+			}
+			lines[i] = strings.Join(fields, " ")
+			break
+		}
+	}
+	clauses, err := Parse(strings.NewReader(strings.Join(lines, "\n") + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(ins.F, clauses); err == nil {
+		t.Error("tampered export verified")
+	}
+}

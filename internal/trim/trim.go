@@ -1,0 +1,138 @@
+// Package trim rewrites UNSAT traces down to the clauses the empty-clause
+// derivation can actually reach. The paper observes that the depth-first
+// checker "can tell what clauses are needed for this proof of
+// unsatisfiability" (§3.2); trimming turns that observation into a tool: the
+// output is a valid, usually much smaller trace over the same formula, which
+// any of the checkers validates faster and in less memory. (The same idea,
+// applied to clause-level proofs, later became drat-trim's core mission.)
+package trim
+
+import (
+	"fmt"
+	"io"
+
+	"satcheck/internal/trace"
+)
+
+// Stats reports the effect of a trim.
+type Stats struct {
+	LearnedIn  int // learned clauses in the input trace
+	LearnedOut int // learned clauses kept
+	Level0     int // level-0 records (always kept)
+	SourcesIn  int64
+	SourcesOut int64
+}
+
+// KeptFraction returns LearnedOut/LearnedIn.
+func (s *Stats) KeptFraction() float64 {
+	if s.LearnedIn == 0 {
+		return 0
+	}
+	return float64(s.LearnedOut) / float64(s.LearnedIn)
+}
+
+// Trace streams the trimmed version of src into sink. numOriginal is the
+// clause count of the formula the trace refutes (trimming is purely
+// structural, so the formula itself is not needed). Kept learned clauses are
+// renumbered consecutively after the originals, so the output is a
+// well-formed trace for the same formula.
+//
+// The needed set is computed by backward reachability from the final
+// conflicting clause and every level-0 antecedent — the depth-first build
+// set, conservatively including antecedents the final derivation may skip.
+func Trace(numOriginal int, src trace.Source, sink trace.Sink) (*Stats, error) {
+	data, err := trace.Load(src)
+	if err != nil {
+		return nil, err
+	}
+	if data.FirstLearned != -1 && data.FirstLearned != numOriginal {
+		return nil, fmt.Errorf("trim: trace starts learned IDs at %d but formula has %d clauses",
+			data.FirstLearned, numOriginal)
+	}
+	nL := data.NumLearned()
+	stats := &Stats{LearnedIn: nL, Level0: len(data.Level0)}
+
+	needed := make([]bool, nL)
+	mark := func(id int) error {
+		switch {
+		case id < 0 || id >= numOriginal+nL:
+			return fmt.Errorf("trim: clause %d out of range", id)
+		case id >= numOriginal:
+			needed[id-numOriginal] = true
+		}
+		return nil
+	}
+	if err := mark(data.FinalConflict); err != nil {
+		return nil, err
+	}
+	for _, rec := range data.Level0 {
+		if err := mark(rec.Ante); err != nil {
+			return nil, err
+		}
+	}
+	for i := nL - 1; i >= 0; i-- {
+		stats.SourcesIn += int64(len(data.LearnedSources[i]))
+		if !needed[i] {
+			continue
+		}
+		for _, s := range data.LearnedSources[i] {
+			if err := mark(s); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Renumber: kept learned clause i gets newID[i].
+	newID := make([]int, nL)
+	next := numOriginal
+	for i := 0; i < nL; i++ {
+		if needed[i] {
+			newID[i] = next
+			next++
+		} else {
+			newID[i] = -1
+		}
+	}
+	remap := func(id int) int {
+		if id < numOriginal {
+			return id
+		}
+		return newID[id-numOriginal]
+	}
+
+	for i := 0; i < nL; i++ {
+		if !needed[i] {
+			continue
+		}
+		srcs := data.LearnedSources[i]
+		out := make([]int, len(srcs))
+		for j, s := range srcs {
+			out[j] = remap(s)
+			if out[j] < 0 {
+				return nil, fmt.Errorf("trim: internal: kept clause %d references dropped clause %d", numOriginal+i, s)
+			}
+		}
+		if err := sink.Learned(newID[i], out); err != nil {
+			return nil, err
+		}
+		stats.LearnedOut++
+		stats.SourcesOut += int64(len(out))
+	}
+	for _, rec := range data.Level0 {
+		if err := sink.LevelZero(rec.Var, rec.Value, remap(rec.Ante)); err != nil {
+			return nil, err
+		}
+	}
+	if err := sink.FinalConflict(remap(data.FinalConflict)); err != nil {
+		return nil, err
+	}
+	if err := sink.Close(); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// File trims a trace file into a new file using the given encoder.
+func File(numOriginal int, inPath string, out io.Writer, encode func(io.Writer) trace.Sink) (*Stats, error) {
+	return Trace(numOriginal, trace.FileSource(inPath), encode(out))
+}

@@ -1,0 +1,154 @@
+package trim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/cnf"
+	"satcheck/internal/gen"
+	"satcheck/internal/solver"
+	"satcheck/internal/testutil"
+	"satcheck/internal/trace"
+)
+
+func solveTrace(t *testing.T, f *cnf.Formula) *trace.MemoryTrace {
+	t.Helper()
+	s, err := solver.New(f, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := &trace.MemoryTrace{}
+	s.SetTrace(mt)
+	st, err := s.Solve()
+	if err != nil || st != solver.StatusUnsat {
+		t.Fatalf("st=%v err=%v", st, err)
+	}
+	return mt
+}
+
+func trimmed(t *testing.T, f *cnf.Formula, mt *trace.MemoryTrace) (*trace.MemoryTrace, *Stats) {
+	t.Helper()
+	out := &trace.MemoryTrace{}
+	stats, err := Trace(f.NumClauses(), mt, out)
+	if err != nil {
+		t.Fatalf("trim: %v", err)
+	}
+	return out, stats
+}
+
+func TestTrimmedTraceStillValidates(t *testing.T) {
+	for _, ins := range []gen.Instance{
+		gen.Pigeonhole(5),
+		gen.CECAdder(8),
+		gen.Scheduling(12, 3, 6, 2),
+		gen.FPGARouting(12, 4, 8, 11),
+	} {
+		mt := solveTrace(t, ins.F)
+		out, stats := trimmed(t, ins.F, mt)
+		if stats.LearnedOut > stats.LearnedIn {
+			t.Errorf("%s: trim grew the trace", ins.Name)
+		}
+		for name, check := range map[string]func(*cnf.Formula, trace.Source, checker.Options) (*checker.Result, error){
+			"depth-first":   checker.DepthFirst,
+			"breadth-first": checker.BreadthFirst,
+			"hybrid":        checker.Hybrid,
+		} {
+			res, err := check(ins.F, out, checker.Options{})
+			if err != nil {
+				t.Fatalf("%s: %s rejected trimmed trace: %v", ins.Name, name, err)
+			}
+			if res.LearnedTotal != stats.LearnedOut {
+				t.Errorf("%s: %s sees %d learned, trim reported %d",
+					ins.Name, name, res.LearnedTotal, stats.LearnedOut)
+			}
+		}
+	}
+}
+
+func TestTrimMatchesCheckerBuildSet(t *testing.T) {
+	ins := gen.CECAdder(10)
+	mt := solveTrace(t, ins.F)
+	hy, err := checker.Hybrid(ins.F, mt, checker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats := trimmed(t, ins.F, mt)
+	if stats.LearnedOut != hy.ClausesBuilt {
+		t.Errorf("trim kept %d, hybrid builds %d (definitions must agree)", stats.LearnedOut, hy.ClausesBuilt)
+	}
+	if stats.KeptFraction() <= 0 || stats.KeptFraction() > 1 {
+		t.Errorf("KeptFraction = %v", stats.KeptFraction())
+	}
+}
+
+func TestTrimIdempotent(t *testing.T) {
+	ins := gen.Pigeonhole(5)
+	mt := solveTrace(t, ins.F)
+	once, s1 := trimmed(t, ins.F, mt)
+	twice, s2 := trimmed(t, ins.F, once)
+	if s2.LearnedOut != s1.LearnedOut {
+		t.Errorf("second trim changed size: %d -> %d", s1.LearnedOut, s2.LearnedOut)
+	}
+	if len(twice.Events) != len(once.Events) {
+		t.Errorf("second trim changed event count: %d -> %d", len(once.Events), len(twice.Events))
+	}
+}
+
+func TestTrimShrinksWastefulTraces(t *testing.T) {
+	// With restarts and aggressive learning, many learned clauses never feed
+	// the final proof; trimming must drop a visible fraction on at least one
+	// standard instance.
+	ins := gen.CECAdder(12)
+	mt := solveTrace(t, ins.F)
+	_, stats := trimmed(t, ins.F, mt)
+	if stats.LearnedOut >= stats.LearnedIn {
+		t.Skipf("nothing to trim on this instance (kept %d/%d)", stats.LearnedOut, stats.LearnedIn)
+	}
+	if stats.SourcesOut >= stats.SourcesIn {
+		t.Errorf("sources did not shrink: %d -> %d", stats.SourcesIn, stats.SourcesOut)
+	}
+}
+
+func TestTrimRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	checked := 0
+	prop := func() bool {
+		f := testutil.RandomFormula(rng, 8, 30, 3)
+		if sat, _ := testutil.BruteForceSat(f); sat {
+			return true
+		}
+		mt := solveTrace(t, f)
+		out := &trace.MemoryTrace{}
+		if _, err := Trace(f.NumClauses(), mt, out); err != nil {
+			t.Logf("trim failed on %s: %v", cnf.DimacsString(f), err)
+			return false
+		}
+		if _, err := checker.BreadthFirst(f, out, checker.Options{}); err != nil {
+			t.Logf("trimmed trace invalid for %s: %v", cnf.DimacsString(f), err)
+			return false
+		}
+		checked++
+		return true
+	}
+	if err := quick.Check(func() bool { return prop() }, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	if checked < 25 {
+		t.Errorf("only %d UNSAT formulas exercised", checked)
+	}
+}
+
+func TestTrimRejectsMismatch(t *testing.T) {
+	ins := gen.Pigeonhole(4)
+	mt := solveTrace(t, ins.F)
+	if _, err := Trace(ins.F.NumClauses()+1, mt, &trace.MemoryTrace{}); err == nil {
+		t.Error("wrong clause count accepted")
+	}
+	// Final conflict out of range.
+	bad := &trace.MemoryTrace{Events: []trace.Event{{Kind: trace.KindFinalConflict, ID: 999}}}
+	if _, err := Trace(3, bad, &trace.MemoryTrace{}); err == nil {
+		t.Error("out-of-range final conflict accepted")
+	}
+}

@@ -1,0 +1,190 @@
+// Package walksat implements the WalkSAT/SKC stochastic local search
+// procedure. It is deliberately the opposite of the CDCL solver on the
+// trust spectrum: incomplete, randomized, and proof-free — it can only ever
+// answer "satisfiable, here is the assignment" or give up. That makes it
+// the cleanest illustration of the paper's introductory point: a SAT claim
+// is validated by checking the model against every clause in linear time,
+// no matter how untrustworthy the solver that produced it; it is only UNSAT
+// claims that need the resolution-checking machinery.
+package walksat
+
+import (
+	"math/rand"
+
+	"satcheck/internal/cnf"
+)
+
+// Options configures the search.
+type Options struct {
+	// MaxFlips bounds variable flips per try (default 100000).
+	MaxFlips int
+	// MaxTries restarts from fresh random assignments (default 10).
+	MaxTries int
+	// Noise is the probability of a random walk move when no free flip
+	// exists (default 0.57, the classic SKC setting).
+	Noise float64
+	// Seed drives all randomness; runs are deterministic per seed.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxFlips == 0 {
+		o.MaxFlips = 100000
+	}
+	if o.MaxTries == 0 {
+		o.MaxTries = 10
+	}
+	if o.Noise == 0 {
+		o.Noise = 0.57
+	}
+	return o
+}
+
+// Stats reports the work done.
+type Stats struct {
+	Tries int
+	Flips int64
+}
+
+// Solve searches for a satisfying assignment of f. found reports success;
+// the returned model (when found) satisfies every clause — callers should
+// still confirm with cnf.VerifyModel, which is the point of the exercise.
+// Tautological clauses are satisfied by construction; an empty clause makes
+// the formula trivially unsatisfiable and Solve gives up immediately.
+func Solve(f *cnf.Formula, opts Options) (found bool, model cnf.Model, stats Stats) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Normalize clauses; bail out on an empty clause.
+	clauses := make([]cnf.Clause, 0, len(f.Clauses))
+	for _, c := range f.Clauses {
+		nc, taut := c.Clone().Normalize()
+		if taut {
+			continue
+		}
+		if len(nc) == 0 {
+			return false, nil, stats
+		}
+		clauses = append(clauses, nc)
+	}
+	n := f.NumVars
+	if len(clauses) == 0 {
+		m := cnf.NewAssignment(n)
+		for v := 1; v <= n; v++ {
+			m[v] = cnf.False
+		}
+		return true, m, stats
+	}
+
+	// Occurrence lists by literal.
+	occ := make([][]int, 2*n+2)
+	for ci, c := range clauses {
+		for _, l := range c {
+			occ[l] = append(occ[l], ci)
+		}
+	}
+
+	value := make([]bool, n+1)           // current assignment
+	trueCnt := make([]int, len(clauses)) // satisfied literals per clause
+	var unsat []int                      // indices of unsatisfied clauses
+	unsatPos := make([]int, len(clauses))
+
+	litTrue := func(l cnf.Lit) bool { return value[l.Var()] != l.IsNeg() }
+
+	addUnsat := func(ci int) {
+		unsatPos[ci] = len(unsat)
+		unsat = append(unsat, ci)
+	}
+	removeUnsat := func(ci int) {
+		p := unsatPos[ci]
+		last := unsat[len(unsat)-1]
+		unsat[p] = last
+		unsatPos[last] = p
+		unsat = unsat[:len(unsat)-1]
+	}
+
+	// flip toggles variable v, maintaining counts and the unsat set.
+	flip := func(v cnf.Var) {
+		value[v] = !value[v]
+		nowTrue := cnf.NewLit(v, !value[v]) // literal that just became true
+		nowFalse := nowTrue.Neg()
+		for _, ci := range occ[nowTrue] {
+			trueCnt[ci]++
+			if trueCnt[ci] == 1 {
+				removeUnsat(ci)
+			}
+		}
+		for _, ci := range occ[nowFalse] {
+			trueCnt[ci]--
+			if trueCnt[ci] == 0 {
+				addUnsat(ci)
+			}
+		}
+	}
+
+	// breakCount counts clauses that would become unsatisfied if v flipped.
+	breakCount := func(v cnf.Var) int {
+		// Flipping v falsifies the literal currently true at v.
+		cur := cnf.NewLit(v, !value[v])
+		cnt := 0
+		for _, ci := range occ[cur] {
+			if trueCnt[ci] == 1 {
+				cnt++
+			}
+		}
+		return cnt
+	}
+
+	for try := 0; try < opts.MaxTries; try++ {
+		stats.Tries++
+		// Fresh random assignment.
+		for v := 1; v <= n; v++ {
+			value[v] = rng.Intn(2) == 0
+		}
+		unsat = unsat[:0]
+		for ci, c := range clauses {
+			trueCnt[ci] = 0
+			for _, l := range c {
+				if litTrue(l) {
+					trueCnt[ci]++
+				}
+			}
+		}
+		for ci := range clauses {
+			if trueCnt[ci] == 0 {
+				addUnsat(ci)
+			}
+		}
+
+		for flips := 0; flips < opts.MaxFlips; flips++ {
+			if len(unsat) == 0 {
+				m := cnf.NewAssignment(n)
+				for v := 1; v <= n; v++ {
+					if value[v] {
+						m[v] = cnf.True
+					} else {
+						m[v] = cnf.False
+					}
+				}
+				return true, m, stats
+			}
+			stats.Flips++
+			c := clauses[unsat[rng.Intn(len(unsat))]]
+			// SKC: a zero-break variable if one exists, else noise/greedy.
+			bestVar := cnf.NoVar
+			bestBreak := 1 << 30
+			for _, l := range c {
+				b := breakCount(l.Var())
+				if b < bestBreak {
+					bestBreak = b
+					bestVar = l.Var()
+				}
+			}
+			if bestBreak > 0 && rng.Float64() < opts.Noise {
+				bestVar = c[rng.Intn(len(c))].Var()
+			}
+			flip(bestVar)
+		}
+	}
+	return false, nil, stats
+}

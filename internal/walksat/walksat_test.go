@@ -1,0 +1,121 @@
+package walksat
+
+import (
+	"math/rand"
+	"testing"
+
+	"satcheck/internal/cnf"
+	"satcheck/internal/solver"
+	"satcheck/internal/testutil"
+)
+
+func TestSolvesEasySat(t *testing.T) {
+	f := cnf.NewFormula(3)
+	f.AddClause(1, 2)
+	f.AddClause(-1, 3)
+	f.AddClause(-2, -3)
+	found, m, stats := Solve(f, Options{Seed: 1})
+	if !found {
+		t.Fatal("easy satisfiable formula not solved")
+	}
+	if bad, ok := cnf.VerifyModel(f, m); !ok {
+		t.Fatalf("model fails clause %d", bad)
+	}
+	if stats.Tries < 1 {
+		t.Error("no tries counted")
+	}
+}
+
+func TestTrivialCases(t *testing.T) {
+	// Empty formula: SAT with a total default assignment.
+	found, m, _ := Solve(cnf.NewFormula(3), Options{Seed: 1})
+	if !found || !m.Complete() {
+		t.Error("empty formula must solve with a total model")
+	}
+	// Empty clause: give up immediately.
+	g := cnf.NewFormula(1)
+	g.Add(cnf.Clause{})
+	if found, _, _ := Solve(g, Options{Seed: 1}); found {
+		t.Error("empty clause reported satisfiable")
+	}
+	// Tautologies alone: SAT.
+	h := cnf.NewFormula(1)
+	h.AddClause(1, -1)
+	if found, _, _ := Solve(h, Options{Seed: 1}); !found {
+		t.Error("tautology-only formula not solved")
+	}
+}
+
+// TestAgainstCDCLOnRandomSat: on satisfiable random formulas WalkSAT finds
+// verifying models; on unsatisfiable ones it never claims success.
+func TestAgainstCDCLOnRandomSat(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	solvedSat := 0
+	for trial := 0; trial < 200; trial++ {
+		f := testutil.RandomFormula(rng, 10, 30, 3)
+		s, err := solver.New(f, solver.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		found, m, _ := Solve(f, Options{Seed: int64(trial), MaxFlips: 20000, MaxTries: 5})
+		switch st {
+		case solver.StatusSat:
+			if found {
+				solvedSat++
+				if bad, ok := cnf.VerifyModel(f, m); !ok {
+					t.Fatalf("WalkSAT model fails clause %d of %s", bad, cnf.DimacsString(f))
+				}
+			}
+		case solver.StatusUnsat:
+			if found {
+				t.Fatalf("WalkSAT claimed SAT on an unsatisfiable formula %s", cnf.DimacsString(f))
+			}
+		}
+	}
+	if solvedSat < 50 {
+		t.Errorf("WalkSAT solved only %d satisfiable instances; search is broken", solvedSat)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	f := testutil.RandomFormula(rand.New(rand.NewSource(5)), 12, 40, 3)
+	f1, m1, s1 := Solve(f, Options{Seed: 9})
+	f2, m2, s2 := Solve(f, Options{Seed: 9})
+	if f1 != f2 || s1 != s2 {
+		t.Fatal("same seed produced different outcomes")
+	}
+	if f1 {
+		for v := cnf.Var(1); int(v) <= f.NumVars; v++ {
+			if m1.Value(v) != m2.Value(v) {
+				t.Fatal("same seed produced different models")
+			}
+		}
+	}
+}
+
+func TestGivesUpWithinBudget(t *testing.T) {
+	// PHP(4,3) is unsatisfiable: WalkSAT must exhaust its budget and stop.
+	f := cnf.NewFormula(12)
+	v := func(p, h int) int { return p*3 + h + 1 }
+	for p := 0; p < 4; p++ {
+		f.AddClause(v(p, 0), v(p, 1), v(p, 2))
+	}
+	for h := 0; h < 3; h++ {
+		for p1 := 0; p1 < 4; p1++ {
+			for p2 := p1 + 1; p2 < 4; p2++ {
+				f.AddClause(-v(p1, h), -v(p2, h))
+			}
+		}
+	}
+	found, _, stats := Solve(f, Options{Seed: 3, MaxFlips: 500, MaxTries: 3})
+	if found {
+		t.Fatal("claimed SAT on PHP")
+	}
+	if stats.Tries != 3 || stats.Flips != 1500 {
+		t.Errorf("stats = %+v, want 3 tries x 500 flips", stats)
+	}
+}

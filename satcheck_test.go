@@ -1,0 +1,53 @@
+package satcheck_test
+
+import (
+	"testing"
+
+	"satcheck"
+	"satcheck/internal/gen"
+)
+
+// TestPipelineSmoke exercises the full solve→trace→check pipeline on every
+// quick-suite family with all three checker strategies.
+func TestPipelineSmoke(t *testing.T) {
+	for _, ins := range gen.SuiteQuick() {
+		ins := ins
+		t.Run(ins.Name, func(t *testing.T) {
+			run, err := satcheck.SolveWithProof(ins.F, satcheck.SolverOptions{})
+			if err != nil {
+				t.Fatalf("solve: %v", err)
+			}
+			if run.Status != satcheck.StatusUnsat {
+				t.Fatalf("expected UNSAT, got %v", run.Status)
+			}
+			for _, m := range []satcheck.Method{satcheck.DepthFirst, satcheck.BreadthFirst, satcheck.Hybrid} {
+				res, err := satcheck.Check(ins.F, run.Trace, m, satcheck.CheckOptions{})
+				if err != nil {
+					t.Fatalf("%v check failed: %v", m, err)
+				}
+				if res.LearnedTotal != int(run.Stats.Learned) {
+					t.Errorf("%v: LearnedTotal = %d, solver learned %d", m, res.LearnedTotal, run.Stats.Learned)
+				}
+			}
+		})
+	}
+}
+
+// TestSatSide verifies the satisfiable direction: models verify against the
+// formula.
+func TestSatSide(t *testing.T) {
+	f := satcheck.NewFormula(3)
+	f.AddClause(1, 2)
+	f.AddClause(-1, 3)
+	f.AddClause(-2, -3)
+	st, m, err := satcheck.Solve(f, satcheck.SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != satcheck.StatusSat {
+		t.Fatalf("expected SAT, got %v", st)
+	}
+	if bad, ok := satcheck.VerifyModel(f, m); !ok {
+		t.Fatalf("model does not satisfy clause %d", bad)
+	}
+}
