@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments examples fuzz clean
+.PHONY: all build test vet race bench experiments examples fuzz clean
 
 all: build vet test
 
@@ -15,6 +15,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Full suite under the race detector — the concurrency contracts of
+# internal/checker and internal/server are proved here (CI runs this too).
+race:
+	$(GO) test -race ./...
 
 # Record the full test and benchmark logs the repository ships with.
 outputs:

@@ -1,0 +1,97 @@
+package satcheck_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"satcheck"
+	"satcheck/internal/faults"
+)
+
+// solveUnsatReq builds an UNSAT formula and its trace for RunCheck tests.
+func solveUnsatReq(t *testing.T, holes int) (*satcheck.Formula, *satcheck.MemoryTrace) {
+	t.Helper()
+	f := phpFormula(holes)
+	run, err := satcheck.SolveWithProof(f, satcheck.SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Status != satcheck.StatusUnsat {
+		t.Fatalf("expected UNSAT, got %v", run.Status)
+	}
+	return f, run.Trace
+}
+
+// TestRunCheckValid exercises the happy path of the job-level entry point,
+// including Analyze.
+func TestRunCheckValid(t *testing.T) {
+	f, mt := solveUnsatReq(t, 5)
+	for _, m := range []satcheck.Method{satcheck.DepthFirst, satcheck.BreadthFirst, satcheck.Hybrid} {
+		rep, err := satcheck.RunCheck(context.Background(), satcheck.CheckRequest{
+			Formula: f, Trace: mt, Method: m, Analyze: true,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if !rep.Valid || rep.Result == nil || rep.Failure != nil {
+			t.Fatalf("%v: report = %+v", m, rep)
+		}
+		if rep.Stats == nil || rep.Stats.NumLearned == 0 {
+			t.Errorf("%v: Analyze did not populate Stats: %+v", m, rep.Stats)
+		}
+		if rep.Method != m {
+			t.Errorf("Method echo: got %v want %v", rep.Method, m)
+		}
+	}
+}
+
+// TestRunCheckRejectionIsReport pins the service-critical contract: a bad
+// proof is a report with Failure set, not an error return.
+func TestRunCheckRejectionIsReport(t *testing.T) {
+	f, mt := solveUnsatReq(t, 5)
+	mut, err := faults.ByName("truncated-trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, applied := faults.Inject(mut, mt, 1)
+	if !applied {
+		t.Fatal("mutation not applied")
+	}
+	rep, err := satcheck.RunCheck(context.Background(), satcheck.CheckRequest{
+		Formula: f, Trace: bad, Method: satcheck.BreadthFirst,
+	})
+	if err != nil {
+		t.Fatalf("rejection surfaced as error: %v", err)
+	}
+	if rep.Valid || rep.Failure == nil {
+		t.Fatalf("report = %+v, want Valid=false with Failure", rep)
+	}
+	if rep.Failure.Kind.String() == "" {
+		t.Error("Failure.Kind is empty")
+	}
+}
+
+// TestRunCheckHonorsContext verifies cancellation aborts the job with the
+// context's error, both when already-expired and mid-run.
+func TestRunCheckHonorsContext(t *testing.T) {
+	f, mt := solveUnsatReq(t, 6)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := satcheck.RunCheck(ctx, satcheck.CheckRequest{
+		Formula: f, Trace: mt, Method: satcheck.DepthFirst,
+	}); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled ctx: err = %v, want context.Canceled", err)
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer dcancel()
+	time.Sleep(time.Millisecond)
+	if _, err := satcheck.RunCheck(dctx, satcheck.CheckRequest{
+		Formula: f, Trace: mt, Method: satcheck.BreadthFirst, Analyze: true,
+	}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+}

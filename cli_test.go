@@ -1,11 +1,13 @@
 package satcheck_test
 
 import (
+	"bufio"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 )
 
@@ -16,7 +18,7 @@ var buildTools = sync.OnceValues(func() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	for _, tool := range []string{"zsat", "zverify", "zcore", "zgen", "zproof"} {
+	for _, tool := range []string{"zsat", "zverify", "zcore", "zgen", "zproof", "zcheckd", "zcheck"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 		out, err := cmd.CombinedOutput()
 		if err != nil {
@@ -238,6 +240,177 @@ func TestCLIVerifyRejectsCorruptTrace(t *testing.T) {
 	out, code := runTool(t, "zverify", cnfPath, tracePath)
 	if code != 2 || !strings.Contains(out, "CHECK FAILED") {
 		t.Errorf("zverify on corrupt trace: exit %d, out %s", code, out)
+	}
+}
+
+// TestCLIVerifyExitCodes pins the exit-code contract: 2 is reserved for
+// "proof rejected" alone, so usage and flag errors must exit 1. (An earlier
+// version used flag.ExitOnError, whose exit 2 on a bad flag was
+// indistinguishable from a check failure to calling scripts.)
+func TestCLIVerifyExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	out, code := runTool(t, "zverify", "-no-such-flag")
+	if code != 1 {
+		t.Errorf("zverify with bad flag: exit %d (want 1), out %s", code, out)
+	}
+	out, code = runTool(t, "zverify", "-method", "nope", "a.cnf", "b.trace")
+	if code != 1 {
+		t.Errorf("zverify with bad method: exit %d (want 1), out %s", code, out)
+	}
+	out, code = runTool(t, "zverify", "/nonexistent/f.cnf", "/nonexistent/p.trace")
+	if code != 1 {
+		t.Errorf("zverify with missing files: exit %d (want 1), out %s", code, out)
+	}
+	out, code = runTool(t, "zverify")
+	if code != 1 || !strings.Contains(out, "usage:") {
+		t.Errorf("zverify with no args: exit %d (want 1 + usage), out %s", code, out)
+	}
+}
+
+// TestCLIVerifyFailureOutput checks that a rejected proof produces the
+// machine-readable kind= line alongside the human verdict.
+func TestCLIVerifyFailureOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	work := t.TempDir()
+	cnfPath := filepath.Join(work, "inst.cnf")
+	tracePath := filepath.Join(work, "inst.trace")
+	if out, code := runTool(t, "zgen", "-family", "php", "-n", "4", "-o", cnfPath); code != 0 {
+		t.Fatalf("zgen: %s", out)
+	}
+	if out, code := runTool(t, "zsat", "-trace", tracePath, cnfPath); code != 20 {
+		t.Fatalf("zsat: %s", out)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	var kept []string
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "C ") {
+			kept = append(kept, l)
+		}
+	}
+	if err := os.WriteFile(tracePath, []byte(strings.Join(kept, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := runTool(t, "zverify", "-method", "bf", cnfPath, tracePath)
+	if code != 2 {
+		t.Fatalf("zverify on truncated trace: exit %d, out %s", code, out)
+	}
+	if !strings.Contains(out, "CHECK FAILED") || !strings.Contains(out, "kind=") {
+		t.Errorf("failure output missing verdict or kind= line: %s", out)
+	}
+}
+
+// startDaemon launches zcheckd on an ephemeral port and returns its base URL
+// plus the running process. The daemon prints a parseable
+// "zcheckd: listening on http://HOST:PORT" line to stdout before serving.
+func startDaemon(t *testing.T, extraArgs ...string) (string, *exec.Cmd) {
+	t.Helper()
+	dir, err := buildTools()
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{"-addr", "127.0.0.1:0", "-quiet"}, extraArgs...)
+	cmd := exec.Command(filepath.Join(dir, "zcheckd"), args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading zcheckd banner: %v", err)
+	}
+	const prefix = "zcheckd: listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected zcheckd banner: %q", line)
+	}
+	return strings.TrimSpace(strings.TrimPrefix(line, prefix)), cmd
+}
+
+// TestCLICheckDaemonEndToEnd drives the client/daemon pair over loopback:
+// a valid proof verifies (exit 0), a fault-injected trace is rejected with a
+// structured verdict (exit 2, kind= line), and SIGTERM drains cleanly.
+func TestCLICheckDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	work := t.TempDir()
+	cnfPath := filepath.Join(work, "inst.cnf")
+	tracePath := filepath.Join(work, "inst.trace")
+	if out, code := runTool(t, "zgen", "-family", "php", "-n", "5", "-o", cnfPath); code != 0 {
+		t.Fatalf("zgen: %s", out)
+	}
+	if out, code := runTool(t, "zsat", "-trace", tracePath, cnfPath); code != 20 {
+		t.Fatalf("zsat: %s", out)
+	}
+
+	addr, cmd := startDaemon(t)
+
+	for _, method := range []string{"df", "bf", "hybrid"} {
+		out, code := runTool(t, "zcheck", "-addr", addr, "-method", method, "-analyze", cnfPath, tracePath)
+		if code != 0 {
+			t.Fatalf("zcheck -method %s exit %d: %s", method, code, out)
+		}
+		if !strings.Contains(out, "PROOF VALID") {
+			t.Errorf("zcheck %s output: %s", method, out)
+		}
+	}
+	// The repeat of an identical request must be served from the cache.
+	out, code := runTool(t, "zcheck", "-addr", addr, "-method", "df", "-analyze", cnfPath, tracePath)
+	if code != 0 || !strings.Contains(out, "[cached]") {
+		t.Errorf("repeat request not cached: exit %d, out %s", code, out)
+	}
+
+	// A structurally corrupted trace (final conflict removed) must come back
+	// as a structured rejection — exit 2 with a kind= line, not a transport
+	// or server error.
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []string
+	for _, l := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if !strings.HasPrefix(l, "C ") {
+			kept = append(kept, l)
+		}
+	}
+	badPath := filepath.Join(work, "bad.trace")
+	if err := os.WriteFile(badPath, []byte(strings.Join(kept, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code = runTool(t, "zcheck", "-addr", addr, cnfPath, badPath)
+	if code != 2 {
+		t.Fatalf("zcheck on corrupt trace: exit %d (want 2), out %s", code, out)
+	}
+	if !strings.Contains(out, "CHECK FAILED") || !strings.Contains(out, "kind=") {
+		t.Errorf("rejection output missing verdict or kind= line: %s", out)
+	}
+
+	// Client-side usage errors exit 1, mirroring zverify's contract.
+	if out, code := runTool(t, "zcheck", "-no-such-flag"); code != 1 {
+		t.Errorf("zcheck with bad flag: exit %d (want 1), out %s", code, out)
+	}
+
+	// SIGTERM drains the daemon: the process must exit 0 on its own.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Errorf("zcheckd did not drain cleanly: %v", err)
 	}
 }
 

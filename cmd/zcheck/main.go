@@ -1,0 +1,192 @@
+// Command zcheck is the client for the zcheckd proof-checking daemon: it
+// uploads a DIMACS formula and a solver trace (any encoding — ASCII,
+// binary, either gzipped) and prints the daemon's structured verdict in the
+// same shape as the local zverify tool.
+//
+// Usage:
+//
+//	zcheck [-addr http://localhost:8347] [-method df|bf|hybrid]
+//	       [-mem-limit-mb N] [-timeout D] [-analyze] [-core]
+//	       formula.cnf proof.trace
+//
+// Exit status: 0 when the proof is valid, 2 when the daemon rejected it
+// (the solver or its trace generation is buggy), 3 when the daemon applied
+// backpressure (HTTP 429/503 — retry later), 1 on usage, I/O, or transport
+// errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"satcheck"
+	"satcheck/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("zcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://localhost:8347", "zcheckd base URL")
+	method := fs.String("method", "df", "checker strategy: df, bf, or hybrid")
+	memLimitMB := fs.Int64("mem-limit-mb", 0, "per-job checker memory budget in MB (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "per-job deadline (0 = server default)")
+	analyze := fs.Bool("analyze", false, "also request proof-graph statistics")
+	core := fs.Bool("core", false, "print the unsatisfiable core clause IDs (df/hybrid)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: zcheck [flags] formula.cnf proof.trace")
+		fs.PrintDefaults()
+		return 1
+	}
+
+	var m satcheck.Method
+	switch *method {
+	case "df", "depth-first":
+		m = satcheck.DepthFirst
+	case "bf", "breadth-first":
+		m = satcheck.BreadthFirst
+	case "hybrid":
+		m = satcheck.Hybrid
+	default:
+		fmt.Fprintf(stderr, "zcheck: unknown method %q\n", *method)
+		return 1
+	}
+	opts := server.JobOptions{
+		Method:      m,
+		MemLimitMB:  *memLimitMB,
+		Timeout:     *timeout,
+		Analyze:     *analyze,
+		IncludeCore: *core,
+	}
+
+	resp, err := postFiles(*addr, opts, fs.Arg(0), fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "zcheck:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// Fall through to verdict decoding.
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		var er server.ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&er)
+		retry := resp.Header.Get("Retry-After")
+		fmt.Fprintf(stderr, "zcheck: server busy (%d): %s; retry after %ss\n", resp.StatusCode, er.Error, retry)
+		return 3
+	default:
+		var er server.ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&er)
+		fmt.Fprintf(stderr, "zcheck: HTTP %d: %s\n", resp.StatusCode, er.Error)
+		return 1
+	}
+
+	var cr server.CheckResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		fmt.Fprintln(stderr, "zcheck: decoding response:", err)
+		return 1
+	}
+	return printVerdict(stdout, &cr, *core)
+}
+
+// printVerdict renders the daemon's answer in zverify's output dialect so
+// shell pipelines can switch between local and remote checking untouched.
+func printVerdict(stdout io.Writer, cr *server.CheckResponse, wantCore bool) int {
+	cachedNote := ""
+	if cr.Cached {
+		cachedNote = " [cached]"
+	}
+	if cr.Verdict != server.VerdictValid {
+		fmt.Fprintf(stdout, "RESULT: CHECK FAILED (%s)%s\n", cr.Failure.Kind, cachedNote)
+		fmt.Fprintf(stdout, "kind=%s clause=%d step=%d\n", cr.Failure.Kind, cr.Failure.ClauseID, cr.Failure.Step)
+		fmt.Fprintf(stdout, "detail: %s\n", cr.Failure.Detail)
+		return 2
+	}
+	r := cr.Result
+	fmt.Fprintf(stdout, "RESULT: PROOF VALID — the formula is unsatisfiable%s\n", cachedNote)
+	fmt.Fprintf(stdout, "method=%s server-time=%.1fms learned=%d built=%d (%.1f%%) resolutions=%d peak-mem=%dKB\n",
+		cr.Method, cr.ElapsedMS, r.LearnedTotal, r.ClausesBuilt,
+		100*r.BuiltFraction, r.ResolutionSteps, r.PeakMemWords*4/1024)
+	if r.CoreSize > 0 {
+		fmt.Fprintf(stdout, "core: %d original clauses, %d vars involved\n", r.CoreSize, r.CoreVars)
+		if wantCore {
+			for _, id := range r.CoreClauses {
+				fmt.Fprintln(stdout, id)
+			}
+		}
+	}
+	if s := cr.Stats; s != nil {
+		fmt.Fprintf(stdout, "proof: depth=%d needed-learned=%d/%d avg-chain=%.1f trace-ints=%d\n",
+			s.Depth, s.NeededLearned, s.NumLearned, s.AvgChain, s.TraceInts)
+	}
+	return 0
+}
+
+// postFiles streams the two files as one multipart body over an io.Pipe —
+// the client never holds a proof in memory, mirroring the server's
+// streaming ingest.
+func postFiles(addr string, opts server.JobOptions, formulaPath, tracePath string) (*http.Response, error) {
+	pr, pw := io.Pipe()
+	mw := multipart.NewWriter(pw)
+	go func() {
+		err := writeParts(mw, formulaPath, tracePath)
+		if cerr := mw.Close(); err == nil {
+			err = cerr
+		}
+		pw.CloseWithError(err)
+	}()
+
+	url := addr + "/v1/check?" + opts.Query().Encode()
+	req, err := http.NewRequest(http.MethodPost, url, pr)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", mw.FormDataContentType())
+	client := &http.Client{Timeout: transportTimeout(opts.Timeout)}
+	return client.Do(req)
+}
+
+// transportTimeout gives the HTTP client headroom beyond the job deadline;
+// with no explicit deadline the transport waits indefinitely (the server
+// enforces its own default).
+func transportTimeout(jobTimeout time.Duration) time.Duration {
+	if jobTimeout <= 0 {
+		return 0
+	}
+	return jobTimeout + 30*time.Second
+}
+
+func writeParts(mw *multipart.Writer, formulaPath, tracePath string) error {
+	for _, p := range []struct{ field, path string }{
+		{"formula", formulaPath},
+		{"trace", tracePath},
+	} {
+		f, err := os.Open(p.path)
+		if err != nil {
+			return err
+		}
+		w, err := mw.CreateFormFile(p.field, filepath.Base(p.path))
+		if err == nil {
+			_, err = io.Copy(w, f)
+		}
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+// Command zcheckd is the proof-checking daemon: a long-lived HTTP/JSON
+// service wrapping the independent resolution-based checker for pipelines
+// that verify many proofs (EDA regression farms, solver CI). It owns a
+// bounded job queue with backpressure, a worker pool, a content-addressed
+// result cache, and Prometheus metrics; see docs/SERVICE.md for the API.
+//
+// Usage:
+//
+//	zcheckd [-addr :8347] [-workers N] [-queue N] [-cache N]
+//	        [-max-body-mb N] [-timeout D] [-max-timeout D] [-temp-dir DIR]
+//
+// The daemon drains gracefully on SIGTERM/SIGINT: in-flight and queued jobs
+// finish (up to -drain-grace), new checks get 503.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"satcheck/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8347", "listen address (host:port; port 0 picks a free port)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent checker workers")
+	queue := flag.Int("queue", server.DefaultQueueSize, "bounded job queue size (beyond it: HTTP 429)")
+	cache := flag.Int("cache", server.DefaultCacheEntries, "result cache entries (0 disables)")
+	maxBodyMB := flag.Int64("max-body-mb", 256, "largest accepted request body in MiB")
+	timeout := flag.Duration("timeout", time.Minute, "default per-job deadline")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "upper clamp on client-requested timeout_ms")
+	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long shutdown waits for queued jobs")
+	tempDir := flag.String("temp-dir", "", "directory for trace spools and checker spill files (default system temp)")
+	quiet := flag.Bool("quiet", false, "suppress per-job logs")
+	flag.Parse()
+
+	logLevel := slog.LevelInfo
+	if *quiet {
+		logLevel = slog.LevelWarn
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: logLevel}))
+
+	cacheEntries := *cache
+	if cacheEntries == 0 {
+		cacheEntries = -1 // Config: 0 means default, negative disables
+	}
+	s := server.New(server.Config{
+		Addr:           *addr,
+		Workers:        *workers,
+		QueueSize:      *queue,
+		CacheEntries:   cacheEntries,
+		MaxBodyBytes:   *maxBodyMB << 20,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		TempDir:        *tempDir,
+		Logger:         logger,
+	})
+
+	bound, err := s.Listen()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zcheckd:", err)
+		return 1
+	}
+	// The parseable "listening" line goes to stdout so scripts (and the CLI
+	// tests) can discover a :0-assigned port.
+	fmt.Printf("zcheckd: listening on http://%s\n", bound)
+	logger.Info("zcheckd started", "addr", bound.String(), "workers", *workers, "queue", *queue, "cache", cacheEntries)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve() }()
+
+	select {
+	case sig := <-sigs:
+		logger.Info("draining", "signal", sig.String(), "grace", *drainGrace)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			logger.Error("shutdown incomplete", "err", err)
+			return 1
+		}
+		logger.Info("drained cleanly")
+		return 0
+	case err := <-serveErr:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "zcheckd:", err)
+			return 1
+		}
+		return 0
+	}
+}

@@ -9,13 +9,16 @@
 //	        formula.cnf proof.trace
 //
 // Exit status: 0 when the proof is valid, 2 when checking fails (the solver
-// or its trace generation is buggy), 1 on usage or I/O errors.
+// or its trace generation is buggy), 1 on usage or I/O errors. Exit 2 is
+// reserved for check failures alone: flag errors go through a
+// ContinueOnError FlagSet so they exit 1, not flag.ExitOnError's 2.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -23,19 +26,23 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	method := flag.String("method", "df", "checker strategy: df, bf, or hybrid")
-	memLimitMB := flag.Int64("mem-limit-mb", 0, "abort if the checker memory model exceeds this many MB (0 = unlimited)")
-	countsOnDisk := flag.Bool("counts-on-disk", false, "bf only: keep use counts in a temp file, computed in ranges")
-	countRange := flag.Int("count-range", 1<<20, "bf only: counters per counting pass with -counts-on-disk")
-	core := flag.Bool("core", false, "df/hybrid: print the unsatisfiable core clause IDs")
-	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: zverify [flags] formula.cnf proof.trace")
-		flag.PrintDefaults()
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("zverify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	method := fs.String("method", "df", "checker strategy: df, bf, or hybrid")
+	memLimitMB := fs.Int64("mem-limit-mb", 0, "abort if the checker memory model exceeds this many MB (0 = unlimited)")
+	countsOnDisk := fs.Bool("counts-on-disk", false, "bf only: keep use counts in a temp file, computed in ranges")
+	countRange := fs.Int("count-range", 1<<20, "bf only: counters per counting pass with -counts-on-disk")
+	core := fs.Bool("core", false, "df/hybrid: print the unsatisfiable core clause IDs")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: zverify [flags] formula.cnf proof.trace")
+		fs.PrintDefaults()
 		return 1
 	}
 
@@ -48,13 +55,13 @@ func run() int {
 	case "hybrid":
 		m = satcheck.Hybrid
 	default:
-		fmt.Fprintf(os.Stderr, "zverify: unknown method %q\n", *method)
+		fmt.Fprintf(stderr, "zverify: unknown method %q\n", *method)
 		return 1
 	}
 
-	f, err := satcheck.ParseDimacsFile(flag.Arg(0))
+	f, err := satcheck.ParseDimacsFile(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "zverify:", err)
+		fmt.Fprintln(stderr, "zverify:", err)
 		return 1
 	}
 
@@ -64,28 +71,29 @@ func run() int {
 		CountRange:    *countRange,
 	}
 	start := time.Now()
-	res, err := satcheck.CheckFile(f, flag.Arg(1), m, opts)
+	res, err := satcheck.CheckFile(f, fs.Arg(1), m, opts)
 	elapsed := time.Since(start)
 	if err != nil {
 		var ce *satcheck.CheckError
 		if errors.As(err, &ce) {
-			fmt.Printf("RESULT: CHECK FAILED (%s)\n", ce.Kind)
-			fmt.Printf("detail: %v\n", ce)
+			fmt.Fprintf(stdout, "RESULT: CHECK FAILED (%s)\n", ce.Kind)
+			fmt.Fprintf(stdout, "kind=%s clause=%d step=%d\n", ce.Kind, ce.ClauseID, ce.Step)
+			fmt.Fprintf(stdout, "detail: %v\n", ce)
 			return 2
 		}
-		fmt.Fprintln(os.Stderr, "zverify:", err)
+		fmt.Fprintln(stderr, "zverify:", err)
 		return 1
 	}
-	fmt.Println("RESULT: PROOF VALID — the formula is unsatisfiable")
-	fmt.Printf("method=%s time=%v learned=%d built=%d (%.1f%%) resolutions=%d peak-mem=%dKB\n",
+	fmt.Fprintln(stdout, "RESULT: PROOF VALID — the formula is unsatisfiable")
+	fmt.Fprintf(stdout, "method=%s time=%v learned=%d built=%d (%.1f%%) resolutions=%d peak-mem=%dKB\n",
 		m, elapsed.Round(time.Millisecond), res.LearnedTotal, res.ClausesBuilt,
 		100*res.BuiltFraction(), res.ResolutionSteps, res.PeakMemWords*4/1024)
 	if res.CoreClauses != nil {
-		fmt.Printf("core: %d of %d original clauses, %d vars involved\n",
+		fmt.Fprintf(stdout, "core: %d of %d original clauses, %d vars involved\n",
 			len(res.CoreClauses), f.NumClauses(), res.CoreVars)
 		if *core {
 			for _, id := range res.CoreClauses {
-				fmt.Println(id)
+				fmt.Fprintln(stdout, id)
 			}
 		}
 	}

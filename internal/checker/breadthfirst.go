@@ -31,6 +31,7 @@ func BreadthFirst(f *cnf.Formula, src trace.Source, opts Options) (*Result, erro
 		res:       &Result{},
 	}
 	b.mem.limit = opts.MemLimitWords
+	b.intr.fn = opts.Interrupt
 	if err := b.mem.add(int64(f.NumLiterals())); err != nil {
 		return nil, err
 	}
@@ -54,6 +55,7 @@ type bfChecker struct {
 	live      map[int]*liveClause
 	l0        *level0Table
 	mem       memModel
+	intr      poller
 	res       *Result
 }
 
@@ -293,6 +295,9 @@ func (b *bfChecker) scan(src trace.Source, fn func(trace.Event) error) error {
 		return fmt.Errorf("checker: opening trace: %w", err)
 	}
 	for {
+		if err := b.intr.poll(); err != nil {
+			return err
+		}
 		ev, err := r.Next()
 		if err == io.EOF {
 			return nil

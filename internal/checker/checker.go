@@ -25,6 +25,13 @@
 // assignment, and the derivation must terminate in the empty clause.
 // Failures carry structured diagnostics (FailureKind, clause IDs, detail)
 // for debugging the solver, as §3.2 prescribes.
+//
+// Concurrency: the checkers never mutate the formula or the trace. Every
+// original clause is cloned before normalization (normalizeOriginals) and
+// trace sources are only read through fresh Reader passes, so DepthFirst,
+// BreadthFirst and Hybrid are safe to call from many goroutines over a
+// shared *cnf.Formula and a shared trace.Source — the contract the zcheckd
+// worker pool relies on (proved under -race by TestCheckersConcurrent).
 package checker
 
 import (
@@ -141,6 +148,32 @@ type Options struct {
 	CountRange int
 	// TempDir overrides the directory for spill files (default os.TempDir).
 	TempDir string
+	// Interrupt, when non-nil, is polled periodically inside the checking
+	// loops; a non-nil return aborts the run with that error. Long-lived
+	// callers pass a context's Err method to give each job a deadline
+	// (ctx.Err is safe to call from any goroutine).
+	Interrupt func() error
+}
+
+// interruptEvery is how many loop iterations pass between Interrupt polls —
+// frequent enough that deadlines bite within microseconds, rare enough to
+// stay invisible in profiles.
+const interruptEvery = 1024
+
+// poller amortizes Options.Interrupt checks over checker loop iterations.
+type poller struct {
+	fn func() error
+	n  int
+}
+
+func (p *poller) poll() error {
+	if p.fn == nil {
+		return nil
+	}
+	if p.n++; p.n%interruptEvery != 0 {
+		return nil
+	}
+	return p.fn()
 }
 
 // Result reports a successful validation together with the statistics the

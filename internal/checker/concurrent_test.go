@@ -1,0 +1,75 @@
+package checker
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"satcheck/internal/cnf"
+	"satcheck/internal/solver"
+	"satcheck/internal/trace"
+)
+
+// TestCheckersConcurrent stresses the concurrency contract documented in the
+// package doc: every checker may run concurrently with the others over the
+// SAME *cnf.Formula and the SAME trace.Source, with no external locking.
+// The formula must never be mutated (normalizeOriginals works on clones) and
+// each MemoryTrace.Open must hand back an independent reader. Run under
+// -race (the CI and `make race` targets do) this is the proof.
+func TestCheckersConcurrent(t *testing.T) {
+	type instance struct {
+		name string
+		f    *cnf.Formula
+		mt   *trace.MemoryTrace
+	}
+	var instances []instance
+	for _, holes := range []int{4, 5} {
+		f := php(holes)
+		mt, _ := solveUnsat(t, f, solver.Options{})
+		instances = append(instances, instance{fmt.Sprintf("php-%d", holes), f, mt})
+	}
+
+	const rounds = 4
+	var wg sync.WaitGroup
+	for _, ins := range instances {
+		// Snapshot the clause literals so we can prove the shared formula
+		// came through every concurrent run unmutated.
+		before := dimacsString(t, ins.f)
+		for _, m := range methods() {
+			for r := 0; r < rounds; r++ {
+				wg.Add(1)
+				go func(ins instance, m method, r int) {
+					defer wg.Done()
+					opts := Options{}
+					if r%2 == 1 {
+						// Odd rounds exercise the interrupt poller too — a
+						// never-firing hook must not perturb the result.
+						opts.Interrupt = func() error { return nil }
+					}
+					res, err := m.check(ins.f, ins.mt, opts)
+					if err != nil {
+						t.Errorf("%s/%s round %d: %v", ins.name, m.name, r, err)
+						return
+					}
+					if res.LearnedTotal <= 0 {
+						t.Errorf("%s/%s round %d: empty result", ins.name, m.name, r)
+					}
+				}(ins, m, r)
+			}
+		}
+		wg.Wait()
+		if after := dimacsString(t, ins.f); after != before {
+			t.Errorf("%s: shared formula mutated by concurrent checking", ins.name)
+		}
+	}
+}
+
+func dimacsString(t *testing.T, f *cnf.Formula) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := cnf.WriteDimacs(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}

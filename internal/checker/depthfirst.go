@@ -40,6 +40,7 @@ func depthFirstData(f *cnf.Formula, data *trace.Data, opts Options) (*Result, er
 		res:       &Result{LearnedTotal: data.NumLearned()},
 	}
 	d.mem.limit = opts.MemLimitWords
+	d.intr.fn = opts.Interrupt
 
 	// The depth-first checker holds the entire trace in memory: account for
 	// it (this is exactly what makes DF memory-hungry in Table 2).
@@ -78,6 +79,7 @@ type dfChecker struct {
 	built     []cnf.Clause // by id - FirstLearned; nil = not built yet
 	usedOrig  []bool
 	mem       memModel
+	intr      poller
 	res       *Result
 }
 
@@ -100,6 +102,9 @@ func (d *dfChecker) build(id int) (cnf.Clause, error) {
 	}
 	stack := []dfFrame{{id: id}}
 	for len(stack) > 0 {
+		if err := d.intr.poll(); err != nil {
+			return nil, err
+		}
 		fr := &stack[len(stack)-1]
 		srcs := d.data.SourcesOf(fr.id)
 		if fr.next >= len(srcs) {

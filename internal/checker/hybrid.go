@@ -43,6 +43,7 @@ func Hybrid(f *cnf.Formula, src trace.Source, opts Options) (*Result, error) {
 		res:       &Result{},
 	}
 	h.mem.limit = opts.MemLimitWords
+	h.intr.fn = opts.Interrupt
 	if err := h.mem.add(int64(f.NumLiterals())); err != nil {
 		return nil, err
 	}
@@ -76,8 +77,9 @@ type hybridChecker struct {
 	live     map[int]*liveClause
 	usedOrig map[int]struct{}
 
-	mem memModel
-	res *Result
+	mem  memModel
+	intr poller
+	res  *Result
 }
 
 func (h *hybridChecker) mark(id int) bool {
@@ -261,6 +263,9 @@ func (h *hybridChecker) markPhase(spill *sourcesSpill) error {
 	}
 
 	for i := h.numL - 1; i >= 0; i-- {
+		if err := h.intr.poll(); err != nil {
+			return err
+		}
 		if !h.isMarked(h.nOrig + i) {
 			continue
 		}
@@ -394,6 +399,9 @@ func (h *hybridChecker) scan(src trace.Source, fn func(trace.Event) error) error
 		return fmt.Errorf("checker: opening trace: %w", err)
 	}
 	for {
+		if err := h.intr.poll(); err != nil {
+			return err
+		}
 		ev, err := r.Next()
 		if err == io.EOF {
 			return nil

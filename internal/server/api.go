@@ -1,0 +1,252 @@
+// Package server implements zcheckd, the long-lived proof-checking service:
+// an HTTP/JSON front end (stdlib net/http only) over the satcheck facade
+// with a bounded job queue, a worker pool, a content-addressed result cache,
+// and hand-rolled Prometheus metrics. It is the service shape the paper's
+// trusted-checker workflow takes in an EDA pipeline, where the same proofs
+// are verified repeatedly by machines rather than once by a human at a
+// terminal.
+//
+// Wire protocol (see docs/SERVICE.md for the full contract):
+//
+//	POST /v1/check?method=df&...   multipart body: "formula" (DIMACS) + "trace"
+//	GET  /healthz                  liveness + queue snapshot
+//	GET  /metrics                  Prometheus text format
+package server
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"time"
+
+	"satcheck"
+	"satcheck/internal/proofstat"
+)
+
+// Verdict values of CheckResponse.Verdict.
+const (
+	// VerdictValid: the trace proves the formula unsatisfiable.
+	VerdictValid = "valid"
+	// VerdictRejected: checking completed and the proof is invalid; the
+	// Failure field says why. This is a 200-level outcome — the service did
+	// its job; the *solver* is buggy.
+	VerdictRejected = "rejected"
+)
+
+// CheckResponse is the JSON body answering POST /v1/check.
+type CheckResponse struct {
+	Verdict   string       `json:"verdict"` // "valid" | "rejected"
+	Method    string       `json:"method"`
+	Cached    bool         `json:"cached,omitempty"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+	Result    *ResultJSON  `json:"result,omitempty"`
+	Failure   *FailureJSON `json:"failure,omitempty"`
+	Stats     *StatsJSON   `json:"proof_stats,omitempty"`
+}
+
+// ResultJSON mirrors satcheck.CheckResult on the wire.
+type ResultJSON struct {
+	LearnedTotal    int     `json:"learned_total"`
+	ClausesBuilt    int     `json:"clauses_built"`
+	BuiltFraction   float64 `json:"built_fraction"`
+	ResolutionSteps int64   `json:"resolution_steps"`
+	PeakMemWords    int64   `json:"peak_mem_words"`
+	CoreSize        int     `json:"core_size,omitempty"`
+	CoreVars        int     `json:"core_vars,omitempty"`
+	CoreClauses     []int   `json:"core_clauses,omitempty"` // only with core=1
+}
+
+// FailureJSON mirrors satcheck.CheckError on the wire.
+type FailureJSON struct {
+	Kind     string `json:"kind"` // FailureKind string, e.g. "invalid-resolution"
+	ClauseID int    `json:"clause_id"`
+	Step     int    `json:"step"`
+	Detail   string `json:"detail"`
+}
+
+// StatsJSON mirrors proofstat.Stats on the wire (sent when analyze=1).
+type StatsJSON struct {
+	NumOriginal    int     `json:"num_original"`
+	NumLearned     int     `json:"num_learned"`
+	NeededLearned  int     `json:"needed_learned"`
+	NeededOriginal int     `json:"needed_original"`
+	Depth          int     `json:"depth"`
+	AvgChain       float64 `json:"avg_chain"`
+	ChainMax       int     `json:"chain_max"`
+	Level0         int     `json:"level0"`
+	TraceInts      int64   `json:"trace_ints"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterSec accompanies 429/503 backpressure answers, mirroring the
+	// Retry-After header for clients that only read bodies.
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
+}
+
+// HealthResponse is the JSON body of GET /healthz.
+type HealthResponse struct {
+	Status     string `json:"status"` // "ok" | "draining"
+	QueueDepth int    `json:"queue_depth"`
+	Running    int    `json:"running"`
+	Workers    int    `json:"workers"`
+	CacheSize  int    `json:"cache_size"`
+}
+
+// JobOptions are the per-job knobs, parsed from the /v1/check query string.
+type JobOptions struct {
+	// Method is the checker traversal.
+	Method satcheck.Method
+	// MemLimitMB bounds the checker's deterministic memory model; 0 = server
+	// default.
+	MemLimitMB int64
+	// Timeout bounds the job's wall clock; 0 = server default. The server
+	// clamps it to its configured maximum.
+	Timeout time.Duration
+	// Analyze also computes proof-graph statistics on valid proofs.
+	Analyze bool
+	// IncludeCore returns the full core clause ID list (DF/hybrid), not just
+	// its size.
+	IncludeCore bool
+}
+
+// ParseJobOptions reads the supported query parameters: method, mem_limit_mb,
+// timeout_ms, analyze, core. Unknown parameters are ignored (forward
+// compatibility); malformed values are errors.
+func ParseJobOptions(q url.Values) (JobOptions, error) {
+	var o JobOptions
+	switch m := q.Get("method"); m {
+	case "", "df", "depth-first":
+		o.Method = satcheck.DepthFirst
+	case "bf", "breadth-first":
+		o.Method = satcheck.BreadthFirst
+	case "hybrid":
+		o.Method = satcheck.Hybrid
+	default:
+		return o, fmt.Errorf("unknown method %q (want df, bf, or hybrid)", m)
+	}
+	var err error
+	if o.MemLimitMB, err = parseInt(q, "mem_limit_mb"); err != nil {
+		return o, err
+	}
+	ms, err := parseInt(q, "timeout_ms")
+	if err != nil {
+		return o, err
+	}
+	o.Timeout = time.Duration(ms) * time.Millisecond
+	if o.Analyze, err = parseBool(q, "analyze"); err != nil {
+		return o, err
+	}
+	if o.IncludeCore, err = parseBool(q, "core"); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+func parseInt(q url.Values, key string) (int64, error) {
+	s := q.Get(key)
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad %s=%q (want a non-negative integer)", key, s)
+	}
+	return v, nil
+}
+
+func parseBool(q url.Values, key string) (bool, error) {
+	switch q.Get(key) {
+	case "", "0", "false":
+		return false, nil
+	case "1", "true":
+		return true, nil
+	default:
+		return false, fmt.Errorf("bad %s=%q (want 0/1/true/false)", key, q.Get(key))
+	}
+}
+
+// Query renders the options back into query parameters — the client half of
+// ParseJobOptions, shared so zcheck and the tests cannot drift from the
+// server.
+func (o JobOptions) Query() url.Values {
+	q := url.Values{}
+	switch o.Method {
+	case satcheck.BreadthFirst:
+		q.Set("method", "bf")
+	case satcheck.Hybrid:
+		q.Set("method", "hybrid")
+	default:
+		q.Set("method", "df")
+	}
+	if o.MemLimitMB > 0 {
+		q.Set("mem_limit_mb", strconv.FormatInt(o.MemLimitMB, 10))
+	}
+	if o.Timeout > 0 {
+		q.Set("timeout_ms", strconv.FormatInt(int64(o.Timeout/time.Millisecond), 10))
+	}
+	if o.Analyze {
+		q.Set("analyze", "1")
+	}
+	if o.IncludeCore {
+		q.Set("core", "1")
+	}
+	return q
+}
+
+// canonical is the deterministic option fingerprint folded into the cache
+// key. Everything that changes the answer's content must appear here.
+func (o JobOptions) canonical() string {
+	return fmt.Sprintf("method=%d mem=%d analyze=%t core=%t", int(o.Method), o.MemLimitMB, o.Analyze, o.IncludeCore)
+}
+
+// responseFromReport converts a facade CheckReport into the wire shape.
+func responseFromReport(rep *satcheck.CheckReport, o JobOptions) *CheckResponse {
+	resp := &CheckResponse{
+		Method:    rep.Method.String(),
+		ElapsedMS: float64(rep.Elapsed) / float64(time.Millisecond),
+	}
+	if rep.Valid {
+		resp.Verdict = VerdictValid
+		r := rep.Result
+		resp.Result = &ResultJSON{
+			LearnedTotal:    r.LearnedTotal,
+			ClausesBuilt:    r.ClausesBuilt,
+			BuiltFraction:   r.BuiltFraction(),
+			ResolutionSteps: r.ResolutionSteps,
+			PeakMemWords:    r.PeakMemWords,
+			CoreSize:        len(r.CoreClauses),
+			CoreVars:        r.CoreVars,
+		}
+		if o.IncludeCore {
+			resp.Result.CoreClauses = r.CoreClauses
+		}
+		if rep.Stats != nil {
+			resp.Stats = statsJSON(rep.Stats)
+		}
+	} else {
+		resp.Verdict = VerdictRejected
+		resp.Failure = &FailureJSON{
+			Kind:     rep.Failure.Kind.String(),
+			ClauseID: rep.Failure.ClauseID,
+			Step:     rep.Failure.Step,
+			Detail:   rep.Failure.Error(),
+		}
+	}
+	return resp
+}
+
+func statsJSON(s *proofstat.Stats) *StatsJSON {
+	return &StatsJSON{
+		NumOriginal:    s.NumOriginal,
+		NumLearned:     s.NumLearned,
+		NeededLearned:  s.NeededLearned,
+		NeededOriginal: s.NeededOriginal,
+		Depth:          s.Depth,
+		AvgChain:       s.AvgChain(),
+		ChainMax:       s.ChainMax,
+		Level0:         s.Level0,
+		TraceInts:      s.TraceInts,
+	}
+}

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"satcheck"
+	"satcheck/internal/cnf"
+	"satcheck/internal/gen"
+	"satcheck/internal/trace"
+)
+
+// BenchmarkServerCheckThroughput measures end-to-end POST /v1/check jobs/sec
+// over an in-process httptest server on a gen.Suite() instance, in the two
+// regimes that bracket production behaviour:
+//
+//   - cold: the cache is disabled, every request runs a full breadth-first
+//     check (ingest + hash + spool + queue + check + respond);
+//   - cache-hit: the identical request replays from the content-addressed
+//     LRU, measuring the service overhead floor.
+//
+// Recorded alongside the bench trajectory (bench_output.txt / EXPERIMENTS.md).
+func BenchmarkServerCheckThroughput(b *testing.B) {
+	ins := gen.Suite()[0] // alu-miter-16: the suite's smallest proof
+	run, err := satcheck.SolveWithProof(ins.F, satcheck.SolverOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if run.Status != satcheck.StatusUnsat {
+		b.Fatalf("expected UNSAT, got %v", run.Status)
+	}
+	var fb bytes.Buffer
+	if err := cnf.WriteDimacs(&fb, ins.F); err != nil {
+		b.Fatal(err)
+	}
+	var tb bytes.Buffer
+	if err := run.Trace.Replay(trace.NewBinaryWriter(&tb)); err != nil {
+		b.Fatal(err)
+	}
+	formula, traceBytes := fb.Bytes(), tb.Bytes()
+
+	post := func(b *testing.B, ts *httptest.Server) {
+		b.Helper()
+		ct, body := multipartBody(b, formula, traceBytes)
+		resp, err := ts.Client().Post(ts.URL+"/v1/check?method=bf", ct, body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+
+	bodyBytes := int64(len(formula) + len(traceBytes))
+
+	b.Run("cold", func(b *testing.B) {
+		s := New(Config{CacheEntries: -1, QueueSize: 1024})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		b.SetBytes(bodyBytes)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				post(b, ts)
+			}
+		})
+	})
+
+	b.Run("cache-hit", func(b *testing.B) {
+		s := New(Config{QueueSize: 1024})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		post(b, ts) // warm the cache
+		b.SetBytes(bodyBytes)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				post(b, ts)
+			}
+		})
+	})
+}

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+)
+
+// cacheKey content-addresses one check: SHA-256 over the formula bytes, the
+// trace bytes, and the canonical option string. Two requests with the same
+// key are the same verification problem, so the verdict (valid or rejected
+// — both deterministic) can be replayed in O(1).
+type cacheKey [sha256.Size]byte
+
+// makeCacheKey combines the streamed part digests with the job options.
+// Hashing the two digests plus the option string (rather than re-hashing the
+// payloads) keeps key construction constant-time after ingest.
+func makeCacheKey(formulaSum, traceSum [sha256.Size]byte, options string) cacheKey {
+	h := sha256.New()
+	h.Write(formulaSum[:])
+	h.Write(traceSum[:])
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(options)))
+	h.Write(n[:])
+	h.Write([]byte(options))
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// resultCache is a mutex-guarded LRU over finished check responses. Entries
+// are immutable once stored; readers copy before mutating (the handler sets
+// Cached=true on its copy).
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	resp *CheckResponse
+}
+
+// newResultCache returns a cache holding up to capacity responses;
+// capacity <= 0 disables caching (every Get misses, Put is a no-op).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[cacheKey]*list.Element),
+	}
+}
+
+// Get returns the cached response for key, promoting it to most recently
+// used.
+func (c *resultCache) Get(key cacheKey) (*CheckResponse, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+// Put stores resp under key, evicting the least recently used entry when
+// over capacity.
+func (c *resultCache) Put(key cacheKey, resp *CheckResponse) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).resp = resp
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, resp: resp})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of cached responses.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,302 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"os"
+	"strconv"
+
+	"satcheck"
+	"satcheck/internal/cnf"
+	"satcheck/internal/trace"
+)
+
+// handleCheck is POST /v1/check: multipart parts "formula" (DIMACS) and
+// "trace" (any trace encoding — ASCII, binary, either gzipped). The parts
+// are *streamed*: the formula is parsed and the trace spooled to a temp
+// file as the body arrives, with SHA-256 digests computed on the way
+// through; nothing is buffered wholesale in memory and the trace is format-
+// sniffed off the spool, never off a rewound body.
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.metrics.jobsRejected.Add(1)
+		s.backpressure(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+
+	opts, err := ParseJobOptions(r.URL.Query())
+	if err != nil {
+		s.badRequest(w, err.Error())
+		return
+	}
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	mr, err := r.MultipartReader()
+	if err != nil {
+		s.badRequest(w, "expected multipart/form-data with parts \"formula\" and \"trace\": "+err.Error())
+		return
+	}
+
+	ing, err := s.ingest(mr)
+	if ing != nil {
+		defer ing.close()
+	}
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.metrics.badRequests.Add(1)
+			s.errorJSON(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit), 0)
+			return
+		}
+		s.badRequest(w, err.Error())
+		return
+	}
+
+	key := makeCacheKey(ing.formulaSum, ing.traceSum, opts.canonical())
+	if resp, ok := s.cache.Get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		hit := *resp // shallow copy; cached entries are immutable
+		hit.Cached = true
+		s.writeJSON(w, http.StatusOK, &hit)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	j := &job{
+		id:  s.nextJob.Add(1),
+		ctx: ctx,
+		req: satcheck.CheckRequest{
+			Formula: ing.formula,
+			Trace:   ing.spool,
+			Method:  opts.Method,
+			Options: satcheck.CheckOptions{
+				MemLimitWords: opts.MemLimitMB << 20 / 4,
+				TempDir:       s.cfg.TempDir,
+			},
+			Analyze: opts.Analyze,
+		},
+		opts: opts,
+		key:  key,
+		done: make(chan jobResult, 1),
+	}
+
+	if err := s.queue.Submit(j); err != nil {
+		s.metrics.jobsRejected.Add(1)
+		switch {
+		case errors.Is(err, errQueueFull):
+			s.backpressure(w, http.StatusTooManyRequests, "job queue full")
+		default:
+			s.backpressure(w, http.StatusServiceUnavailable, "server is draining")
+		}
+		return
+	}
+	s.metrics.jobsAccepted.Add(1)
+	s.metrics.queueDepth.Add(1)
+	s.log.Info("check accepted", "job", j.id, "method", opts.Method.String(),
+		"formula_bytes", ing.formulaBytes, "trace_bytes", ing.traceBytes)
+
+	res := <-j.done
+	if res.err != nil {
+		if errors.Is(res.err, context.DeadlineExceeded) {
+			s.errorJSON(w, http.StatusGatewayTimeout,
+				fmt.Sprintf("check exceeded its %v deadline", timeout), 0)
+			return
+		}
+		if errors.Is(res.err, context.Canceled) {
+			// Client went away; the connection is dead but answer anyway.
+			s.errorJSON(w, http.StatusServiceUnavailable, "request canceled", 0)
+			return
+		}
+		s.errorJSON(w, http.StatusInternalServerError, res.err.Error(), 0)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, res.resp)
+}
+
+// ingested is the decoded request payload: the parsed formula and the trace
+// spooled to an unlinked temp file that supports the checkers' repeated
+// passes.
+type ingested struct {
+	formula      *cnf.Formula
+	formulaSum   [sha256.Size]byte
+	formulaBytes int64
+	spool        *spoolSource
+	traceSum     [sha256.Size]byte
+	traceBytes   int64
+}
+
+func (in *ingested) close() {
+	if in.spool != nil {
+		in.spool.f.Close()
+	}
+}
+
+// ingest walks the multipart parts in body order. Unknown parts are drained
+// and ignored for forward compatibility.
+func (s *Server) ingest(mr *multipart.Reader) (*ingested, error) {
+	in := &ingested{}
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return in, fmt.Errorf("reading multipart body: %w", err)
+		}
+		switch part.FormName() {
+		case "formula":
+			if in.formula != nil {
+				return in, errors.New("duplicate \"formula\" part")
+			}
+			h := sha256.New()
+			cr := &countingReader{r: io.TeeReader(part, h)}
+			f, err := cnf.ParseDimacs(cr)
+			if err != nil {
+				return in, fmt.Errorf("parsing formula: %w", err)
+			}
+			// ParseDimacs may stop at the declared clause count; drain the
+			// remainder so the digest covers the exact bytes sent.
+			io.Copy(io.Discard, cr)
+			in.formula = f
+			h.Sum(in.formulaSum[:0])
+			in.formulaBytes = cr.n
+			s.metrics.bytesIngested.Add(cr.n)
+		case "trace":
+			if in.spool != nil {
+				return in, errors.New("duplicate \"trace\" part")
+			}
+			spool, sum, n, err := s.spoolTrace(part)
+			if err != nil {
+				return in, err
+			}
+			in.spool, in.traceSum, in.traceBytes = spool, sum, n
+			s.metrics.bytesIngested.Add(n)
+		default:
+			io.Copy(io.Discard, part)
+		}
+	}
+	if in.formula == nil {
+		return in, errors.New("missing \"formula\" part")
+	}
+	if in.spool == nil {
+		return in, errors.New("missing \"trace\" part")
+	}
+	return in, nil
+}
+
+// spoolTrace streams one trace part to an unlinked temp file, hashing on
+// the way, and sniffs the encoding off the spool so a garbage payload is a
+// 400 at ingest rather than a worker-side surprise.
+func (s *Server) spoolTrace(part io.Reader) (*spoolSource, [sha256.Size]byte, int64, error) {
+	var sum [sha256.Size]byte
+	tmp, err := os.CreateTemp(s.cfg.TempDir, "zcheckd-trace-*")
+	if err != nil {
+		return nil, sum, 0, fmt.Errorf("spooling trace: %w", err)
+	}
+	// Unlink immediately: the spool lives exactly as long as its handle.
+	os.Remove(tmp.Name())
+	h := sha256.New()
+	n, err := io.Copy(tmp, io.TeeReader(part, h))
+	if err != nil {
+		tmp.Close()
+		return nil, sum, 0, fmt.Errorf("spooling trace: %w", err)
+	}
+	h.Sum(sum[:0])
+	spool := &spoolSource{f: tmp, size: n}
+	if _, err := spool.Open(); err != nil {
+		tmp.Close()
+		return nil, sum, 0, fmt.Errorf("unrecognized trace: %w", err)
+	}
+	return spool, sum, n, nil
+}
+
+// spoolSource replays the spooled trace, one independent pass per Open —
+// exactly the multi-pass contract the breadth-first and hybrid checkers
+// need, over a body that could only be read once.
+type spoolSource struct {
+	f    *os.File
+	size int64
+}
+
+// Open implements trace.Source. SectionReader reads via ReadAt, so
+// concurrent passes never disturb each other's offsets.
+func (sp *spoolSource) Open() (trace.Reader, error) {
+	return trace.ReaderAuto(io.NewSectionReader(sp.f, 0, sp.size))
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, &HealthResponse{
+		Status:     status,
+		QueueDepth: s.queue.Depth(),
+		Running:    int(s.metrics.jobsRunning.Load()),
+		Workers:    s.cfg.Workers,
+		CacheSize:  s.cache.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, msg string) {
+	s.metrics.badRequests.Add(1)
+	s.errorJSON(w, http.StatusBadRequest, msg, 0)
+}
+
+// backpressure answers 429/503 with a Retry-After hint in both header and
+// body.
+func (s *Server) backpressure(w http.ResponseWriter, code int, msg string) {
+	sec := int(s.cfg.RetryAfter.Seconds())
+	if sec < 1 {
+		sec = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(sec))
+	s.errorJSON(w, code, msg, sec)
+}
+
+func (s *Server) errorJSON(w http.ResponseWriter, code int, msg string, retrySec int) {
+	s.writeJSON(w, code, &ErrorResponse{Error: msg, RetryAfterSec: retrySec})
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the daemon's observability surface, hand-rolled in the
+// Prometheus text exposition format (stdlib only — no client library). All
+// fields are atomics; the handlers and workers update them lock-free and
+// /metrics renders a consistent-enough snapshot.
+type Metrics struct {
+	// Counters.
+	jobsAccepted  atomic.Int64 // admitted to the queue
+	jobsCompleted atomic.Int64 // finished with a verdict (valid or rejected)
+	jobsFailed    atomic.Int64 // infrastructure failure or deadline
+	jobsRejected  atomic.Int64 // turned away: queue full or draining
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	bytesIngested atomic.Int64 // formula + trace bytes read from request bodies
+	badRequests   atomic.Int64
+
+	// Gauges.
+	queueDepth  atomic.Int64
+	jobsRunning atomic.Int64
+
+	// Checker latency histogram (seconds).
+	latency histogram
+}
+
+// latencyBuckets are the histogram upper bounds in seconds; checks span
+// sub-millisecond cache-adjacent formulas to minutes-long industrial proofs.
+var latencyBuckets = [...]float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60, 300}
+
+// histogram is a fixed-bucket Prometheus-style histogram. Counts are made
+// cumulative only at render time; each cell holds its own bucket.
+type histogram struct {
+	counts  [len(latencyBuckets) + 1]atomic.Int64 // last cell is +Inf
+	sumNano atomic.Int64
+	total   atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for ; i < len(latencyBuckets); i++ {
+		if s <= latencyBuckets[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.sumNano.Add(int64(d))
+	h.total.Add(1)
+}
+
+// ObserveCheck records one completed check's latency.
+func (m *Metrics) ObserveCheck(d time.Duration) { m.latency.observe(d) }
+
+// WritePrometheus renders every metric in the text exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("zcheckd_jobs_accepted_total", "Jobs admitted to the queue.", m.jobsAccepted.Load())
+	counter("zcheckd_jobs_completed_total", "Jobs that produced a verdict (valid or rejected).", m.jobsCompleted.Load())
+	counter("zcheckd_jobs_failed_total", "Jobs that failed on infrastructure errors or deadlines.", m.jobsFailed.Load())
+	counter("zcheckd_jobs_rejected_total", "Requests turned away by backpressure (queue full or draining).", m.jobsRejected.Load())
+	counter("zcheckd_cache_hits_total", "Checks answered from the result cache.", m.cacheHits.Load())
+	counter("zcheckd_cache_misses_total", "Checks that missed the result cache.", m.cacheMisses.Load())
+	counter("zcheckd_bytes_ingested_total", "Formula and trace bytes read from request bodies.", m.bytesIngested.Load())
+	counter("zcheckd_bad_requests_total", "Requests rejected as malformed (HTTP 4xx other than 429).", m.badRequests.Load())
+	gauge("zcheckd_queue_depth", "Jobs waiting in the queue.", m.queueDepth.Load())
+	gauge("zcheckd_jobs_running", "Jobs currently being checked by workers.", m.jobsRunning.Load())
+
+	fmt.Fprintf(w, "# HELP zcheckd_check_seconds Checker wall-clock latency.\n# TYPE zcheckd_check_seconds histogram\n")
+	cum := int64(0)
+	for i, ub := range latencyBuckets {
+		cum += m.latency.counts[i].Load()
+		fmt.Fprintf(w, "zcheckd_check_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += m.latency.counts[len(latencyBuckets)].Load()
+	fmt.Fprintf(w, "zcheckd_check_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "zcheckd_check_seconds_sum %g\n", time.Duration(m.latency.sumNano.Load()).Seconds())
+	fmt.Fprintf(w, "zcheckd_check_seconds_count %d\n", m.latency.total.Load())
+}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"sync"
+	"time"
+
+	"satcheck"
+)
+
+// workerPool runs the queued jobs. Each worker is a goroutine ranging over
+// the queue channel; the pool size is the service's concurrency bound — the
+// checkers themselves are safe for concurrent use over shared inputs (see
+// internal/checker's package docs), so workers need no further coordination.
+type workerPool struct {
+	queue   *jobQueue
+	cache   *resultCache
+	metrics *Metrics
+	log     *slog.Logger
+	wg      sync.WaitGroup
+
+	// beforeRun, when set (tests only), runs before each job's check — used
+	// to hold a worker busy deterministically for backpressure tests.
+	beforeRun func(*job)
+}
+
+// startPool launches n workers draining q.
+func startPool(n int, q *jobQueue, cache *resultCache, m *Metrics, log *slog.Logger) *workerPool {
+	if n < 1 {
+		n = 1
+	}
+	p := &workerPool{queue: q, cache: cache, metrics: m, log: log}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workerPool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue.ch {
+		p.run(j)
+	}
+}
+
+func (p *workerPool) run(j *job) {
+	p.metrics.queueDepth.Add(-1)
+	p.metrics.jobsRunning.Add(1)
+	defer p.metrics.jobsRunning.Add(-1)
+
+	if p.beforeRun != nil {
+		p.beforeRun(j)
+	}
+
+	start := time.Now()
+	rep, err := satcheck.RunCheck(j.ctx, j.req)
+	elapsed := time.Since(start)
+	p.metrics.ObserveCheck(elapsed)
+
+	if err != nil {
+		p.metrics.jobsFailed.Add(1)
+		p.log.Error("check failed", "job", j.id, "method", j.req.Method.String(),
+			"elapsed", elapsed, "err", err,
+			"deadline", errors.Is(err, context.DeadlineExceeded))
+		j.done <- jobResult{err: err}
+		return
+	}
+
+	resp := responseFromReport(rep, j.opts)
+	// Both verdicts are deterministic functions of (formula, trace, options):
+	// rejections cache as well as proofs.
+	p.cache.Put(j.key, resp)
+	p.metrics.jobsCompleted.Add(1)
+	p.log.Info("check completed", "job", j.id, "method", j.req.Method.String(),
+		"verdict", resp.Verdict, "elapsed", elapsed)
+	j.done <- jobResult{resp: resp}
+}
+
+// Wait blocks until every worker has exited (the queue must be closed
+// first).
+func (p *workerPool) Wait() { p.wg.Wait() }

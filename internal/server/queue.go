@@ -1,0 +1,81 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"satcheck"
+)
+
+// job is one queued verification: the facade-level request plus the wire
+// options and the cache slot the verdict should land in.
+type job struct {
+	id   uint64
+	ctx  context.Context
+	req  satcheck.CheckRequest
+	opts JobOptions
+	key  cacheKey
+	// done receives exactly one jobResult; it is buffered so a worker never
+	// blocks on a handler whose client hung up.
+	done chan jobResult
+}
+
+type jobResult struct {
+	resp *CheckResponse
+	err  error // infrastructure failure or ctx deadline; resp is nil
+}
+
+// Backpressure errors returned by jobQueue.Submit.
+var (
+	// errQueueFull: the bounded queue is at capacity — HTTP 429.
+	errQueueFull = errors.New("server: job queue full")
+	// errDraining: the server is shutting down — HTTP 503.
+	errDraining = errors.New("server: draining, not accepting jobs")
+)
+
+// jobQueue is the bounded admission queue. Submission never blocks: when the
+// buffer is full the caller gets errQueueFull and translates it into a 429
+// with Retry-After, which is the whole backpressure story — clients retry,
+// the daemon never accumulates unbounded work.
+type jobQueue struct {
+	ch chan *job
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func newJobQueue(size int) *jobQueue {
+	if size < 1 {
+		size = 1
+	}
+	return &jobQueue{ch: make(chan *job, size)}
+}
+
+// Submit enqueues j without blocking.
+func (q *jobQueue) Submit(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errDraining
+	}
+	select {
+	case q.ch <- j:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// Close stops admission; queued jobs still drain to the workers. Idempotent.
+func (q *jobQueue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}
+
+// Depth reports the number of queued jobs.
+func (q *jobQueue) Depth() int { return len(q.ch) }

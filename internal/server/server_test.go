@@ -1,0 +1,589 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"satcheck"
+	"satcheck/internal/cnf"
+	"satcheck/internal/faults"
+	"satcheck/internal/gen"
+	"satcheck/internal/trace"
+)
+
+// unsatPayload solves one generated UNSAT instance and returns its DIMACS
+// and ASCII-trace bytes, plus the in-memory trace for fault injection.
+func unsatPayload(t testing.TB, ins gen.Instance) (formula []byte, traceASCII []byte, mt *satcheck.MemoryTrace, f *satcheck.Formula) {
+	t.Helper()
+	run, err := satcheck.SolveWithProof(ins.F, satcheck.SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Status != satcheck.StatusUnsat {
+		t.Fatalf("%s: expected UNSAT, got %v", ins.Name, run.Status)
+	}
+	var fb bytes.Buffer
+	if err := cnf.WriteDimacs(&fb, ins.F); err != nil {
+		t.Fatal(err)
+	}
+	return fb.Bytes(), traceToASCII(t, run.Trace), run.Trace, ins.F
+}
+
+func traceToASCII(t testing.TB, mt *satcheck.MemoryTrace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := mt.Replay(trace.NewASCIIWriter(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// multipartBody builds a formula+trace request body.
+func multipartBody(t testing.TB, formula, traceBytes []byte) (string, *bytes.Buffer) {
+	t.Helper()
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	fw, err := mw.CreateFormFile("formula", "formula.cnf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.Write(formula)
+	tw, err := mw.CreateFormFile("trace", "proof.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw.Write(traceBytes)
+	mw.Close()
+	return mw.FormDataContentType(), &body
+}
+
+func postCheck(t testing.TB, ts *httptest.Server, query string, contentType string, body io.Reader) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/v1/check"+query, contentType, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+// TestCheckEndToEnd drives every method over a real proof and checks the
+// structured verdict, including proofstat analytics and the extracted core.
+func TestCheckEndToEnd(t *testing.T) {
+	formula, traceBytes, _, f := unsatPayload(t, gen.Pigeonhole(5))
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	for _, method := range []string{"df", "bf", "hybrid"} {
+		ct, body := multipartBody(t, formula, traceBytes)
+		resp, data := postCheck(t, ts, "?method="+method+"&analyze=1&core=1", ct, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("method %s: status %d: %s", method, resp.StatusCode, data)
+		}
+		var cr CheckResponse
+		if err := json.Unmarshal(data, &cr); err != nil {
+			t.Fatalf("method %s: bad JSON: %v", method, err)
+		}
+		if cr.Verdict != VerdictValid {
+			t.Fatalf("method %s: verdict %q: %s", method, cr.Verdict, data)
+		}
+		if cr.Result == nil || cr.Result.LearnedTotal == 0 {
+			t.Errorf("method %s: missing result stats: %s", method, data)
+		}
+		if cr.Stats == nil || cr.Stats.NumOriginal != f.NumClauses() {
+			t.Errorf("method %s: missing/wrong proof stats: %s", method, data)
+		}
+		if method != "bf" {
+			if cr.Result.CoreSize == 0 || len(cr.Result.CoreClauses) != cr.Result.CoreSize {
+				t.Errorf("method %s: core missing: %s", method, data)
+			}
+		}
+	}
+}
+
+// TestCheckRejectsFaultInjectedTraces posts fault-injected corruptions.
+// Every fault class must come back as HTTP 200 with well-formed JSON —
+// never a 500 — and the structural classes (which no checker can mistake
+// for a proof; see internal/faults tests) must be rejected with a failure
+// kind. Across the whole catalogue at least one rejection per class family
+// is required via the all-clauses breadth-first checker.
+func TestCheckRejectsFaultInjectedTraces(t *testing.T) {
+	formula, _, mt, _ := unsatPayload(t, gen.Pigeonhole(5))
+	_, ts := newTestServer(t, Config{Workers: 2, CacheEntries: -1})
+
+	structural := map[string]bool{
+		"truncated-trace": true, "sourceless-learned-clause": true, "drop-learned-clause": true,
+	}
+	applied, rejectedTotal := 0, 0
+	for _, m := range faults.All() {
+		rejected := false
+		for seed := int64(0); seed < 4; seed++ {
+			bad, ok := faults.Inject(m, mt, seed)
+			if !ok {
+				continue
+			}
+			applied++
+			ct, body := multipartBody(t, formula, traceToASCII(t, bad))
+			resp, data := postCheck(t, ts, "?method=bf", ct, body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("fault %s: status %d (structured rejection, not a 5xx, expected): %s", m.Name, resp.StatusCode, data)
+			}
+			var cr CheckResponse
+			if err := json.Unmarshal(data, &cr); err != nil {
+				t.Fatal(err)
+			}
+			if cr.Verdict == VerdictRejected {
+				rejected = true
+				rejectedTotal++
+				if cr.Failure == nil || cr.Failure.Kind == "" || cr.Failure.Detail == "" {
+					t.Errorf("fault %s: rejection lacks structured diagnostic: %s", m.Name, data)
+				}
+			}
+		}
+		if structural[m.Name] && !rejected {
+			t.Errorf("fault %s: structural corruption was never rejected", m.Name)
+		}
+	}
+	if applied < 8 {
+		t.Fatalf("only %d injections applied; corpus too small", applied)
+	}
+	if rejectedTotal == 0 {
+		t.Fatal("no fault-injected trace was rejected at all")
+	}
+}
+
+// TestCheckCacheHit posts the identical request twice: the second answer
+// must come from the cache and the metrics must say so.
+func TestCheckCacheHit(t *testing.T) {
+	formula, traceBytes, _, _ := unsatPayload(t, gen.CECAdder(8))
+	s, ts := newTestServer(t, Config{Workers: 1})
+
+	for i, wantCached := range []bool{false, true} {
+		ct, body := multipartBody(t, formula, traceBytes)
+		resp, data := postCheck(t, ts, "?method=bf", ct, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, data)
+		}
+		var cr CheckResponse
+		if err := json.Unmarshal(data, &cr); err != nil {
+			t.Fatal(err)
+		}
+		if cr.Cached != wantCached {
+			t.Fatalf("request %d: cached=%v, want %v", i, cr.Cached, wantCached)
+		}
+	}
+	// Different options must be a different cache key.
+	ct, body := multipartBody(t, formula, traceBytes)
+	_, data := postCheck(t, ts, "?method=df", ct, body)
+	var cr CheckResponse
+	json.Unmarshal(data, &cr)
+	if cr.Cached {
+		t.Errorf("df after bf should miss the cache: %s", data)
+	}
+
+	if hits := s.metrics.cacheHits.Load(); hits != 1 {
+		t.Errorf("cacheHits = %d, want 1", hits)
+	}
+	if misses := s.metrics.cacheMisses.Load(); misses != 2 {
+		t.Errorf("cacheMisses = %d, want 2", misses)
+	}
+}
+
+// TestBackpressureQueueFull pins the single worker, fills the one-slot
+// queue, and requires the next request to bounce with 429 + Retry-After.
+func TestBackpressureQueueFull(t *testing.T) {
+	formula, traceBytes, _, _ := unsatPayload(t, gen.Pigeonhole(4))
+	s := New(Config{Workers: 1, QueueSize: 1, CacheEntries: -1})
+	gate := make(chan struct{})
+	s.pool.beforeRun = func(*job) { <-gate }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	var wg sync.WaitGroup
+	send := func() {
+		defer wg.Done()
+		ct, body := multipartBody(t, formula, traceBytes)
+		resp, _ := postCheck(t, ts, "", ct, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("pinned request: status %d", resp.StatusCode)
+		}
+	}
+
+	// First request: occupies the worker (blocked at the gate).
+	wg.Add(1)
+	go send()
+	waitFor(t, func() bool { return s.metrics.jobsRunning.Load() == 1 })
+
+	// Second request: sits in the queue.
+	wg.Add(1)
+	go send()
+	waitFor(t, func() bool { return s.metrics.queueDepth.Load() == 1 })
+
+	// Third request: queue full — 429 with Retry-After.
+	ct, body := multipartBody(t, formula, traceBytes)
+	resp, data := postCheck(t, ts, "", ct, body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(data, &er); err != nil || er.RetryAfterSec < 1 {
+		t.Errorf("429 body lacks retry_after_sec: %s", data)
+	}
+	if got := s.metrics.jobsRejected.Load(); got != 1 {
+		t.Errorf("jobsRejected = %d, want 1", got)
+	}
+
+	close(gate)
+	wg.Wait()
+}
+
+func waitFor(t testing.TB, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}
+
+// TestCheckDeadline gives a job a 30ms budget and stalls the worker past
+// it: the answer must be 504, not a hung connection.
+func TestCheckDeadline(t *testing.T) {
+	formula, traceBytes, _, _ := unsatPayload(t, gen.Pigeonhole(4))
+	s := New(Config{Workers: 1, CacheEntries: -1})
+	s.pool.beforeRun = func(j *job) { <-j.ctx.Done() }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	ct, body := multipartBody(t, formula, traceBytes)
+	resp, data := postCheck(t, ts, "?timeout_ms=30", ct, body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, data)
+	}
+	if got := s.metrics.jobsFailed.Load(); got != 1 {
+		t.Errorf("jobsFailed = %d, want 1", got)
+	}
+}
+
+// TestMetricsEndpoint checks the Prometheus text rendering reflects real
+// traffic: completions, cache hits, histogram count.
+func TestMetricsEndpoint(t *testing.T) {
+	formula, traceBytes, _, _ := unsatPayload(t, gen.Pigeonhole(4))
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	for i := 0; i < 2; i++ {
+		ct, body := multipartBody(t, formula, traceBytes)
+		if resp, data := postCheck(t, ts, "", ct, body); resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	text := string(data)
+	for _, want := range []string{
+		"zcheckd_jobs_completed_total 1",
+		"zcheckd_cache_hits_total 1",
+		"zcheckd_cache_misses_total 1",
+		"zcheckd_check_seconds_count 1",
+		"zcheckd_jobs_rejected_total 0",
+		"zcheckd_queue_depth 0",
+		"zcheckd_bytes_ingested_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestHealthzAndDrain covers /healthz in both lifecycle states and the
+// draining 503 on new checks.
+func TestHealthzAndDrain(t *testing.T) {
+	formula, traceBytes, _, _ := unsatPayload(t, gen.Pigeonhole(4))
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HealthResponse
+	json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || h.Status != "ok" || h.Workers != 1 {
+		t.Fatalf("healthz: %d %+v", resp.StatusCode, h)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: %d, want 503", resp.StatusCode)
+	}
+
+	ct, body := multipartBody(t, formula, traceBytes)
+	resp2, data := postCheck(t, ts, "", ct, body)
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("check while draining: %d, want 503: %s", resp2.StatusCode, data)
+	}
+}
+
+// TestCheckBadRequests covers the 400 family: missing parts, garbage
+// formula, garbage trace, bad options, non-multipart bodies.
+func TestCheckBadRequests(t *testing.T) {
+	formula, traceBytes, _, _ := unsatPayload(t, gen.Pigeonhole(4))
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	cases := []struct {
+		name  string
+		query string
+		build func(t *testing.T) (string, *bytes.Buffer)
+	}{
+		{"missing trace", "", func(t *testing.T) (string, *bytes.Buffer) {
+			var body bytes.Buffer
+			mw := multipart.NewWriter(&body)
+			fw, _ := mw.CreateFormFile("formula", "f.cnf")
+			fw.Write(formula)
+			mw.Close()
+			return mw.FormDataContentType(), &body
+		}},
+		{"missing formula", "", func(t *testing.T) (string, *bytes.Buffer) {
+			var body bytes.Buffer
+			mw := multipart.NewWriter(&body)
+			tw, _ := mw.CreateFormFile("trace", "p.trace")
+			tw.Write(traceBytes)
+			mw.Close()
+			return mw.FormDataContentType(), &body
+		}},
+		{"garbage formula", "", func(t *testing.T) (string, *bytes.Buffer) {
+			ct, body := multipartBody(t, []byte("this is not dimacs\n"), traceBytes)
+			return ct, body
+		}},
+		{"garbage trace", "", func(t *testing.T) (string, *bytes.Buffer) {
+			ct, body := multipartBody(t, formula, []byte("\x00\x01\x02garbage"))
+			return ct, body
+		}},
+		{"bad method", "?method=quantum", func(t *testing.T) (string, *bytes.Buffer) {
+			ct, body := multipartBody(t, formula, traceBytes)
+			return ct, body
+		}},
+		{"bad timeout", "?timeout_ms=-3", func(t *testing.T) (string, *bytes.Buffer) {
+			ct, body := multipartBody(t, formula, traceBytes)
+			return ct, body
+		}},
+		{"not multipart", "", func(t *testing.T) (string, *bytes.Buffer) {
+			return "application/json", bytes.NewBuffer([]byte(`{}`))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ct, body := tc.build(t)
+			resp, data := postCheck(t, ts, tc.query, ct, body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", resp.StatusCode, data)
+			}
+			var er ErrorResponse
+			if err := json.Unmarshal(data, &er); err != nil || er.Error == "" {
+				t.Errorf("400 without JSON error body: %s", data)
+			}
+		})
+	}
+}
+
+// TestCheckBodyTooLarge enforces MaxBodyBytes with a 413.
+func TestCheckBodyTooLarge(t *testing.T) {
+	formula, traceBytes, _, _ := unsatPayload(t, gen.Pigeonhole(4))
+	_, ts := newTestServer(t, Config{Workers: 1, MaxBodyBytes: 512})
+	ct, body := multipartBody(t, formula, traceBytes)
+	if body.Len() <= 512 {
+		t.Fatalf("test payload too small (%d bytes) to trip the limit", body.Len())
+	}
+	resp, data := postCheck(t, ts, "", ct, body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413: %s", resp.StatusCode, data)
+	}
+}
+
+// TestConcurrentMixedTraffic hammers one server with distinct formulas,
+// repeat requests, and corrupt traces from many goroutines — the race
+// detector's view of the whole subsystem.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	instances := []gen.Instance{
+		gen.Pigeonhole(4),
+		gen.Pigeonhole(5),
+		gen.CECAdder(8),
+		gen.TseitinCharge(10, 3),
+	}
+	type payload struct {
+		formula, trace []byte
+		corrupt        []byte
+	}
+	payloads := make([]payload, len(instances))
+	for i, ins := range instances {
+		formula, tb, mt, _ := unsatPayload(t, ins)
+		payloads[i] = payload{formula: formula, trace: tb}
+		// truncated-trace is structural: every checker must reject it.
+		m, err := faults.ByName("truncated-trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad, ok := faults.Inject(m, mt, int64(i)); ok {
+			payloads[i].corrupt = traceToASCII(t, bad)
+		}
+	}
+
+	_, ts := newTestServer(t, Config{Workers: 4, QueueSize: 128})
+	methods := []string{"df", "bf", "hybrid"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				p := payloads[(g+i)%len(payloads)]
+				q := "?method=" + methods[(g+i)%len(methods)]
+				tb, want := p.trace, VerdictValid
+				if p.corrupt != nil && i%3 == 2 {
+					tb, want = p.corrupt, VerdictRejected
+				}
+				ct, body := multipartBody(t, p.formula, tb)
+				resp, data := postCheck(t, ts, q, ct, body)
+				if resp.StatusCode == http.StatusTooManyRequests {
+					continue // backpressure is a legitimate answer
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("goroutine %d: status %d: %s", g, resp.StatusCode, data)
+					return
+				}
+				var cr CheckResponse
+				if err := json.Unmarshal(data, &cr); err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if cr.Verdict != want {
+					t.Errorf("goroutine %d: verdict %q, want %q: %s", g, cr.Verdict, want, data)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestCheckGzipBinaryTrace verifies the service accepts the other trace
+// encodings by auto-detection, exactly like the file-based tools.
+func TestCheckGzipBinaryTrace(t *testing.T) {
+	formula, _, mt, _ := unsatPayload(t, gen.Pigeonhole(4))
+	_, ts := newTestServer(t, Config{Workers: 1, CacheEntries: -1})
+
+	encodings := map[string]func(w io.Writer) trace.Sink{
+		"binary": func(w io.Writer) trace.Sink { return trace.NewBinaryWriter(w) },
+		"gzip-ascii": func(w io.Writer) trace.Sink {
+			return trace.NewGzipSink(w, func(w2 io.Writer) trace.Sink { return trace.NewASCIIWriter(w2) })
+		},
+		"gzip-binary": func(w io.Writer) trace.Sink {
+			return trace.NewGzipSink(w, func(w2 io.Writer) trace.Sink { return trace.NewBinaryWriter(w2) })
+		},
+	}
+	for name, encode := range encodings {
+		var buf bytes.Buffer
+		if err := mt.Replay(encode(&buf)); err != nil {
+			t.Fatal(err)
+		}
+		ct, body := multipartBody(t, formula, buf.Bytes())
+		resp, data := postCheck(t, ts, "?method=hybrid", ct, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", name, resp.StatusCode, data)
+		}
+		var cr CheckResponse
+		json.Unmarshal(data, &cr)
+		if cr.Verdict != VerdictValid {
+			t.Errorf("%s: verdict %q: %s", name, cr.Verdict, data)
+		}
+	}
+}
+
+// TestServeAndShutdown exercises the real listener path: Listen on :0,
+// Serve, answer one request, then drain.
+func TestServeAndShutdown(t *testing.T) {
+	s := New(Config{Addr: "127.0.0.1:0", Workers: 1})
+	addr, err := s.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve() }()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz over TCP: %d", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveDone; err != http.ErrServerClosed {
+		t.Errorf("Serve returned %v, want http.ErrServerClosed", err)
+	}
+}

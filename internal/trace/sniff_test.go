@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// nonSeeker hides every optional interface (io.Seeker, io.ReaderAt,
+// io.ByteReader, bytes.Buffer fast paths) behind a bare io.Reader — the
+// shape ReaderAuto sees when sniffing a streamed HTTP body or a pipe.
+type nonSeeker struct{ r io.Reader }
+
+func (n nonSeeker) Read(p []byte) (int, error) { return n.r.Read(p) }
+
+// TestReaderAutoNonSeekable is the regression test for format sniffing on
+// readers that cannot rewind: the encoding probe must rely on buffered
+// peeking only, never on Seek, so every encoding decodes identically through
+// a bare io.Reader. (The server's streaming ingest depends on this.)
+func TestReaderAutoNonSeekable(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	evs := randomEvents(rng)
+	for len(evs) < 20 {
+		evs = randomEvents(rng)
+	}
+	mt := &MemoryTrace{Events: evs}
+
+	encodings := map[string]func(io.Writer) Sink{
+		"ascii":       func(w io.Writer) Sink { return NewASCIIWriter(w) },
+		"binary":      func(w io.Writer) Sink { return NewBinaryWriter(w) },
+		"gzip-ascii":  func(w io.Writer) Sink { return NewGzipSink(w, func(w io.Writer) Sink { return NewASCIIWriter(w) }) },
+		"gzip-binary": func(w io.Writer) Sink { return NewGzipSink(w, func(w io.Writer) Sink { return NewBinaryWriter(w) }) },
+	}
+	for name, enc := range encodings {
+		var buf bytes.Buffer
+		if err := mt.Replay(enc(&buf)); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		r, err := ReaderAuto(nonSeeker{bytes.NewReader(buf.Bytes())})
+		if err != nil {
+			t.Fatalf("%s: sniff on non-seekable reader: %v", name, err)
+		}
+		got := collect(t, r)
+		if !sameEvents(evs, got) {
+			t.Errorf("%s: decode through non-seekable reader mismatch", name)
+		}
+	}
+
+	// One-byte-at-a-time reads are the adversarial case for peeking: the
+	// sniffer must tolerate short reads while assembling its magic-number
+	// window.
+	var buf bytes.Buffer
+	if err := mt.Replay(NewBinaryWriter(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReaderAuto(nonSeeker{iotestOneByte{bytes.NewReader(buf.Bytes())}})
+	if err != nil {
+		t.Fatalf("one-byte reads: %v", err)
+	}
+	if got := collect(t, r); !sameEvents(evs, got) {
+		t.Error("one-byte-read decode mismatch")
+	}
+}
+
+// iotestOneByte mirrors iotest.OneByteReader without the extra import.
+type iotestOneByte struct{ r io.Reader }
+
+func (o iotestOneByte) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	return o.r.Read(p[:1])
+}
