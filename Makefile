@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench experiments examples fuzz clean
+.PHONY: all build test vet race bench bench-all experiments examples fuzz clean
 
 all: build vet test
 
@@ -26,7 +26,16 @@ outputs:
 	$(GO) test ./... 2>&1 | tee test_output.txt
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
+# Record the paper's Table 1/2 benchmark families (3 samples each) as
+# BENCH_table2.json via cmd/benchjson; the raw log still streams to stdout.
+# The Table 2 family includes the parallel checker, so this is also the
+# recorded sequential-vs-parallel comparison.
 bench:
+	$(GO) test . -run TestNone -bench 'BenchmarkTable[12]' -benchmem -count=3 -cpu 4 \
+		| $(GO) run ./cmd/benchjson -o BENCH_table2.json
+
+# Every benchmark in the repository, one sample, no recording.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table of the paper (see EXPERIMENTS.md).

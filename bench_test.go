@@ -6,7 +6,8 @@
 //
 //	Table 1   -> BenchmarkTable1SolveTraceOff / BenchmarkTable1SolveTraceOn
 //	Table 2   -> BenchmarkTable2DepthFirst / BreadthFirst (+ Hybrid, the
-//	             paper's proposed future work)
+//	             paper's proposed future work, and Parallel, its
+//	             DAG-scheduled concurrent variant)
 //	Table 3   -> BenchmarkTable3CoreIteration
 //	§4 remark -> BenchmarkTraceEncodingASCII / Binary (+ parse side)
 //	Ablations -> BenchmarkAblation* (solver features from DESIGN.md §4)
@@ -112,6 +113,7 @@ func benchCheck(b *testing.B, m satcheck.Method, opts satcheck.CheckOptions) {
 		ins := ins
 		b.Run(ins.Name, func(b *testing.B) {
 			mt, _ := tracedInstance(b, ins)
+			b.ReportAllocs()
 			b.ResetTimer()
 			var res *satcheck.CheckResult
 			for i := 0; i < b.N; i++ {
@@ -148,6 +150,14 @@ func BenchmarkTable2BreadthFirstCountsOnDisk(b *testing.B) {
 // paper's conclusion).
 func BenchmarkTable2Hybrid(b *testing.B) {
 	benchCheck(b, satcheck.Hybrid, satcheck.CheckOptions{})
+}
+
+// BenchmarkTable2Parallel measures the DAG-scheduled parallel checker at the
+// default parallelism (GOMAXPROCS; pin with -cpu). Compare against
+// BenchmarkTable2Hybrid: same build set, same verdicts, the wall clock
+// divided across the worker pool.
+func BenchmarkTable2Parallel(b *testing.B) {
+	benchCheck(b, satcheck.Parallel, satcheck.CheckOptions{})
 }
 
 // BenchmarkTable3CoreIteration measures the full solve→check→extract
@@ -302,12 +312,12 @@ func BenchmarkAblationSolverFeatures(b *testing.B) {
 }
 
 // BenchmarkCheckerMemoryDiscipline reports the deterministic peak-memory
-// model of all three checkers side by side on one trace — the Table 2
-// memory columns as a single bench.
+// model of the checkers side by side on one trace — the Table 2 memory
+// columns as a single bench.
 func BenchmarkCheckerMemoryDiscipline(b *testing.B) {
 	ins := gen.Pigeonhole(7)
 	mt, _ := tracedInstance(b, ins)
-	for _, m := range []satcheck.Method{satcheck.DepthFirst, satcheck.BreadthFirst, satcheck.Hybrid} {
+	for _, m := range []satcheck.Method{satcheck.DepthFirst, satcheck.BreadthFirst, satcheck.Hybrid, satcheck.Parallel} {
 		m := m
 		b.Run(m.String(), func(b *testing.B) {
 			var res *satcheck.CheckResult

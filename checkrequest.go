@@ -18,7 +18,8 @@ type CheckRequest struct {
 	// Trace replays the solver's resolution trace. Sources must support
 	// repeated Open calls (breadth-first and hybrid stream multiple passes).
 	Trace TraceSource
-	// Method selects the checker traversal (DepthFirst, BreadthFirst, Hybrid).
+	// Method selects the checker traversal (DepthFirst, BreadthFirst,
+	// Hybrid, or Parallel).
 	Method Method
 	// Options configures the checker (memory limit, on-disk counts, ...).
 	// Options.Interrupt composes with the RunCheck context: both can abort.

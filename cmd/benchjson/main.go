@@ -1,0 +1,117 @@
+// Command benchjson converts `go test -bench` output into JSON so benchmark
+// records can be committed and diffed (the repository ships Table 1/2 runs as
+// BENCH_table2.json; see `make bench`). It reads the benchmark log on stdin,
+// echoes it unchanged to stdout, and writes the parsed records to -o.
+//
+// Usage:
+//
+//	go test -bench 'BenchmarkTable2' -benchmem . | benchjson -o BENCH_table2.json
+//
+// Each benchmark line becomes one record; repeated lines from -count=N stay
+// separate so consumers can aggregate however they like. Benchmark metric
+// pairs ("value unit", e.g. "5066 allocs/op" or "70.46 built%") are kept
+// generically as a unit→value map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// record is one parsed benchmark line.
+type record struct {
+	// Name is the full benchmark name including sub-benchmark and the
+	// trailing -N GOMAXPROCS suffix, e.g. "BenchmarkTable2Hybrid/php-6-4".
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON document to this file (default stdout only)")
+	flag.Parse()
+	doc, err := parse(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes the benchmark log from r, echoing every line to echo, and
+// returns the parsed document.
+func parse(r io.Reader, echo io.Writer) (*document, error) {
+	doc := &document{Benchmarks: []record{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			rec, ok := parseLine(line)
+			if ok {
+				doc.Benchmarks = append(doc.Benchmarks, rec)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseLine parses "BenchmarkName-N   iters   value unit   value unit ...".
+func parseLine(line string) (record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	rec := record{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return record{}, false
+		}
+		rec.Metrics[fields[i+1]] = v
+	}
+	return rec, true
+}

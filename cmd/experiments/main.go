@@ -10,6 +10,7 @@
 //	experiments -table 3            # unsatisfiable-core iteration
 //	experiments -table encoding     # ASCII vs binary trace (paper §4 remark)
 //	experiments -table hybrid       # hybrid checker (paper's future work)
+//	experiments -table parallel     # DAG-scheduled parallel checker vs hybrid
 //	experiments -table ablation     # solver-feature ablations
 //	experiments -table all
 package main
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3, encoding, hybrid, ablation, all")
+	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3, encoding, hybrid, parallel, ablation, all")
 	suite := flag.String("suite", "full", "benchmark suite: quick or full")
 	memLimitMB := flag.Int64("df-mem-limit-mb", 0, "memory-model budget for the depth-first checker in table 2 (0 = unlimited; the paper used 800MB)")
 	flag.Parse()
@@ -64,6 +65,7 @@ func main() {
 	run("3", table3)
 	run("encoding", tableEncoding)
 	run("hybrid", tableHybrid)
+	run("parallel", tableParallel)
 	run("ablation", tableAblation)
 	run("dp", tableDP)
 }
@@ -317,6 +319,65 @@ func tableHybrid(instances []gen.Instance) error {
 			dfRes.ClausesBuilt, dfRes.PeakMemWords*4/1024,
 			bfRes.ClausesBuilt, bfRes.PeakMemWords*4/1024,
 			hyRes.ClausesBuilt, hyRes.PeakMemWords*4/1024, hyTime.Seconds())
+	}
+	return tw.Flush()
+}
+
+// tableParallel compares the DAG-scheduled parallel checker against the
+// sequential hybrid it is derived from, at worker counts 1, 2, and one per
+// available CPU. Besides wall-clock speedup it reports the concurrent peak
+// of the 4-bytes/literal memory model and the schedule-independent bound
+// (Result.PeakMemBoundWords) the peak must stay under on every run.
+func tableParallel(instances []gen.Instance) error {
+	header("Ablation D: DAG-scheduled parallel checker vs sequential hybrid")
+	maxJ := runtime.NumCPU()
+	fmt.Printf("(workers for the last column: %d — one per available CPU)\n", maxJ)
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "Instance\tHY time(s)\tP1 time(s)\tP2 time(s)\tPmax time(s)\tSpeedup\tP mem(KB)\tBound(KB)\t")
+	for _, ins := range instances {
+		_, path, _, _, err := solveTraced(ins)
+		if err != nil {
+			return err
+		}
+		src := trace.FileSource(path)
+		start := time.Now()
+		hyRes, err := checker.Hybrid(ins.F, src, checker.Options{})
+		hyTime := time.Since(start)
+		if err != nil {
+			return err
+		}
+		var times [3]time.Duration
+		var pRes *checker.Result
+		for i, j := range []int{1, 2, maxJ} {
+			start = time.Now()
+			pRes, err = checker.Parallel(ins.F, src, checker.Options{Parallelism: j})
+			times[i] = time.Since(start)
+			if err != nil {
+				return err
+			}
+			if pRes.ClausesBuilt != hyRes.ClausesBuilt ||
+				pRes.ResolutionSteps != hyRes.ResolutionSteps {
+				return fmt.Errorf("instance %s: parallel (j=%d) diverged from hybrid: built %d/%d steps %d/%d",
+					ins.Name, j, pRes.ClausesBuilt, hyRes.ClausesBuilt,
+					pRes.ResolutionSteps, hyRes.ResolutionSteps)
+			}
+			if pRes.PeakMemWords > pRes.PeakMemBoundWords {
+				return fmt.Errorf("instance %s: parallel (j=%d) peak %d words exceeds bound %d",
+					ins.Name, j, pRes.PeakMemWords, pRes.PeakMemBoundWords)
+			}
+		}
+		os.Remove(path)
+		best := times[0]
+		for _, t := range times[1:] {
+			if t < best {
+				best = t
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.2fx\t%d\t%d\t\n",
+			ins.Name, hyTime.Seconds(),
+			times[0].Seconds(), times[1].Seconds(), times[2].Seconds(),
+			hyTime.Seconds()/best.Seconds(),
+			pRes.PeakMemWords*4/1024, pRes.PeakMemBoundWords*4/1024)
 	}
 	return tw.Flush()
 }

@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	zcheck [-addr http://localhost:8347] [-method df|bf|hybrid]
-//	       [-mem-limit-mb N] [-timeout D] [-analyze] [-core]
+//	zcheck [-addr http://localhost:8347] [-method df|bf|hybrid|parallel]
+//	       [-j N] [-mem-limit-mb N] [-timeout D] [-analyze] [-core]
 //	       formula.cnf proof.trace
 //
 // Exit status: 0 when the proof is valid, 2 when the daemon rejected it
@@ -38,7 +38,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("zcheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "http://localhost:8347", "zcheckd base URL")
-	method := fs.String("method", "df", "checker strategy: df, bf, or hybrid")
+	method := fs.String("method", "df", "checker strategy: df, bf, hybrid, or parallel")
+	jobs := fs.Int("j", 0, "parallel only: requested worker count (server caps it at its pool size)")
 	memLimitMB := fs.Int64("mem-limit-mb", 0, "per-job checker memory budget in MB (0 = unlimited)")
 	timeout := fs.Duration("timeout", 0, "per-job deadline (0 = server default)")
 	analyze := fs.Bool("analyze", false, "also request proof-graph statistics")
@@ -60,6 +61,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		m = satcheck.BreadthFirst
 	case "hybrid":
 		m = satcheck.Hybrid
+	case "parallel":
+		m = satcheck.Parallel
 	default:
 		fmt.Fprintf(stderr, "zcheck: unknown method %q\n", *method)
 		return 1
@@ -70,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Timeout:     *timeout,
 		Analyze:     *analyze,
 		IncludeCore: *core,
+		Parallelism: *jobs,
 	}
 
 	resp, err := postFiles(*addr, opts, fs.Arg(0), fs.Arg(1))

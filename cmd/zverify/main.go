@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	zverify [-method df|bf|hybrid] [-mem-limit-mb N] [-counts-on-disk]
-//	        formula.cnf proof.trace
+//	zverify [-method df|bf|hybrid|parallel] [-j N] [-mem-limit-mb N]
+//	        [-counts-on-disk] formula.cnf proof.trace
 //
 // Exit status: 0 when the proof is valid, 2 when checking fails (the solver
 // or its trace generation is buggy), 1 on usage or I/O errors. Exit 2 is
@@ -32,11 +32,12 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("zverify", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	method := fs.String("method", "df", "checker strategy: df, bf, or hybrid")
+	method := fs.String("method", "df", "checker strategy: df, bf, hybrid, or parallel")
+	jobs := fs.Int("j", 0, "parallel only: worker count (0 = one per available CPU)")
 	memLimitMB := fs.Int64("mem-limit-mb", 0, "abort if the checker memory model exceeds this many MB (0 = unlimited)")
 	countsOnDisk := fs.Bool("counts-on-disk", false, "bf only: keep use counts in a temp file, computed in ranges")
 	countRange := fs.Int("count-range", 1<<20, "bf only: counters per counting pass with -counts-on-disk")
-	core := fs.Bool("core", false, "df/hybrid: print the unsatisfiable core clause IDs")
+	core := fs.Bool("core", false, "df/hybrid/parallel: print the unsatisfiable core clause IDs")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -54,6 +55,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		m = satcheck.BreadthFirst
 	case "hybrid":
 		m = satcheck.Hybrid
+	case "parallel":
+		m = satcheck.Parallel
 	default:
 		fmt.Fprintf(stderr, "zverify: unknown method %q\n", *method)
 		return 1
@@ -69,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MemLimitWords: *memLimitMB * (1 << 20) / 4,
 		CountsOnDisk:  *countsOnDisk,
 		CountRange:    *countRange,
+		Parallelism:   *jobs,
 	}
 	start := time.Now()
 	res, err := satcheck.CheckFile(f, fs.Arg(1), m, opts)

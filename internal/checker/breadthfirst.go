@@ -56,6 +56,7 @@ type bfChecker struct {
 	l0        *level0Table
 	mem       memModel
 	intr      poller
+	scratch   [2]cnf.Clause // ping-pong resolution buffers (resolve.ResolventInto)
 	res       *Result
 }
 
@@ -290,25 +291,7 @@ func (fc *fileCounts) close()     { fc.f.Close() }
 
 // scan runs fn over one full pass of the trace.
 func (b *bfChecker) scan(src trace.Source, fn func(trace.Event) error) error {
-	r, err := src.Open()
-	if err != nil {
-		return fmt.Errorf("checker: opening trace: %w", err)
-	}
-	for {
-		if err := b.intr.poll(); err != nil {
-			return err
-		}
-		ev, err := r.Next()
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
-			return &CheckError{Kind: FailTrace, ClauseID: trace.NoClause, Step: -1, Err: err}
-		}
-		if err := fn(ev); err != nil {
-			return err
-		}
-	}
+	return scanTrace(src, &b.intr, fn)
 }
 
 // buildPass is the second pass: construct every learned clause in trace
@@ -343,15 +326,15 @@ func (b *bfChecker) buildPass(src trace.Source, counts useCounts) error {
 		return &CheckError{Kind: FailBadSourceRef, ClauseID: finalID, Step: -1,
 			Detail: "final conflicting clause", Err: err}
 	}
-	// Copy before consuming: eviction may free the storage conceptually.
-	final = final.Clone()
+	// No copies: stored clause storage is immutable and survives eviction
+	// (consume is memory-model accounting), exactly as in the depth-first
+	// checker's final stage.
 	b.consume(finalID)
 	getAnte := func(id int) (cnf.Clause, error) {
 		cl, err := b.getClause(id)
 		if err != nil {
 			return nil, err
 		}
-		cl = cl.Clone()
 		b.consume(id)
 		return cl, nil
 	}
@@ -368,35 +351,47 @@ func (b *bfChecker) buildLearned(id int, sources []int, counts useCounts) error 
 	}
 	cur, err := b.getClause(sources[0])
 	if err != nil {
+		b.releaseSources(sources)
 		return &CheckError{Kind: FailBadSourceRef, ClauseID: id, Step: 0, Err: err}
-	}
-	if len(sources) == 1 {
-		cur = cur.Clone()
 	}
 	for i, s := range sources[1:] {
 		next, err := b.getClause(s)
 		if err != nil {
+			b.releaseSources(sources)
 			return &CheckError{Kind: FailBadSourceRef, ClauseID: id, Step: i + 1, Err: err}
 		}
-		resv, _, rerr := resolve.Resolvent(cur, next)
+		resv, _, rerr := resolve.ResolventInto(b.scratch[i%2], cur, next)
 		if rerr != nil {
+			b.releaseSources(sources)
 			return &CheckError{Kind: FailResolution, ClauseID: id, Step: i + 1,
 				Detail: fmt.Sprintf("resolving with source %d", s), Err: rerr}
 		}
+		b.scratch[i%2] = resv
 		cur = resv
 		b.res.ResolutionSteps++
 	}
-	// Consume the sources only after the whole chain succeeded, so error
-	// paths do not evict clauses diagnostics may want.
+	// Consume the sources only after the whole chain validated; a chain
+	// that failed mid-way released them above so the use counts stay
+	// balanced either way.
 	for _, s := range sources {
 		b.consume(s)
 	}
 	b.res.ClausesBuilt++
 	if myCount > 0 {
-		b.live[id] = &liveClause{lits: cur, remaining: myCount}
+		// Copy out of the scratch buffers (or the aliased single source):
+		// only clauses with a future use pay for owned storage.
+		b.live[id] = &liveClause{lits: cur.Clone(), remaining: myCount}
 		return b.mem.add(int64(len(cur)))
 	}
 	return nil
+}
+
+// releaseSources consumes every source of a chain that failed mid-way, so a
+// rejected proof cannot leak clauses past the eviction accounting.
+func (b *bfChecker) releaseSources(sources []int) {
+	for _, s := range sources {
+		b.consume(s)
+	}
 }
 
 // getClause fetches clause id: original clauses from the formula, learned

@@ -153,6 +153,10 @@ type Options struct {
 	// callers pass a context's Err method to give each job a deadline
 	// (ctx.Err is safe to call from any goroutine).
 	Interrupt func() error
+	// Parallelism sets the worker count of the Parallel checker; 0 or
+	// negative means runtime.GOMAXPROCS(0). The sequential checkers ignore
+	// it.
+	Parallelism int
 }
 
 // interruptEvery is how many loop iterations pass between Interrupt polls —
@@ -189,6 +193,16 @@ type Result struct {
 	// PeakMemWords is the peak of the deterministic memory model in 4-byte
 	// words: live clause literals + trace integers held + counters.
 	PeakMemWords int64
+	// PeakMemBoundWords, reported by the Parallel checker only, is the
+	// deterministic upper bound its concurrent high-water mark is guaranteed
+	// to stay within regardless of worker schedule: the sequential setup
+	// words (originals, in-memory source lists, mark structures, scheduling
+	// arrays) plus the literals of every built clause with no eviction
+	// credited. PeakMemWords <= PeakMemBoundWords always holds; the bound is
+	// what a memory budget should be compared against when the schedule-
+	// dependent peak must not matter. Zero for the sequential checkers,
+	// whose PeakMemWords is already schedule-free.
+	PeakMemBoundWords int64
 	// CoreClauses lists the original clause IDs involved in the proof, in
 	// increasing order (depth-first and hybrid only) — the unsatisfiable
 	// core of §4/Table 3.
@@ -228,31 +242,49 @@ func (m *memModel) sub(words int64) { m.cur -= words }
 // level0Rec is one recorded level-0 assignment.
 type level0Rec struct {
 	value bool
+	set   bool // slot occupied (the table is a flat slice, not a map)
 	ante  int
 	pos   int // chronological index in the trace
 }
 
 // level0Table indexes the trace's level-0 assignments by variable.
+// Variables are dense small integers, so a flat slice grown on demand beats
+// a map here: lookups in the final stage's inner loops become a bounds check
+// and the per-check table costs one allocation instead of map buckets.
 type level0Table struct {
-	recs map[cnf.Var]level0Rec
+	recs []level0Rec // indexed by variable; set == false means unassigned
+	n    int         // number of recorded assignments
 }
 
 func newLevel0Table() *level0Table {
-	return &level0Table{recs: make(map[cnf.Var]level0Rec)}
+	return &level0Table{}
 }
 
 func (t *level0Table) add(v cnf.Var, value bool, ante int) error {
-	if _, dup := t.recs[v]; dup {
+	if int(v) >= len(t.recs) {
+		grown := make([]level0Rec, int(v)+1)
+		copy(grown, t.recs)
+		t.recs = grown
+	}
+	if t.recs[v].set {
 		return failf(FailTrace, trace.NoClause, -1, "variable %d assigned at level 0 twice", v)
 	}
-	t.recs[v] = level0Rec{value: value, ante: ante, pos: len(t.recs)}
+	t.recs[v] = level0Rec{value: value, set: true, ante: ante, pos: t.n}
+	t.n++
 	return nil
+}
+
+func (t *level0Table) get(v cnf.Var) (level0Rec, bool) {
+	if int(v) >= len(t.recs) || !t.recs[v].set {
+		return level0Rec{}, false
+	}
+	return t.recs[v], true
 }
 
 // litFalse reports whether literal l is falsified by the recorded level-0
 // assignment; ok is false when l's variable is unassigned at level 0.
 func (t *level0Table) litFalse(l cnf.Lit) (falsified, ok bool) {
-	rec, ok := t.recs[l.Var()]
+	rec, ok := t.get(l.Var())
 	if !ok {
 		return false, false
 	}
@@ -285,13 +317,17 @@ func finalStage(cl cnf.Clause, confID int, l0 *level0Table,
 		}
 	}
 
+	// Ping-pong scratch for the level-0 resolution chain, same discipline as
+	// the build loops: dst never aliases cl (the other buffer or the caller's
+	// clause) nor ante (stored clause storage).
+	var buf [2]cnf.Clause
 	step := 0
 	for len(cl) > 0 {
 		// choose_literal: reverse chronological order.
 		best := -1
 		bestPos := -1
 		for i, l := range cl {
-			rec := l0.recs[l.Var()] // present: invariant established below
+			rec, _ := l0.get(l.Var()) // present: invariant established below
 			if rec.pos > bestPos {
 				bestPos = rec.pos
 				best = i
@@ -299,7 +335,7 @@ func finalStage(cl cnf.Clause, confID int, l0 *level0Table,
 		}
 		pivotLit := cl[best]
 		v := pivotLit.Var()
-		rec := l0.recs[v]
+		rec, _ := l0.get(v)
 
 		ante, err := getClause(rec.ante)
 		if err != nil {
@@ -313,11 +349,15 @@ func finalStage(cl cnf.Clause, confID int, l0 *level0Table,
 		if err := validateAntecedent(ante, rec.ante, v, rec, l0); err != nil {
 			return err
 		}
-		next, err := resolve.ResolventOn(cl, ante, v)
+		next, pivot, err := resolve.ResolventInto(buf[step%2], cl, ante)
+		if err == nil && pivot != v {
+			err = fmt.Errorf("resolve: expected pivot %d, clauses clash on %d", v, pivot)
+		}
 		if err != nil {
 			return &CheckError{Kind: FailResolution, ClauseID: rec.ante, Step: step,
 				Detail: fmt.Sprintf("final-stage resolution on variable %d", v), Err: err}
 		}
+		buf[step%2] = next
 		// Invariant: every literal of `next` is falsified at level 0 with
 		// position < bestPos. cl's other literals were checked already;
 		// ante's literals were checked by validateAntecedent.
@@ -347,7 +387,7 @@ func validateAntecedent(ante cnf.Clause, anteID int, v cnf.Var, rec level0Rec, l
 			return failf(FailBadAntecedent, anteID, -1,
 				"antecedent of variable %d contains its false literal %s", v, l)
 		}
-		otherRec, ok := l0.recs[l.Var()]
+		otherRec, ok := l0.get(l.Var())
 		if !ok {
 			return failf(FailBadAntecedent, anteID, -1,
 				"antecedent of variable %d has unassigned literal %s", v, l)
@@ -373,8 +413,30 @@ func validateAntecedent(ante cnf.Clause, anteID int, v cnf.Var, rec level0Rec, l
 // every original clause; index == clause ID.
 func normalizeOriginals(f *cnf.Formula) []cnf.Clause {
 	out := make([]cnf.Clause, len(f.Clauses))
+	// Already-canonical clauses are shared as-is — the checkers only read
+	// originals, so the formula's own storage serves and costs nothing. The
+	// rest are copied into one batch-allocated backing array and normalized
+	// there: two allocations per check instead of one per clause, which
+	// used to dominate per-check setup cost on large formulas.
+	extra := 0
 	for i, c := range f.Clauses {
-		nc, _ := c.Clone().Normalize()
+		if c.IsSorted() {
+			out[i] = c
+		} else {
+			extra += len(c)
+		}
+	}
+	if extra == 0 {
+		return out
+	}
+	buf := make(cnf.Clause, 0, extra)
+	for i, c := range f.Clauses {
+		if out[i] != nil || c == nil {
+			continue
+		}
+		start := len(buf)
+		buf = append(buf, c...)
+		nc, _ := buf[start:len(buf):len(buf)].Normalize()
 		out[i] = nc
 	}
 	return out

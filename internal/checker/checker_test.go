@@ -64,6 +64,7 @@ func methods() []method {
 		{"depth-first", DepthFirst},
 		{"breadth-first", BreadthFirst},
 		{"hybrid", Hybrid},
+		{"parallel", Parallel},
 	}
 }
 

@@ -80,6 +80,7 @@ type dfChecker struct {
 	usedOrig  []bool
 	mem       memModel
 	intr      poller
+	scratches [][2]cnf.Clause // recycled per-frame ping-pong resolution buffers
 	res       *Result
 }
 
@@ -89,6 +90,23 @@ type dfFrame struct {
 	id   int
 	next int // index of the next resolve source to fold in
 	cur  cnf.Clause
+	buf  [2]cnf.Clause // this frame's resolution scratch; frames interleave
+}
+
+// takeScratch hands a frame a (possibly warm) buffer pair; putScratch
+// recycles it when the frame finishes, so a whole run allocates only as many
+// scratch pairs as the deepest build chain.
+func (d *dfChecker) takeScratch() [2]cnf.Clause {
+	if n := len(d.scratches); n > 0 {
+		s := d.scratches[n-1]
+		d.scratches = d.scratches[:n-1]
+		return s
+	}
+	return [2]cnf.Clause{}
+}
+
+func (d *dfChecker) putScratch(s [2]cnf.Clause) {
+	d.scratches = append(d.scratches, s)
 }
 
 // build returns the clause with the given ID, constructing learned clauses
@@ -100,7 +118,7 @@ func (d *dfChecker) build(id int) (cnf.Clause, error) {
 		}
 		return cl, nil
 	}
-	stack := []dfFrame{{id: id}}
+	stack := []dfFrame{{id: id, buf: d.takeScratch()}}
 	for len(stack) > 0 {
 		if err := d.intr.poll(); err != nil {
 			return nil, err
@@ -108,10 +126,18 @@ func (d *dfChecker) build(id int) (cnf.Clause, error) {
 		fr := &stack[len(stack)-1]
 		srcs := d.data.SourcesOf(fr.id)
 		if fr.next >= len(srcs) {
-			// All sources folded: the clause is built.
-			if err := d.finish(fr.id, fr.cur); err != nil {
+			// All sources folded: the clause is built. Multi-source results
+			// live in this frame's scratch and must be copied out; a
+			// single-source alias may be stored as-is (built clauses are
+			// immutable and never freed).
+			cl := fr.cur
+			if len(srcs) > 1 {
+				cl = cl.Clone()
+			}
+			if err := d.finish(fr.id, cl); err != nil {
 				return nil, err
 			}
+			d.putScratch(fr.buf)
 			stack = stack[:len(stack)-1]
 			continue
 		}
@@ -121,17 +147,20 @@ func (d *dfChecker) build(id int) (cnf.Clause, error) {
 			return nil, &CheckError{Kind: FailBadSourceRef, ClauseID: fr.id, Step: fr.next, Err: err}
 		}
 		if !done {
-			stack = append(stack, dfFrame{id: sid})
+			stack = append(stack, dfFrame{id: sid, buf: d.takeScratch()})
 			continue
 		}
 		if fr.next == 0 {
 			fr.cur = cl
 		} else {
-			next, _, rerr := resolve.Resolvent(fr.cur, cl)
+			// Ping-pong between the frame's two buffers: dst never aliases
+			// cur (the other buffer, or a stored clause on the first step).
+			next, _, rerr := resolve.ResolventInto(fr.buf[fr.next%2], fr.cur, cl)
 			if rerr != nil {
 				return nil, &CheckError{Kind: FailResolution, ClauseID: fr.id, Step: fr.next,
 					Detail: fmt.Sprintf("resolving with source %d", sid), Err: rerr}
 			}
+			fr.buf[fr.next%2] = next
 			fr.cur = next
 			d.res.ResolutionSteps++
 		}

@@ -5,8 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/bits"
 	"os"
-	"sort"
 
 	"satcheck/internal/cnf"
 	"satcheck/internal/resolve"
@@ -72,22 +72,15 @@ type hybridChecker struct {
 	finalID   int
 	level0    []trace.Level0Record
 
-	marked   []uint64      // bitmap over learned clauses
-	counts   map[int]int32 // uses of each *marked* learned clause
+	marked   []uint64 // bitmap over learned clauses
+	counts   []int32  // uses of each *marked* learned clause, by learned index
 	live     map[int]*liveClause
-	usedOrig map[int]struct{}
+	usedOrig []uint64 // bitmap over original clauses touched by the proof
 
-	mem  memModel
-	intr poller
-	res  *Result
-}
-
-func (h *hybridChecker) mark(id int) bool {
-	i := id - h.nOrig
-	w, b := i/64, uint(i%64)
-	old := h.marked[w]&(1<<b) != 0
-	h.marked[w] |= 1 << b
-	return old
+	mem     memModel
+	intr    poller
+	scratch [2]cnf.Clause // ping-pong resolution buffers (resolve.ResolventInto)
+	res     *Result
 }
 
 func (h *hybridChecker) isMarked(id int) bool {
@@ -134,6 +127,57 @@ func (s *sourcesSpill) read(i int) ([]int, error) {
 	return srcs, nil
 }
 
+// structuralScan is the checkers' shared phase-1 trace walk: one forward
+// pass that validates trace structure (consecutive learned IDs, non-empty
+// and strictly earlier sources, a single in-range final conflict), records
+// the level-0 assignments, and hands every validated learned-clause record
+// to sink — the hybrid checker's sink spills the source lists to disk, the
+// parallel checker's appends them to an in-memory index.
+func structuralScan(src trace.Source, nOrig int, intr *poller, mem *memModel,
+	sink func(ev trace.Event) error,
+) (numL, finalID int, level0 []trace.Level0Record, err error) {
+	finalID = trace.NoClause
+	sawConflict := false
+	err = scanTrace(src, intr, func(ev trace.Event) error {
+		switch ev.Kind {
+		case trace.KindLearned:
+			if ev.ID != nOrig+numL {
+				return failf(FailTrace, ev.ID, -1, "expected learned clause ID %d", nOrig+numL)
+			}
+			if len(ev.Sources) == 0 {
+				return failf(FailTrace, ev.ID, -1, "learned clause has no resolve sources")
+			}
+			for _, s := range ev.Sources {
+				if s < 0 || s >= ev.ID {
+					return failf(FailBadSourceRef, s, -1, "learned clause %d references non-earlier clause", ev.ID)
+				}
+			}
+			numL++
+			return sink(ev)
+		case trace.KindLevelZero:
+			level0 = append(level0, trace.Level0Record{Var: ev.Var, Value: ev.Value, Ante: ev.Ante})
+			return mem.add(3)
+		case trace.KindFinalConflict:
+			if sawConflict {
+				return failf(FailTrace, ev.ID, -1, "multiple final-conflict records")
+			}
+			sawConflict = true
+			finalID = ev.ID
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if !sawConflict {
+		return 0, 0, nil, failf(FailTrace, trace.NoClause, -1, "no final-conflict record; trace does not claim UNSAT")
+	}
+	if finalID < 0 || finalID >= nOrig+numL {
+		return 0, 0, nil, failf(FailBadSourceRef, finalID, -1, "final conflicting clause out of range")
+	}
+	return numL, finalID, level0, nil
+}
+
 // spillSources is phase 1: one forward pass that validates trace structure,
 // records the level-0 assignments and final conflict, and spills source
 // lists to disk.
@@ -162,18 +206,8 @@ func (h *hybridChecker) spillSources(src trace.Source, opts Options) (*sourcesSp
 		return err
 	}
 
-	h.finalID = trace.NoClause
-	sawConflict := false
-	err = h.scan(src, func(ev trace.Event) error {
-		switch ev.Kind {
-		case trace.KindLearned:
-			if ev.ID != h.nOrig+h.numL {
-				return failf(FailTrace, ev.ID, -1, "expected learned clause ID %d", h.nOrig+h.numL)
-			}
-			if len(ev.Sources) == 0 {
-				return failf(FailTrace, ev.ID, -1, "learned clause has no resolve sources")
-			}
-			h.numL++
+	h.numL, h.finalID, h.level0, err = structuralScan(src, h.nOrig, &h.intr, &h.mem,
+		func(ev trace.Event) error {
 			var off [8]byte
 			binary.LittleEndian.PutUint64(off[:], uint64(offset))
 			if _, err := iw.Write(off[:]); err != nil {
@@ -183,36 +217,15 @@ func (h *hybridChecker) spillSources(src trace.Source, opts Options) (*sourcesSp
 				return err
 			}
 			for _, s := range ev.Sources {
-				if s < 0 || s >= ev.ID {
-					return failf(FailBadSourceRef, s, -1, "learned clause %d references non-earlier clause", ev.ID)
-				}
 				if err := writeUvarint(dw, uint64(s)); err != nil {
 					return err
 				}
 			}
-		case trace.KindLevelZero:
-			h.level0 = append(h.level0, trace.Level0Record{Var: ev.Var, Value: ev.Value, Ante: ev.Ante})
-			return h.mem.add(3)
-		case trace.KindFinalConflict:
-			if sawConflict {
-				return failf(FailTrace, ev.ID, -1, "multiple final-conflict records")
-			}
-			sawConflict = true
-			h.finalID = ev.ID
-		}
-		return nil
-	})
+			return nil
+		})
 	if err != nil {
 		spill.close()
 		return nil, err
-	}
-	if !sawConflict {
-		spill.close()
-		return nil, failf(FailTrace, trace.NoClause, -1, "no final-conflict record; trace does not claim UNSAT")
-	}
-	if h.finalID < 0 || h.finalID >= h.nOrig+h.numL {
-		spill.close()
-		return nil, failf(FailBadSourceRef, h.finalID, -1, "final conflicting clause out of range")
 	}
 	if err := dw.Flush(); err != nil {
 		spill.close()
@@ -225,61 +238,83 @@ func (h *hybridChecker) spillSources(src trace.Source, opts Options) (*sourcesSp
 	return spill, nil
 }
 
-// markPhase is phase 2: the backward sweep. Roots are the final conflicting
-// clause and every level-0 antecedent; each marked clause's sources are read
-// from the spill and marked in turn. Because sources strictly precede their
-// clause, a single descending-ID sweep reaches the full closure.
-func (h *hybridChecker) markPhase(spill *sourcesSpill) error {
-	h.marked = make([]uint64, (h.numL+63)/64)
-	h.counts = make(map[int]int32)
-	h.usedOrig = make(map[int]struct{})
-	if err := h.mem.add(int64(len(h.marked)) * 2); err != nil { // 64-bit words = 2 model words
-		return err
+// markReachable is the hybrid checker's phase-2 backward sweep, shared with
+// the parallel checker. Roots are the final conflicting clause and every
+// level-0 antecedent; each marked clause's sources (fetched via readSources,
+// 0-based learned index) are marked in turn. Because sources strictly
+// precede their clause, a single descending-ID sweep reaches the full
+// closure. It returns the bitmap over learned clauses, the use count of each
+// marked clause (indexed by learned index, 0 for unmarked), the number of
+// marked clauses, and the bitmap of original clauses reachable from the
+// roots — the unsatisfiable core the build pass can only re-touch, never
+// extend. Counts and the core live in flat arrays sized by the known clause
+// ranges, not maps: the sweep is allocation-free after setup, which matters
+// because this pass runs on every check regardless of strategy.
+func markReachable(nOrig, numL, finalID int, level0 []trace.Level0Record,
+	readSources func(i int) ([]int, error), mem *memModel, intr *poller,
+) (marked []uint64, counts []int32, numMarked int, usedOrig []uint64, err error) {
+	marked = make([]uint64, (numL+63)/64)
+	counts = make([]int32, numL)
+	usedOrig = make([]uint64, (nOrig+63)/64)
+	if err := mem.add(int64(len(marked)) * 2); err != nil { // 64-bit words = 2 model words
+		return nil, nil, 0, nil, err
 	}
 
 	root := func(id int) error {
-		if id < 0 || id >= h.nOrig+h.numL {
+		if id < 0 || id >= nOrig+numL {
 			return failf(FailBadSourceRef, id, -1, "root clause out of range")
 		}
-		if id < h.nOrig {
-			h.usedOrig[id] = struct{}{}
+		if id < nOrig {
+			usedOrig[id/64] |= 1 << uint(id%64)
 			return nil
 		}
-		if !h.mark(id) {
-			if err := h.mem.add(2); err != nil { // new counter map entry
+		i := id - nOrig
+		w, b := i/64, uint(i%64)
+		if marked[w]&(1<<b) == 0 {
+			marked[w] |= 1 << b
+			numMarked++
+			if err := mem.add(2); err != nil { // new use-count entry
 				return err
 			}
 		}
-		h.counts[id]++
+		counts[i]++
 		return nil
 	}
-	if err := root(h.finalID); err != nil {
-		return err
+	if err := root(finalID); err != nil {
+		return nil, nil, 0, nil, err
 	}
-	for _, rec := range h.level0 {
+	for _, rec := range level0 {
 		if err := root(rec.Ante); err != nil {
-			return err
+			return nil, nil, 0, nil, err
 		}
 	}
 
-	for i := h.numL - 1; i >= 0; i-- {
-		if err := h.intr.poll(); err != nil {
-			return err
+	for i := numL - 1; i >= 0; i-- {
+		if err := intr.poll(); err != nil {
+			return nil, nil, 0, nil, err
 		}
-		if !h.isMarked(h.nOrig + i) {
+		if marked[i/64]&(1<<uint(i%64)) == 0 {
 			continue
 		}
-		srcs, err := spill.read(i)
+		srcs, err := readSources(i)
 		if err != nil {
-			return &CheckError{Kind: FailTrace, ClauseID: h.nOrig + i, Step: -1, Err: err}
+			return nil, nil, 0, nil, &CheckError{Kind: FailTrace, ClauseID: nOrig + i, Step: -1, Err: err}
 		}
 		for _, s := range srcs {
 			if err := root(s); err != nil {
-				return err
+				return nil, nil, 0, nil, err
 			}
 		}
 	}
-	return nil
+	return marked, counts, numMarked, usedOrig, nil
+}
+
+// markPhase is phase 2: the shared backward sweep over the on-disk spill.
+func (h *hybridChecker) markPhase(spill *sourcesSpill) error {
+	var err error
+	h.marked, h.counts, _, h.usedOrig, err = markReachable(
+		h.nOrig, h.numL, h.finalID, h.level0, spill.read, &h.mem, &h.intr)
+	return err
 }
 
 // buildPass is phase 3: breadth-first construction restricted to marked
@@ -298,23 +333,29 @@ func (h *hybridChecker) buildPass(src trace.Source) error {
 		if ev.Kind != trace.KindLearned || !h.isMarked(ev.ID) {
 			return nil
 		}
+		// A failed chain must still release its claim on the source
+		// use-counts: the counting pass assumed this clause would consume
+		// them, and leaving them live would leak clauses past the eviction
+		// accounting (and, in the parallel checker built on the same
+		// discipline, keep real memory alive for the rest of the run).
 		cur, err := h.getClause(ev.Sources[0])
 		if err != nil {
+			h.releaseSources(ev.Sources)
 			return &CheckError{Kind: FailBadSourceRef, ClauseID: ev.ID, Step: 0, Err: err}
-		}
-		if len(ev.Sources) == 1 {
-			cur = cur.Clone()
 		}
 		for i, s := range ev.Sources[1:] {
 			next, err := h.getClause(s)
 			if err != nil {
+				h.releaseSources(ev.Sources)
 				return &CheckError{Kind: FailBadSourceRef, ClauseID: ev.ID, Step: i + 1, Err: err}
 			}
-			resv, _, rerr := resolve.Resolvent(cur, next)
+			resv, _, rerr := resolve.ResolventInto(h.scratch[i%2], cur, next)
 			if rerr != nil {
+				h.releaseSources(ev.Sources)
 				return &CheckError{Kind: FailResolution, ClauseID: ev.ID, Step: i + 1,
 					Detail: fmt.Sprintf("resolving with source %d", s), Err: rerr}
 			}
+			h.scratch[i%2] = resv
 			cur = resv
 			h.res.ResolutionSteps++
 		}
@@ -322,7 +363,9 @@ func (h *hybridChecker) buildPass(src trace.Source) error {
 			h.consume(s)
 		}
 		h.res.ClausesBuilt++
-		h.live[ev.ID] = &liveClause{lits: cur, remaining: h.counts[ev.ID]}
+		// Copy out of the scratch buffers (or the aliased single source):
+		// the stored clause must own its storage.
+		h.live[ev.ID] = &liveClause{lits: cur.Clone(), remaining: h.counts[ev.ID-h.nOrig]}
 		return h.mem.add(int64(len(cur)))
 	})
 	if err != nil {
@@ -334,14 +377,15 @@ func (h *hybridChecker) buildPass(src trace.Source) error {
 		return &CheckError{Kind: FailBadSourceRef, ClauseID: h.finalID, Step: -1,
 			Detail: "final conflicting clause", Err: err}
 	}
-	final = final.Clone()
+	// No copies: stored clause storage is immutable and survives eviction
+	// (consume is memory-model accounting), exactly as in the depth-first
+	// checker's final stage.
 	h.consume(h.finalID)
 	getAnte := func(id int) (cnf.Clause, error) {
 		cl, err := h.getClause(id)
 		if err != nil {
 			return nil, err
 		}
-		cl = cl.Clone()
 		h.consume(id)
 		return cl, nil
 	}
@@ -353,7 +397,7 @@ func (h *hybridChecker) getClause(id int) (cnf.Clause, error) {
 		return nil, fmt.Errorf("negative clause ID %d", id)
 	}
 	if id < h.nOrig {
-		h.usedOrig[id] = struct{}{}
+		h.usedOrig[id/64] |= 1 << uint(id%64)
 		return h.originals[id], nil
 	}
 	lc, ok := h.live[id]
@@ -378,28 +422,59 @@ func (h *hybridChecker) consume(id int) {
 	}
 }
 
-func (h *hybridChecker) core(f *cnf.Formula) ([]int, int) {
-	ids := make([]int, 0, len(h.usedOrig))
-	for id := range h.usedOrig {
-		ids = append(ids, id)
+// releaseSources consumes every source of a chain that failed mid-way, so
+// the use counts stay balanced and no clause outlives its eviction point on
+// an error path.
+func (h *hybridChecker) releaseSources(sources []int) {
+	for _, s := range sources {
+		h.consume(s)
 	}
-	sort.Ints(ids)
-	seenVar := make(map[cnf.Var]struct{})
-	for _, id := range ids {
-		for _, l := range f.Clauses[id] {
-			seenVar[l.Var()] = struct{}{}
+}
+
+func (h *hybridChecker) core(f *cnf.Formula) ([]int, int) {
+	return coreFromUsed(f, h.usedOrig)
+}
+
+// coreFromUsed turns the bitmap of proof-touched original clause IDs into
+// the sorted core list plus its distinct-variable count (Table 3's per-proof
+// columns); shared by the hybrid and parallel checkers. Walking the bitmap
+// in order yields the IDs already sorted.
+func coreFromUsed(f *cnf.Formula, usedOrig []uint64) ([]int, int) {
+	n := 0
+	for _, w := range usedOrig {
+		n += bits.OnesCount64(w)
+	}
+	ids := make([]int, 0, n)
+	seenVar := make([]bool, f.NumVars+1)
+	vars := 0
+	for w, word := range usedOrig {
+		for ; word != 0; word &= word - 1 {
+			id := w*64 + bits.TrailingZeros64(word)
+			ids = append(ids, id)
+			for _, l := range f.Clauses[id] {
+				if v := l.Var(); !seenVar[v] {
+					seenVar[v] = true
+					vars++
+				}
+			}
 		}
 	}
-	return ids, len(seenVar)
+	return ids, vars
 }
 
 func (h *hybridChecker) scan(src trace.Source, fn func(trace.Event) error) error {
+	return scanTrace(src, &h.intr, fn)
+}
+
+// scanTrace runs fn over one full pass of the trace, polling the interrupt
+// hook between records; shared by all checkers.
+func scanTrace(src trace.Source, intr *poller, fn func(trace.Event) error) error {
 	r, err := src.Open()
 	if err != nil {
 		return fmt.Errorf("checker: opening trace: %w", err)
 	}
 	for {
-		if err := h.intr.poll(); err != nil {
+		if err := intr.poll(); err != nil {
 			return err
 		}
 		ev, err := r.Next()

@@ -1,7 +1,7 @@
 package cnf
 
 import (
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -25,7 +25,7 @@ func (c Clause) Normalize() (Clause, bool) {
 	if len(c) <= 1 {
 		return c, false
 	}
-	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	slices.Sort(c)
 	out := c[:1]
 	taut := false
 	for _, l := range c[1:] {

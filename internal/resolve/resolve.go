@@ -33,13 +33,40 @@ var (
 //
 // The merge is O(len(a)+len(b)) and allocates only the output clause.
 func Resolvent(a, b cnf.Clause) (cnf.Clause, cnf.Var, error) {
+	n := len(a) + len(b) - 2
+	if n < 0 {
+		n = 0
+	}
+	return ResolventInto(make(cnf.Clause, 0, n), a, b)
+}
+
+// ResolventInto is Resolvent resolving into caller-owned scratch storage:
+// the resolvent is appended to dst[:0] (growing it as needed) and returned,
+// so a hot loop that keeps reusing the returned slice as the next call's dst
+// performs no allocation at all once the scratch has warmed up. dst must not
+// alias a or b; the checkers ping-pong two scratch buffers per chain to
+// guarantee that. The returned clause shares dst's storage — callers that
+// retain it past the next reuse must copy it out first.
+func ResolventInto(dst, a, b cnf.Clause) (cnf.Clause, cnf.Var, error) {
 	if !a.IsSorted() {
 		return nil, cnf.NoVar, fmt.Errorf("%w: %s", ErrNotSorted, a)
 	}
 	if !b.IsSorted() {
 		return nil, cnf.NoVar, fmt.Errorf("%w: %s", ErrNotSorted, b)
 	}
-	out := make(cnf.Clause, 0, len(a)+len(b)-2)
+	return ResolventIntoSorted(dst, a, b)
+}
+
+// ResolventIntoSorted is ResolventInto without the canonical-form
+// re-validation of the inputs — the caller guarantees both clauses are
+// sorted. The checkers' build loops qualify: every input is either a
+// normalized original clause or a previously stored resolvent, and the merge
+// below only ever produces sorted output, so re-checking each operand on
+// every step of a chain is pure overhead (it shows up in profiles as ~10% of
+// check time). Passing an unsorted clause yields an undefined result, not an
+// error; use ResolventInto when the inputs are not already trusted.
+func ResolventIntoSorted(dst, a, b cnf.Clause) (cnf.Clause, cnf.Var, error) {
+	out := dst[:0]
 	pivot := cnf.NoVar
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {

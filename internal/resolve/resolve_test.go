@@ -98,6 +98,72 @@ func TestResolventOn(t *testing.T) {
 	}
 }
 
+func TestResolventIntoMatchesResolvent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var scratch cnf.Clause
+	for i := 0; i < 2000; i++ {
+		a := randClause(rng, 6)
+		b := randClause(rng, 6)
+		want, wantPivot, wantErr := Resolvent(a, b)
+		got, gotPivot, gotErr := ResolventInto(scratch, a, b)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s | %s: err mismatch: %v vs %v", a, b, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Fatalf("%s | %s: error text mismatch: %q vs %q", a, b, wantErr, gotErr)
+			}
+			continue
+		}
+		if gotPivot != wantPivot || !sameClause(got, want) {
+			t.Fatalf("%s | %s: got (%s, %d), want (%s, %d)", a, b, got, gotPivot, want, wantPivot)
+		}
+		scratch = got // reuse the grown storage, as the checkers do
+	}
+}
+
+func TestResolventIntoReusesScratch(t *testing.T) {
+	scratch := make(cnf.Clause, 0, 16)
+	out, _, err := ResolventInto(scratch, clause(1, 2), clause(-2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameClause(out, clause(1, 3)) {
+		t.Fatalf("resolvent = %s, want (1 3)", out)
+	}
+	if &out[:1][0] != &scratch[:1][0] {
+		t.Error("resolvent did not use the scratch buffer's storage")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r, _, err := ResolventInto(scratch, clause4a, clause4b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = r
+	})
+	if allocs != 0 {
+		t.Errorf("ResolventInto with warm scratch allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// Package-level inputs so AllocsPerRun measures only ResolventInto.
+var (
+	clause4a = clause(1, 2, 4)
+	clause4b = clause(-2, 3)
+)
+
+func TestResolventIntoEmptyInputs(t *testing.T) {
+	// Two unit clauses resolve to the (real, empty) empty clause.
+	out, _, err := ResolventInto(nil, clause(7), clause(-7))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%s err=%v, want empty clause", out, err)
+	}
+	// Empty inputs cannot clash; Resolvent must refuse, not panic.
+	if _, _, err := Resolvent(cnf.Clause{}, cnf.Clause{}); !errors.Is(err, ErrNoClash) {
+		t.Errorf("err = %v, want ErrNoClash", err)
+	}
+}
+
 func TestChain(t *testing.T) {
 	// ((1 2) ⊗ (-2 3)) ⊗ (-3) = (1)
 	out, err := Chain(clause(1, 2), []cnf.Clause{clause(-2, 3), clause(-3)})

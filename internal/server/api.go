@@ -51,9 +51,12 @@ type ResultJSON struct {
 	BuiltFraction   float64 `json:"built_fraction"`
 	ResolutionSteps int64   `json:"resolution_steps"`
 	PeakMemWords    int64   `json:"peak_mem_words"`
-	CoreSize        int     `json:"core_size,omitempty"`
-	CoreVars        int     `json:"core_vars,omitempty"`
-	CoreClauses     []int   `json:"core_clauses,omitempty"` // only with core=1
+	// PeakMemBoundWords is the parallel checker's schedule-independent
+	// memory bound (0 for the sequential checkers).
+	PeakMemBoundWords int64 `json:"peak_mem_bound_words,omitempty"`
+	CoreSize          int   `json:"core_size,omitempty"`
+	CoreVars          int   `json:"core_vars,omitempty"`
+	CoreClauses       []int `json:"core_clauses,omitempty"` // only with core=1
 }
 
 // FailureJSON mirrors satcheck.CheckError on the wire.
@@ -106,14 +109,18 @@ type JobOptions struct {
 	Timeout time.Duration
 	// Analyze also computes proof-graph statistics on valid proofs.
 	Analyze bool
-	// IncludeCore returns the full core clause ID list (DF/hybrid), not just
-	// its size.
+	// IncludeCore returns the full core clause ID list (DF/hybrid/parallel),
+	// not just its size.
 	IncludeCore bool
+	// Parallelism is the parallel checker's worker count; 0 picks a server
+	// default. The server caps it at its own worker-pool size so one job
+	// cannot oversubscribe the machine.
+	Parallelism int
 }
 
 // ParseJobOptions reads the supported query parameters: method, mem_limit_mb,
-// timeout_ms, analyze, core. Unknown parameters are ignored (forward
-// compatibility); malformed values are errors.
+// timeout_ms, analyze, core, parallelism. Unknown parameters are ignored
+// (forward compatibility); malformed values are errors.
 func ParseJobOptions(q url.Values) (JobOptions, error) {
 	var o JobOptions
 	switch m := q.Get("method"); m {
@@ -123,8 +130,10 @@ func ParseJobOptions(q url.Values) (JobOptions, error) {
 		o.Method = satcheck.BreadthFirst
 	case "hybrid":
 		o.Method = satcheck.Hybrid
+	case "parallel":
+		o.Method = satcheck.Parallel
 	default:
-		return o, fmt.Errorf("unknown method %q (want df, bf, or hybrid)", m)
+		return o, fmt.Errorf("unknown method %q (want df, bf, hybrid, or parallel)", m)
 	}
 	var err error
 	if o.MemLimitMB, err = parseInt(q, "mem_limit_mb"); err != nil {
@@ -141,6 +150,11 @@ func ParseJobOptions(q url.Values) (JobOptions, error) {
 	if o.IncludeCore, err = parseBool(q, "core"); err != nil {
 		return o, err
 	}
+	par, err := parseInt(q, "parallelism")
+	if err != nil {
+		return o, err
+	}
+	o.Parallelism = int(par)
 	return o, nil
 }
 
@@ -177,6 +191,8 @@ func (o JobOptions) Query() url.Values {
 		q.Set("method", "bf")
 	case satcheck.Hybrid:
 		q.Set("method", "hybrid")
+	case satcheck.Parallel:
+		q.Set("method", "parallel")
 	default:
 		q.Set("method", "df")
 	}
@@ -192,13 +208,20 @@ func (o JobOptions) Query() url.Values {
 	if o.IncludeCore {
 		q.Set("core", "1")
 	}
+	if o.Parallelism > 0 {
+		q.Set("parallelism", strconv.Itoa(o.Parallelism))
+	}
 	return q
 }
 
 // canonical is the deterministic option fingerprint folded into the cache
 // key. Everything that changes the answer's content must appear here.
 func (o JobOptions) canonical() string {
-	return fmt.Sprintf("method=%d mem=%d analyze=%t core=%t", int(o.Method), o.MemLimitMB, o.Analyze, o.IncludeCore)
+	// Parallelism is part of the key: verdicts and cores are identical at
+	// every worker count, but the reported concurrent memory peak is
+	// schedule-dependent, so answers at different counts may not be shared.
+	return fmt.Sprintf("method=%d mem=%d analyze=%t core=%t par=%d",
+		int(o.Method), o.MemLimitMB, o.Analyze, o.IncludeCore, o.Parallelism)
 }
 
 // responseFromReport converts a facade CheckReport into the wire shape.
@@ -211,13 +234,14 @@ func responseFromReport(rep *satcheck.CheckReport, o JobOptions) *CheckResponse 
 		resp.Verdict = VerdictValid
 		r := rep.Result
 		resp.Result = &ResultJSON{
-			LearnedTotal:    r.LearnedTotal,
-			ClausesBuilt:    r.ClausesBuilt,
-			BuiltFraction:   r.BuiltFraction(),
-			ResolutionSteps: r.ResolutionSteps,
-			PeakMemWords:    r.PeakMemWords,
-			CoreSize:        len(r.CoreClauses),
-			CoreVars:        r.CoreVars,
+			LearnedTotal:      r.LearnedTotal,
+			ClausesBuilt:      r.ClausesBuilt,
+			BuiltFraction:     r.BuiltFraction(),
+			ResolutionSteps:   r.ResolutionSteps,
+			PeakMemWords:      r.PeakMemWords,
+			PeakMemBoundWords: r.PeakMemBoundWords,
+			CoreSize:          len(r.CoreClauses),
+			CoreVars:          r.CoreVars,
 		}
 		if o.IncludeCore {
 			resp.Result.CoreClauses = r.CoreClauses

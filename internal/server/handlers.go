@@ -10,6 +10,7 @@ import (
 	"mime/multipart"
 	"net/http"
 	"os"
+	"runtime"
 	"strconv"
 
 	"satcheck"
@@ -34,6 +35,19 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.badRequest(w, err.Error())
 		return
+	}
+	// Cap per-job parallelism at the pool size before the cache key is
+	// formed: s.cfg.Workers jobs may check concurrently, so one job may not
+	// claim more CPUs than one pool slot's fair share of the machine.
+	if opts.Method == satcheck.Parallel {
+		if opts.Parallelism <= 0 || opts.Parallelism > s.cfg.Workers {
+			opts.Parallelism = s.cfg.Workers
+		}
+		if n := runtime.NumCPU(); opts.Parallelism > n {
+			opts.Parallelism = n
+		}
+	} else {
+		opts.Parallelism = 0
 	}
 
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -89,6 +103,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 			Options: satcheck.CheckOptions{
 				MemLimitWords: opts.MemLimitMB << 20 / 4,
 				TempDir:       s.cfg.TempDir,
+				Parallelism:   opts.Parallelism,
 			},
 			Analyze: opts.Analyze,
 		},

@@ -22,9 +22,23 @@ type Metrics struct {
 	bytesIngested atomic.Int64 // formula + trace bytes read from request bodies
 	badRequests   atomic.Int64
 
+	// Per-job checker statistics, previously dropped on the floor between
+	// the facade result and the HTTP response: cumulative build-set and
+	// resolution work, so operators can see proof effort, not just latency.
+	clausesBuilt    atomic.Int64
+	resolutionSteps atomic.Int64
+
 	// Gauges.
 	queueDepth  atomic.Int64
 	jobsRunning atomic.Int64
+	// checkerParallelism is the effective worker count of the most recent
+	// parallel-method check (0 until one runs).
+	checkerParallelism atomic.Int64
+	// peakMemWords / peakMemBoundWords snapshot the last completed check's
+	// deterministic memory-model peak and, for the parallel checker, its
+	// schedule-independent bound.
+	peakMemWords      atomic.Int64
+	peakMemBoundWords atomic.Int64
 
 	// Checker latency histogram (seconds).
 	latency histogram
@@ -75,8 +89,13 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("zcheckd_cache_misses_total", "Checks that missed the result cache.", m.cacheMisses.Load())
 	counter("zcheckd_bytes_ingested_total", "Formula and trace bytes read from request bodies.", m.bytesIngested.Load())
 	counter("zcheckd_bad_requests_total", "Requests rejected as malformed (HTTP 4xx other than 429).", m.badRequests.Load())
+	counter("zcheckd_clauses_built_total", "Learned clauses rebuilt by resolution across all completed checks.", m.clausesBuilt.Load())
+	counter("zcheckd_resolution_steps_total", "Resolution steps performed across all completed checks.", m.resolutionSteps.Load())
 	gauge("zcheckd_queue_depth", "Jobs waiting in the queue.", m.queueDepth.Load())
 	gauge("zcheckd_jobs_running", "Jobs currently being checked by workers.", m.jobsRunning.Load())
+	gauge("zcheckd_checker_parallelism", "Effective worker count of the most recent parallel-method check.", m.checkerParallelism.Load())
+	gauge("zcheckd_peak_mem_words", "Memory-model peak (4-byte words) of the last completed check.", m.peakMemWords.Load())
+	gauge("zcheckd_peak_mem_bound_words", "Schedule-independent memory bound of the last parallel check.", m.peakMemBoundWords.Load())
 
 	fmt.Fprintf(w, "# HELP zcheckd_check_seconds Checker wall-clock latency.\n# TYPE zcheckd_check_seconds histogram\n")
 	cum := int64(0)

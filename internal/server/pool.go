@@ -69,6 +69,16 @@ func (p *workerPool) run(j *job) {
 		return
 	}
 
+	if j.req.Method == satcheck.Parallel {
+		p.metrics.checkerParallelism.Store(int64(j.req.Options.Parallelism))
+	}
+	if rep.Valid {
+		p.metrics.clausesBuilt.Add(int64(rep.Result.ClausesBuilt))
+		p.metrics.resolutionSteps.Add(rep.Result.ResolutionSteps)
+		p.metrics.peakMemWords.Store(rep.Result.PeakMemWords)
+		p.metrics.peakMemBoundWords.Store(rep.Result.PeakMemBoundWords)
+	}
+
 	resp := responseFromReport(rep, j.opts)
 	// Both verdicts are deterministic functions of (formula, trace, options):
 	// rejections cache as well as proofs.

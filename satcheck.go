@@ -7,9 +7,10 @@
 //
 //   - a Chaff-style CDCL SAT solver instrumented to emit a resolution trace
 //     when it claims unsatisfiability;
-//   - three independent checkers (depth-first, breadth-first, hybrid) that
-//     replay the trace and verify that the empty clause is derivable from
-//     the original clauses by resolution;
+//   - four independent checkers (depth-first, breadth-first, hybrid, and a
+//     DAG-scheduled parallel variant of the hybrid) that replay the trace
+//     and verify that the empty clause is derivable from the original
+//     clauses by resolution;
 //   - unsatisfiable-core extraction from the depth-first checker's
 //     by-product, with the paper's iterate-to-fixed-point refinement;
 //   - DIMACS I/O, a circuit/Tseitin front-end, and generators for the
@@ -169,7 +170,7 @@ func SolveToSink(f *Formula, opts SolverOptions, sink TraceSink) (Status, Solver
 // Method selects a checker traversal strategy.
 type Method int
 
-// The three checker strategies.
+// The checker strategies.
 const (
 	// DepthFirst builds only the clauses the proof needs and yields an
 	// unsatisfiable core; it holds the whole trace in memory (§3.2).
@@ -180,6 +181,11 @@ const (
 	// Hybrid marks the needed clauses on disk and then builds only those,
 	// breadth-first (the paper's proposed best-of-both).
 	Hybrid
+	// Parallel is the hybrid strategy with the marked clauses built on a
+	// worker pool scheduled by the proof's dependency DAG
+	// (CheckOptions.Parallelism workers). Verdicts, cores, and failure
+	// diagnostics are identical to Hybrid's.
+	Parallel
 )
 
 // String names the method.
@@ -191,6 +197,8 @@ func (m Method) String() string {
 		return "breadth-first"
 	case Hybrid:
 		return "hybrid"
+	case Parallel:
+		return "parallel"
 	default:
 		return fmt.Sprintf("method(%d)", int(m))
 	}
@@ -207,6 +215,8 @@ func Check(f *Formula, src TraceSource, m Method, opts CheckOptions) (*CheckResu
 		return checker.BreadthFirst(f, src, opts)
 	case Hybrid:
 		return checker.Hybrid(f, src, opts)
+	case Parallel:
+		return checker.Parallel(f, src, opts)
 	default:
 		return nil, fmt.Errorf("satcheck: unknown check method %d", int(m))
 	}
