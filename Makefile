@@ -50,11 +50,13 @@ examples:
 	$(GO) run ./examples/bmc
 	$(GO) run ./examples/interpolation
 
-# Short fuzz sessions over the three input parsers.
+# Short fuzz sessions over the input parsers.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzParseDimacs -fuzztime 30s ./internal/cnf/
 	$(GO) test -run xxx -fuzz FuzzReaderAuto -fuzztime 30s ./internal/trace/
 	$(GO) test -run xxx -fuzz FuzzParseVerify -fuzztime 30s ./internal/tracecheck/
+	$(GO) test -run xxx -fuzz FuzzDRATParse -fuzztime 30s ./internal/drat/
+	$(GO) test -run xxx -fuzz FuzzLRATParse -fuzztime 30s ./internal/drat/
 
 clean:
 	rm -rf internal/*/testdata/fuzz

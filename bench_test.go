@@ -14,6 +14,7 @@
 package satcheck_test
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"testing"
@@ -158,6 +159,50 @@ func BenchmarkTable2Hybrid(b *testing.B) {
 // divided across the worker pool.
 func BenchmarkTable2Parallel(b *testing.B) {
 	benchCheck(b, satcheck.Parallel, satcheck.CheckOptions{})
+}
+
+// benchCheckDRAT measures clausal (DRUP) proof checking over the same
+// instances as the native Table 2 rows, making the DRAT-vs-native cost
+// directly comparable in BENCH_table2.json.
+func benchCheckDRAT(b *testing.B, m satcheck.Method) {
+	for _, ins := range benchInstances() {
+		ins := ins
+		b.Run(ins.Name, func(b *testing.B) {
+			var buf bytes.Buffer
+			st, _, err := satcheck.SolveWithDRUP(ins.F, satcheck.SolverOptions{}, satcheck.NewDRATWriter(&buf))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st != satcheck.StatusUnsat {
+				b.Fatalf("expected UNSAT, got %v", st)
+			}
+			src := satcheck.ProofBytesSource(buf.Bytes())
+			b.ReportAllocs()
+			b.ResetTimer()
+			var res *satcheck.CheckResult
+			for i := 0; i < b.N; i++ {
+				res, err = satcheck.CheckDRAT(ins.F, src, m, satcheck.CheckOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(100*res.BuiltFraction(), "built%")
+			b.ReportMetric(float64(res.PeakMemWords)*4/1024, "peakKB")
+		})
+	}
+}
+
+// BenchmarkTable2DRATForward measures forward DRUP/DRAT checking (every
+// lemma verified in order) — the clausal analogue of BreadthFirst.
+func BenchmarkTable2DRATForward(b *testing.B) {
+	benchCheckDRAT(b, satcheck.BreadthFirst)
+}
+
+// BenchmarkTable2DRATBackward measures backward (core-first) DRAT checking —
+// only the lemmas in the terminal conflict cone are verified, with an
+// unsatisfiable core as the by-product, the clausal analogue of Hybrid.
+func BenchmarkTable2DRATBackward(b *testing.B) {
+	benchCheckDRAT(b, satcheck.Hybrid)
 }
 
 // BenchmarkTable3CoreIteration measures the full solve→check→extract

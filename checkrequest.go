@@ -3,6 +3,7 @@ package satcheck
 import (
 	"context"
 	"errors"
+	"fmt"
 	"time"
 
 	"satcheck/internal/proofstat"
@@ -17,15 +18,26 @@ type CheckRequest struct {
 	Formula *Formula
 	// Trace replays the solver's resolution trace. Sources must support
 	// repeated Open calls (breadth-first and hybrid stream multiple passes).
+	// Used when Format == FormatNative; ignored otherwise.
 	Trace TraceSource
+	// Format selects the proof encoding: FormatNative checks Trace with the
+	// resolution checkers, FormatDRAT/FormatLRAT check Proof with the
+	// clausal checkers. Verdict and report semantics are identical across
+	// formats: a rejected proof is a report, never an error.
+	Format ProofFormat
+	// Proof supplies the clausal proof bytes when Format != FormatNative.
+	Proof ProofSource
 	// Method selects the checker traversal (DepthFirst, BreadthFirst,
-	// Hybrid, or Parallel).
+	// Hybrid, or Parallel). For FormatDRAT it selects the checking
+	// direction instead: BreadthFirst forward-checks (streaming, no core),
+	// the others backward-check and produce an unsatisfiable core.
+	// FormatLRAT has a single hint-following strategy and ignores it.
 	Method Method
 	// Options configures the checker (memory limit, on-disk counts, ...).
 	// Options.Interrupt composes with the RunCheck context: both can abort.
 	Options CheckOptions
-	// Analyze additionally computes proof-graph statistics (AnalyzeProof)
-	// when the proof is valid.
+	// Analyze additionally computes proof-graph statistics (AnalyzeProof or
+	// its clausal analogues) when the proof is valid.
 	Analyze bool
 }
 
@@ -70,6 +82,9 @@ func RunCheck(ctx context.Context, req CheckRequest) (*CheckReport, error) {
 		}
 		return nil
 	}
+	if req.Format != FormatNative {
+		return runClausalCheck(ctx, req, opts)
+	}
 	src := ctxSource{ctx: ctx, src: req.Trace}
 
 	start := time.Now()
@@ -94,6 +109,59 @@ func RunCheck(ctx context.Context, req CheckRequest) (*CheckReport, error) {
 	report.Result = res
 	if req.Analyze {
 		stats, err := proofstat.Analyze(req.Formula, src)
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			return nil, err
+		}
+		report.Stats = stats
+	}
+	return report, nil
+}
+
+// runClausalCheck is the DRAT/LRAT arm of RunCheck; opts already has the
+// context composed into Options.Interrupt.
+func runClausalCheck(ctx context.Context, req CheckRequest, opts CheckOptions) (*CheckReport, error) {
+	if req.Proof == nil {
+		return nil, fmt.Errorf("satcheck: %s check request has no proof source", req.Format)
+	}
+	src := ctxProofSource{ctx: ctx, src: req.Proof}
+
+	start := time.Now()
+	var res *CheckResult
+	var err error
+	switch req.Format {
+	case FormatDRAT:
+		res, err = CheckDRAT(req.Formula, src, req.Method, opts)
+	case FormatLRAT:
+		res, err = CheckLRAT(req.Formula, src, opts)
+	default:
+		return nil, fmt.Errorf("satcheck: unknown proof format %d", int(req.Format))
+	}
+	elapsed := time.Since(start)
+
+	report := &CheckReport{Method: req.Method, Elapsed: elapsed}
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		var ce *CheckError
+		if errors.As(err, &ce) {
+			report.Failure = ce
+			return report, nil
+		}
+		return nil, err
+	}
+	report.Valid = true
+	report.Result = res
+	if req.Analyze {
+		var stats *ProofStats
+		if req.Format == FormatDRAT {
+			stats, err = proofstat.AnalyzeDRAT(req.Formula, src)
+		} else {
+			stats, err = proofstat.AnalyzeLRAT(req.Formula, src)
+		}
 		if err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				return nil, ctxErr

@@ -2,6 +2,7 @@ package satcheck_test
 
 import (
 	"bufio"
+	"bytes"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -9,6 +10,8 @@ import (
 	"sync"
 	"syscall"
 	"testing"
+
+	"satcheck"
 )
 
 // buildTools compiles the command-line tools once per test binary and
@@ -430,5 +433,167 @@ func TestCLIGenList(t *testing.T) {
 	}
 	if out, code := runTool(t, "zgen", "-family", "nope"); code == 0 {
 		t.Errorf("unknown family accepted: %s", out)
+	}
+}
+
+// TestCLIDRUPPipeline drives the clausal-proof flow end to end: solve with
+// -drup, verify the DRUP file forward (bf) and backward (hybrid), bridge it
+// to LRAT and re-check with the hint-following verifier, run the clausal
+// stats, and pin the exit-code contract across all tools — flag and usage
+// errors exit 1, a rejected proof exits 2 with a kind= line, exactly like
+// the native path.
+func TestCLIDRUPPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	work := t.TempDir()
+	cnfPath := filepath.Join(work, "inst.cnf")
+	drupPath := filepath.Join(work, "inst.drup")
+
+	if out, code := runTool(t, "zgen", "-family", "php", "-n", "5", "-o", cnfPath); code != 0 {
+		t.Fatalf("zgen: %s", out)
+	}
+	out, code := runTool(t, "zsat", "-drup", drupPath, "-stats", cnfPath)
+	if code != 20 {
+		t.Fatalf("zsat -drup exit %d (want 20=UNSAT): %s", code, out)
+	}
+	if !strings.Contains(out, "drup-bytes=") {
+		t.Errorf("zsat -stats missing drup-bytes: %s", out)
+	}
+
+	// bf checks forward, hybrid checks backward; both must accept, and the
+	// backward mode must surface an unsat core like its native counterpart.
+	for _, method := range []string{"bf", "hybrid"} {
+		out, code = runTool(t, "zverify", "-format", "drat", "-method", method, cnfPath, drupPath)
+		if code != 0 {
+			t.Fatalf("zverify -format drat -method %s exit %d: %s", method, code, out)
+		}
+		if !strings.Contains(out, "PROOF VALID") || !strings.Contains(out, "format=drat") {
+			t.Errorf("zverify -format drat %s output: %s", method, out)
+		}
+	}
+	if !strings.Contains(out, "core:") {
+		t.Errorf("backward DRAT check printed no core: %s", out)
+	}
+
+	// A truncated proof (empty-clause derivation lost) is a structured
+	// rejection: exit 2 with a kind= line, not a usage error.
+	data, err := os.ReadFile(drupPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := data[:len(data)/2]
+	if i := strings.LastIndexByte(string(half), '\n'); i > 0 {
+		half = half[:i+1]
+	}
+	truncPath := filepath.Join(work, "trunc.drup")
+	if err := os.WriteFile(truncPath, half, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code = runTool(t, "zverify", "-format", "drat", cnfPath, truncPath)
+	if code != 2 {
+		t.Fatalf("zverify on truncated DRUP: exit %d (want 2): %s", code, out)
+	}
+	if !strings.Contains(out, "CHECK FAILED") || !strings.Contains(out, "kind=") {
+		t.Errorf("rejection output missing verdict or kind= line: %s", out)
+	}
+
+	// Bridge to LRAT via the library and re-check with both front ends.
+	f, err := satcheck.ParseDimacsFile(cnfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lrat bytes.Buffer
+	if _, err := satcheck.DRATToLRAT(f, satcheck.ProofFileSource(drupPath), &lrat, satcheck.CheckOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	lratPath := filepath.Join(work, "inst.lrat")
+	if err := os.WriteFile(lratPath, lrat.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code = runTool(t, "zverify", "-format", "lrat", cnfPath, lratPath)
+	if code != 0 || !strings.Contains(out, "PROOF VALID") {
+		t.Fatalf("zverify -format lrat exit %d: %s", code, out)
+	}
+	out, code = runTool(t, "zproof", "check", "-cnf", cnfPath, "-format", "lrat", lratPath)
+	if code != 0 || !strings.Contains(out, "PROOF VALID (lrat)") {
+		t.Fatalf("zproof check -format lrat exit %d: %s", code, out)
+	}
+	out, code = runTool(t, "zproof", "check", "-cnf", cnfPath, "-format", "drat", drupPath)
+	if code != 0 || !strings.Contains(out, "PROOF VALID (drat)") {
+		t.Fatalf("zproof check -format drat exit %d: %s", code, out)
+	}
+	out, code = runTool(t, "zproof", "check", "-cnf", cnfPath, "-format", "drat", truncPath)
+	if code != 2 || !strings.Contains(out, "kind=") {
+		t.Fatalf("zproof check on truncated DRUP: exit %d (want 2): %s", code, out)
+	}
+
+	// Clausal proof statistics.
+	out, code = runTool(t, "zproof", "stats", "-cnf", cnfPath, "-trace", drupPath, "-format", "drat")
+	if code != 0 || !strings.Contains(out, "added clauses") {
+		t.Fatalf("zproof stats -format drat exit %d: %s", code, out)
+	}
+	out, code = runTool(t, "zproof", "stats", "-cnf", cnfPath, "-trace", lratPath, "-format", "lrat")
+	if code != 0 || !strings.Contains(out, "proof depth") {
+		t.Fatalf("zproof stats -format lrat exit %d: %s", code, out)
+	}
+
+	// Unknown -format values are usage errors (exit 1) on every tool; 2 is
+	// reserved for rejected proofs alone.
+	if out, code := runTool(t, "zverify", "-format", "nope", cnfPath, drupPath); code != 1 {
+		t.Errorf("zverify -format nope: exit %d (want 1): %s", code, out)
+	}
+	if out, code := runTool(t, "zcheck", "-format", "nope", cnfPath, drupPath); code != 1 {
+		t.Errorf("zcheck -format nope: exit %d (want 1): %s", code, out)
+	}
+	if out, code := runTool(t, "zproof", "check", "-cnf", cnfPath, "-format", "nope", drupPath); code != 1 {
+		t.Errorf("zproof check -format nope: exit %d (want 1): %s", code, out)
+	}
+	if out, code := runTool(t, "zproof", "stats", "-cnf", cnfPath, "-trace", drupPath, "-format", "nope"); code != 1 {
+		t.Errorf("zproof stats -format nope: exit %d (want 1): %s", code, out)
+	}
+}
+
+// TestCLICheckDaemonDRAT round-trips a DRUP proof through the daemon: the
+// remote verdict, format echo, and exit codes must match the local zverify
+// contract.
+func TestCLICheckDaemonDRAT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	work := t.TempDir()
+	cnfPath := filepath.Join(work, "inst.cnf")
+	drupPath := filepath.Join(work, "inst.drup")
+	if out, code := runTool(t, "zgen", "-family", "php", "-n", "5", "-o", cnfPath); code != 0 {
+		t.Fatalf("zgen: %s", out)
+	}
+	if out, code := runTool(t, "zsat", "-drup", drupPath, cnfPath); code != 20 {
+		t.Fatalf("zsat: %s", out)
+	}
+
+	addr, cmd := startDaemon(t)
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		cmd.Wait()
+	}()
+
+	for _, method := range []string{"bf", "hybrid"} {
+		out, code := runTool(t, "zcheck", "-addr", addr, "-format", "drat", "-method", method, cnfPath, drupPath)
+		if code != 0 {
+			t.Fatalf("zcheck -format drat -method %s exit %d: %s", method, code, out)
+		}
+		if !strings.Contains(out, "PROOF VALID") {
+			t.Errorf("zcheck -format drat %s output: %s", method, out)
+		}
+	}
+
+	// A garbage DRUP body must come back as a structured rejection, exit 2.
+	badPath := filepath.Join(work, "bad.drup")
+	if err := os.WriteFile(badPath, []byte("1 2 3 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := runTool(t, "zcheck", "-addr", addr, "-format", "drat", cnfPath, badPath)
+	if code != 2 || !strings.Contains(out, "kind=") {
+		t.Fatalf("zcheck on bogus DRUP: exit %d (want 2): %s", code, out)
 	}
 }

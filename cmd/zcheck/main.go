@@ -6,8 +6,8 @@
 // Usage:
 //
 //	zcheck [-addr http://localhost:8347] [-method df|bf|hybrid|parallel]
-//	       [-j N] [-mem-limit-mb N] [-timeout D] [-analyze] [-core]
-//	       formula.cnf proof.trace
+//	       [-format native|drat|lrat] [-j N] [-mem-limit-mb N] [-timeout D]
+//	       [-analyze] [-core] formula.cnf proof.trace
 //
 // Exit status: 0 when the proof is valid, 2 when the daemon rejected it
 // (the solver or its trace generation is buggy), 3 when the daemon applied
@@ -39,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "http://localhost:8347", "zcheckd base URL")
 	method := fs.String("method", "df", "checker strategy: df, bf, hybrid, or parallel")
+	formatName := fs.String("format", "native", "proof encoding: native, drat, or lrat")
 	jobs := fs.Int("j", 0, "parallel only: requested worker count (server caps it at its pool size)")
 	memLimitMB := fs.Int64("mem-limit-mb", 0, "per-job checker memory budget in MB (0 = unlimited)")
 	timeout := fs.Duration("timeout", 0, "per-job deadline (0 = server default)")
@@ -67,8 +68,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "zcheck: unknown method %q\n", *method)
 		return 1
 	}
+	format, err := satcheck.ParseProofFormat(*formatName)
+	if err != nil {
+		fmt.Fprintln(stderr, "zcheck:", err)
+		return 1
+	}
 	opts := server.JobOptions{
 		Method:      m,
+		Format:      format,
 		MemLimitMB:  *memLimitMB,
 		Timeout:     *timeout,
 		Analyze:     *analyze,
@@ -134,8 +141,17 @@ func printVerdict(stdout io.Writer, cr *server.CheckResponse, wantCore bool) int
 		}
 	}
 	if s := cr.Stats; s != nil {
-		fmt.Fprintf(stdout, "proof: depth=%d needed-learned=%d/%d avg-chain=%.1f trace-ints=%d\n",
-			s.Depth, s.NeededLearned, s.NumLearned, s.AvgChain, s.TraceInts)
+		switch cr.Format {
+		case "drat":
+			fmt.Fprintf(stdout, "proof: added=%d deleted=%d avg-clause-len=%.1f proof-ints=%d\n",
+				s.NumLearned, s.NumDeleted, s.AvgChain, s.TraceInts)
+		case "lrat":
+			fmt.Fprintf(stdout, "proof: depth=%d needed=%d/%d deleted=%d avg-hints=%.1f proof-ints=%d\n",
+				s.Depth, s.NeededLearned, s.NumLearned, s.NumDeleted, s.AvgChain, s.TraceInts)
+		default:
+			fmt.Fprintf(stdout, "proof: depth=%d needed-learned=%d/%d avg-chain=%.1f trace-ints=%d\n",
+				s.Depth, s.NeededLearned, s.NumLearned, s.AvgChain, s.TraceInts)
+		}
 	}
 	return 0
 }

@@ -6,12 +6,14 @@
 //	    format (every derived clause with its literals and chain), the
 //	    precursor of today's DRUP/DRAT proof formats;
 //
-//	zproof check -cnf f.cnf proof.tc
-//	    independently verify a TraceCheck file against the formula;
+//	zproof check -cnf f.cnf [-format tc|drat|lrat] proof.tc
+//	    independently verify a proof file against the formula: a TraceCheck
+//	    file (default), a clausal DRUP/DRAT proof, or an LRAT proof;
 //
-//	zproof stats -cnf f.cnf -trace proof.trace
-//	    print resolution-graph statistics (needed clauses, core size, proof
-//	    depth, chain lengths);
+//	zproof stats -cnf f.cnf -trace proof.trace [-format native|drat|lrat]
+//	    print proof statistics: resolution-graph analytics for native traces
+//	    and LRAT (needed clauses, core size, proof depth, chain/hint
+//	    lengths), add/delete counts for DRAT;
 //
 //	zproof trim -cnf f.cnf -trace proof.trace -o trimmed.trace
 //	    rewrite the trace keeping only the clauses the empty-clause
@@ -23,12 +25,15 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"satcheck/internal/checker"
 	"satcheck/internal/cnf"
+	"satcheck/internal/drat"
 	"satcheck/internal/interp"
 	"satcheck/internal/proofstat"
 	"satcheck/internal/solver"
@@ -44,8 +49,8 @@ func main() {
 func usage() int {
 	fmt.Fprintln(os.Stderr, `usage:
   zproof export -cnf formula.cnf -trace proof.trace [-o proof.tc]
-  zproof check  -cnf formula.cnf proof.tc
-  zproof stats  -cnf formula.cnf -trace proof.trace
+  zproof check  -cnf formula.cnf [-format tc|drat|lrat] proof.tc
+  zproof stats  -cnf formula.cnf -trace proof.trace [-format native|drat|lrat]
   zproof trim   -cnf formula.cnf -trace proof.trace -o trimmed.trace
   zproof interpolate -cnf formula.cnf -trace proof.trace -split K`)
 	return 1
@@ -163,12 +168,44 @@ func runExport(args []string) int {
 
 func runCheck(args []string) int {
 	fs := flag.NewFlagSet("check", flag.ContinueOnError)
-	cnfPath := fs.String("cnf", "", "DIMACS formula (omit to accept arbitrary axioms)")
+	cnfPath := fs.String("cnf", "", "DIMACS formula (omit to accept arbitrary axioms; required for drat/lrat)")
+	format := fs.String("format", "tc", "proof encoding: tc (TraceCheck), drat, or lrat")
 	if fs.Parse(args) != nil {
 		return 1
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "zproof: check needs exactly one TraceCheck file")
+		fmt.Fprintln(os.Stderr, "zproof: check needs exactly one proof file")
+		return 1
+	}
+	switch *format {
+	case "drat", "drup", "lrat":
+		f, ok := loadCNF(*cnfPath)
+		if !ok {
+			return 1
+		}
+		var err error
+		if *format == "lrat" {
+			_, err = drat.CheckLRAT(f, drat.FileSource(fs.Arg(0)), checker.Options{})
+		} else {
+			_, err = drat.Check(f, drat.FileSource(fs.Arg(0)), drat.Forward, checker.Options{})
+		}
+		if err != nil {
+			var ce *checker.CheckError
+			if errors.As(err, &ce) {
+				fmt.Printf("RESULT: CHECK FAILED (%s)\n", ce.Kind)
+				fmt.Printf("kind=%s clause=%d step=%d\n", ce.Kind, ce.ClauseID, ce.Step)
+				fmt.Printf("detail: %v\n", ce)
+				return 2
+			}
+			fmt.Fprintln(os.Stderr, "zproof:", err)
+			return 1
+		}
+		fmt.Printf("RESULT: PROOF VALID (%s)\n", *format)
+		return 0
+	case "tc":
+		// TraceCheck path below.
+	default:
+		fmt.Fprintf(os.Stderr, "zproof: unknown proof format %q (want tc, drat, or lrat)\n", *format)
 		return 1
 	}
 	var f *cnf.Formula
@@ -186,12 +223,16 @@ func runCheck(args []string) int {
 	defer fh.Close()
 	clauses, err := tracecheck.Parse(fh)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "zproof:", err)
+		fmt.Printf("RESULT: CHECK FAILED (%s)\n", checker.FailTrace)
+		fmt.Printf("kind=%s\n", checker.FailTrace)
+		fmt.Printf("detail: %v\n", err)
 		return 2
 	}
 	stats, err := tracecheck.Verify(f, clauses)
 	if err != nil {
-		fmt.Printf("RESULT: CHECK FAILED\ndetail: %v\n", err)
+		fmt.Printf("RESULT: CHECK FAILED (%s)\n", checker.FailResolution)
+		fmt.Printf("kind=%s\n", checker.FailResolution)
+		fmt.Printf("detail: %v\n", err)
 		return 2
 	}
 	fmt.Printf("RESULT: PROOF VALID (%d originals, %d derived, %d resolutions)\n",
@@ -202,7 +243,8 @@ func runCheck(args []string) int {
 func runStats(args []string) int {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	cnfPath := fs.String("cnf", "", "DIMACS formula")
-	tracePath := fs.String("trace", "", "satcheck resolution trace")
+	tracePath := fs.String("trace", "", "proof input: resolution trace, DRAT, or LRAT file per -format")
+	format := fs.String("format", "native", "proof encoding: native, drat, or lrat")
 	if fs.Parse(args) != nil {
 		return 1
 	}
@@ -214,20 +256,51 @@ func runStats(args []string) int {
 		fmt.Fprintln(os.Stderr, "zproof: -trace is required")
 		return 1
 	}
-	st, err := proofstat.Analyze(f, trace.FileSource(*tracePath))
+	var st *proofstat.Stats
+	var err error
+	switch *format {
+	case "", "native":
+		st, err = proofstat.Analyze(f, trace.FileSource(*tracePath))
+	case "drat", "drup":
+		st, err = proofstat.AnalyzeDRAT(f, drat.FileSource(*tracePath))
+	case "lrat":
+		st, err = proofstat.AnalyzeLRAT(f, drat.FileSource(*tracePath))
+	default:
+		fmt.Fprintf(os.Stderr, "zproof: unknown proof format %q (want native, drat, or lrat)\n", *format)
+		return 1
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "zproof:", err)
 		return 2
 	}
-	fmt.Printf("original clauses: %d\n", st.NumOriginal)
-	fmt.Printf("learned clauses:  %d\n", st.NumLearned)
-	fmt.Printf("needed learned:   %d (%.1f%%)\n", st.NeededLearned, 100*st.NeededFraction())
-	fmt.Printf("core originals:   %d (%.1f%%)\n", st.NeededOriginal,
-		100*float64(st.NeededOriginal)/float64(st.NumOriginal))
-	fmt.Printf("proof depth:      %d\n", st.Depth)
-	fmt.Printf("chain length:     avg %.1f, max %d\n", st.AvgChain(), st.ChainMax)
-	fmt.Printf("level-0 records:  %d\n", st.Level0)
-	fmt.Printf("trace integers:   %d\n", st.TraceInts)
+	switch st.Format {
+	case "drat":
+		fmt.Printf("original clauses: %d\n", st.NumOriginal)
+		fmt.Printf("added clauses:    %d\n", st.NumLearned)
+		fmt.Printf("deleted clauses:  %d\n", st.NumDeleted)
+		fmt.Printf("clause length:    avg %.1f, max %d\n", st.AvgChain(), st.ChainMax)
+		fmt.Printf("proof integers:   %d\n", st.TraceInts)
+	case "lrat":
+		fmt.Printf("original clauses: %d\n", st.NumOriginal)
+		fmt.Printf("added clauses:    %d\n", st.NumLearned)
+		fmt.Printf("deleted clauses:  %d\n", st.NumDeleted)
+		fmt.Printf("needed added:     %d (%.1f%%)\n", st.NeededLearned, 100*st.NeededFraction())
+		fmt.Printf("core originals:   %d (%.1f%%)\n", st.NeededOriginal,
+			100*float64(st.NeededOriginal)/float64(st.NumOriginal))
+		fmt.Printf("proof depth:      %d\n", st.Depth)
+		fmt.Printf("hint count:       avg %.1f, max %d\n", st.AvgChain(), st.ChainMax)
+		fmt.Printf("proof integers:   %d\n", st.TraceInts)
+	default:
+		fmt.Printf("original clauses: %d\n", st.NumOriginal)
+		fmt.Printf("learned clauses:  %d\n", st.NumLearned)
+		fmt.Printf("needed learned:   %d (%.1f%%)\n", st.NeededLearned, 100*st.NeededFraction())
+		fmt.Printf("core originals:   %d (%.1f%%)\n", st.NeededOriginal,
+			100*float64(st.NeededOriginal)/float64(st.NumOriginal))
+		fmt.Printf("proof depth:      %d\n", st.Depth)
+		fmt.Printf("chain length:     avg %.1f, max %d\n", st.AvgChain(), st.ChainMax)
+		fmt.Printf("level-0 records:  %d\n", st.Level0)
+		fmt.Printf("trace integers:   %d\n", st.TraceInts)
+	}
 	return 0
 }
 

@@ -4,19 +4,27 @@
 //
 // Usage:
 //
-//	zsat [-trace out.trace] [-format ascii|binary] [-model] [-stats] formula.cnf
+//	zsat [-trace out.trace] [-format ascii|binary] [-drup out.drup]
+//	     [-model] [-stats] formula.cnf
+//
+// -drup additionally records a clausal DRUP proof (checkable by
+// `zverify -format drat`), independent of the native trace: a run may record
+// either, both, or neither. A ".gz" suffix gzips the proof.
 //
 // Exit status follows the SAT-competition convention: 10 satisfiable,
 // 20 unsatisfiable, 1 error or unknown.
 package main
 
 import (
+	"compress/gzip"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"satcheck/internal/cnf"
+	"satcheck/internal/drat"
 	"satcheck/internal/solver"
 	"satcheck/internal/trace"
 	"satcheck/internal/walksat"
@@ -28,6 +36,8 @@ func main() {
 
 func run() int {
 	tracePath := flag.String("trace", "", "write the resolution trace to this file")
+	drupPath := flag.String("drup", "", "write a clausal DRUP proof to this file (\".gz\" suffix gzips)")
+	drupBinary := flag.Bool("drup-binary", false, "use the binary DRAT encoding for -drup")
 	format := flag.String("format", "ascii", "trace encoding: ascii or binary")
 	gzipTrace := flag.Bool("gzip", false, "gzip-compress the trace (stacks with either encoding)")
 	showModel := flag.Bool("model", false, "print the satisfying assignment (v line)")
@@ -108,10 +118,48 @@ func run() int {
 		}
 	}
 
+	var drupBytes func() int64
+	var drupFinish func() error
+	if *drupPath != "" {
+		out, err := os.Create(*drupPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zsat:", err)
+			return 1
+		}
+		defer out.Close()
+		var w io.Writer = out
+		var gz *gzip.Writer
+		if strings.HasSuffix(*drupPath, ".gz") {
+			gz = gzip.NewWriter(out)
+			w = gz
+		}
+		var pw *drat.Writer
+		if *drupBinary {
+			pw = drat.NewBinaryWriter(w)
+		} else {
+			pw = drat.NewWriter(w)
+		}
+		s.SetProofSink(pw)
+		drupBytes = pw.BytesWritten
+		drupFinish = func() error {
+			if gz != nil {
+				return gz.Close()
+			}
+			return nil
+		}
+	}
+
 	status, err := s.Solve()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "zsat:", err)
 		return 1
+	}
+	// The solver closed (flushed) the proof writer; finish the gzip stream.
+	if drupFinish != nil {
+		if err := drupFinish(); err != nil {
+			fmt.Fprintln(os.Stderr, "zsat:", err)
+			return 1
+		}
 	}
 	fmt.Printf("s %s\n", status)
 	if *showStats {
@@ -120,6 +168,9 @@ func run() int {
 			st.Decisions, st.Propagations, st.Conflicts, st.Learned, st.Deleted, st.Restarts)
 		if traceBytes != nil {
 			fmt.Printf("c trace-bytes=%d\n", traceBytes())
+		}
+		if drupBytes != nil {
+			fmt.Printf("c drup-bytes=%d\n", drupBytes())
 		}
 	}
 	switch status {

@@ -5,8 +5,15 @@
 //
 // Usage:
 //
-//	zverify [-method df|bf|hybrid|parallel] [-j N] [-mem-limit-mb N]
-//	        [-counts-on-disk] formula.cnf proof.trace
+//	zverify [-method df|bf|hybrid|parallel] [-format native|drat|lrat] [-j N]
+//	        [-mem-limit-mb N] [-counts-on-disk] formula.cnf proof.trace
+//
+// -format selects the proof encoding: the native resolution trace (default),
+// a clausal DRUP/DRAT proof (zsat -drup), or LRAT. For DRAT, the method maps
+// onto a checking direction: bf checks forward (streaming, no core); df,
+// hybrid, and parallel check backward (only the needed lemmas, with an
+// unsatisfiable core as the by-product, exactly like their native
+// counterparts). LRAT has a single hint-following strategy.
 //
 // Exit status: 0 when the proof is valid, 2 when checking fails (the solver
 // or its trace generation is buggy), 1 on usage or I/O errors. Exit 2 is
@@ -33,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("zverify", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	method := fs.String("method", "df", "checker strategy: df, bf, hybrid, or parallel")
+	formatName := fs.String("format", "native", "proof encoding: native, drat, or lrat")
 	jobs := fs.Int("j", 0, "parallel only: worker count (0 = one per available CPU)")
 	memLimitMB := fs.Int64("mem-limit-mb", 0, "abort if the checker memory model exceeds this many MB (0 = unlimited)")
 	countsOnDisk := fs.Bool("counts-on-disk", false, "bf only: keep use counts in a temp file, computed in ranges")
@@ -62,6 +70,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	format, err := satcheck.ParseProofFormat(*formatName)
+	if err != nil {
+		fmt.Fprintln(stderr, "zverify:", err)
+		return 1
+	}
+
 	f, err := satcheck.ParseDimacsFile(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(stderr, "zverify:", err)
@@ -75,7 +89,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Parallelism:   *jobs,
 	}
 	start := time.Now()
-	res, err := satcheck.CheckFile(f, fs.Arg(1), m, opts)
+	var res *satcheck.CheckResult
+	switch format {
+	case satcheck.FormatDRAT:
+		res, err = satcheck.CheckDRAT(f, satcheck.ProofFileSource(fs.Arg(1)), m, opts)
+	case satcheck.FormatLRAT:
+		res, err = satcheck.CheckLRAT(f, satcheck.ProofFileSource(fs.Arg(1)), opts)
+	default:
+		res, err = satcheck.CheckFile(f, fs.Arg(1), m, opts)
+	}
 	elapsed := time.Since(start)
 	if err != nil {
 		var ce *satcheck.CheckError
@@ -89,8 +111,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintln(stdout, "RESULT: PROOF VALID — the formula is unsatisfiable")
-	fmt.Fprintf(stdout, "method=%s time=%v learned=%d built=%d (%.1f%%) resolutions=%d peak-mem=%dKB\n",
-		m, elapsed.Round(time.Millisecond), res.LearnedTotal, res.ClausesBuilt,
+	fmt.Fprintf(stdout, "method=%s format=%s time=%v learned=%d built=%d (%.1f%%) resolutions=%d peak-mem=%dKB\n",
+		m, format, elapsed.Round(time.Millisecond), res.LearnedTotal, res.ClausesBuilt,
 		100*res.BuiltFraction(), res.ResolutionSteps, res.PeakMemWords*4/1024)
 	if res.CoreClauses != nil {
 		fmt.Fprintf(stdout, "core: %d of %d original clauses, %d vars involved\n",

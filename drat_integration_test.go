@@ -1,0 +1,129 @@
+package satcheck_test
+
+// Differential tests for the clausal (DRUP/DRAT/LRAT) proof subsystem: the
+// solver's -drup proof and its native resolution trace must yield the same
+// verdict for every UNSAT instance in the generator suite, across the
+// forward and backward clausal checkers and the native hybrid/parallel
+// checkers, and the backward checker's unsat-core by-product must flow
+// through the internal/core iteration pipeline to a fixed point.
+
+import (
+	"bytes"
+	"testing"
+
+	"satcheck"
+	"satcheck/internal/core"
+	"satcheck/internal/drat"
+	"satcheck/internal/gen"
+	"satcheck/internal/solver"
+	"satcheck/internal/trace"
+)
+
+// solveBoth solves f recording the native trace and a DRUP proof in one run.
+func solveBoth(t *testing.T, f *satcheck.Formula) (satcheck.Status, *trace.MemoryTrace, []byte) {
+	t.Helper()
+	s, err := solver.New(f, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := &trace.MemoryTrace{}
+	s.SetTrace(mt)
+	var buf bytes.Buffer
+	s.SetProofSink(drat.NewWriter(&buf))
+	st, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, mt, buf.Bytes()
+}
+
+// TestDRATDifferentialSuite checks, for every UNSAT instance of the quick
+// generator suite, that the clausal proof verdicts (forward and backward)
+// agree with the native hybrid and parallel checkers, and that the LRAT
+// bridge emits a proof the independent LRAT checker re-accepts.
+func TestDRATDifferentialSuite(t *testing.T) {
+	for _, ins := range gen.SuiteQuick() {
+		ins := ins
+		t.Run(ins.Name, func(t *testing.T) {
+			st, mt, proof := solveBoth(t, ins.F)
+			if st != satcheck.StatusUnsat {
+				t.Skipf("instance is %v; the differential needs UNSAT", st)
+			}
+			// Native verdicts.
+			if _, err := satcheck.Check(ins.F, mt, satcheck.Hybrid, satcheck.CheckOptions{}); err != nil {
+				t.Fatalf("native hybrid rejected: %v", err)
+			}
+			if _, err := satcheck.Check(ins.F, mt, satcheck.Parallel, satcheck.CheckOptions{}); err != nil {
+				t.Fatalf("native parallel rejected: %v", err)
+			}
+			// Clausal verdicts must agree.
+			src := satcheck.ProofBytesSource(proof)
+			if _, err := satcheck.CheckDRAT(ins.F, src, satcheck.BreadthFirst, satcheck.CheckOptions{}); err != nil {
+				t.Fatalf("forward DRAT disagrees with native checkers: %v", err)
+			}
+			res, err := satcheck.CheckDRAT(ins.F, src, satcheck.Hybrid, satcheck.CheckOptions{})
+			if err != nil {
+				t.Fatalf("backward DRAT disagrees with native checkers: %v", err)
+			}
+			if res.CoreClauses == nil {
+				t.Fatal("backward DRAT check produced no core")
+			}
+			// The emitted LRAT must re-verify with the independent checker.
+			var lrat bytes.Buffer
+			if _, err := satcheck.DRATToLRAT(ins.F, src, &lrat, satcheck.CheckOptions{}); err != nil {
+				t.Fatalf("DRAT-to-LRAT conversion failed: %v", err)
+			}
+			if _, err := satcheck.CheckLRAT(ins.F, satcheck.ProofBytesSource(lrat.Bytes()), satcheck.CheckOptions{}); err != nil {
+				t.Fatalf("emitted LRAT rejected by the independent checker: %v", err)
+			}
+			// A tampered proof must be rejected by both modes (agreement on
+			// the negative side). Dropping the second half of the steps loses
+			// the empty-clause derivation.
+			if len(proof) > 2 {
+				half := proof[:len(proof)/2]
+				if i := bytes.LastIndexByte(half, '\n'); i > 0 {
+					tampered := satcheck.ProofBytesSource(half[:i+1])
+					_, fwdErr := satcheck.CheckDRAT(ins.F, tampered, satcheck.BreadthFirst, satcheck.CheckOptions{})
+					_, bwdErr := satcheck.CheckDRAT(ins.F, tampered, satcheck.Hybrid, satcheck.CheckOptions{})
+					if (fwdErr == nil) != (bwdErr == nil) {
+						t.Fatalf("modes disagree on truncated proof: forward=%v backward=%v", fwdErr, bwdErr)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDRATBackwardCoreRoundTrip drives the backward checker's unsat core
+// through the internal/core pipeline: extract, take the sub-formula,
+// re-solve with a DRUP proof, re-check backward, and repeat until the core
+// size reaches a fixed point — exactly the paper's iteration loop, but over
+// clausal proofs.
+func TestDRATBackwardCoreRoundTrip(t *testing.T) {
+	f := gen.Pigeonhole(5).F
+	cur := f
+	prev := cur.NumClauses() + 1
+	for iter := 0; iter < 30; iter++ {
+		st, _, proof := solveBoth(t, cur)
+		if st != satcheck.StatusUnsat {
+			t.Fatalf("iteration %d: expected UNSAT, got %v", iter, st)
+		}
+		res, err := satcheck.CheckDRAT(cur, satcheck.ProofBytesSource(proof), satcheck.DepthFirst, satcheck.CheckOptions{})
+		if err != nil {
+			t.Fatalf("iteration %d: backward check rejected: %v", iter, err)
+		}
+		ext, err := core.FromCheck(cur, res)
+		if err != nil {
+			t.Fatalf("iteration %d: core extraction failed: %v", iter, err)
+		}
+		if ext.NumClauses > cur.NumClauses() {
+			t.Fatalf("iteration %d: core grew: %d > %d", iter, ext.NumClauses, cur.NumClauses())
+		}
+		if ext.NumClauses == prev {
+			return // fixed point
+		}
+		prev = ext.NumClauses
+		cur = ext.Core
+	}
+	t.Fatal("core iteration did not reach a fixed point in 30 rounds")
+}

@@ -70,6 +70,13 @@ const (
 	// FailMemoryLimit: the checker exceeded its configured memory budget
 	// (the paper's depth-first "memory out" rows).
 	FailMemoryLimit
+	// FailRUP: a clausal (DRUP/DRAT) lemma is neither RUP nor RAT — unit
+	// propagation under its negation does not conflict, and no resolution
+	// candidate on the pivot rescues it.
+	FailRUP
+	// FailHint: an LRAT hint does not drive unit propagation as claimed
+	// (the hinted clause is neither unit nor conflicting when consumed).
+	FailHint
 )
 
 // String names the failure kind.
@@ -89,6 +96,10 @@ func (k FailureKind) String() string {
 		return "derivation-not-empty"
 	case FailMemoryLimit:
 		return "memory-limit"
+	case FailRUP:
+		return "rup-check-failed"
+	case FailHint:
+		return "bad-lrat-hint"
 	default:
 		return fmt.Sprintf("failure(%d)", int(k))
 	}

@@ -1,0 +1,833 @@
+package drat
+
+import (
+	"sort"
+	"strconv"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/cnf"
+)
+
+// Mode selects the checking order, mirroring the paper's DF/BF trade-off
+// transplanted to clausal proofs.
+type Mode int
+
+const (
+	// Forward checks every lemma in proof order as it is added — the
+	// breadth-first analogue: single pass, no core.
+	Forward Mode = iota
+	// Backward first replays the proof to the empty clause, then verifies
+	// only the lemmas reachable from it, last to first (drat-trim's
+	// core-first order) — the depth-first analogue: fewer checks, and the
+	// marked original clauses form an unsatisfiable core.
+	Backward
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Backward {
+		return "backward"
+	}
+	return "forward"
+}
+
+// noStep fills CheckError.Step for clausal failures, which have no
+// within-clause resolution step index.
+const noStep = -1
+
+// Check verifies a DRUP/DRAT proof of f. The returned Result reuses the
+// native checker's vocabulary: LearnedTotal counts proof additions,
+// ClausesBuilt counts lemmas actually verified (all of them forward, the
+// marked subset backward), ResolutionSteps counts unit propagations, and in
+// Backward mode CoreClauses lists the original clauses the refutation
+// touched (0-based formula indices, ascending) with CoreVars their distinct
+// variable count. Rejection comes back as a *checker.CheckError (FailRUP and
+// friends); other errors are infrastructure.
+func Check(f *cnf.Formula, src Source, mode Mode, opts checker.Options) (*checker.Result, error) {
+	proof, err := Load(src)
+	if err != nil {
+		return nil, &checker.CheckError{Kind: checker.FailTrace, ClauseID: -1, Step: noStep, Err: err}
+	}
+	return CheckProof(f, proof, mode, opts, nil)
+}
+
+// CheckProof verifies an already-parsed proof. When rec is non-nil it
+// receives per-lemma LRAT hints (forward mode only); this is the engine the
+// LRAT emitter rides on, so emitted hints are correct by construction.
+func CheckProof(f *cnf.Formula, proof *Proof, mode Mode, opts checker.Options, rec *hintRecorder) (*checker.Result, error) {
+	e, err := newEngine(f, proof, opts)
+	if err != nil {
+		return nil, err
+	}
+	if mode == Backward {
+		return e.checkBackward(proof)
+	}
+	return e.checkForward(proof, rec)
+}
+
+// eclause is one clause of the checking database.
+type eclause struct {
+	lits cnf.Clause
+	id   int // LRAT clause ID: originals 1..n, lemmas n+1...
+	live bool
+	orig bool
+}
+
+// engine is the watched-literal RUP/RAT core shared by both modes. Every
+// lemma check restarts propagation from an empty assignment — watched
+// literals make that proportional to the clauses actually touched, and it
+// sidesteps all trail-repair subtleties when backward checking removes
+// clauses.
+type engine struct {
+	nVars   int
+	clauses []eclause
+	watches [][]int32 // by literal: clause indices watching it
+	sig     map[string][]int32
+
+	assign []cnf.Value
+	reason []int32 // by var: propagating clause index, or -1
+	trail  []cnf.Lit
+	seen   []bool // by var: scratch for cone analysis
+
+	rootUnits []int32 // live size-1 clauses
+	emptyLive int32   // a live size-0 clause, or -1
+
+	marked []bool // by clause index: used by the refutation (backward)
+
+	interrupt func() error
+	pollN     int
+
+	props    int64
+	memCur   int64
+	memPeak  int64
+	memLimit int64
+
+	keyBuf []byte
+}
+
+func newEngine(f *cnf.Formula, proof *Proof, opts checker.Options) (*engine, error) {
+	nVars := f.NumVars
+	for _, s := range proof.Steps {
+		for _, l := range s.Lits {
+			if int(l.Var()) > nVars {
+				// DRAT lemmas may introduce fresh variables (extended
+				// resolution through RAT); size the tables for them.
+				nVars = int(l.Var())
+			}
+		}
+	}
+	e := &engine{
+		nVars:     nVars,
+		watches:   make([][]int32, 2*nVars+2),
+		sig:       make(map[string][]int32, len(f.Clauses)),
+		assign:    make([]cnf.Value, nVars+1),
+		reason:    make([]int32, nVars+1),
+		seen:      make([]bool, nVars+1),
+		emptyLive: -1,
+		interrupt: opts.Interrupt,
+		memLimit:  opts.MemLimitWords,
+	}
+	e.clauses = make([]eclause, 0, len(f.Clauses)+proof.NumAdds())
+	for i, c := range f.Clauses {
+		work, _ := c.Clone().Normalize()
+		if err := e.attach(work, i+1, true); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// attach installs a clause and returns nil, or FailMemoryLimit.
+func (e *engine) attach(lits cnf.Clause, id int, orig bool) error {
+	idx := int32(len(e.clauses))
+	e.clauses = append(e.clauses, eclause{lits: lits, id: id, live: true, orig: orig})
+	key := e.sigKey(lits)
+	e.sig[key] = append(e.sig[key], idx)
+	switch len(lits) {
+	case 0:
+		if e.emptyLive < 0 {
+			e.emptyLive = idx
+		}
+	case 1:
+		e.rootUnits = append(e.rootUnits, idx)
+	default:
+		e.watches[lits[0]] = append(e.watches[lits[0]], idx)
+		e.watches[lits[1]] = append(e.watches[lits[1]], idx)
+	}
+	e.memCur += int64(len(lits))
+	if e.memCur > e.memPeak {
+		e.memPeak = e.memCur
+	}
+	if e.memLimit > 0 && e.memCur > e.memLimit {
+		return &checker.CheckError{Kind: checker.FailMemoryLimit, ClauseID: id, Step: noStep,
+			Detail: "clause database exceeded the memory budget"}
+	}
+	return nil
+}
+
+// detachByLits removes one live clause with exactly these literals (most
+// recently added first). ok is false when no such clause is live — the
+// deletion is ignored, drat-trim-style, so proofs with spurious deletions
+// still check.
+func (e *engine) detachByLits(lits cnf.Clause) (int32, bool) {
+	key := e.sigKey(lits)
+	idxs := e.sig[key]
+	if len(idxs) == 0 {
+		return -1, false
+	}
+	idx := idxs[len(idxs)-1]
+	e.sig[key] = idxs[:len(idxs)-1]
+	e.detach(idx)
+	return idx, true
+}
+
+// detach tombstones clause idx (its literal storage survives for
+// re-attachment during the backward walk).
+func (e *engine) detach(idx int32) {
+	c := &e.clauses[idx]
+	c.live = false
+	switch len(c.lits) {
+	case 0:
+		if e.emptyLive == idx {
+			e.emptyLive = -1
+			for i, cl := range e.clauses {
+				if cl.live && len(cl.lits) == 0 {
+					e.emptyLive = int32(i)
+					break
+				}
+			}
+		}
+	case 1:
+		for i, u := range e.rootUnits {
+			if u == idx {
+				e.rootUnits = append(e.rootUnits[:i], e.rootUnits[i+1:]...)
+				break
+			}
+		}
+	default:
+		e.unwatch(c.lits[0], idx)
+		e.unwatch(c.lits[1], idx)
+	}
+	e.memCur -= int64(len(c.lits))
+}
+
+// reattach restores a clause tombstoned by detach (backward walk undoing a
+// deletion step).
+func (e *engine) reattach(idx int32) {
+	c := &e.clauses[idx]
+	c.live = true
+	key := e.sigKey(c.lits)
+	e.sig[key] = append(e.sig[key], idx)
+	switch len(c.lits) {
+	case 0:
+		if e.emptyLive < 0 {
+			e.emptyLive = idx
+		}
+	case 1:
+		e.rootUnits = append(e.rootUnits, idx)
+	default:
+		e.watches[c.lits[0]] = append(e.watches[c.lits[0]], idx)
+		e.watches[c.lits[1]] = append(e.watches[c.lits[1]], idx)
+	}
+	e.memCur += int64(len(c.lits))
+	if e.memCur > e.memPeak {
+		e.memPeak = e.memCur
+	}
+}
+
+func (e *engine) unwatch(l cnf.Lit, idx int32) {
+	ws := e.watches[l]
+	for i, w := range ws {
+		if w == idx {
+			ws[i] = ws[len(ws)-1]
+			e.watches[l] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+// sigKey canonicalizes a clause (sorted, deduplicated literals) into a map
+// key for deletion matching.
+func (e *engine) sigKey(lits cnf.Clause) string {
+	tmp := make(cnf.Clause, len(lits))
+	copy(tmp, lits)
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	e.keyBuf = e.keyBuf[:0]
+	var prev cnf.Lit
+	for i, l := range tmp {
+		if i > 0 && l == prev {
+			continue
+		}
+		prev = l
+		e.keyBuf = append(e.keyBuf, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	return string(e.keyBuf)
+}
+
+func (e *engine) poll() error {
+	if e.interrupt == nil {
+		return nil
+	}
+	if e.pollN++; e.pollN%1024 != 0 {
+		return nil
+	}
+	return e.interrupt()
+}
+
+// reset clears the assignment back to empty.
+func (e *engine) reset() {
+	for _, l := range e.trail {
+		e.assign[l.Var()] = cnf.Unknown
+		e.reason[l.Var()] = -1
+	}
+	e.trail = e.trail[:0]
+}
+
+// enqueue assigns l true with the given reason clause (-1 for assumptions).
+// It returns conflict=true when l is already false; the caller supplies the
+// conflicting clause context.
+func (e *engine) enqueue(l cnf.Lit, reason int32) (conflict bool) {
+	v := l.Var()
+	switch e.assign[v] {
+	case cnf.Unknown:
+		if l.IsNeg() {
+			e.assign[v] = cnf.False
+		} else {
+			e.assign[v] = cnf.True
+		}
+		e.reason[v] = reason
+		e.trail = append(e.trail, l)
+		return false
+	default:
+		return e.litValue(l) == cnf.False
+	}
+}
+
+func (e *engine) litValue(l cnf.Lit) cnf.Value {
+	v := e.assign[l.Var()]
+	if v == cnf.Unknown {
+		return cnf.Unknown
+	}
+	if l.IsNeg() {
+		return v.Not()
+	}
+	return v
+}
+
+// propagate runs watched-literal unit propagation from trail position qhead,
+// returning the index of a conflicting clause or -1.
+func (e *engine) propagate(qhead int) (int32, error) {
+	for qhead < len(e.trail) {
+		if err := e.poll(); err != nil {
+			return -1, err
+		}
+		l := e.trail[qhead]
+		qhead++
+		falsed := l.Neg()
+		ws := e.watches[falsed]
+		kept := ws[:0]
+		for wi := 0; wi < len(ws); wi++ {
+			idx := ws[wi]
+			c := &e.clauses[idx]
+			if !c.live {
+				// Lazily dropped: detach removes eagerly, but clauses
+				// re-watched during a move may linger; skip and discard.
+				continue
+			}
+			lits := c.lits
+			// Ensure the falsified literal is in slot 1.
+			if lits[0] == falsed {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			if e.litValue(lits[0]) == cnf.True {
+				kept = append(kept, idx)
+				continue
+			}
+			moved := false
+			for k := 2; k < len(lits); k++ {
+				if e.litValue(lits[k]) != cnf.False {
+					lits[1], lits[k] = lits[k], lits[1]
+					e.watches[lits[1]] = append(e.watches[lits[1]], idx)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// Unit or conflicting on lits[0].
+			kept = append(kept, idx)
+			e.props++
+			if e.enqueue(lits[0], idx) {
+				copy(ws[len(kept):], ws[wi+1:])
+				e.watches[falsed] = ws[:len(kept)+len(ws)-wi-1]
+				return idx, nil
+			}
+		}
+		e.watches[falsed] = kept
+	}
+	return -1, nil
+}
+
+// assumeNeg assumes the negation of every literal of lits. If some literal
+// is already true the assumptions are contradictory (a tautological lemma):
+// trivially RUP, reported as an immediate conflict with no clause.
+func (e *engine) assumeNeg(lits cnf.Clause) (taut bool) {
+	for _, l := range lits {
+		if e.enqueue(l.Neg(), -1) {
+			return true
+		}
+	}
+	return false
+}
+
+// startCheck resets state, assumes the negation of lits, and propagates the
+// live root units. It returns (conflIdx, taut): conflIdx >= 0 when a root
+// unit or empty clause already conflicts, taut when the lemma is
+// tautological.
+func (e *engine) startCheck(lits cnf.Clause) (int32, bool) {
+	e.reset()
+	if e.assumeNeg(lits) {
+		return -1, true
+	}
+	if e.emptyLive >= 0 {
+		return e.emptyLive, false
+	}
+	for _, u := range e.rootUnits {
+		if e.enqueue(e.clauses[u].lits[0], u) {
+			return u, false
+		}
+	}
+	return -1, false
+}
+
+// analyze walks the conflict cone of clause conflIdx: it marks every used
+// clause (backward mode's core marking) and, when hints is non-nil, appends
+// the LRAT hints — the reason clause of every cone literal assigned at or
+// after trailFrom, in propagation order, then the conflicting clause.
+func (e *engine) analyze(conflIdx int32, trailFrom int, hints *[]int) {
+	for _, l := range e.clauses[conflIdx].lits {
+		e.seen[l.Var()] = true
+	}
+	for i := len(e.trail) - 1; i >= 0; i-- {
+		v := e.trail[i].Var()
+		if !e.seen[v] || e.reason[v] < 0 {
+			continue
+		}
+		for _, l := range e.clauses[e.reason[v]].lits {
+			e.seen[l.Var()] = true
+		}
+	}
+	if e.marked != nil {
+		e.mark(conflIdx)
+	}
+	for i := 0; i < len(e.trail); i++ {
+		v := e.trail[i].Var()
+		if !e.seen[v] || e.reason[v] < 0 {
+			continue
+		}
+		if e.marked != nil {
+			e.mark(e.reason[v])
+		}
+		if hints != nil && i >= trailFrom {
+			*hints = append(*hints, e.clauses[e.reason[v]].id)
+		}
+	}
+	if hints != nil {
+		*hints = append(*hints, e.clauses[conflIdx].id)
+	}
+	for _, l := range e.trail {
+		e.seen[l.Var()] = false
+	}
+	for _, l := range e.clauses[conflIdx].lits {
+		e.seen[l.Var()] = false
+	}
+}
+
+func (e *engine) mark(idx int32) {
+	for int(idx) >= len(e.marked) {
+		e.marked = append(e.marked, false)
+	}
+	e.marked[idx] = true
+}
+
+// lemmaHints collects the LRAT annotation of one verified lemma.
+type lemmaHints struct {
+	// RUP holds the plain RUP hints, or the shared propagation prefix of a
+	// RAT check.
+	RUP []int
+	// Groups holds RAT resolution-candidate groups: candidate clause ID plus
+	// the hints refuting the resolvent.
+	Groups []ratGroup
+	// RAT reports whether the lemma needed a RAT check.
+	RAT bool
+}
+
+type ratGroup struct {
+	Cand  int
+	Hints []int
+}
+
+// checkLemma verifies that lits is RUP or RAT with respect to the current
+// database. On success hints (when non-nil) is filled; on failure a
+// structured CheckError is returned. id is the lemma's LRAT clause ID for
+// diagnostics.
+func (e *engine) checkLemma(lits cnf.Clause, id int, hints *lemmaHints) error {
+	confl, taut := e.startCheck(lits)
+	if taut {
+		return nil
+	}
+	if confl < 0 {
+		var err error
+		confl, err = e.propagate(0)
+		if err != nil {
+			return err
+		}
+	}
+	if confl >= 0 {
+		var hp *[]int
+		if hints != nil {
+			hp = &hints.RUP
+		}
+		e.analyze(confl, 0, hp)
+		return nil
+	}
+	// Not RUP: try RAT on the pivot (the lemma's first literal).
+	if len(lits) == 0 {
+		return &checker.CheckError{Kind: checker.FailRUP, ClauseID: id, Step: noStep,
+			Detail: "empty clause is not RUP: unit propagation does not refute the database"}
+	}
+	pivot := lits[0]
+	npivot := pivot.Neg()
+	if hints != nil {
+		hints.RAT = true
+		// Shared prefix: every first-phase propagation in trail order, so
+		// each candidate group can build on the full propagated state.
+		for i := 0; i < len(e.trail); i++ {
+			v := e.trail[i].Var()
+			if e.reason[v] >= 0 {
+				hints.RUP = append(hints.RUP, e.clauses[e.reason[v]].id)
+			}
+		}
+	}
+	mark := len(e.trail)
+	for idx := range e.clauses {
+		c := &e.clauses[idx]
+		if !c.live || !c.contains(npivot) {
+			continue
+		}
+		if err := e.poll(); err != nil {
+			return err
+		}
+		var group *ratGroup
+		if hints != nil {
+			hints.Groups = append(hints.Groups, ratGroup{Cand: c.id})
+			group = &hints.Groups[len(hints.Groups)-1]
+		}
+		if e.marked != nil {
+			e.mark(int32(idx))
+		}
+		conflCand, immediate := e.assumeCandidate(c.lits, npivot)
+		if !immediate {
+			var err error
+			conflCand, err = e.propagate(mark)
+			if err != nil {
+				return err
+			}
+			if conflCand < 0 {
+				e.undoTo(mark)
+				return &checker.CheckError{Kind: checker.FailRUP, ClauseID: id, Step: noStep,
+					Detail: "lemma is neither RUP nor RAT on pivot " + pivot.String() +
+						": resolvent with clause " + strconv.Itoa(c.id) + " is not RUP"}
+			}
+		}
+		if conflCand >= 0 {
+			var hp *[]int
+			if group != nil {
+				hp = &group.Hints
+			}
+			e.analyze(conflCand, mark, hp)
+		}
+		e.undoTo(mark)
+	}
+	return nil
+}
+
+// assumeCandidate assumes the negations of the candidate clause's literals
+// other than the negated pivot. immediate is true when an assumption
+// contradicts the current assignment — the resolvent is tautological or
+// already falsified, so the group needs no propagation (conflIdx stays -1).
+func (e *engine) assumeCandidate(cand cnf.Clause, npivot cnf.Lit) (conflIdx int32, immediate bool) {
+	for _, d := range cand {
+		if d == npivot {
+			continue
+		}
+		if e.enqueue(d.Neg(), -1) {
+			return -1, true
+		}
+	}
+	return -1, false
+}
+
+// undoTo unassigns trail literals back to position mark.
+func (e *engine) undoTo(mark int) {
+	for i := len(e.trail) - 1; i >= mark; i-- {
+		v := e.trail[i].Var()
+		e.assign[v] = cnf.Unknown
+		e.reason[v] = -1
+	}
+	e.trail = e.trail[:mark]
+}
+
+func (c *eclause) contains(l cnf.Lit) bool {
+	for _, x := range c.lits {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// hintRecorder accumulates the per-lemma LRAT annotations of a forward
+// checking run, in proof order. Deletion steps record the IDs they removed.
+type hintRecorder struct {
+	lines []lratRecord
+}
+
+type lratRecord struct {
+	del    bool
+	delIDs []int
+	lits   cnf.Clause
+	hints  lemmaHints
+	id     int
+}
+
+// result assembles the common Result fields.
+func (e *engine) result(adds, built int) *checker.Result {
+	return &checker.Result{
+		LearnedTotal:    adds,
+		ClausesBuilt:    built,
+		ResolutionSteps: e.props,
+		PeakMemWords:    e.memPeak,
+	}
+}
+
+// checkForward validates every addition in proof order. Checking stops — and
+// the proof is accepted — as soon as the database is refuted: an empty
+// clause (original or derived) or a top-level propagation conflict.
+func (e *engine) checkForward(proof *Proof, rec *hintRecorder) (*checker.Result, error) {
+	adds := proof.NumAdds()
+	built := 0
+	nextID := len(e.clauses) + 1
+	// A database refuted before any lemma (empty clause or conflicting
+	// units in the original formula) accepts the proof immediately.
+	confl, _ := e.startCheck(nil)
+	if confl < 0 {
+		var err error
+		confl, err = e.propagate(0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if confl >= 0 {
+		if rec != nil {
+			rec.lines = append(rec.lines, lratRecord{lits: nil, id: nextID})
+			line := &rec.lines[len(rec.lines)-1]
+			e.analyze(confl, 0, &line.hints.RUP)
+		}
+		return e.result(adds, built), nil
+	}
+	for si := range proof.Steps {
+		step := &proof.Steps[si]
+		if step.Del {
+			idx, ok := e.detachByLits(step.Lits)
+			if rec != nil && ok {
+				rec.lines = append(rec.lines, lratRecord{del: true, delIDs: []int{e.clauses[idx].id}})
+			}
+			continue
+		}
+		id := nextID
+		nextID++
+		var hints *lemmaHints
+		var line *lratRecord
+		if rec != nil {
+			rec.lines = append(rec.lines, lratRecord{lits: step.Lits, id: id})
+			line = &rec.lines[len(rec.lines)-1]
+			hints = &line.hints
+		}
+		if err := e.checkLemma(step.Lits, id, hints); err != nil {
+			return nil, err
+		}
+		built++
+		if len(step.Lits) == 0 {
+			// Empty clause verified: the proof is complete; later steps are
+			// irrelevant.
+			return e.result(adds, built), nil
+		}
+		if err := e.attach(append(cnf.Clause(nil), step.Lits...), id, false); err != nil {
+			return nil, err
+		}
+	}
+	// No explicit empty clause: accept iff the accumulated database is
+	// refuted by propagation alone (DRUP tools allow the trailing "0" line
+	// to be implicit).
+	confl, _ = e.startCheck(nil)
+	if confl < 0 {
+		var err error
+		confl, err = e.propagate(0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if confl >= 0 {
+		if rec != nil {
+			rec.lines = append(rec.lines, lratRecord{lits: nil, id: nextID})
+			line := &rec.lines[len(rec.lines)-1]
+			e.analyze(confl, 0, &line.hints.RUP)
+		}
+		return e.result(adds, built), nil
+	}
+	return nil, &checker.CheckError{Kind: checker.FailNotEmpty, ClauseID: -1, Step: noStep,
+		Detail: "proof ends without deriving the empty clause"}
+}
+
+// checkBackward replays the proof up to its first refutation, then verifies
+// marked lemmas last-to-first, growing the mark set from each lemma's
+// conflict cone. Unmarked lemmas are never checked (the DF "build only
+// what the empty clause needs" economy), and the marked original clauses
+// are returned as the unsatisfiable core.
+func (e *engine) checkBackward(proof *Proof) (*checker.Result, error) {
+	adds := proof.NumAdds()
+	e.marked = make([]bool, len(e.clauses))
+
+	// Original database already refuted?
+	confl, _ := e.startCheck(nil)
+	if confl < 0 {
+		var err error
+		confl, err = e.propagate(0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if confl >= 0 {
+		e.analyze(confl, 0, nil)
+		res := e.result(adds, 0)
+		e.fillCore(res)
+		return res, nil
+	}
+
+	// Forward replay without checking: apply steps until the first empty
+	// lemma (the refutation point). Remember what each step did so the
+	// backward walk can undo it.
+	type applied struct {
+		lemma int32 // attached clause index, or -1
+		del   int32 // detached clause index, or -1
+	}
+	log := make([]applied, 0, len(proof.Steps))
+	stop := -1 // index of the step holding the empty lemma
+	nextID := len(e.clauses) + 1
+	for si := range proof.Steps {
+		step := &proof.Steps[si]
+		if step.Del {
+			idx, ok := e.detachByLits(step.Lits)
+			if !ok {
+				idx = -1
+			}
+			log = append(log, applied{lemma: -1, del: idx})
+			continue
+		}
+		if len(step.Lits) == 0 {
+			stop = si
+			break
+		}
+		id := nextID
+		nextID++
+		idx := int32(len(e.clauses))
+		if err := e.attach(append(cnf.Clause(nil), step.Lits...), id, false); err != nil {
+			return nil, err
+		}
+		log = append(log, applied{lemma: idx, del: -1})
+	}
+
+	// Establish the terminal conflict at the refutation point.
+	confl, _ = e.startCheck(nil)
+	if confl < 0 {
+		var err error
+		confl, err = e.propagate(0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if confl < 0 {
+		if stop < 0 {
+			return nil, &checker.CheckError{Kind: checker.FailNotEmpty, ClauseID: -1, Step: noStep,
+				Detail: "proof ends without deriving the empty clause"}
+		}
+		return nil, &checker.CheckError{Kind: checker.FailRUP, ClauseID: nextID, Step: noStep,
+			Detail: "empty clause is not RUP: unit propagation does not refute the database"}
+	}
+	e.analyze(confl, 0, nil)
+
+	// Backward walk: undo each step; verify marked lemmas against the
+	// database state that preceded them.
+	built := 0
+	for i := len(log) - 1; i >= 0; i-- {
+		if log[i].del >= 0 {
+			e.reattach(log[i].del)
+			continue
+		}
+		idx := log[i].lemma
+		if idx < 0 {
+			continue
+		}
+		c := &e.clauses[idx]
+		e.detach(idx)
+		// detach leaves the sig entry for lemmas removed by index; purge it
+		// so a later detachByLits cannot resurrect this clause.
+		e.purgeSig(idx, c.lits)
+		if int(idx) < len(e.marked) && e.marked[idx] {
+			if err := e.checkLemma(c.lits, c.id, nil); err != nil {
+				return nil, err
+			}
+			built++
+		}
+	}
+	res := e.result(adds, built)
+	e.fillCore(res)
+	return res, nil
+}
+
+// purgeSig removes idx from the signature bucket of lits (detach only pops
+// when deletion is by literals; backward removal is by index).
+func (e *engine) purgeSig(idx int32, lits cnf.Clause) {
+	key := e.sigKey(lits)
+	bucket := e.sig[key]
+	for i, x := range bucket {
+		if x == idx {
+			e.sig[key] = append(bucket[:i], bucket[i+1:]...)
+			return
+		}
+	}
+}
+
+// fillCore converts marked original clauses into Result.CoreClauses (0-based
+// formula indices, ascending) and CoreVars.
+func (e *engine) fillCore(res *checker.Result) {
+	if e.marked == nil {
+		return
+	}
+	vars := make(map[cnf.Var]struct{})
+	for idx, m := range e.marked {
+		if !m || !e.clauses[idx].orig {
+			continue
+		}
+		res.CoreClauses = append(res.CoreClauses, e.clauses[idx].id-1)
+		for _, l := range e.clauses[idx].lits {
+			vars[l.Var()] = struct{}{}
+		}
+	}
+	if res.CoreClauses == nil {
+		res.CoreClauses = []int{}
+	}
+	res.CoreVars = len(vars)
+}

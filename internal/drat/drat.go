@@ -1,0 +1,341 @@
+// Package drat implements the clausal proof subsystem: parsing DRUP/DRAT
+// proofs (ASCII and binary encodings, either gzipped), verifying them by
+// RUP/RAT checks over watched-literal unit propagation in forward or
+// backward (core-first, drat-trim-style) order, and emitting LRAT — the
+// annotated format whose hints make re-checking cheap enough for certified
+// checkers — together with a small independent LRAT verifier.
+//
+// The package is the modern descendant of the paper's trace checker: the
+// native trace records *how* each clause was derived (resolution sources),
+// a DRUP proof records only *what* was derived and leaves the checker to
+// rediscover the propagations, and LRAT adds the propagation hints back.
+// Bridges convert both native traces and TraceCheck files to LRAT, so every
+// proof format the repo speaks can reach the certified-checking pipeline.
+//
+// Format grammar (ASCII):
+//
+//	proof   := { line }
+//	line    := comment | deletion | addition
+//	comment := "c" ... "\n"
+//	deletion:= "d" { lit } "0"
+//	addition:= { lit } "0"
+//	lit     := nonzero DIMACS integer
+//
+// Binary DRAT prefixes each step with 'a' (0x61) or 'd' (0x64) and encodes
+// each literal as a 7-bit varint of 2*v (positive) or 2*v+1 (negative),
+// terminated by a single 0x00 byte.
+package drat
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+
+	"satcheck/internal/cnf"
+)
+
+// Step is one proof line: an addition (lemma) or a deletion.
+type Step struct {
+	// Del marks a deletion line ("d ..." / 0x64 prefix).
+	Del bool
+	// Lits are the clause literals; empty with Del=false is the empty clause.
+	Lits []cnf.Lit
+}
+
+// Proof is a parsed DRUP/DRAT derivation.
+type Proof struct {
+	// Steps in file order.
+	Steps []Step
+	// Binary reports whether the input used the binary encoding.
+	Binary bool
+	// Ints counts the integers in the proof (literals + terminators), the
+	// encoding-independent size measure used across the repo.
+	Ints int64
+}
+
+// NumAdds counts addition steps (the lemmas a checker must validate).
+func (p *Proof) NumAdds() int {
+	n := 0
+	for _, s := range p.Steps {
+		if !s.Del {
+			n++
+		}
+	}
+	return n
+}
+
+// Source supplies the raw proof bytes, repeatably. Clausal proofs are byte
+// streams, not trace events, so this is deliberately narrower than
+// trace.Source: encoding detection happens at parse time.
+type Source interface {
+	Open() (io.ReadCloser, error)
+}
+
+// FileSource opens a proof file on each Open call.
+type FileSource string
+
+// Open implements Source.
+func (f FileSource) Open() (io.ReadCloser, error) { return os.Open(string(f)) }
+
+// BytesSource serves an in-memory proof.
+type BytesSource []byte
+
+// Open implements Source.
+func (b BytesSource) Open() (io.ReadCloser, error) {
+	return io.NopCloser(newBytesReader(b)), nil
+}
+
+// newBytesReader avoids importing bytes just for one reader.
+type bytesReader struct {
+	p []byte
+	i int
+}
+
+func newBytesReader(p []byte) *bytesReader { return &bytesReader{p: p} }
+
+func (r *bytesReader) Read(dst []byte) (int, error) {
+	if r.i >= len(r.p) {
+		return 0, io.EOF
+	}
+	n := copy(dst, r.p[r.i:])
+	r.i += n
+	return n, nil
+}
+
+// gzipMagic mirrors the trace package's sniffing approach: two peeked bytes
+// decide decompression, so sources never need to be seekable (the zcheckd
+// spool replays proofs through section readers).
+var gzipMagic = [2]byte{0x1f, 0x8b}
+
+// maxVar bounds accepted variable indices; beyond it the input is treated as
+// garbage rather than a cause for a multi-gigabyte allocation.
+const maxVar = 1 << 28
+
+// Load opens, sniffs, and parses a proof: gzip is detected by magic bytes,
+// then the binary encoding is detected by scanning the first window for
+// bytes that cannot occur in ASCII DRAT (every complete binary step contains
+// a 0x00 terminator, and binary additions start with 'a').
+func Load(src Source) (*Proof, error) {
+	rc, err := src.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	return Parse(rc)
+}
+
+// Parse reads one proof of any supported encoding from r.
+func Parse(r io.Reader) (*Proof, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(2)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		if len(head) == 0 {
+			// An empty file is an empty derivation — valid DRUP syntax (it
+			// just cannot prove anything).
+			return &Proof{}, nil
+		}
+	} else if err != nil {
+		return nil, fmt.Errorf("drat: unreadable input: %w", err)
+	}
+	if len(head) == 2 && head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("drat: gzip: %w", err)
+		}
+		defer gz.Close()
+		br = bufio.NewReaderSize(gz, 1<<16)
+	}
+	window, _ := br.Peek(1 << 12)
+	if looksBinary(window) {
+		return parseBinary(br)
+	}
+	return parseASCII(br)
+}
+
+// looksBinary reports whether the window contains a byte no ASCII DRAT file
+// can contain. The ASCII alphabet is digits, '-', 'd', comment lines, and
+// whitespace; binary steps begin with 'a'/'d' and always end with 0x00.
+func looksBinary(window []byte) bool {
+	comment := false
+	for _, b := range window {
+		if comment {
+			if b == '\n' {
+				comment = false
+			}
+			continue
+		}
+		switch {
+		case b >= '0' && b <= '9':
+		case b == '-' || b == 'd' || b == ' ' || b == '\t' || b == '\n' || b == '\r':
+		case b == 'c':
+			comment = true
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+func parseASCII(br *bufio.Reader) (*Proof, error) {
+	p := &Proof{}
+	var (
+		cur       Step
+		inStep    bool
+		comment   bool
+		val       int
+		neg       bool
+		inNum     bool
+		line      = 1
+		endNumber func() error
+	)
+	endNumber = func() error {
+		if !inNum {
+			return nil
+		}
+		inNum = false
+		p.Ints++
+		if val == 0 {
+			if neg {
+				return fmt.Errorf("drat: line %d: literal -0", line)
+			}
+			p.Steps = append(p.Steps, cur)
+			cur = Step{}
+			inStep = false
+			return nil
+		}
+		if val > maxVar {
+			return fmt.Errorf("drat: line %d: variable %d exceeds limit", line, val)
+		}
+		d := val
+		if neg {
+			d = -d
+		}
+		cur.Lits = append(cur.Lits, cnf.LitFromDimacs(d))
+		inStep = true
+		return nil
+	}
+	for {
+		b, err := br.ReadByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("drat: read: %w", err)
+		}
+		if comment {
+			if b == '\n' {
+				comment = false
+				line++
+			}
+			continue
+		}
+		switch {
+		case b >= '0' && b <= '9':
+			if !inNum {
+				inNum = true
+				val = 0
+			}
+			if val <= maxVar {
+				val = val*10 + int(b-'0')
+			}
+		case b == '-':
+			if inNum || neg {
+				return nil, fmt.Errorf("drat: line %d: stray '-'", line)
+			}
+			neg = true
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			if neg && !inNum {
+				return nil, fmt.Errorf("drat: line %d: '-' without digits", line)
+			}
+			if err := endNumber(); err != nil {
+				return nil, err
+			}
+			neg = false
+			if b == '\n' {
+				line++
+			}
+		case b == 'd':
+			if inStep || inNum || cur.Del {
+				return nil, fmt.Errorf("drat: line %d: 'd' inside a clause", line)
+			}
+			cur.Del = true
+		case b == 'c':
+			if inStep || inNum || cur.Del {
+				return nil, fmt.Errorf("drat: line %d: comment inside a clause", line)
+			}
+			comment = true
+		default:
+			return nil, fmt.Errorf("drat: line %d: unexpected byte %q", line, b)
+		}
+	}
+	if err := endNumber(); err != nil {
+		return nil, err
+	}
+	if inStep || cur.Del || neg {
+		return nil, fmt.Errorf("drat: line %d: truncated clause (missing terminating 0)", line)
+	}
+	return p, nil
+}
+
+func parseBinary(br *bufio.Reader) (*Proof, error) {
+	p := &Proof{Binary: true}
+	for {
+		prefix, err := br.ReadByte()
+		if err == io.EOF {
+			return p, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("drat: read: %w", err)
+		}
+		var step Step
+		switch prefix {
+		case 'a':
+		case 'd':
+			step.Del = true
+		default:
+			return nil, fmt.Errorf("drat: binary step %d: bad prefix byte 0x%02x", len(p.Steps), prefix)
+		}
+		for {
+			u, err := readUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("drat: binary step %d: %w", len(p.Steps), err)
+			}
+			p.Ints++
+			if u == 0 {
+				break
+			}
+			v := u >> 1
+			if v == 0 || v > maxVar {
+				return nil, fmt.Errorf("drat: binary step %d: bad encoded literal %d", len(p.Steps), u)
+			}
+			step.Lits = append(step.Lits, cnf.NewLit(cnf.Var(v), u&1 == 1))
+		}
+		p.Steps = append(p.Steps, step)
+	}
+}
+
+// readUvarint is binary.ReadUvarint with a tighter bound: DRAT literals fit
+// well within five 7-bit groups.
+func readUvarint(br *bufio.Reader) (uint64, error) {
+	var x uint64
+	var shift uint
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, fmt.Errorf("truncated varint: %w", err)
+		}
+		x |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return x, nil
+		}
+		shift += 7
+		if shift > 35 {
+			return 0, fmt.Errorf("varint overflow")
+		}
+	}
+}

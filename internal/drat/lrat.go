@@ -1,0 +1,607 @@
+package drat
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/cnf"
+)
+
+// LRATLine is one line of an LRAT proof: either a lemma addition with its
+// unit-propagation hints, or a deletion of previously used clause IDs.
+//
+// Addition grammar: `<id> <lit>* 0 <hint>* 0`. Hints are clause IDs in the
+// order unit propagation consumes them; a RAT lemma's hint list is a shared
+// propagation prefix followed by groups, each opened by the negated ID of a
+// resolution candidate and closed by the hints refuting that resolvent.
+// Deletion grammar: `<id> d <id>* 0`.
+type LRATLine struct {
+	ID     int
+	Del    bool
+	Lits   cnf.Clause
+	Hints  []int // signed: a negative value opens a RAT candidate group
+	DelIDs []int
+}
+
+// LRATProof is a parsed LRAT file.
+type LRATProof struct {
+	Lines []LRATLine
+	// Ints counts integers in the file, the repo's encoding-independent
+	// proof size measure.
+	Ints int64
+}
+
+// NumAdds counts addition lines.
+func (p *LRATProof) NumAdds() int {
+	n := 0
+	for _, ln := range p.Lines {
+		if !ln.Del {
+			n++
+		}
+	}
+	return n
+}
+
+// LoadLRAT opens and parses an LRAT proof (plain or gzipped ASCII).
+func LoadLRAT(src Source) (*LRATProof, error) {
+	rc, err := src.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	return ParseLRAT(rc)
+}
+
+// ParseLRAT reads an ASCII LRAT proof, transparently gunzipping.
+func ParseLRAT(r io.Reader) (*LRATProof, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	if head, err := br.Peek(2); err == nil && head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("lrat: gzip: %w", err)
+		}
+		defer gz.Close()
+		br = bufio.NewReaderSize(gz, 1<<16)
+	}
+	p := &LRATProof{}
+	tk := &tokenizer{br: br}
+	for {
+		tok, err := tk.next()
+		if err == io.EOF {
+			return p, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if tok.isD {
+			return nil, fmt.Errorf("lrat: line %d: 'd' where a clause ID was expected", tk.line)
+		}
+		if tok.val <= 0 {
+			return nil, fmt.Errorf("lrat: line %d: bad clause ID %d", tk.line, tok.val)
+		}
+		line := LRATLine{ID: tok.val}
+		tok, err = tk.next()
+		if err != nil {
+			return nil, fmt.Errorf("lrat: line %d: truncated line: %w", tk.line, err)
+		}
+		if tok.isD {
+			line.Del = true
+			for {
+				tok, err = tk.next()
+				if err != nil {
+					return nil, fmt.Errorf("lrat: line %d: truncated deletion: %w", tk.line, err)
+				}
+				if tok.isD {
+					return nil, fmt.Errorf("lrat: line %d: 'd' inside a deletion", tk.line)
+				}
+				if tok.val == 0 {
+					break
+				}
+				if tok.val < 0 {
+					return nil, fmt.Errorf("lrat: line %d: negative ID %d in deletion", tk.line, tok.val)
+				}
+				line.DelIDs = append(line.DelIDs, tok.val)
+			}
+			p.Lines = append(p.Lines, line)
+			p.Ints += int64(len(line.DelIDs)) + 2
+			continue
+		}
+		// Literal section until 0.
+		for tok.val != 0 {
+			if tok.isD {
+				return nil, fmt.Errorf("lrat: line %d: 'd' inside a clause", tk.line)
+			}
+			if tok.val > maxVar || tok.val < -maxVar {
+				return nil, fmt.Errorf("lrat: line %d: variable out of range", tk.line)
+			}
+			line.Lits = append(line.Lits, cnf.LitFromDimacs(tok.val))
+			tok, err = tk.next()
+			if err != nil {
+				return nil, fmt.Errorf("lrat: line %d: truncated clause: %w", tk.line, err)
+			}
+		}
+		// Hint section until 0.
+		for {
+			tok, err = tk.next()
+			if err != nil {
+				return nil, fmt.Errorf("lrat: line %d: truncated hints: %w", tk.line, err)
+			}
+			if tok.isD {
+				return nil, fmt.Errorf("lrat: line %d: 'd' inside hints", tk.line)
+			}
+			if tok.val == 0 {
+				break
+			}
+			line.Hints = append(line.Hints, tok.val)
+		}
+		p.Lines = append(p.Lines, line)
+		p.Ints += int64(len(line.Lits)) + int64(len(line.Hints)) + 3
+	}
+}
+
+type token struct {
+	val int
+	isD bool
+}
+
+type tokenizer struct {
+	br   *bufio.Reader
+	line int
+}
+
+func (t *tokenizer) next() (token, error) {
+	if t.line == 0 {
+		t.line = 1
+	}
+	for {
+		b, err := t.br.ReadByte()
+		if err != nil {
+			return token{}, err
+		}
+		switch {
+		case b == ' ' || b == '\t' || b == '\r':
+			continue
+		case b == '\n':
+			t.line++
+			continue
+		case b == 'c':
+			// Comment to end of line (not in the LRAT spec, but harmless and
+			// symmetric with the other parsers).
+			for {
+				b, err = t.br.ReadByte()
+				if err != nil {
+					return token{}, err
+				}
+				if b == '\n' {
+					t.line++
+					break
+				}
+			}
+			continue
+		case b == 'd':
+			return token{isD: true}, nil
+		case b == '-' || (b >= '0' && b <= '9'):
+			neg := false
+			val := 0
+			if b == '-' {
+				neg = true
+			} else {
+				val = int(b - '0')
+			}
+			digits := !neg
+			for {
+				b, err = t.br.ReadByte()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return token{}, err
+				}
+				if b < '0' || b > '9' {
+					t.br.UnreadByte()
+					break
+				}
+				digits = true
+				if val <= maxVar*16 {
+					val = val*10 + int(b-'0')
+				}
+			}
+			if !digits {
+				return token{}, fmt.Errorf("lrat: line %d: '-' without digits", t.line)
+			}
+			if neg {
+				val = -val
+			}
+			return token{val: val}, nil
+		default:
+			return token{}, fmt.Errorf("lrat: line %d: unexpected byte %q", t.line, b)
+		}
+	}
+}
+
+// WriteLines renders an LRAT proof in the ASCII format.
+func WriteLines(w io.Writer, lines []LRATLine) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var buf []byte
+	for _, ln := range lines {
+		buf = buf[:0]
+		buf = strconv.AppendInt(buf, int64(ln.ID), 10)
+		if ln.Del {
+			buf = append(buf, " d"...)
+			for _, id := range ln.DelIDs {
+				buf = append(buf, ' ')
+				buf = strconv.AppendInt(buf, int64(id), 10)
+			}
+			buf = append(buf, " 0\n"...)
+		} else {
+			for _, l := range ln.Lits {
+				buf = append(buf, ' ')
+				buf = strconv.AppendInt(buf, int64(l.Dimacs()), 10)
+			}
+			buf = append(buf, " 0"...)
+			for _, h := range ln.Hints {
+				buf = append(buf, ' ')
+				buf = strconv.AppendInt(buf, int64(h), 10)
+			}
+			buf = append(buf, " 0\n"...)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// lratLines converts a forward run's hint records into LRAT lines,
+// coalescing each deletion step into one `d` line numbered after the
+// preceding addition.
+func (rec *hintRecorder) lratLines(nOrig int) []LRATLine {
+	out := make([]LRATLine, 0, len(rec.lines))
+	lastID := nOrig
+	for _, r := range rec.lines {
+		if r.del {
+			if len(out) > 0 && out[len(out)-1].Del {
+				prev := &out[len(out)-1]
+				prev.DelIDs = append(prev.DelIDs, r.delIDs...)
+				continue
+			}
+			out = append(out, LRATLine{ID: lastID, Del: true, DelIDs: append([]int(nil), r.delIDs...)})
+			continue
+		}
+		line := LRATLine{ID: r.id, Lits: r.lits}
+		line.Hints = append(line.Hints, r.hints.RUP...)
+		for _, g := range r.hints.Groups {
+			line.Hints = append(line.Hints, -g.Cand)
+			line.Hints = append(line.Hints, g.Hints...)
+		}
+		out = append(out, line)
+		lastID = r.id
+	}
+	return out
+}
+
+// CheckLRAT verifies an LRAT proof of f with the independent checker: a
+// deliberately small hint-following verifier that shares no propagation code
+// with the DRAT engine, so the two implementations cross-check each other.
+// Rejections come back as *checker.CheckError (FailHint for bad hints).
+func CheckLRAT(f *cnf.Formula, src Source, opts checker.Options) (*checker.Result, error) {
+	proof, err := LoadLRAT(src)
+	if err != nil {
+		return nil, &checker.CheckError{Kind: checker.FailTrace, ClauseID: -1, Step: noStep, Err: err}
+	}
+	return CheckLRATProof(f, proof, opts)
+}
+
+// CheckLRATProof verifies an already-parsed LRAT proof.
+func CheckLRATProof(f *cnf.Formula, proof *LRATProof, opts checker.Options) (*checker.Result, error) {
+	v, err := newLratVerifier(f, proof, opts)
+	if err != nil {
+		return nil, err
+	}
+	return v.run(proof)
+}
+
+// lratVerifier follows hints only: it never searches for unit clauses, so a
+// verified proof certifies the formula unsatisfiable using nothing but
+// lookups and evaluations — the "efficient certified checking" shape of the
+// LRAT paper.
+type lratVerifier struct {
+	clauses map[int]cnf.Clause
+	assign  []cnf.Value
+	trail   []cnf.Lit
+
+	interrupt func() error
+	pollN     int
+
+	steps    int64
+	memCur   int64
+	memPeak  int64
+	memLimit int64
+}
+
+func newLratVerifier(f *cnf.Formula, proof *LRATProof, opts checker.Options) (*lratVerifier, error) {
+	nVars := f.NumVars
+	for _, ln := range proof.Lines {
+		for _, l := range ln.Lits {
+			if int(l.Var()) > nVars {
+				nVars = int(l.Var())
+			}
+		}
+	}
+	v := &lratVerifier{
+		clauses:   make(map[int]cnf.Clause, len(f.Clauses)+len(proof.Lines)),
+		assign:    make([]cnf.Value, nVars+1),
+		interrupt: opts.Interrupt,
+		memLimit:  opts.MemLimitWords,
+	}
+	for i, c := range f.Clauses {
+		work, _ := c.Clone().Normalize()
+		v.clauses[i+1] = work
+		v.memCur += int64(len(work))
+	}
+	v.memPeak = v.memCur
+	if v.memLimit > 0 && v.memCur > v.memLimit {
+		return nil, &checker.CheckError{Kind: checker.FailMemoryLimit, ClauseID: -1, Step: noStep,
+			Detail: "formula alone exceeds the memory budget"}
+	}
+	return v, nil
+}
+
+func (v *lratVerifier) poll() error {
+	if v.interrupt == nil {
+		return nil
+	}
+	if v.pollN++; v.pollN%1024 != 0 {
+		return nil
+	}
+	return v.interrupt()
+}
+
+func (v *lratVerifier) litValue(l cnf.Lit) cnf.Value {
+	val := v.assign[l.Var()]
+	if val == cnf.Unknown || !l.IsNeg() {
+		return val
+	}
+	return val.Not()
+}
+
+// assume sets l true; conflict is reported when l is already false.
+func (v *lratVerifier) assume(l cnf.Lit) (conflict bool) {
+	switch v.litValue(l) {
+	case cnf.False:
+		return true
+	case cnf.True:
+		return false
+	}
+	if l.IsNeg() {
+		v.assign[l.Var()] = cnf.False
+	} else {
+		v.assign[l.Var()] = cnf.True
+	}
+	v.trail = append(v.trail, l)
+	return false
+}
+
+func (v *lratVerifier) undoTo(mark int) {
+	for i := len(v.trail) - 1; i >= mark; i-- {
+		v.assign[v.trail[i].Var()] = cnf.Unknown
+	}
+	v.trail = v.trail[:mark]
+}
+
+// applyHint evaluates hinted clause id under the current assignment: it must
+// be conflicting (all literals false) or unit; a unit extends the
+// assignment. outcome: 1 conflict, 0 unit-extended; an error otherwise.
+func (v *lratVerifier) applyHint(id, lineID int) (int, error) {
+	cl, ok := v.clauses[id]
+	if !ok {
+		return 0, &checker.CheckError{Kind: checker.FailHint, ClauseID: lineID, Step: noStep,
+			Detail: fmt.Sprintf("hint references clause %d, which is not live", id)}
+	}
+	unit := cnf.NoLit
+	for _, l := range cl {
+		switch v.litValue(l) {
+		case cnf.False:
+			continue
+		case cnf.True:
+			return 0, &checker.CheckError{Kind: checker.FailHint, ClauseID: lineID, Step: noStep,
+				Detail: fmt.Sprintf("hinted clause %d is satisfied, not unit", id)}
+		default:
+			if unit != cnf.NoLit {
+				return 0, &checker.CheckError{Kind: checker.FailHint, ClauseID: lineID, Step: noStep,
+					Detail: fmt.Sprintf("hinted clause %d has two unassigned literals", id)}
+			}
+			unit = l
+		}
+	}
+	v.steps++
+	if unit == cnf.NoLit {
+		return 1, nil
+	}
+	v.assume(unit)
+	return 0, nil
+}
+
+// checkSegment consumes positive hints until a conflict; ok reports whether
+// the segment ended in a conflict.
+func (v *lratVerifier) checkSegment(hints []int, lineID int) (consumed int, ok bool, err error) {
+	for i, h := range hints {
+		if h < 0 {
+			return i, false, nil
+		}
+		if err := v.poll(); err != nil {
+			return i, false, err
+		}
+		out, err := v.applyHint(h, lineID)
+		if err != nil {
+			return i, false, err
+		}
+		if out == 1 {
+			return i + 1, true, nil
+		}
+	}
+	return len(hints), false, nil
+}
+
+func (v *lratVerifier) run(proof *LRATProof) (*checker.Result, error) {
+	adds := proof.NumAdds()
+	built := 0
+	lastID := 0
+	for i := range v.clauses {
+		if i > lastID {
+			lastID = i
+		}
+	}
+	for li := range proof.Lines {
+		ln := &proof.Lines[li]
+		if ln.Del {
+			for _, id := range ln.DelIDs {
+				cl, ok := v.clauses[id]
+				if !ok {
+					return nil, &checker.CheckError{Kind: checker.FailTrace, ClauseID: ln.ID, Step: noStep,
+						Detail: fmt.Sprintf("deletion of unknown clause %d", id)}
+				}
+				v.memCur -= int64(len(cl))
+				delete(v.clauses, id)
+			}
+			continue
+		}
+		if ln.ID <= lastID {
+			return nil, &checker.CheckError{Kind: checker.FailTrace, ClauseID: ln.ID, Step: noStep,
+				Detail: fmt.Sprintf("clause IDs must increase (previous %d)", lastID)}
+		}
+		lastID = ln.ID
+		if err := v.checkLine(ln); err != nil {
+			return nil, err
+		}
+		built++
+		if len(ln.Lits) == 0 {
+			return &checker.Result{
+				LearnedTotal:    adds,
+				ClausesBuilt:    built,
+				ResolutionSteps: v.steps,
+				PeakMemWords:    v.memPeak,
+			}, nil
+		}
+		v.clauses[ln.ID] = ln.Lits
+		v.memCur += int64(len(ln.Lits))
+		if v.memCur > v.memPeak {
+			v.memPeak = v.memCur
+		}
+		if v.memLimit > 0 && v.memCur > v.memLimit {
+			return nil, &checker.CheckError{Kind: checker.FailMemoryLimit, ClauseID: ln.ID, Step: noStep,
+				Detail: "clause database exceeded the memory budget"}
+		}
+	}
+	return nil, &checker.CheckError{Kind: checker.FailNotEmpty, ClauseID: -1, Step: noStep,
+		Detail: "LRAT proof ends without deriving the empty clause"}
+}
+
+// checkLine verifies one addition line.
+func (v *lratVerifier) checkLine(ln *LRATLine) error {
+	v.undoTo(0)
+	// Assume the negation of the lemma. A contradiction here means the
+	// lemma is tautological — valid with no hints at all.
+	for _, l := range ln.Lits {
+		if v.assume(l.Neg()) {
+			return nil
+		}
+	}
+	consumed, ok, err := v.checkSegment(ln.Hints, ln.ID)
+	if err != nil {
+		return err
+	}
+	if ok {
+		return nil
+	}
+	if consumed == len(ln.Hints) {
+		return &checker.CheckError{Kind: checker.FailHint, ClauseID: ln.ID, Step: noStep,
+			Detail: "RUP hints end without a conflict"}
+	}
+	// RAT: remaining hints are candidate groups. Every live clause holding
+	// the negated pivot must be covered.
+	if len(ln.Lits) == 0 {
+		return &checker.CheckError{Kind: checker.FailHint, ClauseID: ln.ID, Step: noStep,
+			Detail: "empty clause cannot be RAT"}
+	}
+	pivot := ln.Lits[0]
+	npivot := pivot.Neg()
+	required := make(map[int]bool)
+	for id, cl := range v.clauses {
+		if cl.Contains(npivot) {
+			required[id] = false
+		}
+	}
+	base := len(v.trail)
+	rest := ln.Hints[consumed:]
+	for len(rest) > 0 {
+		if rest[0] >= 0 {
+			return &checker.CheckError{Kind: checker.FailHint, ClauseID: ln.ID, Step: noStep,
+				Detail: "positive hint where a RAT candidate group was expected"}
+		}
+		cand := -rest[0]
+		rest = rest[1:]
+		seen, was := required[cand]
+		if !was {
+			return &checker.CheckError{Kind: checker.FailHint, ClauseID: ln.ID, Step: noStep,
+				Detail: fmt.Sprintf("RAT group for clause %d, which does not contain %s", cand, npivot)}
+		}
+		if seen {
+			return &checker.CheckError{Kind: checker.FailHint, ClauseID: ln.ID, Step: noStep,
+				Detail: fmt.Sprintf("duplicate RAT group for clause %d", cand)}
+		}
+		required[cand] = true
+		// Assume the negation of the resolvent's candidate half; an
+		// immediate contradiction (tautological or already-falsified
+		// resolvent) verifies the group with no further hints.
+		immediate := false
+		for _, d := range v.clauses[cand] {
+			if d == npivot {
+				continue
+			}
+			if v.assume(d.Neg()) {
+				immediate = true
+				break
+			}
+		}
+		if immediate {
+			// The group is verified with no propagation; skip any hints the
+			// producer emitted for it (they were computed against a fuller
+			// assumption set than we built before the contradiction).
+			n := 0
+			for n < len(rest) && rest[n] >= 0 {
+				n++
+			}
+			rest = rest[n:]
+			v.undoTo(base)
+			continue
+		}
+		n, ok, err := v.checkSegment(rest, ln.ID)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return &checker.CheckError{Kind: checker.FailHint, ClauseID: ln.ID, Step: noStep,
+				Detail: fmt.Sprintf("RAT group for clause %d ends without a conflict", cand)}
+		}
+		rest = rest[n:]
+		v.undoTo(base)
+	}
+	missing := make([]int, 0)
+	for id, seen := range required {
+		if !seen {
+			missing = append(missing, id)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Ints(missing)
+		return &checker.CheckError{Kind: checker.FailHint, ClauseID: ln.ID, Step: noStep,
+			Detail: fmt.Sprintf("RAT check misses resolution candidates %v", missing)}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package drat
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"satcheck/internal/cnf"
+)
+
+// Writer emits a DRUP/DRAT proof incrementally. It satisfies the solver
+// package's ProofSink interface structurally, so an instrumented solver can
+// stream a clausal proof alongside (or instead of) its native trace.
+type Writer struct {
+	bw     *bufio.Writer
+	binary bool
+	buf    []byte
+	steps  int64
+	bytes  int64
+}
+
+// NewWriter returns an ASCII DRUP/DRAT writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// NewBinaryWriter returns a writer using the binary DRAT encoding
+// ('a'/'d' prefix, 7-bit varints of 2v / 2v+1, 0x00 terminator).
+func NewBinaryWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16), binary: true}
+}
+
+// Add emits an addition step (nil or empty lits emit the empty clause).
+func (d *Writer) Add(lits []cnf.Lit) error { return d.step(false, lits) }
+
+// Del emits a deletion step.
+func (d *Writer) Del(lits []cnf.Lit) error { return d.step(true, lits) }
+
+// Steps reports the number of steps written so far.
+func (d *Writer) Steps() int64 { return d.steps }
+
+// BytesWritten reports the encoded proof size so far (pre-compression when
+// the underlying writer gzips).
+func (d *Writer) BytesWritten() int64 { return d.bytes }
+
+// Close flushes buffered output. It does not close the underlying writer.
+func (d *Writer) Close() error { return d.bw.Flush() }
+
+func (d *Writer) step(del bool, lits []cnf.Lit) error {
+	d.steps++
+	d.buf = d.buf[:0]
+	if d.binary {
+		if del {
+			d.buf = append(d.buf, 'd')
+		} else {
+			d.buf = append(d.buf, 'a')
+		}
+		for _, l := range lits {
+			u := uint64(l.Var()) << 1
+			if l.IsNeg() {
+				u |= 1
+			}
+			for u >= 0x80 {
+				d.buf = append(d.buf, byte(u)|0x80)
+				u >>= 7
+			}
+			d.buf = append(d.buf, byte(u))
+		}
+		d.buf = append(d.buf, 0)
+	} else {
+		if del {
+			d.buf = append(d.buf, 'd', ' ')
+		}
+		for _, l := range lits {
+			d.buf = strconv.AppendInt(d.buf, int64(l.Dimacs()), 10)
+			d.buf = append(d.buf, ' ')
+		}
+		d.buf = append(d.buf, '0', '\n')
+	}
+	d.bytes += int64(len(d.buf))
+	_, err := d.bw.Write(d.buf)
+	return err
+}

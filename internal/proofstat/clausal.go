@@ -1,0 +1,131 @@
+package proofstat
+
+import (
+	"fmt"
+
+	"satcheck/internal/cnf"
+	"satcheck/internal/drat"
+)
+
+// Clausal proofs reuse Stats with a format tag: DRUP/DRAT proofs carry no
+// antecedent structure, so only the size counters are meaningful; LRAT
+// proofs carry hints, which play the role of resolve sources and support the
+// same needed/depth/chain analytics as native traces.
+
+// AnalyzeDRAT computes the statistics available for a DRUP/DRAT proof:
+// additions, deletions, and encoding-independent size. Hint-graph analytics
+// (needed set, depth, chains) require LRAT.
+func AnalyzeDRAT(f *cnf.Formula, src drat.Source) (*Stats, error) {
+	proof, err := drat.Load(src)
+	if err != nil {
+		return nil, err
+	}
+	st := &Stats{
+		Format:      "drat",
+		NumOriginal: len(f.Clauses),
+		TraceInts:   proof.Ints,
+	}
+	for _, step := range proof.Steps {
+		if step.Del {
+			st.NumDeleted++
+			continue
+		}
+		st.NumLearned++
+		st.ChainTotal += int64(len(step.Lits))
+		if len(step.Lits) > st.ChainMax {
+			st.ChainMax = len(step.Lits)
+		}
+	}
+	return st, nil
+}
+
+// AnalyzeLRAT computes hint-graph statistics for an LRAT proof: the needed
+// set is the backward reachability from the empty-clause line through hints
+// (RAT candidate hints included), NeededOriginal is the reached original
+// clauses (an unsatisfiable core), and Depth/Chain describe the hint DAG.
+func AnalyzeLRAT(f *cnf.Formula, src drat.Source) (*Stats, error) {
+	proof, err := drat.LoadLRAT(src)
+	if err != nil {
+		return nil, err
+	}
+	nOrig := len(f.Clauses)
+	st := &Stats{
+		Format:      "lrat",
+		NumOriginal: nOrig,
+		TraceInts:   proof.Ints,
+	}
+
+	// Index add lines by ID; find the empty-clause root.
+	type addLine struct {
+		hints []int
+		depth int32
+	}
+	adds := make(map[int]*addLine)
+	order := make([]int, 0, len(proof.Lines))
+	rootID := -1
+	for _, ln := range proof.Lines {
+		if ln.Del {
+			st.NumDeleted += len(ln.DelIDs)
+			continue
+		}
+		st.NumLearned++
+		st.ChainTotal += int64(len(ln.Hints))
+		if len(ln.Hints) > st.ChainMax {
+			st.ChainMax = len(ln.Hints)
+		}
+		adds[ln.ID] = &addLine{hints: ln.Hints}
+		order = append(order, ln.ID)
+		if len(ln.Lits) == 0 && rootID == -1 {
+			rootID = ln.ID
+		}
+	}
+	if rootID == -1 {
+		return nil, fmt.Errorf("proofstat: LRAT proof has no empty-clause line")
+	}
+
+	// Backward reachability from the root, walking IDs in decreasing order
+	// (hints always reference earlier IDs).
+	needed := map[int]struct{}{rootID: {}}
+	neededOrig := map[int]struct{}{}
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		if _, ok := needed[id]; !ok || id > rootID {
+			continue
+		}
+		st.NeededLearned++
+		for _, h := range adds[id].hints {
+			if h < 0 {
+				h = -h
+			}
+			if h <= nOrig {
+				neededOrig[h] = struct{}{}
+			} else {
+				needed[h] = struct{}{}
+			}
+		}
+	}
+	st.NeededOriginal = len(neededOrig)
+
+	// Depth over the needed subgraph in increasing ID order.
+	var maxDepth int32
+	for _, id := range order {
+		if _, ok := needed[id]; !ok || id > rootID {
+			continue
+		}
+		var d int32
+		for _, h := range adds[id].hints {
+			if h < 0 {
+				h = -h
+			}
+			if a, ok := adds[h]; ok && a.depth > d {
+				d = a.depth
+			}
+		}
+		adds[id].depth = d + 1
+		if d+1 > maxDepth {
+			maxDepth = d + 1
+		}
+	}
+	st.Depth = int(maxDepth)
+	return st, nil
+}

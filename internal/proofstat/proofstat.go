@@ -46,6 +46,16 @@ type Stats struct {
 	// TraceInts is the total number of integers in the trace — the
 	// encoding-independent size of the proof.
 	TraceInts int64
+
+	// Format tags the proof encoding these statistics describe: "" for a
+	// native resolution trace, "drat" or "lrat" for clausal proofs. For
+	// "drat", only the size counters are meaningful (no antecedent
+	// structure); ChainTotal/ChainMax then count literals per addition. For
+	// "lrat", hints play the role of resolve sources.
+	Format string
+	// NumDeleted counts clausal deletion steps ("" format: always 0; the
+	// native trace has no deletion records).
+	NumDeleted int
 }
 
 // AvgChain returns the mean resolve-source count per learned clause.
@@ -66,6 +76,15 @@ func (s *Stats) NeededFraction() float64 {
 
 // String renders a one-line summary.
 func (s *Stats) String() string {
+	switch s.Format {
+	case "drat":
+		return fmt.Sprintf("format=drat added=%d deleted=%d avg-lits=%.1f max-lits=%d proof-ints=%d",
+			s.NumLearned, s.NumDeleted, s.AvgChain(), s.ChainMax, s.TraceInts)
+	case "lrat":
+		return fmt.Sprintf("format=lrat added=%d deleted=%d needed=%d (%.0f%%) core=%d/%d depth=%d avg-hints=%.1f max-hints=%d proof-ints=%d",
+			s.NumLearned, s.NumDeleted, s.NeededLearned, 100*s.NeededFraction(),
+			s.NeededOriginal, s.NumOriginal, s.Depth, s.AvgChain(), s.ChainMax, s.TraceInts)
+	}
 	return fmt.Sprintf("learned=%d needed=%d (%.0f%%) core=%d/%d depth=%d avg-chain=%.1f max-chain=%d level0=%d trace-ints=%d",
 		s.NumLearned, s.NeededLearned, 100*s.NeededFraction(),
 		s.NeededOriginal, s.NumOriginal, s.Depth, s.AvgChain(), s.ChainMax, s.Level0, s.TraceInts)

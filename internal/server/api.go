@@ -37,6 +37,7 @@ const (
 type CheckResponse struct {
 	Verdict   string       `json:"verdict"` // "valid" | "rejected"
 	Method    string       `json:"method"`
+	Format    string       `json:"format"` // "native" | "drat" | "lrat"
 	Cached    bool         `json:"cached,omitempty"`
 	ElapsedMS float64      `json:"elapsed_ms"`
 	Result    *ResultJSON  `json:"result,omitempty"`
@@ -71,6 +72,7 @@ type FailureJSON struct {
 type StatsJSON struct {
 	NumOriginal    int     `json:"num_original"`
 	NumLearned     int     `json:"num_learned"`
+	NumDeleted     int     `json:"num_deleted,omitempty"`
 	NeededLearned  int     `json:"needed_learned"`
 	NeededOriginal int     `json:"needed_original"`
 	Depth          int     `json:"depth"`
@@ -99,8 +101,12 @@ type HealthResponse struct {
 
 // JobOptions are the per-job knobs, parsed from the /v1/check query string.
 type JobOptions struct {
-	// Method is the checker traversal.
+	// Method is the checker traversal (for clausal proofs: the checking
+	// direction — see satcheck.CheckRequest.Method).
 	Method satcheck.Method
+	// Format is the proof encoding of the "trace" part: native resolution
+	// trace (default), DRAT, or LRAT.
+	Format satcheck.ProofFormat
 	// MemLimitMB bounds the checker's deterministic memory model; 0 = server
 	// default.
 	MemLimitMB int64
@@ -118,11 +124,15 @@ type JobOptions struct {
 	Parallelism int
 }
 
-// ParseJobOptions reads the supported query parameters: method, mem_limit_mb,
-// timeout_ms, analyze, core, parallelism. Unknown parameters are ignored
-// (forward compatibility); malformed values are errors.
+// ParseJobOptions reads the supported query parameters: method, format,
+// mem_limit_mb, timeout_ms, analyze, core, parallelism. Unknown parameters
+// are ignored (forward compatibility); malformed values are errors.
 func ParseJobOptions(q url.Values) (JobOptions, error) {
 	var o JobOptions
+	var err error
+	if o.Format, err = satcheck.ParseProofFormat(q.Get("format")); err != nil {
+		return o, err
+	}
 	switch m := q.Get("method"); m {
 	case "", "df", "depth-first":
 		o.Method = satcheck.DepthFirst
@@ -135,7 +145,6 @@ func ParseJobOptions(q url.Values) (JobOptions, error) {
 	default:
 		return o, fmt.Errorf("unknown method %q (want df, bf, hybrid, or parallel)", m)
 	}
-	var err error
 	if o.MemLimitMB, err = parseInt(q, "mem_limit_mb"); err != nil {
 		return o, err
 	}
@@ -196,6 +205,9 @@ func (o JobOptions) Query() url.Values {
 	default:
 		q.Set("method", "df")
 	}
+	if o.Format != satcheck.FormatNative {
+		q.Set("format", o.Format.String())
+	}
 	if o.MemLimitMB > 0 {
 		q.Set("mem_limit_mb", strconv.FormatInt(o.MemLimitMB, 10))
 	}
@@ -220,14 +232,15 @@ func (o JobOptions) canonical() string {
 	// Parallelism is part of the key: verdicts and cores are identical at
 	// every worker count, but the reported concurrent memory peak is
 	// schedule-dependent, so answers at different counts may not be shared.
-	return fmt.Sprintf("method=%d mem=%d analyze=%t core=%t par=%d",
-		int(o.Method), o.MemLimitMB, o.Analyze, o.IncludeCore, o.Parallelism)
+	return fmt.Sprintf("method=%d format=%d mem=%d analyze=%t core=%t par=%d",
+		int(o.Method), int(o.Format), o.MemLimitMB, o.Analyze, o.IncludeCore, o.Parallelism)
 }
 
 // responseFromReport converts a facade CheckReport into the wire shape.
 func responseFromReport(rep *satcheck.CheckReport, o JobOptions) *CheckResponse {
 	resp := &CheckResponse{
 		Method:    rep.Method.String(),
+		Format:    o.Format.String(),
 		ElapsedMS: float64(rep.Elapsed) / float64(time.Millisecond),
 	}
 	if rep.Valid {
@@ -265,6 +278,7 @@ func statsJSON(s *proofstat.Stats) *StatsJSON {
 	return &StatsJSON{
 		NumOriginal:    s.NumOriginal,
 		NumLearned:     s.NumLearned,
+		NumDeleted:     s.NumDeleted,
 		NeededLearned:  s.NeededLearned,
 		NeededOriginal: s.NeededOriginal,
 		Depth:          s.Depth,

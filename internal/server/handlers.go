@@ -39,7 +39,9 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	// Cap per-job parallelism at the pool size before the cache key is
 	// formed: s.cfg.Workers jobs may check concurrently, so one job may not
 	// claim more CPUs than one pool slot's fair share of the machine.
-	if opts.Method == satcheck.Parallel {
+	// Clausal checkers are sequential, so parallelism never enters their
+	// cache key.
+	if opts.Method == satcheck.Parallel && opts.Format == satcheck.FormatNative {
 		if opts.Parallelism <= 0 || opts.Parallelism > s.cfg.Workers {
 			opts.Parallelism = s.cfg.Workers
 		}
@@ -57,7 +59,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ing, err := s.ingest(mr)
+	ing, err := s.ingest(mr, opts.Format)
 	if ing != nil {
 		defer ing.close()
 	}
@@ -93,20 +95,26 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	j := &job{
-		id:  s.nextJob.Add(1),
-		ctx: ctx,
-		req: satcheck.CheckRequest{
-			Formula: ing.formula,
-			Trace:   ing.spool,
-			Method:  opts.Method,
-			Options: satcheck.CheckOptions{
-				MemLimitWords: opts.MemLimitMB << 20 / 4,
-				TempDir:       s.cfg.TempDir,
-				Parallelism:   opts.Parallelism,
-			},
-			Analyze: opts.Analyze,
+	req := satcheck.CheckRequest{
+		Formula: ing.formula,
+		Format:  opts.Format,
+		Method:  opts.Method,
+		Options: satcheck.CheckOptions{
+			MemLimitWords: opts.MemLimitMB << 20 / 4,
+			TempDir:       s.cfg.TempDir,
+			Parallelism:   opts.Parallelism,
 		},
+		Analyze: opts.Analyze,
+	}
+	if opts.Format == satcheck.FormatNative {
+		req.Trace = ing.spool
+	} else {
+		req.Proof = ing.spool.proofSource()
+	}
+	j := &job{
+		id:   s.nextJob.Add(1),
+		ctx:  ctx,
+		req:  req,
 		opts: opts,
 		key:  key,
 		done: make(chan jobResult, 1),
@@ -164,8 +172,11 @@ func (in *ingested) close() {
 }
 
 // ingest walks the multipart parts in body order. Unknown parts are drained
-// and ignored for forward compatibility.
-func (s *Server) ingest(mr *multipart.Reader) (*ingested, error) {
+// and ignored for forward compatibility. The format decides how the "trace"
+// part is validated at ingest (clausal proofs are sniffed at check time —
+// any byte sequence is a plausible binary-DRAT prefix, so there is no cheap
+// ingest-side rejection for them).
+func (s *Server) ingest(mr *multipart.Reader, format satcheck.ProofFormat) (*ingested, error) {
 	in := &ingested{}
 	for {
 		part, err := mr.NextPart()
@@ -197,7 +208,7 @@ func (s *Server) ingest(mr *multipart.Reader) (*ingested, error) {
 			if in.spool != nil {
 				return in, errors.New("duplicate \"trace\" part")
 			}
-			spool, sum, n, err := s.spoolTrace(part)
+			spool, sum, n, err := s.spoolTrace(part, format)
 			if err != nil {
 				return in, err
 			}
@@ -217,9 +228,11 @@ func (s *Server) ingest(mr *multipart.Reader) (*ingested, error) {
 }
 
 // spoolTrace streams one trace part to an unlinked temp file, hashing on
-// the way, and sniffs the encoding off the spool so a garbage payload is a
-// 400 at ingest rather than a worker-side surprise.
-func (s *Server) spoolTrace(part io.Reader) (*spoolSource, [sha256.Size]byte, int64, error) {
+// the way. Native traces are additionally encoding-sniffed off the spool so
+// a garbage payload is a 400 at ingest rather than a worker-side surprise;
+// clausal proofs skip the sniff (see ingest) and malformed ones come back
+// as a rejected verdict from the checker instead.
+func (s *Server) spoolTrace(part io.Reader, format satcheck.ProofFormat) (*spoolSource, [sha256.Size]byte, int64, error) {
 	var sum [sha256.Size]byte
 	tmp, err := os.CreateTemp(s.cfg.TempDir, "zcheckd-trace-*")
 	if err != nil {
@@ -235,9 +248,11 @@ func (s *Server) spoolTrace(part io.Reader) (*spoolSource, [sha256.Size]byte, in
 	}
 	h.Sum(sum[:0])
 	spool := &spoolSource{f: tmp, size: n}
-	if _, err := spool.Open(); err != nil {
-		tmp.Close()
-		return nil, sum, 0, fmt.Errorf("unrecognized trace: %w", err)
+	if format == satcheck.FormatNative {
+		if _, err := spool.Open(); err != nil {
+			tmp.Close()
+			return nil, sum, 0, fmt.Errorf("unrecognized trace: %w", err)
+		}
 	}
 	return spool, sum, n, nil
 }
@@ -254,6 +269,17 @@ type spoolSource struct {
 // concurrent passes never disturb each other's offsets.
 func (sp *spoolSource) Open() (trace.Reader, error) {
 	return trace.ReaderAuto(io.NewSectionReader(sp.f, 0, sp.size))
+}
+
+// proofSource exposes the same spool as raw bytes — the clausal checkers do
+// their own gzip/binary sniffing and want the proof verbatim.
+func (sp *spoolSource) proofSource() satcheck.ProofSource { return (*spoolProofSource)(sp) }
+
+type spoolProofSource spoolSource
+
+// Open implements satcheck.ProofSource.
+func (sp *spoolProofSource) Open() (io.ReadCloser, error) {
+	return io.NopCloser(io.NewSectionReader(sp.f, 0, sp.size)), nil
 }
 
 type countingReader struct {

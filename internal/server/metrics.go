@@ -28,6 +28,11 @@ type Metrics struct {
 	clausesBuilt    atomic.Int64
 	resolutionSteps atomic.Int64
 
+	// checksByFormat counts completed checks per proof encoding, indexed by
+	// formatLabels — the operator's view of how much clausal vs native
+	// traffic the service sees.
+	checksByFormat [len(formatLabels)]atomic.Int64
+
 	// Gauges.
 	queueDepth  atomic.Int64
 	jobsRunning atomic.Int64
@@ -42,6 +47,17 @@ type Metrics struct {
 
 	// Checker latency histogram (seconds).
 	latency histogram
+}
+
+// formatLabels are the {format=...} label values of
+// zcheckd_checks_by_format_total, indexed by satcheck.ProofFormat.
+var formatLabels = [...]string{"native", "drat", "lrat"}
+
+// ObserveFormat records one completed check's proof encoding.
+func (m *Metrics) ObserveFormat(format int) {
+	if format >= 0 && format < len(formatLabels) {
+		m.checksByFormat[format].Add(1)
+	}
 }
 
 // latencyBuckets are the histogram upper bounds in seconds; checks span
@@ -91,6 +107,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("zcheckd_bad_requests_total", "Requests rejected as malformed (HTTP 4xx other than 429).", m.badRequests.Load())
 	counter("zcheckd_clauses_built_total", "Learned clauses rebuilt by resolution across all completed checks.", m.clausesBuilt.Load())
 	counter("zcheckd_resolution_steps_total", "Resolution steps performed across all completed checks.", m.resolutionSteps.Load())
+	fmt.Fprintf(w, "# HELP zcheckd_checks_by_format_total Completed checks by proof encoding.\n# TYPE zcheckd_checks_by_format_total counter\n")
+	for i, label := range formatLabels {
+		fmt.Fprintf(w, "zcheckd_checks_by_format_total{format=%q} %d\n", label, m.checksByFormat[i].Load())
+	}
 	gauge("zcheckd_queue_depth", "Jobs waiting in the queue.", m.queueDepth.Load())
 	gauge("zcheckd_jobs_running", "Jobs currently being checked by workers.", m.jobsRunning.Load())
 	gauge("zcheckd_checker_parallelism", "Effective worker count of the most recent parallel-method check.", m.checkerParallelism.Load())

@@ -79,6 +79,7 @@ func (p *workerPool) run(j *job) {
 		p.metrics.peakMemBoundWords.Store(rep.Result.PeakMemBoundWords)
 	}
 
+	p.metrics.ObserveFormat(int(j.req.Format))
 	resp := responseFromReport(rep, j.opts)
 	// Both verdicts are deterministic functions of (formula, trace, options):
 	// rejections cache as well as proofs.

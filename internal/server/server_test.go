@@ -587,3 +587,127 @@ func TestServeAndShutdown(t *testing.T) {
 		t.Errorf("Serve returned %v, want http.ErrServerClosed", err)
 	}
 }
+
+// drupPayload solves an instance with a clausal DRUP sink and returns the
+// DIMACS formula bytes, the DRUP proof bytes, and the formula.
+func drupPayload(t testing.TB, ins gen.Instance) (formula, proof []byte, f *satcheck.Formula) {
+	t.Helper()
+	var buf bytes.Buffer
+	st, _, err := satcheck.SolveWithDRUP(ins.F, satcheck.SolverOptions{}, satcheck.NewDRATWriter(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != satcheck.StatusUnsat {
+		t.Fatalf("%s: expected UNSAT, got %v", ins.Name, st)
+	}
+	var fb bytes.Buffer
+	if err := cnf.WriteDimacs(&fb, ins.F); err != nil {
+		t.Fatal(err)
+	}
+	return fb.Bytes(), buf.Bytes(), ins.F
+}
+
+// TestCheckClausalFormats exercises the daemon's clausal-proof path: DRUP
+// bodies checked forward and backward, the LRAT bridge output re-checked by
+// the hint-following verifier, clausal analytics, structured rejection of a
+// bogus proof, a 400 on an unknown format token, and the per-format
+// metrics counter.
+func TestCheckClausalFormats(t *testing.T) {
+	formula, proof, f := drupPayload(t, gen.Pigeonhole(5))
+	s, ts := newTestServer(t, Config{Workers: 2})
+
+	// bf → forward (no core); hybrid → backward (core as a by-product).
+	for _, tc := range []struct {
+		method   string
+		wantCore bool
+	}{{"bf", false}, {"hybrid", true}} {
+		ct, body := multipartBody(t, formula, proof)
+		resp, data := postCheck(t, ts, "?format=drat&method="+tc.method+"&analyze=1&core=1", ct, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("format=drat method=%s: HTTP %d: %s", tc.method, resp.StatusCode, data)
+		}
+		var cr CheckResponse
+		if err := json.Unmarshal(data, &cr); err != nil {
+			t.Fatal(err)
+		}
+		if cr.Verdict != VerdictValid {
+			t.Fatalf("format=drat method=%s: verdict %q: %s", tc.method, cr.Verdict, data)
+		}
+		if cr.Format != "drat" {
+			t.Errorf("format echo: got %q, want drat", cr.Format)
+		}
+		if tc.wantCore && cr.Result.CoreSize == 0 {
+			t.Errorf("backward DRAT check returned no core: %s", data)
+		}
+		if cr.Stats == nil || cr.Stats.NumLearned == 0 {
+			t.Errorf("analyze=1 returned no clausal stats: %s", data)
+		}
+	}
+
+	// Bridge the same proof to LRAT and let the daemon's independent
+	// hint-following checker re-verify it.
+	var lrat bytes.Buffer
+	if _, err := satcheck.DRATToLRAT(f, satcheck.ProofBytesSource(proof), &lrat, satcheck.CheckOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ct, body := multipartBody(t, formula, lrat.Bytes())
+	resp, data := postCheck(t, ts, "?format=lrat&analyze=1", ct, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("format=lrat: HTTP %d: %s", resp.StatusCode, data)
+	}
+	var cr CheckResponse
+	if err := json.Unmarshal(data, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Verdict != VerdictValid || cr.Format != "lrat" {
+		t.Fatalf("format=lrat: verdict %q format %q: %s", cr.Verdict, cr.Format, data)
+	}
+	if cr.Stats == nil || cr.Stats.Depth == 0 {
+		t.Errorf("LRAT analyze returned no hint-graph stats: %s", data)
+	}
+
+	// A proof body that never derives the empty clause is a structured
+	// rejection — HTTP 200 with verdict "rejected", not a transport error.
+	ct, body = multipartBody(t, formula, []byte("1 2 3 0\n"))
+	resp, data = postCheck(t, ts, "?format=drat", ct, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bogus DRUP: HTTP %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Verdict != VerdictRejected || cr.Failure == nil || cr.Failure.Kind == "" {
+		t.Fatalf("bogus DRUP: want structured rejection, got %s", data)
+	}
+
+	// Unknown format tokens are client errors.
+	ct, body = multipartBody(t, formula, proof)
+	resp, data = postCheck(t, ts, "?format=nope", ct, body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("format=nope: HTTP %d (want 400): %s", resp.StatusCode, data)
+	}
+
+	// The per-format counters observed every completed clausal check.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdata, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`zcheckd_checks_by_format_total{format="drat"} 3`,
+		`zcheckd_checks_by_format_total{format="lrat"} 1`,
+	} {
+		if !strings.Contains(string(mdata), want) {
+			t.Errorf("metrics missing %q:\n%s", want, mdata)
+		}
+	}
+	_ = s
+}

@@ -158,6 +158,7 @@ func (s *Solver) minimize(learnt cnf.Clause, sources []int) (cnf.Clause, []int) 
 func (s *Solver) addLearnt(lits cnf.Clause) int {
 	id := len(s.clauses)
 	own := lits.Clone()
+	s.proofAdd(own)
 	s.clauses = append(s.clauses, clause{lits: own, learned: true, act: s.claInc})
 	s.numLearnts++
 	s.stats.Learned++

@@ -1,0 +1,45 @@
+package solver
+
+import "satcheck/internal/cnf"
+
+// ProofSink receives a clausal (DRUP/DRAT) proof as the solver runs: every
+// learned clause as an addition, every database deletion as a deletion, and
+// the empty clause when unsatisfiability is concluded. Each learned clause
+// is RUP at the moment it is emitted (a first-UIP conflict clause — even
+// after minimization, and even with the level-0 falsified literals this
+// solver deliberately keeps — is derived by trivial resolution from the
+// current database, and trivial resolution is reverse unit propagation), so
+// the emitted sequence is a valid DRUP proof checkable without the native
+// trace's resolution sources.
+//
+// The interface is satisfied structurally by the drat package's Writer; it
+// lives here so the solver does not import the proof subsystem.
+type ProofSink interface {
+	// Add records the addition of a clause (empty lits = the empty clause).
+	Add(lits []cnf.Lit) error
+	// Del records the deletion of a clause.
+	Del(lits []cnf.Lit) error
+	// Close flushes the proof.
+	Close() error
+}
+
+// SetProofSink attaches a clausal proof sink; pass nil to disable. Must be
+// called before Solve. The proof sink is independent of the trace sink: a
+// run may record either, both, or neither.
+func (s *Solver) SetProofSink(ps ProofSink) { s.proof = ps }
+
+// proofAdd emits an addition step, latching the first error.
+func (s *Solver) proofAdd(lits cnf.Clause) {
+	if s.proof == nil || s.proofErr != nil {
+		return
+	}
+	s.proofErr = s.proof.Add(lits)
+}
+
+// proofDel emits a deletion step, latching the first error.
+func (s *Solver) proofDel(lits cnf.Clause) {
+	if s.proof == nil || s.proofErr != nil {
+		return
+	}
+	s.proofErr = s.proof.Del(lits)
+}

@@ -54,6 +54,7 @@ func (s *Solver) reduceDB() {
 // literal storage is released, but the ID slot survives.
 func (s *Solver) deleteClause(id int) {
 	c := &s.clauses[id]
+	s.proofDel(c.lits)
 	if len(c.lits) >= 2 {
 		s.unwatch(c.lits[0], id)
 		s.unwatch(c.lits[1], id)

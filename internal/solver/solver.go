@@ -158,6 +158,9 @@ type Solver struct {
 	sink    trace.Sink
 	sinkErr error
 
+	proof    ProofSink
+	proofErr error
+
 	stats  Stats
 	status Status
 	solved bool
@@ -369,13 +372,19 @@ func (s *Solver) preprocess() (Status, bool) {
 	return StatusUnknown, false
 }
 
-// finish flushes the trace sink and surfaces any deferred sink error.
+// finish flushes the trace and proof sinks and surfaces any deferred error.
 func (s *Solver) finish() (Status, error) {
 	if s.sink != nil && s.sinkErr == nil {
 		s.sinkErr = s.sink.Close()
 	}
+	if s.proof != nil && s.proofErr == nil {
+		s.proofErr = s.proof.Close()
+	}
 	if s.sinkErr != nil {
 		return s.status, fmt.Errorf("solver: trace sink: %w", s.sinkErr)
+	}
+	if s.proofErr != nil {
+		return s.status, fmt.Errorf("solver: proof sink: %w", s.proofErr)
 	}
 	return s.status, nil
 }
@@ -390,8 +399,10 @@ func (s *Solver) recordLearned(id int, sources []int) {
 
 // recordFinal emits the final stage of the trace (§3.1 items 2 and 3):
 // every level-0 assignment in trail order with its antecedent, then the
-// final conflicting clause ID.
+// final conflicting clause ID. It is the single point every UNSAT path
+// funnels through, so the clausal proof's empty clause is emitted here too.
 func (s *Solver) recordFinal(confl int) {
+	s.proofAdd(nil)
 	if s.sink == nil || s.sinkErr != nil {
 		return
 	}
