@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-all experiments examples fuzz clean
+.PHONY: all build test vet race bench bench-all experiments examples fuzz zfuzz zfuzz-soak clean
 
 all: build vet test
 
@@ -50,13 +50,24 @@ examples:
 	$(GO) run ./examples/bmc
 	$(GO) run ./examples/interpolation
 
-# Short fuzz sessions over the input parsers.
+# Short fuzz sessions over the input parsers and the codec-agreement target.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzParseDimacs -fuzztime 30s ./internal/cnf/
 	$(GO) test -run xxx -fuzz FuzzReaderAuto -fuzztime 30s ./internal/trace/
+	$(GO) test -run xxx -fuzz FuzzTraceParse -fuzztime 30s ./internal/trace/
 	$(GO) test -run xxx -fuzz FuzzParseVerify -fuzztime 30s ./internal/tracecheck/
 	$(GO) test -run xxx -fuzz FuzzDRATParse -fuzztime 30s ./internal/drat/
 	$(GO) test -run xxx -fuzz FuzzLRATParse -fuzztime 30s ./internal/drat/
 
+# Adversarial conformance campaign (differential fuzz + mutation escapes);
+# see docs/TESTING.md. zfuzz is the CI smoke shape, zfuzz-soak the nightly one.
+zfuzz:
+	$(GO) run ./cmd/zfuzz -rounds 200 -seed 1 -j 2
+
+zfuzz-soak:
+	$(GO) run ./cmd/zfuzz -duration 5m -j 2 -v
+
+# Checked-in seed corpora live under testdata/fuzz/ — only drop the cached
+# machine-generated corpus, never the repository's seeds.
 clean:
-	rm -rf internal/*/testdata/fuzz
+	$(GO) clean -fuzzcache

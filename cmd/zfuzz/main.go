@@ -1,0 +1,130 @@
+// Command zfuzz is the adversarial conformance fuzzer: it generates CNF
+// instances, cross-checks solver verdicts against independent references,
+// fans every UNSAT proof through the full checker×format matrix, and asserts
+// the fault-injection rejection contracts. Disagreements are shrunk to
+// minimal reproductions in testdata/corpus/regressions/.
+//
+// Usage:
+//
+//	zfuzz [-rounds N] [-seed S] [-duration D] [-j W] [-json FILE]
+//	zfuzz -inject drat-negate-literal        # synthetic bug → minimized repro
+//	zfuzz -repro testdata/corpus/regressions/r0001-....cnf [-inject M]
+//
+// Exit status: 0 clean, 1 escapes/disagreements found, 2 usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"satcheck/internal/harness"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("zfuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		rounds       = fs.Int("rounds", 100, "number of fuzzing rounds")
+		seed         = fs.Int64("seed", 1, "base RNG seed (whole run is deterministic per seed)")
+		duration     = fs.Duration("duration", 0, "run for this long instead of -rounds (soak mode)")
+		workers      = fs.Int("j", 1, "concurrent rounds")
+		inject       = fs.String("inject", "", "inject this named mutation as a synthetic solver bug and minimize the repro")
+		repro        = fs.String("repro", "", "replay one saved regression CNF instead of generating instances")
+		out          = fs.String("out", "testdata/corpus/regressions", "directory for minimized repros (\"-\" disables writing)")
+		jsonOut      = fs.String("json", "", "write the machine-readable summary JSON to this file (\"-\" = stdout)")
+		maxConflicts = fs.Int64("max-conflicts", 200000, "per-solve conflict budget (over budget = round skipped)")
+		budget       = fs.Int("shrink-budget", 20000, "solver runs allowed per minimization")
+		verbose      = fs.Bool("v", false, "log per-round progress")
+		list         = fs.Bool("list", false, "list the injectable mutation names and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "zfuzz: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	if *list {
+		for _, n := range harness.InjectableMutations() {
+			fmt.Fprintln(stdout, n)
+		}
+		return 0
+	}
+	cfg := harness.Config{
+		Rounds:         *rounds,
+		Seed:           *seed,
+		Duration:       *duration,
+		Workers:        *workers,
+		Inject:         *inject,
+		ReproFile:      *repro,
+		RegressionDir:  *out,
+		MaxConflicts:   *maxConflicts,
+		MinimizeBudget: *budget,
+	}
+	if *verbose {
+		cfg.Log = stderr
+	}
+	start := time.Now()
+	sum, err := harness.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "zfuzz: %v\n", err)
+		return 2
+	}
+	if *jsonOut != "" {
+		b, merr := json.MarshalIndent(sum, "", "  ")
+		if merr != nil {
+			fmt.Fprintf(stderr, "zfuzz: marshal summary: %v\n", merr)
+			return 2
+		}
+		b = append(b, '\n')
+		if *jsonOut == "-" {
+			stdout.Write(b)
+		} else if werr := os.WriteFile(*jsonOut, b, 0o644); werr != nil {
+			fmt.Fprintf(stderr, "zfuzz: %v\n", werr)
+			return 2
+		}
+	}
+	printSummary(stdout, sum, time.Since(start))
+	if !sum.Clean() {
+		return 1
+	}
+	return 0
+}
+
+func printSummary(w io.Writer, s *harness.Summary, elapsed time.Duration) {
+	fmt.Fprintf(w, "zfuzz: %d rounds, %d instances (%d sat / %d unsat / %d unknown) in %s\n",
+		s.Rounds, s.Instances, s.Sat, s.Unsat, s.Unknown, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "  oracles: %d dp-compared, %d brute-compared, %d matrix cells exercised\n",
+		s.DPCompared, s.BruteCompared, len(s.Cells))
+	fmt.Fprintf(w, "  mutants: native %s, drat %s, lrat %s\n",
+		statLine(s.Native), statLine(s.Clausal), statLine(s.LRAT))
+	for _, r := range s.Repros {
+		fmt.Fprintf(w, "  repro: %s (%d→%d clauses)\n    %s\n",
+			r.Path, r.OriginalClauses, r.MinimizedClauses, r.Command)
+	}
+	if s.Clean() {
+		fmt.Fprintf(w, "  result: CLEAN — no escapes, no disagreements\n")
+		return
+	}
+	fmt.Fprintf(w, "  result: %d escape(s), %d disagreement(s), %d failure(s)\n",
+		s.Escapes, s.Disagreements, len(s.Failures))
+	for _, f := range s.Failures {
+		fmt.Fprintf(w, "  FAIL [%s] round %d %s: %s\n", f.Kind, f.Round, f.Instance, f.Detail)
+		if f.Repro != nil {
+			fmt.Fprintf(w, "    repro: %s\n", f.Repro.Command)
+		}
+	}
+}
+
+func statLine(m harness.MutationStats) string {
+	return fmt.Sprintf("%d tried (%d rejected, %d benign, %d skipped)",
+		m.Tried, m.Rejected, m.Benign, m.Skipped)
+}

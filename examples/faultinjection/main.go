@@ -46,11 +46,13 @@ func main() {
 	for _, m := range faults.All() {
 		fmt.Printf("\n[%s]\n  bug: %s\n", m.Name, m.Bug)
 		detected := false
+		applied := 0
 		for seed := int64(0); seed < 8 && !detected; seed++ {
 			bad, ok := faults.Inject(m, run.Trace, seed)
 			if !ok {
 				continue
 			}
+			applied++
 			_, err := satcheck.Check(ins.F, bad, satcheck.BreadthFirst, satcheck.CheckOptions{})
 			if err == nil {
 				// The corrupted trace happened to still encode a valid
@@ -67,7 +69,13 @@ func main() {
 			detected = true
 		}
 		if !detected {
-			fmt.Println("  injections at 8 seeds all left a still-valid proof (weakening-only corruption)")
+			// Distinguish "mutation never applied" from "applied but benign":
+			// only the latter is a statement about the checker.
+			if applied == 0 {
+				fmt.Println("  not applicable to this trace at any seed (skipped, not survived)")
+			} else {
+				fmt.Printf("  %d injection(s) all left a still-valid proof (weakening-only corruption)\n", applied)
+			}
 		}
 	}
 }

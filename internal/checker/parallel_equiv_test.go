@@ -1,0 +1,173 @@
+// Equivalence tests between the Hybrid and Parallel checkers. They live in an
+// external test package because they drive internal/faults, which (via the
+// clausal mutation catalogue) imports internal/drat and hence this package —
+// an import cycle if these tests stayed inside package checker.
+package checker_test
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/cnf"
+	"satcheck/internal/faults"
+	"satcheck/internal/gen"
+	"satcheck/internal/solver"
+	"satcheck/internal/trace"
+)
+
+// parallelisms returns the worker counts the equivalence tests sweep: the
+// degenerate sequential schedule, the smallest truly concurrent one, and
+// whatever the host offers.
+func parallelisms() []int {
+	ps := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		ps = append(ps, n)
+	}
+	return ps
+}
+
+// solveTraced solves f and returns its trace; it fails the test unless f is
+// UNSAT.
+func solveTraced(t *testing.T, f *cnf.Formula) *trace.MemoryTrace {
+	t.Helper()
+	s, err := solver.New(f, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := &trace.MemoryTrace{}
+	s.SetTrace(mt)
+	st, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != solver.StatusUnsat {
+		t.Fatalf("expected UNSAT, got %v", st)
+	}
+	return mt
+}
+
+// checkErrorsEquivalent asserts the parallel checker reproduced the hybrid
+// checker's diagnostic byte for byte: same structured kind, clause, step, and
+// rendered message. FailMemoryLimit is the documented schedule-dependent
+// exception, but these tests run without a memory limit, so it never arises.
+func checkErrorsEquivalent(t *testing.T, label string, herr, perr error) {
+	t.Helper()
+	if (herr == nil) != (perr == nil) {
+		t.Errorf("%s: hybrid err = %v, parallel err = %v", label, herr, perr)
+		return
+	}
+	if herr == nil {
+		return
+	}
+	var hce, pce *checker.CheckError
+	if !errors.As(herr, &hce) || !errors.As(perr, &pce) {
+		t.Errorf("%s: unstructured error: hybrid %v, parallel %v", label, herr, perr)
+		return
+	}
+	if hce.Kind != pce.Kind || hce.ClauseID != pce.ClauseID || hce.Step != pce.Step {
+		t.Errorf("%s: diagnostic mismatch: hybrid (%v, clause %d, step %d), parallel (%v, clause %d, step %d)",
+			label, hce.Kind, hce.ClauseID, hce.Step, pce.Kind, pce.ClauseID, pce.Step)
+	}
+	if herr.Error() != perr.Error() {
+		t.Errorf("%s: message mismatch:\n  hybrid:   %s\n  parallel: %s", label, herr.Error(), perr.Error())
+	}
+}
+
+// checkResultsEquivalent asserts every schedule-independent result field
+// matches hybrid's. PeakMemWords is intentionally excluded: the two checkers
+// account different bookkeeping structures (disk spill vs in-memory index)
+// and the parallel peak depends on the schedule; its own contract —
+// PeakMemWords <= PeakMemBoundWords — is asserted instead.
+func checkResultsEquivalent(t *testing.T, label string, hres, pres *checker.Result) {
+	t.Helper()
+	if hres.LearnedTotal != pres.LearnedTotal {
+		t.Errorf("%s: LearnedTotal %d != %d", label, pres.LearnedTotal, hres.LearnedTotal)
+	}
+	if hres.ClausesBuilt != pres.ClausesBuilt {
+		t.Errorf("%s: ClausesBuilt %d != %d", label, pres.ClausesBuilt, hres.ClausesBuilt)
+	}
+	if hres.ResolutionSteps != pres.ResolutionSteps {
+		t.Errorf("%s: ResolutionSteps %d != %d", label, pres.ResolutionSteps, hres.ResolutionSteps)
+	}
+	if !reflect.DeepEqual(hres.CoreClauses, pres.CoreClauses) {
+		t.Errorf("%s: cores differ: hybrid %d clauses, parallel %d", label, len(hres.CoreClauses), len(pres.CoreClauses))
+	}
+	if hres.CoreVars != pres.CoreVars {
+		t.Errorf("%s: CoreVars %d != %d", label, pres.CoreVars, hres.CoreVars)
+	}
+	if pres.PeakMemBoundWords <= 0 {
+		t.Errorf("%s: PeakMemBoundWords = %d, want positive", label, pres.PeakMemBoundWords)
+	}
+	if pres.PeakMemWords > pres.PeakMemBoundWords {
+		t.Errorf("%s: concurrent peak %d exceeds deterministic bound %d",
+			label, pres.PeakMemWords, pres.PeakMemBoundWords)
+	}
+}
+
+// TestParallelMatchesHybrid is the equivalence property the parallel checker
+// promises: over the quick benchmark suite — valid proofs and every
+// applicable fault-injected mutant — Parallel returns the same verdict, the
+// same core, the same statistics, and byte-identical failure diagnostics as
+// the sequential Hybrid at every parallelism. The CI race step runs this
+// under -race, which also exercises the scheduler's memory-visibility
+// claims.
+func TestParallelMatchesHybrid(t *testing.T) {
+	for _, ins := range gen.SuiteQuick() {
+		mt := solveTraced(t, ins.F)
+
+		hres, herr := checker.Hybrid(ins.F, mt, checker.Options{})
+		if herr != nil {
+			t.Fatalf("%s: hybrid rejected a valid proof: %v", ins.Name, herr)
+		}
+		for _, j := range parallelisms() {
+			label := ins.Name + "/valid"
+			pres, perr := checker.Parallel(ins.F, mt, checker.Options{Parallelism: j})
+			if perr != nil {
+				t.Errorf("%s j=%d: parallel rejected a valid proof: %v", label, j, perr)
+				continue
+			}
+			checkResultsEquivalent(t, label, hres, pres)
+		}
+
+		for mi, m := range faults.All() {
+			mut, ok := faults.Inject(m, mt, int64(1000+mi))
+			if !ok {
+				// Not applicable to this trace (e.g. no clause has enough
+				// sources). Log it so the equivalence claim is not silently
+				// narrower than the catalogue.
+				t.Logf("%s: mutation %s not applicable, skipped", ins.Name, m.Name)
+				continue
+			}
+			mres, merr := checker.Hybrid(ins.F, mut, checker.Options{})
+			for _, j := range parallelisms() {
+				label := ins.Name + "/" + m.Name
+				pres, perr := checker.Parallel(ins.F, mut, checker.Options{Parallelism: j})
+				checkErrorsEquivalent(t, label, merr, perr)
+				if merr == nil && perr == nil {
+					// A mutant can happen to leave the proof valid; then the
+					// full result contract still holds.
+					checkResultsEquivalent(t, label, mres, pres)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelFailedChainDiagnostic pins the crafted failing trace's
+// diagnostic across Hybrid and Parallel at every parallelism — the
+// deterministic single-failure case of the equivalence property.
+func TestParallelFailedChainDiagnostic(t *testing.T) {
+	f := checker.FailingChainFormulaForTest()
+	mt, _ := checker.FailingChainTraceForTest()
+	_, herr := checker.Hybrid(f, mt, checker.Options{})
+	if herr == nil {
+		t.Fatal("hybrid accepted the crafted failing trace")
+	}
+	for _, j := range parallelisms() {
+		_, perr := checker.Parallel(f, mt, checker.Options{Parallelism: j})
+		checkErrorsEquivalent(t, "crafted", herr, perr)
+	}
+}

@@ -2,130 +2,11 @@ package checker
 
 import (
 	"errors"
-	"reflect"
-	"runtime"
 	"testing"
 
 	"satcheck/internal/cnf"
-	"satcheck/internal/faults"
-	"satcheck/internal/gen"
-	"satcheck/internal/solver"
 	"satcheck/internal/trace"
 )
-
-// parallelisms returns the worker counts the equivalence tests sweep: the
-// degenerate sequential schedule, the smallest truly concurrent one, and
-// whatever the host offers.
-func parallelisms() []int {
-	ps := []int{1, 2}
-	if n := runtime.NumCPU(); n > 2 {
-		ps = append(ps, n)
-	}
-	return ps
-}
-
-// checkErrorsEquivalent asserts the parallel checker reproduced the hybrid
-// checker's diagnostic byte for byte: same structured kind, clause, step, and
-// rendered message. FailMemoryLimit is the documented schedule-dependent
-// exception, but these tests run without a memory limit, so it never arises.
-func checkErrorsEquivalent(t *testing.T, label string, herr, perr error) {
-	t.Helper()
-	if (herr == nil) != (perr == nil) {
-		t.Errorf("%s: hybrid err = %v, parallel err = %v", label, herr, perr)
-		return
-	}
-	if herr == nil {
-		return
-	}
-	var hce, pce *CheckError
-	if !errors.As(herr, &hce) || !errors.As(perr, &pce) {
-		t.Errorf("%s: unstructured error: hybrid %v, parallel %v", label, herr, perr)
-		return
-	}
-	if hce.Kind != pce.Kind || hce.ClauseID != pce.ClauseID || hce.Step != pce.Step {
-		t.Errorf("%s: diagnostic mismatch: hybrid (%v, clause %d, step %d), parallel (%v, clause %d, step %d)",
-			label, hce.Kind, hce.ClauseID, hce.Step, pce.Kind, pce.ClauseID, pce.Step)
-	}
-	if herr.Error() != perr.Error() {
-		t.Errorf("%s: message mismatch:\n  hybrid:   %s\n  parallel: %s", label, herr.Error(), perr.Error())
-	}
-}
-
-// checkResultsEquivalent asserts every schedule-independent result field
-// matches hybrid's. PeakMemWords is intentionally excluded: the two checkers
-// account different bookkeeping structures (disk spill vs in-memory index)
-// and the parallel peak depends on the schedule; its own contract —
-// PeakMemWords <= PeakMemBoundWords — is asserted instead.
-func checkResultsEquivalent(t *testing.T, label string, hres, pres *Result) {
-	t.Helper()
-	if hres.LearnedTotal != pres.LearnedTotal {
-		t.Errorf("%s: LearnedTotal %d != %d", label, pres.LearnedTotal, hres.LearnedTotal)
-	}
-	if hres.ClausesBuilt != pres.ClausesBuilt {
-		t.Errorf("%s: ClausesBuilt %d != %d", label, pres.ClausesBuilt, hres.ClausesBuilt)
-	}
-	if hres.ResolutionSteps != pres.ResolutionSteps {
-		t.Errorf("%s: ResolutionSteps %d != %d", label, pres.ResolutionSteps, hres.ResolutionSteps)
-	}
-	if !reflect.DeepEqual(hres.CoreClauses, pres.CoreClauses) {
-		t.Errorf("%s: cores differ: hybrid %d clauses, parallel %d", label, len(hres.CoreClauses), len(pres.CoreClauses))
-	}
-	if hres.CoreVars != pres.CoreVars {
-		t.Errorf("%s: CoreVars %d != %d", label, pres.CoreVars, hres.CoreVars)
-	}
-	if pres.PeakMemBoundWords <= 0 {
-		t.Errorf("%s: PeakMemBoundWords = %d, want positive", label, pres.PeakMemBoundWords)
-	}
-	if pres.PeakMemWords > pres.PeakMemBoundWords {
-		t.Errorf("%s: concurrent peak %d exceeds deterministic bound %d",
-			label, pres.PeakMemWords, pres.PeakMemBoundWords)
-	}
-}
-
-// TestParallelMatchesHybrid is the equivalence property the parallel checker
-// promises: over the quick benchmark suite — valid proofs and every
-// applicable fault-injected mutant — Parallel returns the same verdict, the
-// same core, the same statistics, and byte-identical failure diagnostics as
-// the sequential Hybrid at every parallelism. The CI race step runs this
-// under -race, which also exercises the scheduler's memory-visibility
-// claims.
-func TestParallelMatchesHybrid(t *testing.T) {
-	for _, ins := range gen.SuiteQuick() {
-		mt, _ := solveUnsat(t, ins.F, solver.Options{})
-
-		hres, herr := Hybrid(ins.F, mt, Options{})
-		if herr != nil {
-			t.Fatalf("%s: hybrid rejected a valid proof: %v", ins.Name, herr)
-		}
-		for _, j := range parallelisms() {
-			label := ins.Name + "/valid"
-			pres, perr := Parallel(ins.F, mt, Options{Parallelism: j})
-			if perr != nil {
-				t.Errorf("%s j=%d: parallel rejected a valid proof: %v", label, j, perr)
-				continue
-			}
-			checkResultsEquivalent(t, label, hres, pres)
-		}
-
-		for mi, m := range faults.All() {
-			mut, ok := faults.Inject(m, mt, int64(1000+mi))
-			if !ok {
-				continue
-			}
-			mres, merr := Hybrid(ins.F, mut, Options{})
-			for _, j := range parallelisms() {
-				label := ins.Name + "/" + m.Name
-				pres, perr := Parallel(ins.F, mut, Options{Parallelism: j})
-				checkErrorsEquivalent(t, label, merr, perr)
-				if merr == nil && perr == nil {
-					// A mutant can happen to leave the proof valid; then the
-					// full result contract still holds.
-					checkResultsEquivalent(t, label, mres, pres)
-				}
-			}
-		}
-	}
-}
 
 // failingChainTrace returns a formula and trace crafted so learned clause 5
 // fails its resolution chain at step 1 *after* its first source — learned
@@ -148,6 +29,14 @@ func failingChainFormula() *cnf.Formula {
 	f.AddClause(-2, -3)
 	return f
 }
+
+// Hooks for the external equivalence tests (parallel_equiv_test.go), which
+// live outside the package because importing internal/faults from package
+// checker's own tests would form an import cycle through internal/drat.
+var (
+	FailingChainFormulaForTest = failingChainFormula
+	FailingChainTraceForTest   = failingChainTrace
+)
 
 // TestFailedChainReleasesSourceUseCounts is the regression test for the
 // error-path leak: a chain that fails mid-way must release its claims on the
@@ -189,21 +78,5 @@ func TestFailedChainReleasesSourceUseCounts(t *testing.T) {
 	}
 	if got := h.mem.cur - baseline; got != overhead {
 		t.Errorf("memory model unbalanced after failed chain: %d words above baseline, want %d", got, overhead)
-	}
-}
-
-// TestParallelFailedChainDiagnostic pins the crafted failing trace's
-// diagnostic across Hybrid and Parallel at every parallelism — the
-// deterministic single-failure case of the equivalence property.
-func TestParallelFailedChainDiagnostic(t *testing.T) {
-	f := failingChainFormula()
-	mt, _ := failingChainTrace()
-	_, herr := Hybrid(f, mt, Options{})
-	if herr == nil {
-		t.Fatal("hybrid accepted the crafted failing trace")
-	}
-	for _, j := range parallelisms() {
-		_, perr := Parallel(f, mt, Options{Parallelism: j})
-		checkErrorsEquivalent(t, "crafted", herr, perr)
 	}
 }

@@ -39,11 +39,20 @@ import (
 // — the paper's "prohibitive space requirements" made concrete.
 var ErrSpace = errors.New("dp: clause database exceeded the space budget")
 
+// ErrBudget is returned when elimination attempts more pairwise resolutions
+// than Options.MaxResolutions. The clause database can stay under MaxClauses
+// (subsumed and duplicate resolvents are discarded) while the work per
+// elimination still explodes; this is the time-side companion to ErrSpace.
+var ErrBudget = errors.New("dp: exceeded the resolution budget")
+
 // Options configures the procedure.
 type Options struct {
 	// MaxClauses bounds the number of simultaneously active clauses
 	// (0 = 1<<22). Exceeding it aborts with ErrSpace.
 	MaxClauses int
+	// MaxResolutions bounds the total attempted pairwise resolutions
+	// (0 = unlimited). Exceeding it aborts with ErrBudget.
+	MaxResolutions int64
 }
 
 // Stats reports the space behaviour the paper warns about.
@@ -73,9 +82,10 @@ type Solver struct {
 
 	elims []elimination
 
-	sink    trace.Sink
-	sinkErr error
-	stats   Stats
+	sink      trace.Sink
+	sinkErr   error
+	attempted int64 // pairwise resolutions attempted (MaxResolutions budget)
+	stats     Stats
 }
 
 type record struct {
@@ -344,6 +354,11 @@ func (s *Solver) eliminate() (solver.Status, cnf.Model, error) {
 
 	for _, p := range pos {
 		for _, n := range neg {
+			s.attempted++
+			if s.opts.MaxResolutions > 0 && s.attempted > s.opts.MaxResolutions {
+				return solver.StatusUnknown, nil, fmt.Errorf("%w: %d resolutions attempted over %d eliminations",
+					ErrBudget, s.attempted, s.stats.Eliminated)
+			}
 			res, pivot, err := resolve.Resolvent(s.clauses[p].lits, s.clauses[n].lits)
 			if err != nil {
 				if errors.Is(err, resolve.ErrMultiClash) {

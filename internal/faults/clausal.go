@@ -1,0 +1,299 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"satcheck/internal/cnf"
+	"satcheck/internal/drat"
+)
+
+// ClausalMutation is one fault-injection operator over a parsed DRUP/DRAT
+// proof, modelling the bugs a clausal proof logger can have: lost lines,
+// duplicated buffers, mis-serialized literals, reordered writes. Unlike the
+// native-trace catalogue, clausal corruption is frequently *benign* — DRUP
+// proofs are redundant, so dropping an unused lemma or duplicating a line
+// usually leaves a still-valid proof. The adversarial harness therefore does
+// not demand rejection of every mutant; it demands that the independent
+// clausal checkers never *disagree* about one (see internal/harness).
+type ClausalMutation struct {
+	// Name identifies the fault class ("drat-..." prefix).
+	Name string
+	// Bug describes the proof-logging bug this corruption models.
+	Bug string
+	// Apply corrupts a copy of the steps, returning the corrupted steps and
+	// whether the mutation was applicable to this proof.
+	Apply func(steps []drat.Step, rng *rand.Rand) ([]drat.Step, bool)
+}
+
+// cloneSteps deep-copies proof steps so mutations never alias the input.
+func cloneSteps(steps []drat.Step) []drat.Step {
+	out := make([]drat.Step, len(steps))
+	for i, st := range steps {
+		out[i] = st
+		if st.Lits != nil {
+			out[i].Lits = append([]cnf.Lit(nil), st.Lits...)
+		}
+	}
+	return out
+}
+
+// pickAdds returns the indices of non-empty addition steps.
+func pickAdds(steps []drat.Step) []int {
+	var idx []int
+	for i, st := range steps {
+		if !st.Del && len(st.Lits) > 0 {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// ClausalAll returns the DRAT-proof mutation catalogue.
+func ClausalAll() []ClausalMutation {
+	return []ClausalMutation{
+		{
+			Name: "drat-drop-addition",
+			Bug:  "a learned clause is added to the database without its proof line being written",
+			Apply: func(steps []drat.Step, rng *rand.Rand) ([]drat.Step, bool) {
+				steps = cloneSteps(steps)
+				idx := pickAdds(steps)
+				if len(idx) == 0 {
+					return nil, false
+				}
+				k := idx[rng.Intn(len(idx))]
+				return append(steps[:k], steps[k+1:]...), true
+			},
+		},
+		{
+			Name: "drat-duplicate-addition",
+			Bug:  "a buffered proof line is flushed twice",
+			Apply: func(steps []drat.Step, rng *rand.Rand) ([]drat.Step, bool) {
+				steps = cloneSteps(steps)
+				idx := pickAdds(steps)
+				if len(idx) == 0 {
+					return nil, false
+				}
+				k := idx[rng.Intn(len(idx))]
+				dup := drat.Step{Lits: append([]cnf.Lit(nil), steps[k].Lits...)}
+				steps = append(steps, drat.Step{})
+				copy(steps[k+1:], steps[k:])
+				steps[k+1] = dup
+				return steps, true
+			},
+		},
+		{
+			Name: "drat-negate-literal",
+			Bug:  "a literal's sign bit is lost when serializing a lemma",
+			Apply: func(steps []drat.Step, rng *rand.Rand) ([]drat.Step, bool) {
+				steps = cloneSteps(steps)
+				idx := pickAdds(steps)
+				if len(idx) == 0 {
+					return nil, false
+				}
+				st := &steps[idx[rng.Intn(len(idx))]]
+				j := rng.Intn(len(st.Lits))
+				st.Lits[j] = st.Lits[j].Neg()
+				return steps, true
+			},
+		},
+		{
+			Name: "drat-reorder-additions",
+			Bug:  "concurrent proof writers interleave lines out of derivation order",
+			Apply: func(steps []drat.Step, rng *rand.Rand) ([]drat.Step, bool) {
+				steps = cloneSteps(steps)
+				idx := pickAdds(steps)
+				if len(idx) < 2 {
+					return nil, false
+				}
+				i := rng.Intn(len(idx) - 1)
+				a, b := idx[i], idx[i+1+rng.Intn(len(idx)-i-1)]
+				steps[a], steps[b] = steps[b], steps[a]
+				return steps, true
+			},
+		},
+		{
+			Name: "drat-flip-add-to-delete",
+			Bug:  "the addition/deletion tag byte is corrupted on one line",
+			Apply: func(steps []drat.Step, rng *rand.Rand) ([]drat.Step, bool) {
+				steps = cloneSteps(steps)
+				idx := pickAdds(steps)
+				if len(idx) == 0 {
+					return nil, false
+				}
+				steps[idx[rng.Intn(len(idx))]].Del = true
+				return steps, true
+			},
+		},
+	}
+}
+
+// InjectClausal applies the mutation to a parsed proof, returning a corrupted
+// copy, or ok=false when the mutation does not apply.
+func InjectClausal(m ClausalMutation, p *drat.Proof, seed int64) (*drat.Proof, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	steps, ok := m.Apply(p.Steps, rng)
+	if !ok {
+		return nil, false
+	}
+	return &drat.Proof{Steps: steps, Binary: p.Binary, Ints: p.Ints}, true
+}
+
+// ClausalByName returns the named DRAT mutation.
+func ClausalByName(name string) (ClausalMutation, error) {
+	for _, m := range ClausalAll() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return ClausalMutation{}, fmt.Errorf("faults: unknown clausal mutation %q", name)
+}
+
+// LRATMutation is one fault-injection operator over a parsed LRAT proof,
+// corrupting the propagation hints that make LRAT checkable without search.
+// An LRAT checker follows hints blindly, so hint corruption is exactly where
+// a lazy implementation would wave a bad proof through.
+type LRATMutation struct {
+	// Name identifies the fault class ("lrat-..." prefix).
+	Name string
+	// Bug describes the emitter/checker bug this corruption models.
+	Bug string
+	// Apply corrupts a copy of the lines, returning the corrupted lines and
+	// whether the mutation was applicable.
+	Apply func(lines []drat.LRATLine, rng *rand.Rand) ([]drat.LRATLine, bool)
+}
+
+// cloneLines deep-copies LRAT lines.
+func cloneLines(lines []drat.LRATLine) []drat.LRATLine {
+	out := make([]drat.LRATLine, len(lines))
+	for i, ln := range lines {
+		out[i] = ln
+		if ln.Lits != nil {
+			out[i].Lits = append(cnf.Clause(nil), ln.Lits...)
+		}
+		if ln.Hints != nil {
+			out[i].Hints = append([]int(nil), ln.Hints...)
+		}
+		if ln.DelIDs != nil {
+			out[i].DelIDs = append([]int(nil), ln.DelIDs...)
+		}
+	}
+	return out
+}
+
+// pickHinted returns the indices of addition lines with at least min hints.
+func pickHinted(lines []drat.LRATLine, min int) []int {
+	var idx []int
+	for i, ln := range lines {
+		if !ln.Del && len(ln.Hints) >= min {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// LRATAll returns the LRAT-proof mutation catalogue. Every mutation keeps
+// hint values positive, so corruption never turns a RUP hint list into a
+// RAT candidate group — the corrupted proof stays in the fragment the
+// harness can cross-check against the DRAT checkers.
+func LRATAll() []LRATMutation {
+	return []LRATMutation{
+		{
+			Name: "lrat-corrupt-hint",
+			Bug:  "a propagation hint references the wrong clause ID",
+			Apply: func(lines []drat.LRATLine, rng *rand.Rand) ([]drat.LRATLine, bool) {
+				lines = cloneLines(lines)
+				idx := pickHinted(lines, 1)
+				if len(idx) == 0 {
+					return nil, false
+				}
+				ln := &lines[idx[rng.Intn(len(idx))]]
+				j := rng.Intn(len(ln.Hints))
+				if ln.Hints[j] < 0 {
+					return nil, false // don't touch RAT group openers
+				}
+				if ln.Hints[j] > 1 {
+					ln.Hints[j]--
+				} else {
+					ln.Hints[j]++
+				}
+				return lines, true
+			},
+		},
+		{
+			Name: "lrat-drop-hint",
+			Bug:  "one hint is lost when the hint buffer is serialized",
+			Apply: func(lines []drat.LRATLine, rng *rand.Rand) ([]drat.LRATLine, bool) {
+				lines = cloneLines(lines)
+				idx := pickHinted(lines, 2)
+				if len(idx) == 0 {
+					return nil, false
+				}
+				ln := &lines[idx[rng.Intn(len(idx))]]
+				j := rng.Intn(len(ln.Hints))
+				if ln.Hints[j] < 0 {
+					return nil, false
+				}
+				ln.Hints = append(ln.Hints[:j], ln.Hints[j+1:]...)
+				return lines, true
+			},
+		},
+		{
+			Name: "lrat-swap-hints",
+			Bug:  "two hints are written in the wrong order",
+			Apply: func(lines []drat.LRATLine, rng *rand.Rand) ([]drat.LRATLine, bool) {
+				lines = cloneLines(lines)
+				idx := pickHinted(lines, 2)
+				if len(idx) == 0 {
+					return nil, false
+				}
+				ln := &lines[idx[rng.Intn(len(idx))]]
+				j := rng.Intn(len(ln.Hints) - 1)
+				if ln.Hints[j] < 0 || ln.Hints[j+1] < 0 {
+					return nil, false
+				}
+				ln.Hints[j], ln.Hints[j+1] = ln.Hints[j+1], ln.Hints[j]
+				return lines, true
+			},
+		},
+		{
+			Name: "lrat-drop-line",
+			Bug:  "an addition line vanishes while later lines still hint at its ID",
+			Apply: func(lines []drat.LRATLine, rng *rand.Rand) ([]drat.LRATLine, bool) {
+				lines = cloneLines(lines)
+				var idx []int
+				for i, ln := range lines {
+					if !ln.Del && len(ln.Lits) > 0 {
+						idx = append(idx, i)
+					}
+				}
+				if len(idx) == 0 {
+					return nil, false
+				}
+				k := idx[rng.Intn(len(idx))]
+				return append(lines[:k], lines[k+1:]...), true
+			},
+		},
+	}
+}
+
+// InjectLRAT applies the mutation to a parsed LRAT proof, returning a
+// corrupted copy, or ok=false when the mutation does not apply.
+func InjectLRAT(m LRATMutation, p *drat.LRATProof, seed int64) (*drat.LRATProof, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	lines, ok := m.Apply(p.Lines, rng)
+	if !ok {
+		return nil, false
+	}
+	return &drat.LRATProof{Lines: lines, Ints: p.Ints}, true
+}
+
+// LRATByName returns the named LRAT mutation.
+func LRATByName(name string) (LRATMutation, error) {
+	for _, m := range LRATAll() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return LRATMutation{}, fmt.Errorf("faults: unknown LRAT mutation %q", name)
+}

@@ -1,0 +1,268 @@
+package faults
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/drat"
+	"satcheck/internal/solver"
+	"satcheck/internal/trace"
+)
+
+// solveClausal solves an UNSAT formula and returns its parsed DRAT proof and
+// its LRAT proof (derived from the native trace).
+func solveClausal(t *testing.T) (*drat.Proof, *drat.LRATProof) {
+	t.Helper()
+	f := php(4)
+	s, err := solver.New(f, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := &trace.MemoryTrace{}
+	s.SetTrace(mt)
+	var buf bytes.Buffer
+	s.SetProofSink(drat.NewWriter(&buf))
+	st, err := s.Solve()
+	if err != nil || st != solver.StatusUnsat {
+		t.Fatalf("st=%v err=%v", st, err)
+	}
+	proof, err := drat.Load(drat.BytesSource(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lb bytes.Buffer
+	if _, err := drat.TraceToLRAT(f, mt, &lb, checker.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	lp, err := drat.LoadLRAT(drat.BytesSource(lb.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proof, lp
+}
+
+// TestClausalCatalogueIntegrity pins names (unique, prefixed) and the ByName
+// lookups of both clausal catalogues.
+func TestClausalCatalogueIntegrity(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range ClausalAll() {
+		if seen[m.Name] {
+			t.Errorf("duplicate clausal mutation name %q", m.Name)
+		}
+		seen[m.Name] = true
+		if len(m.Name) < 6 || m.Name[:5] != "drat-" {
+			t.Errorf("clausal mutation %q lacks the drat- prefix", m.Name)
+		}
+		if got, err := ClausalByName(m.Name); err != nil || got.Name != m.Name {
+			t.Errorf("ClausalByName(%q) = %v, %v", m.Name, got.Name, err)
+		}
+		if m.Bug == "" {
+			t.Errorf("clausal mutation %q has no bug description", m.Name)
+		}
+	}
+	for _, m := range LRATAll() {
+		if seen[m.Name] {
+			t.Errorf("duplicate mutation name %q across catalogues", m.Name)
+		}
+		seen[m.Name] = true
+		if len(m.Name) < 6 || m.Name[:5] != "lrat-" {
+			t.Errorf("LRAT mutation %q lacks the lrat- prefix", m.Name)
+		}
+		if got, err := LRATByName(m.Name); err != nil || got.Name != m.Name {
+			t.Errorf("LRATByName(%q) = %v, %v", m.Name, got.Name, err)
+		}
+		if m.Bug == "" {
+			t.Errorf("LRAT mutation %q has no bug description", m.Name)
+		}
+	}
+	if _, err := ClausalByName("no-such"); err == nil {
+		t.Error("ClausalByName accepted an unknown name")
+	}
+	if _, err := LRATByName("no-such"); err == nil {
+		t.Error("LRATByName accepted an unknown name")
+	}
+}
+
+// TestClausalMutationsApplyAndDoNotAlias: every mutation in both catalogues
+// must apply to a real proof, visibly change it, and leave the input proof
+// bit-identical (the deep-copy contract the harness depends on when it
+// injects many mutations into one parsed proof).
+func TestClausalMutationsApplyAndDoNotAlias(t *testing.T) {
+	proof, lp := solveClausal(t)
+	origSteps := cloneSteps(proof.Steps)
+	origLines := cloneLines(lp.Lines)
+	for _, m := range ClausalAll() {
+		mut, ok := InjectClausal(m, proof, 1)
+		if !ok {
+			t.Errorf("clausal mutation %s did not apply to a PHP proof", m.Name)
+			continue
+		}
+		if reflect.DeepEqual(mut.Steps, origSteps) {
+			t.Errorf("clausal mutation %s returned an unchanged proof", m.Name)
+		}
+		if !reflect.DeepEqual(proof.Steps, origSteps) {
+			t.Fatalf("clausal mutation %s corrupted its input proof", m.Name)
+		}
+	}
+	for _, m := range LRATAll() {
+		mut, ok := InjectLRAT(m, lp, 1)
+		if !ok {
+			t.Errorf("LRAT mutation %s did not apply to a PHP proof", m.Name)
+			continue
+		}
+		if reflect.DeepEqual(mut.Lines, origLines) {
+			t.Errorf("LRAT mutation %s returned an unchanged proof", m.Name)
+		}
+		if !reflect.DeepEqual(lp.Lines, origLines) {
+			t.Fatalf("LRAT mutation %s corrupted its input proof", m.Name)
+		}
+	}
+}
+
+// TestClausalMutationShapes pins what each DRAT operator structurally does.
+func TestClausalMutationShapes(t *testing.T) {
+	proof, lp := solveClausal(t)
+	adds := func(steps []drat.Step) (n int) {
+		for _, st := range steps {
+			if !st.Del && len(st.Lits) > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	dels := func(steps []drat.Step) (n int) {
+		for _, st := range steps {
+			if st.Del {
+				n++
+			}
+		}
+		return n
+	}
+	base := proof.Steps
+	for seed := int64(0); seed < 5; seed++ {
+		check := func(name string, cond bool, format string, args ...any) {
+			if !cond {
+				t.Errorf("seed %d, %s: "+format, append([]any{seed, name}, args...)...)
+			}
+		}
+		if mut, ok := InjectClausal(mustClausal(t, "drat-drop-addition"), proof, seed); ok {
+			check("drat-drop-addition", adds(mut.Steps) == adds(base)-1,
+				"adds %d, want %d", adds(mut.Steps), adds(base)-1)
+		}
+		if mut, ok := InjectClausal(mustClausal(t, "drat-duplicate-addition"), proof, seed); ok {
+			check("drat-duplicate-addition", adds(mut.Steps) == adds(base)+1,
+				"adds %d, want %d", adds(mut.Steps), adds(base)+1)
+		}
+		if mut, ok := InjectClausal(mustClausal(t, "drat-negate-literal"), proof, seed); ok {
+			check("drat-negate-literal", len(mut.Steps) == len(base),
+				"step count changed: %d -> %d", len(base), len(mut.Steps))
+			diff := 0
+			for i := range base {
+				if !reflect.DeepEqual(base[i], mut.Steps[i]) {
+					diff++
+				}
+			}
+			check("drat-negate-literal", diff == 1, "changed %d steps, want 1", diff)
+		}
+		if mut, ok := InjectClausal(mustClausal(t, "drat-reorder-additions"), proof, seed); ok {
+			check("drat-reorder-additions", len(mut.Steps) == len(base) &&
+				adds(mut.Steps) == adds(base) && dels(mut.Steps) == dels(base),
+				"reorder changed counts")
+		}
+		if mut, ok := InjectClausal(mustClausal(t, "drat-flip-add-to-delete"), proof, seed); ok {
+			check("drat-flip-add-to-delete", dels(mut.Steps) == dels(base)+1,
+				"dels %d, want %d", dels(mut.Steps), dels(base)+1)
+		}
+	}
+
+	// LRAT shapes: each operator touches hints or lines in a pinned way, and
+	// the catalogue's promise that corrupted hints stay positive must hold
+	// (negative hints would open a RAT group and leave the cross-checkable
+	// fragment).
+	hints := func(lines []drat.LRATLine) (n int) {
+		for _, ln := range lines {
+			n += len(ln.Hints)
+		}
+		return n
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		if mut, ok := InjectLRAT(mustLRAT(t, "lrat-corrupt-hint"), lp, seed); ok {
+			if hints(mut.Lines) != hints(lp.Lines) {
+				t.Errorf("seed %d: lrat-corrupt-hint changed the hint count", seed)
+			}
+			assertHintsPositive(t, mut.Lines, lp.Lines)
+		}
+		if mut, ok := InjectLRAT(mustLRAT(t, "lrat-drop-hint"), lp, seed); ok {
+			if hints(mut.Lines) != hints(lp.Lines)-1 {
+				t.Errorf("seed %d: lrat-drop-hint: hints %d, want %d",
+					seed, hints(mut.Lines), hints(lp.Lines)-1)
+			}
+		}
+		if mut, ok := InjectLRAT(mustLRAT(t, "lrat-swap-hints"), lp, seed); ok {
+			if hints(mut.Lines) != hints(lp.Lines) {
+				t.Errorf("seed %d: lrat-swap-hints changed the hint count", seed)
+			}
+		}
+		if mut, ok := InjectLRAT(mustLRAT(t, "lrat-drop-line"), lp, seed); ok {
+			if len(mut.Lines) != len(lp.Lines)-1 {
+				t.Errorf("seed %d: lrat-drop-line: lines %d, want %d",
+					seed, len(mut.Lines), len(lp.Lines)-1)
+			}
+		}
+	}
+}
+
+// assertHintsPositive checks corruption introduced no new negative hints.
+func assertHintsPositive(t *testing.T, mut, orig []drat.LRATLine) {
+	t.Helper()
+	neg := func(lines []drat.LRATLine) (n int) {
+		for _, ln := range lines {
+			for _, h := range ln.Hints {
+				if h < 0 {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if neg(mut) > neg(orig) {
+		t.Error("mutation introduced a negative hint (RAT group opener)")
+	}
+}
+
+// TestClausalNotApplicableOnEmptyProof: every operator must report
+// inapplicability on an empty proof instead of fabricating steps.
+func TestClausalNotApplicableOnEmptyProof(t *testing.T) {
+	empty := &drat.Proof{}
+	for _, m := range ClausalAll() {
+		if _, ok := InjectClausal(m, empty, 1); ok {
+			t.Errorf("clausal mutation %s claims to apply to an empty proof", m.Name)
+		}
+	}
+	emptyL := &drat.LRATProof{}
+	for _, m := range LRATAll() {
+		if _, ok := InjectLRAT(m, emptyL, 1); ok {
+			t.Errorf("LRAT mutation %s claims to apply to an empty proof", m.Name)
+		}
+	}
+}
+
+func mustClausal(t *testing.T, name string) ClausalMutation {
+	t.Helper()
+	m, err := ClausalByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustLRAT(t *testing.T, name string) LRATMutation {
+	t.Helper()
+	m, err := LRATByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -19,6 +19,12 @@ type Mutation struct {
 	Name string
 	// Bug describes the solver bug this trace corruption models.
 	Bug string
+	// MustReject marks structural corruptions (missing records, dangling or
+	// empty source lists) that every checker is guaranteed to reject on any
+	// trace. Non-structural mutations can occasionally leave a still-valid
+	// proof (e.g. a dropped minimization step merely weakens a clause), so
+	// acceptance of those mutants is not by itself a checker bug.
+	MustReject bool
 	// Apply corrupts a copy of the events, returning the corrupted events
 	// and whether the mutation was applicable to this trace.
 	Apply func(events []trace.Event, rng *rand.Rand) ([]trace.Event, bool)
@@ -104,8 +110,9 @@ func All() []Mutation {
 			},
 		},
 		{
-			Name: "drop-learned-clause",
-			Bug:  "a learned clause is added to the database without being traced",
+			Name:       "drop-learned-clause",
+			Bug:        "a learned clause is added to the database without being traced",
+			MustReject: true,
 			Apply: func(events []trace.Event, rng *rand.Rand) ([]trace.Event, bool) {
 				events = clone(events)
 				idx := pick(events, trace.KindLearned)
@@ -170,8 +177,9 @@ func All() []Mutation {
 			},
 		},
 		{
-			Name: "truncated-trace",
-			Bug:  "the solver crashes (or buffers are lost) before the final conflict is written",
+			Name:       "truncated-trace",
+			Bug:        "the solver crashes (or buffers are lost) before the final conflict is written",
+			MustReject: true,
 			Apply: func(events []trace.Event, rng *rand.Rand) ([]trace.Event, bool) {
 				events = clone(events)
 				idx := pick(events, trace.KindFinalConflict)
@@ -183,8 +191,9 @@ func All() []Mutation {
 			},
 		},
 		{
-			Name: "sourceless-learned-clause",
-			Bug:  "a learned clause is traced with an empty resolve-source list",
+			Name:       "sourceless-learned-clause",
+			Bug:        "a learned clause is traced with an empty resolve-source list",
+			MustReject: true,
 			Apply: func(events []trace.Event, rng *rand.Rand) ([]trace.Event, bool) {
 				events = clone(events)
 				idx := pick(events, trace.KindLearned)

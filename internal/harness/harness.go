@@ -1,0 +1,269 @@
+// Package harness is the adversarial conformance harness: a differential
+// fuzzer that hammers every solver, checker, and proof format in the module
+// against every other and shrinks whatever disagreement it finds.
+//
+// The paper's argument is that a solver's UNSAT claim is only as trustworthy
+// as an independent check of its proof — but the checkers themselves are
+// unverified code. The harness attacks that residual trust systematically:
+//
+//  1. it generates seeded random and structured CNF instances (random k-SAT
+//     near the phase transition plus the internal/gen families);
+//  2. it cross-checks the CDCL solver's verdict against the internal/dp
+//     reference procedure (and brute force, on small instances);
+//  3. it fans every UNSAT proof through the full checker×format matrix —
+//     depth-first / breadth-first / hybrid / parallel on native traces,
+//     forward / backward DRAT in both encodings, and LRAT re-verification —
+//     asserting unanimous acceptance, identical unsat-core invariants, and
+//     the parallel checker's peak-memory bound;
+//  4. it mutates proofs with internal/faults and asserts the checkers'
+//     rejection contracts hold: structural corruptions are always rejected,
+//     the core-following checkers (depth-first, hybrid, parallel) agree
+//     unanimously, a full (breadth-first / forward) acceptance implies a
+//     cone (depth-first / backward) acceptance, and an accepted LRAT mutant
+//     must still pass the independent DRAT checker with its hints stripped.
+//     Any violation is an "escape".
+//
+// When an oracle disagreement or escape is found, a ddmin-style minimizer
+// (minimize.go) shrinks the instance to a locally minimal reproduction and
+// writes it to the regression corpus with a one-command repro line.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes a fuzzing run.
+type Config struct {
+	// Rounds is the number of instances to generate and cross-check
+	// (default 100). In inject mode the run may stop earlier, once the
+	// synthetic failure has been minimized.
+	Rounds int
+	// Seed makes the whole run deterministic: round i derives its private
+	// RNG from (Seed, i) regardless of worker scheduling.
+	Seed int64
+	// Duration, when nonzero, stops the run after this wall-clock budget
+	// instead of after Rounds (soak mode).
+	Duration time.Duration
+	// Workers is the number of concurrent rounds (default 1).
+	Workers int
+	// Inject names a mutation (native trace, "drat-*", or "lrat-*") to
+	// deliberately inject as a synthetic solver bug: the harness verifies
+	// the checkers reject it, then drives the minimizer off that rejection
+	// to produce a shrunken repro — the end-to-end test of the shrinking
+	// machinery itself.
+	Inject string
+	// ReproFile, when set, replays one saved regression CNF through the full
+	// pipeline instead of generating instances (the `zfuzz -repro` mode
+	// printed in every repro's command line).
+	ReproFile string
+	// RegressionDir is where minimized repros are written
+	// (default "testdata/corpus/regressions"; "-" disables writing).
+	RegressionDir string
+	// MaxConflicts bounds each CDCL solve (default 200000); budget-exceeded
+	// rounds are counted as unknown and skipped, never failed.
+	MaxConflicts int64
+	// MinimizeBudget caps predicate evaluations (solver runs) per
+	// minimization (default 20000).
+	MinimizeBudget int
+	// Log receives progress lines (nil = discard).
+	Log io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rounds == 0 {
+		c.Rounds = 100
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.RegressionDir == "" {
+		c.RegressionDir = "testdata/corpus/regressions"
+	}
+	if c.MaxConflicts == 0 {
+		c.MaxConflicts = 200000
+	}
+	if c.MinimizeBudget == 0 {
+		c.MinimizeBudget = 20000
+	}
+	if c.Log == nil {
+		c.Log = io.Discard
+	}
+	return c
+}
+
+// MutationStats counts mutation-testing outcomes for one proof family.
+// Skipped mutations (inapplicable to the trace at hand) are reported
+// explicitly — counting them as "rejected" would inflate escape-free claims.
+type MutationStats struct {
+	Tried    int `json:"tried"`
+	Rejected int `json:"rejected"`
+	Benign   int `json:"benign"`
+	Skipped  int `json:"skipped"`
+}
+
+func (m *MutationStats) add(o MutationStats) {
+	m.Tried += o.Tried
+	m.Rejected += o.Rejected
+	m.Benign += o.Benign
+	m.Skipped += o.Skipped
+}
+
+// Failure is one oracle violation found by the harness.
+type Failure struct {
+	// Kind classifies the violation: "verdict-disagreement",
+	// "model-invalid", "valid-proof-rejected", "core-mismatch",
+	// "peak-mem-bound-violated", "mutation-escape",
+	// "cross-checker-disagreement", or "harness-error".
+	Kind string `json:"kind"`
+	// Round is the generation round that hit it.
+	Round int `json:"round"`
+	// Instance names the generated instance.
+	Instance string `json:"instance"`
+	// Detail is the human-readable specifics.
+	Detail string `json:"detail"`
+	// Repro is the minimized reproduction, when the failure was shrinkable.
+	Repro *Repro `json:"repro,omitempty"`
+}
+
+// Summary is the machine-readable result of a run (zfuzz -json).
+type Summary struct {
+	Seed           int64          `json:"seed"`
+	Rounds         int            `json:"rounds"`
+	Instances      int            `json:"instances"`
+	Sat            int            `json:"sat"`
+	Unsat          int            `json:"unsat"`
+	Unknown        int            `json:"unknown"`
+	DPCompared     int            `json:"dpCompared"`
+	BruteCompared  int            `json:"bruteCompared"`
+	Cells          map[string]int `json:"matrixCells"`
+	Native         MutationStats  `json:"nativeMutants"`
+	Clausal        MutationStats  `json:"dratMutants"`
+	LRAT           MutationStats  `json:"lratMutants"`
+	Escapes        int            `json:"escapes"`
+	Disagreements  int            `json:"disagreements"`
+	Failures       []Failure      `json:"failures"`
+	Repros         []Repro        `json:"repros"`
+	ElapsedSeconds float64        `json:"elapsedSeconds"`
+}
+
+// escapeKinds are the Failure kinds counted as checker escapes.
+var escapeKinds = map[string]bool{
+	"mutation-escape":            true,
+	"cross-checker-disagreement": true,
+}
+
+// disagreementKinds are the Failure kinds counted as oracle disagreements.
+var disagreementKinds = map[string]bool{
+	"verdict-disagreement":    true,
+	"model-invalid":           true,
+	"valid-proof-rejected":    true,
+	"core-mismatch":           true,
+	"peak-mem-bound-violated": true,
+}
+
+// Clean reports whether the run found nothing: no escapes, no
+// disagreements, no harness errors.
+func (s *Summary) Clean() bool {
+	return s.Escapes == 0 && s.Disagreements == 0 && len(s.Failures) == 0
+}
+
+// Run executes the configured fuzzing campaign and returns its summary.
+// Failures are reported in the summary, not as an error; the error return is
+// for harness-level problems (unknown mutation name, unreadable repro file).
+func Run(cfg Config) (*Summary, error) {
+	cfg = cfg.withDefaults()
+	if err := validateInject(cfg.Inject); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	sum := &Summary{Seed: cfg.Seed, Cells: map[string]int{}}
+
+	if cfg.ReproFile != "" {
+		rep := runRepro(cfg)
+		mergeReport(sum, rep)
+		finishSummary(sum, start)
+		return sum, nil
+	}
+
+	var (
+		next     atomic.Int64 // next round index to claim
+		done     atomic.Bool  // inject repro produced => stop early
+		mu       sync.Mutex
+		deadline time.Time
+	)
+	if cfg.Duration > 0 {
+		deadline = start.Add(cfg.Duration)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				r := int(next.Add(1) - 1)
+				if cfg.Duration > 0 {
+					if time.Now().After(deadline) {
+						return
+					}
+				} else if r >= cfg.Rounds {
+					return
+				}
+				if done.Load() {
+					return
+				}
+				rep := runRound(cfg, r, &done)
+				mu.Lock()
+				sum.Rounds++
+				mergeReport(sum, rep)
+				mu.Unlock()
+				if len(rep.failures) > 0 {
+					fmt.Fprintf(cfg.Log, "round %d: %d failure(s)\n", r, len(rep.failures))
+				} else if (r+1)%50 == 0 {
+					fmt.Fprintf(cfg.Log, "round %d: clean (%d instances so far)\n", r, r+1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	finishSummary(sum, start)
+	return sum, nil
+}
+
+func finishSummary(sum *Summary, start time.Time) {
+	for _, f := range sum.Failures {
+		switch {
+		case escapeKinds[f.Kind]:
+			sum.Escapes++
+		case disagreementKinds[f.Kind]:
+			sum.Disagreements++
+		}
+	}
+	sum.ElapsedSeconds = time.Since(start).Seconds()
+}
+
+func mergeReport(sum *Summary, rep *roundReport) {
+	sum.Instances += rep.instances
+	sum.Sat += rep.sat
+	sum.Unsat += rep.unsat
+	sum.Unknown += rep.unknown
+	sum.DPCompared += rep.dpCompared
+	sum.BruteCompared += rep.bruteCompared
+	for k, v := range rep.cells {
+		sum.Cells[k] += v
+	}
+	sum.Native.add(rep.native)
+	sum.Clausal.add(rep.clausal)
+	sum.LRAT.add(rep.lrat)
+	sum.Failures = append(sum.Failures, rep.failures...)
+	for _, f := range rep.failures {
+		if f.Repro != nil {
+			sum.Repros = append(sum.Repros, *f.Repro)
+		}
+	}
+	// Inject-mode repros are deliberate (not failures); surface them too.
+	sum.Repros = append(sum.Repros, rep.synthetic...)
+}

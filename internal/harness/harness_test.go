@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"math/rand"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"satcheck/internal/cnf"
+)
+
+// TestRunClean is the harness's own smoke test: a short deterministic
+// campaign over the mixed instance stream must come back with zero escapes,
+// zero disagreements, and every checker×format matrix cell exercised at
+// least once.
+func TestRunClean(t *testing.T) {
+	sum, err := Run(Config{Rounds: 30, Seed: 1, RegressionDir: "-"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Clean() {
+		t.Fatalf("fuzzing found failures: %+v", sum.Failures)
+	}
+	if sum.Instances != 30 {
+		t.Errorf("instances = %d, want 30", sum.Instances)
+	}
+	if sum.Unsat == 0 || sum.Sat == 0 {
+		t.Errorf("instance mix not exercised: sat=%d unsat=%d", sum.Sat, sum.Unsat)
+	}
+	for _, cell := range []string{
+		"native/depth-first", "native/breadth-first", "native/hybrid", "native/parallel",
+		"drat-ascii/forward", "drat-ascii/backward",
+		"drat-binary/forward", "drat-binary/backward",
+		"lrat/from-trace", "lrat/from-drat",
+	} {
+		if sum.Cells[cell] == 0 {
+			t.Errorf("matrix cell %s never exercised", cell)
+		}
+	}
+	if sum.Native.Tried == 0 || sum.Clausal.Tried == 0 || sum.LRAT.Tried == 0 {
+		t.Errorf("mutation families not all exercised: native=%d drat=%d lrat=%d",
+			sum.Native.Tried, sum.Clausal.Tried, sum.LRAT.Tried)
+	}
+}
+
+// TestRunDeterministic pins the reproducibility contract: same seed, same
+// campaign — regardless of worker count, because each round derives its RNG
+// from (Seed, round index) alone.
+func TestRunDeterministic(t *testing.T) {
+	run := func(workers int) *Summary {
+		sum, err := Run(Config{Rounds: 12, Seed: 7, Workers: workers, RegressionDir: "-"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum.ElapsedSeconds = 0
+		return sum
+	}
+	a, b, c := run(1), run(1), run(3)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same-seed runs differ:\n%+v\n%+v", a, b)
+	}
+	// Worker scheduling must not change what is generated or found.
+	if a.Instances != c.Instances || a.Sat != c.Sat || a.Unsat != c.Unsat ||
+		a.Escapes != c.Escapes || a.Disagreements != c.Disagreements {
+		t.Errorf("worker count changed the campaign: j=1 %+v, j=3 %+v", a, c)
+	}
+}
+
+func TestValidateInject(t *testing.T) {
+	if _, err := Run(Config{Rounds: 1, Inject: "no-such-mutation", RegressionDir: "-"}); err == nil {
+		t.Fatal("unknown -inject name accepted")
+	}
+	names := InjectableMutations()
+	if len(names) < 15 {
+		t.Fatalf("expected the three catalogues combined, got %d names", len(names))
+	}
+	for _, n := range names {
+		if err := validateInject(n); err != nil {
+			t.Errorf("catalogue name %q rejected: %v", n, err)
+		}
+	}
+}
+
+// TestInjectMinimizesRepro is the end-to-end acceptance property of the
+// shrinking machinery: injecting a known fault into a planted-core instance
+// must yield a written repro at most 25% of the original instance, and the
+// printed command must replay it.
+func TestInjectMinimizesRepro(t *testing.T) {
+	dir := t.TempDir()
+	sum, err := Run(Config{Rounds: 3, Seed: 1, Inject: "drop-learned-clause", RegressionDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Clean() {
+		t.Fatalf("inject run reported failures: %+v", sum.Failures)
+	}
+	if len(sum.Repros) != 1 {
+		t.Fatalf("got %d repros, want 1", len(sum.Repros))
+	}
+	rep := sum.Repros[0]
+	if rep.MinimizedClauses*4 > rep.OriginalClauses {
+		t.Errorf("repro not small enough: %d of %d clauses (want <= 25%%)",
+			rep.MinimizedClauses, rep.OriginalClauses)
+	}
+	if !rep.Minimal {
+		t.Errorf("repro not 1-minimal (budget exhausted?): %+v", rep)
+	}
+	if !strings.Contains(rep.Command, "-repro "+rep.Path) || !strings.Contains(rep.Command, "-inject drop-learned-clause") {
+		t.Errorf("repro command incomplete: %q", rep.Command)
+	}
+	side := strings.TrimSuffix(rep.Path, ".cnf") + ".txt"
+	if _, err := os.Stat(side); err != nil {
+		t.Errorf("sidecar missing: %v", err)
+	}
+
+	// Replay: the written file must still reproduce the rejection.
+	sum2, err := Run(Config{Seed: 1, Inject: "drop-learned-clause", ReproFile: rep.Path, RegressionDir: "-"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum2.Clean() {
+		t.Fatalf("repro replay reported failures: %+v", sum2.Failures)
+	}
+}
+
+// TestDDMin pins the delta-debugging engine on a pure predicate with a known
+// answer: from 60 elements, the minimal failing set {3, 17, 41} must be
+// recovered exactly.
+func TestDDMin(t *testing.T) {
+	items := make([]int, 60)
+	for i := range items {
+		items[i] = i
+	}
+	has := func(sel []int, want int) bool {
+		for _, x := range sel {
+			if x == want {
+				return true
+			}
+		}
+		return false
+	}
+	pred := func(sel []int) bool {
+		return has(sel, 3) && has(sel, 17) && has(sel, 41)
+	}
+	got := ddmin(items, pred)
+	singletonSweep(&got, pred)
+	if len(got) != 3 || !pred(got) {
+		t.Fatalf("ddmin = %v, want the 3-element failing set", got)
+	}
+}
+
+// TestMinimizerProperty is the property test of the full formula minimizer,
+// using injected faults as synthetic failures: the ddmin output must (a)
+// still reproduce the original rejection and (b) be locally minimal —
+// removing any single clause loses the reproduction.
+func TestMinimizerProperty(t *testing.T) {
+	for _, inject := range []string{"drop-learned-clause", "drat-negate-literal", "lrat-corrupt-hint"} {
+		t.Run(inject, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(5))
+			ins := plantedInstance(rng)
+			pred := func(sub *cnf.Formula) bool { return injectRejected(sub, inject, minConflicts) }
+			if !pred(ins.F) {
+				t.Fatalf("synthetic failure does not trigger on the planted instance")
+			}
+			budget := 20000
+			min, minimal := minimizeFormula(ins.F, pred, &budget)
+			if min == nil {
+				t.Fatal("minimizer lost the reproduction")
+			}
+			if !pred(min) {
+				t.Fatal("minimized formula no longer reproduces the rejection")
+			}
+			if !minimal {
+				t.Fatalf("minimizer reported non-minimal result with %d budget left", budget)
+			}
+			if min.NumClauses() >= ins.F.NumClauses() {
+				t.Errorf("no shrink: %d -> %d clauses", ins.F.NumClauses(), min.NumClauses())
+			}
+			// Local minimality, re-verified from outside the minimizer: every
+			// single-clause removal must lose the reproduction.
+			all := make([]int, min.NumClauses())
+			for i := range all {
+				all[i] = i
+			}
+			for i := range all {
+				sub, err := min.SubFormula(append(append([]int(nil), all[:i]...), all[i+1:]...))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if pred(sub) {
+					t.Errorf("not locally minimal: clause %d is removable", i)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,336 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/cnf"
+	"satcheck/internal/solver"
+)
+
+// Repro describes one minimized reproduction written to the regression corpus.
+type Repro struct {
+	// Kind is the failure kind the repro reproduces.
+	Kind string `json:"kind"`
+	// Inject names the synthetic mutation, when the failure was injected.
+	Inject string `json:"inject,omitempty"`
+	// Round and Instance identify the originating generation round.
+	Round    int    `json:"round"`
+	Instance string `json:"instance"`
+	// Original/Minimized sizes document the shrink.
+	OriginalClauses   int `json:"originalClauses"`
+	MinimizedClauses  int `json:"minimizedClauses"`
+	OriginalLiterals  int `json:"originalLiterals"`
+	MinimizedLiterals int `json:"minimizedLiterals"`
+	// Minimal reports that the result is 1-minimal: removing any single
+	// clause loses the reproduction. False when the shrink budget ran out.
+	Minimal bool `json:"minimal"`
+	// Path is the written CNF file ("" when writing is disabled).
+	Path string `json:"path,omitempty"`
+	// Command is the one-command repro line.
+	Command string `json:"command"`
+}
+
+// minimizeAndWrite shrinks f against pred and writes the result (plus a
+// sidecar describing it) into the regression corpus. pred must hold on f
+// itself; if it does not (a flaky, solver-run-dependent failure), the
+// original instance is written unshrunk so the evidence is kept.
+func (r *round) minimizeAndWrite(fail Failure, f *cnf.Formula, pred func(*cnf.Formula) bool, inject string) *Repro {
+	budget := r.cfg.MinimizeBudget
+	min, minimal := minimizeFormula(f, pred, &budget)
+	if min == nil {
+		min = f
+		minimal = false
+	}
+	repro := &Repro{
+		Kind: fail.Kind, Inject: inject, Round: fail.Round, Instance: fail.Instance,
+		OriginalClauses: f.NumClauses(), MinimizedClauses: min.NumClauses(),
+		OriginalLiterals: f.NumLiterals(), MinimizedLiterals: min.NumLiterals(),
+		Minimal: minimal,
+	}
+	repro.Command = "go run ./cmd/zfuzz -repro <file>"
+	if r.cfg.RegressionDir != "-" {
+		if path, err := r.writeRepro(fail, min, inject); err != nil {
+			r.rep.failures = append(r.rep.failures, Failure{
+				Kind: "harness-error", Round: fail.Round, Instance: fail.Instance,
+				Detail: fmt.Sprintf("write repro: %v", err),
+			})
+		} else {
+			repro.Path = path
+			repro.Command = reproCommand(path, inject)
+			fmt.Fprintf(r.cfg.Log, "repro written: %s\n  %s\n", path, repro.Command)
+		}
+	}
+	return repro
+}
+
+// reproCommand is the one-command line that replays a written repro.
+func reproCommand(path, inject string) string {
+	cmd := "go run ./cmd/zfuzz -repro " + path
+	if inject != "" {
+		cmd += " -inject " + inject
+	}
+	return cmd
+}
+
+// writeRepro persists the minimized CNF plus a human-readable sidecar.
+func (r *round) writeRepro(fail Failure, min *cnf.Formula, inject string) (string, error) {
+	if err := os.MkdirAll(r.cfg.RegressionDir, 0o755); err != nil {
+		return "", err
+	}
+	slug := fail.Kind
+	if inject != "" {
+		slug += "-" + inject
+	}
+	base := fmt.Sprintf("r%04d-%s", fail.Round, sanitizeSlug(slug))
+	path := filepath.Join(r.cfg.RegressionDir, base+".cnf")
+	for n := 2; ; n++ { // same round can hit several failures of one kind
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			break
+		}
+		path = filepath.Join(r.cfg.RegressionDir, fmt.Sprintf("%s-%d.cnf", base, n))
+	}
+	if err := cnf.WriteDimacsFile(path, min); err != nil {
+		return "", err
+	}
+	side := strings.TrimSuffix(path, ".cnf") + ".txt"
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "zfuzz minimized reproduction\n")
+	fmt.Fprintf(&sb, "kind:     %s\n", fail.Kind)
+	if inject != "" {
+		fmt.Fprintf(&sb, "inject:   %s\n", inject)
+	}
+	fmt.Fprintf(&sb, "instance: %s (round %d)\n", fail.Instance, fail.Round)
+	fmt.Fprintf(&sb, "detail:   %s\n", fail.Detail)
+	fmt.Fprintf(&sb, "reproduce:\n  %s\n", reproCommand(path, inject))
+	if err := os.WriteFile(side, []byte(sb.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+func sanitizeSlug(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '-'
+		}
+	}, s)
+}
+
+// minimizeFormula shrinks f to a smaller formula on which pred still holds:
+// ddmin over clauses, then per-clause literal removal, then variable
+// compaction. budget caps the number of pred evaluations (each one typically
+// runs the solver); on exhaustion the best formula so far is returned.
+//
+// The second return reports 1-minimality at clause granularity: no single
+// clause can be removed without losing the reproduction. It is guaranteed
+// when the budget was not exhausted, because ddmin's terminal granularity is
+// exactly the all-singleton-complements pass.
+func minimizeFormula(f *cnf.Formula, pred func(*cnf.Formula) bool, budget *int) (*cnf.Formula, bool) {
+	test := func(sub *cnf.Formula) bool {
+		if *budget <= 0 {
+			return false
+		}
+		*budget--
+		return pred(sub)
+	}
+	if !test(f) {
+		return nil, false
+	}
+	ids := make([]int, f.NumClauses())
+	for i := range ids {
+		ids[i] = i
+	}
+	testIDs := func(sel []int) bool {
+		sub, err := f.SubFormula(sel)
+		if err != nil {
+			return false
+		}
+		return test(sub)
+	}
+	// Unsat-core seeding: most shrinkable failures are UNSAT-preserving, and
+	// the checker already computes an unsatisfiable core. Starting ddmin from
+	// the core (when the predicate still holds there) skips the expensive
+	// large-subset phase entirely.
+	if core := coreIDs(f); len(core) > 0 && len(core) < len(ids) && testIDs(core) {
+		ids = core
+	}
+	ids = ddmin(ids, testIDs)
+	cur, err := f.SubFormula(ids)
+	if err != nil {
+		return nil, false
+	}
+	// Literal shrinking strengthens clauses, which can make other clauses
+	// redundant — so clause sweeping and literal shrinking must alternate to
+	// a joint fixpoint before the result is 1-minimal at clause granularity.
+	for {
+		var removed, shrunk bool
+		cur, removed = sweepClauses(cur, test)
+		cur, shrunk = shrinkLiterals(cur, test)
+		if !removed && !shrunk {
+			break
+		}
+	}
+	minimal := *budget > 0
+	if compact := compactVars(cur); compact.NumVars < cur.NumVars && test(compact) {
+		cur = compact
+	}
+	return cur, minimal
+}
+
+// coreIDs solves f and returns the depth-first checker's unsatisfiable core,
+// or nil when f is not (provably) UNSAT within the shrink-time budget.
+func coreIDs(f *cnf.Formula) []int {
+	st, _, mt, _, err := solveArtifacts(f, minConflicts)
+	if err != nil || st != solver.StatusUnsat {
+		return nil
+	}
+	res, err := checker.DepthFirst(f, mt, checker.Options{})
+	if err != nil {
+		return nil
+	}
+	return res.CoreClauses
+}
+
+// ddmin is Zeller–Hildebrandt delta debugging over the id slice: try chunks,
+// then chunk complements, doubling granularity until single-element chunks.
+func ddmin(cur []int, test func([]int) bool) []int {
+	n := 2
+	for len(cur) >= 2 {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for i := 0; i < len(cur) && !reduced; i += chunk {
+			end := i + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			if end-i < len(cur) && test(cur[i:end]) {
+				cur = append([]int(nil), cur[i:end]...)
+				n, reduced = 2, true
+			}
+		}
+		if !reduced && n > 2 {
+			for i := 0; i < len(cur) && !reduced; i += chunk {
+				end := i + chunk
+				if end > len(cur) {
+					end = len(cur)
+				}
+				comp := make([]int, 0, len(cur)-(end-i))
+				comp = append(comp, cur[:i]...)
+				comp = append(comp, cur[end:]...)
+				if len(comp) > 0 && test(comp) {
+					cur = comp
+					if n > 2 {
+						n--
+					}
+					reduced = true
+				}
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			if n *= 2; n > len(cur) {
+				n = len(cur)
+			}
+		}
+	}
+	return cur
+}
+
+// singletonSweep removes elements one at a time until a fixpoint, making the
+// selection 1-minimal even when ddmin's loop was cut short by the budget.
+func singletonSweep(ids *[]int, test func([]int) bool) {
+	cur := *ids
+	for changed := true; changed && len(cur) >= 2; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			comp := make([]int, 0, len(cur)-1)
+			comp = append(comp, cur[:i]...)
+			comp = append(comp, cur[i+1:]...)
+			if test(comp) {
+				cur, changed = comp, true
+				i--
+			}
+		}
+	}
+	*ids = cur
+}
+
+// sweepClauses removes single clauses while pred still holds, iterating to a
+// fixpoint. It reports whether anything was removed.
+func sweepClauses(f *cnf.Formula, test func(*cnf.Formula) bool) (*cnf.Formula, bool) {
+	cur, any := f, false
+	for changed := true; changed && cur.NumClauses() >= 2; {
+		changed = false
+		for i := 0; i < cur.NumClauses(); i++ {
+			keep := make([]int, 0, cur.NumClauses()-1)
+			for j := 0; j < cur.NumClauses(); j++ {
+				if j != i {
+					keep = append(keep, j)
+				}
+			}
+			sub, err := cur.SubFormula(keep)
+			if err != nil {
+				return cur, any
+			}
+			if test(sub) {
+				cur, changed, any = sub, true, true
+				i--
+			}
+		}
+	}
+	return cur, any
+}
+
+// shrinkLiterals drops single literals from clauses while pred still holds
+// (dropping a literal strengthens a clause, so UNSAT-preserving shrinks are
+// common), iterating to a fixpoint. It reports whether anything was dropped.
+func shrinkLiterals(f *cnf.Formula, test func(*cnf.Formula) bool) (*cnf.Formula, bool) {
+	cur, any := f, false
+	for changed := true; changed; {
+		changed = false
+		for ci := 0; ci < cur.NumClauses(); ci++ {
+			for li := 0; li < len(cur.Clauses[ci]) && len(cur.Clauses[ci]) > 1; li++ {
+				cand := cur.Clone()
+				c := cand.Clauses[ci]
+				cand.Clauses[ci] = append(c[:li:li], c[li+1:]...)
+				if test(cand) {
+					cur, changed, any = cand, true, true
+					li--
+				}
+			}
+		}
+	}
+	return cur, any
+}
+
+// compactVars renumbers variables densely in order of first occurrence, so a
+// minimized repro over, say, vars {3, 41, 57} is written over vars {1, 2, 3}.
+func compactVars(f *cnf.Formula) *cnf.Formula {
+	mapping := make([]cnf.Var, f.NumVars+1)
+	var next cnf.Var
+	out := cnf.NewFormula(0)
+	for _, c := range f.Clauses {
+		nc := make(cnf.Clause, len(c))
+		for i, l := range c {
+			v := l.Var()
+			if mapping[v] == 0 {
+				next++
+				mapping[v] = next
+			}
+			nc[i] = cnf.NewLit(mapping[v], l.IsNeg())
+		}
+		out.Add(nc)
+	}
+	return out
+}

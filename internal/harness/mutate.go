@@ -1,0 +1,338 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/cnf"
+	"satcheck/internal/drat"
+	"satcheck/internal/faults"
+	"satcheck/internal/gen"
+	"satcheck/internal/solver"
+	"satcheck/internal/trace"
+)
+
+// injectionSeeds is how many injection sites are tried per mutation before
+// declaring it inapplicable to this trace.
+const injectionSeeds = 3
+
+// testMutations runs the full mutation-escape battery over one verified
+// UNSAT run: native-trace mutants against all four resolution checkers,
+// DRAT mutants against both clausal modes, LRAT mutants against the
+// hint-following verifier with a DRAT cross-check on acceptance.
+func (r *round) testMutations(ins gen.Instance, mt *trace.MemoryTrace, dratASCII []byte) {
+	r.testNativeMutants(ins, mt)
+	if proof, err := drat.Load(drat.BytesSource(dratASCII)); err == nil {
+		r.testClausalMutants(ins, proof)
+	}
+	r.testLRATMutants(ins, mt)
+}
+
+// nativeAccepts runs every native checker over one trace and reports which
+// accepted it.
+func nativeAccepts(f *cnf.Formula, src trace.Source) map[string]bool {
+	accepts := make(map[string]bool, len(nativeMethods))
+	for _, m := range nativeMethods {
+		_, err := methodCheck(m, f, src, checker.Options{})
+		accepts[m] = err == nil
+	}
+	return accepts
+}
+
+// nativeViolation evaluates the rejection contracts for one native mutant.
+// The checkers validate nested portions of the trace — breadth-first builds
+// every clause, hybrid/parallel build the marked cone (a superset of what
+// depth-first's recursion touches, since the mark phase conservatively keeps
+// all level-0 antecedents) — so acceptance propagates down the nesting:
+//
+//   - hybrid and parallel check the identical marked set, so they must agree
+//     exactly;
+//   - breadth-first acceptance implies hybrid acceptance, and hybrid
+//     acceptance implies depth-first acceptance (the converses do not hold:
+//     corruption outside a checker's portion is invisible to it by design);
+//   - structural corruptions (MustReject) break invariants every checker
+//     validates on the whole stream, so all four must reject.
+//
+// It returns a non-empty description when a contract is violated.
+func nativeViolation(m faults.Mutation, acc map[string]bool) string {
+	df, bf, hy, pa := acc["depth-first"], acc["breadth-first"], acc["hybrid"], acc["parallel"]
+	switch {
+	case hy != pa:
+		return fmt.Sprintf("hybrid and parallel disagree on mutant %s: hybrid=%v parallel=%v", m.Name, hy, pa)
+	case bf && !hy:
+		return fmt.Sprintf("breadth-first accepted mutant %s that hybrid rejects", m.Name)
+	case hy && !df:
+		return fmt.Sprintf("hybrid accepted mutant %s that depth-first rejects", m.Name)
+	case m.MustReject && (df || bf || hy || pa):
+		return fmt.Sprintf("structural mutant %s accepted: df=%v bf=%v hybrid=%v parallel=%v", m.Name, df, bf, hy, pa)
+	}
+	return ""
+}
+
+func (r *round) testNativeMutants(ins gen.Instance, mt *trace.MemoryTrace) {
+	f := ins.F
+	for _, m := range faults.All() {
+		var mut *trace.MemoryTrace
+		seed := int64(-1)
+		for s := int64(0); s < injectionSeeds; s++ {
+			if b, ok := faults.Inject(m, mt, s); ok {
+				mut, seed = b, s
+				break
+			}
+		}
+		if mut == nil {
+			// Inapplicable mutations are counted as skipped, never as
+			// rejected: a "checkers reject every mutant" claim must not be
+			// inflated by mutants that were never produced.
+			r.rep.native.Skipped++
+			continue
+		}
+		r.rep.native.Tried++
+		acc := nativeAccepts(f, mut)
+		if v := nativeViolation(m, acc); v != "" {
+			kind := "cross-checker-disagreement"
+			if m.MustReject {
+				kind = "mutation-escape"
+			}
+			r.fail(kind, ins.Name, v, f, r.predNativeViolation(m, seed))
+		}
+		if acc["breadth-first"] {
+			r.rep.native.Benign++ // weakening-only corruption: proof still valid
+		} else {
+			r.rep.native.Rejected++
+		}
+	}
+}
+
+// predNativeViolation reproduces a native-mutant contract violation on a
+// sub-formula (same mutation, same injection seed).
+func (r *round) predNativeViolation(m faults.Mutation, seed int64) func(*cnf.Formula) bool {
+	return func(sub *cnf.Formula) bool {
+		st, _, mt, _, err := solveArtifacts(sub, minConflicts)
+		if err != nil || st != solver.StatusUnsat {
+			return false
+		}
+		mut, ok := faults.Inject(m, mt, seed)
+		if !ok {
+			return false
+		}
+		return nativeViolation(m, nativeAccepts(sub, mut)) != ""
+	}
+}
+
+func (r *round) testClausalMutants(ins gen.Instance, proof *drat.Proof) {
+	f := ins.F
+	for _, m := range faults.ClausalAll() {
+		var mut *drat.Proof
+		seed := int64(-1)
+		for s := int64(0); s < injectionSeeds; s++ {
+			if p, ok := faults.InjectClausal(m, proof, s); ok {
+				mut, seed = p, s
+				break
+			}
+		}
+		if mut == nil {
+			r.rep.clausal.Skipped++
+			continue
+		}
+		r.rep.clausal.Tried++
+		fwdOK, bwdOK := clausalAccepts(f, mut)
+		// Forward checking validates every addition up to the refutation;
+		// backward checking only the lemmas in the refutation's cone. A
+		// forward acceptance therefore implies a backward acceptance — the
+		// reverse implication does not hold for corruption outside the cone.
+		if fwdOK && !bwdOK {
+			r.fail("cross-checker-disagreement", ins.Name,
+				fmt.Sprintf("backward DRAT rejected mutant %s that forward checking fully validated", m.Name),
+				f, r.predClausalViolation(m, seed))
+		}
+		if fwdOK {
+			r.rep.clausal.Benign++
+		} else {
+			r.rep.clausal.Rejected++
+		}
+	}
+}
+
+func clausalAccepts(f *cnf.Formula, p *drat.Proof) (fwdOK, bwdOK bool) {
+	b := stepsToBytes(p.Steps, false)
+	_, fwdErr := drat.Check(f, drat.BytesSource(b), drat.Forward, checker.Options{})
+	_, bwdErr := drat.Check(f, drat.BytesSource(b), drat.Backward, checker.Options{})
+	return fwdErr == nil, bwdErr == nil
+}
+
+func (r *round) predClausalViolation(m faults.ClausalMutation, seed int64) func(*cnf.Formula) bool {
+	return func(sub *cnf.Formula) bool {
+		st, _, _, proofBytes, err := solveArtifacts(sub, minConflicts)
+		if err != nil || st != solver.StatusUnsat {
+			return false
+		}
+		proof, err := drat.Load(drat.BytesSource(proofBytes))
+		if err != nil {
+			return false
+		}
+		mut, ok := faults.InjectClausal(m, proof, seed)
+		if !ok {
+			return false
+		}
+		fwdOK, bwdOK := clausalAccepts(sub, mut)
+		return fwdOK && !bwdOK
+	}
+}
+
+func (r *round) testLRATMutants(ins gen.Instance, mt *trace.MemoryTrace) {
+	f := ins.F
+	var lb bytes.Buffer
+	if _, err := drat.TraceToLRAT(f, mt, &lb, checker.Options{}); err != nil {
+		return // already reported by the matrix pass
+	}
+	lp, err := drat.LoadLRAT(drat.BytesSource(lb.Bytes()))
+	if err != nil {
+		r.fail("harness-error", ins.Name, fmt.Sprintf("re-parse own LRAT emission: %v", err), nil, nil)
+		return
+	}
+	for _, m := range faults.LRATAll() {
+		var mut *drat.LRATProof
+		for s := int64(0); s < injectionSeeds; s++ {
+			if p, ok := faults.InjectLRAT(m, lp, s); ok {
+				mut = p
+				break
+			}
+		}
+		if mut == nil {
+			r.rep.lrat.Skipped++
+			continue
+		}
+		r.rep.lrat.Tried++
+		if _, err := drat.CheckLRAT(f, drat.BytesSource(lratBytes(mut)), checker.Options{}); err != nil {
+			r.rep.lrat.Rejected++
+			continue
+		}
+		// Accepted: the hint corruption left a proof the verifier still
+		// follows to a refutation. Then its clause additions must form a
+		// valid derivation on their own — the DRAT checker rediscovers the
+		// propagations without trusting the hints. A failure here means the
+		// LRAT verifier was steered by bogus hints: an escape.
+		steps := make([]drat.Step, 0, len(mut.Lines))
+		for _, ln := range mut.Lines {
+			if ln.Del {
+				continue
+			}
+			steps = append(steps, drat.Step{Lits: append([]cnf.Lit(nil), ln.Lits...)})
+		}
+		if _, err := drat.Check(f, drat.BytesSource(stepsToBytes(steps, false)), drat.Forward, checker.Options{}); err != nil {
+			r.fail("mutation-escape", ins.Name,
+				fmt.Sprintf("LRAT verifier accepted mutant %s whose clause sequence fails the DRAT check: %v", m.Name, err),
+				f, nil)
+		} else {
+			r.rep.lrat.Benign++
+		}
+	}
+}
+
+// lratBytes serializes a parsed LRAT proof back to its ASCII form.
+func lratBytes(p *drat.LRATProof) []byte {
+	var buf bytes.Buffer
+	_ = drat.WriteLines(&buf, p.Lines)
+	return buf.Bytes()
+}
+
+// --- inject mode -------------------------------------------------------------
+
+// runInjectRound generates a planted-core instance, injects the configured
+// mutation as a synthetic solver bug, verifies the checkers reject it, and —
+// for the first rejection of the run — drives the minimizer off that
+// rejection to produce a shrunken repro.
+func (r *round) runInjectRound(done *atomic.Bool) {
+	ins := plantedInstance(r.rng)
+	r.rep.instances++
+	if !r.injectOnce(ins) {
+		r.rep.unknown++
+		return
+	}
+	r.rep.unsat++
+	if !done.CompareAndSwap(false, true) {
+		return // another round already produced the repro
+	}
+	inject := r.cfg.Inject
+	pred := func(sub *cnf.Formula) bool { return injectRejected(sub, inject, minConflicts) }
+	fail := Failure{
+		Kind: "injected-fault", Round: r.idx, Instance: ins.Name,
+		Detail: fmt.Sprintf("synthetic fault %q rejected by the checkers (expected); minimizing", inject),
+	}
+	if repro := r.minimizeAndWrite(fail, ins.F, pred, inject); repro != nil {
+		r.rep.synthetic = append(r.rep.synthetic, *repro)
+		fmt.Fprintf(r.cfg.Log, "inject %s: minimized %d→%d clauses (%.0f%%), repro at %s\n",
+			inject, repro.OriginalClauses, repro.MinimizedClauses,
+			100*float64(repro.MinimizedClauses)/float64(repro.OriginalClauses), repro.Path)
+	}
+}
+
+// injectOnce reports whether the configured mutation, injected into a fresh
+// solve of the instance, is rejected by the matching checker.
+func (r *round) injectOnce(ins gen.Instance) bool {
+	return injectRejected(ins.F, r.cfg.Inject, r.cfg.MaxConflicts)
+}
+
+// injectRejected solves f, injects the named mutation into the matching
+// proof artifact, and reports whether the corrupted proof was rejected.
+// Injection sites are retried over several seeds: weakening mutations can
+// leave a still-valid proof at one site and corrupt another.
+func injectRejected(f *cnf.Formula, name string, maxConflicts int64) bool {
+	st, _, mt, dratASCII, err := solveArtifacts(f, maxConflicts)
+	if err != nil || st != solver.StatusUnsat {
+		return false
+	}
+	const seeds = 8
+	if m, err := faults.ByName(name); err == nil {
+		for s := int64(0); s < seeds; s++ {
+			mut, ok := faults.Inject(m, mt, s)
+			if !ok {
+				continue
+			}
+			if _, cerr := checker.BreadthFirst(f, mut, checker.Options{}); cerr != nil {
+				return true
+			}
+		}
+		return false
+	}
+	if m, err := faults.ClausalByName(name); err == nil {
+		proof, perr := drat.Load(drat.BytesSource(dratASCII))
+		if perr != nil {
+			return false
+		}
+		for s := int64(0); s < seeds; s++ {
+			mut, ok := faults.InjectClausal(m, proof, s)
+			if !ok {
+				continue
+			}
+			if _, cerr := drat.Check(f, drat.BytesSource(stepsToBytes(mut.Steps, false)), drat.Forward, checker.Options{}); cerr != nil {
+				return true
+			}
+		}
+		return false
+	}
+	if m, err := faults.LRATByName(name); err == nil {
+		var lb bytes.Buffer
+		if _, berr := drat.TraceToLRAT(f, mt, &lb, checker.Options{}); berr != nil {
+			return false
+		}
+		lp, perr := drat.LoadLRAT(drat.BytesSource(lb.Bytes()))
+		if perr != nil {
+			return false
+		}
+		for s := int64(0); s < seeds; s++ {
+			mut, ok := faults.InjectLRAT(m, lp, s)
+			if !ok {
+				continue
+			}
+			if _, cerr := drat.CheckLRAT(f, drat.BytesSource(lratBytes(mut)), checker.Options{}); cerr != nil {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,575 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/cnf"
+	"satcheck/internal/dp"
+	"satcheck/internal/drat"
+	"satcheck/internal/faults"
+	"satcheck/internal/gen"
+	"satcheck/internal/solver"
+	"satcheck/internal/testutil"
+	"satcheck/internal/trace"
+)
+
+// roundReport accumulates what one round exercised and found.
+type roundReport struct {
+	instances, sat, unsat, unknown int
+	dpCompared, bruteCompared      int
+	cells                          map[string]int
+	native, clausal, lrat          MutationStats
+	failures                       []Failure
+	synthetic                      []Repro // inject-mode repros (not failures)
+}
+
+// pendingFailure is a detected violation awaiting minimization.
+type pendingFailure struct {
+	Failure
+	f    *cnf.Formula
+	pred func(*cnf.Formula) bool // reproduces the violation; nil = not shrinkable
+}
+
+// round is the per-round state.
+type round struct {
+	cfg     Config
+	idx     int
+	rng     *rand.Rand
+	rep     *roundReport
+	pending []pendingFailure
+}
+
+// runRound generates one instance and drives it through the full oracle
+// pipeline. The done flag is set once inject mode has produced its repro, so
+// sibling workers can stop early.
+func runRound(cfg Config, idx int, done *atomic.Bool) *roundReport {
+	r := &round{
+		cfg: cfg,
+		idx: idx,
+		// Mix the seed and round so per-round streams are independent but
+		// fully determined by (Seed, idx), not by worker scheduling.
+		rng: rand.New(rand.NewSource(cfg.Seed*0x9E3779B1 + int64(idx))),
+		rep: &roundReport{cells: map[string]int{}},
+	}
+	if cfg.Inject != "" {
+		r.runInjectRound(done)
+	} else {
+		ins := instanceForRound(r.rng)
+		r.runInstance(ins)
+	}
+	r.finalize()
+	return r.rep
+}
+
+// runRepro replays one saved regression file through the pipeline.
+func runRepro(cfg Config) *roundReport {
+	r := &round{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), rep: &roundReport{cells: map[string]int{}}}
+	f, err := cnf.ParseDimacsFile(cfg.ReproFile)
+	if err != nil {
+		r.fail("harness-error", cfg.ReproFile, fmt.Sprintf("parse repro: %v", err), nil, nil)
+		r.finalize()
+		return r.rep
+	}
+	ins := gen.Instance{Name: cfg.ReproFile, Domain: "regression", F: f}
+	if cfg.Inject != "" {
+		// Replay the synthetic fault against the saved instance: the repro
+		// holds iff the injected mutant is still rejected.
+		r.rep.instances++
+		if !r.injectOnce(ins) {
+			r.fail("harness-error", ins.Name,
+				fmt.Sprintf("repro did not reproduce: mutation %q no longer applies or is no longer rejected", cfg.Inject), nil, nil)
+		} else {
+			fmt.Fprintf(cfg.Log, "repro %s: mutation %q still rejected (reproduces)\n", cfg.ReproFile, cfg.Inject)
+		}
+	} else {
+		r.runInstance(ins)
+	}
+	r.finalize()
+	return r.rep
+}
+
+// fail records a violation. pred, when non-nil, re-establishes the violation
+// on a sub-formula and drives the minimizer.
+func (r *round) fail(kind, instance, detail string, f *cnf.Formula, pred func(*cnf.Formula) bool) {
+	r.pending = append(r.pending, pendingFailure{
+		Failure: Failure{Kind: kind, Round: r.idx, Instance: instance, Detail: detail},
+		f:       f,
+		pred:    pred,
+	})
+}
+
+// finalize minimizes and records every pending failure.
+func (r *round) finalize() {
+	for _, p := range r.pending {
+		if p.f != nil && p.pred != nil {
+			p.Failure.Repro = r.minimizeAndWrite(p.Failure, p.f, p.pred, "")
+		}
+		r.rep.failures = append(r.rep.failures, p.Failure)
+	}
+	r.pending = nil
+}
+
+// instanceForRound picks this round's instance: mostly random k-SAT near the
+// 3-SAT phase transition (a mix of SAT and UNSAT outcomes), the rest small
+// members of the structured generator families so every proof shape the
+// paper's evaluation exercises shows up under fuzzing too.
+func instanceForRound(rng *rand.Rand) gen.Instance {
+	switch rng.Intn(12) {
+	case 0:
+		return gen.Pigeonhole(4 + rng.Intn(2))
+	case 1:
+		return gen.TseitinCharge(8+2*rng.Intn(3), rng.Int63())
+	case 2:
+		return gen.CECAdder(4 + rng.Intn(4))
+	case 3:
+		return gen.CECParity(6 + rng.Intn(5))
+	case 4:
+		// BMCCounter requires steps+1 < 2^bits.
+		return gen.BMCCounter(4+rng.Intn(2), 6+rng.Intn(6))
+	case 5:
+		return gen.BMCShiftRegister(4+rng.Intn(3), 6+rng.Intn(4))
+	case 6:
+		return gen.Scheduling(8+rng.Intn(6), 3+rng.Intn(2), 6+rng.Intn(8), rng.Int63())
+	case 7:
+		return gen.FPGARouting(8+rng.Intn(6), 3+rng.Intn(2), 6+rng.Intn(4), rng.Int63())
+	case 8:
+		return plantedInstance(rng)
+	default:
+		nv := 12 + rng.Intn(16)
+		ratio := 3.8 + rng.Float64() // 3.8 .. 4.8, straddling ~4.27
+		return gen.RandomKSAT(nv, 3, ratio, rng.Int63())
+	}
+}
+
+// plantedInstance hides a small provably-UNSAT core (a pigeonhole formula on
+// fresh variables) inside a sea of satisfiable random padding, with the
+// clauses shuffled together. The minimal repro of any UNSAT-preserving
+// failure is the planted core — a small fraction of the instance — which is
+// exactly the shape the ddmin minimizer must recover.
+func plantedInstance(rng *rand.Rand) gen.Instance {
+	pad := gen.RandomKSAT(50+rng.Intn(20), 3, 3.0+0.4*rng.Float64(), rng.Int63())
+	core := gen.Pigeonhole(3 + rng.Intn(2))
+	off := pad.F.NumVars
+	f := cnf.NewFormula(off + core.F.NumVars)
+	clauses := make([]cnf.Clause, 0, pad.F.NumClauses()+core.F.NumClauses())
+	for _, c := range pad.F.Clauses {
+		clauses = append(clauses, c.Clone())
+	}
+	for _, c := range core.F.Clauses {
+		shifted := make(cnf.Clause, len(c))
+		for i, l := range c {
+			shifted[i] = cnf.NewLit(l.Var()+cnf.Var(off), l.IsNeg())
+		}
+		clauses = append(clauses, shifted)
+	}
+	rng.Shuffle(len(clauses), func(i, j int) { clauses[i], clauses[j] = clauses[j], clauses[i] })
+	for _, c := range clauses {
+		f.Add(c)
+	}
+	return gen.Instance{
+		Name:        fmt.Sprintf("planted-%s-in-%s", core.Name, pad.Name),
+		Domain:      "planted core",
+		F:           f,
+		ExpectUnsat: true,
+	}
+}
+
+// solveArtifacts runs the instrumented CDCL solver once, recording both the
+// native resolution trace and the ASCII DRUP proof.
+func solveArtifacts(f *cnf.Formula, maxConflicts int64) (solver.Status, cnf.Model, *trace.MemoryTrace, []byte, error) {
+	s, err := solver.New(f, solver.Options{MaxConflicts: maxConflicts})
+	if err != nil {
+		return solver.StatusUnknown, nil, nil, nil, err
+	}
+	mt := &trace.MemoryTrace{}
+	s.SetTrace(mt)
+	var proofBuf bytes.Buffer
+	dw := drat.NewWriter(&proofBuf)
+	s.SetProofSink(dw)
+	st, err := s.Solve()
+	if err != nil {
+		return st, nil, nil, nil, err
+	}
+	return st, s.Model(), mt, proofBuf.Bytes(), nil
+}
+
+// runInstance drives one instance through verdict cross-checking and, on
+// UNSAT, the full checker×format matrix plus mutation testing.
+func (r *round) runInstance(ins gen.Instance) {
+	r.rep.instances++
+	f := ins.F
+	st, model, mt, dratASCII, err := solveArtifacts(f, r.cfg.MaxConflicts)
+	if err != nil {
+		r.fail("harness-error", ins.Name, fmt.Sprintf("solver: %v", err), nil, nil)
+		return
+	}
+	if st == solver.StatusUnknown {
+		r.rep.unknown++
+		return
+	}
+
+	r.crossCheckVerdict(ins, st, model)
+
+	switch st {
+	case solver.StatusSat:
+		r.rep.sat++
+		if bad, ok := cnf.VerifyModel(f, model); !ok {
+			r.fail("model-invalid", ins.Name,
+				fmt.Sprintf("CDCL model fails clause %d", bad), f, nil)
+		}
+	case solver.StatusUnsat:
+		r.rep.unsat++
+		if ok := r.checkMatrix(ins, mt, dratASCII); ok {
+			r.testMutations(ins, mt, dratASCII)
+		}
+	}
+}
+
+// crossCheckVerdict compares the CDCL verdict against the DP reference
+// procedure and, on small instances, a brute-force oracle.
+// dpBudget bounds the DP reference so one pathological random instance
+// (where elimination stays under the clause cap but the per-step work
+// explodes) cannot stall a fuzzing round; over-budget runs are skipped, not
+// failed — the paper's point is precisely that DP is often infeasible.
+var dpBudget = dp.Options{MaxClauses: 100000, MaxResolutions: 500000}
+
+func (r *round) crossCheckVerdict(ins gen.Instance, st solver.Status, model cnf.Model) {
+	f := ins.F
+	if f.NumVars <= 13 {
+		r.rep.bruteCompared++
+		sat, _ := testutil.BruteForceSat(f)
+		want := solver.StatusSat
+		if !sat {
+			want = solver.StatusUnsat
+		}
+		if st != want {
+			r.fail("verdict-disagreement", ins.Name,
+				fmt.Sprintf("CDCL says %v, brute force says %v", st, want), f,
+				r.predBruteDisagrees())
+			return
+		}
+	}
+	if f.NumClauses() > 700 || f.NumVars > 160 {
+		return // DP's space blowup makes the reference impractical here
+	}
+	d, err := dp.New(f, dpBudget)
+	if err != nil {
+		r.fail("harness-error", ins.Name, fmt.Sprintf("dp.New: %v", err), nil, nil)
+		return
+	}
+	dpSt, dpModel, err := d.Solve()
+	if err != nil {
+		if errors.Is(err, dp.ErrSpace) || errors.Is(err, dp.ErrBudget) {
+			return // no verdict to compare
+		}
+		r.fail("harness-error", ins.Name, fmt.Sprintf("dp.Solve: %v", err), nil, nil)
+		return
+	}
+	r.rep.dpCompared++
+	if dpSt != st {
+		r.fail("verdict-disagreement", ins.Name,
+			fmt.Sprintf("CDCL says %v, DP says %v", st, dpSt), f, r.predDPDisagrees())
+		return
+	}
+	if dpSt == solver.StatusSat {
+		if bad, ok := cnf.VerifyModel(f, dpModel); !ok {
+			r.fail("model-invalid", ins.Name,
+				fmt.Sprintf("DP model fails clause %d", bad), f, nil)
+		}
+	}
+
+	// When DP proves UNSAT it derived the empty clause by resolution; its
+	// trace must satisfy the same independent checker (the checker is
+	// solver-agnostic — dp package docs, purpose 2).
+	if dpSt == solver.StatusUnsat && ins.F.NumClauses() <= 400 {
+		d2, err := dp.New(f, dpBudget)
+		if err != nil {
+			return
+		}
+		dpTrace := &trace.MemoryTrace{}
+		d2.SetTrace(dpTrace)
+		if st2, _, err := d2.Solve(); err == nil && st2 == solver.StatusUnsat {
+			if _, err := checker.Hybrid(f, dpTrace, checker.Options{}); err != nil {
+				r.fail("valid-proof-rejected", ins.Name,
+					fmt.Sprintf("hybrid rejected DP's resolution trace: %v", err), f, nil)
+			} else {
+				r.cell("dp-trace/hybrid")
+			}
+		}
+	}
+}
+
+func (r *round) cell(name string) { r.rep.cells[name]++ }
+
+// methodCheck runs one native checker by name.
+func methodCheck(m string, f *cnf.Formula, src trace.Source, opts checker.Options) (*checker.Result, error) {
+	switch m {
+	case "depth-first":
+		return checker.DepthFirst(f, src, opts)
+	case "breadth-first":
+		return checker.BreadthFirst(f, src, opts)
+	case "hybrid":
+		return checker.Hybrid(f, src, opts)
+	case "parallel":
+		opts.Parallelism = 2
+		return checker.Parallel(f, src, opts)
+	}
+	panic("harness: unknown method " + m)
+}
+
+var nativeMethods = []string{"depth-first", "breadth-first", "hybrid", "parallel"}
+
+// checkMatrix fans a verified-UNSAT run through every checker×format cell.
+// It returns false when the proof artifacts themselves are broken (mutation
+// testing would then only re-report the same failure).
+func (r *round) checkMatrix(ins gen.Instance, mt *trace.MemoryTrace, dratASCII []byte) bool {
+	f := ins.F
+	ok := true
+	results := map[string]*checker.Result{}
+	for _, m := range nativeMethods {
+		res, err := methodCheck(m, f, mt, checker.Options{})
+		if err != nil {
+			r.fail("valid-proof-rejected", ins.Name,
+				fmt.Sprintf("native %s rejected a valid trace: %v", m, err), f,
+				r.predValidTraceRejected(m))
+			ok = false
+			continue
+		}
+		results[m] = res
+		r.cell("native/" + m)
+	}
+
+	// Unsat-core invariants: hybrid's mark phase conservatively includes every
+	// level-0 antecedent, so its core is a superset of depth-first's (which
+	// discovers what the final derivation actually touches — hybrid.go doc);
+	// hybrid and parallel walk the identical reachable set, so their cores
+	// must match exactly; and the parallel checker's schedule-dependent peak
+	// must stay within its deterministic bound.
+	if df, hy := results["depth-first"], results["hybrid"]; df != nil && hy != nil {
+		if !subsetInts(df.CoreClauses, hy.CoreClauses) {
+			r.fail("core-mismatch", ins.Name,
+				fmt.Sprintf("depth-first core (%d clauses) not a subset of hybrid core (%d clauses)",
+					len(df.CoreClauses), len(hy.CoreClauses)), f, nil)
+			ok = false
+		}
+	}
+	if hy, pa := results["hybrid"], results["parallel"]; hy != nil && pa != nil {
+		if !equalInts(hy.CoreClauses, pa.CoreClauses) {
+			r.fail("core-mismatch", ins.Name,
+				fmt.Sprintf("hybrid core (%d clauses) != parallel core (%d clauses)",
+					len(hy.CoreClauses), len(pa.CoreClauses)), f, nil)
+			ok = false
+		}
+		if pa.PeakMemBoundWords > 0 && pa.PeakMemWords > pa.PeakMemBoundWords {
+			r.fail("peak-mem-bound-violated", ins.Name,
+				fmt.Sprintf("parallel peak %d words exceeds bound %d", pa.PeakMemWords, pa.PeakMemBoundWords), f, nil)
+			ok = false
+		}
+	}
+
+	// Clausal formats: ASCII DRAT forward/backward, the binary re-encoding
+	// of the same proof, and LRAT obtained from both bridges.
+	proof, err := drat.Load(drat.BytesSource(dratASCII))
+	if err != nil {
+		r.fail("harness-error", ins.Name, fmt.Sprintf("parse own DRAT proof: %v", err), nil, nil)
+		return false
+	}
+	encodings := []struct {
+		label string
+		bytes []byte
+	}{
+		{"drat-ascii", dratASCII},
+		{"drat-binary", stepsToBytes(proof.Steps, true)},
+	}
+	for _, enc := range encodings {
+		for _, mode := range []drat.Mode{drat.Forward, drat.Backward} {
+			if _, err := drat.Check(f, drat.BytesSource(enc.bytes), mode, checker.Options{}); err != nil {
+				r.fail("valid-proof-rejected", ins.Name,
+					fmt.Sprintf("%s %v rejected a valid DRUP proof: %v", enc.label, mode, err), f,
+					r.predValidDRATRejected(mode))
+				ok = false
+				continue
+			}
+			r.cell(fmt.Sprintf("%s/%v", enc.label, mode))
+		}
+	}
+
+	var lratBuf bytes.Buffer
+	if _, err := drat.TraceToLRAT(f, mt, &lratBuf, checker.Options{}); err != nil {
+		r.fail("valid-proof-rejected", ins.Name,
+			fmt.Sprintf("trace→LRAT bridge rejected a valid trace: %v", err), f, nil)
+		ok = false
+	} else if _, err := drat.CheckLRAT(f, drat.BytesSource(lratBuf.Bytes()), checker.Options{}); err != nil {
+		r.fail("valid-proof-rejected", ins.Name,
+			fmt.Sprintf("LRAT checker rejected the trace bridge's own emission: %v", err), f, nil)
+		ok = false
+	} else {
+		r.cell("lrat/from-trace")
+	}
+
+	var lratBuf2 bytes.Buffer
+	if _, err := drat.DRATToLRAT(f, drat.BytesSource(dratASCII), &lratBuf2, checker.Options{}); err != nil {
+		r.fail("valid-proof-rejected", ins.Name,
+			fmt.Sprintf("DRAT→LRAT bridge rejected a valid DRUP proof: %v", err), f, nil)
+		ok = false
+	} else if _, err := drat.CheckLRAT(f, drat.BytesSource(lratBuf2.Bytes()), checker.Options{}); err != nil {
+		r.fail("valid-proof-rejected", ins.Name,
+			fmt.Sprintf("LRAT checker rejected the DRAT bridge's own emission: %v", err), f, nil)
+		ok = false
+	} else {
+		r.cell("lrat/from-drat")
+	}
+	return ok
+}
+
+// stepsToBytes re-encodes proof steps in the chosen DRAT encoding.
+func stepsToBytes(steps []drat.Step, binary bool) []byte {
+	var buf bytes.Buffer
+	var w *drat.Writer
+	if binary {
+		w = drat.NewBinaryWriter(&buf)
+	} else {
+		w = drat.NewWriter(&buf)
+	}
+	for _, st := range steps {
+		if st.Del {
+			_ = w.Del(st.Lits)
+		} else {
+			_ = w.Add(st.Lits)
+		}
+	}
+	_ = w.Close()
+	return buf.Bytes()
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// subsetInts reports whether every element of a appears in b; both slices are
+// ascending (checker cores are emitted in clause-ID order).
+func subsetInts(a, b []int) bool {
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j >= len(b) || b[j] != x {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// --- minimization predicates -------------------------------------------------
+
+// minConflicts is the tighter solver budget used inside ddmin predicates.
+const minConflicts = 50000
+
+// predBruteDisagrees reproduces a CDCL-vs-brute-force verdict disagreement.
+func (r *round) predBruteDisagrees() func(*cnf.Formula) bool {
+	max := r.cfg.MaxConflicts
+	return func(sub *cnf.Formula) bool {
+		if sub.NumVars > 13 {
+			return false
+		}
+		st, _, _, _, err := solveArtifacts(sub, max)
+		if err != nil || st == solver.StatusUnknown {
+			return false
+		}
+		sat, _ := testutil.BruteForceSat(sub)
+		return (st == solver.StatusSat) != sat
+	}
+}
+
+// predDPDisagrees reproduces a CDCL-vs-DP verdict disagreement.
+func (r *round) predDPDisagrees() func(*cnf.Formula) bool {
+	return func(sub *cnf.Formula) bool {
+		st, _, _, _, err := solveArtifacts(sub, minConflicts)
+		if err != nil || st == solver.StatusUnknown {
+			return false
+		}
+		d, err := dp.New(sub, dpBudget)
+		if err != nil {
+			return false
+		}
+		dpSt, _, err := d.Solve()
+		if err != nil {
+			return false
+		}
+		return dpSt != st
+	}
+}
+
+// predValidTraceRejected reproduces "checker rejects the solver's own trace".
+func (r *round) predValidTraceRejected(method string) func(*cnf.Formula) bool {
+	return func(sub *cnf.Formula) bool {
+		st, _, mt, _, err := solveArtifacts(sub, minConflicts)
+		if err != nil || st != solver.StatusUnsat {
+			return false
+		}
+		_, cerr := methodCheck(method, sub, mt, checker.Options{})
+		return cerr != nil
+	}
+}
+
+// predValidDRATRejected reproduces "DRAT checker rejects the solver's own
+// DRUP proof".
+func (r *round) predValidDRATRejected(mode drat.Mode) func(*cnf.Formula) bool {
+	return func(sub *cnf.Formula) bool {
+		st, _, _, proof, err := solveArtifacts(sub, minConflicts)
+		if err != nil || st != solver.StatusUnsat {
+			return false
+		}
+		_, cerr := drat.Check(sub, drat.BytesSource(proof), mode, checker.Options{})
+		return cerr != nil
+	}
+}
+
+// validateInject resolves an -inject mutation name across the three
+// catalogues.
+func validateInject(name string) error {
+	if name == "" {
+		return nil
+	}
+	if _, err := faults.ByName(name); err == nil {
+		return nil
+	}
+	if _, err := faults.ClausalByName(name); err == nil {
+		return nil
+	}
+	if _, err := faults.LRATByName(name); err == nil {
+		return nil
+	}
+	return fmt.Errorf("harness: unknown mutation %q (not a native, drat-, or lrat- mutation)", name)
+}
+
+// InjectableMutations lists every mutation name -inject accepts, across the
+// native, DRAT, and LRAT catalogues.
+func InjectableMutations() []string {
+	var names []string
+	for _, m := range faults.All() {
+		names = append(names, m.Name)
+	}
+	for _, m := range faults.ClausalAll() {
+		names = append(names, m.Name)
+	}
+	for _, m := range faults.LRATAll() {
+		names = append(names, m.Name)
+	}
+	return names
+}

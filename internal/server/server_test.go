@@ -146,6 +146,9 @@ func TestCheckRejectsFaultInjectedTraces(t *testing.T) {
 		for seed := int64(0); seed < 4; seed++ {
 			bad, ok := faults.Inject(m, mt, seed)
 			if !ok {
+				// Not applicable at this seed: say so rather than letting the
+				// skip masquerade as a rejection in the totals below.
+				t.Logf("fault %s: seed %d not applicable, skipped", m.Name, seed)
 				continue
 			}
 			applied++
@@ -482,9 +485,13 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if bad, ok := faults.Inject(m, mt, int64(i)); ok {
-			payloads[i].corrupt = traceToASCII(t, bad)
+		bad, ok := faults.Inject(m, mt, int64(i))
+		if !ok {
+			// truncated-trace applies to any non-empty trace; a skip here
+			// would silently drop the corrupt payload from the stress mix.
+			t.Fatalf("truncated-trace did not apply to %s", ins.Name)
 		}
+		payloads[i].corrupt = traceToASCII(t, bad)
 	}
 
 	_, ts := newTestServer(t, Config{Workers: 4, QueueSize: 128})

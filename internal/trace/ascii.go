@@ -72,12 +72,20 @@ func (aw *ASCIIWriter) writeInt(v int) {
 	aw.err = err
 }
 
-// Learned implements Sink.
+// Learned implements Sink. Sources must satisfy 0 <= s < id, the structural
+// rule shared by every trace codec (the binary format delta-encodes sources
+// against the learned ID and cannot represent anything else).
 func (aw *ASCIIWriter) Learned(id int, sources []int) error {
 	aw.begin()
 	aw.writeString("L ")
 	aw.writeInt(id)
 	for _, s := range sources {
+		if s >= id || s < 0 {
+			if aw.err == nil {
+				aw.err = fmt.Errorf("trace: learned clause %d has out-of-order source %d", id, s)
+			}
+			return aw.err
+		}
 		aw.writeByte(' ')
 		aw.writeInt(s)
 	}
@@ -173,6 +181,15 @@ func (ar *asciiReader) Next() (Event, error) {
 			vals, ok := ints(fields[1:])
 			if !ok || len(vals) < 2 {
 				return bad()
+			}
+			// Same structural rule as the binary codec and trace.Load: a
+			// learned clause only resolves from clauses that precede it. The
+			// fuzzer's parser-agreement target found the ASCII decoder
+			// accepting streams the binary encoder cannot represent.
+			for _, s := range vals[1:] {
+				if s < 0 || s >= vals[0] {
+					return Event{}, fmt.Errorf("trace: line %d: learned clause %d has out-of-order source %d", ar.lineNo, vals[0], s)
+				}
 			}
 			return Event{Kind: KindLearned, ID: vals[0], Sources: vals[1:]}, nil
 		case "V":
