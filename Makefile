@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-all experiments examples fuzz zfuzz zfuzz-soak clean
+.PHONY: all build test vet lint race bench bench-table3 bench-all experiments examples fuzz zfuzz zfuzz-soak clean
 
 all: build vet test
 
@@ -12,6 +12,16 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet always; staticcheck only when installed (CI
+# installs it — see .github/workflows/ci.yml — but it is not a local
+# prerequisite, the toolchain stays the only one).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go vet ran)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -33,6 +43,15 @@ outputs:
 bench:
 	$(GO) test . -run TestNone -bench 'BenchmarkTable[12]' -benchmem -count=3 -cpu 4 \
 		| $(GO) run ./cmd/benchjson -o BENCH_table2.json
+
+# Record the Table 3 core-iteration family plus the incremental-subsystem
+# ablation (scratch vs persistent session, core iteration and BMC) as
+# BENCH_table3.json; see EXPERIMENTS.md for the recorded numbers.
+# (No -cpu pin: the family is sequential — unlike the Table 2 parallel
+# checker — and oversubscribing small machines distorts the comparison.)
+bench-table3:
+	$(GO) test . -run TestNone -bench 'BenchmarkTable3' -benchmem -count=3 \
+		| $(GO) run ./cmd/benchjson -o BENCH_table3.json
 
 # Every benchmark in the repository, one sample, no recording.
 bench-all:

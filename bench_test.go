@@ -8,7 +8,9 @@
 //	Table 2   -> BenchmarkTable2DepthFirst / BreadthFirst (+ Hybrid, the
 //	             paper's proposed future work, and Parallel, its
 //	             DAG-scheduled concurrent variant)
-//	Table 3   -> BenchmarkTable3CoreIteration
+//	Table 3   -> BenchmarkTable3CoreIteration (+ Table3Incremental /
+//	             Table3IncrementalBMC, the scratch-vs-session ablation of
+//	             the incremental subsystem)
 //	§4 remark -> BenchmarkTraceEncodingASCII / Binary (+ parse side)
 //	Ablations -> BenchmarkAblation* (solver features from DESIGN.md §4)
 package satcheck_test
@@ -20,9 +22,12 @@ import (
 	"testing"
 
 	"satcheck"
+	"satcheck/internal/bmc"
+	"satcheck/internal/circuit"
 	"satcheck/internal/core"
 	"satcheck/internal/dp"
 	"satcheck/internal/gen"
+	"satcheck/internal/incremental"
 	"satcheck/internal/interp"
 	"satcheck/internal/proofstat"
 	"satcheck/internal/solver"
@@ -229,6 +234,92 @@ func BenchmarkTable3CoreIteration(b *testing.B) {
 			b.ReportMetric(float64(last.NumClauses), "coreClauses")
 			b.ReportMetric(float64(res.Iterations), "iterations")
 		})
+	}
+}
+
+// BenchmarkTable3Incremental compares the Table 3 fixed-point core iteration
+// run from scratch each round (solve→check→extract on a fresh solver per
+// iteration) against one persistent selector-guarded session whose learned
+// clauses survive across iterations. Same instances as
+// BenchmarkTable3CoreIteration; the scratch/session ratio is the recorded
+// incremental ablation. Both paths validate every UNSAT answer through a
+// native checker.
+func BenchmarkTable3Incremental(b *testing.B) {
+	instances := []gen.Instance{
+		gen.FPGARouting(24, 6, 16, 11),
+		gen.Scheduling(24, 6, 30, 7),
+		gen.Pigeonhole(5),
+	}
+	for _, ins := range instances {
+		ins := ins
+		b.Run(ins.Name+"/scratch", func(b *testing.B) {
+			var res *core.IterateResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = core.Iterate(ins.F, 30, solver.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Iterations), "iterations")
+		})
+		b.Run(ins.Name+"/session", func(b *testing.B) {
+			var res *core.IterateResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = core.IterateIncremental(ins.F, 30, incremental.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Iterations), "iterations")
+		})
+	}
+}
+
+// BenchmarkTable3IncrementalBMC compares bound-by-bound model checking from
+// scratch (re-encode and re-solve every unrolling) against the incremental
+// session (frames extended in place, per-bound properties assumed via
+// activation literals, learned clauses shared across bounds). The counter's
+// bad state first becomes reachable at the last bound, so the run crosses
+// many validated UNSAT answers before the terminal SAT; the shifter is UNSAT
+// at every bound.
+func BenchmarkTable3IncrementalBMC(b *testing.B) {
+	cases := []struct {
+		name     string
+		seq      *circuit.Sequential
+		maxBound int
+	}{
+		// Deep unrolling: scratch re-encodes a growing prefix at every bound
+		// (quadratic total frames), the session extends it once (linear).
+		{"bmc-counter-6b", gen.BMCCounterSequential(6, 30), 30},
+		// Shallow unrolling: frames are cheap to rebuild, so the session's
+		// per-answer validation overhead is visible — the honest lower end
+		// of the ablation.
+		{"bmc-shift-4w", gen.BMCShiftRegisterSequential(4), 10},
+	}
+	for _, tc := range cases {
+		tc := tc
+		for _, mode := range []struct {
+			name string
+			opts bmc.Options
+		}{
+			{"scratch", bmc.Options{}},
+			{"session", bmc.Options{Incremental: true}},
+		} {
+			mode := mode
+			b.Run(tc.name+"/"+mode.name, func(b *testing.B) {
+				var results []*bmc.BoundResult
+				for i := 0; i < b.N; i++ {
+					var err error
+					results, err = bmc.Run(tc.seq, tc.maxBound, mode.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(len(results)), "bounds")
+			})
+		}
 	}
 }
 

@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	zcore [-iters 30] [-out core.cnf] formula.cnf
+//	zcore [-iters 30] [-incremental] [-mus] [-out core.cnf] formula.cnf
+//
+// -incremental runs the iteration on one persistent solver session (learned
+// clauses carry over between rounds) instead of re-solving each core from
+// scratch. -mus continues past the fixed point to a minimal unsatisfiable
+// subformula using the session-based deletion extractor; every intermediate
+// answer is independently validated.
 //
 // Exit status: 0 on success, 3 when the formula is satisfiable, 1 on error.
 package main
@@ -19,6 +25,7 @@ import (
 	"satcheck"
 	"satcheck/internal/cnf"
 	"satcheck/internal/core"
+	"satcheck/internal/incremental"
 )
 
 func main() {
@@ -29,7 +36,8 @@ func run() int {
 	iters := flag.Int("iters", 30, "maximum solve→check→extract iterations (paper: 30)")
 	out := flag.String("out", "", "write the final core as DIMACS to this file")
 	verbose := flag.Bool("v", false, "print per-iteration sizes")
-	mus := flag.Bool("mus", false, "continue past the fixed point to a minimal unsatisfiable subformula (deletion-based; one solve per clause)")
+	mus := flag.Bool("mus", false, "continue past the fixed point to a minimal unsatisfiable subformula (session-based deletion; one solver call per clause)")
+	incr := flag.Bool("incremental", false, "iterate on one persistent solver session instead of re-solving from scratch")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: zcore [flags] formula.cnf")
@@ -43,7 +51,12 @@ func run() int {
 		return 1
 	}
 
-	res, err := satcheck.IterateCore(f, *iters, satcheck.SolverOptions{})
+	var res *satcheck.CoreIteration
+	if *incr {
+		res, err = core.IterateIncremental(f, *iters, incremental.Options{})
+	} else {
+		res, err = satcheck.IterateCore(f, *iters, satcheck.SolverOptions{})
+	}
 	if err != nil {
 		if errors.Is(err, core.ErrSatisfiable) {
 			fmt.Println("formula is SATISFIABLE; no unsatisfiable core exists")
@@ -71,7 +84,7 @@ func run() int {
 	}
 	final := res.Core
 	if *mus {
-		ext, stat, err := core.Minimal(f, satcheck.SolverOptions{})
+		ext, stat, err := core.MinimalIncremental(f, incremental.Options{})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "zcore:", err)
 			return 1

@@ -6,13 +6,22 @@
 //
 //	zsat [-trace out.trace] [-format ascii|binary] [-drup out.drup]
 //	     [-model] [-stats] formula.cnf
+//	zsat -incremental [-assume "l1 l2 ..."]... [-model] [-stats] formula.cnf
 //
 // -drup additionally records a clausal DRUP proof (checkable by
 // `zverify -format drat`), independent of the native trace: a run may record
 // either, both, or neither. A ".gz" suffix gzips the proof.
 //
+// -incremental solves the formula on one persistent session, once per -assume
+// flag (once with no assumptions when the flag is absent), reusing learned
+// clauses across calls. Every answer is independently validated: UNSAT proofs
+// replay through the depth-first checker (printed as "c validated"), SAT
+// models are checked against every clause and assumption. UNSAT calls print
+// the failed-assumption core on a "c core" line.
+//
 // Exit status follows the SAT-competition convention: 10 satisfiable,
-// 20 unsatisfiable, 1 error or unknown.
+// 20 unsatisfiable, 1 error or unknown (for -incremental: the last call's
+// answer).
 package main
 
 import (
@@ -21,14 +30,26 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"satcheck/internal/cnf"
 	"satcheck/internal/drat"
+	"satcheck/internal/incremental"
 	"satcheck/internal/solver"
 	"satcheck/internal/trace"
 	"satcheck/internal/walksat"
 )
+
+// assumeList collects repeated -assume flags.
+type assumeList []string
+
+func (a *assumeList) String() string { return strings.Join(*a, "; ") }
+
+func (a *assumeList) Set(v string) error {
+	*a = append(*a, v)
+	return nil
+}
 
 func main() {
 	os.Exit(run())
@@ -45,6 +66,9 @@ func run() int {
 	maxConflicts := flag.Int64("max-conflicts", 0, "abort after this many conflicts (0 = none)")
 	local := flag.Bool("local", false, "use WalkSAT local search instead of CDCL (incomplete: answers SAT or UNKNOWN, never UNSAT)")
 	seed := flag.Int64("seed", 1, "random seed for -local")
+	incr := flag.Bool("incremental", false, "solve on one validated persistent session, once per -assume flag")
+	var assumes assumeList
+	flag.Var(&assumes, "assume", "assumption literals for one incremental call, space-separated DIMACS (repeatable; implies -incremental)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: zsat [flags] formula.cnf")
@@ -56,6 +80,14 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "zsat:", err)
 		return 1
+	}
+
+	if *incr || len(assumes) > 0 {
+		if *local || *tracePath != "" || *drupPath != "" {
+			fmt.Fprintln(os.Stderr, "zsat: -incremental cannot be combined with -local, -trace, or -drup")
+			return 1
+		}
+		return runIncremental(f, assumes, *maxConflicts, *showModel, *showStats)
 	}
 
 	if *local {
@@ -184,6 +216,94 @@ func run() int {
 	default:
 		return 1
 	}
+}
+
+// runIncremental solves f on one validated session, once per assumption set
+// (once with no assumptions when none are given). Each call prints its own
+// "s" answer and per-call "c call" stats line; a final "c total" line reports
+// the cumulative counters. The exit status reflects the last call.
+func runIncremental(f *cnf.Formula, assumes assumeList, maxConflicts int64, showModel, showStats bool) int {
+	sess := incremental.NewSession(incremental.Options{
+		Solver: solver.Options{MaxConflicts: maxConflicts},
+	})
+	if err := sess.AddFormula(f); err != nil {
+		fmt.Fprintln(os.Stderr, "zsat:", err)
+		return 1
+	}
+	sets := make([][]cnf.Lit, 0, len(assumes))
+	if len(assumes) == 0 {
+		sets = append(sets, nil)
+	}
+	for _, spec := range assumes {
+		lits, err := parseAssumptions(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zsat:", err)
+			return 1
+		}
+		sets = append(sets, lits)
+	}
+
+	code := 1
+	for i, lits := range sets {
+		if len(sets) > 1 || len(lits) > 0 {
+			fmt.Printf("c call %d assuming:%s\n", i+1, dimacsString(lits))
+		}
+		st, err := sess.SolveAssuming(lits)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zsat:", err)
+			return 1
+		}
+		fmt.Printf("s %s\n", st)
+		switch st {
+		case solver.StatusSat:
+			code = 10
+			if showModel {
+				printModel(f, sess.Model())
+			}
+		case solver.StatusUnsat:
+			code = 20
+			fmt.Printf("c core:%s 0\n", dimacsString(sess.Core()))
+			if res := sess.CheckResult(); res != nil {
+				fmt.Printf("c validated method=depth-first core-clauses=%d\n", len(res.CoreClauses))
+			}
+		default:
+			code = 1
+		}
+		if showStats {
+			printStatsLine(fmt.Sprintf("call %d", i+1), sess.LastStats())
+		}
+	}
+	if showStats {
+		printStatsLine("total", sess.Stats())
+	}
+	return code
+}
+
+// parseAssumptions reads space-separated DIMACS literals.
+func parseAssumptions(spec string) ([]cnf.Lit, error) {
+	fields := strings.Fields(spec)
+	lits := make([]cnf.Lit, 0, len(fields))
+	for _, fld := range fields {
+		d, err := strconv.Atoi(fld)
+		if err != nil || d == 0 {
+			return nil, fmt.Errorf("zsat: bad assumption literal %q", fld)
+		}
+		lits = append(lits, cnf.LitFromDimacs(d))
+	}
+	return lits, nil
+}
+
+func dimacsString(lits []cnf.Lit) string {
+	var b strings.Builder
+	for _, l := range lits {
+		fmt.Fprintf(&b, " %d", l.Dimacs())
+	}
+	return b.String()
+}
+
+func printStatsLine(label string, st solver.Stats) {
+	fmt.Printf("c %s decisions=%d propagations=%d conflicts=%d learned=%d deleted=%d restarts=%d\n",
+		label, st.Decisions, st.Propagations, st.Conflicts, st.Learned, st.Deleted, st.Restarts)
 }
 
 func printModel(f *cnf.Formula, m cnf.Model) {

@@ -15,6 +15,7 @@ import (
 
 	"satcheck/internal/checker"
 	"satcheck/internal/circuit"
+	"satcheck/internal/incremental"
 	"satcheck/internal/solver"
 	"satcheck/internal/trace"
 )
@@ -41,6 +42,14 @@ type BoundResult struct {
 // Options configures a run.
 type Options struct {
 	Solver solver.Options
+	// Incremental makes Run reuse one persistent solver session across
+	// bounds (see RunIncremental) instead of re-encoding and re-solving each
+	// bound from scratch. Off by default.
+	Incremental bool
+	// Check selects the native checker validating UNSAT bounds in
+	// incremental mode (default depth-first); the from-scratch path always
+	// uses the breadth-first checker.
+	Check incremental.CheckMethod
 }
 
 // CheckBound verifies the property at exactly the given bound.
@@ -98,8 +107,12 @@ func CheckBound(seq *circuit.Sequential, bound int, opts Options) (*BoundResult,
 }
 
 // Run checks bounds 1..maxBound in order, stopping early at the first
-// violation. Every returned result is validated.
+// violation. Every returned result is validated. With Options.Incremental it
+// delegates to RunIncremental.
 func Run(seq *circuit.Sequential, maxBound int, opts Options) ([]*BoundResult, error) {
+	if opts.Incremental {
+		return RunIncremental(seq, maxBound, opts)
+	}
 	if maxBound < 1 {
 		return nil, fmt.Errorf("bmc: maxBound must be >= 1, got %d", maxBound)
 	}

@@ -1,0 +1,228 @@
+package bmc
+
+import (
+	"fmt"
+
+	"satcheck/internal/circuit"
+	"satcheck/internal/cnf"
+	"satcheck/internal/incremental"
+	"satcheck/internal/solver"
+)
+
+// RunIncremental is Run on one persistent validated solver session. Unrolling
+// is prefix-stable — Unroll(k+1) extends Unroll(k)'s gate list with one more
+// time frame — so each bound only encodes the new frame's gates into the
+// session and the learned clauses of earlier bounds carry over. The standard
+// one-shot encoding cannot be reused this way because it numbers XOR auxiliary
+// variables after the gate block, which shifts between bounds; sessionEncoder
+// instead allocates every variable (gate and auxiliary alike) from the
+// session's allocator in encoding order, so bound k's variables keep their
+// meaning at bound k+1.
+//
+// The per-bound property "some bad net of frames 0..k fires" is strictly
+// stronger than the next bound's, so it cannot be a permanent clause. Each
+// bound instead gets an activation literal a_k with the guard clause
+// (¬a_k ∨ b_0 ∨ ... ∨ b_k) and is solved under the single assumption a_k;
+// later bounds leave a_k unassumed, which lets the solver switch the guard
+// off. UNSAT bounds are proof-checked through the session (the assumption
+// enters the artifact as a unit clause); SAT bounds are validated by
+// simulating the unrolled circuit on the extracted counterexample inputs,
+// exactly as in the from-scratch path.
+func RunIncremental(seq *circuit.Sequential, maxBound int, opts Options) ([]*BoundResult, error) {
+	if maxBound < 1 {
+		return nil, fmt.Errorf("bmc: maxBound must be >= 1, got %d", maxBound)
+	}
+	enc := newSessionEncoder(incremental.Options{Solver: opts.Solver, Check: opts.Check})
+	var out []*BoundResult
+	for k := 1; k <= maxBound; k++ {
+		unrolled, bads, err := seq.Unroll(k)
+		if err != nil {
+			return out, err
+		}
+		if err := enc.extend(unrolled); err != nil {
+			return out, err
+		}
+		act, err := enc.addGuard(bads)
+		if err != nil {
+			return out, err
+		}
+		st, err := enc.sess.SolveAssuming([]cnf.Lit{act})
+		if err != nil {
+			return out, fmt.Errorf("bmc: bound %d: %w", k, err)
+		}
+		res := &BoundResult{Bound: k, SolverStats: enc.sess.LastStats()}
+		switch st {
+		case solver.StatusUnsat:
+			res.Holds = true
+			res.CheckResult = enc.sess.CheckResult()
+		case solver.StatusSat:
+			inputs := enc.extractInputs(unrolled, enc.sess.Model())
+			vals, err := unrolled.Eval(inputs)
+			if err != nil {
+				return out, err
+			}
+			step := -1
+			for i, b := range bads {
+				if vals[b-1] {
+					step = i
+					break
+				}
+			}
+			if step < 0 {
+				return out, fmt.Errorf("bmc: bound %d: SAT claim but simulation reaches no bad state", k)
+			}
+			res.Holds = false
+			res.ViolationStep = step
+			res.Inputs = inputs
+		default:
+			return out, fmt.Errorf("bmc: bound %d: solver returned %v", k, st)
+		}
+		out = append(out, res)
+		if !res.Holds {
+			break
+		}
+	}
+	return out, nil
+}
+
+// sessionEncoder incrementally Tseitin-encodes a growing circuit into a
+// validated session.
+type sessionEncoder struct {
+	sess *incremental.Session
+	// vars[i] is the session variable of unrolled Signal i+1 (grows with the
+	// circuit).
+	vars []cnf.Var
+	// encoded is how many gates of the unrolled circuit have clauses already.
+	encoded int
+	// lastKind is the kind of the last encoded gate, kept to spot-check that
+	// the next bound's unrolling really extends the previous one.
+	lastKind circuit.Kind
+}
+
+func newSessionEncoder(opts incremental.Options) *sessionEncoder {
+	return &sessionEncoder{sess: incremental.NewSession(opts)}
+}
+
+func (e *sessionEncoder) lit(s circuit.Signal, value bool) cnf.Lit {
+	return cnf.NewLit(e.vars[s-1], !value)
+}
+
+func (e *sessionEncoder) add(lits ...cnf.Lit) error {
+	return e.sess.AddClause(cnf.Clause(lits))
+}
+
+// extend encodes gates [e.encoded, len(u.Gates)) of u, which must extend the
+// previously encoded circuit (unrolling guarantees this; the gate kinds of
+// the shared prefix are spot-checked).
+func (e *sessionEncoder) extend(u *circuit.Circuit) error {
+	if len(u.Gates) < e.encoded {
+		return fmt.Errorf("bmc: unrolled circuit shrank from %d to %d gates", e.encoded, len(u.Gates))
+	}
+	if e.encoded > 0 && u.Gates[e.encoded-1].Kind != e.lastKind {
+		return fmt.Errorf("bmc: unrolling is not prefix-stable at gate %d", e.encoded)
+	}
+	for i := e.encoded; i < len(u.Gates); i++ {
+		g := u.Gates[i]
+		e.vars = append(e.vars, e.sess.NewVar())
+		out := cnf.PosLit(e.vars[i])
+		var err error
+		switch g.Kind {
+		case circuit.KindInput:
+			// Free variable: no clauses.
+		case circuit.KindConst:
+			if g.Value {
+				err = e.add(out)
+			} else {
+				err = e.add(out.Neg())
+			}
+		case circuit.KindNot:
+			a := cnf.PosLit(e.vars[g.In[0]-1])
+			if err = e.add(out.Neg(), a.Neg()); err == nil {
+				err = e.add(out, a)
+			}
+		case circuit.KindAnd:
+			long := make([]cnf.Lit, 0, len(g.In)+1)
+			long = append(long, out)
+			for _, in := range g.In {
+				a := cnf.PosLit(e.vars[in-1])
+				if err = e.add(out.Neg(), a); err != nil {
+					break
+				}
+				long = append(long, a.Neg())
+			}
+			if err == nil {
+				err = e.add(long...)
+			}
+		case circuit.KindOr:
+			long := make([]cnf.Lit, 0, len(g.In)+1)
+			long = append(long, out.Neg())
+			for _, in := range g.In {
+				a := cnf.PosLit(e.vars[in-1])
+				if err = e.add(out, a.Neg()); err != nil {
+					break
+				}
+				long = append(long, a)
+			}
+			if err == nil {
+				err = e.add(long...)
+			}
+		case circuit.KindXor:
+			// Chained through fresh auxiliaries, as in circuit.Encode — but
+			// the auxiliaries come from the session allocator, interleaved
+			// with gate variables, so the numbering is stable across bounds.
+			cur := cnf.PosLit(e.vars[g.In[0]-1])
+			for k := 1; k < len(g.In); k++ {
+				a := cnf.PosLit(e.vars[g.In[k]-1])
+				t := out
+				if k != len(g.In)-1 {
+					t = cnf.PosLit(e.sess.NewVar())
+				}
+				if err = e.add(t.Neg(), cur, a); err != nil {
+					break
+				}
+				if err = e.add(t.Neg(), cur.Neg(), a.Neg()); err != nil {
+					break
+				}
+				if err = e.add(t, cur.Neg(), a); err != nil {
+					break
+				}
+				if err = e.add(t, cur, a.Neg()); err != nil {
+					break
+				}
+				cur = t
+			}
+		default:
+			err = fmt.Errorf("bmc: cannot encode gate kind %v", g.Kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if len(u.Gates) > 0 {
+		e.lastKind = u.Gates[len(u.Gates)-1].Kind
+	}
+	e.encoded = len(u.Gates)
+	return nil
+}
+
+// addGuard adds the activation clause (¬a ∨ b_0 ∨ ... ∨ b_k) for this bound's
+// bad nets and returns the assumption literal a.
+func (e *sessionEncoder) addGuard(bads []circuit.Signal) (cnf.Lit, error) {
+	act := cnf.PosLit(e.sess.NewVar())
+	cl := make(cnf.Clause, 0, len(bads)+1)
+	cl = append(cl, act.Neg())
+	for _, b := range bads {
+		cl = append(cl, e.lit(b, true))
+	}
+	return act, e.sess.AddClause(cl)
+}
+
+// extractInputs reads the counterexample input vector in the unrolled
+// circuit's declaration order.
+func (e *sessionEncoder) extractInputs(u *circuit.Circuit, m cnf.Model) []bool {
+	out := make([]bool, len(u.Inputs))
+	for i, s := range u.Inputs {
+		out[i] = m.Value(e.vars[s-1]) == cnf.True
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package bmc
+
+import (
+	"testing"
+
+	"satcheck/internal/circuit"
+	"satcheck/internal/gen"
+)
+
+func TestUnrollIsPrefixStable(t *testing.T) {
+	// The incremental encoder relies on Unroll(k+1) extending Unroll(k)'s
+	// gate list verbatim; pin that contract here.
+	seq := counter(4, 9)
+	prev, _, err := seq.Unroll(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 2; k <= 5; k++ {
+		cur, _, err := seq.Unroll(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cur.Gates) <= len(prev.Gates) {
+			t.Fatalf("bound %d: gate list did not grow", k)
+		}
+		for i, g := range prev.Gates {
+			got := cur.Gates[i]
+			if got.Kind != g.Kind || len(got.In) != len(g.In) {
+				t.Fatalf("bound %d: gate %d changed shape", k, i)
+			}
+			for j := range g.In {
+				if got.In[j] != g.In[j] {
+					t.Fatalf("bound %d: gate %d fanin %d changed", k, i, j)
+				}
+			}
+		}
+		for i, s := range prev.Inputs {
+			if cur.Inputs[i] != s {
+				t.Fatalf("bound %d: input %d changed", k, i)
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestRunIncrementalFindsExactViolationBound(t *testing.T) {
+	seq := counter(4, 5)
+	results, err := Run(seq, 10, Options{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("got %d bounds, want 5 (stop at first violation)", len(results))
+	}
+	for _, r := range results[:4] {
+		if !r.Holds {
+			t.Errorf("bound %d: property should hold", r.Bound)
+		}
+		if r.CheckResult == nil {
+			t.Errorf("bound %d: holding bound must carry a validated proof", r.Bound)
+		}
+	}
+	last := results[4]
+	if last.Holds {
+		t.Fatal("bound 5: violation not found")
+	}
+	if last.ViolationStep != 5 {
+		t.Errorf("violation at step %d, want 5", last.ViolationStep)
+	}
+	if last.Inputs == nil {
+		t.Error("violated bound must carry the counterexample inputs")
+	}
+}
+
+func TestRunIncrementalAgreesWithScratch(t *testing.T) {
+	// Same verdict at every bound, on a holding instance and a violated one,
+	// including the XOR-heavy shift-register family.
+	seqs := []*circuit.Sequential{
+		counter(4, 9), // holds through 6
+		counter(3, 3), // violated at 3
+		gen.BMCShiftRegisterSequential(4),
+	}
+	for si, seq := range seqs {
+		scratch, err := Run(seq, 6, Options{})
+		if err != nil {
+			t.Fatalf("seq %d scratch: %v", si, err)
+		}
+		inc, err := Run(seq, 6, Options{Incremental: true})
+		if err != nil {
+			t.Fatalf("seq %d incremental: %v", si, err)
+		}
+		if len(scratch) != len(inc) {
+			t.Fatalf("seq %d: scratch checked %d bounds, incremental %d", si, len(scratch), len(inc))
+		}
+		for i := range scratch {
+			if scratch[i].Holds != inc[i].Holds {
+				t.Errorf("seq %d bound %d: scratch holds=%v, incremental holds=%v",
+					si, scratch[i].Bound, scratch[i].Holds, inc[i].Holds)
+			}
+			if !inc[i].Holds && scratch[i].ViolationStep != inc[i].ViolationStep {
+				t.Errorf("seq %d bound %d: violation step %d vs %d",
+					si, scratch[i].Bound, scratch[i].ViolationStep, inc[i].ViolationStep)
+			}
+		}
+	}
+}
+
+func TestRunIncrementalValidation(t *testing.T) {
+	seq := counter(3, 2)
+	if _, err := RunIncremental(seq, 0, Options{}); err == nil {
+		t.Error("maxBound 0 accepted")
+	}
+	noBad := &circuit.Sequential{Comb: circuit.New()}
+	if _, err := RunIncremental(noBad, 3, Options{}); err == nil {
+		t.Error("sequential circuit without a bad net accepted")
+	}
+}

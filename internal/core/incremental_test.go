@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"satcheck/internal/cnf"
+	"satcheck/internal/gen"
+	"satcheck/internal/incremental"
+	"satcheck/internal/solver"
+	"satcheck/internal/testutil"
+)
+
+func TestIterateIncrementalOnSatisfiable(t *testing.T) {
+	f := cnf.NewFormula(2)
+	f.AddClause(1, 2)
+	_, err := IterateIncremental(f, 5, incremental.Options{})
+	if !errors.Is(err, ErrSatisfiable) {
+		t.Errorf("err = %v, want ErrSatisfiable", err)
+	}
+}
+
+func TestIterateIncrementalOnBudget(t *testing.T) {
+	ins := gen.Pigeonhole(6)
+	_, err := IterateIncremental(ins.F, 5,
+		incremental.Options{Solver: solver.Options{MaxConflicts: 2}})
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestIterateIncrementalConverges(t *testing.T) {
+	// Same instances as the from-scratch iteration tests: cores must be
+	// unsatisfiable, shrink monotonically, and map to original clause IDs.
+	instances := []gen.Instance{
+		gen.Scheduling(12, 4, 16, 3),
+		gen.Pigeonhole(4),
+		gen.FPGARouting(8, 3, 6, 5),
+	}
+	for _, ins := range instances {
+		t.Run(ins.Name, func(t *testing.T) {
+			res, err := IterateIncremental(ins.F, 30, incremental.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Iterations == 0 || len(res.Stats) != res.Iterations {
+				t.Fatalf("stats/iterations mismatch: %d stats, %d iterations",
+					len(res.Stats), res.Iterations)
+			}
+			prev := ins.F.NumClauses() + 1
+			for _, st := range res.Stats {
+				if st.NumClauses > prev {
+					t.Fatalf("core grew at iteration %d: %d > %d",
+						st.Iteration, st.NumClauses, prev)
+				}
+				prev = st.NumClauses
+			}
+			if len(res.ClauseIDs) != res.Core.NumClauses() {
+				t.Fatal("ClauseIDs and Core disagree")
+			}
+			for i, id := range res.ClauseIDs {
+				if id < 0 || id >= ins.F.NumClauses() {
+					t.Fatalf("clause ID %d out of range", id)
+				}
+				if i > 0 && res.ClauseIDs[i-1] >= id {
+					t.Fatalf("clause IDs not strictly ascending at %d", i)
+				}
+				if res.Core.Clauses[i].String() != ins.F.Clauses[id].String() {
+					t.Fatalf("core clause %d does not match original clause %d", i, id)
+				}
+			}
+			// The final core must itself be unsatisfiable (independent solve).
+			s, err := solver.New(res.Core, solver.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := s.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st != solver.StatusUnsat {
+				t.Fatalf("final core solves %v", st)
+			}
+		})
+	}
+}
+
+func TestIterateIncrementalMatchesScratchFixedPoint(t *testing.T) {
+	// Incremental and from-scratch iteration may take different paths, but
+	// both must land on an unsatisfiable core no larger than the instance,
+	// and on PHP (already minimal) both must keep everything.
+	ins := gen.Pigeonhole(4)
+	scratch, err := Iterate(ins.F, 30, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := IterateIncremental(ins.F, 30, incremental.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scratch.FixedPoint || !inc.FixedPoint {
+		t.Fatalf("fixed point: scratch=%v incremental=%v", scratch.FixedPoint, inc.FixedPoint)
+	}
+	if len(inc.ClauseIDs) != len(scratch.ClauseIDs) {
+		t.Fatalf("PHP core sizes differ: scratch %d, incremental %d",
+			len(scratch.ClauseIDs), len(inc.ClauseIDs))
+	}
+}
+
+func TestMinimalIncrementalIsMUS(t *testing.T) {
+	// Same shape as TestMinimalIsMUS: PHP(4,3) plus a subsumed clause and
+	// satisfiable padding — small enough for the brute-force minimality check.
+	ins := gen.Pigeonhole(3)
+	f := ins.F
+	f.AddClause(1, 2, 3)
+	f.AddClause(f.NumVars+1, f.NumVars+2)
+	ext, stat, err := MinimalIncremental(f, incremental.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.Tested == 0 {
+		t.Error("no deletion candidates tested")
+	}
+	if sat, _ := testutil.BruteForceSat(ext.Core); sat {
+		t.Fatal("MUS is satisfiable")
+	}
+	for drop := range ext.ClauseIDs {
+		rest := make([]int, 0, len(ext.ClauseIDs)-1)
+		rest = append(rest, ext.ClauseIDs[:drop]...)
+		rest = append(rest, ext.ClauseIDs[drop+1:]...)
+		sub, err := f.SubFormula(rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sat, _ := testutil.BruteForceSat(sub); !sat {
+			t.Fatalf("not minimal: still UNSAT without clause %d", ext.ClauseIDs[drop])
+		}
+	}
+	if ext.NumClauses != ins.F.NumClauses()-2 {
+		t.Errorf("MUS has %d clauses, want the %d PHP clauses", ext.NumClauses, ins.F.NumClauses()-2)
+	}
+	if _, _, err := MinimalIncremental(cnf.NewFormula(1), incremental.Options{}); err == nil {
+		t.Fatal("empty formula accepted")
+	}
+}

@@ -143,20 +143,7 @@ func PipelineALU(width int) Instance {
 // unreachable and the CNF is UNSAT — but proving it requires reasoning about
 // every enable pattern, not just propagation (the barrel BMC shape).
 func BMCCounter(bits, steps int) Instance {
-	target := uint64(steps + 1)
-	if bits < 64 && target >= uint64(1)<<uint(bits) {
-		panic("gen: BMCCounter target does not fit the counter width")
-	}
-	comb := circuit.New()
-	q := comb.InputBus("q", bits)
-	en := comb.Input("en")
-	next := comb.AddBit(q, en)
-	bad := comb.EqualBus(q, comb.ConstBus(target, bits))
-	regs := make([]circuit.Register, bits)
-	for i := range regs {
-		regs[i] = circuit.Register{Q: q[i], D: next[i], Init: false}
-	}
-	seq := &circuit.Sequential{Comb: comb, Registers: regs, Bad: bad}
+	seq := BMCCounterSequential(bits, steps+1)
 	unrolled, bads, err := seq.Unroll(steps)
 	if err != nil {
 		panic(fmt.Sprintf("gen: BMCCounter: %v", err))
@@ -179,6 +166,46 @@ func BMCCounter(bits, steps int) Instance {
 // frames; always UNSAT, and the free directions force genuine case
 // reasoning.
 func BMCShiftRegister(width, steps int) Instance {
+	seq := BMCShiftRegisterSequential(width)
+	unrolled, bads, err := seq.Unroll(steps)
+	if err != nil {
+		panic(fmt.Sprintf("gen: BMCShiftRegister: %v", err))
+	}
+	enc := circuit.Encode(unrolled)
+	enc.AssertAny(bads, true)
+	return Instance{
+		Name:        fmt.Sprintf("bmc-shift-%dw-%ds", width, steps),
+		Domain:      "bounded model checking",
+		Analog:      "barrel",
+		F:           enc.F,
+		ExpectUnsat: true,
+	}
+}
+
+// BMCCounterSequential returns the enable-gated counter behind BMCCounter as
+// a sequential circuit with bad state "counter == target", for bound-by-bound
+// (incremental) model checking. The bad state is first reachable at bound
+// `target`, so checking fewer bounds is UNSAT at every one of them.
+func BMCCounterSequential(bits, target int) *circuit.Sequential {
+	if bits < 64 && uint64(target) >= uint64(1)<<uint(bits) {
+		panic("gen: BMCCounterSequential target does not fit the counter width")
+	}
+	comb := circuit.New()
+	q := comb.InputBus("q", bits)
+	en := comb.Input("en")
+	next := comb.AddBit(q, en)
+	bad := comb.EqualBus(q, comb.ConstBus(uint64(target), bits))
+	regs := make([]circuit.Register, bits)
+	for i := range regs {
+		regs[i] = circuit.Register{Q: q[i], D: next[i], Init: false}
+	}
+	return &circuit.Sequential{Comb: comb, Registers: regs, Bad: bad}
+}
+
+// BMCShiftRegisterSequential returns the one-hot ring shifter behind
+// BMCShiftRegister as a sequential circuit (bad state: two adjacent 1s, never
+// reachable), for bound-by-bound (incremental) model checking.
+func BMCShiftRegisterSequential(width int) *circuit.Sequential {
 	comb := circuit.New()
 	q := comb.InputBus("q", width)
 	dir := comb.Input("dir")
@@ -197,20 +224,7 @@ func BMCShiftRegister(width, steps int) Instance {
 	for i := range regs {
 		regs[i] = circuit.Register{Q: q[i], D: next[i], Init: i == 0}
 	}
-	seq := &circuit.Sequential{Comb: comb, Registers: regs, Bad: bad}
-	unrolled, bads, err := seq.Unroll(steps)
-	if err != nil {
-		panic(fmt.Sprintf("gen: BMCShiftRegister: %v", err))
-	}
-	enc := circuit.Encode(unrolled)
-	enc.AssertAny(bads, true)
-	return Instance{
-		Name:        fmt.Sprintf("bmc-shift-%dw-%ds", width, steps),
-		Domain:      "bounded model checking",
-		Analog:      "barrel",
-		F:           enc.F,
-		ExpectUnsat: true,
-	}
+	return &circuit.Sequential{Comb: comb, Registers: regs, Bad: bad}
 }
 
 // exactlyOne adds clauses forcing exactly one of the (1-based DIMACS)

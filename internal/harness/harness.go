@@ -163,6 +163,13 @@ var disagreementKinds = map[string]bool{
 	"valid-proof-rejected":    true,
 	"core-mismatch":           true,
 	"peak-mem-bound-violated": true,
+	// Incremental-vs-scratch differential oracle (oracle_incremental.go):
+	// a session verdict splitting from a from-scratch solve, an assumption
+	// core or MUS violating its subset/unsatisfiability contract, or a
+	// session answer failing its per-call independent validation.
+	"incremental-disagreement":        true,
+	"incremental-core-invalid":        true,
+	"incremental-verification-failed": true,
 }
 
 // Clean reports whether the run found nothing: no escapes, no

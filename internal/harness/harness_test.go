@@ -33,6 +33,7 @@ func TestRunClean(t *testing.T) {
 		"drat-ascii/forward", "drat-ascii/backward",
 		"drat-binary/forward", "drat-binary/backward",
 		"lrat/from-trace", "lrat/from-drat",
+		"incremental/session-call", "incremental/mus",
 	} {
 		if sum.Cells[cell] == 0 {
 			t.Errorf("matrix cell %s never exercised", cell)

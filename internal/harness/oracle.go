@@ -228,6 +228,8 @@ func (r *round) runInstance(ins gen.Instance) {
 			r.testMutations(ins, mt, dratASCII)
 		}
 	}
+
+	r.checkIncremental(ins)
 }
 
 // crossCheckVerdict compares the CDCL verdict against the DP reference

@@ -1,0 +1,219 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+
+	"satcheck/internal/cnf"
+	"satcheck/internal/gen"
+	"satcheck/internal/incremental"
+	"satcheck/internal/solver"
+)
+
+// checkIncremental is the incremental-vs-scratch differential oracle, run on
+// every instance in the normal round matrix. One validated session holds the
+// instance while several random assumption sets are solved on it; for each
+// set the session's verdict must match a from-scratch solve of the formula
+// plus assumption units, an UNSAT answer's assumption core must be a subset
+// of the assumptions that is itself unsatisfiable, and on UNSAT instances the
+// session-based MUS extractor must return a subset of the checker core.
+// Violations go through the same ddmin minimizer as every other oracle.
+func (r *round) checkIncremental(ins gen.Instance) {
+	f := ins.F
+	sess := incremental.NewSession(incremental.Options{
+		Solver: solver.Options{MaxConflicts: r.cfg.MaxConflicts},
+	})
+	if err := sess.AddFormula(f); err != nil {
+		r.fail("harness-error", ins.Name, fmt.Sprintf("incremental AddFormula: %v", err), nil, nil)
+		return
+	}
+
+	calls := 2 + r.rng.Intn(3)
+	for c := 0; c < calls; c++ {
+		assumps := r.randomAssumptions(f.NumVars)
+		st, err := sess.SolveAssuming(assumps)
+		if err != nil {
+			var verr *incremental.VerificationError
+			if errors.As(err, &verr) {
+				r.fail("incremental-verification-failed", ins.Name,
+					fmt.Sprintf("call %d assuming %v: %v", c, assumps, err), f,
+					r.predIncrementalVerificationFails(assumps))
+			} else {
+				r.fail("harness-error", ins.Name, fmt.Sprintf("incremental solve: %v", err), nil, nil)
+			}
+			return
+		}
+		if st == solver.StatusUnknown {
+			continue // per-call budget; nothing to compare
+		}
+		scratch := scratchUnderAssumptions(f, assumps, r.cfg.MaxConflicts)
+		if scratch == solver.StatusUnknown {
+			continue
+		}
+		r.cell("incremental/session-call")
+		if st != scratch {
+			r.fail("incremental-disagreement", ins.Name,
+				fmt.Sprintf("call %d assuming %v: session says %v, scratch says %v", c, assumps, st, scratch),
+				f, r.predIncrementalDisagrees(assumps))
+			return
+		}
+		if st == solver.StatusUnsat {
+			core := sess.Core()
+			if !litsSubset(core, assumps) {
+				r.fail("incremental-core-invalid", ins.Name,
+					fmt.Sprintf("call %d: core %v not a subset of assumptions %v", c, core, assumps), f, nil)
+				return
+			}
+			if scratchUnderAssumptions(f, core, r.cfg.MaxConflicts) == solver.StatusSat {
+				r.fail("incremental-core-invalid", ins.Name,
+					fmt.Sprintf("call %d: assumption core %v is not itself unsatisfiable", c, core), f, nil)
+				return
+			}
+		}
+	}
+
+	// Session-based MUS vs the checker core it starts from, on UNSAT
+	// instances small enough for the deletion loop to be a fuzzing-round
+	// cost. The extractor re-solves the formula itself, so this also covers
+	// selector-guarded loading of every instance family.
+	if f.NumClauses() > 300 {
+		return
+	}
+	res, err := incremental.ExtractMUS(f, incremental.Options{
+		Solver: solver.Options{MaxConflicts: r.cfg.MaxConflicts},
+	})
+	if err != nil {
+		if errors.Is(err, incremental.ErrSatisfiable) || errors.Is(err, incremental.ErrBudget) {
+			return
+		}
+		r.fail("incremental-verification-failed", ins.Name,
+			fmt.Sprintf("MUS extraction: %v", err), f, r.predMUSFails())
+		return
+	}
+	r.cell("incremental/mus")
+	if !subsetInts(res.ClauseIDs, res.SeedCore) {
+		r.fail("incremental-core-invalid", ins.Name,
+			fmt.Sprintf("MUS (%d clauses) not a subset of its seed checker core (%d clauses)",
+				len(res.ClauseIDs), len(res.SeedCore)), f, nil)
+		return
+	}
+	if st, _, _, _, err := solveArtifacts(res.MUS, r.cfg.MaxConflicts); err == nil && st == solver.StatusSat {
+		r.fail("incremental-core-invalid", ins.Name,
+			fmt.Sprintf("extracted MUS of %d clauses is satisfiable", len(res.ClauseIDs)), f, nil)
+	}
+}
+
+// randomAssumptions draws 1–4 assumption literals over distinct variables.
+func (r *round) randomAssumptions(numVars int) []cnf.Lit {
+	if numVars == 0 {
+		return nil
+	}
+	k := 1 + r.rng.Intn(4)
+	if k > numVars {
+		k = numVars
+	}
+	seen := map[cnf.Var]bool{}
+	lits := make([]cnf.Lit, 0, k)
+	for len(lits) < k {
+		v := cnf.Var(1 + r.rng.Intn(numVars))
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		lits = append(lits, cnf.NewLit(v, r.rng.Intn(2) == 0))
+	}
+	return lits
+}
+
+// scratchUnderAssumptions decides f plus the assumptions as unit clauses with
+// a fresh one-shot solver — the independent view of a session answer.
+func scratchUnderAssumptions(f *cnf.Formula, assumps []cnf.Lit, maxConflicts int64) solver.Status {
+	g := f.Clone()
+	for _, a := range assumps {
+		g.Add(cnf.Clause{a})
+	}
+	st, _, _, _, err := solveArtifacts(g, maxConflicts)
+	if err != nil {
+		return solver.StatusUnknown
+	}
+	return st
+}
+
+func litsSubset(sub, super []cnf.Lit) bool {
+	in := make(map[cnf.Lit]bool, len(super))
+	for _, l := range super {
+		in[l] = true
+	}
+	for _, l := range sub {
+		if !in[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// assumpsFit reports whether every assumption variable exists in sub (ddmin
+// never grows the variable space, but guard anyway).
+func assumpsFit(assumps []cnf.Lit, sub *cnf.Formula) bool {
+	for _, a := range assumps {
+		if int(a.Var()) > sub.NumVars {
+			return false
+		}
+	}
+	return true
+}
+
+// predIncrementalDisagrees reproduces a session-vs-scratch verdict
+// disagreement under a fixed assumption set.
+func (r *round) predIncrementalDisagrees(assumps []cnf.Lit) func(*cnf.Formula) bool {
+	return func(sub *cnf.Formula) bool {
+		if !assumpsFit(assumps, sub) {
+			return false
+		}
+		sess := incremental.NewSession(incremental.Options{
+			Solver:     solver.Options{MaxConflicts: minConflicts},
+			SkipVerify: true, // reproduce the verdict split, not the validation
+		})
+		if err := sess.AddFormula(sub); err != nil {
+			return false
+		}
+		st, err := sess.SolveAssuming(assumps)
+		if err != nil || st == solver.StatusUnknown {
+			return false
+		}
+		scratch := scratchUnderAssumptions(sub, assumps, minConflicts)
+		return scratch != solver.StatusUnknown && scratch != st
+	}
+}
+
+// predIncrementalVerificationFails reproduces a session answer failing its
+// independent validation under a fixed assumption set.
+func (r *round) predIncrementalVerificationFails(assumps []cnf.Lit) func(*cnf.Formula) bool {
+	return func(sub *cnf.Formula) bool {
+		if !assumpsFit(assumps, sub) {
+			return false
+		}
+		sess := incremental.NewSession(incremental.Options{
+			Solver: solver.Options{MaxConflicts: minConflicts},
+		})
+		if err := sess.AddFormula(sub); err != nil {
+			return false
+		}
+		_, err := sess.SolveAssuming(assumps)
+		var verr *incremental.VerificationError
+		return errors.As(err, &verr)
+	}
+}
+
+// predMUSFails reproduces a MUS extraction failing for a reason other than
+// satisfiability or budget.
+func (r *round) predMUSFails() func(*cnf.Formula) bool {
+	return func(sub *cnf.Formula) bool {
+		_, err := incremental.ExtractMUS(sub, incremental.Options{
+			Solver: solver.Options{MaxConflicts: minConflicts},
+		})
+		return err != nil &&
+			!errors.Is(err, incremental.ErrSatisfiable) &&
+			!errors.Is(err, incremental.ErrBudget)
+	}
+}

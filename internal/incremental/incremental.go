@@ -1,0 +1,296 @@
+// Package incremental is the validated incremental-solving subsystem: a
+// persistent assumption-based solver session in which *every* answer is
+// independently verified before it is reported — UNSAT answers round-trip
+// through one of the native resolution checkers (the session's artifact
+// models assumptions as unit antecedents, see internal/solver's session
+// documentation), and SAT answers are model-checked against every clause and
+// assumption. On top of the session it provides selector-guarded formulas
+// (one activation literal per clause) and a deletion-based MUS extractor
+// (mus.go) whose every shrink step is checker-validated.
+//
+// The paper validates one-shot UNSAT answers; this package extends the same
+// trust argument to the workflows of §4 — core iteration and bounded model
+// checking — where the solver is re-entered many times with different
+// assumptions and the learned clauses of earlier calls are reused.
+package incremental
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/cnf"
+	"satcheck/internal/solver"
+	"satcheck/internal/trace"
+)
+
+// CheckMethod selects the native checker that validates UNSAT answers.
+type CheckMethod int
+
+// The four native checkers.
+const (
+	CheckDepthFirst CheckMethod = iota // default; yields unsat cores
+	CheckBreadthFirst
+	CheckHybrid
+	CheckParallel
+)
+
+// String names the method.
+func (m CheckMethod) String() string {
+	switch m {
+	case CheckDepthFirst:
+		return "depth-first"
+	case CheckBreadthFirst:
+		return "breadth-first"
+	case CheckHybrid:
+		return "hybrid"
+	case CheckParallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Options configures a validated session.
+type Options struct {
+	// Solver configures the underlying CDCL engine; Solver.MaxConflicts is a
+	// per-call budget.
+	Solver solver.Options
+	// Check selects the native checker for UNSAT validation (default
+	// depth-first, whose core by-product drives the MUS extractor).
+	Check CheckMethod
+	// Checker passes through checker options (memory limit, interrupt, ...).
+	Checker checker.Options
+	// SkipVerify disables the per-answer validation. The session then only
+	// *records* proofs (Artifact stays available); it no longer vouches for
+	// them. Benchmarks use this to separate solving from checking cost.
+	SkipVerify bool
+}
+
+// ErrSatisfiable is returned by UNSAT-expecting entry points (ExtractMUS)
+// when the instance turns out satisfiable.
+var ErrSatisfiable = errors.New("incremental: instance is satisfiable")
+
+// ErrBudget is returned when the per-call conflict budget expires.
+var ErrBudget = errors.New("incremental: solver exceeded its conflict budget")
+
+// VerificationError reports that an answer failed its independent check.
+// Seeing one means the solver (or the session's proof finalization) is buggy:
+// the answer must not be trusted.
+type VerificationError struct {
+	Status solver.Status
+	Err    error
+}
+
+// Error implements error.
+func (e *VerificationError) Error() string {
+	return fmt.Sprintf("incremental: %v answer failed verification: %v", e.Status, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *VerificationError) Unwrap() error { return e.Err }
+
+// Session is a validated incremental solver session. Create with NewSession;
+// not safe for concurrent use.
+type Session struct {
+	eng  *solver.Session
+	opts Options
+
+	lastCheck *checker.Result // checker result backing the last UNSAT answer
+}
+
+// NewSession returns an empty validated session.
+func NewSession(opts Options) *Session {
+	return &Session{eng: solver.NewSession(opts.Solver), opts: opts}
+}
+
+// AddClause adds a base clause.
+func (s *Session) AddClause(c cnf.Clause) error { return s.eng.AddClause(c) }
+
+// AddFormula adds every clause of f.
+func (s *Session) AddFormula(f *cnf.Formula) error { return s.eng.AddFormula(f) }
+
+// EnsureVars grows the variable space to at least n variables.
+func (s *Session) EnsureVars(n int) { s.eng.EnsureVars(n) }
+
+// NewVar allocates a fresh variable.
+func (s *Session) NewVar() cnf.Var { return s.eng.NewVar() }
+
+// NumVars reports the current variable count.
+func (s *Session) NumVars() int { return s.eng.NumVars() }
+
+// NumClauses reports how many base clauses have been added.
+func (s *Session) NumClauses() int { return s.eng.NumClauses() }
+
+// Stats returns the cumulative solver counters across all calls.
+func (s *Session) Stats() solver.Stats { return s.eng.Stats() }
+
+// LastStats returns the counters of the most recent call only.
+func (s *Session) LastStats() solver.Stats { return s.eng.LastStats() }
+
+// Model returns the (verified) model of the last SAT answer, nil otherwise.
+func (s *Session) Model() cnf.Model { return s.eng.Model() }
+
+// Core returns the assumption core of the last UNSAT answer: a subset of the
+// assumptions that is already unsatisfiable with the base clauses.
+func (s *Session) Core() []cnf.Lit { return s.eng.Core() }
+
+// CheckResult returns the checker result that validated the last UNSAT
+// answer (nil when the last answer was not UNSAT or verification is off).
+func (s *Session) CheckResult() *checker.Result { return s.lastCheck }
+
+// Artifact finalizes the last UNSAT answer into a checkable (formula, trace)
+// pair; see solver.Session.Artifact.
+func (s *Session) Artifact() (*cnf.Formula, *trace.MemoryTrace, error) {
+	return s.eng.Artifact()
+}
+
+// Solve is SolveAssuming with no assumptions.
+func (s *Session) Solve() (solver.Status, error) { return s.SolveAssuming(nil) }
+
+// SolveAssuming solves under the given assumptions and validates the answer:
+// an UNSAT artifact must pass the configured native checker, a SAT model must
+// satisfy every base clause and every assumption. A validation failure is
+// returned as *VerificationError.
+func (s *Session) SolveAssuming(assumps []cnf.Lit) (solver.Status, error) {
+	s.lastCheck = nil
+	st, err := s.eng.SolveAssuming(assumps)
+	if err != nil {
+		return st, err
+	}
+	if s.opts.SkipVerify {
+		return st, nil
+	}
+	switch st {
+	case solver.StatusSat:
+		m := s.eng.Model()
+		for i, n := 0, s.eng.NumClauses(); i < n; i++ {
+			if c := s.eng.Clause(i); c.Eval(m) != cnf.True {
+				return st, &VerificationError{Status: st,
+					Err: fmt.Errorf("model does not satisfy clause %d", i)}
+			}
+		}
+		for _, a := range assumps {
+			if m.LitValue(a) != cnf.True {
+				return st, &VerificationError{Status: st,
+					Err: fmt.Errorf("model violates assumption %s", a)}
+			}
+		}
+	case solver.StatusUnsat:
+		f, tr, err := s.eng.Artifact()
+		if err != nil {
+			return st, &VerificationError{Status: st, Err: err}
+		}
+		res, err := runCheck(f, tr, s.opts.Check, s.opts.Checker)
+		if err != nil {
+			return st, &VerificationError{Status: st, Err: err}
+		}
+		s.lastCheck = res
+	}
+	return st, nil
+}
+
+// runCheck dispatches to the selected native checker.
+func runCheck(f *cnf.Formula, src trace.Source, m CheckMethod, opts checker.Options) (*checker.Result, error) {
+	switch m {
+	case CheckBreadthFirst:
+		return checker.BreadthFirst(f, src, opts)
+	case CheckHybrid:
+		return checker.Hybrid(f, src, opts)
+	case CheckParallel:
+		return checker.Parallel(f, src, opts)
+	default:
+		return checker.DepthFirst(f, src, opts)
+	}
+}
+
+// GuardedSession is a validated session over a selector-guarded copy of a
+// formula: clause i of the input is loaded as (c_i ∨ ¬s_i) where s_i is a
+// fresh selector variable, so assuming s_i activates the clause and leaving
+// it unassumed lets the solver switch it off. This is the substrate of MUS
+// extraction and incremental core iteration.
+type GuardedSession struct {
+	*Session
+	// Selectors[i] is the (positive) selector literal of input clause i.
+	Selectors []cnf.Lit
+	// NumInputClauses is the number of guarded input clauses.
+	NumInputClauses int
+}
+
+// NewGuardedSession loads f clause-by-clause under fresh selectors.
+func NewGuardedSession(f *cnf.Formula, opts Options) (*GuardedSession, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	s := NewSession(opts)
+	s.EnsureVars(f.NumVars)
+	g := &GuardedSession{
+		Session:         s,
+		Selectors:       make([]cnf.Lit, len(f.Clauses)),
+		NumInputClauses: len(f.Clauses),
+	}
+	for i, c := range f.Clauses {
+		sel := s.NewVar()
+		g.Selectors[i] = cnf.PosLit(sel)
+		guarded := make(cnf.Clause, 0, len(c)+1)
+		guarded = append(guarded, c...)
+		guarded = append(guarded, cnf.NegLit(sel))
+		if err := s.AddClause(guarded); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// SolveSubset solves with exactly the clauses whose indices appear in ids
+// activated. It returns the solver status; on UNSAT, CoreIDs gives the
+// refined clause subset.
+func (g *GuardedSession) SolveSubset(ids []int) (solver.Status, error) {
+	assumps := make([]cnf.Lit, len(ids))
+	for j, id := range ids {
+		assumps[j] = g.Selectors[id]
+	}
+	return g.SolveAssuming(assumps)
+}
+
+// CoreIDs translates the last UNSAT answer's assumption core back to input
+// clause indices, ascending. It returns nil when the last answer was not
+// UNSAT under selector assumptions.
+func (g *GuardedSession) CoreIDs() []int {
+	core := g.Core()
+	if core == nil {
+		return nil
+	}
+	bySel := make(map[cnf.Lit]int, g.NumInputClauses)
+	for i, sel := range g.Selectors {
+		bySel[sel] = i
+	}
+	ids := make([]int, 0, len(core))
+	for _, l := range core {
+		if i, ok := bySel[l]; ok {
+			ids = append(ids, i)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// CheckerCoreIDs translates the validating checker's core (original-clause
+// IDs of the artifact) back to input clause indices, ascending. Guarded input
+// clauses map to their index; the assumption unit clauses are dropped. Nil
+// when no checker result is available (non-UNSAT answer, SkipVerify, or a
+// non-core-producing checker).
+func (g *GuardedSession) CheckerCoreIDs() []int {
+	res := g.CheckResult()
+	if res == nil || res.CoreClauses == nil {
+		return nil
+	}
+	ids := make([]int, 0, len(res.CoreClauses))
+	for _, id := range res.CoreClauses {
+		if id < g.NumInputClauses {
+			ids = append(ids, id)
+		}
+	}
+	return ids // checker cores are already ascending
+}

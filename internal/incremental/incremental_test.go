@@ -1,0 +1,267 @@
+package incremental
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"satcheck/internal/cnf"
+	"satcheck/internal/dp"
+	"satcheck/internal/solver"
+	"satcheck/internal/testutil"
+)
+
+func php(holes int) *cnf.Formula {
+	// Pigeonhole: holes+1 pigeons into holes holes. Var p*holes+h+1.
+	pigeons := holes + 1
+	f := cnf.NewFormula(pigeons * holes)
+	lit := func(p, h int) int { return p*holes + h + 1 }
+	for p := 0; p < pigeons; p++ {
+		c := make([]int, holes)
+		for h := 0; h < holes; h++ {
+			c[h] = lit(p, h)
+		}
+		f.AddClause(c...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				f.AddClause(-lit(p1, h), -lit(p2, h))
+			}
+		}
+	}
+	return f
+}
+
+func TestValidatedSessionBasics(t *testing.T) {
+	for _, m := range []CheckMethod{CheckDepthFirst, CheckBreadthFirst, CheckHybrid, CheckParallel} {
+		t.Run(m.String(), func(t *testing.T) {
+			s := NewSession(Options{Check: m})
+			if err := s.AddFormula(php(3)); err != nil {
+				t.Fatal(err)
+			}
+			st, err := s.Solve()
+			if err != nil {
+				t.Fatalf("validated solve: %v", err)
+			}
+			if st != solver.StatusUnsat {
+				t.Fatalf("PHP(3): %v", st)
+			}
+			if m == CheckDepthFirst && (s.CheckResult() == nil || len(s.CheckResult().CoreClauses) == 0) {
+				t.Fatal("depth-first validation produced no core")
+			}
+		})
+	}
+}
+
+func TestValidatedSessionSatIsModelChecked(t *testing.T) {
+	s := NewSession(Options{})
+	f := cnf.NewFormula(2)
+	f.AddClause(1, 2)
+	if err := s.AddFormula(f); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.SolveAssuming([]cnf.Lit{cnf.NegLit(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != solver.StatusSat {
+		t.Fatalf("status %v", st)
+	}
+	if m := s.Model(); m.Value(2) != cnf.True {
+		t.Fatalf("model %v", m)
+	}
+}
+
+func TestGuardedSessionSubsets(t *testing.T) {
+	f := cnf.NewFormula(1)
+	f.AddClause(1)
+	f.AddClause(-1)
+	f.AddClause(1) // duplicate: any MUS needs only one of clauses 0/2
+	g, err := NewGuardedSession(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := g.SolveSubset([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != solver.StatusUnsat {
+		t.Fatalf("full subset: %v", st)
+	}
+	core := g.CoreIDs()
+	if len(core) < 2 {
+		t.Fatalf("core %v implausibly small", core)
+	}
+	// Clause 1 alone is satisfiable.
+	st, err = g.SolveSubset([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != solver.StatusSat {
+		t.Fatalf("subset {1}: %v", st)
+	}
+}
+
+func TestExtractMUSSatisfiable(t *testing.T) {
+	f := cnf.NewFormula(2)
+	f.AddClause(1, 2)
+	if _, err := ExtractMUS(f, Options{}); !errors.Is(err, ErrSatisfiable) {
+		t.Fatalf("err = %v, want ErrSatisfiable", err)
+	}
+}
+
+func TestExtractMUSPigeonhole(t *testing.T) {
+	// PHP(2) is already minimal as a whole? No: it is, famously, its own MUS
+	// (every clause is needed), so the extractor must keep all 9 clauses.
+	f := php(2)
+	res, err := ExtractMUS(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ClauseIDs) != len(f.Clauses) {
+		t.Fatalf("PHP(2) MUS has %d of %d clauses; PHP is minimally unsatisfiable",
+			len(res.ClauseIDs), len(f.Clauses))
+	}
+	if res.Stat.CheckedUnsat == 0 || res.Stat.SolverCalls < len(f.Clauses) {
+		t.Fatalf("implausible stats %+v", res.Stat)
+	}
+}
+
+func TestExtractMUSDropsPadding(t *testing.T) {
+	// An UNSAT kernel (contradictory units) drowned in satisfiable padding:
+	// the MUS must be exactly the kernel.
+	f := cnf.NewFormula(6)
+	f.AddClause(2, 3)
+	f.AddClause(1)
+	f.AddClause(-3, 4)
+	f.AddClause(-1)
+	f.AddClause(5, 6)
+	res, err := ExtractMUS(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ClauseIDs) != 2 || res.ClauseIDs[0] != 1 || res.ClauseIDs[1] != 3 {
+		t.Fatalf("MUS = %v, want [1 3]", res.ClauseIDs)
+	}
+	if !subsetInts(res.ClauseIDs, res.SeedCore) {
+		t.Fatalf("MUS %v ⊄ seed checker core %v", res.ClauseIDs, res.SeedCore)
+	}
+}
+
+func TestExtractMUSFromCoreSeed(t *testing.T) {
+	f := cnf.NewFormula(4)
+	f.AddClause(1)
+	f.AddClause(-1)
+	f.AddClause(2, 3)
+	f.AddClause(-2, 4)
+	res, err := ExtractMUSFromCore(f, []int{0, 1, 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ClauseIDs) != 2 || res.ClauseIDs[0] != 0 || res.ClauseIDs[1] != 1 {
+		t.Fatalf("MUS = %v, want [0 1]", res.ClauseIDs)
+	}
+	// A satisfiable seed must be rejected, not silently accepted.
+	if _, err := ExtractMUSFromCore(f, []int{2, 3}, Options{}); err == nil {
+		t.Fatal("satisfiable seed accepted as a core")
+	}
+	if _, err := ExtractMUSFromCore(f, []int{99}, Options{}); err == nil {
+		t.Fatal("out-of-range seed accepted")
+	}
+}
+
+// TestMUSMinimalityBruteForce is the satellite property test: on small random
+// UNSAT instances, the extracted MUS must (a) be unsatisfiable and (b) become
+// satisfiable when any single clause is dropped. Every subset verdict is
+// cross-validated against the independent internal/dp procedure and brute
+// force — neither shares code with the CDCL engine or the checkers.
+func TestMUSMinimalityBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dpOpts := dp.Options{MaxClauses: 200000, MaxResolutions: 1000000}
+	checked := 0
+	for round := 0; checked < 40 && round < 4000; round++ {
+		f := testutil.RandomFormula(rng, 7, 22, 3)
+		sat, _ := testutil.BruteForceSat(f)
+		if sat {
+			continue
+		}
+		checked++
+		res, err := ExtractMUS(f, Options{})
+		if err != nil {
+			t.Fatalf("round %d: %v\nformula %s", round, err, cnf.DimacsString(f))
+		}
+		if len(res.ClauseIDs) == 0 {
+			t.Fatalf("round %d: empty MUS for UNSAT formula", round)
+		}
+		if !subsetInts(res.ClauseIDs, res.SeedCore) {
+			t.Fatalf("round %d: MUS %v ⊄ checker core %v", round, res.ClauseIDs, res.SeedCore)
+		}
+		if satByOracles(t, res.MUS, dpOpts) {
+			t.Fatalf("round %d: MUS %v is satisfiable\nformula %s",
+				round, res.ClauseIDs, cnf.DimacsString(f))
+		}
+		for drop := range res.ClauseIDs {
+			rest := make([]int, 0, len(res.ClauseIDs)-1)
+			rest = append(rest, res.ClauseIDs[:drop]...)
+			rest = append(rest, res.ClauseIDs[drop+1:]...)
+			sub, err := f.SubFormula(rest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !satByOracles(t, sub, dpOpts) {
+				t.Fatalf("round %d: MUS not minimal — still UNSAT without clause %d\nMUS %v of %s",
+					round, res.ClauseIDs[drop], res.ClauseIDs, cnf.DimacsString(f))
+			}
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d UNSAT instances generated; generator drifted", checked)
+	}
+}
+
+// satByOracles decides satisfiability with brute force and the DP procedure,
+// failing the test if the two independent oracles disagree.
+func satByOracles(t *testing.T, f *cnf.Formula, dpOpts dp.Options) bool {
+	t.Helper()
+	bruteSat, _ := testutil.BruteForceSat(f)
+	ds, err := dp.New(f, dpOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, m, err := ds.Solve()
+	if err != nil {
+		t.Fatalf("dp: %v", err)
+	}
+	dpSat := st == solver.StatusSat
+	if dpSat != bruteSat {
+		t.Fatalf("oracle disagreement: brute=%v dp=%v on %s", bruteSat, dpSat, cnf.DimacsString(f))
+	}
+	if dpSat {
+		if bad, ok := cnf.VerifyModel(f, m); !ok {
+			t.Fatalf("dp model fails clause %d", bad)
+		}
+	}
+	return bruteSat
+}
+
+func subsetInts(sub, super []int) bool {
+	in := make(map[int]bool, len(super))
+	for _, x := range super {
+		in[x] = true
+	}
+	for _, x := range sub {
+		if !in[x] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMUSWithBudget(t *testing.T) {
+	f := php(5)
+	_, err := ExtractMUS(f, Options{Solver: solver.Options{MaxConflicts: 1}})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}

@@ -1,0 +1,183 @@
+package incremental
+
+import (
+	"fmt"
+	"sort"
+
+	"satcheck/internal/cnf"
+	"satcheck/internal/solver"
+)
+
+// MUSStat counts the work done by one MUS extraction.
+type MUSStat struct {
+	// SolverCalls is the number of incremental solve calls issued.
+	SolverCalls int
+	// CheckedUnsat is how many of those were UNSAT and checker-validated
+	// (every single UNSAT along the way is).
+	CheckedUnsat int
+	// Tested is the number of deletion candidates tried.
+	Tested int
+	// Removed is the number of clauses dropped from the working set, whether
+	// by an explicit deletion test or by core refinement.
+	Removed int
+}
+
+// MUSResult is a minimal unsatisfiable subset with its provenance.
+type MUSResult struct {
+	// ClauseIDs are the MUS clause indices within the input formula,
+	// ascending.
+	ClauseIDs []int
+	// MUS is the sub-formula of exactly those clauses (same variable space
+	// as the input).
+	MUS *cnf.Formula
+	// SeedCore is the checker-produced core the shrinking started from.
+	SeedCore []int
+	// Stat is the work accounting.
+	Stat MUSStat
+}
+
+// ExtractMUS shrinks f to a minimal unsatisfiable subset using one
+// incremental session with clause-selector assumptions: clause i is loaded as
+// (c_i ∨ ¬s_i) and a subset S is tested by solving under assumptions
+// {s_i : i ∈ S}. The first solve activates everything and the checker core of
+// its validated proof seeds the candidate set; deletion then tests each
+// remaining clause, and every UNSAT along the way both passes a native
+// checker (via the validated session) and refines the candidate set through
+// its assumption core. Removing any clause of the result makes it
+// satisfiable.
+//
+// Returns ErrSatisfiable if f is satisfiable, ErrBudget if a per-call
+// conflict budget expired, and *VerificationError if any intermediate answer
+// failed its independent check.
+func ExtractMUS(f *cnf.Formula, opts Options) (*MUSResult, error) {
+	g, err := NewGuardedSession(f, opts)
+	if err != nil {
+		return nil, err
+	}
+	return extractMUS(f, g, nil)
+}
+
+// ExtractMUSFromCore is ExtractMUS seeded by a known unsatisfiable core
+// (e.g. the CoreClauses of a previous checker run): only the seed clauses are
+// ever activated, which skips the full-formula solve when the caller already
+// holds a validated core. The seed must itself be unsatisfiable — if it is
+// not, an error is returned (a bad seed would silently weaken the result).
+func ExtractMUSFromCore(f *cnf.Formula, seed []int, opts Options) (*MUSResult, error) {
+	g, err := NewGuardedSession(f, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range seed {
+		if id < 0 || id >= len(f.Clauses) {
+			return nil, fmt.Errorf("incremental: seed core clause %d out of range [0,%d)", id, len(f.Clauses))
+		}
+	}
+	ids := append([]int(nil), seed...)
+	sort.Ints(ids)
+	return extractMUS(f, g, ids)
+}
+
+// extractMUS runs the first (seeding) solve and the deletion loop. seed is
+// the initial candidate set, or nil for all clauses.
+func extractMUS(f *cnf.Formula, g *GuardedSession, seed []int) (*MUSResult, error) {
+	stat := MUSStat{}
+	ids := seed
+	if ids == nil {
+		ids = make([]int, len(f.Clauses))
+		for i := range ids {
+			ids[i] = i
+		}
+	}
+
+	refine := func(prev []int) ([]int, error) {
+		stat.CheckedUnsat++
+		next := g.CoreIDs()
+		if len(next) == 0 && len(prev) > 0 {
+			// Base-level UNSAT cannot happen: every input clause is guarded
+			// by its own selector, so the base formula alone is satisfiable
+			// (set all selectors false). An empty core with candidates left
+			// means the engine broke its contract.
+			return nil, fmt.Errorf("incremental: empty assumption core for a guarded instance")
+		}
+		// The checker core of the validated artifact is an independent view
+		// of the same proof; the MUS search may not keep anything outside it.
+		if cc := g.CheckerCoreIDs(); cc != nil {
+			next = intersectSorted(next, cc)
+		}
+		stat.Removed += len(prev) - len(next)
+		return next, nil
+	}
+
+	// Seeding solve: activate every candidate.
+	stat.SolverCalls++
+	st, err := g.SolveSubset(ids)
+	if err != nil {
+		return nil, err
+	}
+	switch st {
+	case solver.StatusSat:
+		if seed != nil {
+			return nil, fmt.Errorf("incremental: seed core of %d clauses is satisfiable; not a core", len(seed))
+		}
+		return nil, ErrSatisfiable
+	case solver.StatusUnknown:
+		return nil, ErrBudget
+	}
+	if ids, err = refine(ids); err != nil {
+		return nil, err
+	}
+	seedCore := append([]int(nil), ids...)
+
+	// Deletion loop. Necessity is monotone under subsets, so clauses
+	// confirmed necessary (the ascending prefix ids[:i]) stay confirmed as
+	// the candidate set shrinks, and every refined core retains them as its
+	// smallest elements.
+	for i := 0; i < len(ids); {
+		stat.Tested++
+		cand := make([]int, 0, len(ids)-1)
+		cand = append(cand, ids[:i]...)
+		cand = append(cand, ids[i+1:]...)
+		stat.SolverCalls++
+		st, err := g.SolveSubset(cand)
+		if err != nil {
+			return nil, err
+		}
+		switch st {
+		case solver.StatusSat:
+			// Clause ids[i] is necessary: without it the rest is satisfiable
+			// (the session already verified the model).
+			i++
+		case solver.StatusUnsat:
+			if ids, err = refine(ids); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, ErrBudget
+		}
+	}
+
+	sub, err := f.SubFormula(ids)
+	if err != nil {
+		return nil, err
+	}
+	return &MUSResult{ClauseIDs: ids, MUS: sub, SeedCore: seedCore, Stat: stat}, nil
+}
+
+// intersectSorted returns the intersection of two ascending int slices.
+func intersectSorted(a, b []int) []int {
+	out := make([]int, 0, len(a))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}

@@ -43,6 +43,18 @@ type CheckResponse struct {
 	Result    *ResultJSON  `json:"result,omitempty"`
 	Failure   *FailureJSON `json:"failure,omitempty"`
 	Stats     *StatsJSON   `json:"proof_stats,omitempty"`
+	MUS       *MUSJSON     `json:"mus,omitempty"` // only with mus=1 on valid proofs
+}
+
+// MUSJSON reports the checker-validated minimal unsatisfiable subset computed
+// when mus=1: the proof's core shrunk until dropping any clause makes the
+// rest satisfiable, with every intermediate answer independently validated.
+type MUSJSON struct {
+	ClauseIDs   []int  `json:"clause_ids"`
+	Size        int    `json:"size"`
+	SeedSize    int    `json:"seed_size"`    // checker-core size the shrink started from
+	SolverCalls int    `json:"solver_calls"` // incremental solve calls spent
+	Error       string `json:"error,omitempty"`
 }
 
 // ResultJSON mirrors satcheck.CheckResult on the wire.
@@ -122,11 +134,17 @@ type JobOptions struct {
 	// default. The server caps it at its own worker-pool size so one job
 	// cannot oversubscribe the machine.
 	Parallelism int
+	// MUS additionally shrinks a valid native proof's unsatisfiable core to a
+	// minimal unsatisfiable subset on an incremental session, validating every
+	// intermediate answer. Requires a core-producing method (df, hybrid,
+	// parallel) over a native trace.
+	MUS bool
 }
 
 // ParseJobOptions reads the supported query parameters: method, format,
-// mem_limit_mb, timeout_ms, analyze, core, parallelism. Unknown parameters
-// are ignored (forward compatibility); malformed values are errors.
+// mem_limit_mb, timeout_ms, analyze, core, parallelism, mus. Unknown
+// parameters are ignored (forward compatibility); malformed values are
+// errors.
 func ParseJobOptions(q url.Values) (JobOptions, error) {
 	var o JobOptions
 	var err error
@@ -164,6 +182,17 @@ func ParseJobOptions(q url.Values) (JobOptions, error) {
 		return o, err
 	}
 	o.Parallelism = int(par)
+	if o.MUS, err = parseBool(q, "mus"); err != nil {
+		return o, err
+	}
+	if o.MUS {
+		if o.Format != satcheck.FormatNative {
+			return o, fmt.Errorf("mus=1 requires a native trace (format=%s given)", o.Format)
+		}
+		if o.Method == satcheck.BreadthFirst {
+			return o, fmt.Errorf("mus=1 requires a core-producing method (df, hybrid, or parallel)")
+		}
+	}
 	return o, nil
 }
 
@@ -223,6 +252,9 @@ func (o JobOptions) Query() url.Values {
 	if o.Parallelism > 0 {
 		q.Set("parallelism", strconv.Itoa(o.Parallelism))
 	}
+	if o.MUS {
+		q.Set("mus", "1")
+	}
 	return q
 }
 
@@ -232,8 +264,8 @@ func (o JobOptions) canonical() string {
 	// Parallelism is part of the key: verdicts and cores are identical at
 	// every worker count, but the reported concurrent memory peak is
 	// schedule-dependent, so answers at different counts may not be shared.
-	return fmt.Sprintf("method=%d format=%d mem=%d analyze=%t core=%t par=%d",
-		int(o.Method), int(o.Format), o.MemLimitMB, o.Analyze, o.IncludeCore, o.Parallelism)
+	return fmt.Sprintf("method=%d format=%d mem=%d analyze=%t core=%t par=%d mus=%t",
+		int(o.Method), int(o.Format), o.MemLimitMB, o.Analyze, o.IncludeCore, o.Parallelism, o.MUS)
 }
 
 // responseFromReport converts a facade CheckReport into the wire shape.

@@ -21,6 +21,9 @@ type Metrics struct {
 	cacheMisses   atomic.Int64
 	bytesIngested atomic.Int64 // formula + trace bytes read from request bodies
 	badRequests   atomic.Int64
+	// musExtractions counts the validated MUS extractions performed for
+	// mus=1 requests (failed extraction attempts are not counted).
+	musExtractions atomic.Int64
 
 	// Per-job checker statistics, previously dropped on the floor between
 	// the facade result and the HTTP response: cumulative build-set and
@@ -107,6 +110,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("zcheckd_bad_requests_total", "Requests rejected as malformed (HTTP 4xx other than 429).", m.badRequests.Load())
 	counter("zcheckd_clauses_built_total", "Learned clauses rebuilt by resolution across all completed checks.", m.clausesBuilt.Load())
 	counter("zcheckd_resolution_steps_total", "Resolution steps performed across all completed checks.", m.resolutionSteps.Load())
+	counter("zcheckd_mus_extractions_total", "Validated MUS extractions performed for mus=1 requests.", m.musExtractions.Load())
 	fmt.Fprintf(w, "# HELP zcheckd_checks_by_format_total Completed checks by proof encoding.\n# TYPE zcheckd_checks_by_format_total counter\n")
 	for i, label := range formatLabels {
 		fmt.Fprintf(w, "zcheckd_checks_by_format_total{format=%q} %d\n", label, m.checksByFormat[i].Load())

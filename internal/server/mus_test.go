@@ -1,0 +1,129 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+
+	"satcheck/internal/gen"
+	"satcheck/internal/testutil"
+)
+
+// TestCheckWithMUS drives mus=1 end to end: a padded UNSAT instance, a valid
+// proof, and a response that carries a MUS no larger than the checker core,
+// brute-force-verified unsatisfiable; the metric must tick.
+func TestCheckWithMUS(t *testing.T) {
+	ins := gen.Pigeonhole(3)
+	ins.F.AddClause(ins.F.NumVars+1, ins.F.NumVars+2) // satisfiable padding
+	formula, traceBytes, _, f := unsatPayload(t, ins)
+	s, ts := newTestServer(t, Config{Workers: 2})
+
+	ct, body := multipartBody(t, formula, traceBytes)
+	resp, data := postCheck(t, ts, "?method=df&core=1&mus=1", ct, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var cr CheckResponse
+	if err := json.Unmarshal(data, &cr); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if cr.Verdict != VerdictValid {
+		t.Fatalf("verdict %q: %s", cr.Verdict, data)
+	}
+	if cr.MUS == nil || cr.MUS.Error != "" {
+		t.Fatalf("missing MUS: %s", data)
+	}
+	if cr.MUS.Size != len(cr.MUS.ClauseIDs) || cr.MUS.Size == 0 {
+		t.Fatalf("inconsistent MUS sizes: %s", data)
+	}
+	if cr.MUS.Size > cr.Result.CoreSize || cr.MUS.SeedSize > cr.Result.CoreSize {
+		t.Fatalf("MUS (%d) / seed (%d) larger than checker core (%d)",
+			cr.MUS.Size, cr.MUS.SeedSize, cr.Result.CoreSize)
+	}
+	sub, err := f.SubFormula(cr.MUS.ClauseIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat, _ := testutil.BruteForceSat(sub); sat {
+		t.Fatal("reported MUS is satisfiable")
+	}
+
+	if n := s.metrics.musExtractions.Load(); n != 1 {
+		t.Errorf("zcheckd_mus_extractions_total = %d, want 1", n)
+	}
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mtext, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(mtext), "zcheckd_mus_extractions_total 1") {
+		t.Error("metrics endpoint missing zcheckd_mus_extractions_total")
+	}
+
+	// A second identical request must hit the cache, MUS included, without
+	// re-extracting.
+	ct, body = multipartBody(t, formula, traceBytes)
+	_, data = postCheck(t, ts, "?method=df&core=1&mus=1", ct, body)
+	var cached CheckResponse
+	if err := json.Unmarshal(data, &cached); err != nil {
+		t.Fatal(err)
+	}
+	if !cached.Cached || cached.MUS == nil || cached.MUS.Size != cr.MUS.Size {
+		t.Errorf("cached mus=1 answer wrong: %s", data)
+	}
+	if n := s.metrics.musExtractions.Load(); n != 1 {
+		t.Errorf("cache hit re-extracted the MUS: count %d", n)
+	}
+
+	// And a mus=0 request over the same payload must not share the mus=1
+	// cache entry.
+	ct, body = multipartBody(t, formula, traceBytes)
+	_, data = postCheck(t, ts, "?method=df&core=1", ct, body)
+	var plain CheckResponse
+	if err := json.Unmarshal(data, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.MUS != nil {
+		t.Errorf("mus=0 answer carries a MUS: %s", data)
+	}
+}
+
+// TestParseJobOptionsMUS pins the mus=1 validation rules.
+func TestParseJobOptionsMUS(t *testing.T) {
+	parse := func(q string) error {
+		v, err := url.ParseQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, perr := ParseJobOptions(v)
+		return perr
+	}
+	if err := parse("mus=1"); err != nil {
+		t.Errorf("mus=1 with defaults rejected: %v", err)
+	}
+	if err := parse("mus=1&method=bf"); err == nil {
+		t.Error("mus=1 with breadth-first accepted")
+	}
+	if err := parse("mus=1&format=drat"); err == nil {
+		t.Error("mus=1 with a clausal format accepted")
+	}
+	if err := parse("mus=2"); err == nil {
+		t.Error("mus=2 accepted")
+	}
+	// Round trip through Query.
+	o := JobOptions{MUS: true}
+	if o.Query().Get("mus") != "1" {
+		t.Error("Query does not render mus=1")
+	}
+	back, err := ParseJobOptions(o.Query())
+	if err != nil || !back.MUS {
+		t.Errorf("mus does not round-trip: %+v, %v", back, err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"satcheck"
+	"satcheck/internal/incremental"
 )
 
 // workerPool runs the queued jobs. Each worker is a goroutine ranging over
@@ -81,6 +82,9 @@ func (p *workerPool) run(j *job) {
 
 	p.metrics.ObserveFormat(int(j.req.Format))
 	resp := responseFromReport(rep, j.opts)
+	if j.opts.MUS && rep.Valid {
+		resp.MUS = p.extractMUS(j, rep)
+	}
 	// Both verdicts are deterministic functions of (formula, trace, options):
 	// rejections cache as well as proofs.
 	p.cache.Put(j.key, resp)
@@ -88,6 +92,28 @@ func (p *workerPool) run(j *job) {
 	p.log.Info("check completed", "job", j.id, "method", j.req.Method.String(),
 		"verdict", resp.Verdict, "elapsed", elapsed)
 	j.done <- jobResult{resp: resp}
+}
+
+// extractMUS shrinks a validated check's unsatisfiable core to a minimal
+// unsatisfiable subset on an incremental session (mus=1). Extraction problems
+// are reported in the response's mus.error field rather than failing the
+// check — the verdict itself already stands on the validated proof.
+func (p *workerPool) extractMUS(j *job, rep *satcheck.CheckReport) *MUSJSON {
+	seed := rep.Result.CoreClauses
+	res, err := incremental.ExtractMUSFromCore(j.req.Formula, seed, incremental.Options{})
+	if err != nil {
+		p.log.Error("mus extraction failed", "job", j.id, "err", err)
+		return &MUSJSON{Error: err.Error()}
+	}
+	p.metrics.musExtractions.Add(1)
+	p.log.Info("mus extracted", "job", j.id, "seed", len(res.SeedCore),
+		"mus", len(res.ClauseIDs), "solver_calls", res.Stat.SolverCalls)
+	return &MUSJSON{
+		ClauseIDs:   res.ClauseIDs,
+		Size:        len(res.ClauseIDs),
+		SeedSize:    len(res.SeedCore),
+		SolverCalls: res.Stat.SolverCalls,
+	}
 }
 
 // Wait blocks until every worker has exited (the queue must be closed

@@ -55,6 +55,21 @@ func (h *varHeap) popMax() (cnf.Var, bool) {
 	return top, true
 }
 
+// grow extends the heap to nVars variables and enqueues the new ones.
+// The activity slice may have been reallocated by the caller, so it is
+// re-bound here.
+func (h *varHeap) grow(nVars int, act []float64) {
+	h.act = act
+	old := len(h.pos) - 1
+	pos := make([]int32, nVars+1)
+	copy(pos, h.pos)
+	h.pos = pos
+	for v := old + 1; v <= nVars; v++ {
+		h.pos[v] = -1
+		h.push(cnf.Var(v))
+	}
+}
+
 // bumped restores heap order after v's activity increased.
 func (h *varHeap) bumped(v cnf.Var) {
 	if p := h.pos[v]; p >= 0 {

@@ -1,0 +1,568 @@
+// Incremental solving sessions. A Session keeps one CDCL engine alive across
+// many solve calls: clauses may be added between calls, each call may be
+// restricted by a set of assumption literals (MiniSat-style `solve(assumps)`),
+// and learned clauses persist from call to call.
+//
+// The part that is specific to this repository is that every UNSAT answer —
+// whether at the base level or under assumptions — still yields a resolution
+// trace the independent checkers validate. Assumptions are discharged as
+// *tagged unit antecedents*: when an answer is finalized into a checkable
+// artifact (Artifact), the formula is augmented with one unit clause {a} per
+// assumption a of the failing call, the trail at the moment of failure is
+// emitted as the trace's "level-0" records (assumption decisions citing their
+// unit clause as antecedent, propagated literals citing their real reason),
+// and the failed assumption's unit clause is the final conflicting clause.
+// The checker's final stage then resolves the conflict out through the
+// recorded antecedents exactly as it does for a one-shot level-0 conflict.
+//
+// Soundness of clause persistence: assumption literals are enqueued as
+// decisions (reason == NoReason), so conflict analysis and clause
+// minimization never resolve *on* an assumption variable — every learned
+// clause is a resolution consequence of the base clauses and earlier learned
+// clauses alone, independent of which assumptions were active when it was
+// derived. That is why one session log of learned events serves every call.
+package solver
+
+import (
+	"errors"
+	"fmt"
+
+	"satcheck/internal/cnf"
+	"satcheck/internal/trace"
+)
+
+// learnedRec is one learned-clause event in the session log: the clause's
+// solver ID and its resolve sources (solver IDs), exactly what the solver
+// would have handed a trace.Sink.
+type learnedRec struct {
+	id      int
+	sources []int
+}
+
+// trailRec snapshots one trail entry at the moment an UNSAT answer fired.
+type trailRec struct {
+	lit    cnf.Lit
+	reason int // solver clause ID, or NoReason for an assumption decision
+}
+
+// unsatState captures everything Artifact needs to rebuild a checkable
+// formula+trace pair for one UNSAT answer. Snapshotting the base/learned
+// counts (rather than slicing live state) keeps the artifact valid even if
+// more clauses are added to the session afterwards.
+type unsatState struct {
+	nVars       int
+	nBase       int       // base clauses present at failure
+	nLearned    int       // learned events present at failure
+	assumptions []cnf.Lit // the failing call's assumptions (nil for base-level)
+	failed      cnf.Lit   // the failed assumption, or NoLit for base-level
+	conflictID  int       // conflicting solver clause (base-level case)
+	trail       []trailRec
+}
+
+// Session is a persistent incremental CDCL engine. Unlike Solver, which is
+// single-use over a fixed formula, a Session starts empty and grows: AddClause
+// and SolveAssuming may be interleaved freely. The zero value is not usable;
+// create with NewSession.
+//
+// A Session is not safe for concurrent use.
+type Session struct {
+	s    *Solver
+	base []cnf.Clause // verbatim as-added clause copies; index == base ordinal
+	log  []learnedRec // every learned clause across all calls, in order
+
+	unsat     *unsatState // artifact state of the last UNSAT answer
+	baseUnsat *unsatState // sticky: formula UNSAT with no assumptions at all
+	core      []cnf.Lit
+	model     cnf.Model
+	status    Status
+
+	lastStats Stats // counters of the most recent solve call only
+}
+
+// NewSession returns an empty session. Options have the same meaning as for
+// New; Options.MaxConflicts is a per-call budget.
+func NewSession(opts Options) *Session {
+	s := &Solver{
+		opts:     opts.withDefaults(),
+		emptyCl:  NoReason,
+		watches:  make([][]watcher, 2),
+		assign:   cnf.NewAssignment(0),
+		level:    []int32{-1},
+		reason:   []int{NoReason},
+		trailPos: make([]int32, 1),
+		activity: make([]float64, 1),
+		polarity: make([]bool, 1),
+		seen:     make([]bool, 1),
+		varInc:   1,
+		claInc:   1,
+	}
+	s.order.init(0, s.activity)
+	s.maxLearnts = 1000
+	return &Session{s: s}
+}
+
+// growVars extends every variable-indexed structure of the solver to n
+// variables. New variables start unassigned with zero activity.
+func (s *Solver) growVars(n int) {
+	if n <= s.nVars {
+		return
+	}
+	old := s.nVars
+	s.nVars = n
+
+	w := make([][]watcher, 2*n+2)
+	copy(w, s.watches)
+	s.watches = w
+
+	a := make(cnf.Assignment, n+1)
+	copy(a, s.assign)
+	s.assign = a
+
+	lv := make([]int32, n+1)
+	copy(lv, s.level)
+	rs := make([]int, n+1)
+	copy(rs, s.reason)
+	tp := make([]int32, n+1)
+	copy(tp, s.trailPos)
+	act := make([]float64, n+1)
+	copy(act, s.activity)
+	pol := make([]bool, n+1)
+	copy(pol, s.polarity)
+	sn := make([]bool, n+1)
+	copy(sn, s.seen)
+	s.level, s.reason, s.trailPos = lv, rs, tp
+	s.activity, s.polarity, s.seen = act, pol, sn
+	for v := old + 1; v <= n; v++ {
+		s.level[v] = -1
+		s.reason[v] = NoReason
+	}
+	s.order.grow(n, s.activity)
+}
+
+// NumVars reports the session's current variable count.
+func (ss *Session) NumVars() int { return ss.s.nVars }
+
+// NumClauses reports how many base clauses have been added.
+func (ss *Session) NumClauses() int { return len(ss.base) }
+
+// Clause returns the i-th base clause exactly as it was added. The returned
+// slice is the session's copy and must not be mutated.
+func (ss *Session) Clause(i int) cnf.Clause { return ss.base[i] }
+
+// EnsureVars grows the variable space to at least n variables.
+func (ss *Session) EnsureVars(n int) { ss.s.growVars(n) }
+
+// NewVar allocates a fresh variable and returns it.
+func (ss *Session) NewVar() cnf.Var {
+	ss.s.growVars(ss.s.nVars + 1)
+	return cnf.Var(ss.s.nVars)
+}
+
+// Stats returns the cumulative counters across every call of the session.
+func (ss *Session) Stats() Stats { return ss.s.stats }
+
+// LastStats returns the counters of the most recent SolveAssuming call only.
+// PeakLiveLits is a high-water mark, not a counter, and is reported as the
+// session-lifetime peak in both views.
+func (ss *Session) LastStats() Stats { return ss.lastStats }
+
+// Status returns the outcome of the last solve call.
+func (ss *Session) Status() Status { return ss.status }
+
+// Model returns the satisfying assignment of the last call if it was SAT,
+// nil otherwise. The model is total: unconstrained variables are fixed False.
+func (ss *Session) Model() cnf.Model {
+	if ss.status != StatusSat || ss.model == nil {
+		return nil
+	}
+	m := make(cnf.Model, len(ss.model))
+	copy(m, ss.model)
+	return m
+}
+
+// Core returns the assumption core of the last call if it was UNSAT under
+// assumptions: a subset of the assumption literals whose conjunction with the
+// base clauses is already unsatisfiable. It is empty when the base formula
+// itself is UNSAT, and nil when the last call was not UNSAT.
+func (ss *Session) Core() []cnf.Lit {
+	if ss.status != StatusUnsat {
+		return nil
+	}
+	out := make([]cnf.Lit, len(ss.core))
+	copy(out, ss.core)
+	return out
+}
+
+// AddFormula adds every clause of f to the session.
+func (ss *Session) AddFormula(f *cnf.Formula) error {
+	ss.EnsureVars(f.NumVars)
+	for _, c := range f.Clauses {
+		if err := ss.AddClause(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddClause adds a base clause to the session. The clause is copied; it keeps
+// the next base ordinal regardless of content (tautologies and duplicates
+// included), so artifact clause IDs always match the insertion order.
+func (ss *Session) AddClause(c cnf.Clause) error {
+	s := ss.s
+	maxV := cnf.NoVar
+	for _, l := range c {
+		if !l.IsValid() {
+			return fmt.Errorf("solver: session clause contains invalid literal %d", uint32(l))
+		}
+		if v := l.Var(); v > maxV {
+			maxV = v
+		}
+	}
+	s.growVars(int(maxV))
+	ss.base = append(ss.base, c.Clone())
+
+	id := len(s.clauses)
+	work, taut := c.Clone().Normalize()
+	s.clauses = append(s.clauses, clause{lits: work})
+	s.liveLits += int64(len(work))
+	if s.liveLits > s.stats.PeakLiveLits {
+		s.stats.PeakLiveLits = s.liveLits
+	}
+	if taut || ss.baseUnsat != nil {
+		return nil
+	}
+
+	s.backtrack(0)
+	// Partition the stored literals: non-false (under the permanent level-0
+	// assignment) to the front, so watch slots 0 and 1 are sound.
+	nf := 0
+	sat := false
+	for i, l := range work {
+		v := s.assign.LitValue(l)
+		if v == cnf.False {
+			continue
+		}
+		if v == cnf.True {
+			sat = true
+		}
+		work[nf], work[i] = work[i], work[nf]
+		nf++
+	}
+	switch {
+	case sat:
+		// Satisfied at level 0, hence permanently satisfied: never watched,
+		// like a tautology. (Level-0 assignments are never undone.)
+	case nf == 0:
+		// Every literal is false at level 0 (or the clause is empty): the
+		// base formula is now unsatisfiable, with this clause conflicting.
+		ss.setBaseUnsat(id)
+	case nf == 1:
+		// Unit under the level-0 assignment: propagate it immediately so the
+		// level-0 state stays saturated for subsequent AddClause calls.
+		if !s.enqueue(work[0], id) {
+			ss.setBaseUnsat(id)
+			return nil
+		}
+		if confl := s.propagate(); confl != NoReason {
+			ss.setBaseUnsat(confl)
+		}
+	default:
+		s.watch(id)
+	}
+	return nil
+}
+
+// Solve is SolveAssuming with no assumptions.
+func (ss *Session) Solve() (Status, error) { return ss.SolveAssuming(nil) }
+
+// SolveAssuming runs the CDCL search with every literal of assumps forced
+// true. It returns StatusSat with a model, StatusUnsat with an assumption
+// core (Core) and a checkable artifact (Artifact), or StatusUnknown when the
+// per-call conflict budget expires. Learned clauses persist across calls.
+func (ss *Session) SolveAssuming(assumps []cnf.Lit) (Status, error) {
+	s := ss.s
+	before := s.stats
+	st, err := ss.solveAssuming(assumps)
+	ss.lastStats = statsDelta(s.stats, before)
+	ss.status = st
+	return st, err
+}
+
+func (ss *Session) solveAssuming(assumps []cnf.Lit) (Status, error) {
+	s := ss.s
+	ss.unsat = nil
+	ss.core = nil
+	ss.model = nil
+
+	for _, l := range assumps {
+		if !l.IsValid() {
+			return StatusUnknown, fmt.Errorf("solver: invalid assumption literal %d", uint32(l))
+		}
+		s.growVars(int(l.Var()))
+	}
+
+	if ss.baseUnsat != nil {
+		ss.unsat = ss.baseUnsat
+		ss.core = []cnf.Lit{}
+		return StatusUnsat, nil
+	}
+
+	s.backtrack(0)
+	if confl := s.propagate(); confl != NoReason {
+		ss.setBaseUnsat(confl)
+		return StatusUnsat, nil
+	}
+
+	confStart := s.stats.Conflicts
+	restartSeq := 0
+	conflictsAtRestart := s.stats.Conflicts
+	restartLimit := int64(luby(restartSeq) * s.opts.RestartBase)
+
+	for {
+		confl := s.propagate()
+		if confl != NoReason {
+			s.stats.Conflicts++
+			if s.decisionLevel() == 0 {
+				ss.setBaseUnsat(confl)
+				return StatusUnsat, nil
+			}
+			learnt, btLevel, sources := s.analyze(confl)
+			s.backtrack(btLevel)
+			id := s.addLearnt(learnt)
+			ss.log = append(ss.log, learnedRec{id: id, sources: sources})
+			s.enqueue(learnt[0], id)
+			s.decayActivities()
+			if s.opts.MaxConflicts > 0 && s.stats.Conflicts-confStart >= s.opts.MaxConflicts {
+				s.backtrack(0)
+				return StatusUnknown, nil
+			}
+			continue
+		}
+
+		if !s.opts.DisableRestarts && s.stats.Conflicts-conflictsAtRestart >= restartLimit {
+			s.stats.Restarts++
+			restartSeq++
+			conflictsAtRestart = s.stats.Conflicts
+			restartLimit = int64(luby(restartSeq) * s.opts.RestartBase)
+			s.backtrack(0)
+			continue
+		}
+
+		if !s.opts.DisableReduce && float64(s.numLearnts) >= s.maxLearnts {
+			s.reduceDB()
+		}
+
+		if dl := s.decisionLevel(); dl < len(assumps) {
+			// Place the next assumption as a decision. Decision level i+1
+			// always corresponds to assumps[i]: already-true assumptions get
+			// a dummy (empty) level so the correspondence survives.
+			p := assumps[dl]
+			switch s.assign.LitValue(p) {
+			case cnf.True:
+				s.trailLim = append(s.trailLim, len(s.trail))
+			case cnf.False:
+				ss.core = s.analyzeFinal(p)
+				ss.unsat = ss.capture(assumps, p, NoReason)
+				s.backtrack(0)
+				return StatusUnsat, nil
+			default:
+				s.trailLim = append(s.trailLim, len(s.trail))
+				s.enqueue(p, NoReason)
+			}
+			continue
+		}
+
+		if !s.decide() {
+			m := make(cnf.Model, len(s.assign))
+			copy(m, s.assign)
+			for v := 1; v <= s.nVars; v++ {
+				if m[v] == cnf.Unknown {
+					m[v] = cnf.False
+				}
+			}
+			ss.model = m
+			s.backtrack(0)
+			return StatusSat, nil
+		}
+	}
+}
+
+// analyzeFinal computes the assumption core for failed assumption p: walk the
+// implication graph from ¬p backwards along the trail; every assumption
+// decision reached is part of the reason p cannot hold (MiniSat's
+// analyzeFinal). The returned core always contains p itself.
+func (s *Solver) analyzeFinal(p cnf.Lit) []cnf.Lit {
+	core := []cnf.Lit{p}
+	if s.decisionLevel() == 0 {
+		return core
+	}
+	s.seen[p.Var()] = true
+	bottom := s.trailLim[0]
+	for i := len(s.trail) - 1; i >= bottom; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		if !s.seen[v] {
+			continue
+		}
+		if r := s.reason[v]; r == NoReason {
+			// An assumption decision this conflict depends on.
+			core = append(core, l)
+		} else {
+			for _, q := range s.clauses[r].lits {
+				if qv := q.Var(); qv != v && s.level[qv] > 0 {
+					s.seen[qv] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	s.seen[p.Var()] = false
+	return core
+}
+
+// setBaseUnsat records that the base formula (no assumptions) is
+// unsatisfiable, with solver clause confl conflicting under the level-0
+// assignment. The state is sticky: every later call answers UNSAT with an
+// empty assumption core and the same artifact.
+func (ss *Session) setBaseUnsat(confl int) {
+	u := ss.capture(nil, cnf.NoLit, confl)
+	ss.baseUnsat = u
+	ss.unsat = u
+	ss.core = []cnf.Lit{}
+	ss.status = StatusUnsat
+}
+
+// capture snapshots the solver state backing one UNSAT answer. It must run
+// before the trail is unwound.
+func (ss *Session) capture(assumps []cnf.Lit, failed cnf.Lit, confl int) *unsatState {
+	s := ss.s
+	u := &unsatState{
+		nVars:      s.nVars,
+		nBase:      len(ss.base),
+		nLearned:   len(ss.log),
+		failed:     failed,
+		conflictID: confl,
+	}
+	if len(assumps) > 0 {
+		u.assumptions = append([]cnf.Lit(nil), assumps...)
+	}
+	u.trail = make([]trailRec, len(s.trail))
+	for i, l := range s.trail {
+		u.trail[i] = trailRec{lit: l, reason: s.reason[l.Var()]}
+	}
+	return u
+}
+
+// ErrNoArtifact is returned by Artifact when the last answer was not UNSAT.
+var ErrNoArtifact = errors.New("solver: session has no UNSAT answer to finalize")
+
+// Artifact finalizes the last UNSAT answer into an independently checkable
+// (formula, trace) pair:
+//
+//   - the formula is the base clauses as added (IDs 0..nBase-1) followed by
+//     one unit clause per assumption of the failing call (IDs
+//     nBase..nBase+k-1) — the tagged unit antecedents;
+//   - the trace contains every learned clause of the session up to the
+//     failure, renumbered to consecutive IDs from nBase+k with remapped
+//     sources; then the whole trail at the moment of failure as "level-0"
+//     records (assumption decisions cite their unit clause, everything else
+//     its real reason clause); then the final conflict — the failed
+//     assumption's unit clause, or the conflicting clause itself for a
+//     base-level conflict.
+//
+// The result is a self-contained resolution proof that the augmented formula
+// is unsatisfiable, i.e. that the base clauses force the assumptions to be
+// violated. It passes trace.Load and all four native checkers. The returned
+// formula shares clause storage with the session and must not be mutated.
+func (ss *Session) Artifact() (*cnf.Formula, *trace.MemoryTrace, error) {
+	u := ss.unsat
+	if ss.status != StatusUnsat || u == nil {
+		return nil, nil, ErrNoArtifact
+	}
+	s := ss.s
+	k := len(u.assumptions)
+
+	f := &cnf.Formula{NumVars: u.nVars, Clauses: make([]cnf.Clause, 0, u.nBase+k)}
+	f.Clauses = append(f.Clauses, ss.base[:u.nBase]...)
+	unitOf := make(map[cnf.Lit]int, k)
+	for j, a := range u.assumptions {
+		f.Clauses = append(f.Clauses, cnf.Clause{a})
+		if _, ok := unitOf[a]; !ok {
+			unitOf[a] = u.nBase + j
+		}
+	}
+
+	// Solver clause ID -> artifact ID. Base ordinals and learned ordinals are
+	// recovered by walking the clause DB in ID (= creation) order; clauses
+	// created after the failure map to -1 and can never be referenced by the
+	// snapshot.
+	amap := make([]int, len(s.clauses))
+	b, l := 0, 0
+	for id := range s.clauses {
+		if s.clauses[id].learned {
+			if l < u.nLearned {
+				amap[id] = u.nBase + k + l
+			} else {
+				amap[id] = -1
+			}
+			l++
+		} else {
+			if b < u.nBase {
+				amap[id] = b
+			} else {
+				amap[id] = -1
+			}
+			b++
+		}
+	}
+
+	mt := &trace.MemoryTrace{}
+	for i, rec := range ss.log[:u.nLearned] {
+		srcs := make([]int, len(rec.sources))
+		for j, sid := range rec.sources {
+			srcs[j] = amap[sid]
+		}
+		mt.Events = append(mt.Events, trace.Event{
+			Kind: trace.KindLearned, ID: u.nBase + k + i, Sources: srcs,
+		})
+	}
+	for _, tr := range u.trail {
+		ante := tr.reason
+		if ante == NoReason {
+			id, ok := unitOf[tr.lit]
+			if !ok {
+				return nil, nil, fmt.Errorf("solver: trail decision %s is not an assumption of the failing call", tr.lit)
+			}
+			ante = id
+		} else {
+			ante = amap[ante]
+		}
+		mt.Events = append(mt.Events, trace.Event{
+			Kind: trace.KindLevelZero, Var: tr.lit.Var(), Value: !tr.lit.IsNeg(), Ante: ante,
+		})
+	}
+	final := 0
+	if u.failed != cnf.NoLit {
+		final = unitOf[u.failed]
+	} else {
+		final = amap[u.conflictID]
+	}
+	mt.Events = append(mt.Events, trace.Event{Kind: trace.KindFinalConflict, ID: final})
+	return f, mt, nil
+}
+
+// statsDelta subtracts the monotone counters; PeakLiveLits is a high-water
+// mark and is carried over unchanged.
+func statsDelta(after, before Stats) Stats {
+	return Stats{
+		Decisions:    after.Decisions - before.Decisions,
+		Propagations: after.Propagations - before.Propagations,
+		Conflicts:    after.Conflicts - before.Conflicts,
+		Learned:      after.Learned - before.Learned,
+		LearnedLits:  after.LearnedLits - before.LearnedLits,
+		Minimized:    after.Minimized - before.Minimized,
+		Deleted:      after.Deleted - before.Deleted,
+		Restarts:     after.Restarts - before.Restarts,
+		PeakLiveLits: after.PeakLiveLits,
+	}
+}

@@ -1,0 +1,424 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/cnf"
+	"satcheck/internal/testutil"
+	"satcheck/internal/trace"
+)
+
+// checkSessionArtifact finalizes the session's last UNSAT answer and fans it
+// through trace.Load plus all four native checkers. Every UNSAT answer a
+// session produces must survive this — it is the repo's reason to exist.
+func checkSessionArtifact(t *testing.T, ss *Session) *checker.Result {
+	t.Helper()
+	f, mt, err := ss.Artifact()
+	if err != nil {
+		t.Fatalf("Artifact: %v", err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("artifact formula invalid: %v", err)
+	}
+	if _, err := trace.Load(mt); err != nil {
+		t.Fatalf("artifact trace malformed: %v", err)
+	}
+	df, err := checker.DepthFirst(f, mt, checker.Options{})
+	if err != nil {
+		t.Fatalf("depth-first rejects artifact: %v", err)
+	}
+	if _, err := checker.BreadthFirst(f, mt, checker.Options{}); err != nil {
+		t.Fatalf("breadth-first rejects artifact: %v", err)
+	}
+	if _, err := checker.Hybrid(f, mt, checker.Options{}); err != nil {
+		t.Fatalf("hybrid rejects artifact: %v", err)
+	}
+	if _, err := checker.Parallel(f, mt, checker.Options{Parallelism: 2}); err != nil {
+		t.Fatalf("parallel rejects artifact: %v", err)
+	}
+	return df
+}
+
+func mustSolveAssuming(t *testing.T, ss *Session, assumps []cnf.Lit) Status {
+	t.Helper()
+	st, err := ss.SolveAssuming(assumps)
+	if err != nil {
+		t.Fatalf("SolveAssuming(%v): %v", assumps, err)
+	}
+	return st
+}
+
+func TestSessionEmptyIsSat(t *testing.T) {
+	ss := NewSession(Options{})
+	if st := mustSolveAssuming(t, ss, nil); st != StatusSat {
+		t.Fatalf("empty session: %v", st)
+	}
+}
+
+func TestSessionBaseUnsatArtifact(t *testing.T) {
+	// Pigeonhole-ish tiny UNSAT: contradictory chain.
+	f := cnf.NewFormula(2)
+	f.AddClause(1, 2)
+	f.AddClause(1, -2)
+	f.AddClause(-1, 2)
+	f.AddClause(-1, -2)
+	ss := NewSession(Options{})
+	if err := ss.AddFormula(f); err != nil {
+		t.Fatal(err)
+	}
+	if st := mustSolveAssuming(t, ss, nil); st != StatusUnsat {
+		t.Fatalf("status %v", st)
+	}
+	if got := ss.Core(); len(got) != 0 {
+		t.Fatalf("base-level UNSAT must have empty assumption core, got %v", got)
+	}
+	checkSessionArtifact(t, ss)
+
+	// Sticky: further calls, with or without assumptions, stay UNSAT and
+	// keep producing a valid artifact.
+	if st := mustSolveAssuming(t, ss, []cnf.Lit{cnf.PosLit(1)}); st != StatusUnsat {
+		t.Fatalf("sticky base UNSAT violated: %v", st)
+	}
+	checkSessionArtifact(t, ss)
+}
+
+func TestSessionEmptyClauseViaAddClause(t *testing.T) {
+	ss := NewSession(Options{})
+	if err := ss.AddClause(cnf.Clause{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := mustSolveAssuming(t, ss, nil); st != StatusUnsat {
+		t.Fatalf("status %v", st)
+	}
+	checkSessionArtifact(t, ss)
+}
+
+func TestSessionContradictoryUnitsViaAddClause(t *testing.T) {
+	ss := NewSession(Options{})
+	if err := ss.AddClause(cnf.Clause{cnf.PosLit(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.AddClause(cnf.Clause{cnf.NegLit(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if st := mustSolveAssuming(t, ss, nil); st != StatusUnsat {
+		t.Fatalf("status %v", st)
+	}
+	checkSessionArtifact(t, ss)
+}
+
+func TestSessionFailedAssumptionArtifact(t *testing.T) {
+	// (x1 -> x2), (x2 -> x3): satisfiable, but assuming x1 and ¬x3 is not.
+	ss := NewSession(Options{})
+	f := cnf.NewFormula(3)
+	f.AddClause(-1, 2)
+	f.AddClause(-2, 3)
+	if err := ss.AddFormula(f); err != nil {
+		t.Fatal(err)
+	}
+	assumps := []cnf.Lit{cnf.PosLit(1), cnf.NegLit(3)}
+	if st := mustSolveAssuming(t, ss, assumps); st != StatusUnsat {
+		t.Fatalf("status %v", st)
+	}
+	core := ss.Core()
+	if len(core) == 0 {
+		t.Fatal("assumption core empty")
+	}
+	if !subsetLits(core, assumps) {
+		t.Fatalf("core %v not a subset of assumptions %v", core, assumps)
+	}
+	checkSessionArtifact(t, ss)
+
+	// The same session solved without the blocking assumption is SAT.
+	if st := mustSolveAssuming(t, ss, []cnf.Lit{cnf.PosLit(1)}); st != StatusSat {
+		t.Fatalf("relaxed call: %v", st)
+	}
+	m := ss.Model()
+	if m.Value(1) != cnf.True || m.Value(2) != cnf.True || m.Value(3) != cnf.True {
+		t.Fatalf("model %v does not satisfy the implication chain under x1", m)
+	}
+}
+
+func TestSessionConflictingAssumptions(t *testing.T) {
+	ss := NewSession(Options{})
+	ss.EnsureVars(1)
+	assumps := []cnf.Lit{cnf.PosLit(1), cnf.NegLit(1)}
+	if st := mustSolveAssuming(t, ss, assumps); st != StatusUnsat {
+		t.Fatalf("status %v", st)
+	}
+	core := ss.Core()
+	if !subsetLits(core, assumps) || len(core) != 2 {
+		t.Fatalf("core %v, want both conflicting assumptions", core)
+	}
+	checkSessionArtifact(t, ss)
+}
+
+func TestSessionDuplicateAssumptions(t *testing.T) {
+	ss := NewSession(Options{})
+	if err := ss.AddClause(cnf.Clause{cnf.NegLit(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if st := mustSolveAssuming(t, ss, []cnf.Lit{cnf.PosLit(1), cnf.PosLit(1)}); st != StatusUnsat {
+		t.Fatalf("status %v", st)
+	}
+	checkSessionArtifact(t, ss)
+}
+
+func TestSessionAddClauseBetweenCalls(t *testing.T) {
+	ss := NewSession(Options{})
+	if err := ss.AddClause(cnf.Clause{cnf.PosLit(1), cnf.PosLit(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if st := mustSolveAssuming(t, ss, nil); st != StatusSat {
+		t.Fatalf("first call: %v", st)
+	}
+	// Force ¬1 and ¬2: now UNSAT at the base level after two more clauses.
+	if err := ss.AddClause(cnf.Clause{cnf.NegLit(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if st := mustSolveAssuming(t, ss, []cnf.Lit{cnf.NegLit(2)}); st != StatusUnsat {
+		t.Fatalf("assuming ¬2: %v", st)
+	}
+	checkSessionArtifact(t, ss)
+	if err := ss.AddClause(cnf.Clause{cnf.NegLit(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if st := mustSolveAssuming(t, ss, nil); st != StatusUnsat {
+		t.Fatalf("after ¬2 clause: %v", st)
+	}
+	if len(ss.Core()) != 0 {
+		t.Fatalf("base UNSAT core not empty: %v", ss.Core())
+	}
+	checkSessionArtifact(t, ss)
+}
+
+func TestSessionMaxConflictsBudget(t *testing.T) {
+	f := hardUnsat()
+	ss := NewSession(Options{MaxConflicts: 1})
+	if err := ss.AddFormula(f); err != nil {
+		t.Fatal(err)
+	}
+	st := mustSolveAssuming(t, ss, nil)
+	if st != StatusUnknown {
+		t.Fatalf("status %v, want UNKNOWN under a 1-conflict budget", st)
+	}
+	if _, _, err := ss.Artifact(); err == nil {
+		t.Fatal("Artifact must fail after an UNKNOWN answer")
+	}
+}
+
+func TestSessionStatsPerCallAndCumulative(t *testing.T) {
+	// The audit-fix contract: Stats() accumulates across SolveAssuming calls,
+	// LastStats() is the delta of the most recent call, and the sum of the
+	// per-call deltas equals the cumulative counters exactly.
+	f := hardUnsat()
+	ss := NewSession(Options{})
+	if err := ss.AddFormula(f); err != nil {
+		t.Fatal(err)
+	}
+	addStats := ss.Stats() // AddClause may propagate; fold into the baseline
+
+	var sum Stats
+	accumulate := func(d Stats) {
+		sum.Decisions += d.Decisions
+		sum.Propagations += d.Propagations
+		sum.Conflicts += d.Conflicts
+		sum.Learned += d.Learned
+		sum.LearnedLits += d.LearnedLits
+		sum.Minimized += d.Minimized
+		sum.Deleted += d.Deleted
+		sum.Restarts += d.Restarts
+	}
+	accumulate(addStats)
+
+	for call := 0; call < 3; call++ {
+		st := mustSolveAssuming(t, ss, nil)
+		if st != StatusUnsat {
+			t.Fatalf("call %d: %v", call, st)
+		}
+		accumulate(ss.LastStats())
+	}
+	cum := ss.Stats()
+	if cum.Conflicts != sum.Conflicts || cum.Decisions != sum.Decisions ||
+		cum.Propagations != sum.Propagations || cum.Learned != sum.Learned ||
+		cum.LearnedLits != sum.LearnedLits || cum.Minimized != sum.Minimized ||
+		cum.Deleted != sum.Deleted || cum.Restarts != sum.Restarts {
+		t.Fatalf("cumulative %+v != sum of per-call deltas %+v", cum, sum)
+	}
+	// The first call did the real work; the sticky repeats are free.
+	if ss.LastStats().Conflicts != 0 {
+		t.Fatalf("sticky UNSAT repeat performed %d conflicts", ss.LastStats().Conflicts)
+	}
+	if cum.Conflicts == 0 || cum.Learned == 0 {
+		t.Fatalf("implausible cumulative stats %+v", cum)
+	}
+}
+
+// TestSessionDifferentialVsScratch is the engine-level oracle: on random
+// instances and random assumption sets, a session must agree with a scratch
+// solver run on formula+assumption-units, its assumption core must be a
+// subset of the assumptions that is itself sufficient for UNSAT, and every
+// UNSAT answer's artifact must pass the checkers.
+func TestSessionDifferentialVsScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 120; round++ {
+		f := testutil.RandomFormula(rng, 8, 24, 3)
+		ss := NewSession(Options{})
+		if err := ss.AddFormula(f); err != nil {
+			t.Fatal(err)
+		}
+		for call := 0; call < 6; call++ {
+			var assumps []cnf.Lit
+			for v := cnf.Var(1); int(v) <= f.NumVars; v++ {
+				switch rng.Intn(4) {
+				case 0:
+					assumps = append(assumps, cnf.PosLit(v))
+				case 1:
+					assumps = append(assumps, cnf.NegLit(v))
+				}
+			}
+			rng.Shuffle(len(assumps), func(i, j int) { assumps[i], assumps[j] = assumps[j], assumps[i] })
+
+			st := mustSolveAssuming(t, ss, assumps)
+			wantSat := scratchSatUnderAssumptions(t, f, assumps)
+			switch st {
+			case StatusSat:
+				if !wantSat {
+					t.Fatalf("round %d call %d: session SAT, scratch UNSAT\nformula %s\nassumps %v",
+						round, call, cnf.DimacsString(f), assumps)
+				}
+				m := ss.Model()
+				if bad, ok := cnf.VerifyModel(f, m); !ok {
+					t.Fatalf("round %d call %d: model fails clause %d", round, call, bad)
+				}
+				for _, a := range assumps {
+					if m.LitValue(a) != cnf.True {
+						t.Fatalf("round %d call %d: model violates assumption %v", round, call, a)
+					}
+				}
+			case StatusUnsat:
+				if wantSat {
+					t.Fatalf("round %d call %d: session UNSAT, scratch SAT\nformula %s\nassumps %v",
+						round, call, cnf.DimacsString(f), assumps)
+				}
+				core := ss.Core()
+				if !subsetLits(core, assumps) {
+					t.Fatalf("round %d call %d: core %v ⊄ assumptions %v", round, call, core, assumps)
+				}
+				if scratchSatUnderAssumptions(t, f, core) {
+					t.Fatalf("round %d call %d: assumption core %v is not sufficient for UNSAT", round, call, core)
+				}
+				checkSessionArtifact(t, ss)
+			default:
+				t.Fatalf("round %d call %d: unexpected %v", round, call, st)
+			}
+		}
+	}
+}
+
+// scratchSatUnderAssumptions solves f plus one unit clause per assumption
+// with a fresh single-use solver.
+func scratchSatUnderAssumptions(t *testing.T, f *cnf.Formula, assumps []cnf.Lit) bool {
+	t.Helper()
+	g := f.Clone()
+	for _, a := range assumps {
+		g.Add(cnf.Clause{a})
+	}
+	st, _ := solve(t, g, Options{})
+	if st == StatusUnknown {
+		t.Fatal("scratch solver returned UNKNOWN without a budget")
+	}
+	return st == StatusSat
+}
+
+func subsetLits(sub, super []cnf.Lit) bool {
+	in := make(map[cnf.Lit]bool, len(super))
+	for _, l := range super {
+		in[l] = true
+	}
+	for _, l := range sub {
+		if !in[l] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSessionVarGrowth(t *testing.T) {
+	ss := NewSession(Options{})
+	if err := ss.AddClause(cnf.Clause{cnf.PosLit(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if st := mustSolveAssuming(t, ss, nil); st != StatusSat {
+		t.Fatalf("status %v", st)
+	}
+	// Grow by clause, by EnsureVars, and by NewVar; all must be decidable.
+	if err := ss.AddClause(cnf.Clause{cnf.NegLit(1), cnf.PosLit(5)}); err != nil {
+		t.Fatal(err)
+	}
+	ss.EnsureVars(7)
+	v := ss.NewVar()
+	if v != 8 {
+		t.Fatalf("NewVar = %d, want 8", v)
+	}
+	if st := mustSolveAssuming(t, ss, []cnf.Lit{cnf.NegLit(v)}); st != StatusSat {
+		t.Fatalf("status %v", st)
+	}
+	m := ss.Model()
+	if m.Value(5) != cnf.True {
+		t.Fatalf("x5 = %v, want true (implied by x1)", m.Value(5))
+	}
+	if m.Value(v) != cnf.False {
+		t.Fatalf("assumed ¬x8 but model has %v", m.Value(v))
+	}
+	// And UNSAT across the grown space still finalizes.
+	if err := ss.AddClause(cnf.Clause{cnf.NegLit(5)}); err != nil {
+		t.Fatal(err)
+	}
+	if st := mustSolveAssuming(t, ss, nil); st != StatusUnsat {
+		t.Fatalf("status %v", st)
+	}
+	checkSessionArtifact(t, ss)
+}
+
+func TestSessionInvalidInputs(t *testing.T) {
+	ss := NewSession(Options{})
+	if err := ss.AddClause(cnf.Clause{cnf.NoLit}); err == nil {
+		t.Fatal("invalid literal accepted by AddClause")
+	}
+	if _, err := ss.SolveAssuming([]cnf.Lit{cnf.NoLit}); err == nil {
+		t.Fatal("invalid assumption accepted")
+	}
+}
+
+// TestSessionLearnedClausesPersist checks warm starting: a second identical
+// call must not re-derive the proof from zero. (The exact counts are
+// heuristic-dependent; the invariant is that the sticky/learned state makes
+// repeat calls cheaper, and that correctness is unaffected — the artifact
+// check does the latter.)
+func TestSessionLearnedClausesPersist(t *testing.T) {
+	f := hardUnsat()
+	ss := NewSession(Options{})
+	if err := ss.AddFormula(f); err != nil {
+		t.Fatal(err)
+	}
+	// Solve under an assumption touching the instance, then again: the
+	// second call reuses the learned clauses of the first.
+	a := []cnf.Lit{cnf.PosLit(1)}
+	if st := mustSolveAssuming(t, ss, a); st != StatusUnsat {
+		t.Fatalf("status %v", st)
+	}
+	first := ss.LastStats()
+	checkSessionArtifact(t, ss)
+	if st := mustSolveAssuming(t, ss, a); st != StatusUnsat {
+		t.Fatalf("status %v", st)
+	}
+	second := ss.LastStats()
+	checkSessionArtifact(t, ss)
+	if first.Conflicts > 0 && second.Conflicts > first.Conflicts {
+		t.Fatalf("warm-started repeat did more work: first %d conflicts, second %d",
+			first.Conflicts, second.Conflicts)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"satcheck/internal/checker"
 	"satcheck/internal/cnf"
 	"satcheck/internal/core"
+	"satcheck/internal/incremental"
 	"satcheck/internal/interp"
 	"satcheck/internal/proofstat"
 	"satcheck/internal/solver"
@@ -286,4 +287,64 @@ func ExportTraceCheck(f *Formula, src TraceSource, w io.Writer) error {
 func MinimalCore(f *Formula, opts SolverOptions) (*CoreExtraction, error) {
 	ext, _, err := core.Minimal(f, opts)
 	return ext, err
+}
+
+// Incremental solving (assumption-based sessions where every answer is
+// independently validated; see internal/incremental).
+type (
+	// IncrementalSession is a persistent solver session: clauses persist
+	// across calls, learned clauses are reused, and each SolveAssuming answer
+	// is validated — UNSAT proofs replay through a native checker, SAT models
+	// are checked against every clause and assumption.
+	IncrementalSession = incremental.Session
+	// IncrementalOptions configures an incremental session.
+	IncrementalOptions = incremental.Options
+	// MUSExtraction is a minimal unsatisfiable subset with provenance.
+	MUSExtraction = incremental.MUSResult
+	// VerificationError reports an answer that failed its independent check.
+	VerificationError = incremental.VerificationError
+)
+
+// ErrSatisfiable is returned by ExtractMUS for satisfiable input.
+var ErrSatisfiable = incremental.ErrSatisfiable
+
+// checkMethod maps the facade Method to the incremental subsystem's enum.
+func checkMethod(m Method) incremental.CheckMethod {
+	switch m {
+	case BreadthFirst:
+		return incremental.CheckBreadthFirst
+	case Hybrid:
+		return incremental.CheckHybrid
+	case Parallel:
+		return incremental.CheckParallel
+	default:
+		return incremental.CheckDepthFirst
+	}
+}
+
+// NewIncrementalSession returns an empty validated session whose UNSAT
+// answers are checked with method m.
+func NewIncrementalSession(m Method, opts SolverOptions) *IncrementalSession {
+	return incremental.NewSession(incremental.Options{Solver: opts, Check: checkMethod(m)})
+}
+
+// SolveIncremental loads f into a fresh validated session and solves it under
+// the given assumptions, returning the session for further calls (add more
+// clauses, change assumptions, read Core/Model/CheckResult).
+func SolveIncremental(f *Formula, assumps []Lit, m Method, opts SolverOptions) (Status, *IncrementalSession, error) {
+	s := NewIncrementalSession(m, opts)
+	if err := s.AddFormula(f); err != nil {
+		return StatusUnknown, nil, err
+	}
+	st, err := s.SolveAssuming(assumps)
+	return st, s, err
+}
+
+// ExtractMUS shrinks f to a minimal unsatisfiable subset on one incremental
+// session with clause-selector assumptions, validating every intermediate
+// answer (UNSAT steps through a native checker, SAT steps by model). It is
+// the session-based successor to MinimalCore — same guarantee, one solver
+// instance instead of one per deletion test.
+func ExtractMUS(f *Formula, opts SolverOptions) (*MUSExtraction, error) {
+	return incremental.ExtractMUS(f, incremental.Options{Solver: opts})
 }
