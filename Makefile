@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-table3 bench-all experiments examples fuzz zfuzz zfuzz-soak clean
+.PHONY: all build test vet lint race bench bench-table3 bench-bdd bench-all experiments examples fuzz zfuzz zfuzz-soak clean
 
 all: build vet test
 
@@ -53,6 +53,16 @@ bench-table3:
 	$(GO) test . -run TestNone -bench 'BenchmarkTable3' -benchmem -count=3 \
 		| $(GO) run ./cmd/benchjson -o BENCH_table3.json
 
+# Record the BDD-vs-CDCL ablation (Tseitin parity, pigeonhole, XOR chains,
+# random 3-SAT) as BENCH_bdd.json; see EXPERIMENTS.md for the recorded
+# numbers and the win/loss analysis. -benchtime 1x because the slow side of
+# each pair runs seconds to tens of seconds — three single-shot samples
+# bound the variance without hour-long runs. (No -cpu pin: both solvers are
+# sequential, same reasoning as bench-table3.)
+bench-bdd:
+	$(GO) test . -run TestNone -bench 'BenchmarkBDDvsCDCL' -benchmem -benchtime 1x -count=3 \
+		| $(GO) run ./cmd/benchjson -o BENCH_bdd.json
+
 # Every benchmark in the repository, one sample, no recording.
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
@@ -77,6 +87,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzParseVerify -fuzztime 30s ./internal/tracecheck/
 	$(GO) test -run xxx -fuzz FuzzDRATParse -fuzztime 30s ./internal/drat/
 	$(GO) test -run xxx -fuzz FuzzLRATParse -fuzztime 30s ./internal/drat/
+	$(GO) test -run xxx -fuzz FuzzERLRATBridge -fuzztime 30s ./internal/bdd/
 
 # Adversarial conformance campaign (differential fuzz + mutation escapes);
 # see docs/TESTING.md. zfuzz is the CI smoke shape, zfuzz-soak the nightly one.

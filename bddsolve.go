@@ -1,0 +1,96 @@
+package satcheck
+
+import (
+	"io"
+
+	"satcheck/internal/bdd"
+	"satcheck/internal/checker"
+)
+
+// The BDD backend (see internal/bdd and docs/BDD.md): a reduced-ordered-BDD
+// solver whose every operation appends extended-resolution proof steps, so
+// UNSAT answers arrive with a complete ER proof and SAT answers with a model
+// read off a satisfying path. Both are claims until checked: CheckER bridges
+// the proof to LRAT for the independent hint-following verifier, and
+// VerifyModel covers the SAT side.
+
+type (
+	// BDDOptions configures SolveBDD (variable order, bucket elimination,
+	// node budget, proof emission).
+	BDDOptions = bdd.Options
+	// BDDResult is a BDD solve outcome: status, model or ER proof, stats.
+	BDDResult = bdd.Result
+	// BDDOrder selects the variable-ordering heuristic.
+	BDDOrder = bdd.Order
+	// BDDStats counts a BDD solve's work.
+	BDDStats = bdd.Stats
+	// ERProof is an extended-resolution proof (extension-variable
+	// definitions plus RUP lemmas with hints).
+	ERProof = bdd.Proof
+)
+
+// The variable-ordering heuristics.
+const (
+	// BDDOrderStatic orders variables by first occurrence.
+	BDDOrderStatic = bdd.OrderStatic
+	// BDDOrderForce refines the static order with FORCE-style
+	// center-of-gravity iterations.
+	BDDOrderForce = bdd.OrderForce
+	// BDDOrderNatural keeps the DIMACS numbering (control baseline).
+	BDDOrderNatural = bdd.OrderNatural
+)
+
+// ParseBDDOrder parses an ordering name ("static", "force", "natural").
+func ParseBDDOrder(s string) (BDDOrder, error) { return bdd.ParseOrder(s) }
+
+// SolveBDD decides f by BDD construction. With Options.Proof set, an UNSAT
+// verdict carries an ER proof for CheckER; SAT verdicts carry a model for
+// VerifyModel. StatusUnknown reports an exhausted node budget.
+func SolveBDD(f *Formula, opts BDDOptions) (*BDDResult, error) {
+	return bdd.Solve(f, opts)
+}
+
+// CheckERProof validates an in-memory ER proof of f's unsatisfiability by
+// bridging it to LRAT and running the independent hint-following verifier.
+func CheckERProof(f *Formula, p *ERProof, opts CheckOptions) (*CheckResult, error) {
+	return bdd.CheckER(f, p, opts)
+}
+
+// CheckER reads an ER proof from src and validates it against f (the
+// ProofSource arm used by CheckRequest and the zcheckd service).
+func CheckER(f *Formula, src ProofSource, opts CheckOptions) (*CheckResult, error) {
+	p, err := loadERProof(src)
+	if err != nil {
+		return nil, err
+	}
+	return bdd.CheckER(f, p, opts)
+}
+
+// ParseERProof reads an ER proof in its ASCII format ("p er" header,
+// definition and RUP lines).
+func ParseERProof(r io.Reader) (*ERProof, error) { return bdd.ParseER(r) }
+
+// WriteERProof writes p in the ASCII ER format.
+func WriteERProof(w io.Writer, p *ERProof) error { return bdd.WriteER(w, p) }
+
+// WriteERAsLRAT bridges the ER proof and writes the resulting LRAT text, for
+// handing BDD proofs to external LRAT tooling.
+func WriteERAsLRAT(w io.Writer, f *Formula, p *ERProof) error {
+	return bdd.WriteLRAT(w, f, p)
+}
+
+// loadERProof opens the source and parses the ER proof. Parse failures are
+// *CheckError (FailTrace), matching the clausal checkers: a malformed proof
+// is a rejection report, not an infrastructure error.
+func loadERProof(src ProofSource) (*ERProof, error) {
+	rc, err := src.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	p, err := bdd.ParseER(rc)
+	if err != nil {
+		return nil, &CheckError{Kind: checker.FailTrace, ClauseID: -1, Step: -1, Err: err}
+	}
+	return p, nil
+}

@@ -22,8 +22,9 @@ type CheckRequest struct {
 	Trace TraceSource
 	// Format selects the proof encoding: FormatNative checks Trace with the
 	// resolution checkers, FormatDRAT/FormatLRAT check Proof with the
-	// clausal checkers. Verdict and report semantics are identical across
-	// formats: a rejected proof is a report, never an error.
+	// clausal checkers, and FormatER checks Proof through the ER→LRAT
+	// bridge. Verdict and report semantics are identical across formats: a
+	// rejected proof is a report, never an error.
 	Format ProofFormat
 	// Proof supplies the clausal proof bytes when Format != FormatNative.
 	Proof ProofSource
@@ -31,7 +32,8 @@ type CheckRequest struct {
 	// Hybrid, or Parallel). For FormatDRAT it selects the checking
 	// direction instead: BreadthFirst forward-checks (streaming, no core),
 	// the others backward-check and produce an unsatisfiable core.
-	// FormatLRAT has a single hint-following strategy and ignores it.
+	// FormatLRAT and FormatER have a single hint-following strategy and
+	// ignore it.
 	Method Method
 	// Options configures the checker (memory limit, on-disk counts, ...).
 	// Options.Interrupt composes with the RunCheck context: both can abort.
@@ -136,6 +138,8 @@ func runClausalCheck(ctx context.Context, req CheckRequest, opts CheckOptions) (
 		res, err = CheckDRAT(req.Formula, src, req.Method, opts)
 	case FormatLRAT:
 		res, err = CheckLRAT(req.Formula, src, opts)
+	case FormatER:
+		res, err = CheckER(req.Formula, src, opts)
 	default:
 		return nil, fmt.Errorf("satcheck: unknown proof format %d", int(req.Format))
 	}
@@ -157,9 +161,12 @@ func runClausalCheck(ctx context.Context, req CheckRequest, opts CheckOptions) (
 	report.Result = res
 	if req.Analyze {
 		var stats *ProofStats
-		if req.Format == FormatDRAT {
+		switch req.Format {
+		case FormatDRAT:
 			stats, err = proofstat.AnalyzeDRAT(req.Formula, src)
-		} else {
+		case FormatER:
+			stats, err = proofstat.AnalyzeER(req.Formula, src)
+		default:
 			stats, err = proofstat.AnalyzeLRAT(req.Formula, src)
 		}
 		if err != nil {

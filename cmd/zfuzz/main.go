@@ -102,10 +102,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 func printSummary(w io.Writer, s *harness.Summary, elapsed time.Duration) {
 	fmt.Fprintf(w, "zfuzz: %d rounds, %d instances (%d sat / %d unsat / %d unknown) in %s\n",
 		s.Rounds, s.Instances, s.Sat, s.Unsat, s.Unknown, elapsed.Round(time.Millisecond))
-	fmt.Fprintf(w, "  oracles: %d dp-compared, %d brute-compared, %d matrix cells exercised\n",
-		s.DPCompared, s.BruteCompared, len(s.Cells))
-	fmt.Fprintf(w, "  mutants: native %s, drat %s, lrat %s\n",
-		statLine(s.Native), statLine(s.Clausal), statLine(s.LRAT))
+	fmt.Fprintf(w, "  oracles: %d dp-compared, %d brute-compared, %d bdd-compared, %d matrix cells exercised\n",
+		s.DPCompared, s.BruteCompared, s.BDDCompared, len(s.Cells))
+	fmt.Fprintf(w, "  mutants: native %s, drat %s, lrat %s, er %s\n",
+		statLine(s.Native), statLine(s.Clausal), statLine(s.LRAT), statLine(s.ER))
 	for _, r := range s.Repros {
 		fmt.Fprintf(w, "  repro: %s (%d→%d clauses)\n    %s\n",
 			r.Path, r.OriginalClauses, r.MinimizedClauses, r.Command)

@@ -6,14 +6,17 @@
 //	    format (every derived clause with its literals and chain), the
 //	    precursor of today's DRUP/DRAT proof formats;
 //
-//	zproof check -cnf f.cnf [-format tc|drat|lrat] proof.tc
+//	zproof check -cnf f.cnf [-format tc|drat|lrat|er] proof.tc
 //	    independently verify a proof file against the formula: a TraceCheck
-//	    file (default), a clausal DRUP/DRAT proof, or an LRAT proof;
+//	    file (default), a clausal DRUP/DRAT proof, an LRAT proof, or an
+//	    extended-resolution proof from the BDD backend (checked through the
+//	    ER→LRAT bridge);
 //
-//	zproof stats -cnf f.cnf -trace proof.trace [-format native|drat|lrat]
+//	zproof stats -cnf f.cnf -trace proof.trace [-format native|drat|lrat|er]
 //	    print proof statistics: resolution-graph analytics for native traces
 //	    and LRAT (needed clauses, core size, proof depth, chain/hint
-//	    lengths), add/delete counts for DRAT;
+//	    lengths), add/delete counts for DRAT, extension-variable counts and
+//	    definition depth for ER;
 //
 //	zproof trim -cnf f.cnf -trace proof.trace -o trimmed.trace
 //	    rewrite the trace keeping only the clauses the empty-clause
@@ -31,6 +34,7 @@ import (
 	"io"
 	"os"
 
+	"satcheck/internal/bdd"
 	"satcheck/internal/checker"
 	"satcheck/internal/cnf"
 	"satcheck/internal/drat"
@@ -49,8 +53,8 @@ func main() {
 func usage() int {
 	fmt.Fprintln(os.Stderr, `usage:
   zproof export -cnf formula.cnf -trace proof.trace [-o proof.tc]
-  zproof check  -cnf formula.cnf [-format tc|drat|lrat] proof.tc
-  zproof stats  -cnf formula.cnf -trace proof.trace [-format native|drat|lrat]
+  zproof check  -cnf formula.cnf [-format tc|drat|lrat|er] proof.tc
+  zproof stats  -cnf formula.cnf -trace proof.trace [-format native|drat|lrat|er]
   zproof trim   -cnf formula.cnf -trace proof.trace -o trimmed.trace
   zproof interpolate -cnf formula.cnf -trace proof.trace -split K`)
 	return 1
@@ -169,7 +173,7 @@ func runExport(args []string) int {
 func runCheck(args []string) int {
 	fs := flag.NewFlagSet("check", flag.ContinueOnError)
 	cnfPath := fs.String("cnf", "", "DIMACS formula (omit to accept arbitrary axioms; required for drat/lrat)")
-	format := fs.String("format", "tc", "proof encoding: tc (TraceCheck), drat, or lrat")
+	format := fs.String("format", "tc", "proof encoding: tc (TraceCheck), drat, lrat, or er")
 	if fs.Parse(args) != nil {
 		return 1
 	}
@@ -178,15 +182,18 @@ func runCheck(args []string) int {
 		return 1
 	}
 	switch *format {
-	case "drat", "drup", "lrat":
+	case "drat", "drup", "lrat", "er":
 		f, ok := loadCNF(*cnfPath)
 		if !ok {
 			return 1
 		}
 		var err error
-		if *format == "lrat" {
+		switch *format {
+		case "lrat":
 			_, err = drat.CheckLRAT(f, drat.FileSource(fs.Arg(0)), checker.Options{})
-		} else {
+		case "er":
+			err = checkER(f, fs.Arg(0))
+		default:
 			_, err = drat.Check(f, drat.FileSource(fs.Arg(0)), drat.Forward, checker.Options{})
 		}
 		if err != nil {
@@ -205,7 +212,7 @@ func runCheck(args []string) int {
 	case "tc":
 		// TraceCheck path below.
 	default:
-		fmt.Fprintf(os.Stderr, "zproof: unknown proof format %q (want tc, drat, or lrat)\n", *format)
+		fmt.Fprintf(os.Stderr, "zproof: unknown proof format %q (want tc, drat, lrat, or er)\n", *format)
 		return 1
 	}
 	var f *cnf.Formula
@@ -240,11 +247,28 @@ func runCheck(args []string) int {
 	return 0
 }
 
+// checkER parses an extended-resolution proof and validates it through the
+// ER→LRAT bridge. A proof that fails to parse is a verification failure, not
+// an IO error: the file was readable but is not a proof.
+func checkER(f *cnf.Formula, path string) error {
+	fh, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	p, err := bdd.ParseER(fh)
+	if err != nil {
+		return &checker.CheckError{Kind: checker.FailTrace, ClauseID: -1, Step: -1, Err: err}
+	}
+	_, err = bdd.CheckER(f, p, checker.Options{})
+	return err
+}
+
 func runStats(args []string) int {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	cnfPath := fs.String("cnf", "", "DIMACS formula")
-	tracePath := fs.String("trace", "", "proof input: resolution trace, DRAT, or LRAT file per -format")
-	format := fs.String("format", "native", "proof encoding: native, drat, or lrat")
+	tracePath := fs.String("trace", "", "proof input: resolution trace, DRAT, LRAT, or ER file per -format")
+	format := fs.String("format", "native", "proof encoding: native, drat, lrat, or er")
 	if fs.Parse(args) != nil {
 		return 1
 	}
@@ -265,8 +289,10 @@ func runStats(args []string) int {
 		st, err = proofstat.AnalyzeDRAT(f, drat.FileSource(*tracePath))
 	case "lrat":
 		st, err = proofstat.AnalyzeLRAT(f, drat.FileSource(*tracePath))
+	case "er":
+		st, err = proofstat.AnalyzeER(f, drat.FileSource(*tracePath))
 	default:
-		fmt.Fprintf(os.Stderr, "zproof: unknown proof format %q (want native, drat, or lrat)\n", *format)
+		fmt.Fprintf(os.Stderr, "zproof: unknown proof format %q (want native, drat, lrat, or er)\n", *format)
 		return 1
 	}
 	if err != nil {
@@ -284,6 +310,17 @@ func runStats(args []string) int {
 		fmt.Printf("original clauses: %d\n", st.NumOriginal)
 		fmt.Printf("added clauses:    %d\n", st.NumLearned)
 		fmt.Printf("deleted clauses:  %d\n", st.NumDeleted)
+		fmt.Printf("needed added:     %d (%.1f%%)\n", st.NeededLearned, 100*st.NeededFraction())
+		fmt.Printf("core originals:   %d (%.1f%%)\n", st.NeededOriginal,
+			100*float64(st.NeededOriginal)/float64(st.NumOriginal))
+		fmt.Printf("proof depth:      %d\n", st.Depth)
+		fmt.Printf("hint count:       avg %.1f, max %d\n", st.AvgChain(), st.ChainMax)
+		fmt.Printf("proof integers:   %d\n", st.TraceInts)
+	case "er":
+		fmt.Printf("original clauses: %d\n", st.NumOriginal)
+		fmt.Printf("added clauses:    %d\n", st.NumLearned)
+		fmt.Printf("extension vars:   %d\n", st.Extensions)
+		fmt.Printf("ext def depth:    %d\n", st.ExtDepthMax)
 		fmt.Printf("needed added:     %d (%.1f%%)\n", st.NeededLearned, 100*st.NeededFraction())
 		fmt.Printf("core originals:   %d (%.1f%%)\n", st.NeededOriginal,
 			100*float64(st.NeededOriginal)/float64(st.NumOriginal))

@@ -7,10 +7,18 @@
 //	zsat [-trace out.trace] [-format ascii|binary] [-drup out.drup]
 //	     [-model] [-stats] formula.cnf
 //	zsat -incremental [-assume "l1 l2 ..."]... [-model] [-stats] formula.cnf
+//	zsat -method bdd [-bdd-order static|force|natural] [-bdd-bucket]
+//	     [-er out.er] [-er-lrat out.lrat] [-model] [-stats] formula.cnf
 //
 // -drup additionally records a clausal DRUP proof (checkable by
 // `zverify -format drat`), independent of the native trace: a run may record
 // either, both, or neither. A ".gz" suffix gzips the proof.
+//
+// -method bdd switches to the BDD backend: UNSAT answers emit an
+// extended-resolution proof (-er, checkable by `zproof check -format er` or
+// `zcheckd method=bdd`; -er-lrat writes its LRAT bridge translation), SAT
+// answers a model. The node budget (-bdd-max-nodes) turns order-hostile
+// blowups into UNKNOWN.
 //
 // -incremental solves the formula on one persistent session, once per -assume
 // flag (once with no assumptions when the flag is absent), reusing learned
@@ -33,6 +41,7 @@ import (
 	"strconv"
 	"strings"
 
+	"satcheck/internal/bdd"
 	"satcheck/internal/cnf"
 	"satcheck/internal/drat"
 	"satcheck/internal/incremental"
@@ -67,6 +76,12 @@ func run() int {
 	local := flag.Bool("local", false, "use WalkSAT local search instead of CDCL (incomplete: answers SAT or UNKNOWN, never UNSAT)")
 	seed := flag.Int64("seed", 1, "random seed for -local")
 	incr := flag.Bool("incremental", false, "solve on one validated persistent session, once per -assume flag")
+	method := flag.String("method", "cdcl", "solving backend: cdcl or bdd")
+	bddOrder := flag.String("bdd-order", "static", "BDD variable order: static, force, or natural")
+	bddBucket := flag.Bool("bdd-bucket", false, "use bucket elimination instead of conjoin-everything")
+	bddMaxNodes := flag.Int("bdd-max-nodes", 0, "BDD node budget (0 = default, negative = unlimited); exceeding it answers UNKNOWN")
+	erPath := flag.String("er", "", "write the BDD backend's extended-resolution proof to this file (\".gz\" suffix gzips)")
+	erLratPath := flag.String("er-lrat", "", "write the ER proof's LRAT bridge translation to this file (\".gz\" suffix gzips)")
 	var assumes assumeList
 	flag.Var(&assumes, "assume", "assumption literals for one incremental call, space-separated DIMACS (repeatable; implies -incremental)")
 	flag.Parse()
@@ -79,6 +94,23 @@ func run() int {
 	f, err := cnf.ParseDimacsFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "zsat:", err)
+		return 1
+	}
+
+	switch *method {
+	case "", "cdcl":
+		if *erPath != "" || *erLratPath != "" {
+			fmt.Fprintln(os.Stderr, "zsat: -er/-er-lrat require -method bdd")
+			return 1
+		}
+	case "bdd":
+		if *incr || len(assumes) > 0 || *local || *tracePath != "" || *drupPath != "" {
+			fmt.Fprintln(os.Stderr, "zsat: -method bdd cannot be combined with -incremental, -local, -trace, or -drup")
+			return 1
+		}
+		return runBDD(f, *bddOrder, *bddBucket, *bddMaxNodes, *erPath, *erLratPath, *showModel, *showStats)
+	default:
+		fmt.Fprintf(os.Stderr, "zsat: unknown method %q (want cdcl or bdd)\n", *method)
 		return 1
 	}
 
@@ -216,6 +248,88 @@ func run() int {
 	default:
 		return 1
 	}
+}
+
+// runBDD decides f with the BDD backend. Proofs are always recorded (the
+// backend exists to be checked); -er and -er-lrat choose what gets written.
+func runBDD(f *cnf.Formula, orderName string, bucket bool, maxNodes int, erPath, erLratPath string, showModel, showStats bool) int {
+	order, err := bdd.ParseOrder(orderName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zsat:", err)
+		return 1
+	}
+	res, err := bdd.Solve(f, bdd.Options{
+		Order:    order,
+		Bucket:   bucket,
+		MaxNodes: maxNodes,
+		Proof:    true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zsat:", err)
+		return 1
+	}
+	fmt.Printf("s %s\n", res.Status)
+	if showStats {
+		st := res.Stats
+		fmt.Printf("c method=bdd order=%s bucket=%v nodes=%d extensions=%d apply-calls=%d cache-hits=%d quantified=%d proof-lines=%d\n",
+			order, bucket, st.Nodes, st.Extensions, st.ApplyCalls, st.CacheHits, st.Quantified, st.ProofLines)
+	}
+	switch res.Status {
+	case solver.StatusSat:
+		if bad, ok := cnf.VerifyModel(f, res.Model); !ok {
+			fmt.Fprintf(os.Stderr, "zsat: internal: BDD model fails clause %d\n", bad)
+			return 1
+		}
+		if showModel {
+			printModel(f, res.Model)
+		}
+		return 10
+	case solver.StatusUnsat:
+		if erPath != "" {
+			if err := writeMaybeGzip(erPath, func(w io.Writer) error {
+				return bdd.WriteER(w, res.Proof)
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "zsat:", err)
+				return 1
+			}
+		}
+		if erLratPath != "" {
+			if err := writeMaybeGzip(erLratPath, func(w io.Writer) error {
+				return bdd.WriteLRAT(w, f, res.Proof)
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "zsat:", err)
+				return 1
+			}
+		}
+		return 20
+	default:
+		return 1
+	}
+}
+
+// writeMaybeGzip creates path and streams write into it, gzipping when the
+// path carries a ".gz" suffix.
+func writeMaybeGzip(path string, write func(io.Writer) error) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	var w io.Writer = out
+	var gz *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(out)
+		w = gz
+	}
+	if err := write(w); err != nil {
+		return err
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return err
+		}
+	}
+	return out.Close()
 }
 
 // runIncremental solves f on one validated session, once per assumption set

@@ -1,0 +1,177 @@
+package bdd
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/cnf"
+	"satcheck/internal/drat"
+	"satcheck/internal/gen"
+	"satcheck/internal/solver"
+	"satcheck/internal/testutil"
+)
+
+// solveChecked runs a BDD solve and validates whatever it claims: SAT
+// models against every clause, UNSAT proofs through the ER→LRAT bridge and
+// the independent LRAT checker, plus the stripped DRAT derivation through
+// both search-based checking directions.
+func solveChecked(t *testing.T, f *cnf.Formula, opts Options) *Result {
+	t.Helper()
+	opts.Proof = true
+	res, err := Solve(f, opts)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	switch res.Status {
+	case solver.StatusSat:
+		if bad, ok := cnf.VerifyModel(f, res.Model); !ok {
+			t.Fatalf("SAT model does not satisfy clause %d", bad)
+		}
+	case solver.StatusUnsat:
+		if res.Proof == nil {
+			t.Fatalf("UNSAT verdict without a proof")
+		}
+		if _, err := CheckER(f, res.Proof, checker.Options{}); err != nil {
+			t.Fatalf("ER proof rejected by the LRAT checker: %v", err)
+		}
+		for _, mode := range []drat.Mode{drat.Forward, drat.Backward} {
+			if _, err := drat.CheckProof(f, ToDRAT(res.Proof), mode, checker.Options{}, nil); err != nil {
+				t.Fatalf("stripped DRAT proof rejected (%v): %v", mode, err)
+			}
+		}
+	}
+	return res
+}
+
+func TestSolveTiny(t *testing.T) {
+	cases := []struct {
+		name    string
+		clauses [][]int
+		want    solver.Status
+	}{
+		{"empty-formula", nil, solver.StatusSat},
+		{"single-unit", [][]int{{1}}, solver.StatusSat},
+		{"contradiction", [][]int{{1}, {-1}}, solver.StatusUnsat},
+		{"empty-clause", [][]int{{}}, solver.StatusUnsat},
+		{"tautology-only", [][]int{{1, -1}}, solver.StatusSat},
+		{"chain-sat", [][]int{{1, 2}, {-1, 3}, {-3, -2, 1}}, solver.StatusSat},
+		{"xor-unsat", [][]int{{1, 2}, {-1, -2}, {1, -2}, {-1, 2}}, solver.StatusUnsat},
+		{"dup-lits", [][]int{{1, 1, 2}, {-2, -2}, {-1}}, solver.StatusUnsat},
+	}
+	for _, tc := range cases {
+		for _, bucket := range []bool{false, true} {
+			f := cnf.NewFormula(0)
+			for _, c := range tc.clauses {
+				f.AddClause(c...)
+			}
+			res := solveChecked(t, f, Options{Bucket: bucket})
+			if res.Status != tc.want {
+				t.Errorf("%s (bucket=%v): status %v, want %v", tc.name, bucket, res.Status, tc.want)
+			}
+		}
+	}
+}
+
+func TestSolveAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		f := testutil.RandomFormula(rng, 8, 24, 3)
+		want, _ := testutil.BruteForceSat(f)
+		opts := Options{
+			Order:  Order(i % 3),
+			Bucket: i%2 == 1,
+		}
+		res := solveChecked(t, f, opts)
+		got := res.Status == solver.StatusSat
+		if res.Status == solver.StatusUnknown {
+			t.Fatalf("round %d: unexpected node-budget exhaustion", i)
+		}
+		if got != want {
+			t.Fatalf("round %d: BDD says sat=%v, brute force says %v (opts %+v)", i, got, want, opts)
+		}
+	}
+}
+
+func TestSolveSuiteFamilies(t *testing.T) {
+	instances := []gen.Instance{
+		gen.Pigeonhole(5),
+		gen.TseitinCharge(10, 3),
+		gen.XorRing(16, true, 5),
+		gen.XorMiter(16),
+	}
+	for _, ins := range instances {
+		for _, order := range []Order{OrderStatic, OrderForce} {
+			res := solveChecked(t, ins.F, Options{Order: order})
+			if ins.ExpectUnsat != (res.Status == solver.StatusUnsat) {
+				t.Errorf("%s (order=%v): status %v, expect UNSAT=%v", ins.Name, order, res.Status, ins.ExpectUnsat)
+			}
+		}
+	}
+}
+
+func TestBucketQuantifiesAndAgrees(t *testing.T) {
+	ins := gen.XorMiter(12)
+	res := solveChecked(t, ins.F, Options{Bucket: true})
+	if res.Status != solver.StatusUnsat {
+		t.Fatalf("xor miter: status %v, want UNSAT", res.Status)
+	}
+	if res.Stats.Quantified == 0 {
+		t.Errorf("bucket strategy eliminated no variables")
+	}
+	sat := gen.XorRing(12, false, 2)
+	res = solveChecked(t, sat.F, Options{Bucket: true})
+	if res.Status != solver.StatusSat {
+		t.Fatalf("even-charge xor ring: status %v, want SAT", res.Status)
+	}
+}
+
+func TestNodeBudgetYieldsUnknown(t *testing.T) {
+	ins := gen.Pigeonhole(6)
+	res, err := Solve(ins.F, Options{MaxNodes: 8, Proof: true})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != solver.StatusUnknown {
+		t.Fatalf("status %v, want Unknown under an 8-node budget", res.Status)
+	}
+}
+
+func TestERFormatRoundTrip(t *testing.T) {
+	ins := gen.Pigeonhole(4)
+	res := solveChecked(t, ins.F, Options{})
+	var buf bytes.Buffer
+	if err := WriteER(&buf, res.Proof); err != nil {
+		t.Fatalf("WriteER: %v", err)
+	}
+	parsed, err := ParseER(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseER: %v", err)
+	}
+	if parsed.NumVars != res.Proof.NumVars || parsed.NumClauses != res.Proof.NumClauses {
+		t.Fatalf("header mismatch: got (%d,%d), want (%d,%d)",
+			parsed.NumVars, parsed.NumClauses, res.Proof.NumVars, res.Proof.NumClauses)
+	}
+	if len(parsed.Lines) != len(res.Proof.Lines) {
+		t.Fatalf("line count mismatch: %d vs %d", len(parsed.Lines), len(res.Proof.Lines))
+	}
+	if parsed.EmptyID != res.Proof.EmptyID {
+		t.Fatalf("EmptyID mismatch: %d vs %d", parsed.EmptyID, res.Proof.EmptyID)
+	}
+	if _, err := CheckER(ins.F, parsed, checker.Options{}); err != nil {
+		t.Fatalf("round-tripped proof rejected: %v", err)
+	}
+}
+
+func TestProofStatsPopulated(t *testing.T) {
+	ins := gen.TseitinCharge(8, 1)
+	res := solveChecked(t, ins.F, Options{})
+	if res.Stats.Nodes == 0 || res.Stats.Extensions == 0 || res.Stats.ProofLines == 0 {
+		t.Fatalf("stats not populated: %+v", res.Stats)
+	}
+	if res.Stats.Extensions != res.Proof.NumExtensions() {
+		t.Fatalf("stats extensions %d != proof extensions %d",
+			res.Stats.Extensions, res.Proof.NumExtensions())
+	}
+}

@@ -1,0 +1,103 @@
+package bdd
+
+import (
+	"io"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/cnf"
+	"satcheck/internal/drat"
+)
+
+// This file is the ER→LRAT bridge: it discharges extension-variable
+// definitions as RAT additions so the repo's independent LRAT checker (and,
+// hints stripped, the DRAT pipeline) can validate a BDD verdict without
+// trusting anything the BDD solver computed.
+//
+// A definition clause with the positive extension literal as pivot has no
+// live clause containing the negated pivot — the variable is fresh — so it
+// is a blocked addition whose RAT candidate set is empty. The ¬u-pivot
+// halves then resolve only against the u-pivot halves introduced moments
+// earlier, and each resolvent is tautological, which the LRAT checker
+// recognizes from the candidate group opener alone. The bridge therefore
+// only needs an occurrence index over the live clause set to translate a
+// definition line; derivation lines pass through hints-verbatim.
+//
+// The bridge is deliberately untrusting: it computes candidate groups from
+// whatever lines the proof contains. A mutated proof translates into LRAT
+// whose groups or hints no longer close, and the checker rejects it — the
+// property the ER mutation operators in internal/faults lean on.
+
+// ToLRAT translates an ER proof for f into LRAT lines. The translation is
+// purely syntactic plus the candidate-set computation; no verdict is
+// implied until a checker accepts the result.
+func ToLRAT(f *cnf.Formula, p *Proof) []drat.LRATLine {
+	occ := make(map[int][]int) // DIMACS literal -> live clause IDs containing it
+	add := func(id int, lits []int) {
+		for _, l := range lits {
+			occ[l] = append(occ[l], id)
+		}
+	}
+	for i, c := range f.Clauses {
+		for _, l := range c {
+			occ[l.Dimacs()] = append(occ[l.Dimacs()], i+1)
+		}
+	}
+	lines := make([]drat.LRATLine, 0, len(p.Lines))
+	for _, ln := range p.Lines {
+		ll := drat.LRATLine{ID: ln.ID, Lits: toClause(ln.Lits)}
+		if ln.Ext {
+			if len(ln.Lits) > 0 {
+				for _, cand := range occ[-ln.Lits[0]] {
+					ll.Hints = append(ll.Hints, -cand)
+				}
+			}
+		} else {
+			ll.Hints = append([]int(nil), ln.Hints...)
+		}
+		lines = append(lines, ll)
+		add(ln.ID, ln.Lits)
+	}
+	return lines
+}
+
+func toClause(lits []int) cnf.Clause {
+	if len(lits) == 0 {
+		return nil
+	}
+	c := make(cnf.Clause, len(lits))
+	for i, l := range lits {
+		c[i] = cnf.LitFromDimacs(l)
+	}
+	return c
+}
+
+// ToDRAT strips the ER proof down to a clausal DRAT derivation — additions
+// only, definitions and lemmas alike — for the search-based checkers, which
+// rediscover the propagations and re-judge the definitions as RAT on their
+// leading pivot.
+func ToDRAT(p *Proof) *drat.Proof {
+	proof := &drat.Proof{Steps: make([]drat.Step, 0, len(p.Lines))}
+	for _, ln := range p.Lines {
+		proof.Steps = append(proof.Steps, drat.Step{Lits: toClause(ln.Lits)})
+		proof.Ints += int64(len(ln.Lits)) + 1
+	}
+	return proof
+}
+
+// CheckER validates an ER proof of f's unsatisfiability by bridging to LRAT
+// and running the independent hint-following verifier. A nil error proves
+// the claim; rejections surface as *checker.CheckError exactly as for any
+// other proof format.
+func CheckER(f *cnf.Formula, p *Proof, opts checker.Options) (*checker.Result, error) {
+	lines := ToLRAT(f, p)
+	proof := &drat.LRATProof{Lines: lines}
+	for _, ln := range lines {
+		proof.Ints += int64(len(ln.Lits)) + int64(len(ln.Hints)) + 3
+	}
+	return drat.CheckLRATProof(f, proof, opts)
+}
+
+// WriteLRAT bridges the ER proof and writes the resulting LRAT text.
+func WriteLRAT(w io.Writer, f *cnf.Formula, p *Proof) error {
+	return drat.WriteLines(w, ToLRAT(f, p))
+}

@@ -1,0 +1,119 @@
+package bdd
+
+import (
+	"bytes"
+	"testing"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/cnf"
+	"satcheck/internal/drat"
+	"satcheck/internal/gen"
+	"satcheck/internal/solver"
+)
+
+// fuzzFormula is the fixed target fuzzed ER proofs are checked against: the
+// four-clause two-variable contradiction. It is genuinely unsatisfiable, so
+// an accepted proof is never a soundness escape per se — the invariants
+// under fuzz are "no panic", "write→parse round-trips", and "the bridge and
+// the search-based checker agree on acceptance".
+func fuzzFormula() *cnf.Formula {
+	f := cnf.NewFormula(2)
+	f.AddClause(1, 2)
+	f.AddClause(1, -2)
+	f.AddClause(-1, 2)
+	f.AddClause(-1, -2)
+	return f
+}
+
+// FuzzERLRATBridge feeds arbitrary bytes through the ER parser, the ER→LRAT
+// bridge, and both downstream checkers. Whenever the bridged LRAT proof is
+// accepted, the stripped DRAT derivation must be accepted too: hint-guided
+// propagation is a subset of full unit propagation, so an LRAT-checkable
+// line is always rediscoverable by search. A divergence is a checker bug.
+func FuzzERLRATBridge(f *testing.F) {
+	f.Add([]byte("p er 2 4\n5 0 1 3 0\n"))
+	f.Add([]byte("p er 2 4\n5 e 3 -1 -2 0\n6 1 0 1 2 0\n7 0 6 3 4 0\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("p er 2 4\n5 1 0 1 0 2 0\n"))
+	for _, ins := range []gen.Instance{gen.XorMiter(4), gen.Pigeonhole(3)} {
+		res, err := Solve(ins.F, Options{Proof: true})
+		if err != nil || res.Status != solver.StatusUnsat {
+			f.Fatalf("seed solve %s: %v %v", ins.Name, res.Status, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteER(&buf, res.Proof); err != nil {
+			f.Fatalf("seed WriteER: %v", err)
+		}
+		f.Add(buf.Bytes())
+	}
+	target := fuzzFormula()
+	f.Fuzz(func(t *testing.T, input []byte) {
+		p, err := ParseER(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteER(&buf, p); err != nil {
+			t.Fatalf("WriteER on parsed proof: %v", err)
+		}
+		p2, err := ParseER(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		if len(p2.Lines) != len(p.Lines) || p2.EmptyID != p.EmptyID {
+			t.Fatalf("round trip changed the proof: %d/%d lines, empty %d/%d",
+				len(p2.Lines), len(p.Lines), p2.EmptyID, p.EmptyID)
+		}
+		_, erErr := CheckER(target, p, checker.Options{})
+		if erErr != nil {
+			return
+		}
+		if _, err := drat.CheckProof(target, ToDRAT(p), drat.Forward, checker.Options{}, nil); err != nil {
+			t.Fatalf("bridge accepted but stripped forward DRAT rejected: %v", err)
+		}
+	})
+}
+
+// TestBDDDifferentialSuite runs the BDD backend across the quick benchmark
+// suite plus the parity families, under a node budget, and re-verifies every
+// verdict: UNSAT through the ER→LRAT bridge, SAT against every clause.
+// Budget-exhausted instances are skipped — Unknown is an honest answer for
+// an order-hostile formula, not a failure.
+func TestBDDDifferentialSuite(t *testing.T) {
+	instances := append(gen.SuiteQuick(),
+		gen.XorMiter(14),
+		gen.XorRing(14, true, 3),
+		gen.XorRing(14, false, 4),
+	)
+	solved, skipped := 0, 0
+	for _, ins := range instances {
+		res, err := Solve(ins.F, Options{Proof: true, MaxNodes: 1 << 17})
+		if err != nil {
+			t.Fatalf("%s: Solve: %v", ins.Name, err)
+		}
+		if res.Status == solver.StatusUnknown {
+			skipped++
+			t.Logf("%s: node budget exhausted, skipping", ins.Name)
+			continue
+		}
+		solved++
+		if ins.ExpectUnsat != (res.Status == solver.StatusUnsat) {
+			t.Errorf("%s: status %v, expect UNSAT=%v", ins.Name, res.Status, ins.ExpectUnsat)
+			continue
+		}
+		switch res.Status {
+		case solver.StatusSat:
+			if bad, ok := cnf.VerifyModel(ins.F, res.Model); !ok {
+				t.Errorf("%s: model fails clause %d", ins.Name, bad)
+			}
+		case solver.StatusUnsat:
+			if _, err := CheckER(ins.F, res.Proof, checker.Options{}); err != nil {
+				t.Errorf("%s: ER proof rejected: %v", ins.Name, err)
+			}
+		}
+	}
+	if solved == 0 {
+		t.Fatal("every instance hit the node budget; the suite proved nothing")
+	}
+	t.Logf("differential suite: %d solved and re-verified, %d over budget", solved, skipped)
+}

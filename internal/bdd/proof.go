@@ -1,0 +1,384 @@
+package bdd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"satcheck/internal/cnf"
+)
+
+// Line is one step of an ER proof.
+//
+// A definition line (Ext == true) introduces ExtVar with one defining
+// clause; the pivot — the literal over ExtVar — comes first in Lits, the
+// invariant the ER→LRAT bridge and the clausal checkers' RAT fallback rely
+// on. Definition lines carry no hints: their justification (blocked-clause
+// addition, or RAT whose every resolvent is tautological) is recomputed by
+// the bridge from the live clause set, keeping the file independent of any
+// particular checker.
+//
+// A derivation line (Ext == false) is a RUP addition: Hints name, in
+// propagation order, the clauses that become unit and finally conflicting
+// once the lemma's negation is assumed. An empty Lits is the empty clause.
+type Line struct {
+	ID     int
+	Ext    bool
+	ExtVar int
+	Lits   []int // DIMACS literals; pivot first on definition lines
+	Hints  []int // RUP hint clause IDs; empty on definition lines
+}
+
+// Proof is an extended-resolution proof: the original clauses (IDs
+// 1..NumClauses, not repeated in the file) followed by definition and
+// derivation lines with strictly increasing IDs.
+type Proof struct {
+	// NumVars is the original variable count; variables above it are
+	// extensions.
+	NumVars int
+	// NumClauses is the original clause count; Lines start at NumClauses+1.
+	NumClauses int
+	// MaxVar is the largest variable referenced anywhere in the proof.
+	MaxVar int
+	// Lines in derivation order.
+	Lines []Line
+	// EmptyID is the ID of the derived empty clause, 0 if none — a complete
+	// UNSAT proof has EmptyID equal to its last line's ID.
+	EmptyID int
+
+	// Emission state: the live clause map backs the propagation replay that
+	// validates every hint chain before it is written.
+	clauses map[int][]int
+	val     []int8
+	trail   []int
+	nextID  int
+}
+
+// newProof seeds the emitter with the original clauses.
+func newProof(f *cnf.Formula) *Proof {
+	p := &Proof{
+		NumVars:    f.NumVars,
+		NumClauses: len(f.Clauses),
+		MaxVar:     f.NumVars,
+		clauses:    make(map[int][]int, len(f.Clauses)),
+		val:        make([]int8, f.NumVars+1),
+		nextID:     len(f.Clauses) + 1,
+	}
+	for i, c := range f.Clauses {
+		lits := make([]int, len(c))
+		for j, l := range c {
+			lits[j] = l.Dimacs()
+		}
+		p.clauses[i+1] = lits
+	}
+	return p
+}
+
+// NumExtensions counts distinct extension variables introduced.
+func (p *Proof) NumExtensions() int {
+	seen := make(map[int]bool)
+	for _, ln := range p.Lines {
+		if ln.Ext {
+			seen[ln.ExtVar] = true
+		}
+	}
+	return len(seen)
+}
+
+func (p *Proof) ensureVar(v int) {
+	if v > p.MaxVar {
+		p.MaxVar = v
+	}
+	for v >= len(p.val) {
+		p.val = append(p.val, 0)
+	}
+}
+
+// value evaluates a DIMACS literal under the replay assignment: +1 true,
+// -1 false, 0 unassigned.
+func (p *Proof) value(l int) int8 {
+	v := l
+	if v < 0 {
+		v = -v
+	}
+	s := p.val[v]
+	if l < 0 {
+		return -s
+	}
+	return s
+}
+
+// assume sets l true, reporting whether it contradicts the assignment.
+func (p *Proof) assume(l int) (conflict bool) {
+	switch p.value(l) {
+	case -1:
+		return true
+	case 1:
+		return false
+	}
+	v, s := l, int8(1)
+	if l < 0 {
+		v, s = -l, -1
+	}
+	p.val[v] = s
+	p.trail = append(p.trail, v)
+	return false
+}
+
+func (p *Proof) undoAll() {
+	for _, v := range p.trail {
+		p.val[v] = 0
+	}
+	p.trail = p.trail[:0]
+}
+
+// addDef records one defining clause of extension variable ext. The pivot
+// must lead the literal list; callers construct the clause that way.
+func (p *Proof) addDef(ext int, lits []int) int {
+	for _, l := range lits {
+		v := l
+		if v < 0 {
+			v = -v
+		}
+		p.ensureVar(v)
+	}
+	id := p.nextID
+	p.nextID++
+	p.Lines = append(p.Lines, Line{ID: id, Ext: true, ExtVar: ext, Lits: lits})
+	p.clauses[id] = lits
+	return id
+}
+
+// addRUP records a derivation line after replaying its hint chain: the
+// candidate IDs (0 entries are placeholders for absent clauses and are
+// skipped) must, under the negated lemma, each be satisfied, unit, or
+// conflicting; satisfied candidates are dropped, units extend the
+// assignment, and the first conflict closes the chain. Anything else is an
+// emitter bug, reported rather than written.
+func (p *Proof) addRUP(lits []int, cands []int) (int, error) {
+	for _, l := range lits {
+		v := l
+		if v < 0 {
+			v = -v
+		}
+		p.ensureVar(v)
+	}
+	p.undoAll()
+	for _, l := range lits {
+		if p.assume(-l) {
+			return 0, fmt.Errorf("bdd: internal: tautological lemma %v", lits)
+		}
+	}
+	var hints []int
+	conflict := false
+	for _, c := range cands {
+		if c == 0 || conflict {
+			continue
+		}
+		cl, ok := p.clauses[c]
+		if !ok {
+			return 0, fmt.Errorf("bdd: internal: lemma %v hints at unknown clause %d", lits, c)
+		}
+		sat := false
+		unit, unassigned := 0, 0
+		for _, l := range cl {
+			switch p.value(l) {
+			case 1:
+				sat = true
+			case 0:
+				unit = l
+				unassigned++
+			}
+		}
+		switch {
+		case sat:
+			// Degenerate case already forced this clause true; drop the hint.
+		case unassigned == 0:
+			hints = append(hints, c)
+			conflict = true
+		case unassigned == 1:
+			hints = append(hints, c)
+			p.assume(unit)
+		default:
+			return 0, fmt.Errorf("bdd: internal: hint %d is neither unit nor conflicting for lemma %v", c, lits)
+		}
+	}
+	p.undoAll()
+	if !conflict {
+		return 0, fmt.Errorf("bdd: internal: hint chain for lemma %v reaches no conflict", lits)
+	}
+	id := p.nextID
+	p.nextID++
+	p.Lines = append(p.Lines, Line{ID: id, Lits: lits, Hints: hints})
+	p.clauses[id] = lits
+	if len(lits) == 0 {
+		p.EmptyID = id
+	}
+	return id, nil
+}
+
+// WriteER renders the proof in the package's ASCII ER format, a strict
+// superset of LRAT:
+//
+//	p er <vars> <clauses>              header: original formula dimensions
+//	<id> e <extvar> <lit>* 0           definition line, pivot first
+//	<id> <lit>* 0 <hint>* 0            RUP derivation line
+//
+// Comment lines start with "c". The header makes the file self-contained:
+// the bridge needs the original dimensions to rebuild the live clause set.
+func WriteER(w io.Writer, p *Proof) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "p er %d %d\n", p.NumVars, p.NumClauses); err != nil {
+		return err
+	}
+	var buf []byte
+	for _, ln := range p.Lines {
+		buf = buf[:0]
+		buf = strconv.AppendInt(buf, int64(ln.ID), 10)
+		if ln.Ext {
+			buf = append(buf, " e "...)
+			buf = strconv.AppendInt(buf, int64(ln.ExtVar), 10)
+			for _, l := range ln.Lits {
+				buf = append(buf, ' ')
+				buf = strconv.AppendInt(buf, int64(l), 10)
+			}
+			buf = append(buf, " 0\n"...)
+		} else {
+			for _, l := range ln.Lits {
+				buf = append(buf, ' ')
+				buf = strconv.AppendInt(buf, int64(l), 10)
+			}
+			buf = append(buf, " 0"...)
+			for _, h := range ln.Hints {
+				buf = append(buf, ' ')
+				buf = strconv.AppendInt(buf, int64(h), 10)
+			}
+			buf = append(buf, " 0\n"...)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseER reads the ASCII ER format produced by WriteER. The parse is
+// structural only — IDs must increase and lines must be well-formed — with
+// all semantic judgment (hint validity, pivot discipline, definition
+// freshness) left to the checkers downstream of the bridge.
+func ParseER(r io.Reader) (*Proof, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	p := &Proof{}
+	sawHeader := false
+	lastID := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || fields[0] == "c" {
+			continue
+		}
+		if fields[0] == "p" {
+			if sawHeader {
+				return nil, fmt.Errorf("er: line %d: duplicate header", lineNo)
+			}
+			if len(fields) != 4 || fields[1] != "er" {
+				return nil, fmt.Errorf("er: line %d: malformed header (want \"p er <vars> <clauses>\")", lineNo)
+			}
+			nv, err1 := strconv.Atoi(fields[2])
+			nc, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || nv < 0 || nc < 0 {
+				return nil, fmt.Errorf("er: line %d: malformed header dimensions", lineNo)
+			}
+			p.NumVars, p.NumClauses, p.MaxVar = nv, nc, nv
+			sawHeader = true
+			lastID = nc
+			continue
+		}
+		if !sawHeader {
+			return nil, fmt.Errorf("er: line %d: missing \"p er\" header", lineNo)
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil || id <= lastID {
+			return nil, fmt.Errorf("er: line %d: bad clause ID %q (IDs are increasing, above %d)", lineNo, fields[0], lastID)
+		}
+		lastID = id
+		ln := Line{ID: id}
+		rest := fields[1:]
+		if len(rest) > 0 && rest[0] == "e" {
+			ln.Ext = true
+			if len(rest) < 2 {
+				return nil, fmt.Errorf("er: line %d: truncated definition", lineNo)
+			}
+			ev, err := strconv.Atoi(rest[1])
+			if err != nil || ev <= 0 {
+				return nil, fmt.Errorf("er: line %d: bad extension variable %q", lineNo, rest[1])
+			}
+			ln.ExtVar = ev
+			if ev > p.MaxVar {
+				p.MaxVar = ev
+			}
+			lits, leftover, err := scanZeroTerminated(rest[2:], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if len(leftover) != 0 {
+				return nil, fmt.Errorf("er: line %d: trailing tokens after definition", lineNo)
+			}
+			ln.Lits = lits
+		} else {
+			lits, leftover, err := scanZeroTerminated(rest, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			ln.Lits = lits
+			hints, leftover, err := scanZeroTerminated(leftover, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if len(leftover) != 0 {
+				return nil, fmt.Errorf("er: line %d: trailing tokens after hints", lineNo)
+			}
+			ln.Hints = hints
+			if len(lits) == 0 && p.EmptyID == 0 {
+				p.EmptyID = id
+			}
+		}
+		for _, l := range ln.Lits {
+			v := l
+			if v < 0 {
+				v = -v
+			}
+			if v > p.MaxVar {
+				p.MaxVar = v
+			}
+		}
+		p.Lines = append(p.Lines, ln)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("er: %w", err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("er: empty input (missing \"p er\" header)")
+	}
+	return p, nil
+}
+
+// scanZeroTerminated parses integers up to and including a 0 terminator,
+// returning the values before it and the unconsumed tokens after.
+func scanZeroTerminated(fields []string, lineNo int) (vals []int, rest []string, err error) {
+	for i, f := range fields {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("er: line %d: bad integer %q", lineNo, f)
+		}
+		if n == 0 {
+			return vals, fields[i+1:], nil
+		}
+		vals = append(vals, n)
+	}
+	return nil, nil, fmt.Errorf("er: line %d: missing 0 terminator", lineNo)
+}

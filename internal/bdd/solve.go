@@ -1,0 +1,374 @@
+package bdd
+
+import (
+	"errors"
+	"fmt"
+
+	"satcheck/internal/cnf"
+	"satcheck/internal/solver"
+)
+
+// DefaultMaxNodes is the node budget applied when Options.MaxNodes is zero.
+// BDD sizes explode on order-hostile formulas; the budget turns that into a
+// clean StatusUnknown the way MaxConflicts does for the CDCL solver.
+const DefaultMaxNodes = 1 << 20
+
+// Options configures a BDD solve.
+type Options struct {
+	// Order selects the variable-ordering heuristic.
+	Order Order
+	// Bucket switches from the default conjoin-everything strategy to
+	// bucket elimination: clauses are grouped by top variable, each bucket
+	// is conjoined and its variable existentially quantified away, with the
+	// quantification justified by an implication lemma in the proof.
+	Bucket bool
+	// MaxNodes bounds the unique table (0 means DefaultMaxNodes; negative
+	// means unlimited). Exceeding it yields StatusUnknown.
+	MaxNodes int
+	// Proof records the extended-resolution derivation of every operation,
+	// so an UNSAT answer arrives with a checkable ER proof.
+	Proof bool
+}
+
+// Result is the outcome of a BDD solve.
+type Result struct {
+	// Status is the verdict; StatusUnknown reports an exhausted node budget.
+	Status solver.Status
+	// Model is a satisfying assignment when Status is StatusSat, read off a
+	// path to the 1-terminal (conjoin) or reconstructed bucket-by-bucket in
+	// reverse elimination order (bucket strategy). Callers are expected to
+	// clause-check it: the model, like the proof, is a claim.
+	Model cnf.Model
+	// Proof is the ER derivation when Options.Proof was set and Status is
+	// StatusUnsat; its last line is the empty clause.
+	Proof *Proof
+	// Stats counts the solve's work.
+	Stats Stats
+	// Order is the level→variable order the solve used.
+	Order []cnf.Var
+}
+
+// Solve decides f by BDD construction. Every answer is independently
+// checkable: UNSAT comes with an ER proof (when Options.Proof is set) and
+// SAT with a model; neither requires trusting the solver.
+func Solve(f *cnf.Formula, opts Options) (*Result, error) {
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = DefaultMaxNodes
+	} else if maxNodes < 0 {
+		maxNodes = 0
+	}
+	order := computeOrder(f, opts.Order)
+	m := newManager(f, order, opts.Proof, maxNodes)
+	var (
+		res *Result
+		err error
+	)
+	if opts.Bucket {
+		res, err = m.solveBucket()
+	} else {
+		res, err = m.solveConjoin()
+	}
+	if errors.Is(err, ErrNodeBudget) {
+		res, err = &Result{Status: solver.StatusUnknown}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Order = order
+	if m.prf != nil {
+		m.stats.Extensions = int(m.nextVar) - f.NumVars - 1
+		m.stats.ProofLines = len(m.prf.Lines)
+	}
+	res.Stats = m.stats
+	if res.Status == solver.StatusUnsat && m.prf != nil {
+		if m.prf.EmptyID == 0 {
+			return nil, fmt.Errorf("bdd: internal: UNSAT verdict without an empty-clause derivation")
+		}
+		res.Proof = m.prf
+	}
+	return res, nil
+}
+
+// clauseBDD builds the chain-shaped BDD of one original clause and, with
+// proofs on, derives the unit clause [root] by walking the chain: at each
+// node the short up-definition forces the clause literal false and the long
+// one forces the next chain node false, until the original clause itself
+// conflicts. Tautological clauses return leaf1; empty ones leaf0.
+func (m *manager) clauseBDD(c cnf.Clause, origID int) (ref, error) {
+	// Normalize: drop duplicate literals, detect tautologies.
+	polarity := make(map[cnf.Var]bool, len(c))
+	lits := make([]cnf.Lit, 0, len(c))
+	for _, l := range c {
+		if neg, ok := polarity[l.Var()]; ok {
+			if neg != l.IsNeg() {
+				return leaf1, nil
+			}
+			continue
+		}
+		polarity[l.Var()] = l.IsNeg()
+		lits = append(lits, l)
+	}
+	if len(lits) == 0 {
+		return leaf0, nil
+	}
+	// Deepest variable first so the chain is built bottom-up.
+	for i := 1; i < len(lits); i++ {
+		for j := i; j > 0 && m.pos[lits[j].Var()] < m.pos[lits[j-1].Var()]; j-- {
+			lits[j], lits[j-1] = lits[j-1], lits[j]
+		}
+	}
+	r := leaf0
+	var err error
+	for i := len(lits) - 1; i >= 0; i-- {
+		lv := m.pos[lits[i].Var()]
+		if lits[i].IsNeg() {
+			r, err = m.mk(lv, r, leaf1)
+		} else {
+			r, err = m.mk(lv, leaf1, r)
+		}
+		if err != nil {
+			return leaf0, err
+		}
+	}
+	if m.prf == nil {
+		return r, nil
+	}
+	if _, ok := m.unitID[r]; ok {
+		return r, nil
+	}
+	cands := make([]int, 0, 2*len(lits)+1)
+	for cur := r; cur > leaf1; {
+		nd := &m.nodes[cur]
+		switch {
+		case nd.hi == leaf1:
+			cands = append(cands, nd.hu, nd.lu)
+			cur = nd.lo
+		case nd.lo == leaf1:
+			cands = append(cands, nd.lu, nd.hu)
+			cur = nd.hi
+		default:
+			return leaf0, fmt.Errorf("bdd: internal: clause BDD for clause %d is not a chain", origID)
+		}
+	}
+	cands = append(cands, origID)
+	id, err := m.prf.addRUP([]int{m.lit(r)}, cands)
+	if err != nil {
+		return leaf0, err
+	}
+	m.unitID[r] = id
+	return r, nil
+}
+
+// conjoinStep conjoins the accumulated BDD with the next one and derives
+// the unit for the result from the two operand units and the apply lemma.
+// A leaf0 result derives the empty clause instead and reports UNSAT.
+func (m *manager) conjoinStep(r, b ref) (ref, bool, error) {
+	w, lemma, err := m.and(r, b)
+	if err != nil {
+		return leaf0, false, err
+	}
+	if m.prf == nil {
+		return w, w == leaf0, nil
+	}
+	cands := []int{m.unitID[r], m.unitID[b], lemma}
+	if w == leaf0 {
+		if _, err := m.prf.addRUP(nil, cands); err != nil {
+			return leaf0, false, err
+		}
+		return leaf0, true, nil
+	}
+	if _, ok := m.unitID[w]; !ok {
+		id, err := m.prf.addRUP([]int{m.lit(w)}, cands)
+		if err != nil {
+			return leaf0, false, err
+		}
+		m.unitID[w] = id
+	}
+	return w, false, nil
+}
+
+// emitInputEmpty closes the proof when an original clause is already empty.
+func (m *manager) emitInputEmpty(origID int) error {
+	if m.prf == nil {
+		return nil
+	}
+	_, err := m.prf.addRUP(nil, []int{origID})
+	return err
+}
+
+// solveConjoin folds every clause BDD into one conjunction. The running
+// unit [r] asserts that r is entailed by the clauses folded so far, so the
+// final leaf0 (if reached) discharges into the empty clause directly.
+func (m *manager) solveConjoin() (*Result, error) {
+	r := leaf1
+	for i, c := range m.f.Clauses {
+		b, err := m.clauseBDD(c, i+1)
+		if err != nil {
+			return nil, err
+		}
+		if b == leaf1 {
+			continue
+		}
+		if b == leaf0 {
+			if err := m.emitInputEmpty(i + 1); err != nil {
+				return nil, err
+			}
+			return &Result{Status: solver.StatusUnsat}, nil
+		}
+		if r == leaf1 {
+			r = b
+			continue
+		}
+		w, unsat, err := m.conjoinStep(r, b)
+		if err != nil {
+			return nil, err
+		}
+		if unsat {
+			return &Result{Status: solver.StatusUnsat}, nil
+		}
+		r = w
+	}
+	return &Result{Status: solver.StatusSat, Model: m.pathModel(r)}, nil
+}
+
+// pathModel reads a satisfying assignment off any path to the 1-terminal.
+// Off-path variables default to false: the path already forces the formula
+// true whatever they hold, and a determined model is what VerifyModel wants.
+func (m *manager) pathModel(r ref) cnf.Model {
+	model := cnf.NewAssignment(m.f.NumVars)
+	for v := 1; v <= m.f.NumVars; v++ {
+		model[v] = cnf.False
+	}
+	for cur := r; cur > leaf1; {
+		nd := &m.nodes[cur]
+		if nd.hi != leaf0 {
+			model[m.order[nd.level]] = cnf.True
+			cur = nd.hi
+		} else {
+			cur = nd.lo
+		}
+	}
+	return model
+}
+
+// solveBucket runs directional (bucket) elimination: clause BDDs are
+// grouped by top variable; processing levels top-down, each bucket is
+// conjoined and its variable quantified away, the result dropping into a
+// deeper bucket. UNSAT surfaces as a leaf0 conjunction, whose empty-clause
+// derivation the conjoin step already emits; completing every bucket proves
+// SAT, with the model rebuilt in reverse elimination order.
+func (m *manager) solveBucket() (*Result, error) {
+	n := len(m.order)
+	buckets := make([][]ref, n)
+	place := func(b ref) {
+		buckets[m.level(b)] = append(buckets[m.level(b)], b)
+	}
+	for i, c := range m.f.Clauses {
+		b, err := m.clauseBDD(c, i+1)
+		if err != nil {
+			return nil, err
+		}
+		if b == leaf1 {
+			continue
+		}
+		if b == leaf0 {
+			if err := m.emitInputEmpty(i + 1); err != nil {
+				return nil, err
+			}
+			return &Result{Status: solver.StatusUnsat}, nil
+		}
+		place(b)
+	}
+	for lv := 0; lv < n; lv++ {
+		items := buckets[lv]
+		if len(items) == 0 {
+			continue
+		}
+		conj := items[0]
+		for _, b := range items[1:] {
+			w, unsat, err := m.conjoinStep(conj, b)
+			if err != nil {
+				return nil, err
+			}
+			if unsat {
+				return &Result{Status: solver.StatusUnsat}, nil
+			}
+			conj = w
+		}
+		if m.level(conj) != int32(lv) {
+			// The conjunction no longer mentions this bucket's variable;
+			// forward it to its own bucket untouched.
+			place(conj)
+			continue
+		}
+		q, err := m.or(m.nodes[conj].hi, m.nodes[conj].lo)
+		if err != nil {
+			return nil, err
+		}
+		m.stats.Quantified++
+		if q == leaf1 {
+			continue
+		}
+		if m.prf != nil {
+			lemma, err := m.imp(conj, q)
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := m.unitID[q]; !ok {
+				id, err := m.prf.addRUP([]int{m.lit(q)}, []int{m.unitID[conj], lemma})
+				if err != nil {
+					return nil, err
+				}
+				m.unitID[q] = id
+			}
+		}
+		place(q)
+	}
+	return &Result{Status: solver.StatusSat, Model: m.bucketModel(buckets)}, nil
+}
+
+// bucketModel reconstructs a model after successful elimination: levels are
+// assigned deepest-first, choosing for each variable the value under which
+// every BDD placed in its bucket evaluates true — one must exist, because
+// each bucket's quantified result holds under the deeper choices.
+func (m *manager) bucketModel(buckets [][]ref) cnf.Model {
+	model := cnf.NewAssignment(m.f.NumVars)
+	for v := 1; v <= m.f.NumVars; v++ {
+		model[v] = cnf.False
+	}
+	for lv := len(buckets) - 1; lv >= 0; lv-- {
+		x := m.order[lv]
+		ok := true
+		for _, b := range buckets[lv] {
+			if !m.evalAt(b, model, int32(lv), true) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			model[x] = cnf.True
+		}
+	}
+	return model
+}
+
+// evalAt evaluates b under the partial model with the variable at level lv
+// set to xval; every deeper variable b mentions is already decided.
+func (m *manager) evalAt(b ref, model cnf.Model, lv int32, xval bool) bool {
+	for b > leaf1 {
+		nd := &m.nodes[b]
+		high := false
+		if nd.level == lv {
+			high = xval
+		} else {
+			high = model[m.order[nd.level]] == cnf.True
+		}
+		if high {
+			b = nd.hi
+		} else {
+			b = nd.lo
+		}
+	}
+	return b == leaf1
+}

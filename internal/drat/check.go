@@ -722,6 +722,12 @@ func (e *engine) checkBackward(proof *Proof) (*checker.Result, error) {
 	type applied struct {
 		lemma int32 // attached clause index, or -1
 		del   int32 // detached clause index, or -1
+		// pivot is the lemma's leading literal as written in the proof. The
+		// stored clause's literal order drifts during replay (propagation
+		// swaps watches into the first two positions), but a RAT pivot is
+		// defined by the proof text, so it must be remembered here and
+		// restored before the backward check.
+		pivot cnf.Lit
 	}
 	log := make([]applied, 0, len(proof.Steps))
 	stop := -1 // index of the step holding the empty lemma
@@ -746,7 +752,7 @@ func (e *engine) checkBackward(proof *Proof) (*checker.Result, error) {
 		if err := e.attach(append(cnf.Clause(nil), step.Lits...), id, false); err != nil {
 			return nil, err
 		}
-		log = append(log, applied{lemma: idx, del: -1})
+		log = append(log, applied{lemma: idx, del: -1, pivot: step.Lits[0]})
 	}
 
 	// Establish the terminal conflict at the refutation point.
@@ -786,6 +792,14 @@ func (e *engine) checkBackward(proof *Proof) (*checker.Result, error) {
 		// so a later detachByLits cannot resurrect this clause.
 		e.purgeSig(idx, c.lits)
 		if int(idx) < len(e.marked) && e.marked[idx] {
+			// Put the proof-text pivot back in front (the clause is detached,
+			// so reordering cannot disturb watches).
+			for k, l := range c.lits {
+				if l == log[i].pivot {
+					c.lits[0], c.lits[k] = c.lits[k], c.lits[0]
+					break
+				}
+			}
 			if err := e.checkLemma(c.lits, c.id, nil); err != nil {
 				return nil, err
 			}

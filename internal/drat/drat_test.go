@@ -392,3 +392,35 @@ func TestLRATParseRejectsGarbage(t *testing.T) {
 		}
 	}
 }
+
+// TestLRATBlockedClauseAccepted exercises the blocked-clause admission path:
+// a line whose RUP hints are exhausted falls through to RAT, and when no live
+// clause contains the negated pivot — a fresh extension variable — the
+// addition is satisfiability-preserving with zero candidate groups. This is
+// the admission rule the ER→LRAT bridge in internal/bdd relies on.
+func TestLRATBlockedClauseAccepted(t *testing.T) {
+	proof := "5 3 1 0 0\n" + // (3 1): var 3 is fresh, blocked on pivot 3
+		"6 1 0 1 2 0\n" +
+		"7 0 6 3 4 0\n"
+	res, err := drat.CheckLRAT(simpleUnsat(), drat.BytesSource(proof), checker.Options{})
+	if err != nil {
+		t.Fatalf("blocked extension rejected: %v", err)
+	}
+	if res.ClausesBuilt != 3 {
+		t.Fatalf("ClausesBuilt=%d, want 3", res.ClausesBuilt)
+	}
+}
+
+// TestLRATNonBlockedClauseRejected pins the other side: the same hint-less
+// line over a non-fresh pivot has live resolution candidates, and the checker
+// must reject it rather than admit a sat-breaking addition.
+func TestLRATNonBlockedClauseRejected(t *testing.T) {
+	proof := "5 2 1 0 0\n" + // (2 1): clauses 2 and 4 contain -2, uncovered
+		"6 1 0 1 2 0\n" +
+		"7 0 6 3 4 0\n"
+	_, err := drat.CheckLRAT(simpleUnsat(), drat.BytesSource(proof), checker.Options{})
+	var ce *checker.CheckError
+	if !errors.As(err, &ce) || ce.Kind != checker.FailHint || ce.ClauseID != 5 {
+		t.Fatalf("got %v, want FailHint on clause 5", err)
+	}
+}

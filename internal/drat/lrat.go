@@ -312,8 +312,15 @@ func CheckLRATProof(f *cnf.Formula, proof *LRATProof, opts checker.Options) (*ch
 // LRAT paper.
 type lratVerifier struct {
 	clauses map[int]cnf.Clause
-	assign  []cnf.Value
-	trail   []cnf.Lit
+	// occ indexes live clause IDs by contained literal, so RAT candidate
+	// sets are read off occ[¬pivot] instead of scanning the whole database —
+	// the scan made checking extended-resolution proofs (every definition
+	// line is a RAT addition) quadratic in proof length. Deletions leave
+	// stale IDs behind; readers filter against the clause map and compact
+	// the bucket in place.
+	occ    map[cnf.Lit][]int
+	assign []cnf.Value
+	trail  []cnf.Lit
 
 	interrupt func() error
 	pollN     int
@@ -335,6 +342,7 @@ func newLratVerifier(f *cnf.Formula, proof *LRATProof, opts checker.Options) (*l
 	}
 	v := &lratVerifier{
 		clauses:   make(map[int]cnf.Clause, len(f.Clauses)+len(proof.Lines)),
+		occ:       make(map[cnf.Lit][]int),
 		assign:    make([]cnf.Value, nVars+1),
 		interrupt: opts.Interrupt,
 		memLimit:  opts.MemLimitWords,
@@ -342,6 +350,7 @@ func newLratVerifier(f *cnf.Formula, proof *LRATProof, opts checker.Options) (*l
 	for i, c := range f.Clauses {
 		work, _ := c.Clone().Normalize()
 		v.clauses[i+1] = work
+		v.index(i+1, work)
 		v.memCur += int64(len(work))
 	}
 	v.memPeak = v.memCur
@@ -350,6 +359,15 @@ func newLratVerifier(f *cnf.Formula, proof *LRATProof, opts checker.Options) (*l
 			Detail: "formula alone exceeds the memory budget"}
 	}
 	return v, nil
+}
+
+// index records cl's literals in the occurrence index (duplicate literals
+// within one clause add duplicate entries; the RAT reader deduplicates by
+// clause ID, so that is harmless).
+func (v *lratVerifier) index(id int, cl cnf.Clause) {
+	for _, l := range cl {
+		v.occ[l] = append(v.occ[l], id)
+	}
 }
 
 func (v *lratVerifier) poll() error {
@@ -489,6 +507,7 @@ func (v *lratVerifier) run(proof *LRATProof) (*checker.Result, error) {
 			}, nil
 		}
 		v.clauses[ln.ID] = ln.Lits
+		v.index(ln.ID, ln.Lits)
 		v.memCur += int64(len(ln.Lits))
 		if v.memCur > v.memPeak {
 			v.memPeak = v.memCur
@@ -519,24 +538,35 @@ func (v *lratVerifier) checkLine(ln *LRATLine) error {
 	if ok {
 		return nil
 	}
-	if consumed == len(ln.Hints) {
-		return &checker.CheckError{Kind: checker.FailHint, ClauseID: ln.ID, Step: noStep,
-			Detail: "RUP hints end without a conflict"}
-	}
-	// RAT: remaining hints are candidate groups. Every live clause holding
-	// the negated pivot must be covered.
+	// RUP failed; only the RAT fallback can save the line now, and the
+	// empty clause has no pivot to be RAT on.
 	if len(ln.Lits) == 0 {
+		if consumed == len(ln.Hints) {
+			return &checker.CheckError{Kind: checker.FailHint, ClauseID: ln.ID, Step: noStep,
+				Detail: "RUP hints end without a conflict"}
+		}
 		return &checker.CheckError{Kind: checker.FailHint, ClauseID: ln.ID, Step: noStep,
 			Detail: "empty clause cannot be RAT"}
 	}
+	// RAT: remaining hints are candidate groups. Every live clause holding
+	// the negated pivot must be covered. Exhausted hints with no groups are
+	// admissible exactly when that candidate set is empty — a blocked
+	// clause (e.g. an extended-resolution definition over a fresh
+	// variable), whose addition is satisfiability-preserving with no
+	// propagation at all; the missing-candidates check below enforces the
+	// emptiness.
 	pivot := ln.Lits[0]
 	npivot := pivot.Neg()
 	required := make(map[int]bool)
-	for id, cl := range v.clauses {
-		if cl.Contains(npivot) {
-			required[id] = false
+	bucket := v.occ[npivot][:0]
+	for _, id := range v.occ[npivot] {
+		if _, live := v.clauses[id]; !live {
+			continue // stale after a deletion; drop while passing through
 		}
+		bucket = append(bucket, id)
+		required[id] = false
 	}
+	v.occ[npivot] = bucket
 	base := len(v.trail)
 	rest := ln.Hints[consumed:]
 	for len(rest) > 0 {

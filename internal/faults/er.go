@@ -1,0 +1,121 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"satcheck/internal/bdd"
+)
+
+// ERMutation is one fault-injection operator over a parsed extended-resolution
+// proof from the BDD backend, modelling the bugs its proof emitter can have:
+// a definition clause that reaches the solver's clause database but not the
+// proof file, or a definition serialized with its literals reordered so the
+// extension pivot no longer leads. Like clausal corruption, an ER mutation can
+// be benign — a definition clause no derivation ever hints at may vanish
+// without invalidating the proof — so the harness demands not blanket
+// rejection but the bridge contract: an accepted mutant's clause sequence must
+// still pass the independent DRAT checker with its hints stripped.
+type ERMutation struct {
+	// Name identifies the fault class ("er-..." prefix).
+	Name string
+	// Bug describes the emitter bug this corruption models.
+	Bug string
+	// Apply corrupts a copy of the lines, returning the corrupted lines and
+	// whether the mutation was applicable to this proof.
+	Apply func(lines []bdd.Line, rng *rand.Rand) ([]bdd.Line, bool)
+}
+
+// cloneERLines deep-copies ER proof lines.
+func cloneERLines(lines []bdd.Line) []bdd.Line {
+	out := make([]bdd.Line, len(lines))
+	for i, ln := range lines {
+		out[i] = ln
+		if ln.Lits != nil {
+			out[i].Lits = append([]int(nil), ln.Lits...)
+		}
+		if ln.Hints != nil {
+			out[i].Hints = append([]int(nil), ln.Hints...)
+		}
+	}
+	return out
+}
+
+// pickDefs returns the indices of definition lines with at least min literals.
+func pickDefs(lines []bdd.Line, min int) []int {
+	var idx []int
+	for i, ln := range lines {
+		if ln.Ext && len(ln.Lits) >= min {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// ERAll returns the ER-proof mutation catalogue.
+func ERAll() []ERMutation {
+	return []ERMutation{
+		{
+			Name: "er-drop-definition",
+			Bug:  "a defining clause of an extension variable reaches the live clause set but is never written to the proof",
+			Apply: func(lines []bdd.Line, rng *rand.Rand) ([]bdd.Line, bool) {
+				lines = cloneERLines(lines)
+				idx := pickDefs(lines, 1)
+				if len(idx) == 0 {
+					return nil, false
+				}
+				k := idx[rng.Intn(len(idx))]
+				return append(lines[:k], lines[k+1:]...), true
+			},
+		},
+		{
+			Name: "er-swap-pivot",
+			Bug:  "a definition is serialized with its literals reordered, moving the extension pivot out of first position",
+			Apply: func(lines []bdd.Line, rng *rand.Rand) ([]bdd.Line, bool) {
+				lines = cloneERLines(lines)
+				idx := pickDefs(lines, 2)
+				if len(idx) == 0 {
+					return nil, false
+				}
+				ln := &lines[idx[rng.Intn(len(idx))]]
+				j := 1 + rng.Intn(len(ln.Lits)-1)
+				ln.Lits[0], ln.Lits[j] = ln.Lits[j], ln.Lits[0]
+				return lines, true
+			},
+		},
+	}
+}
+
+// InjectER applies the mutation to a parsed ER proof, returning a corrupted
+// copy, or ok=false when the mutation does not apply. The empty-clause ID is
+// recomputed: a mutation may remove the line it pointed at.
+func InjectER(m ERMutation, p *bdd.Proof, seed int64) (*bdd.Proof, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	lines, ok := m.Apply(p.Lines, rng)
+	if !ok {
+		return nil, false
+	}
+	mut := &bdd.Proof{
+		NumVars:    p.NumVars,
+		NumClauses: p.NumClauses,
+		MaxVar:     p.MaxVar,
+		Lines:      lines,
+	}
+	for _, ln := range lines {
+		if !ln.Ext && len(ln.Lits) == 0 {
+			mut.EmptyID = ln.ID
+			break
+		}
+	}
+	return mut, true
+}
+
+// ERByName returns the named ER mutation.
+func ERByName(name string) (ERMutation, error) {
+	for _, m := range ERAll() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return ERMutation{}, fmt.Errorf("faults: unknown ER mutation %q", name)
+}

@@ -1,0 +1,118 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+
+	"satcheck/internal/bdd"
+	"satcheck/internal/checker"
+	"satcheck/internal/drat"
+	"satcheck/internal/gen"
+	"satcheck/internal/solver"
+)
+
+// solveER solves an UNSAT instance with the BDD backend and round-trips its
+// ER proof through the serializer, so mutations see exactly what a proof file
+// reader would.
+func solveER(t *testing.T) (ins gen.Instance, proof *bdd.Proof) {
+	t.Helper()
+	ins = gen.XorMiter(6)
+	res, err := bdd.Solve(ins.F, bdd.Options{Proof: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != solver.StatusUnsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	var buf bytes.Buffer
+	if err := bdd.WriteER(&buf, res.Proof); err != nil {
+		t.Fatal(err)
+	}
+	proof, err = bdd.ParseER(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins, proof
+}
+
+// TestERCatalogueIntegrity pins names (unique, er- prefixed) and the ByName
+// lookup.
+func TestERCatalogueIntegrity(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range ERAll() {
+		if seen[m.Name] {
+			t.Errorf("duplicate ER mutation name %q", m.Name)
+		}
+		seen[m.Name] = true
+		if len(m.Name) < 4 || m.Name[:3] != "er-" {
+			t.Errorf("ER mutation %q lacks the er- prefix", m.Name)
+		}
+		if got, err := ERByName(m.Name); err != nil || got.Name != m.Name {
+			t.Errorf("ERByName(%q) = %v, %v", m.Name, got.Name, err)
+		}
+		if m.Bug == "" {
+			t.Errorf("ER mutation %q has no bug description", m.Name)
+		}
+	}
+	if _, err := ERByName("no-such"); err == nil {
+		t.Error("unknown ER mutation name accepted")
+	}
+}
+
+// TestERMutantsHoldBridgeContract drives every catalogue mutation over a real
+// BDD proof and asserts the contract the harness enforces: the ER→LRAT bridge
+// either rejects the mutant, or — when the corruption is benign — the
+// mutant's clause sequence still passes the independent DRAT checker with its
+// hints stripped. Each mutation must apply at least once, never alias the
+// input, and be rejected at least once across seeds (a mutation whose every
+// corruption is benign tests nothing).
+func TestERMutantsHoldBridgeContract(t *testing.T) {
+	ins, proof := solveER(t)
+	orig := cloneERLines(proof.Lines)
+	for _, m := range ERAll() {
+		applied, rejected := 0, 0
+		for seed := int64(0); seed < 8; seed++ {
+			mut, ok := InjectER(m, proof, seed)
+			if !ok {
+				continue
+			}
+			applied++
+			if _, err := bdd.CheckER(ins.F, mut, checker.Options{}); err != nil {
+				rejected++
+				continue
+			}
+			stripped := bdd.ToDRAT(mut)
+			var buf bytes.Buffer
+			w := drat.NewWriter(&buf)
+			for _, st := range stripped.Steps {
+				_ = w.Add(st.Lits)
+			}
+			_ = w.Close()
+			if _, err := drat.Check(ins.F, drat.BytesSource(buf.Bytes()), drat.Forward, checker.Options{}); err != nil {
+				t.Errorf("%s seed %d: bridge accepted a mutant whose clause sequence fails the DRAT check: %v",
+					m.Name, seed, err)
+			}
+		}
+		if applied == 0 {
+			t.Errorf("%s never applied to the proof", m.Name)
+		}
+		if rejected == 0 {
+			t.Errorf("%s was never rejected across seeds (all corruptions benign)", m.Name)
+		}
+	}
+	// Mutations must corrupt copies, never the input proof.
+	for i := range orig {
+		if orig[i].ID != proof.Lines[i].ID || len(orig[i].Lits) != len(proof.Lines[i].Lits) {
+			t.Fatalf("line %d of the input proof was mutated in place", i)
+		}
+		for j := range orig[i].Lits {
+			if orig[i].Lits[j] != proof.Lines[i].Lits[j] {
+				t.Fatalf("line %d of the input proof was mutated in place", i)
+			}
+		}
+	}
+	// The unmutated proof still checks — the baseline the contract is against.
+	if _, err := bdd.CheckER(ins.F, proof, checker.Options{}); err != nil {
+		t.Fatalf("unmutated proof rejected: %v", err)
+	}
+}

@@ -178,3 +178,70 @@ func RandomKSAT(vars, k int, ratio float64, seed int64) Instance {
 		ExpectUnsat: k == 3 && ratio >= 5,
 	}
 }
+
+// XorMiter returns the parity-miter family: two partial-sum chains compute
+// the parity of the same n inputs and their outputs are asserted unequal —
+// unsatisfiable by construction. The family is the classic separator
+// between clausal search and BDD reasoning: resolution-based solvers must
+// branch their way through 2^Θ(n) parity cases, while a BDD with the
+// interleaved chain order refutes it in linear size.
+//
+// Variables: inputs x_1..x_n, then sums s_i = x_1⊕...⊕x_i and
+// t_i likewise for the second chain.
+func XorMiter(n int) Instance {
+	if n < 2 {
+		n = 2
+	}
+	x := func(i int) int { return i }        // 1..n
+	s := func(i int) int { return n + i }    // n+1..2n
+	tv := func(i int) int { return 2*n + i } // 2n+1..3n
+	f := cnf.NewFormula(3 * n)
+	addParityClauses(f, []int{s(1), x(1)}, false) // s_1 = x_1
+	addParityClauses(f, []int{tv(1), x(1)}, false)
+	for i := 2; i <= n; i++ {
+		addParityClauses(f, []int{s(i), s(i - 1), x(i)}, false)
+		addParityClauses(f, []int{tv(i), tv(i - 1), x(i)}, false)
+	}
+	f.AddClause(s(n))
+	f.AddClause(-tv(n))
+	return Instance{
+		Name:        fmt.Sprintf("xor-miter-%d", n),
+		Domain:      "combinational equivalence (parity)",
+		Analog:      "longmult",
+		F:           f,
+		ExpectUnsat: true,
+	}
+}
+
+// XorRing returns a Tseitin instance on the n-cycle: edge variables
+// e_1..e_n with one parity constraint e_i ⊕ e_{i+1} = c_i per vertex. The
+// cycle space makes satisfiability depend only on the total charge:
+// odd => UNSAT, even => SAT. The seed scatters the charges around the ring
+// without changing their parity.
+func XorRing(n int, odd bool, seed int64) Instance {
+	if n < 3 {
+		n = 3
+	}
+	rng := rand.New(rand.NewSource(seed))
+	charges := make([]bool, n)
+	// At most n vertices can carry a charge, including the extra one that
+	// makes the total odd — hence (n+1)/2 even choices, not n/2+1.
+	flips := 2 * rng.Intn((n+1)/2)
+	if odd {
+		flips++
+	}
+	for _, i := range rng.Perm(n)[:flips] {
+		charges[i] = true
+	}
+	f := cnf.NewFormula(n)
+	for i := 0; i < n; i++ {
+		addParityClauses(f, []int{i + 1, (i+1)%n + 1}, charges[i])
+	}
+	return Instance{
+		Name:        fmt.Sprintf("xor-ring-%d-%v-s%d", n, odd, seed),
+		Domain:      "bounded model checking (XOR-heavy)",
+		Analog:      "longmult",
+		F:           f,
+		ExpectUnsat: odd,
+	}
+}

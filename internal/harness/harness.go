@@ -9,7 +9,10 @@
 //  1. it generates seeded random and structured CNF instances (random k-SAT
 //     near the phase transition plus the internal/gen families);
 //  2. it cross-checks the CDCL solver's verdict against the internal/dp
-//     reference procedure (and brute force, on small instances);
+//     reference procedure, brute force (on small instances), and the
+//     internal/bdd backend — whose UNSAT verdicts come with an
+//     extended-resolution proof pushed through the ER→LRAT bridge and the
+//     DRAT checkers, and whose SAT models are clause-checked;
 //  3. it fans every UNSAT proof through the full checker×format matrix —
 //     depth-first / breadth-first / hybrid / parallel on native traces,
 //     forward / backward DRAT in both encodings, and LRAT re-verification —
@@ -19,9 +22,9 @@
 //     rejection contracts hold: structural corruptions are always rejected,
 //     the core-following checkers (depth-first, hybrid, parallel) agree
 //     unanimously, a full (breadth-first / forward) acceptance implies a
-//     cone (depth-first / backward) acceptance, and an accepted LRAT mutant
-//     must still pass the independent DRAT checker with its hints stripped.
-//     Any violation is an "escape".
+//     cone (depth-first / backward) acceptance, and an accepted LRAT or ER
+//     mutant must still pass the independent DRAT checker with its hints
+//     stripped. Any violation is an "escape".
 //
 // When an oracle disagreement or escape is found, a ddmin-style minimizer
 // (minimize.go) shrinks the instance to a locally minimal reproduction and
@@ -50,8 +53,8 @@ type Config struct {
 	Duration time.Duration
 	// Workers is the number of concurrent rounds (default 1).
 	Workers int
-	// Inject names a mutation (native trace, "drat-*", or "lrat-*") to
-	// deliberately inject as a synthetic solver bug: the harness verifies
+	// Inject names a mutation (native trace, "drat-*", "lrat-*", or "er-*")
+	// to deliberately inject as a synthetic solver bug: the harness verifies
 	// the checkers reject it, then drives the minimizer off that rejection
 	// to produce a shrunken repro — the end-to-end test of the shrinking
 	// machinery itself.
@@ -139,10 +142,12 @@ type Summary struct {
 	Unknown        int            `json:"unknown"`
 	DPCompared     int            `json:"dpCompared"`
 	BruteCompared  int            `json:"bruteCompared"`
+	BDDCompared    int            `json:"bddCompared"`
 	Cells          map[string]int `json:"matrixCells"`
 	Native         MutationStats  `json:"nativeMutants"`
 	Clausal        MutationStats  `json:"dratMutants"`
 	LRAT           MutationStats  `json:"lratMutants"`
+	ER             MutationStats  `json:"erMutants"`
 	Escapes        int            `json:"escapes"`
 	Disagreements  int            `json:"disagreements"`
 	Failures       []Failure      `json:"failures"`
@@ -259,12 +264,14 @@ func mergeReport(sum *Summary, rep *roundReport) {
 	sum.Unknown += rep.unknown
 	sum.DPCompared += rep.dpCompared
 	sum.BruteCompared += rep.bruteCompared
+	sum.BDDCompared += rep.bddCompared
 	for k, v := range rep.cells {
 		sum.Cells[k] += v
 	}
 	sum.Native.add(rep.native)
 	sum.Clausal.add(rep.clausal)
 	sum.LRAT.add(rep.lrat)
+	sum.ER.add(rep.er)
 	sum.Failures = append(sum.Failures, rep.failures...)
 	for _, f := range rep.failures {
 		if f.Repro != nil {

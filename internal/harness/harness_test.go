@@ -34,14 +34,18 @@ func TestRunClean(t *testing.T) {
 		"drat-binary/forward", "drat-binary/backward",
 		"lrat/from-trace", "lrat/from-drat",
 		"incremental/session-call", "incremental/mus",
+		"bdd/model", "er/bridge", "er-drat/forward", "er-drat/backward",
 	} {
 		if sum.Cells[cell] == 0 {
 			t.Errorf("matrix cell %s never exercised", cell)
 		}
 	}
-	if sum.Native.Tried == 0 || sum.Clausal.Tried == 0 || sum.LRAT.Tried == 0 {
-		t.Errorf("mutation families not all exercised: native=%d drat=%d lrat=%d",
-			sum.Native.Tried, sum.Clausal.Tried, sum.LRAT.Tried)
+	if sum.BDDCompared == 0 {
+		t.Error("BDD oracle never produced a comparable verdict")
+	}
+	if sum.Native.Tried == 0 || sum.Clausal.Tried == 0 || sum.LRAT.Tried == 0 || sum.ER.Tried == 0 {
+		t.Errorf("mutation families not all exercised: native=%d drat=%d lrat=%d er=%d",
+			sum.Native.Tried, sum.Clausal.Tried, sum.LRAT.Tried, sum.ER.Tried)
 	}
 }
 

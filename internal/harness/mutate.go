@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"satcheck/internal/bdd"
 	"satcheck/internal/checker"
 	"satcheck/internal/cnf"
 	"satcheck/internal/drat"
@@ -232,6 +233,41 @@ func (r *round) testLRATMutants(ins gen.Instance, mt *trace.MemoryTrace) {
 	}
 }
 
+// testERMutants runs the ER mutation battery over one verified BDD proof.
+// The contract mirrors the LRAT one: a mutant the bridge accepts must still
+// have a clause sequence the DRAT checker re-derives without trusting any
+// hints or definition justifications — anything else means the bridge was
+// steered by corrupted structure: an escape.
+func (r *round) testERMutants(ins gen.Instance, proof *bdd.Proof) {
+	f := ins.F
+	for _, m := range faults.ERAll() {
+		var mut *bdd.Proof
+		for s := int64(0); s < injectionSeeds; s++ {
+			if p, ok := faults.InjectER(m, proof, s); ok {
+				mut = p
+				break
+			}
+		}
+		if mut == nil {
+			r.rep.er.Skipped++
+			continue
+		}
+		r.rep.er.Tried++
+		if _, err := bdd.CheckER(f, mut, checker.Options{}); err != nil {
+			r.rep.er.Rejected++
+			continue
+		}
+		if _, err := drat.Check(f, drat.BytesSource(stepsToBytes(bdd.ToDRAT(mut).Steps, false)),
+			drat.Forward, checker.Options{}); err != nil {
+			r.fail("mutation-escape", ins.Name,
+				fmt.Sprintf("ER bridge accepted mutant %s whose clause sequence fails the DRAT check: %v", m.Name, err),
+				f, nil)
+		} else {
+			r.rep.er.Benign++
+		}
+	}
+}
+
 // lratBytes serializes a parsed LRAT proof back to its ASCII form.
 func lratBytes(p *drat.LRATProof) []byte {
 	var buf bytes.Buffer
@@ -329,6 +365,24 @@ func injectRejected(f *cnf.Formula, name string, maxConflicts int64) bool {
 				continue
 			}
 			if _, cerr := drat.CheckLRAT(f, drat.BytesSource(lratBytes(mut)), checker.Options{}); cerr != nil {
+				return true
+			}
+		}
+		return false
+	}
+	if m, err := faults.ERByName(name); err == nil {
+		// The ER catalogue corrupts BDD proofs, so the injected artifact comes
+		// from a fresh BDD solve rather than the CDCL artifacts above.
+		res, serr := bdd.Solve(f, bdd.Options{Proof: true, MaxNodes: bddNodeBudget})
+		if serr != nil || res.Status != solver.StatusUnsat {
+			return false
+		}
+		for s := int64(0); s < seeds; s++ {
+			mut, ok := faults.InjectER(m, res.Proof, s)
+			if !ok {
+				continue
+			}
+			if _, cerr := bdd.CheckER(f, mut, checker.Options{}); cerr != nil {
 				return true
 			}
 		}

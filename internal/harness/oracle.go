@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sync/atomic"
 
+	"satcheck/internal/bdd"
 	"satcheck/internal/checker"
 	"satcheck/internal/cnf"
 	"satcheck/internal/dp"
@@ -22,8 +23,9 @@ import (
 type roundReport struct {
 	instances, sat, unsat, unknown int
 	dpCompared, bruteCompared      int
+	bddCompared                    int
 	cells                          map[string]int
-	native, clausal, lrat          MutationStats
+	native, clausal, lrat, er      MutationStats
 	failures                       []Failure
 	synthetic                      []Repro // inject-mode repros (not failures)
 }
@@ -119,7 +121,7 @@ func (r *round) finalize() {
 // members of the structured generator families so every proof shape the
 // paper's evaluation exercises shows up under fuzzing too.
 func instanceForRound(rng *rand.Rand) gen.Instance {
-	switch rng.Intn(12) {
+	switch rng.Intn(14) {
 	case 0:
 		return gen.Pigeonhole(4 + rng.Intn(2))
 	case 1:
@@ -139,6 +141,10 @@ func instanceForRound(rng *rand.Rand) gen.Instance {
 		return gen.FPGARouting(8+rng.Intn(6), 3+rng.Intn(2), 6+rng.Intn(4), rng.Int63())
 	case 8:
 		return plantedInstance(rng)
+	case 9:
+		return gen.XorMiter(5 + rng.Intn(6))
+	case 10:
+		return gen.XorRing(6+rng.Intn(8), rng.Intn(2) == 1, rng.Int63())
 	default:
 		nv := 12 + rng.Intn(16)
 		ratio := 3.8 + rng.Float64() // 3.8 .. 4.8, straddling ~4.27
@@ -214,6 +220,7 @@ func (r *round) runInstance(ins gen.Instance) {
 	}
 
 	r.crossCheckVerdict(ins, st, model)
+	r.checkBDD(ins, st)
 
 	switch st {
 	case solver.StatusSat:
@@ -307,6 +314,104 @@ func (r *round) crossCheckVerdict(ins gen.Instance, st solver.Status, model cnf.
 }
 
 func (r *round) cell(name string) { r.rep.cells[name]++ }
+
+// bddLimits gate the fourth oracle: the BDD backend's memory is exponential
+// in the wrong variable order, so large instances run under a node budget and
+// very large ones are skipped outright. Budget-exhausted solves yield no
+// verdict and are skipped, not failed — like the DP reference.
+const (
+	bddMaxVars    = 64
+	bddMaxClauses = 600
+	bddNodeBudget = 1 << 16
+	// bddMaxProofLines gates the search-based DRAT cross-checks and the ER
+	// mutation battery: re-deriving a RAT-heavy ER proof without hints is
+	// quadratic in its length (~0.5s at 20k lines, minutes at 400k), while
+	// the hint-following bridge check stays linear and runs on every proof.
+	bddMaxProofLines = 20000
+)
+
+// checkBDD runs the BDD backend as a fourth verdict oracle. Its UNSAT proofs
+// are extended resolution, a strictly stronger system than the CDCL trace —
+// so they get their own checking path: the ER→LRAT bridge plus the DRAT
+// checker on the hint-stripped clause sequence, then the ER mutation battery.
+// SAT models are clause-checked like every other model in the harness.
+func (r *round) checkBDD(ins gen.Instance, st solver.Status) {
+	f := ins.F
+	if f.NumVars > bddMaxVars || f.NumClauses() > bddMaxClauses {
+		return
+	}
+	res, err := bdd.Solve(f, bdd.Options{Proof: true, MaxNodes: bddNodeBudget})
+	if err != nil {
+		r.fail("harness-error", ins.Name, fmt.Sprintf("bdd.Solve: %v", err), nil, nil)
+		return
+	}
+	if res.Status == solver.StatusUnknown {
+		return // node budget exhausted: no verdict to compare
+	}
+	r.rep.bddCompared++
+	if res.Status != st {
+		r.fail("verdict-disagreement", ins.Name,
+			fmt.Sprintf("CDCL says %v, BDD says %v", st, res.Status), f, r.predBDDDisagrees())
+		return
+	}
+	switch res.Status {
+	case solver.StatusSat:
+		if bad, ok := cnf.VerifyModel(f, res.Model); !ok {
+			r.fail("model-invalid", ins.Name,
+				fmt.Sprintf("BDD model fails clause %d", bad), f, nil)
+		} else {
+			r.cell("bdd/model")
+		}
+	case solver.StatusUnsat:
+		if _, err := bdd.CheckER(f, res.Proof, checker.Options{}); err != nil {
+			r.fail("valid-proof-rejected", ins.Name,
+				fmt.Sprintf("ER→LRAT bridge rejected the BDD backend's own proof: %v", err),
+				f, r.predValidERRejected())
+			return
+		}
+		r.cell("er/bridge")
+		if len(res.Proof.Lines) > bddMaxProofLines {
+			return
+		}
+		stripped := stepsToBytes(bdd.ToDRAT(res.Proof).Steps, false)
+		for _, mode := range []drat.Mode{drat.Forward, drat.Backward} {
+			if _, err := drat.Check(f, drat.BytesSource(stripped), mode, checker.Options{}); err != nil {
+				r.fail("valid-proof-rejected", ins.Name,
+					fmt.Sprintf("%v DRAT rejected the BDD backend's hint-stripped ER proof: %v", mode, err), f, nil)
+				return
+			}
+			r.cell(fmt.Sprintf("er-drat/%v", mode))
+		}
+		r.testERMutants(ins, res.Proof)
+	}
+}
+
+// predBDDDisagrees reproduces a CDCL-vs-BDD verdict disagreement.
+func (r *round) predBDDDisagrees() func(*cnf.Formula) bool {
+	return func(sub *cnf.Formula) bool {
+		st, _, _, _, err := solveArtifacts(sub, minConflicts)
+		if err != nil || st == solver.StatusUnknown {
+			return false
+		}
+		res, err := bdd.Solve(sub, bdd.Options{MaxNodes: bddNodeBudget})
+		if err != nil || res.Status == solver.StatusUnknown {
+			return false
+		}
+		return res.Status != st
+	}
+}
+
+// predValidERRejected reproduces "bridge rejects the BDD backend's own proof".
+func (r *round) predValidERRejected() func(*cnf.Formula) bool {
+	return func(sub *cnf.Formula) bool {
+		res, err := bdd.Solve(sub, bdd.Options{Proof: true, MaxNodes: bddNodeBudget})
+		if err != nil || res.Status != solver.StatusUnsat {
+			return false
+		}
+		_, cerr := bdd.CheckER(sub, res.Proof, checker.Options{})
+		return cerr != nil
+	}
+}
 
 // methodCheck runs one native checker by name.
 func methodCheck(m string, f *cnf.Formula, src trace.Source, opts checker.Options) (*checker.Result, error) {
@@ -557,11 +662,14 @@ func validateInject(name string) error {
 	if _, err := faults.LRATByName(name); err == nil {
 		return nil
 	}
-	return fmt.Errorf("harness: unknown mutation %q (not a native, drat-, or lrat- mutation)", name)
+	if _, err := faults.ERByName(name); err == nil {
+		return nil
+	}
+	return fmt.Errorf("harness: unknown mutation %q (not a native, drat-, lrat-, or er- mutation)", name)
 }
 
 // InjectableMutations lists every mutation name -inject accepts, across the
-// native, DRAT, and LRAT catalogues.
+// native, DRAT, LRAT, and ER catalogues.
 func InjectableMutations() []string {
 	var names []string
 	for _, m := range faults.All() {
@@ -571,6 +679,9 @@ func InjectableMutations() []string {
 		names = append(names, m.Name)
 	}
 	for _, m := range faults.LRATAll() {
+		names = append(names, m.Name)
+	}
+	for _, m := range faults.ERAll() {
 		names = append(names, m.Name)
 	}
 	return names

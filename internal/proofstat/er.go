@@ -1,0 +1,127 @@
+package proofstat
+
+import (
+	"fmt"
+
+	"satcheck/internal/bdd"
+	"satcheck/internal/cnf"
+	"satcheck/internal/drat"
+)
+
+// AnalyzeER computes statistics for an extended-resolution proof as emitted
+// by the BDD backend: the LRAT-style hint-graph analytics over its RUP lines
+// (definitions have no hints and act as leaves alongside the original
+// clauses) plus the ER-specific shape — how many extension variables the
+// proof introduces and how deeply their definitions nest. Definition depth
+// is 0 for input variables and 1 + the deepest extension referenced by the
+// defining literals otherwise; for BDD proofs it tracks how far below the
+// root the deepest node chain reaches.
+func AnalyzeER(f *cnf.Formula, src drat.Source) (*Stats, error) {
+	rc, err := src.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	proof, err := bdd.ParseER(rc)
+	if err != nil {
+		return nil, err
+	}
+	nOrig := len(f.Clauses)
+	st := &Stats{
+		Format:      "er",
+		NumOriginal: nOrig,
+	}
+
+	type addLine struct {
+		hints []int
+		depth int32
+	}
+	adds := make(map[int]*addLine, len(proof.Lines))
+	order := make([]int, 0, len(proof.Lines))
+	extDepth := make(map[int]int) // extension var -> definition depth
+	rootID := -1
+	for i := range proof.Lines {
+		ln := &proof.Lines[i]
+		st.NumLearned++
+		st.TraceInts += int64(len(ln.Lits)) + int64(len(ln.Hints)) + 2
+		st.ChainTotal += int64(len(ln.Hints))
+		if len(ln.Hints) > st.ChainMax {
+			st.ChainMax = len(ln.Hints)
+		}
+		if ln.Ext {
+			d := 0
+			for _, l := range ln.Lits[1:] {
+				v := l
+				if v < 0 {
+					v = -v
+				}
+				if dd, ok := extDepth[v]; ok && dd+1 > d {
+					d = dd + 1
+				}
+			}
+			if d == 0 {
+				d = 1 // defined over input variables only
+			}
+			// A variable's definition spans several clauses (one per branch);
+			// count the variable once and keep its deepest per-clause depth —
+			// the two BDD children may sit at different depths.
+			if dd, ok := extDepth[ln.ExtVar]; !ok {
+				st.Extensions++
+				extDepth[ln.ExtVar] = d
+			} else if d > dd {
+				extDepth[ln.ExtVar] = d
+			}
+			if d > st.ExtDepthMax {
+				st.ExtDepthMax = d
+			}
+		}
+		adds[ln.ID] = &addLine{hints: ln.Hints}
+		order = append(order, ln.ID)
+		if len(ln.Lits) == 0 && rootID == -1 {
+			rootID = ln.ID
+		}
+	}
+	if rootID == -1 {
+		return nil, fmt.Errorf("proofstat: ER proof has no empty-clause line")
+	}
+
+	// Backward reachability from the empty clause through hints; definition
+	// lines have none and terminate paths like original clauses do.
+	needed := map[int]struct{}{rootID: {}}
+	neededOrig := map[int]struct{}{}
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		if _, ok := needed[id]; !ok || id > rootID {
+			continue
+		}
+		st.NeededLearned++
+		for _, h := range adds[id].hints {
+			if h <= nOrig {
+				neededOrig[h] = struct{}{}
+			} else {
+				needed[h] = struct{}{}
+			}
+		}
+	}
+	st.NeededOriginal = len(neededOrig)
+
+	// Depth over the needed subgraph in increasing ID order.
+	var maxDepth int32
+	for _, id := range order {
+		if _, ok := needed[id]; !ok || id > rootID {
+			continue
+		}
+		var d int32
+		for _, h := range adds[id].hints {
+			if a, ok := adds[h]; ok && a.depth > d {
+				d = a.depth
+			}
+		}
+		adds[id].depth = d + 1
+		if d+1 > maxDepth {
+			maxDepth = d + 1
+		}
+	}
+	st.Depth = int(maxDepth)
+	return st, nil
+}

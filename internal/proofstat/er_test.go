@@ -1,0 +1,60 @@
+package proofstat
+
+import (
+	"bytes"
+	"testing"
+
+	"satcheck/internal/bdd"
+	"satcheck/internal/drat"
+	"satcheck/internal/gen"
+	"satcheck/internal/solver"
+)
+
+func TestAnalyzeERMatchesSolverStats(t *testing.T) {
+	ins := gen.Pigeonhole(3)
+	res, err := bdd.Solve(ins.F, bdd.Options{Proof: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != solver.StatusUnsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	var buf bytes.Buffer
+	if err := bdd.WriteER(&buf, res.Proof); err != nil {
+		t.Fatal(err)
+	}
+	st, err := AnalyzeER(ins.F, drat.BytesSource(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Format != "er" {
+		t.Errorf("Format = %q", st.Format)
+	}
+	// A variable's definition spans several clauses; Extensions counts
+	// variables, matching the solver's own accounting.
+	if st.Extensions != res.Stats.Extensions {
+		t.Errorf("Extensions = %d, solver introduced %d", st.Extensions, res.Stats.Extensions)
+	}
+	if st.ExtDepthMax <= 0 {
+		t.Errorf("ExtDepthMax = %d", st.ExtDepthMax)
+	}
+	if st.NumLearned != res.Stats.ProofLines {
+		t.Errorf("NumLearned = %d, proof has %d lines", st.NumLearned, res.Stats.ProofLines)
+	}
+	if st.NeededLearned == 0 || st.NeededLearned > st.NumLearned {
+		t.Errorf("implausible needed set: %d of %d", st.NeededLearned, st.NumLearned)
+	}
+	if st.NeededOriginal == 0 || st.Depth <= 0 {
+		t.Errorf("implausible stats %+v", st)
+	}
+	if st.String() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestAnalyzeERRequiresEmptyClause(t *testing.T) {
+	src := "p er 2 1\n2 e 3 1 2 0\n"
+	if _, err := AnalyzeER(gen.Pigeonhole(2).F, drat.BytesSource(src)); err == nil {
+		t.Error("proof without an empty-clause line accepted")
+	}
+}

@@ -56,6 +56,13 @@ type Stats struct {
 	// NumDeleted counts clausal deletion steps ("" format: always 0; the
 	// native trace has no deletion records).
 	NumDeleted int
+
+	// Extensions counts the extension-variable definitions of an "er" proof
+	// (0 for every other format); ExtDepthMax is the deepest definition
+	// nesting — input variables have depth 0, an extension is one deeper
+	// than the deepest extension its defining literals mention.
+	Extensions  int
+	ExtDepthMax int
 }
 
 // AvgChain returns the mean resolve-source count per learned clause.
@@ -83,6 +90,10 @@ func (s *Stats) String() string {
 	case "lrat":
 		return fmt.Sprintf("format=lrat added=%d deleted=%d needed=%d (%.0f%%) core=%d/%d depth=%d avg-hints=%.1f max-hints=%d proof-ints=%d",
 			s.NumLearned, s.NumDeleted, s.NeededLearned, 100*s.NeededFraction(),
+			s.NeededOriginal, s.NumOriginal, s.Depth, s.AvgChain(), s.ChainMax, s.TraceInts)
+	case "er":
+		return fmt.Sprintf("format=er added=%d extensions=%d ext-depth=%d needed=%d (%.0f%%) core=%d/%d depth=%d avg-hints=%.1f max-hints=%d proof-ints=%d",
+			s.NumLearned, s.Extensions, s.ExtDepthMax, s.NeededLearned, 100*s.NeededFraction(),
 			s.NeededOriginal, s.NumOriginal, s.Depth, s.AvgChain(), s.ChainMax, s.TraceInts)
 	}
 	return fmt.Sprintf("learned=%d needed=%d (%.0f%%) core=%d/%d depth=%d avg-chain=%.1f max-chain=%d level0=%d trace-ints=%d",

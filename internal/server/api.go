@@ -37,7 +37,7 @@ const (
 type CheckResponse struct {
 	Verdict   string       `json:"verdict"` // "valid" | "rejected"
 	Method    string       `json:"method"`
-	Format    string       `json:"format"` // "native" | "drat" | "lrat"
+	Format    string       `json:"format"` // "native" | "drat" | "lrat" | "er"
 	Cached    bool         `json:"cached,omitempty"`
 	ElapsedMS float64      `json:"elapsed_ms"`
 	Result    *ResultJSON  `json:"result,omitempty"`
@@ -92,6 +92,10 @@ type StatsJSON struct {
 	ChainMax       int     `json:"chain_max"`
 	Level0         int     `json:"level0"`
 	TraceInts      int64   `json:"trace_ints"`
+	// Extensions/ExtDepthMax describe extended-resolution proofs (format=er):
+	// extension-variable definitions and their maximum nesting depth.
+	Extensions  int `json:"extensions,omitempty"`
+	ExtDepthMax int `json:"ext_depth_max,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx answer.
@@ -117,7 +121,8 @@ type JobOptions struct {
 	// direction — see satcheck.CheckRequest.Method).
 	Method satcheck.Method
 	// Format is the proof encoding of the "trace" part: native resolution
-	// trace (default), DRAT, or LRAT.
+	// trace (default), DRAT, LRAT, or ER (the BDD backend's
+	// extended-resolution proofs).
 	Format satcheck.ProofFormat
 	// MemLimitMB bounds the checker's deterministic memory model; 0 = server
 	// default.
@@ -152,7 +157,16 @@ func ParseJobOptions(q url.Values) (JobOptions, error) {
 		return o, err
 	}
 	switch m := q.Get("method"); m {
-	case "", "df", "depth-first":
+	case "":
+		// An unset method follows the format: ER proofs have only the
+		// bridge check, so format=er means method=bdd (keeping the
+		// per-method metric honest); everything else defaults to df.
+		if o.Format == satcheck.FormatER {
+			o.Method = satcheck.BDD
+		} else {
+			o.Method = satcheck.DepthFirst
+		}
+	case "df", "depth-first":
 		o.Method = satcheck.DepthFirst
 	case "bf", "breadth-first":
 		o.Method = satcheck.BreadthFirst
@@ -160,8 +174,18 @@ func ParseJobOptions(q url.Values) (JobOptions, error) {
 		o.Method = satcheck.Hybrid
 	case "parallel":
 		o.Method = satcheck.Parallel
+	case "bdd":
+		// The BDD method checks extended-resolution proofs through the
+		// ER→LRAT bridge; an unset format follows along.
+		o.Method = satcheck.BDD
+		if q.Get("format") == "" {
+			o.Format = satcheck.FormatER
+		}
 	default:
-		return o, fmt.Errorf("unknown method %q (want df, bf, hybrid, or parallel)", m)
+		return o, fmt.Errorf("unknown method %q (want df, bf, hybrid, parallel, or bdd)", m)
+	}
+	if o.Method == satcheck.BDD && o.Format != satcheck.FormatER {
+		return o, fmt.Errorf("method=bdd checks extended-resolution proofs (format=er, got format=%s)", o.Format)
 	}
 	if o.MemLimitMB, err = parseInt(q, "mem_limit_mb"); err != nil {
 		return o, err
@@ -231,6 +255,8 @@ func (o JobOptions) Query() url.Values {
 		q.Set("method", "hybrid")
 	case satcheck.Parallel:
 		q.Set("method", "parallel")
+	case satcheck.BDD:
+		q.Set("method", "bdd")
 	default:
 		q.Set("method", "df")
 	}
@@ -318,5 +344,7 @@ func statsJSON(s *proofstat.Stats) *StatsJSON {
 		ChainMax:       s.ChainMax,
 		Level0:         s.Level0,
 		TraceInts:      s.TraceInts,
+		Extensions:     s.Extensions,
+		ExtDepthMax:    s.ExtDepthMax,
 	}
 }

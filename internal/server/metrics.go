@@ -36,6 +36,11 @@ type Metrics struct {
 	// traffic the service sees.
 	checksByFormat [len(formatLabels)]atomic.Int64
 
+	// checksByMethod counts completed checks per requested method, indexed
+	// by methodLabels, so bdd-bridge traffic is distinguishable from the
+	// native traversals it shares the queue with.
+	checksByMethod [len(methodLabels)]atomic.Int64
+
 	// Gauges.
 	queueDepth  atomic.Int64
 	jobsRunning atomic.Int64
@@ -54,12 +59,23 @@ type Metrics struct {
 
 // formatLabels are the {format=...} label values of
 // zcheckd_checks_by_format_total, indexed by satcheck.ProofFormat.
-var formatLabels = [...]string{"native", "drat", "lrat"}
+var formatLabels = [...]string{"native", "drat", "lrat", "er"}
+
+// methodLabels are the {method=...} label values of
+// zcheckd_checks_by_method_total, indexed by satcheck.Method.
+var methodLabels = [...]string{"df", "bf", "hybrid", "parallel", "bdd"}
 
 // ObserveFormat records one completed check's proof encoding.
 func (m *Metrics) ObserveFormat(format int) {
 	if format >= 0 && format < len(formatLabels) {
 		m.checksByFormat[format].Add(1)
+	}
+}
+
+// ObserveMethod records one completed check's requested method.
+func (m *Metrics) ObserveMethod(method int) {
+	if method >= 0 && method < len(methodLabels) {
+		m.checksByMethod[method].Add(1)
 	}
 }
 
@@ -114,6 +130,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP zcheckd_checks_by_format_total Completed checks by proof encoding.\n# TYPE zcheckd_checks_by_format_total counter\n")
 	for i, label := range formatLabels {
 		fmt.Fprintf(w, "zcheckd_checks_by_format_total{format=%q} %d\n", label, m.checksByFormat[i].Load())
+	}
+	fmt.Fprintf(w, "# HELP zcheckd_checks_by_method_total Completed checks by requested method.\n# TYPE zcheckd_checks_by_method_total counter\n")
+	for i, label := range methodLabels {
+		fmt.Fprintf(w, "zcheckd_checks_by_method_total{method=%q} %d\n", label, m.checksByMethod[i].Load())
 	}
 	gauge("zcheckd_queue_depth", "Jobs waiting in the queue.", m.queueDepth.Load())
 	gauge("zcheckd_jobs_running", "Jobs currently being checked by workers.", m.jobsRunning.Load())

@@ -81,6 +81,7 @@ func (p *workerPool) run(j *job) {
 	}
 
 	p.metrics.ObserveFormat(int(j.req.Format))
+	p.metrics.ObserveMethod(int(j.req.Method))
 	resp := responseFromReport(rep, j.opts)
 	if j.opts.MUS && rep.Valid {
 		resp.MUS = p.extractMUS(j, rep)

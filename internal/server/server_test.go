@@ -718,3 +718,108 @@ func TestCheckClausalFormats(t *testing.T) {
 	}
 	_ = s
 }
+
+// erPayload solves one UNSAT instance with the BDD backend and returns its
+// DIMACS and ER-proof bytes.
+func erPayload(t testing.TB, ins gen.Instance) (formula []byte, proof []byte) {
+	t.Helper()
+	res, err := satcheck.SolveBDD(ins.F, satcheck.BDDOptions{Proof: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != satcheck.StatusUnsat {
+		t.Fatalf("%s: expected UNSAT, got %v", ins.Name, res.Status)
+	}
+	var fb, pb bytes.Buffer
+	if err := cnf.WriteDimacs(&fb, ins.F); err != nil {
+		t.Fatal(err)
+	}
+	if err := satcheck.WriteERProof(&pb, res.Proof); err != nil {
+		t.Fatal(err)
+	}
+	return fb.Bytes(), pb.Bytes()
+}
+
+// TestCheckERFormat drives the BDD method end to end: an extended-resolution
+// proof validated through the ER→LRAT bridge, the format/method echoes, the
+// ER-specific analytics, structured rejection of a corrupted proof, the
+// method/format parameter contract, and the per-method metric.
+func TestCheckERFormat(t *testing.T) {
+	formula, proof := erPayload(t, gen.Pigeonhole(4))
+	s, ts := newTestServer(t, Config{Workers: 2})
+
+	// method=bdd and format=er are the same check — both spellings must
+	// work, and they normalize to the same cache key, so the second
+	// spelling is served from cache.
+	for i, query := range []string{"?method=bdd&analyze=1", "?format=er&analyze=1"} {
+		ct, body := multipartBody(t, formula, proof)
+		resp, data := postCheck(t, ts, query, ct, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: HTTP %d: %s", query, resp.StatusCode, data)
+		}
+		var cr CheckResponse
+		if err := json.Unmarshal(data, &cr); err != nil {
+			t.Fatal(err)
+		}
+		if cr.Verdict != VerdictValid {
+			t.Fatalf("%s: verdict %q: %s", query, cr.Verdict, data)
+		}
+		if cr.Format != "er" {
+			t.Errorf("%s: format echo %q, want er", query, cr.Format)
+		}
+		if cr.Stats == nil || cr.Stats.Extensions == 0 || cr.Stats.ExtDepthMax == 0 {
+			t.Errorf("%s: analyze=1 returned no ER analytics: %s", query, data)
+		}
+		if cr.Cached != (i == 1) {
+			t.Errorf("%s: cached=%v, want %v", query, cr.Cached, i == 1)
+		}
+	}
+
+	// Corrupting a definition line breaks the bridge's candidate groups: a
+	// structured rejection, not a transport error.
+	mutated := bytes.Replace(proof, []byte(" e "), []byte(" e -"), 1)
+	if bytes.Equal(mutated, proof) {
+		t.Fatal("proof contains no definition line to corrupt")
+	}
+	ct, body := multipartBody(t, formula, mutated)
+	resp, data := postCheck(t, ts, "?method=bdd", ct, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutated ER proof: HTTP %d: %s", resp.StatusCode, data)
+	}
+	var cr CheckResponse
+	if err := json.Unmarshal(data, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Verdict != VerdictRejected || cr.Failure == nil || cr.Failure.Kind == "" {
+		t.Fatalf("mutated ER proof: want structured rejection, got %s", data)
+	}
+
+	// method=bdd is the ER bridge check; pairing it with another proof
+	// encoding is a client error.
+	ct, body = multipartBody(t, formula, proof)
+	resp, data = postCheck(t, ts, "?method=bdd&format=drat", ct, body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("method=bdd&format=drat: HTTP %d (want 400): %s", resp.StatusCode, data)
+	}
+
+	// Completed checks land in both the per-format and per-method counters
+	// (cache hits do not).
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdata, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`zcheckd_checks_by_format_total{format="er"} 2`,
+		`zcheckd_checks_by_method_total{method="bdd"} 2`,
+	} {
+		if !strings.Contains(string(mdata), want) {
+			t.Errorf("metrics missing %q:\n%s", want, mdata)
+		}
+	}
+	_ = s
+}

@@ -25,6 +25,10 @@ const (
 	// FormatLRAT is a clausal proof with propagation hints, checked by a
 	// hint-following verifier that performs no search.
 	FormatLRAT
+	// FormatER is an extended-resolution proof as emitted by the BDD
+	// backend (extension-variable definitions plus RUP lemmas with hints),
+	// checked by bridging to LRAT and running the hint-following verifier.
+	FormatER
 )
 
 // String names the format as accepted by ParseProofFormat.
@@ -36,12 +40,14 @@ func (pf ProofFormat) String() string {
 		return "drat"
 	case FormatLRAT:
 		return "lrat"
+	case FormatER:
+		return "er"
 	default:
 		return fmt.Sprintf("format(%d)", int(pf))
 	}
 }
 
-// ParseProofFormat parses a format name ("native", "drat", "lrat").
+// ParseProofFormat parses a format name ("native", "drat", "lrat", "er").
 func ParseProofFormat(s string) (ProofFormat, error) {
 	switch s {
 	case "", "native", "trace":
@@ -50,8 +56,10 @@ func ParseProofFormat(s string) (ProofFormat, error) {
 		return FormatDRAT, nil
 	case "lrat":
 		return FormatLRAT, nil
+	case "er":
+		return FormatER, nil
 	default:
-		return FormatNative, fmt.Errorf("satcheck: unknown proof format %q (want native, drat, or lrat)", s)
+		return FormatNative, fmt.Errorf("satcheck: unknown proof format %q (want native, drat, lrat, or er)", s)
 	}
 }
 

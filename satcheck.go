@@ -187,6 +187,11 @@ const (
 	// (CheckOptions.Parallelism workers). Verdicts, cores, and failure
 	// diagnostics are identical to Hybrid's.
 	Parallel
+	// BDD is the reduced-ordered-BDD backend (see SolveBDD): as a solving
+	// method it emits extended-resolution proofs; as a CheckRequest method it
+	// selects the ER→LRAT bridge check (FormatER), which has a single
+	// hint-following strategy.
+	BDD
 )
 
 // String names the method.
@@ -200,6 +205,8 @@ func (m Method) String() string {
 		return "hybrid"
 	case Parallel:
 		return "parallel"
+	case BDD:
+		return "bdd"
 	default:
 		return fmt.Sprintf("method(%d)", int(m))
 	}
