@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-table3 bench-bdd bench-all experiments examples fuzz zfuzz zfuzz-soak clean
+.PHONY: all build test vet lint race bench bench-table3 bench-bdd bench-kernel bench-all experiments examples fuzz zfuzz zfuzz-soak clean
 
 all: build vet test
 
@@ -62,6 +62,17 @@ bench-table3:
 bench-bdd:
 	$(GO) test . -run TestNone -bench 'BenchmarkBDDvsCDCL' -benchmem -benchtime 1x -count=3 \
 		| $(GO) run ./cmd/benchjson -o BENCH_bdd.json
+
+# Record the trusted-kernel ablation as BENCH_kernel.json: the hybrid
+# checker vs the kernel's steady-state LRAT check on the Table 2 families
+# (the headline geomean speedup), the end-to-end kernel method, the
+# kernel-vs-legacy LRAT verifier comparison, and the kernel package's
+# zero-allocation micro-benchmark. See EXPERIMENTS.md (Ablation G).
+bench-kernel:
+	( $(GO) test . -run TestNone -bench 'BenchmarkTable2(Hybrid|Kernel)' -benchmem -count=3 -cpu 4 ; \
+	  $(GO) test ./internal/drat -run TestNone -bench 'BenchmarkLRATKernelVsLegacy' -benchmem -count=3 ; \
+	  $(GO) test ./internal/kernel -run TestNone -bench 'BenchmarkKernelCheck' -benchmem -count=3 ) \
+		| $(GO) run ./cmd/benchjson -o BENCH_kernel.json
 
 # Every benchmark in the repository, one sample, no recording.
 bench-all:

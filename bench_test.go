@@ -26,6 +26,7 @@ import (
 	"satcheck/internal/circuit"
 	"satcheck/internal/core"
 	"satcheck/internal/dp"
+	"satcheck/internal/drat"
 	"satcheck/internal/gen"
 	"satcheck/internal/incremental"
 	"satcheck/internal/interp"
@@ -164,6 +165,51 @@ func BenchmarkTable2Hybrid(b *testing.B) {
 // divided across the worker pool.
 func BenchmarkTable2Parallel(b *testing.B) {
 	benchCheck(b, satcheck.Parallel, satcheck.CheckOptions{})
+}
+
+// BenchmarkTable2Kernel measures method=kernel end to end on the native
+// trace: trace→TraceCheck→LRAT hint recording plus the trusted kernel's
+// hint-following verification, every iteration. Compare against
+// BenchmarkTable2Hybrid for the full price of kernel-gated validation and
+// against BenchmarkTable2KernelLRAT for the kernel's own share of it.
+func BenchmarkTable2Kernel(b *testing.B) {
+	benchCheck(b, satcheck.Kernel, satcheck.CheckOptions{})
+}
+
+// BenchmarkTable2KernelLRAT measures the trusted kernel's steady-state check:
+// the trace is bridged to LRAT and parsed once outside the timer, then each
+// iteration verifies the hints in the flat-array kernel
+// (drat.CheckLRATProof). This is the checker-vs-checker comparison with
+// BenchmarkTable2Hybrid — both consume a prepared proof artifact — and the
+// row recorded in BENCH_kernel.json. ReportAllocs pins the allocation
+// behavior of the kernel path (a handful of allocs per run for the returned
+// Result; the check loop itself is allocation-free, see
+// internal/kernel's BenchmarkKernelCheck).
+func BenchmarkTable2KernelLRAT(b *testing.B) {
+	for _, ins := range benchInstances() {
+		ins := ins
+		b.Run(ins.Name, func(b *testing.B) {
+			mt, _ := tracedInstance(b, ins)
+			var buf bytes.Buffer
+			if _, err := satcheck.TraceToLRAT(ins.F, mt, &buf, satcheck.CheckOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			proof, err := drat.ParseLRAT(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var res *satcheck.CheckResult
+			for i := 0; i < b.N; i++ {
+				res, err = drat.CheckLRATProof(ins.F, proof, satcheck.CheckOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.PeakMemWords)*4/1024, "peakKB")
+		})
+	}
 }
 
 // benchCheckDRAT measures clausal (DRUP) proof checking over the same

@@ -32,8 +32,12 @@ type CheckRequest struct {
 	// Hybrid, or Parallel). For FormatDRAT it selects the checking
 	// direction instead: BreadthFirst forward-checks (streaming, no core),
 	// the others backward-check and produce an unsatisfiable core.
-	// FormatLRAT and FormatER have a single hint-following strategy and
-	// ignore it.
+	// Kernel routes either format through the trusted kernel
+	// (internal/kernel), the allocation-free hint-following core: native
+	// traces are bridged trace→TraceCheck→LRAT, DRAT proofs are
+	// forward-checked with hint recording, and the kernel verifies the
+	// hints and extracts the core. FormatLRAT and FormatER always verify
+	// in the kernel and otherwise ignore Method.
 	Method Method
 	// Options configures the checker (memory limit, on-disk counts, ...).
 	// Options.Interrupt composes with the RunCheck context: both can abort.

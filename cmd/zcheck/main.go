@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	zcheck [-addr http://localhost:8347] [-method df|bf|hybrid|parallel]
+//	zcheck [-addr http://localhost:8347] [-method df|bf|hybrid|parallel|kernel]
 //	       [-format native|drat|lrat] [-j N] [-mem-limit-mb N] [-timeout D]
 //	       [-analyze] [-core] formula.cnf proof.trace
 //
@@ -38,7 +38,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("zcheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "http://localhost:8347", "zcheckd base URL")
-	method := fs.String("method", "df", "checker strategy: df, bf, hybrid, or parallel")
+	method := fs.String("method", "df", "checker strategy: df, bf, hybrid, parallel, or kernel")
 	formatName := fs.String("format", "native", "proof encoding: native, drat, or lrat")
 	jobs := fs.Int("j", 0, "parallel only: requested worker count (server caps it at its pool size)")
 	memLimitMB := fs.Int64("mem-limit-mb", 0, "per-job checker memory budget in MB (0 = unlimited)")
@@ -64,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		m = satcheck.Hybrid
 	case "parallel":
 		m = satcheck.Parallel
+	case "kernel":
+		m = satcheck.Kernel
 	default:
 		fmt.Fprintf(stderr, "zcheck: unknown method %q\n", *method)
 		return 1

@@ -194,7 +194,9 @@ func runCheck(args []string) int {
 		case "er":
 			err = checkER(f, fs.Arg(0))
 		default:
-			_, err = drat.Check(f, drat.FileSource(fs.Arg(0)), drat.Forward, checker.Options{})
+			// Forward-check the DRAT proof, then verify the recorded hints in
+			// the trusted kernel — the same gate every other format passes.
+			_, err = drat.KernelCheckDRAT(f, drat.FileSource(fs.Arg(0)), checker.Options{})
 		}
 		if err != nil {
 			var ce *checker.CheckError

@@ -5,15 +5,18 @@
 //
 // Usage:
 //
-//	zverify [-method df|bf|hybrid|parallel] [-format native|drat|lrat] [-j N]
-//	        [-mem-limit-mb N] [-counts-on-disk] formula.cnf proof.trace
+//	zverify [-method df|bf|hybrid|parallel|kernel] [-format native|drat|lrat]
+//	        [-j N] [-mem-limit-mb N] [-counts-on-disk] formula.cnf proof.trace
 //
 // -format selects the proof encoding: the native resolution trace (default),
 // a clausal DRUP/DRAT proof (zsat -drup), or LRAT. For DRAT, the method maps
 // onto a checking direction: bf checks forward (streaming, no core); df,
 // hybrid, and parallel check backward (only the needed lemmas, with an
 // unsatisfiable core as the by-product, exactly like their native
-// counterparts). LRAT has a single hint-following strategy.
+// counterparts). The kernel method bridges native traces and DRAT proofs to
+// propagation hints and verifies them in the trusted flat-array kernel
+// (internal/kernel), producing a core from the hint closure. LRAT always
+// verifies in the kernel.
 //
 // Exit status: 0 when the proof is valid, 2 when checking fails (the solver
 // or its trace generation is buggy), 1 on usage or I/O errors. Exit 2 is
@@ -39,7 +42,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("zverify", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	method := fs.String("method", "df", "checker strategy: df, bf, hybrid, or parallel")
+	method := fs.String("method", "df", "checker strategy: df, bf, hybrid, parallel, or kernel")
 	formatName := fs.String("format", "native", "proof encoding: native, drat, or lrat")
 	jobs := fs.Int("j", 0, "parallel only: worker count (0 = one per available CPU)")
 	memLimitMB := fs.Int64("mem-limit-mb", 0, "abort if the checker memory model exceeds this many MB (0 = unlimited)")
@@ -65,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		m = satcheck.Hybrid
 	case "parallel":
 		m = satcheck.Parallel
+	case "kernel":
+		m = satcheck.Kernel
 	default:
 		fmt.Fprintf(stderr, "zverify: unknown method %q\n", *method)
 		return 1

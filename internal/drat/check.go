@@ -1,7 +1,6 @@
 package drat
 
 import (
-	"sort"
 	"strconv"
 
 	"satcheck/internal/checker"
@@ -82,7 +81,10 @@ type engine struct {
 	nVars   int
 	clauses []eclause
 	watches [][]int32 // by literal: clause indices watching it
-	sig     map[string][]int32
+	// sig buckets live clause indices by a commutative hash of their
+	// literal set, for deletion-by-literals matching. Buckets can collide;
+	// readers verify with sameLitSet before acting.
+	sig map[uint64][]int32
 
 	assign []cnf.Value
 	reason []int32 // by var: propagating clause index, or -1
@@ -102,7 +104,11 @@ type engine struct {
 	memPeak  int64
 	memLimit int64
 
-	keyBuf []byte
+	// litStamp/sigStamp dedup literals inside sigKey and sameLitSet without
+	// sorting or allocating: a literal is "marked" when its stamp equals
+	// the current pass's value, so clearing is a counter increment.
+	litStamp []int64
+	sigStamp int64
 }
 
 func newEngine(f *cnf.Formula, proof *Proof, opts checker.Options) (*engine, error) {
@@ -119,7 +125,8 @@ func newEngine(f *cnf.Formula, proof *Proof, opts checker.Options) (*engine, err
 	e := &engine{
 		nVars:     nVars,
 		watches:   make([][]int32, 2*nVars+2),
-		sig:       make(map[string][]int32, len(f.Clauses)),
+		sig:       make(map[uint64][]int32, len(f.Clauses)),
+		litStamp:  make([]int64, 2*nVars+2),
 		assign:    make([]cnf.Value, nVars+1),
 		reason:    make([]int32, nVars+1),
 		seen:      make([]bool, nVars+1),
@@ -172,13 +179,16 @@ func (e *engine) attach(lits cnf.Clause, id int, orig bool) error {
 func (e *engine) detachByLits(lits cnf.Clause) (int32, bool) {
 	key := e.sigKey(lits)
 	idxs := e.sig[key]
-	if len(idxs) == 0 {
-		return -1, false
+	for i := len(idxs) - 1; i >= 0; i-- {
+		idx := idxs[i]
+		if !e.sameLitSet(e.clauses[idx].lits, lits) {
+			continue // hash collision: different literal set in the bucket
+		}
+		e.sig[key] = append(idxs[:i], idxs[i+1:]...)
+		e.detach(idx)
+		return idx, true
 	}
-	idx := idxs[len(idxs)-1]
-	e.sig[key] = idxs[:len(idxs)-1]
-	e.detach(idx)
-	return idx, true
+	return -1, false
 }
 
 // detach tombstones clause idx (its literal storage survives for
@@ -246,22 +256,60 @@ func (e *engine) unwatch(l cnf.Lit, idx int32) {
 	}
 }
 
-// sigKey canonicalizes a clause (sorted, deduplicated literals) into a map
-// key for deletion matching.
-func (e *engine) sigKey(lits cnf.Clause) string {
-	tmp := make(cnf.Clause, len(lits))
-	copy(tmp, lits)
-	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
-	e.keyBuf = e.keyBuf[:0]
-	var prev cnf.Lit
-	for i, l := range tmp {
-		if i > 0 && l == prev {
+// mix64 is a splitmix64-style finalizer: a cheap bijective scrambler.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// sigKey hashes a clause's literal *set* (duplicates ignored) with a
+// commutative combiner, so the stored clause matches however propagation
+// has permuted its literals in place — no copy, no sort, no allocation.
+// Distinct sets can collide; callers that act on a bucket entry confirm
+// with sameLitSet first.
+func (e *engine) sigKey(lits cnf.Clause) uint64 {
+	e.sigStamp++
+	s := e.sigStamp
+	var h, n uint64
+	for _, l := range lits {
+		if e.litStamp[l] == s {
 			continue
 		}
-		prev = l
-		e.keyBuf = append(e.keyBuf, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+		e.litStamp[l] = s
+		h += mix64(uint64(l) + 0x9e3779b97f4a7c15)
+		n++
 	}
-	return string(e.keyBuf)
+	return mix64(h ^ (n << 1) ^ 0x517cc1b727220a95)
+}
+
+// sameLitSet reports whether a and b hold exactly the same literal set
+// (duplicates disregarded) — the equivalence sigKey buckets approximate.
+func (e *engine) sameLitSet(a, b cnf.Clause) bool {
+	e.sigStamp += 2
+	inA, inBoth := e.sigStamp-1, e.sigStamp
+	na := 0
+	for _, l := range a {
+		if e.litStamp[l] != inA {
+			e.litStamp[l] = inA
+			na++
+		}
+	}
+	nb := 0
+	for _, l := range b {
+		switch e.litStamp[l] {
+		case inA:
+			e.litStamp[l] = inBoth
+			nb++
+		case inBoth:
+		default:
+			return false
+		}
+	}
+	return na == nb
 }
 
 func (e *engine) poll() error {

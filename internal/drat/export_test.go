@@ -1,0 +1,13 @@
+package drat
+
+import (
+	"satcheck/internal/checker"
+	"satcheck/internal/cnf"
+)
+
+// CheckLRATProofLegacy exposes the demoted map-based LRAT verifier to the
+// external test package for kernel cross-checks: both implementations must
+// agree on every verdict, failure kind, and diagnostic detail.
+var CheckLRATProofLegacy = func(f *cnf.Formula, proof *LRATProof, opts checker.Options) (*checker.Result, error) {
+	return checkLRATProofLegacy(f, proof, opts)
+}

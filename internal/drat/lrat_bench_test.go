@@ -1,0 +1,70 @@
+package drat_test
+
+import (
+	"bytes"
+	"testing"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/drat"
+	"satcheck/internal/gen"
+	"satcheck/internal/solver"
+	"satcheck/internal/trace"
+)
+
+// bridgedLRAT solves an instance, bridges the trace to LRAT, and parses the
+// emitted proof — the shared setup of the kernel-vs-legacy ablation.
+func bridgedLRAT(b *testing.B, ins gen.Instance) *drat.LRATProof {
+	b.Helper()
+	s, err := solver.New(ins.F, solver.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mt := &trace.MemoryTrace{}
+	s.SetTrace(mt)
+	if st, err := s.Solve(); err != nil || st != solver.StatusUnsat {
+		b.Fatalf("st=%v err=%v", st, err)
+	}
+	var buf bytes.Buffer
+	if _, err := drat.TraceToLRAT(ins.F, mt, &buf, checker.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	proof, err := drat.ParseLRAT(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return proof
+}
+
+// BenchmarkLRATKernelVsLegacy is the tentpole ablation: the same parsed LRAT
+// proof verified by the trusted flat-array kernel (the production path
+// behind CheckLRATProof) and by the demoted map-based legacy verifier.
+// ReportAllocs makes the allocation gap part of the record — the kernel's
+// check loop reuses every buffer across runs via a sync.Pool, the legacy
+// verifier rebuilds its clause maps per run.
+func BenchmarkLRATKernelVsLegacy(b *testing.B) {
+	instances := []gen.Instance{
+		gen.Pigeonhole(6),
+		gen.CECAdder(16),
+		gen.FPGARouting(24, 6, 16, 11),
+	}
+	for _, ins := range instances {
+		ins := ins
+		proof := bridgedLRAT(b, ins)
+		b.Run(ins.Name+"/kernel", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := drat.CheckLRATProof(ins.F, proof, checker.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(ins.Name+"/legacy", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := drat.CheckLRATProofLegacy(ins.F, proof, checker.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,138 @@
+package drat_test
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/cnf"
+	"satcheck/internal/drat"
+)
+
+// These edge cases are pinned against BOTH LRAT verifiers — the trusted
+// kernel behind drat.CheckLRATProof and the demoted map-based legacy
+// checker — which must agree on verdict, failure kind, failing clause ID,
+// diagnostic detail, and (on acceptance) every Result statistic. This is
+// the contract that allowed the legacy verifier to hand over trust.
+
+func parseLRATText(t *testing.T, text string) *drat.LRATProof {
+	t.Helper()
+	p, err := drat.ParseLRAT(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+// checkBoth runs both verifiers and requires identical outcomes, returning
+// the kernel's.
+func checkBoth(t *testing.T, f *cnf.Formula, text string) (*checker.Result, error) {
+	t.Helper()
+	proof := parseLRATText(t, text)
+	kres, kerr := drat.CheckLRATProof(f, proof, checker.Options{})
+	lres, lerr := drat.CheckLRATProofLegacy(f, proof, checker.Options{})
+	if (kerr == nil) != (lerr == nil) {
+		t.Fatalf("verdicts disagree: kernel err=%v, legacy err=%v", kerr, lerr)
+	}
+	if kerr != nil {
+		var kce, lce *checker.CheckError
+		if !errors.As(kerr, &kce) || !errors.As(lerr, &lce) {
+			t.Fatalf("non-CheckError rejection: kernel %v, legacy %v", kerr, lerr)
+		}
+		if kce.Kind != lce.Kind || kce.ClauseID != lce.ClauseID || kce.Detail != lce.Detail {
+			t.Fatalf("rejections differ:\nkernel: kind=%v id=%d detail=%q\nlegacy: kind=%v id=%d detail=%q",
+				kce.Kind, kce.ClauseID, kce.Detail, lce.Kind, lce.ClauseID, lce.Detail)
+		}
+		return nil, kerr
+	}
+	if !reflect.DeepEqual(kres, lres) {
+		t.Fatalf("accepted results differ:\nkernel: %+v\nlegacy: %+v", kres, lres)
+	}
+	return kres, nil
+}
+
+func mustRejectBoth(t *testing.T, f *cnf.Formula, text string, kind checker.FailureKind, detail string) {
+	t.Helper()
+	_, err := checkBoth(t, f, text)
+	if err == nil {
+		t.Fatalf("proof accepted, want %v rejection", kind)
+	}
+	var ce *checker.CheckError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want CheckError, got %v", err)
+	}
+	if ce.Kind != kind {
+		t.Errorf("kind = %v, want %v (%v)", ce.Kind, kind, ce)
+	}
+	if ce.Detail != detail {
+		t.Errorf("detail = %q, want %q", ce.Detail, detail)
+	}
+}
+
+// TestLRATEdgeDuplicateHint: the same clause hinted twice in one segment —
+// the second application finds it satisfied by the unit the first one
+// propagated.
+func TestLRATEdgeDuplicateHint(t *testing.T) {
+	mustRejectBoth(t, simpleUnsat(), "5 1 0 1 1 2 0\n",
+		checker.FailHint, "hinted clause 1 is satisfied, not unit")
+}
+
+// TestLRATEdgeDeleteUnknown: deletion of a clause ID that was never added.
+func TestLRATEdgeDeleteUnknown(t *testing.T) {
+	mustRejectBoth(t, simpleUnsat(), "4 d 9 0\n",
+		checker.FailTrace, "deletion of unknown clause 9")
+}
+
+// TestLRATEdgeEmptyRATCandidateGroup: a lemma with a fresh pivot has an
+// empty candidate set — a blocked clause, valid with zero hints and zero
+// groups. The proof then completes normally.
+func TestLRATEdgeEmptyRATCandidateGroup(t *testing.T) {
+	res, err := checkBoth(t, simpleUnsat(), "5 3 1 0 0\n6 1 0 1 2 0\n7 0 6 3 4 0\n")
+	if err != nil {
+		t.Fatalf("blocked clause rejected: %v", err)
+	}
+	if res.LearnedTotal != 3 || res.ClausesBuilt != 3 {
+		t.Errorf("learned/built = %d/%d, want 3/3", res.LearnedTotal, res.ClausesBuilt)
+	}
+}
+
+// TestLRATEdgeHintReferencesDeleted: a hint naming a clause that was live
+// earlier but deleted before the hinting line.
+func TestLRATEdgeHintReferencesDeleted(t *testing.T) {
+	mustRejectBoth(t, simpleUnsat(), "5 1 0 1 2 0\n5 d 1 0\n6 2 0 1 3 0\n",
+		checker.FailHint, "hint references clause 1, which is not live")
+}
+
+// TestLRATEdgeEmptyClauseNotLast: checking stops at the first verified
+// empty clause; trailing lines (even ones that would not verify) are
+// irrelevant, and LearnedTotal still counts every addition line.
+func TestLRATEdgeEmptyClauseNotLast(t *testing.T) {
+	res, err := checkBoth(t, simpleUnsat(), "5 1 0 1 2 0\n6 0 5 3 4 0\n7 2 0 1 0\n")
+	if err != nil {
+		t.Fatalf("proof with trailing lines rejected: %v", err)
+	}
+	if res.ClausesBuilt != 2 {
+		t.Errorf("built = %d, want 2 (stop at the empty clause)", res.ClausesBuilt)
+	}
+	if res.LearnedTotal != 3 {
+		t.Errorf("learned = %d, want 3 (every addition line counts)", res.LearnedTotal)
+	}
+}
+
+// TestLRATEdgeIDRegression: a line whose ID does not increase — both
+// verifiers must name the same previous ID.
+func TestLRATEdgeIDRegression(t *testing.T) {
+	mustRejectBoth(t, simpleUnsat(), "5 1 0 1 2 0\n5 2 0 5 3 0\n",
+		checker.FailTrace, "clause IDs must increase (previous 5)")
+}
+
+// TestLRATEdgeMissingCandidates: RAT groups that skip a live candidate —
+// the diagnostic lists the missed IDs identically (sorted) in both.
+func TestLRATEdgeMissingCandidates(t *testing.T) {
+	// ratFormula's (-1) is RAT on pivot -1 with candidates 1, 6, 8 (the
+	// clauses containing literal 1); give no groups at all.
+	mustRejectBoth(t, ratFormula(), "9 -1 0 0\n",
+		checker.FailHint, "RAT check misses resolution candidates [1 6 8]")
+}

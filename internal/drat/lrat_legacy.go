@@ -1,0 +1,361 @@
+package drat
+
+import (
+	"fmt"
+	"sort"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/cnf"
+)
+
+// This file is the demoted map-based LRAT verifier. It was the trusted
+// checker until the flat-array kernel (internal/kernel) took over; it now
+// survives only as a test-time cross-check — two independent
+// implementations of the LRAT semantics that must agree on every verdict
+// and diagnostic. Nothing outside _test files may call it.
+
+// checkLRATProofLegacy verifies an already-parsed LRAT proof with the
+// historic map-based verifier.
+func checkLRATProofLegacy(f *cnf.Formula, proof *LRATProof, opts checker.Options) (*checker.Result, error) {
+	v, err := newLratVerifier(f, proof, opts)
+	if err != nil {
+		return nil, err
+	}
+	return v.run(proof)
+}
+
+// lratVerifier follows hints only: it never searches for unit clauses, so a
+// verified proof certifies the formula unsatisfiable using nothing but
+// lookups and evaluations — the "efficient certified checking" shape of the
+// LRAT paper.
+type lratVerifier struct {
+	clauses map[int]cnf.Clause
+	// occ indexes live clause IDs by contained literal, so RAT candidate
+	// sets are read off occ[¬pivot] instead of scanning the whole database —
+	// the scan made checking extended-resolution proofs (every definition
+	// line is a RAT addition) quadratic in proof length. Deletions leave
+	// stale IDs behind; readers filter against the clause map and compact
+	// the bucket in place.
+	occ    map[cnf.Lit][]int
+	assign []cnf.Value
+	trail  []cnf.Lit
+	// required is the RAT candidate scratch, allocated once and cleared per
+	// line instead of rebuilt — the map-churn this saves is the same cost
+	// the kernel removes entirely with its epoch-stamped flat arrays.
+	required map[int]bool
+
+	interrupt func() error
+	pollN     int
+
+	steps    int64
+	memCur   int64
+	memPeak  int64
+	memLimit int64
+}
+
+func newLratVerifier(f *cnf.Formula, proof *LRATProof, opts checker.Options) (*lratVerifier, error) {
+	nVars := f.NumVars
+	for _, ln := range proof.Lines {
+		for _, l := range ln.Lits {
+			if int(l.Var()) > nVars {
+				nVars = int(l.Var())
+			}
+		}
+	}
+	v := &lratVerifier{
+		clauses:   make(map[int]cnf.Clause, len(f.Clauses)+len(proof.Lines)),
+		occ:       make(map[cnf.Lit][]int),
+		assign:    make([]cnf.Value, nVars+1),
+		required:  make(map[int]bool, 16),
+		interrupt: opts.Interrupt,
+		memLimit:  opts.MemLimitWords,
+	}
+	for i, c := range f.Clauses {
+		work, _ := c.Clone().Normalize()
+		v.clauses[i+1] = work
+		v.index(i+1, work)
+		v.memCur += int64(len(work))
+	}
+	v.memPeak = v.memCur
+	if v.memLimit > 0 && v.memCur > v.memLimit {
+		return nil, &checker.CheckError{Kind: checker.FailMemoryLimit, ClauseID: -1, Step: noStep,
+			Detail: "formula alone exceeds the memory budget"}
+	}
+	return v, nil
+}
+
+// index records cl's literals in the occurrence index (duplicate literals
+// within one clause add duplicate entries; the RAT reader deduplicates by
+// clause ID, so that is harmless).
+func (v *lratVerifier) index(id int, cl cnf.Clause) {
+	for _, l := range cl {
+		v.occ[l] = append(v.occ[l], id)
+	}
+}
+
+func (v *lratVerifier) poll() error {
+	if v.interrupt == nil {
+		return nil
+	}
+	if v.pollN++; v.pollN%1024 != 0 {
+		return nil
+	}
+	return v.interrupt()
+}
+
+func (v *lratVerifier) litValue(l cnf.Lit) cnf.Value {
+	val := v.assign[l.Var()]
+	if val == cnf.Unknown || !l.IsNeg() {
+		return val
+	}
+	return val.Not()
+}
+
+// assume sets l true; conflict is reported when l is already false.
+func (v *lratVerifier) assume(l cnf.Lit) (conflict bool) {
+	switch v.litValue(l) {
+	case cnf.False:
+		return true
+	case cnf.True:
+		return false
+	}
+	if l.IsNeg() {
+		v.assign[l.Var()] = cnf.False
+	} else {
+		v.assign[l.Var()] = cnf.True
+	}
+	v.trail = append(v.trail, l)
+	return false
+}
+
+func (v *lratVerifier) undoTo(mark int) {
+	for i := len(v.trail) - 1; i >= mark; i-- {
+		v.assign[v.trail[i].Var()] = cnf.Unknown
+	}
+	v.trail = v.trail[:mark]
+}
+
+// applyHint evaluates hinted clause id under the current assignment: it must
+// be conflicting (all literals false) or unit; a unit extends the
+// assignment. outcome: 1 conflict, 0 unit-extended; an error otherwise.
+func (v *lratVerifier) applyHint(id, lineID int) (int, error) {
+	cl, ok := v.clauses[id]
+	if !ok {
+		return 0, &checker.CheckError{Kind: checker.FailHint, ClauseID: lineID, Step: noStep,
+			Detail: fmt.Sprintf("hint references clause %d, which is not live", id)}
+	}
+	unit := cnf.NoLit
+	for _, l := range cl {
+		switch v.litValue(l) {
+		case cnf.False:
+			continue
+		case cnf.True:
+			return 0, &checker.CheckError{Kind: checker.FailHint, ClauseID: lineID, Step: noStep,
+				Detail: fmt.Sprintf("hinted clause %d is satisfied, not unit", id)}
+		default:
+			if unit != cnf.NoLit {
+				return 0, &checker.CheckError{Kind: checker.FailHint, ClauseID: lineID, Step: noStep,
+					Detail: fmt.Sprintf("hinted clause %d has two unassigned literals", id)}
+			}
+			unit = l
+		}
+	}
+	v.steps++
+	if unit == cnf.NoLit {
+		return 1, nil
+	}
+	v.assume(unit)
+	return 0, nil
+}
+
+// checkSegment consumes positive hints until a conflict; ok reports whether
+// the segment ended in a conflict.
+func (v *lratVerifier) checkSegment(hints []int, lineID int) (consumed int, ok bool, err error) {
+	for i, h := range hints {
+		if h < 0 {
+			return i, false, nil
+		}
+		if err := v.poll(); err != nil {
+			return i, false, err
+		}
+		out, err := v.applyHint(h, lineID)
+		if err != nil {
+			return i, false, err
+		}
+		if out == 1 {
+			return i + 1, true, nil
+		}
+	}
+	return len(hints), false, nil
+}
+
+func (v *lratVerifier) run(proof *LRATProof) (*checker.Result, error) {
+	adds := proof.NumAdds()
+	built := 0
+	lastID := 0
+	for i := range v.clauses {
+		if i > lastID {
+			lastID = i
+		}
+	}
+	for li := range proof.Lines {
+		ln := &proof.Lines[li]
+		if ln.Del {
+			for _, id := range ln.DelIDs {
+				cl, ok := v.clauses[id]
+				if !ok {
+					return nil, &checker.CheckError{Kind: checker.FailTrace, ClauseID: ln.ID, Step: noStep,
+						Detail: fmt.Sprintf("deletion of unknown clause %d", id)}
+				}
+				v.memCur -= int64(len(cl))
+				delete(v.clauses, id)
+			}
+			continue
+		}
+		if ln.ID <= lastID {
+			return nil, &checker.CheckError{Kind: checker.FailTrace, ClauseID: ln.ID, Step: noStep,
+				Detail: fmt.Sprintf("clause IDs must increase (previous %d)", lastID)}
+		}
+		lastID = ln.ID
+		if err := v.checkLine(ln); err != nil {
+			return nil, err
+		}
+		built++
+		if len(ln.Lits) == 0 {
+			return &checker.Result{
+				LearnedTotal:    adds,
+				ClausesBuilt:    built,
+				ResolutionSteps: v.steps,
+				PeakMemWords:    v.memPeak,
+			}, nil
+		}
+		v.clauses[ln.ID] = ln.Lits
+		v.index(ln.ID, ln.Lits)
+		v.memCur += int64(len(ln.Lits))
+		if v.memCur > v.memPeak {
+			v.memPeak = v.memCur
+		}
+		if v.memLimit > 0 && v.memCur > v.memLimit {
+			return nil, &checker.CheckError{Kind: checker.FailMemoryLimit, ClauseID: ln.ID, Step: noStep,
+				Detail: "clause database exceeded the memory budget"}
+		}
+	}
+	return nil, &checker.CheckError{Kind: checker.FailNotEmpty, ClauseID: -1, Step: noStep,
+		Detail: "LRAT proof ends without deriving the empty clause"}
+}
+
+// checkLine verifies one addition line.
+func (v *lratVerifier) checkLine(ln *LRATLine) error {
+	v.undoTo(0)
+	// Assume the negation of the lemma. A contradiction here means the
+	// lemma is tautological — valid with no hints at all.
+	for _, l := range ln.Lits {
+		if v.assume(l.Neg()) {
+			return nil
+		}
+	}
+	consumed, ok, err := v.checkSegment(ln.Hints, ln.ID)
+	if err != nil {
+		return err
+	}
+	if ok {
+		return nil
+	}
+	// RUP failed; only the RAT fallback can save the line now, and the
+	// empty clause has no pivot to be RAT on.
+	if len(ln.Lits) == 0 {
+		if consumed == len(ln.Hints) {
+			return &checker.CheckError{Kind: checker.FailHint, ClauseID: ln.ID, Step: noStep,
+				Detail: "RUP hints end without a conflict"}
+		}
+		return &checker.CheckError{Kind: checker.FailHint, ClauseID: ln.ID, Step: noStep,
+			Detail: "empty clause cannot be RAT"}
+	}
+	// RAT: remaining hints are candidate groups. Every live clause holding
+	// the negated pivot must be covered. Exhausted hints with no groups are
+	// admissible exactly when that candidate set is empty — a blocked
+	// clause (e.g. an extended-resolution definition over a fresh
+	// variable), whose addition is satisfiability-preserving with no
+	// propagation at all; the missing-candidates check below enforces the
+	// emptiness.
+	pivot := ln.Lits[0]
+	npivot := pivot.Neg()
+	required := v.required
+	clear(required)
+	bucket := v.occ[npivot][:0]
+	for _, id := range v.occ[npivot] {
+		if _, live := v.clauses[id]; !live {
+			continue // stale after a deletion; drop while passing through
+		}
+		bucket = append(bucket, id)
+		required[id] = false
+	}
+	v.occ[npivot] = bucket
+	base := len(v.trail)
+	rest := ln.Hints[consumed:]
+	for len(rest) > 0 {
+		if rest[0] >= 0 {
+			return &checker.CheckError{Kind: checker.FailHint, ClauseID: ln.ID, Step: noStep,
+				Detail: "positive hint where a RAT candidate group was expected"}
+		}
+		cand := -rest[0]
+		rest = rest[1:]
+		seen, was := required[cand]
+		if !was {
+			return &checker.CheckError{Kind: checker.FailHint, ClauseID: ln.ID, Step: noStep,
+				Detail: fmt.Sprintf("RAT group for clause %d, which does not contain %s", cand, npivot)}
+		}
+		if seen {
+			return &checker.CheckError{Kind: checker.FailHint, ClauseID: ln.ID, Step: noStep,
+				Detail: fmt.Sprintf("duplicate RAT group for clause %d", cand)}
+		}
+		required[cand] = true
+		// Assume the negation of the resolvent's candidate half; an
+		// immediate contradiction (tautological or already-falsified
+		// resolvent) verifies the group with no further hints.
+		immediate := false
+		for _, d := range v.clauses[cand] {
+			if d == npivot {
+				continue
+			}
+			if v.assume(d.Neg()) {
+				immediate = true
+				break
+			}
+		}
+		if immediate {
+			// The group is verified with no propagation; skip any hints the
+			// producer emitted for it (they were computed against a fuller
+			// assumption set than we built before the contradiction).
+			n := 0
+			for n < len(rest) && rest[n] >= 0 {
+				n++
+			}
+			rest = rest[n:]
+			v.undoTo(base)
+			continue
+		}
+		n, ok, err := v.checkSegment(rest, ln.ID)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return &checker.CheckError{Kind: checker.FailHint, ClauseID: ln.ID, Step: noStep,
+				Detail: fmt.Sprintf("RAT group for clause %d ends without a conflict", cand)}
+		}
+		rest = rest[n:]
+		v.undoTo(base)
+	}
+	missing := make([]int, 0)
+	for id, seen := range required {
+		if !seen {
+			missing = append(missing, id)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Ints(missing)
+		return &checker.CheckError{Kind: checker.FailHint, ClauseID: ln.ID, Step: noStep,
+			Detail: fmt.Sprintf("RAT check misses resolution candidates %v", missing)}
+	}
+	return nil
+}

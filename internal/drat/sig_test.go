@@ -1,0 +1,111 @@
+package drat
+
+import (
+	"testing"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/cnf"
+)
+
+func sigTestEngine(t testing.TB, nVars int) *engine {
+	t.Helper()
+	f := &cnf.Formula{NumVars: nVars}
+	e, err := newEngine(f, &Proof{}, checker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func sigClause(dimacs ...int) cnf.Clause {
+	cl := make(cnf.Clause, len(dimacs))
+	for i, d := range dimacs {
+		cl[i] = cnf.LitFromDimacs(d)
+	}
+	return cl
+}
+
+// TestSigKeyPermutationInvariant pins the property the watched-literal
+// engine depends on: propagation permutes stored clause literals in place,
+// and a later deletion must still find the clause.
+func TestSigKeyPermutationInvariant(t *testing.T) {
+	e := sigTestEngine(t, 10)
+	a := sigClause(1, -3, 7, 9)
+	b := sigClause(9, 7, 1, -3)
+	dup := sigClause(1, 1, -3, 7, 9, 9)
+	if e.sigKey(a) != e.sigKey(b) || e.sigKey(a) != e.sigKey(dup) {
+		t.Error("sigKey not invariant under permutation/duplication")
+	}
+	if e.sigKey(a) == e.sigKey(sigClause(1, -3, 7)) {
+		t.Error("subset hashed equal (suspicious)")
+	}
+	if !e.sameLitSet(a, b) || !e.sameLitSet(a, dup) || !e.sameLitSet(dup, a) {
+		t.Error("sameLitSet rejects equal sets")
+	}
+	for _, other := range []cnf.Clause{
+		sigClause(1, -3, 7),
+		sigClause(1, -3, 7, 9, 5),
+		sigClause(1, 3, 7, 9),
+		nil,
+	} {
+		if e.sameLitSet(a, other) || e.sameLitSet(other, a) {
+			t.Errorf("sameLitSet(%v, %v) = true", a, other)
+		}
+	}
+	if !e.sameLitSet(nil, nil) {
+		t.Error("empty sets must match")
+	}
+}
+
+// TestSigDetachPermuted drives the full attach/detach path: the stored
+// copy's literal order is scrambled (as propagation would), then deleted
+// using the proof-text order.
+func TestSigDetachPermuted(t *testing.T) {
+	e := sigTestEngine(t, 10)
+	stored := sigClause(2, 4, -6, 8)
+	if err := e.attach(stored, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	stored[0], stored[2] = stored[2], stored[0]
+	stored[1], stored[3] = stored[3], stored[1]
+	idx, ok := e.detachByLits(sigClause(2, 4, -6, 8))
+	if !ok || idx != 0 {
+		t.Fatalf("detachByLits = (%d, %v), want (0, true)", idx, ok)
+	}
+	if _, ok := e.detachByLits(sigClause(2, 4, -6, 8)); ok {
+		t.Fatal("second deletion of the same clause succeeded")
+	}
+}
+
+// BenchmarkSigKey pins the satellite win: the old implementation copied,
+// sorted, and built a string per call; the hashed key is allocation-free.
+func BenchmarkSigKey(b *testing.B) {
+	e := sigTestEngine(b, 64)
+	cl := sigClause(3, -7, 12, -19, 25, -33, 41, -48, 52, -60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += e.sigKey(cl)
+	}
+	_ = sink
+}
+
+// BenchmarkSigAttachDetach measures the signature path every DRAT deletion
+// crosses: attach a clause, delete it by literals.
+func BenchmarkSigAttachDetach(b *testing.B) {
+	e := sigTestEngine(b, 64)
+	cl := sigClause(3, -7, 12, -19, 25, -33, 41, -48)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.attach(cl, 1, false); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := e.detachByLits(cl); !ok {
+			b.Fatal("detach failed")
+		}
+		// detach tombstones; drop the entry so the database stays size 0.
+		e.clauses = e.clauses[:0]
+	}
+}

@@ -33,6 +33,7 @@ func TestRunClean(t *testing.T) {
 		"drat-ascii/forward", "drat-ascii/backward",
 		"drat-binary/forward", "drat-binary/backward",
 		"lrat/from-trace", "lrat/from-drat",
+		"kernel/from-trace", "kernel/from-drat",
 		"incremental/session-call", "incremental/mus",
 		"bdd/model", "er/bridge", "er-drat/forward", "er-drat/backward",
 	} {

@@ -531,7 +531,49 @@ func (r *round) checkMatrix(ins gen.Instance, mt *trace.MemoryTrace, dratASCII [
 	} else {
 		r.cell("lrat/from-drat")
 	}
+
+	// Trusted-kernel cells: the same trace and DRAT proof, but gated end to
+	// end by the flat-array kernel (trace→TraceCheck→LRAT hints and forward
+	// DRAT hint recording, both verified by internal/kernel), with the
+	// kernel's backward hint-closure core as the by-product.
+	if res, err := drat.KernelCheckTrace(f, mt, checker.Options{}); err != nil {
+		r.fail("valid-proof-rejected", ins.Name,
+			fmt.Sprintf("trusted kernel rejected a valid trace: %v", err), f, nil)
+		ok = false
+	} else if bad := badCore(res.CoreClauses, f.NumClauses()); bad != "" {
+		r.fail("core-mismatch", ins.Name, "kernel trace core "+bad, f, nil)
+		ok = false
+	} else {
+		r.cell("kernel/from-trace")
+	}
+	if res, err := drat.KernelCheckDRAT(f, drat.BytesSource(dratASCII), checker.Options{}); err != nil {
+		r.fail("valid-proof-rejected", ins.Name,
+			fmt.Sprintf("trusted kernel rejected a valid DRUP proof: %v", err), f, nil)
+		ok = false
+	} else if bad := badCore(res.CoreClauses, f.NumClauses()); bad != "" {
+		r.fail("core-mismatch", ins.Name, "kernel DRAT core "+bad, f, nil)
+		ok = false
+	} else {
+		r.cell("kernel/from-drat")
+	}
 	return ok
+}
+
+// badCore validates a kernel hint-closure core: non-empty, strictly
+// ascending, and every ID a real original clause. Returns "" when valid.
+func badCore(core []int, numClauses int) string {
+	if len(core) == 0 {
+		return "is empty"
+	}
+	for i, id := range core {
+		if id < 0 || id >= numClauses {
+			return fmt.Sprintf("names clause %d outside the formula (%d clauses)", id, numClauses)
+		}
+		if i > 0 && id <= core[i-1] {
+			return fmt.Sprintf("not strictly ascending at index %d", i)
+		}
+	}
+	return ""
 }
 
 // stepsToBytes re-encodes proof steps in the chosen DRAT encoding.

@@ -1,0 +1,692 @@
+// Package kernel is the trusted core of the checking pipeline: a minimal,
+// allocation-free, hint-following LRAT verifier. Everything else — the CDCL
+// solver, the DRAT engine, the LRAT emitter, the BDD bridge — is an
+// untrusted annotator whose output funnels into this package, and a proof
+// counts as "verified" only when this kernel accepts it (Cruz-Filipe et
+// al.'s certified-checking architecture: fast untrusted pass, tiny trusted
+// kernel).
+//
+// To stay auditable the kernel holds no clever data structures: all clause
+// literals live in one flat int32 slab addressed by a dense ID→offset
+// index, the assignment/trail are flat arrays indexed by variable, and RAT
+// candidate marks are epoch-stamped counters — no maps, no per-clause
+// slices, no pointers. After a warm-up run the check loop performs zero
+// heap allocations (failure paths may allocate, since they abandon the
+// run).
+//
+// Literals use the solver's encoding: variable v (1-based) is the positive
+// literal 2v and the negative literal 2v+1, so l^1 negates and l>>1 is the
+// variable.
+package kernel
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Formula is the original CNF in flat form: clause i (0-based; its LRAT
+// clause ID is i+1) occupies Lits[Off[i]:Off[i+1]]. The front end is
+// expected to normalize each clause (sorted, duplicate-free); the kernel
+// does not depend on it for soundness, but memory accounting assumes
+// stored lengths.
+type Formula struct {
+	Lits    []int32
+	Off     []int32 // len = number of clauses + 1; Off[0] == 0
+	NumVars int32
+}
+
+// Op is one proof line in flat form. An addition's literals are
+// Proof.Lits[LitOff:LitOff+LitN] and its hints
+// Proof.Hints[HintOff:HintOff+HintN] (negative hint = RAT candidate group
+// opener). A deletion lists Proof.Dels[DelOff:DelOff+DelN].
+type Op struct {
+	ID             int32
+	Del            bool
+	LitOff, LitN   int32
+	HintOff, HintN int32
+	DelOff, DelN   int32
+}
+
+// Proof is a flat LRAT proof.
+type Proof struct {
+	Ops     []Op
+	Lits    []int32
+	Hints   []int32
+	Dels    []int32
+	NumAdds int   // addition lines in Ops
+	MaxVar  int32 // largest variable appearing in Lits (0 if none)
+}
+
+// Options control a single Check call.
+type Options struct {
+	// MemLimitWords bounds the live clause database (words = literals), 0
+	// for unlimited.
+	MemLimitWords int64
+	// Interrupt, when non-nil, is polled every 1024 hints; a non-nil error
+	// aborts the check and is returned verbatim.
+	Interrupt func() error
+	// WantCore asks for the unsat core: the original clauses reachable from
+	// the final empty clause through the transitive closure of the hints.
+	WantCore bool
+}
+
+// Result reports an accepted proof.
+type Result struct {
+	// Adds counts addition lines in the proof (verified or not — checking
+	// stops at the first verified empty clause).
+	Adds int
+	// Built counts addition lines actually verified.
+	Built int
+	// Steps counts hint applications (each one evaluation of a clause under
+	// the current assignment).
+	Steps int64
+	// PeakMemWords is the high-water mark of live clause literals.
+	PeakMemWords int64
+	// Core lists the 0-based original clause indices in the hint closure of
+	// the empty clause, ascending. Nil unless Options.WantCore.
+	Core []int32
+	// CoreVars counts distinct variables in Core.
+	CoreVars int
+}
+
+// ErrCode enumerates kernel rejection reasons.
+type ErrCode uint8
+
+const (
+	// ErrDeleteUnknown: deletion of an ID that is not live.
+	ErrDeleteUnknown ErrCode = iota
+	// ErrIDOrder: an addition's ID does not exceed every earlier ID.
+	ErrIDOrder
+	// ErrHintNotLive: a hint references a clause that is not live.
+	ErrHintNotLive
+	// ErrHintSatisfied: a hinted clause is satisfied, so neither unit nor
+	// conflicting.
+	ErrHintSatisfied
+	// ErrHintTwoUnassigned: a hinted clause has two unassigned literals.
+	ErrHintTwoUnassigned
+	// ErrRUPNoConflict: an empty clause's RUP hints end without a conflict.
+	ErrRUPNoConflict
+	// ErrEmptyRAT: an empty clause's hints contain a RAT candidate group.
+	ErrEmptyRAT
+	// ErrPositiveHint: a positive hint where a candidate group must open.
+	ErrPositiveHint
+	// ErrGroupNotCandidate: a RAT group names a clause that is not a live
+	// resolution candidate (does not contain the negated pivot).
+	ErrGroupNotCandidate
+	// ErrGroupDuplicate: two RAT groups for the same candidate.
+	ErrGroupDuplicate
+	// ErrGroupNoConflict: a RAT group's hints end without a conflict.
+	ErrGroupNoConflict
+	// ErrMissingCandidates: RAT groups do not cover every live candidate.
+	ErrMissingCandidates
+	// ErrNotEmpty: the proof ends without deriving the empty clause.
+	ErrNotEmpty
+	// ErrMemFormula: the original formula alone exceeds the memory budget.
+	ErrMemFormula
+	// ErrMemDB: the clause database exceeded the memory budget mid-proof.
+	ErrMemDB
+)
+
+// Error is a kernel rejection. Line is the proof line's clause ID (-1 when
+// the failure is not tied to a line), Ref a referenced clause ID (hint,
+// deletion target, RAT candidate, or the previous ID for ErrIDOrder), Lit
+// the negated pivot for ErrGroupNotCandidate, IDs the sorted missing
+// candidates for ErrMissingCandidates.
+type Error struct {
+	Code ErrCode
+	Line int32
+	Ref  int32
+	Lit  int32
+	IDs  []int32
+}
+
+func (e *Error) Error() string {
+	switch e.Code {
+	case ErrDeleteUnknown:
+		return fmt.Sprintf("kernel: line %d: deletion of unknown clause %d", e.Line, e.Ref)
+	case ErrIDOrder:
+		return fmt.Sprintf("kernel: line %d: clause IDs must increase (previous %d)", e.Line, e.Ref)
+	case ErrHintNotLive:
+		return fmt.Sprintf("kernel: line %d: hint references clause %d, which is not live", e.Line, e.Ref)
+	case ErrHintSatisfied:
+		return fmt.Sprintf("kernel: line %d: hinted clause %d is satisfied, not unit", e.Line, e.Ref)
+	case ErrHintTwoUnassigned:
+		return fmt.Sprintf("kernel: line %d: hinted clause %d has two unassigned literals", e.Line, e.Ref)
+	case ErrRUPNoConflict:
+		return fmt.Sprintf("kernel: line %d: RUP hints end without a conflict", e.Line)
+	case ErrEmptyRAT:
+		return fmt.Sprintf("kernel: line %d: empty clause cannot be RAT", e.Line)
+	case ErrPositiveHint:
+		return fmt.Sprintf("kernel: line %d: positive hint where a RAT candidate group was expected", e.Line)
+	case ErrGroupNotCandidate:
+		return fmt.Sprintf("kernel: line %d: RAT group for clause %d, which is not a candidate", e.Line, e.Ref)
+	case ErrGroupDuplicate:
+		return fmt.Sprintf("kernel: line %d: duplicate RAT group for clause %d", e.Line, e.Ref)
+	case ErrGroupNoConflict:
+		return fmt.Sprintf("kernel: line %d: RAT group for clause %d ends without a conflict", e.Line, e.Ref)
+	case ErrMissingCandidates:
+		return fmt.Sprintf("kernel: line %d: RAT check misses resolution candidates %v", e.Line, e.IDs)
+	case ErrNotEmpty:
+		return "kernel: proof ends without deriving the empty clause"
+	case ErrMemFormula:
+		return "kernel: formula alone exceeds the memory budget"
+	case ErrMemDB:
+		return fmt.Sprintf("kernel: line %d: clause database exceeded the memory budget", e.Line)
+	}
+	return "kernel: rejected"
+}
+
+// Checker holds the flat working arrays. A zero Checker is ready; reusing
+// one across Check calls reuses its arrays, and once they have grown to
+// the workload's high-water mark the check loop allocates nothing.
+type Checker struct {
+	// Clause store: clause with dense index i occupies
+	// slab[off[i]:off[i]+clen[i]]; ids[i] is its LRAT clause ID.
+	slab    []int32
+	off     []int32
+	clen    []int32
+	ids     []int32
+	live    []bool
+	slabLen int32
+	nDense  int32
+	nOrig   int32
+
+	// ID→dense lookup: originals are ids 1..nOrig (dense id-1). When the
+	// proof's addition IDs are consecutive from nOrig+1 (the common case —
+	// every in-repo emitter numbers that way), adds are dense id-1 too;
+	// otherwise addIDs[0:nAdds] (strictly increasing) is binary-searched.
+	contiguous bool
+	addIDs     []int32
+	nAdds      int32
+
+	// Occurrence index for RAT candidate enumeration: occHead[l] starts a
+	// singly linked list of cells, one per literal occurrence; dead cells
+	// (deleted clauses) are unlinked lazily during walks.
+	occHead  []int32
+	cellNext []int32
+	cellIdx  []int32
+	nCells   int32
+
+	// Assignment: val by variable (+1 true, -1 false, 0 unassigned), trail
+	// of assigned literals.
+	val      []int8
+	trail    []int32
+	trailLen int32
+
+	// RAT scratch, epoch-stamped by dense clause index: candStamp[i]==epoch
+	// marks i a live candidate this line, candSeen[i]==epoch marks its
+	// group as checked.
+	candStamp []int64
+	candSeen  []int64
+	epoch     int64
+
+	// Core marking (WantCore only): opDense maps an addition's op index to
+	// its dense clause index; coreMark flags dense indices in the closure.
+	opDense  []int32
+	coreMark []bool
+
+	interrupt func() error
+	pollN     int
+
+	steps    int64
+	memCur   int64
+	memPeak  int64
+	memLimit int64
+}
+
+// Check verifies proof against f with a fresh Checker.
+func Check(f *Formula, p *Proof, opts Options) (Result, error) {
+	var c Checker
+	return c.Check(f, p, opts)
+}
+
+// Check verifies an LRAT proof. On acceptance the Result carries the
+// statistics (and the core when requested); on rejection the error is an
+// *Error, except that an Options.Interrupt error is returned verbatim.
+func (c *Checker) Check(f *Formula, p *Proof, opts Options) (Result, error) {
+	c.init(f, p, opts)
+	if c.memLimit > 0 && c.memCur > c.memLimit {
+		return Result{}, &Error{Code: ErrMemFormula, Line: -1}
+	}
+	lastID := c.nOrig
+	built := 0
+	for oi := range p.Ops {
+		op := &p.Ops[oi]
+		if op.Del {
+			for _, id := range p.Dels[op.DelOff : op.DelOff+op.DelN] {
+				idx, ok := c.lookup(id)
+				if !ok || !c.live[idx] {
+					return Result{}, &Error{Code: ErrDeleteUnknown, Line: op.ID, Ref: id}
+				}
+				c.live[idx] = false
+				c.memCur -= int64(c.clen[idx])
+			}
+			continue
+		}
+		if op.ID <= lastID {
+			return Result{}, &Error{Code: ErrIDOrder, Line: op.ID, Ref: lastID}
+		}
+		lastID = op.ID
+		if err := c.checkAdd(p, op); err != nil {
+			return Result{}, err
+		}
+		built++
+		if op.LitN == 0 {
+			// Empty clause verified: the formula is refuted; later lines are
+			// irrelevant.
+			res := Result{Adds: p.NumAdds, Built: built, Steps: c.steps, PeakMemWords: c.memPeak}
+			if opts.WantCore {
+				c.markCore(p, oi, &res)
+			}
+			return res, nil
+		}
+		idx := c.attach(p.Lits[op.LitOff:op.LitOff+op.LitN], op.ID)
+		if opts.WantCore {
+			c.opDense[oi] = idx
+		}
+		if c.memLimit > 0 && c.memCur > c.memLimit {
+			return Result{}, &Error{Code: ErrMemDB, Line: op.ID}
+		}
+	}
+	return Result{}, &Error{Code: ErrNotEmpty, Line: -1}
+}
+
+// init sizes every array for the whole run (so the check loop never grows
+// anything), resets per-run state, and attaches the original clauses.
+func (c *Checker) init(f *Formula, p *Proof, opts Options) {
+	nOrig := int32(len(f.Off) - 1)
+	maxVar := f.NumVars
+	if p.MaxVar > maxVar {
+		maxVar = p.MaxVar
+	}
+	nClauses := nOrig + int32(p.NumAdds)
+	totalLits := int32(len(f.Lits) + len(p.Lits))
+	nLitSlots := 2*maxVar + 2
+
+	c.slab = grow(c.slab, totalLits)
+	c.off = grow(c.off, nClauses)
+	c.clen = grow(c.clen, nClauses)
+	c.ids = grow(c.ids, nClauses)
+	c.live = grow(c.live, nClauses)
+	c.addIDs = grow(c.addIDs, int32(p.NumAdds))
+	c.occHead = grow(c.occHead, nLitSlots)
+	c.cellNext = grow(c.cellNext, totalLits)
+	c.cellIdx = grow(c.cellIdx, totalLits)
+	c.val = grow(c.val, maxVar+1)
+	c.trail = grow(c.trail, maxVar+1)
+	c.candStamp = grow(c.candStamp, nClauses)
+	c.candSeen = grow(c.candSeen, nClauses)
+	if opts.WantCore {
+		c.opDense = grow(c.opDense, int32(len(p.Ops)))
+		c.coreMark = grow(c.coreMark, nClauses)
+		for i := range c.coreMark[:nClauses] {
+			c.coreMark[i] = false
+		}
+	}
+	for i := range c.occHead[:nLitSlots] {
+		c.occHead[i] = -1
+	}
+	for i := range c.val[:maxVar+1] {
+		c.val[i] = 0
+	}
+	for i := int32(0); i < nClauses; i++ {
+		c.candStamp[i] = 0
+		c.candSeen[i] = 0
+	}
+	c.epoch = 0
+	c.slabLen, c.nDense, c.nCells, c.nAdds = 0, 0, 0, 0
+	c.nOrig = nOrig
+	c.trailLen = 0
+	c.steps, c.memCur, c.memPeak = 0, 0, 0
+	c.memLimit = opts.MemLimitWords
+	c.interrupt = opts.Interrupt
+	c.pollN = 0
+
+	c.contiguous = true
+	next := nOrig + 1
+	for i := range p.Ops {
+		if p.Ops[i].Del {
+			continue
+		}
+		if p.Ops[i].ID != next {
+			c.contiguous = false
+			break
+		}
+		next++
+	}
+
+	for i := int32(0); i < nOrig; i++ {
+		c.attach(f.Lits[f.Off[i]:f.Off[i+1]], i+1)
+	}
+}
+
+// grow returns s with length n, reusing its array when capacity allows.
+func grow[T int8 | int32 | int64 | bool](s []T, n int32) []T {
+	if int32(cap(s)) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// attach appends a clause to the store and occurrence index.
+func (c *Checker) attach(lits []int32, id int32) int32 {
+	idx := c.nDense
+	c.nDense++
+	c.off[idx] = c.slabLen
+	c.clen[idx] = int32(len(lits))
+	c.ids[idx] = id
+	c.live[idx] = true
+	copy(c.slab[c.slabLen:], lits)
+	c.slabLen += int32(len(lits))
+	for _, l := range lits {
+		cell := c.nCells
+		c.nCells++
+		c.cellIdx[cell] = idx
+		c.cellNext[cell] = c.occHead[l]
+		c.occHead[l] = cell
+	}
+	if id > c.nOrig {
+		c.addIDs[c.nAdds] = id
+		c.nAdds++
+	}
+	c.memCur += int64(len(lits))
+	if c.memCur > c.memPeak {
+		c.memPeak = c.memCur
+	}
+	return idx
+}
+
+// lookup resolves a clause ID to its dense index (live or not).
+func (c *Checker) lookup(id int32) (int32, bool) {
+	if id <= 0 {
+		return 0, false
+	}
+	if id <= c.nOrig {
+		return id - 1, true
+	}
+	if c.contiguous {
+		if id-1 < c.nDense {
+			return id - 1, true
+		}
+		return 0, false
+	}
+	lo, hi := int32(0), c.nAdds
+	for lo < hi {
+		mid := int32(uint32(lo+hi) >> 1)
+		if c.addIDs[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < c.nAdds && c.addIDs[lo] == id {
+		return c.nOrig + lo, true
+	}
+	return 0, false
+}
+
+// litValue evaluates literal l under the current assignment.
+func (c *Checker) litValue(l int32) int8 {
+	v := c.val[l>>1]
+	if l&1 == 1 {
+		return -v
+	}
+	return v
+}
+
+// assume sets l true; conflict reports that l was already false.
+func (c *Checker) assume(l int32) (conflict bool) {
+	switch c.litValue(l) {
+	case -1:
+		return true
+	case 1:
+		return false
+	}
+	if l&1 == 1 {
+		c.val[l>>1] = -1
+	} else {
+		c.val[l>>1] = 1
+	}
+	c.trail[c.trailLen] = l
+	c.trailLen++
+	return false
+}
+
+// undoTo unassigns trail literals back to position mark.
+func (c *Checker) undoTo(mark int32) {
+	for i := c.trailLen - 1; i >= mark; i-- {
+		c.val[c.trail[i]>>1] = 0
+	}
+	c.trailLen = mark
+}
+
+func (c *Checker) poll() error {
+	if c.interrupt == nil {
+		return nil
+	}
+	if c.pollN++; c.pollN%1024 != 0 {
+		return nil
+	}
+	return c.interrupt()
+}
+
+// applyHint evaluates hinted clause id under the current assignment: it
+// must be conflicting (all literals false) or unit; a unit extends the
+// assignment.
+func (c *Checker) applyHint(id, lineID int32) (conflict bool, err error) {
+	idx, ok := c.lookup(id)
+	if !ok || !c.live[idx] {
+		return false, &Error{Code: ErrHintNotLive, Line: lineID, Ref: id}
+	}
+	unit := int32(-1)
+	for _, l := range c.slab[c.off[idx] : c.off[idx]+c.clen[idx]] {
+		switch c.litValue(l) {
+		case -1:
+			continue
+		case 1:
+			return false, &Error{Code: ErrHintSatisfied, Line: lineID, Ref: id}
+		default:
+			if unit >= 0 {
+				return false, &Error{Code: ErrHintTwoUnassigned, Line: lineID, Ref: id}
+			}
+			unit = l
+		}
+	}
+	c.steps++
+	if unit < 0 {
+		return true, nil
+	}
+	c.assume(unit)
+	return false, nil
+}
+
+// checkSegment consumes positive hints until a conflict; ok reports
+// whether the segment ended in one.
+func (c *Checker) checkSegment(hints []int32, lineID int32) (consumed int32, ok bool, err error) {
+	for i := int32(0); i < int32(len(hints)); i++ {
+		h := hints[i]
+		if h < 0 {
+			return i, false, nil
+		}
+		if err := c.poll(); err != nil {
+			return i, false, err
+		}
+		confl, err := c.applyHint(h, lineID)
+		if err != nil {
+			return i, false, err
+		}
+		if confl {
+			return i + 1, true, nil
+		}
+	}
+	return int32(len(hints)), false, nil
+}
+
+// checkAdd verifies one addition line: assume the lemma's negation, follow
+// the RUP hints, and fall back to hinted RAT groups over the candidates
+// holding the negated pivot.
+func (c *Checker) checkAdd(p *Proof, op *Op) error {
+	c.undoTo(0)
+	lits := p.Lits[op.LitOff : op.LitOff+op.LitN]
+	for _, l := range lits {
+		if c.assume(l ^ 1) {
+			return nil // tautological lemma: valid with no hints
+		}
+	}
+	hints := p.Hints[op.HintOff : op.HintOff+op.HintN]
+	consumed, ok, err := c.checkSegment(hints, op.ID)
+	if err != nil {
+		return err
+	}
+	if ok {
+		return nil
+	}
+	if op.LitN == 0 {
+		// The empty clause has no pivot to be RAT on.
+		if consumed == op.HintN {
+			return &Error{Code: ErrRUPNoConflict, Line: op.ID}
+		}
+		return &Error{Code: ErrEmptyRAT, Line: op.ID}
+	}
+	// RAT: every live clause containing the negated pivot must be covered
+	// by a candidate group. Stamp the live candidates (unlinking cells of
+	// deleted clauses as the list is walked), then consume groups.
+	npivot := lits[0] ^ 1
+	c.epoch++
+	ep := c.epoch
+	required := int32(0)
+	prev := int32(-1)
+	for cell := c.occHead[npivot]; cell >= 0; {
+		next := c.cellNext[cell]
+		idx := c.cellIdx[cell]
+		if !c.live[idx] {
+			if prev < 0 {
+				c.occHead[npivot] = next
+			} else {
+				c.cellNext[prev] = next
+			}
+			cell = next
+			continue
+		}
+		if c.candStamp[idx] != ep {
+			c.candStamp[idx] = ep
+			required++
+		}
+		prev = cell
+		cell = next
+	}
+	base := c.trailLen
+	covered := int32(0)
+	rest := hints[consumed:]
+	for len(rest) > 0 {
+		if rest[0] >= 0 {
+			return &Error{Code: ErrPositiveHint, Line: op.ID}
+		}
+		candID := -rest[0]
+		rest = rest[1:]
+		cidx, found := c.lookup(candID)
+		if !found || !c.live[cidx] || c.candStamp[cidx] != ep {
+			return &Error{Code: ErrGroupNotCandidate, Line: op.ID, Ref: candID, Lit: npivot}
+		}
+		if c.candSeen[cidx] == ep {
+			return &Error{Code: ErrGroupDuplicate, Line: op.ID, Ref: candID}
+		}
+		c.candSeen[cidx] = ep
+		covered++
+		// Assume the negation of the candidate half of the resolvent; an
+		// immediate contradiction (tautological or already-falsified
+		// resolvent) verifies the group, and any hints the producer emitted
+		// for it are skipped — they were computed against a fuller
+		// assumption set than exists at the contradiction.
+		immediate := false
+		for _, d := range c.slab[c.off[cidx] : c.off[cidx]+c.clen[cidx]] {
+			if d == npivot {
+				continue
+			}
+			if c.assume(d ^ 1) {
+				immediate = true
+				break
+			}
+		}
+		if immediate {
+			n := 0
+			for n < len(rest) && rest[n] >= 0 {
+				n++
+			}
+			rest = rest[n:]
+			c.undoTo(base)
+			continue
+		}
+		n, gok, err := c.checkSegment(rest, op.ID)
+		if err != nil {
+			return err
+		}
+		if !gok {
+			return &Error{Code: ErrGroupNoConflict, Line: op.ID, Ref: candID}
+		}
+		rest = rest[n:]
+		c.undoTo(base)
+	}
+	if covered != required {
+		missing := make([]int32, 0, required-covered)
+		for idx := int32(0); idx < c.nDense; idx++ {
+			if c.live[idx] && c.candStamp[idx] == ep && c.candSeen[idx] != ep {
+				missing = append(missing, c.ids[idx])
+			}
+		}
+		slices.Sort(missing)
+		return &Error{Code: ErrMissingCandidates, Line: op.ID, IDs: missing}
+	}
+	return nil
+}
+
+// markCore walks the accepted derivation backward from the final empty
+// line, marking the transitive hint closure; the marked originals are an
+// unsatisfiable core. Deleting clauses never breaks the closure's
+// validity: every hint was live when followed, and the lines the closure
+// keeps re-verify in order against the kept clauses alone (RUP hints stay
+// applicable, RAT sets only shrink).
+func (c *Checker) markCore(p *Proof, finalOp int, res *Result) {
+	c.undoTo(0)
+	markHints := func(op *Op) {
+		for _, h := range p.Hints[op.HintOff : op.HintOff+op.HintN] {
+			if h < 0 {
+				h = -h
+			}
+			if idx, ok := c.lookup(h); ok {
+				c.coreMark[idx] = true
+			}
+		}
+	}
+	markHints(&p.Ops[finalOp])
+	for oi := finalOp - 1; oi >= 0; oi-- {
+		op := &p.Ops[oi]
+		if op.Del || !c.coreMark[c.opDense[oi]] {
+			continue
+		}
+		markHints(op)
+	}
+	core := make([]int32, 0, 16)
+	vars := 0
+	// The assignment is empty here (undoTo(0) above), so val doubles as the
+	// distinct-variable scratch; it is wiped again below.
+	for idx := int32(0); idx < c.nOrig; idx++ {
+		if !c.coreMark[idx] {
+			continue
+		}
+		core = append(core, idx)
+		for _, l := range c.slab[c.off[idx] : c.off[idx]+c.clen[idx]] {
+			if c.val[l>>1] == 0 {
+				c.val[l>>1] = 1
+				vars++
+			}
+		}
+	}
+	for _, idx := range core {
+		for _, l := range c.slab[c.off[idx] : c.off[idx]+c.clen[idx]] {
+			c.val[l>>1] = 0
+		}
+	}
+	res.Core = core
+	res.CoreVars = vars
+}

@@ -1,0 +1,343 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+)
+
+// flit converts a DIMACS literal to the kernel encoding.
+func flit(d int) int32 {
+	if d < 0 {
+		return int32(-d)*2 + 1
+	}
+	return int32(d) * 2
+}
+
+// form builds a flat Formula from DIMACS clauses.
+func form(clauses ...[]int) *Formula {
+	f := &Formula{Off: []int32{0}}
+	for _, cl := range clauses {
+		for _, d := range cl {
+			l := flit(d)
+			if l>>1 > f.NumVars {
+				f.NumVars = l >> 1
+			}
+			f.Lits = append(f.Lits, l)
+		}
+		f.Off = append(f.Off, int32(len(f.Lits)))
+	}
+	return f
+}
+
+// pb builds a flat Proof line by line.
+type pb struct{ p Proof }
+
+func (b *pb) add(id int, lits []int, hints []int) *pb {
+	op := Op{ID: int32(id), LitOff: int32(len(b.p.Lits)), HintOff: int32(len(b.p.Hints))}
+	for _, d := range lits {
+		l := flit(d)
+		if l>>1 > b.p.MaxVar {
+			b.p.MaxVar = l >> 1
+		}
+		b.p.Lits = append(b.p.Lits, l)
+	}
+	for _, h := range hints {
+		b.p.Hints = append(b.p.Hints, int32(h))
+	}
+	op.LitN = int32(len(b.p.Lits)) - op.LitOff
+	op.HintN = int32(len(b.p.Hints)) - op.HintOff
+	b.p.Ops = append(b.p.Ops, op)
+	b.p.NumAdds++
+	return b
+}
+
+func (b *pb) del(id int, ids ...int) *pb {
+	op := Op{ID: int32(id), Del: true, DelOff: int32(len(b.p.Dels))}
+	for _, d := range ids {
+		b.p.Dels = append(b.p.Dels, int32(d))
+	}
+	op.DelN = int32(len(b.p.Dels)) - op.DelOff
+	b.p.Ops = append(b.p.Ops, op)
+	return b
+}
+
+// quad is the canonical 2-variable UNSAT formula:
+// (1 2) (1 -2) (-1 2) (-1 -2).
+func quad() *Formula {
+	return form([]int{1, 2}, []int{1, -2}, []int{-1, 2}, []int{-1, -2})
+}
+
+// quadProof refutes quad: derive (1) under ¬1 via clauses 1,2, then the
+// empty clause via 5,3,4.
+func quadProof() *Proof {
+	b := &pb{}
+	b.add(5, []int{1}, []int{1, 2}).add(6, nil, []int{5, 3, 4})
+	return &b.p
+}
+
+func mustCheck(t *testing.T, f *Formula, p *Proof, opts Options) Result {
+	t.Helper()
+	res, err := Check(f, p, opts)
+	if err != nil {
+		t.Fatalf("kernel rejected a valid proof: %v", err)
+	}
+	return res
+}
+
+func mustReject(t *testing.T, f *Formula, p *Proof, code ErrCode) *Error {
+	t.Helper()
+	_, err := Check(f, p, Options{})
+	var ke *Error
+	if !errors.As(err, &ke) {
+		t.Fatalf("want *kernel.Error, got %v", err)
+	}
+	if ke.Code != code {
+		t.Fatalf("code = %d (%v), want %d", ke.Code, ke, code)
+	}
+	return ke
+}
+
+func TestAcceptBasic(t *testing.T) {
+	res := mustCheck(t, quad(), quadProof(), Options{})
+	if res.Adds != 2 || res.Built != 2 {
+		t.Errorf("adds/built = %d/%d, want 2/2", res.Adds, res.Built)
+	}
+	if res.Steps != 5 {
+		t.Errorf("steps = %d, want 5", res.Steps)
+	}
+	if res.PeakMemWords != 9 {
+		t.Errorf("peak = %d, want 9", res.PeakMemWords)
+	}
+}
+
+func TestAcceptWithDeletion(t *testing.T) {
+	b := &pb{}
+	b.add(5, []int{1}, []int{1, 2}).del(5, 1, 2).add(6, nil, []int{5, 3, 4})
+	res := mustCheck(t, quad(), &b.p, Options{})
+	if res.Built != 2 {
+		t.Errorf("built = %d, want 2", res.Built)
+	}
+	if res.PeakMemWords != 9 {
+		t.Errorf("peak = %d, want 9", res.PeakMemWords)
+	}
+}
+
+// TestAcceptSparseIDs exercises the binary-search ID lookup: addition IDs
+// with gaps must resolve for hints and deletions alike.
+func TestAcceptSparseIDs(t *testing.T) {
+	b := &pb{}
+	b.add(10, []int{1}, []int{1, 2}).add(40, []int{2}, []int{10, 3}).del(40, 1).add(70, nil, []int{10, 40, 4})
+	mustCheck(t, quad(), &b.p, Options{})
+}
+
+// TestAcceptBlockedClause pins the RAT path with an empty candidate set: a
+// definition over a fresh variable needs no hints at all.
+func TestAcceptBlockedClause(t *testing.T) {
+	f := quad()
+	b := &pb{}
+	// x3 is fresh: no clause contains ¬x3, so (3 1) is blocked on pivot 3.
+	b.add(5, []int{3, 1}, nil)
+	b.add(6, []int{1}, []int{1, 2}).add(7, nil, []int{6, 3, 4})
+	res := mustCheck(t, f, &b.p, Options{})
+	if res.Built != 3 {
+		t.Errorf("built = %d, want 3", res.Built)
+	}
+}
+
+// TestAcceptRATGroup pins a candidate group verified by an immediate
+// contradiction (tautological resolvent), including skipping its hints.
+func TestAcceptRATGroup(t *testing.T) {
+	f := form([]int{-3, 1}, []int{1, 2}, []int{-1, 2}, []int{1, -2}, []int{-1, -2})
+	b := &pb{}
+	// (3 -1) resolved with clause 1 on pivot 3 gives (1 -1): tautological.
+	// The spurious positive hint inside the group must be skipped.
+	b.add(6, []int{3, -1}, []int{-1, 2})
+	b.add(7, []int{1}, []int{2, 4}).add(8, nil, []int{7, 3, 5})
+	mustCheck(t, f, &b.p, Options{})
+}
+
+func TestCore(t *testing.T) {
+	// An irrelevant original clause must stay out of the hint-closure core.
+	f := form([]int{1, 2}, []int{1, -2}, []int{-1, 2}, []int{-1, -2}, []int{3, 4})
+	b := &pb{}
+	b.add(6, []int{1}, []int{1, 2}).add(7, nil, []int{6, 3, 4})
+	res := mustCheck(t, f, &b.p, Options{WantCore: true})
+	want := []int32{0, 1, 2, 3}
+	if len(res.Core) != len(want) {
+		t.Fatalf("core = %v, want %v", res.Core, want)
+	}
+	for i, idx := range want {
+		if res.Core[i] != idx {
+			t.Fatalf("core = %v, want %v", res.Core, want)
+		}
+	}
+	if res.CoreVars != 2 {
+		t.Errorf("core vars = %d, want 2", res.CoreVars)
+	}
+}
+
+func TestRejections(t *testing.T) {
+	tests := []struct {
+		name  string
+		f     *Formula
+		build func(*pb)
+		code  ErrCode
+	}{
+		{"delete-unknown", quad(), func(b *pb) { b.del(4, 99) }, ErrDeleteUnknown},
+		{"id-order", quad(), func(b *pb) { b.add(4, []int{1}, []int{1, 2}) }, ErrIDOrder},
+		{"hint-not-live", quad(), func(b *pb) { b.add(5, []int{1}, []int{99}) }, ErrHintNotLive},
+		{"hint-deleted", quad(), func(b *pb) { b.del(4, 1).add(5, []int{1}, []int{1, 2}) }, ErrHintNotLive},
+		{"hint-satisfied", quad(), func(b *pb) { b.add(5, []int{-1}, []int{1}) }, ErrHintSatisfied},
+		{"hint-two-unassigned", quad(), func(b *pb) { b.add(5, nil, []int{1}) }, ErrHintTwoUnassigned},
+		{"rup-no-conflict", quad(), func(b *pb) {
+			b.add(5, []int{1}, []int{1, 2}).add(6, nil, []int{5, 3})
+		}, ErrRUPNoConflict},
+		{"empty-rat", quad(), func(b *pb) {
+			b.add(5, []int{1}, []int{1, 2}).add(6, nil, []int{5, -1, 2})
+		}, ErrEmptyRAT},
+		{"group-not-candidate", quad(), func(b *pb) {
+			// Pivot 3 is fresh; clause 1 does not contain ¬3.
+			b.add(5, []int{3}, []int{-1})
+		}, ErrGroupNotCandidate},
+		{"missing-candidates", form([]int{-3, 1}, []int{3, 2}), func(b *pb) {
+			// Pivot 3 has live candidate (clause 1) but no groups cover it.
+			b.add(3, []int{3, 2}, nil)
+		}, ErrMissingCandidates},
+		{"not-empty", quad(), func(b *pb) { b.add(5, []int{1}, []int{1, 2}) }, ErrNotEmpty},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := &pb{}
+			tt.build(b)
+			mustReject(t, tt.f, &b.p, tt.code)
+		})
+	}
+}
+
+func TestRejectGroupDetails(t *testing.T) {
+	// Pivot 3's sole candidate (clause 1) resolves to (-1), refuted by the
+	// unit clause 2 = (-1).
+	f := form([]int{-3, -1}, []int{-1}, []int{1, 2})
+	accept := &pb{}
+	accept.add(4, []int{3, 2}, []int{-1, 2})
+	if _, err := Check(f, &accept.p, Options{}); err != nil {
+		var ke *Error
+		if !errors.As(err, &ke) || ke.Code != ErrNotEmpty {
+			t.Fatalf("valid RAT line rejected: %v", err)
+		}
+	}
+
+	noConfl := &pb{}
+	noConfl.add(4, []int{3, 2}, []int{-1})
+	mustReject(t, f, &noConfl.p, ErrGroupNoConflict)
+
+	dup := &pb{}
+	dup.add(4, []int{3, 2}, []int{-1, 2, -1, 2})
+	mustReject(t, f, &dup.p, ErrGroupDuplicate)
+
+	pos := &pb{}
+	pos.add(4, []int{3, 2}, []int{-1, 2, 3})
+	mustReject(t, f, &pos.p, ErrPositiveHint)
+}
+
+func TestMissingCandidatesSorted(t *testing.T) {
+	f := form([]int{-3, 1}, []int{-3, 2}, []int{-3, 1, 2}, []int{2})
+	b := &pb{}
+	// Lemma (3): candidates are clauses 1, 2, 3; only clause 2's group is
+	// given (its resolvent (2) is refuted by assuming ¬2 against clause 4).
+	b.add(5, []int{3}, []int{-2, 4})
+	ke := mustReject(t, f, &b.p, ErrMissingCandidates)
+	if len(ke.IDs) != 2 || ke.IDs[0] != 1 || ke.IDs[1] != 3 {
+		t.Errorf("missing IDs = %v, want [1 3]", ke.IDs)
+	}
+}
+
+func TestMemLimits(t *testing.T) {
+	_, err := Check(quad(), quadProof(), Options{MemLimitWords: 4})
+	var ke *Error
+	if !errors.As(err, &ke) || ke.Code != ErrMemFormula {
+		t.Fatalf("want ErrMemFormula, got %v", err)
+	}
+	_, err = Check(quad(), quadProof(), Options{MemLimitWords: 8})
+	if !errors.As(err, &ke) || ke.Code != ErrMemDB {
+		t.Fatalf("want ErrMemDB, got %v", err)
+	}
+	if _, err := Check(quad(), quadProof(), Options{MemLimitWords: 9}); err != nil {
+		t.Fatalf("limit at peak must pass: %v", err)
+	}
+}
+
+// TestInterruptPassthrough pins that an Interrupt error surfaces verbatim
+// (the facade detects context cancellation by error identity).
+func TestInterruptPassthrough(t *testing.T) {
+	// A unit chain long enough to cross the 1024-hint poll cadence.
+	const n = 1500
+	f := &Formula{Off: []int32{0}, NumVars: n}
+	f.Lits = append(f.Lits, flit(1))
+	f.Off = append(f.Off, int32(len(f.Lits)))
+	for i := 2; i <= n; i++ {
+		f.Lits = append(f.Lits, flit(-(i - 1)), flit(i))
+		f.Off = append(f.Off, int32(len(f.Lits)))
+	}
+	f.Lits = append(f.Lits, flit(-n))
+	f.Off = append(f.Off, int32(len(f.Lits)))
+	hints := make([]int, n+1)
+	for i := range hints {
+		hints[i] = i + 1
+	}
+	b := &pb{}
+	b.add(n+2, nil, hints)
+	if _, err := Check(f, &b.p, Options{}); err != nil {
+		t.Fatalf("chain proof must verify: %v", err)
+	}
+	sentinel := errors.New("stop now")
+	_, err := Check(f, &b.p, Options{Interrupt: func() error { return sentinel }})
+	if err != sentinel {
+		t.Fatalf("interrupt error not passed through: %v", err)
+	}
+}
+
+// TestSteadyStateAllocs pins the tentpole contract: after a warm-up run, a
+// reused Checker verifies proofs — even alternating workloads — with zero
+// heap allocations.
+func TestSteadyStateAllocs(t *testing.T) {
+	f, p := quad(), quadProof()
+	f2 := form([]int{1, 2}, []int{-1, 2}, []int{1, -2}, []int{-1, -2})
+	b2 := &pb{}
+	b2.add(5, []int{2}, []int{1, 2}).add(6, nil, []int{5, 3, 4})
+	var c Checker
+	if _, err := c.Check(f, p, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Check(f2, &b2.p, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := c.Check(f, p, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Check(f2, &b2.p, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Check allocates: %v allocs/op", allocs)
+	}
+}
+
+// BenchmarkKernelCheck is the in-package steady-state benchmark the CI
+// alloc-smoke step greps: allocs/op must be 0.
+func BenchmarkKernelCheck(b *testing.B) {
+	f, p := quad(), quadProof()
+	var c Checker
+	if _, err := c.Check(f, p, Options{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Check(f, p, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -181,8 +181,13 @@ func ParseJobOptions(q url.Values) (JobOptions, error) {
 		if q.Get("format") == "" {
 			o.Format = satcheck.FormatER
 		}
+	case "kernel":
+		// The kernel method verifies through the trusted flat-array core
+		// (internal/kernel): native traces and DRAT proofs are bridged to
+		// hints and kernel-checked; LRAT and ER proofs land there anyway.
+		o.Method = satcheck.Kernel
 	default:
-		return o, fmt.Errorf("unknown method %q (want df, bf, hybrid, parallel, or bdd)", m)
+		return o, fmt.Errorf("unknown method %q (want df, bf, hybrid, parallel, bdd, or kernel)", m)
 	}
 	if o.Method == satcheck.BDD && o.Format != satcheck.FormatER {
 		return o, fmt.Errorf("method=bdd checks extended-resolution proofs (format=er, got format=%s)", o.Format)
@@ -257,6 +262,8 @@ func (o JobOptions) Query() url.Values {
 		q.Set("method", "parallel")
 	case satcheck.BDD:
 		q.Set("method", "bdd")
+	case satcheck.Kernel:
+		q.Set("method", "kernel")
 	default:
 		q.Set("method", "df")
 	}

@@ -63,7 +63,7 @@ var formatLabels = [...]string{"native", "drat", "lrat", "er"}
 
 // methodLabels are the {method=...} label values of
 // zcheckd_checks_by_method_total, indexed by satcheck.Method.
-var methodLabels = [...]string{"df", "bf", "hybrid", "parallel", "bdd"}
+var methodLabels = [...]string{"df", "bf", "hybrid", "parallel", "bdd", "kernel"}
 
 // ObserveFormat records one completed check's proof encoding.
 func (m *Metrics) ObserveFormat(format int) {

@@ -106,6 +106,12 @@ func dratMode(m Method) (drat.Mode, error) {
 // selects the checking direction (see dratMode); like Check, a nil error
 // proves the claim and a *CheckError describes the first invalid step.
 func CheckDRAT(f *Formula, src ProofSource, m Method, opts CheckOptions) (*CheckResult, error) {
+	if m == Kernel {
+		// Forward-check the clausal proof, record the propagation hints, and
+		// verify them in the trusted kernel; the kernel's hint closure is the
+		// returned core.
+		return drat.KernelCheckDRAT(f, src, opts)
+	}
 	mode, err := dratMode(m)
 	if err != nil {
 		return nil, err

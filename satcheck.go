@@ -35,6 +35,7 @@ import (
 	"satcheck/internal/checker"
 	"satcheck/internal/cnf"
 	"satcheck/internal/core"
+	"satcheck/internal/drat"
 	"satcheck/internal/incremental"
 	"satcheck/internal/interp"
 	"satcheck/internal/proofstat"
@@ -192,6 +193,14 @@ const (
 	// selects the ER→LRAT bridge check (FormatER), which has a single
 	// hint-following strategy.
 	BDD
+	// Kernel routes the proof through the trusted kernel
+	// (internal/kernel): the trace is exported to TraceCheck clause form,
+	// forward-checked into LRAT hints, and the hints are verified by the
+	// minimal allocation-free flat-array core that every proof format
+	// terminates in. Produces an unsatisfiable core (the kernel's backward
+	// hint closure). For FormatDRAT it forward-checks the clausal proof and
+	// kernel-verifies the recorded hints.
+	Kernel
 )
 
 // String names the method.
@@ -207,6 +216,8 @@ func (m Method) String() string {
 		return "parallel"
 	case BDD:
 		return "bdd"
+	case Kernel:
+		return "kernel"
 	default:
 		return fmt.Sprintf("method(%d)", int(m))
 	}
@@ -225,6 +236,8 @@ func Check(f *Formula, src TraceSource, m Method, opts CheckOptions) (*CheckResu
 		return checker.Hybrid(f, src, opts)
 	case Parallel:
 		return checker.Parallel(f, src, opts)
+	case Kernel:
+		return drat.KernelCheckTrace(f, src, opts)
 	default:
 		return nil, fmt.Errorf("satcheck: unknown check method %d", int(m))
 	}
