@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-table3 bench-bdd bench-kernel bench-all experiments examples fuzz zfuzz zfuzz-soak clean
+.PHONY: all build test vet lint race bench bench-table3 bench-bdd bench-kernel bench-cluster bench-all experiments examples fuzz zfuzz zfuzz-soak cluster-smoke clean
 
 all: build vet test
 
@@ -73,6 +73,20 @@ bench-kernel:
 	  $(GO) test ./internal/drat -run TestNone -bench 'BenchmarkLRATKernelVsLegacy' -benchmem -count=3 ; \
 	  $(GO) test ./internal/kernel -run TestNone -bench 'BenchmarkKernelCheck' -benchmem -count=3 ) \
 		| $(GO) run ./cmd/benchjson -o BENCH_kernel.json
+
+# Record the sharded-cluster throughput comparison (1-shard and 3-shard
+# router vs a bare zcheckd on the same payload mix, caches disabled) as
+# BENCH_cluster.json; see docs/CLUSTER.md.
+bench-cluster:
+	$(GO) test ./internal/cluster -run TestNone -bench 'Throughput' -benchmem -count=3 \
+		| $(GO) run ./cmd/benchjson -o BENCH_cluster.json
+
+# Cluster smoke: the chaos soak (3 shards, zfuzz-stream traffic, a shard
+# crash-killed and replaced mid-load) plus the graceful-drain smoke (mixed
+# sync/async traffic with one SIGTERM-style drain), both under the race
+# detector. CI runs this as its own job.
+cluster-smoke:
+	$(GO) test -race -v -run 'TestClusterChaosSoak|TestClusterSmokeDrain|TestCorruptBlobNeverDispatched' ./internal/cluster/
 
 # Every benchmark in the repository, one sample, no recording.
 bench-all:

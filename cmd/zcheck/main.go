@@ -7,12 +7,22 @@
 //
 //	zcheck [-addr http://localhost:8347] [-method df|bf|hybrid|parallel|kernel]
 //	       [-format native|drat|lrat] [-j N] [-mem-limit-mb N] [-timeout D]
-//	       [-analyze] [-core] formula.cnf proof.trace
+//	       [-analyze] [-core] [-retries N] formula.cnf proof.trace
+//
+// Backpressure answers (HTTP 429/503) and transport errors are retried up
+// to -retries times with jittered exponential backoff, honoring the
+// server's Retry-After hint.
+//
+// Against a cluster router (zcheckd -cluster), -async submits through the
+// job API instead of waiting synchronously: the job is queued cluster-side
+// and zcheck polls GET /v1/jobs/{id} every -poll until the job is terminal
+// (with -poll 0 it just prints the job ID and exits). -class, -tenant, and
+// -webhook pass the cluster scheduling knobs through.
 //
 // Exit status: 0 when the proof is valid, 2 when the daemon rejected it
 // (the solver or its trace generation is buggy), 3 when the daemon applied
-// backpressure (HTTP 429/503 — retry later), 1 on usage, I/O, or transport
-// errors.
+// backpressure (HTTP 429/503 — retry later) even after -retries attempts,
+// 1 on usage, I/O, or transport errors.
 package main
 
 import (
@@ -20,14 +30,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"mime/multipart"
 	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
 	"time"
 
 	"satcheck"
+	"satcheck/internal/cluster"
 	"satcheck/internal/server"
+	"satcheck/internal/store"
 )
 
 func main() {
@@ -45,6 +59,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 0, "per-job deadline (0 = server default)")
 	analyze := fs.Bool("analyze", false, "also request proof-graph statistics")
 	core := fs.Bool("core", false, "print the unsatisfiable core clause IDs (df/hybrid)")
+	retries := fs.Int("retries", 0, "retry 429/503 and transport errors this many times (jittered exponential backoff)")
+	retryBase := fs.Duration("retry-base", 200*time.Millisecond, "first retry delay; doubles per attempt")
+	async := fs.Bool("async", false, "submit via the cluster job API and poll instead of waiting synchronously")
+	pollEvery := fs.Duration("poll", 500*time.Millisecond, "async: poll interval (0: print the job ID and exit)")
+	class := fs.String("class", "", "async: scheduling class, interactive or batch (cluster default: batch)")
+	tenant := fs.String("tenant", "", "tenant name for the cluster's per-tenant quotas (X-Tenant header)")
+	webhook := fs.String("webhook", "", "async: URL the cluster POSTs the terminal job status to")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -85,9 +106,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Parallelism: *jobs,
 	}
 
-	resp, err := postFiles(*addr, opts, fs.Arg(0), fs.Arg(1))
+	cl := client{
+		addr:      *addr,
+		tenant:    *tenant,
+		retries:   *retries,
+		retryBase: *retryBase,
+		timeout:   *timeout,
+		formula:   fs.Arg(0),
+		trace:     fs.Arg(1),
+		stderr:    stderr,
+	}
+
+	if *async {
+		return cl.runAsync(stdout, opts, *class, *webhook, *pollEvery, *core)
+	}
+	return cl.runSync(stdout, opts, *core)
+}
+
+// client carries one invocation's transport state.
+type client struct {
+	addr      string
+	tenant    string
+	retries   int
+	retryBase time.Duration
+	timeout   time.Duration
+	formula   string
+	trace     string
+	stderr    io.Writer
+}
+
+func (c *client) runSync(stdout io.Writer, opts server.JobOptions, wantCore bool) int {
+	u := c.addr + "/v1/check?" + opts.Query().Encode()
+	resp, err := c.postWithRetry(u)
 	if err != nil {
-		fmt.Fprintln(stderr, "zcheck:", err)
+		fmt.Fprintln(c.stderr, "zcheck:", err)
 		return 1
 	}
 	defer resp.Body.Close()
@@ -99,21 +151,142 @@ func run(args []string, stdout, stderr io.Writer) int {
 		var er server.ErrorResponse
 		json.NewDecoder(resp.Body).Decode(&er)
 		retry := resp.Header.Get("Retry-After")
-		fmt.Fprintf(stderr, "zcheck: server busy (%d): %s; retry after %ss\n", resp.StatusCode, er.Error, retry)
+		fmt.Fprintf(c.stderr, "zcheck: server busy (%d): %s; retry after %ss\n", resp.StatusCode, er.Error, retry)
 		return 3
 	default:
 		var er server.ErrorResponse
 		json.NewDecoder(resp.Body).Decode(&er)
-		fmt.Fprintf(stderr, "zcheck: HTTP %d: %s\n", resp.StatusCode, er.Error)
+		fmt.Fprintf(c.stderr, "zcheck: HTTP %d: %s\n", resp.StatusCode, er.Error)
 		return 1
 	}
 
 	var cr server.CheckResponse
 	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
-		fmt.Fprintln(stderr, "zcheck: decoding response:", err)
+		fmt.Fprintln(c.stderr, "zcheck: decoding response:", err)
 		return 1
 	}
-	return printVerdict(stdout, &cr, *core)
+	return printVerdict(stdout, &cr, wantCore)
+}
+
+// runAsync submits through POST /v1/jobs and polls the job to a terminal
+// state.
+func (c *client) runAsync(stdout io.Writer, opts server.JobOptions, class, webhook string, pollEvery time.Duration, wantCore bool) int {
+	q := opts.Query()
+	if class != "" {
+		q.Set("class", class)
+	}
+	if webhook != "" {
+		q.Set("webhook", webhook)
+	}
+	resp, err := c.postWithRetry(c.addr + "/v1/jobs?" + q.Encode())
+	if err != nil {
+		fmt.Fprintln(c.stderr, "zcheck:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var er server.ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&er)
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			fmt.Fprintf(c.stderr, "zcheck: server busy (%d): %s\n", resp.StatusCode, er.Error)
+			return 3
+		}
+		fmt.Fprintf(c.stderr, "zcheck: HTTP %d: %s\n", resp.StatusCode, er.Error)
+		return 1
+	}
+	var sub cluster.JobSubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		fmt.Fprintln(c.stderr, "zcheck: decoding job submit response:", err)
+		return 1
+	}
+	if pollEvery <= 0 {
+		fmt.Fprintf(stdout, "job %s %s\n", sub.ID, sub.State)
+		return 0
+	}
+	fmt.Fprintf(c.stderr, "zcheck: job %s queued, polling every %v\n", sub.ID, pollEvery)
+
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	for {
+		js, err := c.pollOnce(httpc, sub.ID)
+		if err != nil {
+			fmt.Fprintln(c.stderr, "zcheck:", err)
+			return 1
+		}
+		switch js.State {
+		case store.StateDone:
+			var cr server.CheckResponse
+			if err := json.Unmarshal(js.Check, &cr); err != nil {
+				fmt.Fprintln(c.stderr, "zcheck: decoding job result:", err)
+				return 1
+			}
+			return printVerdict(stdout, &cr, wantCore)
+		case store.StateFailed:
+			fmt.Fprintf(c.stderr, "zcheck: job %s failed: %s\n", js.ID, js.Error)
+			return 1
+		}
+		time.Sleep(pollEvery)
+	}
+}
+
+func (c *client) pollOnce(httpc *http.Client, id string) (*cluster.JobStatusResponse, error) {
+	resp, err := httpc.Get(c.addr + "/v1/jobs/" + url.PathEscape(id))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er server.ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&er)
+		return nil, fmt.Errorf("polling job %s: HTTP %d: %s", id, resp.StatusCode, er.Error)
+	}
+	var js cluster.JobStatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+		return nil, err
+	}
+	return &js, nil
+}
+
+// postWithRetry posts the two files, retrying transport errors and
+// backpressure answers (429/503) up to c.retries times. Each retry rebuilds
+// the streaming body from the source files and sleeps base·2^attempt with
+// ±50% jitter — or the server's Retry-After hint when that is longer — so a
+// fleet of zcheck clients backing off never re-arrives in lockstep.
+func (c *client) postWithRetry(url string) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := c.postFiles(url)
+		retryable := false
+		var hint time.Duration
+		if err != nil {
+			retryable = true
+		} else if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			retryable = true
+			if sec, perr := time.ParseDuration(resp.Header.Get("Retry-After") + "s"); perr == nil {
+				hint = sec
+			}
+		}
+		if !retryable || attempt >= c.retries {
+			return resp, err
+		}
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		delay := backoffDelay(c.retryBase, attempt)
+		if hint > delay {
+			delay = hint
+		}
+		fmt.Fprintf(c.stderr, "zcheck: retrying in %v (attempt %d of %d)\n", delay.Round(time.Millisecond), attempt+1, c.retries)
+		time.Sleep(delay)
+	}
+}
+
+// backoffDelay is base·2^attempt with ±50% jitter, capped at 10s.
+func backoffDelay(base time.Duration, attempt int) time.Duration {
+	d := base << uint(attempt)
+	if d > 10*time.Second {
+		d = 10 * time.Second
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
 // printVerdict renders the daemon's answer in zverify's output dialect so
@@ -161,24 +334,27 @@ func printVerdict(stdout io.Writer, cr *server.CheckResponse, wantCore bool) int
 // postFiles streams the two files as one multipart body over an io.Pipe —
 // the client never holds a proof in memory, mirroring the server's
 // streaming ingest.
-func postFiles(addr string, opts server.JobOptions, formulaPath, tracePath string) (*http.Response, error) {
+func (c *client) postFiles(url string) (*http.Response, error) {
 	pr, pw := io.Pipe()
 	mw := multipart.NewWriter(pw)
 	go func() {
-		err := writeParts(mw, formulaPath, tracePath)
+		err := writeParts(mw, c.formula, c.trace)
 		if cerr := mw.Close(); err == nil {
 			err = cerr
 		}
 		pw.CloseWithError(err)
 	}()
 
-	url := addr + "/v1/check?" + opts.Query().Encode()
 	req, err := http.NewRequest(http.MethodPost, url, pr)
 	if err != nil {
+		pr.Close()
 		return nil, err
 	}
 	req.Header.Set("Content-Type", mw.FormDataContentType())
-	client := &http.Client{Timeout: transportTimeout(opts.Timeout)}
+	if c.tenant != "" {
+		req.Header.Set("X-Tenant", c.tenant)
+	}
+	client := &http.Client{Timeout: transportTimeout(c.timeout)}
 	return client.Do(req)
 }
 

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"satcheck/internal/cluster"
+	"satcheck/internal/server"
+	"satcheck/internal/store"
+)
+
+// payloadFiles writes tiny stand-in formula/trace files; the fake servers
+// below never parse them.
+func payloadFiles(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	f := filepath.Join(dir, "f.cnf")
+	tr := filepath.Join(dir, "p.trace")
+	if err := os.WriteFile(f, []byte("p cnf 1 2\n1 0\n-1 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tr, []byte("3 -1 1 0 1 2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return f, tr
+}
+
+func validCheckJSON(t *testing.T) []byte {
+	t.Helper()
+	body, err := json.Marshal(&server.CheckResponse{
+		Verdict: server.VerdictValid,
+		Method:  "df",
+		Result:  &server.ResultJSON{LearnedTotal: 3, ClausesBuilt: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestRetryAgainstFlakyServer drives run() against a server that answers
+// 503 twice before succeeding: with -retries 3 the check must come back
+// valid, and the server must have seen exactly three attempts, each with a
+// complete multipart body.
+func TestRetryAgainstFlakyServer(t *testing.T) {
+	f, tr := payloadFiles(t)
+	var calls atomic.Int32
+	ok := validCheckJSON(t)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if err := r.ParseMultipartForm(1 << 20); err != nil {
+			t.Errorf("attempt %d: bad multipart: %v", n, err)
+		}
+		if n <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(&server.ErrorResponse{Error: "queue full", RetryAfterSec: 0})
+			return
+		}
+		w.Write(ok)
+	}))
+	defer ts.Close()
+
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-addr", ts.URL, "-retries", "3", "-retry-base", "5ms", f, tr}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errBuf.String())
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d attempts, want 3", calls.Load())
+	}
+	if !strings.Contains(out.String(), "PROOF VALID") {
+		t.Fatalf("missing verdict: %s", out.String())
+	}
+	if !strings.Contains(errBuf.String(), "retrying in") {
+		t.Fatalf("no retry notice on stderr: %s", errBuf.String())
+	}
+}
+
+// TestRetriesExhausted keeps the server at 429 and expects exit 3 after
+// exactly 1 + retries attempts.
+func TestRetriesExhausted(t *testing.T) {
+	f, tr := payloadFiles(t)
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(&server.ErrorResponse{Error: "tenant quota exceeded"})
+	}))
+	defer ts.Close()
+
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-addr", ts.URL, "-retries", "2", "-retry-base", "2ms", f, tr}, &out, &errBuf)
+	if code != 3 {
+		t.Fatalf("exit %d, want 3; stderr: %s", code, errBuf.String())
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (1 + 2 retries)", calls.Load())
+	}
+}
+
+// TestNoRetryByDefault pins the backward-compatible default: one attempt.
+func TestNoRetryByDefault(t *testing.T) {
+	f, tr := payloadFiles(t)
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(&server.ErrorResponse{Error: "draining"})
+	}))
+	defer ts.Close()
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-addr", ts.URL, f, tr}, &out, &errBuf); code != 3 {
+		t.Fatalf("exit %d, want 3", code)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d attempts, want 1", calls.Load())
+	}
+}
+
+// TestAsyncSubmitAndPoll fakes the cluster job API: 202 on submit, one
+// "running" poll, then "done" with an embedded check response.
+func TestAsyncSubmitAndPoll(t *testing.T) {
+	f, tr := payloadFiles(t)
+	ok := validCheckJSON(t)
+	var polls atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if got := r.URL.Query().Get("class"); got != "interactive" {
+			t.Errorf("class=%q, want interactive", got)
+		}
+		if got := r.Header.Get("X-Tenant"); got != "ci" {
+			t.Errorf("X-Tenant=%q, want ci", got)
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(&cluster.JobSubmitResponse{
+			ID: "abc123", State: store.StateQueued, Class: "interactive",
+			StatusURL: "/v1/jobs/abc123",
+		})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if r.PathValue("id") != "abc123" {
+			http.NotFound(w, r)
+			return
+		}
+		js := &cluster.JobStatusResponse{ID: "abc123", State: store.StateRunning}
+		if polls.Add(1) >= 2 {
+			js.State = store.StateDone
+			js.Check = ok
+		}
+		json.NewEncoder(w).Encode(js)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-addr", ts.URL, "-async", "-poll", "5ms",
+		"-class", "interactive", "-tenant", "ci", f, tr}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "PROOF VALID") {
+		t.Fatalf("missing verdict: %s", out.String())
+	}
+	if polls.Load() < 2 {
+		t.Fatalf("only %d polls", polls.Load())
+	}
+}
+
+// TestAsyncFireAndForget submits with -poll 0 and expects just the job ID.
+func TestAsyncFireAndForget(t *testing.T) {
+	f, tr := payloadFiles(t)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(&cluster.JobSubmitResponse{ID: "job42", State: store.StateQueued})
+	}))
+	defer ts.Close()
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-addr", ts.URL, "-async", "-poll", "0", f, tr}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "job42") {
+		t.Fatalf("job ID not printed: %q", out.String())
+	}
+}
+
+// TestAsyncFailedJob surfaces a failed job as exit 1 with the error text.
+func TestAsyncFailedJob(t *testing.T) {
+	f, tr := payloadFiles(t)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(&cluster.JobSubmitResponse{ID: "bad1", State: store.StateQueued})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(&cluster.JobStatusResponse{
+			ID: "bad1", State: store.StateFailed, Error: "dispatch attempts exhausted",
+		})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-addr", ts.URL, "-async", "-poll", "5ms", f, tr}, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), "dispatch attempts exhausted") {
+		t.Fatalf("error not surfaced: %s", errBuf.String())
+	}
+}
+
+// TestBackoffDelayJitterBounds pins the jitter window: [0.5d, 1.5d), with
+// the exponential capped.
+func TestBackoffDelayJitterBounds(t *testing.T) {
+	base := 100 * time.Millisecond
+	for attempt := 0; attempt < 10; attempt++ {
+		d := base << uint(attempt)
+		if d > 10*time.Second {
+			d = 10 * time.Second
+		}
+		for i := 0; i < 50; i++ {
+			got := backoffDelay(base, attempt)
+			if got < d/2 || got >= d/2+d {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, got, d/2, d/2+d)
+			}
+		}
+	}
+}

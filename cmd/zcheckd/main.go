@@ -9,22 +9,41 @@
 //	zcheckd [-addr :8347] [-workers N] [-queue N] [-cache N]
 //	        [-max-body-mb N] [-timeout D] [-max-timeout D] [-temp-dir DIR]
 //
+// Cluster mode (see docs/CLUSTER.md) turns the process into a sharded
+// service: a front router over a content-addressed store that
+// consistent-hash-routes checks across N embedded worker shards and serves
+// the async job API:
+//
+//	zcheckd -cluster [-shards N] [-store DIR] [-store-quota-mb N]
+//	        [-tenant-rate R -tenant-burst B] [-addr :8346]
+//
+// A standalone zcheckd can also enlist as a worker shard of a running
+// router:
+//
+//	zcheckd -join http://router:8346 [-shard-id NAME] [-advertise URL]
+//
 // The daemon drains gracefully on SIGTERM/SIGINT: in-flight and queued jobs
-// finish (up to -drain-grace), new checks get 503.
+// finish (up to -drain-grace), new checks get 503; a joined shard deregisters
+// from its router first.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
+	"satcheck/internal/cluster"
 	"satcheck/internal/server"
 )
 
@@ -33,8 +52,8 @@ func main() {
 }
 
 func run() int {
-	addr := flag.String("addr", ":8347", "listen address (host:port; port 0 picks a free port)")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent checker workers")
+	addr := flag.String("addr", "", "listen address (default :8347 single, :8346 cluster; port 0 picks a free port)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent checker workers (per shard in cluster mode)")
 	queue := flag.Int("queue", server.DefaultQueueSize, "bounded job queue size (beyond it: HTTP 429)")
 	cache := flag.Int("cache", server.DefaultCacheEntries, "result cache entries (0 disables)")
 	maxBodyMB := flag.Int64("max-body-mb", 256, "largest accepted request body in MiB")
@@ -43,6 +62,19 @@ func run() int {
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long shutdown waits for queued jobs")
 	tempDir := flag.String("temp-dir", "", "directory for trace spools and checker spill files (default system temp)")
 	quiet := flag.Bool("quiet", false, "suppress per-job logs")
+
+	// Cluster mode.
+	clusterMode := flag.Bool("cluster", false, "run as a sharded cluster: router + -shards local workers")
+	shards := flag.Int("shards", 3, "cluster: local worker shards to spawn")
+	storeDir := flag.String("store", "", "cluster: content-addressed store directory (default <temp>/zcheckd-store)")
+	storeQuotaMB := flag.Int64("store-quota-mb", 0, "cluster: store disk quota in MiB, LRU-evicted (0 = unlimited)")
+	tenantRate := flag.Float64("tenant-rate", 0, "cluster: per-tenant admitted requests/second (0 disables quotas)")
+	tenantBurst := flag.Float64("tenant-burst", 10, "cluster: per-tenant burst size")
+
+	// Worker-shard mode.
+	join := flag.String("join", "", "register this zcheckd as a worker shard with a cluster router at URL")
+	shardID := flag.String("shard-id", "", "shard name to register under (-join; default host:port derived)")
+	advertise := flag.String("advertise", "", "URL the router should dial this shard at (-join; default derived from -addr)")
 	flag.Parse()
 
 	logLevel := slog.LevelInfo
@@ -51,12 +83,16 @@ func run() int {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: logLevel}))
 
+	if *clusterMode && *join != "" {
+		fmt.Fprintln(os.Stderr, "zcheckd: -cluster and -join are mutually exclusive")
+		return 1
+	}
+
 	cacheEntries := *cache
 	if cacheEntries == 0 {
 		cacheEntries = -1 // Config: 0 means default, negative disables
 	}
-	s := server.New(server.Config{
-		Addr:           *addr,
+	shardCfg := server.Config{
 		Workers:        *workers,
 		QueueSize:      *queue,
 		CacheEntries:   cacheEntries,
@@ -65,8 +101,38 @@ func run() int {
 		MaxTimeout:     *maxTimeout,
 		TempDir:        *tempDir,
 		Logger:         logger,
-	})
+	}
 
+	if *clusterMode {
+		return runCluster(clusterOpts{
+			addr:        orDefault(*addr, ":8346"),
+			shards:      *shards,
+			storeDir:    orDefault(*storeDir, filepath.Join(os.TempDir(), "zcheckd-store")),
+			storeQuota:  *storeQuotaMB << 20,
+			tenantRate:  *tenantRate,
+			tenantBurst: *tenantBurst,
+			maxBody:     *maxBodyMB << 20,
+			drainGrace:  *drainGrace,
+			shardCfg:    shardCfg,
+			logger:      logger,
+		})
+	}
+	shardCfg.Addr = orDefault(*addr, ":8347")
+	return runSingle(shardCfg, *drainGrace, *join, *shardID, *advertise, logger)
+}
+
+func orDefault(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}
+
+// runSingle is the classic one-process daemon; with -join it additionally
+// registers itself as a worker shard of a cluster router and deregisters
+// before draining.
+func runSingle(cfg server.Config, drainGrace time.Duration, join, shardID, advertise string, logger *slog.Logger) int {
+	s := server.New(cfg)
 	bound, err := s.Listen()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "zcheckd:", err)
@@ -75,7 +141,21 @@ func run() int {
 	// The parseable "listening" line goes to stdout so scripts (and the CLI
 	// tests) can discover a :0-assigned port.
 	fmt.Printf("zcheckd: listening on http://%s\n", bound)
-	logger.Info("zcheckd started", "addr", bound.String(), "workers", *workers, "queue", *queue, "cache", cacheEntries)
+	logger.Info("zcheckd started", "addr", bound.String(), "workers", cfg.Workers, "queue", cfg.QueueSize)
+
+	if join != "" {
+		if shardID == "" {
+			shardID = "shard-" + bound.String()
+		}
+		if advertise == "" {
+			advertise = "http://" + reachableAddr(bound)
+		}
+		if err := postJoin(join+"/cluster/join", cluster.JoinRequest{ID: shardID, URL: advertise}); err != nil {
+			fmt.Fprintln(os.Stderr, "zcheckd: joining cluster:", err)
+			return 1
+		}
+		logger.Info("joined cluster", "router", join, "shard", shardID, "advertise", advertise)
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
@@ -85,8 +165,15 @@ func run() int {
 
 	select {
 	case sig := <-sigs:
-		logger.Info("draining", "signal", sig.String(), "grace", *drainGrace)
-		ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+		logger.Info("draining", "signal", sig.String(), "grace", drainGrace)
+		if join != "" {
+			// Leave the ring first so the router stops routing here; errors
+			// are non-fatal — the router's prober notices the drain anyway.
+			if err := postJoin(join+"/cluster/leave", cluster.JoinRequest{ID: shardID}); err != nil {
+				logger.Warn("cluster leave failed", "err", err)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), drainGrace)
 		defer cancel()
 		if err := s.Shutdown(ctx); err != nil {
 			logger.Error("shutdown incomplete", "err", err)
@@ -101,4 +188,102 @@ func run() int {
 		}
 		return 0
 	}
+}
+
+type clusterOpts struct {
+	addr        string
+	shards      int
+	storeDir    string
+	storeQuota  int64
+	tenantRate  float64
+	tenantBurst float64
+	maxBody     int64
+	drainGrace  time.Duration
+	shardCfg    server.Config
+	logger      *slog.Logger
+}
+
+func runCluster(o clusterOpts) int {
+	rt, err := cluster.New(cluster.Config{
+		Addr:            o.addr,
+		StoreDir:        o.storeDir,
+		StoreQuotaBytes: o.storeQuota,
+		Shards:          o.shards,
+		ShardConfig:     o.shardCfg,
+		MaxBodyBytes:    o.maxBody,
+		TenantRate:      o.tenantRate,
+		TenantBurst:     o.tenantBurst,
+		Logger:          o.logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zcheckd:", err)
+		return 1
+	}
+	bound, err := rt.Listen()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zcheckd:", err)
+		return 1
+	}
+	fmt.Printf("zcheckd: cluster router listening on http://%s (%d local shards, store %s)\n",
+		bound, o.shards, o.storeDir)
+	o.logger.Info("cluster started", "addr", bound.String(), "shards", o.shards,
+		"store", o.storeDir, "quota_bytes", o.storeQuota)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- rt.Serve() }()
+
+	select {
+	case sig := <-sigs:
+		o.logger.Info("cluster draining", "signal", sig.String(), "grace", o.drainGrace)
+		ctx, cancel := context.WithTimeout(context.Background(), o.drainGrace)
+		defer cancel()
+		if err := rt.Shutdown(ctx); err != nil {
+			o.logger.Error("cluster shutdown incomplete", "err", err)
+			return 1
+		}
+		o.logger.Info("cluster drained cleanly")
+		return 0
+	case err := <-serveErr:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "zcheckd:", err)
+			return 1
+		}
+		return 0
+	}
+}
+
+// reachableAddr rewrites a wildcard bind (":8347", "[::]:8347") into a
+// loopback address the router can actually dial on the same host.
+func reachableAddr(bound net.Addr) string {
+	host, port, err := net.SplitHostPort(bound.String())
+	if err != nil {
+		return bound.String()
+	}
+	switch host {
+	case "", "::", "0.0.0.0":
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}
+
+func postJoin(url string, req cluster.JoinRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er server.ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&er)
+		return fmt.Errorf("router answered %d: %s", resp.StatusCode, er.Error)
+	}
+	return nil
 }

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"satcheck/internal/gen"
+	"satcheck/internal/server"
+)
+
+// benchPayloads pre-solves a small mixed set so the benchmark measures
+// checking throughput, not solving.
+func benchPayloads(b *testing.B) [][2][]byte {
+	b.Helper()
+	var out [][2][]byte
+	for _, ins := range []gen.Instance{
+		gen.Pigeonhole(5),
+		gen.XorMiter(6),
+		gen.TseitinCharge(10, 1),
+		gen.CECParity(8),
+	} {
+		f, tr := unsatPayload(b, ins)
+		out = append(out, [2][]byte{f, tr})
+	}
+	return out
+}
+
+// postBench sends one check and fails the benchmark on a non-verdict.
+func postBench(b *testing.B, client *http.Client, url string, p [2][]byte) {
+	ct, body := multipartBody(b, p[0], p[1])
+	resp, err := client.Post(url+"/v1/check?method=df", ct, body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkClusterThroughput measures end-to-end checks/sec through the
+// sharded router (3 shards) against the same workload on one zcheckd
+// (BenchmarkSingleThroughput). Shard caches are disabled so every request
+// is a real verification; the delta between the two benchmarks is the
+// cluster's scaling headline committed as BENCH_cluster.json.
+func BenchmarkClusterThroughput(b *testing.B) {
+	payloads := benchPayloads(b)
+	for _, shards := range []int{1, 3} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			rt, err := New(Config{
+				StoreDir:      b.TempDir(),
+				Shards:        shards,
+				ProbeInterval: 100 * time.Millisecond,
+				ShardConfig:   server.Config{Workers: 2, CacheEntries: -1},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(rt.Handler())
+			defer func() {
+				ts.Close()
+				ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+				rt.Shutdown(ctx)
+				cancel()
+			}()
+			client := ts.Client()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					postBench(b, client, ts.URL, payloads[i%len(payloads)])
+					i++
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "checks/s")
+		})
+	}
+}
+
+// BenchmarkSingleThroughput is the uncluttered baseline: the same payload
+// mix straight into one zcheckd with no router, store, or ring in the
+// path. Comparing against BenchmarkClusterThroughput/shards-1 isolates
+// the router's proxy overhead; shards-3 shows the scaling win.
+func BenchmarkSingleThroughput(b *testing.B) {
+	payloads := benchPayloads(b)
+	s := server.New(server.Config{Workers: 2, CacheEntries: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		s.Shutdown(ctx)
+		cancel()
+	}()
+	client := ts.Client()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			postBench(b, client, ts.URL, payloads[i%len(payloads)])
+			i++
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "checks/s")
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// tenantBuckets is a per-tenant token-bucket rate limiter. Each tenant
+// (the X-Tenant header, or "" for anonymous traffic) gets an independent
+// bucket refilled at rate tokens/second up to burst; a submission costs
+// one token. A dry bucket answers 429 at the router *before* any bytes
+// are ingested, so one chatty tenant cannot crowd everyone else out of
+// the shards' bounded queues.
+type tenantBuckets struct {
+	rate  float64 // tokens per second; <= 0 disables limiting
+	burst float64
+
+	mu sync.Mutex
+	m  map[string]*bucket
+
+	// now is swappable for tests.
+	now func() time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTenantBuckets(rate, burst float64) *tenantBuckets {
+	if burst < 1 {
+		burst = 1
+	}
+	return &tenantBuckets{
+		rate:  rate,
+		burst: burst,
+		m:     make(map[string]*bucket),
+		now:   time.Now,
+	}
+}
+
+// Allow spends one token from tenant's bucket, reporting false when the
+// bucket is dry.
+func (tb *tenantBuckets) Allow(tenant string) bool {
+	if tb.rate <= 0 {
+		return true
+	}
+	now := tb.now()
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	b, ok := tb.m[tenant]
+	if !ok {
+		b = &bucket{tokens: tb.burst, last: now}
+		tb.m[tenant] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * tb.rate
+		if b.tokens > tb.burst {
+			b.tokens = tb.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

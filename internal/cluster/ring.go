@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"satcheck/internal/store"
+)
+
+// Ring is a consistent-hash ring over shard IDs. Each shard contributes
+// `replicas` virtual points; a job key walks clockwise from its own hash
+// and the first points owned by distinct shards are its preferred owners.
+// Consistent hashing is what makes the sharded result caches effective:
+// the same (formula, proof) content lands on the same shard run after run,
+// and adding or removing one shard only remaps ~1/N of the key space
+// instead of reshuffling everything.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	points   []ringPoint // sorted by hash
+	shards   map[string]bool
+
+	// rebalances counts membership changes (adds + removes) — every one
+	// moves a slice of the key space, which operators want to see spike
+	// during incidents (zcheckd_ring_rebalances_total).
+	rebalances int64
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard string
+}
+
+// NewRing builds an empty ring; replicas <= 0 picks the default 64 virtual
+// points per shard (at 64 the per-shard load imbalance across random keys
+// stays within a few percent, cheap enough to re-sort on every change).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	return &Ring{replicas: replicas, shards: make(map[string]bool)}
+}
+
+// pointHash derives a virtual point position from (shard, replica).
+func pointHash(shard string, replica int) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(replica))
+	h := sha256.New()
+	h.Write([]byte(shard))
+	h.Write(buf[:])
+	return binary.LittleEndian.Uint64(h.Sum(nil))
+}
+
+// keyHash positions a job key on the ring.
+func keyHash(key store.Hash) uint64 {
+	return binary.LittleEndian.Uint64(key[:8])
+}
+
+// Add inserts a shard's virtual points. Adding a present shard is a no-op.
+func (r *Ring) Add(shard string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.shards[shard] {
+		return
+	}
+	r.shards[shard] = true
+	r.rebalances++
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{hash: pointHash(shard, i), shard: shard})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a shard's virtual points. Removing an absent shard is a
+// no-op.
+func (r *Ring) Remove(shard string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.shards[shard] {
+		return
+	}
+	delete(r.shards, shard)
+	r.rebalances++
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.shard != shard {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the current shard IDs (sorted, for deterministic logs).
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.shards))
+	for s := range r.shards {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of member shards.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.shards)
+}
+
+// Rebalances reports the lifetime membership-change count.
+func (r *Ring) Rebalances() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.rebalances
+}
+
+// Owners returns up to n distinct shards in preference order for key: the
+// primary owner first (the first virtual point clockwise from the key's
+// hash), then the failover candidates in ring order. n <= 0 means "all
+// members".
+func (r *Ring) Owners(key store.Hash, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.shards) {
+		n = len(r.shards)
+	}
+	kh := keyHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= kh })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}
+
+// JobKey combines the content addresses of a job's two parts into its ring
+// position. The option string is deliberately excluded: all variants of a
+// check over the same payload share a shard, so its result cache sees them
+// all.
+func JobKey(formula, proof store.Hash) store.Hash {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d:", store.SchemaVersion)
+	h.Write(formula[:])
+	h.Write(proof[:])
+	var k store.Hash
+	h.Sum(k[:0])
+	return k
+}

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"satcheck/internal/store"
+)
+
+func keyOf(i int) store.Hash {
+	return store.HashBytes([]byte(fmt.Sprintf("key-%d", i)))
+}
+
+func TestRingOwnersDistinctAndStable(t *testing.T) {
+	r := NewRing(64)
+	for _, id := range []string{"a", "b", "c"} {
+		r.Add(id)
+	}
+	for i := 0; i < 100; i++ {
+		k := keyOf(i)
+		owners := r.Owners(k, 0)
+		if len(owners) != 3 {
+			t.Fatalf("key %d: got %d owners, want 3", i, len(owners))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %d: duplicate owner %s", i, o)
+			}
+			seen[o] = true
+		}
+		if again := r.Owners(k, 0); again[0] != owners[0] {
+			t.Fatalf("key %d: owner not stable", i)
+		}
+	}
+}
+
+// TestRingMinimalRemap is the consistent-hashing property the cluster's
+// cache affinity rests on: removing one of N shards must remap only the
+// departed shard's keys, and re-adding it must restore the original owners
+// exactly.
+func TestRingMinimalRemap(t *testing.T) {
+	r := NewRing(64)
+	shards := []string{"s1", "s2", "s3", "s4"}
+	for _, id := range shards {
+		r.Add(id)
+	}
+	const keys = 2000
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Owners(keyOf(i), 1)[0]
+	}
+
+	r.Remove("s3")
+	moved := 0
+	for i := 0; i < keys; i++ {
+		now := r.Owners(keyOf(i), 1)[0]
+		if now == "s3" {
+			t.Fatalf("key %d still owned by removed shard", i)
+		}
+		if before[i] != "s3" && now != before[i] {
+			t.Errorf("key %d moved from %s to %s though its owner never left", i, before[i], now)
+		}
+		if now != before[i] {
+			moved++
+		}
+	}
+	// Only s3's share (~1/4) may move.
+	if moved == 0 || moved > keys/2 {
+		t.Fatalf("suspicious remap count %d of %d", moved, keys)
+	}
+
+	r.Add("s3")
+	for i := 0; i < keys; i++ {
+		if now := r.Owners(keyOf(i), 1)[0]; now != before[i] {
+			t.Fatalf("key %d not restored after re-add: %s != %s", i, now, before[i])
+		}
+	}
+	if r.Rebalances() != int64(len(shards))+2 {
+		t.Fatalf("rebalances = %d, want %d", r.Rebalances(), len(shards)+2)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(64)
+	for _, id := range []string{"a", "b", "c"} {
+		r.Add(id)
+	}
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Owners(keyOf(i), 1)[0]]++
+	}
+	for id, c := range counts {
+		// With 64 vnodes per shard the split should be within ~2x of fair.
+		if c < keys/6 || c > keys/2+keys/6 {
+			t.Errorf("shard %s owns %d of %d keys — ring badly unbalanced", id, c, keys)
+		}
+	}
+}
+
+func TestRingEmptyAndPartialOwners(t *testing.T) {
+	r := NewRing(8)
+	if owners := r.Owners(keyOf(1), 0); owners != nil {
+		t.Fatalf("empty ring returned owners %v", owners)
+	}
+	r.Add("only")
+	if owners := r.Owners(keyOf(1), 3); len(owners) != 1 || owners[0] != "only" {
+		t.Fatalf("single-shard ring: owners %v", owners)
+	}
+	r.Add("only") // duplicate add is a no-op
+	if r.Len() != 1 || r.Rebalances() != 1 {
+		t.Fatalf("duplicate add changed the ring: len=%d rebalances=%d", r.Len(), r.Rebalances())
+	}
+	r.Remove("ghost") // absent remove is a no-op
+	if r.Rebalances() != 1 {
+		t.Fatal("removing an absent shard counted as a rebalance")
+	}
+}
+
+// TestJobKeyCacheAffinity pins the routing-key contract: the key depends
+// on payload content (and the store schema) only — never on options — so
+// every variant of one payload lands on the shard already holding its
+// cache entries.
+func TestJobKeyCacheAffinity(t *testing.T) {
+	f1 := store.HashBytes([]byte("formula-1"))
+	p1 := store.HashBytes([]byte("proof-1"))
+	if JobKey(f1, p1) != JobKey(f1, p1) {
+		t.Fatal("JobKey not deterministic")
+	}
+	if JobKey(f1, p1) == JobKey(p1, f1) {
+		t.Fatal("JobKey must distinguish formula from proof position")
+	}
+	f2 := store.HashBytes([]byte("formula-2"))
+	if JobKey(f1, p1) == JobKey(f2, p1) {
+		t.Fatal("JobKey must depend on the formula content")
+	}
+}
+
+func TestTenantBuckets(t *testing.T) {
+	tb := newTenantBuckets(1, 2)
+	base := tb.now()
+	now := base
+	tb.now = func() time.Time { return now }
+
+	if !tb.Allow("a") || !tb.Allow("a") {
+		t.Fatal("burst of 2 should admit two requests")
+	}
+	if tb.Allow("a") {
+		t.Fatal("third immediate request should be rejected")
+	}
+	if !tb.Allow("b") {
+		t.Fatal("tenant b has its own bucket")
+	}
+	now = base.Add(1500 * time.Millisecond) // refills 1.5 tokens at rate 1/s
+	if !tb.Allow("a") {
+		t.Fatal("refilled bucket should admit")
+	}
+	if tb.Allow("a") {
+		t.Fatal("only one token refilled")
+	}
+	unlimited := newTenantBuckets(0, 1)
+	for i := 0; i < 100; i++ {
+		if !unlimited.Allow("x") {
+			t.Fatal("rate 0 must disable limiting")
+		}
+	}
+}

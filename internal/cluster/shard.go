@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"satcheck/internal/server"
+)
+
+// Shard is one checking backend behind the router: either an embedded
+// server.Server the router spawned itself (single-binary dev clusters,
+// `zcheckd -cluster -shards N`) or an external zcheckd that joined over
+// HTTP (`zcheckd -join`). The router only ever talks to it through its
+// URL — the embedded case listens on a loopback port — so the dispatch,
+// failover, and drain paths are identical for both.
+type Shard struct {
+	// ID names the shard on the ring and in metrics labels.
+	ID string
+	// URL is the shard's base address, e.g. "http://127.0.0.1:40613".
+	URL string
+
+	// embedded is non-nil for locally spawned shards; Stop and Kill act on
+	// it. Joined shards are stopped by their own process.
+	embedded *server.Server
+
+	healthy atomic.Bool
+}
+
+// SpawnLocal builds an embedded zcheckd worker on a loopback port and
+// starts serving. cfg.Addr is overridden; everything else (workers, queue,
+// cache, temp dir, limits) applies per shard.
+func SpawnLocal(id string, cfg server.Config) (*Shard, error) {
+	cfg.Addr = "127.0.0.1:0"
+	s := server.New(cfg)
+	addr, err := s.Listen()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %s: %w", id, err)
+	}
+	go s.Serve()
+	sh := &Shard{
+		ID:       id,
+		URL:      "http://" + addr.String(),
+		embedded: s,
+	}
+	sh.healthy.Store(true)
+	return sh, nil
+}
+
+// Join wraps an external shard by address; health probing decides when it
+// enters the ring.
+func Join(id, url string) *Shard {
+	return &Shard{ID: id, URL: url}
+}
+
+// Healthy reports the last probe's outcome.
+func (sh *Shard) Healthy() bool { return sh.healthy.Load() }
+
+// Local reports whether the shard is an embedded server this router owns.
+func (sh *Shard) Local() bool { return sh.embedded != nil }
+
+// Probe checks the shard's /healthz. A shard is healthy only when it
+// answers 200 with status "ok" inside the timeout — a draining shard
+// answers 503, which is exactly the signal that takes it off the ring
+// while its in-flight jobs finish.
+func (sh *Shard) Probe(ctx context.Context, client *http.Client) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.URL+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var hr server.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		return false
+	}
+	return hr.Status == "ok"
+}
+
+// Stop drains an embedded shard gracefully: the same path a standalone
+// zcheckd takes on SIGTERM — stop admitting, finish queued and in-flight
+// jobs, then stop the workers. No-op for joined shards.
+func (sh *Shard) Stop(ctx context.Context) error {
+	sh.healthy.Store(false)
+	if sh.embedded == nil {
+		return nil
+	}
+	return sh.embedded.Shutdown(ctx)
+}
+
+// Kill force-stops an embedded shard without draining: connections are
+// closed mid-flight and queued jobs are dropped. This is the chaos
+// harness's "the process crashed" primitive. No-op for joined shards.
+func (sh *Shard) Kill() error {
+	sh.healthy.Store(false)
+	if sh.embedded == nil {
+		return nil
+	}
+	return sh.embedded.Close()
+}
+
+// Metrics exposes the embedded server's counters (nil for joined shards);
+// tests use it to assert work actually landed where the ring said.
+func (sh *Shard) Metrics() *server.Metrics {
+	if sh.embedded == nil {
+		return nil
+	}
+	return sh.embedded.Metrics()
+}
+
+// defaultProbeClient builds the prober's HTTP client; the timeout doubles
+// as the unhealthiness detector for a hung shard.
+func defaultProbeClient(timeout time.Duration) *http.Client {
+	return &http.Client{Timeout: timeout}
+}

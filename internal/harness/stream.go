@@ -1,0 +1,18 @@
+package harness
+
+import (
+	"math/rand"
+
+	"satcheck/internal/gen"
+)
+
+// StreamInstance draws one instance from the zfuzz round distribution:
+// mostly random 3-SAT near the phase transition, the rest small members of
+// the structured generator families (pigeonhole, Tseitin, CEC, BMC,
+// scheduling, routing, planted cores). It is the exact distribution the
+// fuzzing oracle rounds use, exported so the cluster chaos/soak harness can
+// drive the sharded service through the same workload the single-process
+// checker is fuzzed with.
+func StreamInstance(rng *rand.Rand) gen.Instance {
+	return instanceForRound(rng)
+}

@@ -5,6 +5,8 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"sync"
+
+	"satcheck/internal/store"
 )
 
 // cacheKey content-addresses one check: SHA-256 over the formula bytes, the
@@ -17,7 +19,21 @@ type cacheKey [sha256.Size]byte
 // Hashing the two digests plus the option string (rather than re-hashing the
 // payloads) keeps key construction constant-time after ingest.
 func makeCacheKey(formulaSum, traceSum [sha256.Size]byte, options string) cacheKey {
+	return makeCacheKeyAtSchema(formulaSum, traceSum, options, store.SchemaVersion)
+}
+
+// makeCacheKeyAtSchema is makeCacheKey with an explicit store schema
+// generation. The generation is folded into the digest so a schema bump —
+// which changes what the cluster's content-addressed store considers "the
+// same bytes" — also invalidates every result cached under the old layout:
+// old-generation entries simply stop being findable and age out of the LRU,
+// rather than being served against a store that can no longer vouch for
+// their payloads.
+func makeCacheKeyAtSchema(formulaSum, traceSum [sha256.Size]byte, options string, schema int) cacheKey {
 	h := sha256.New()
+	var gen [8]byte
+	binary.LittleEndian.PutUint64(gen[:], uint64(schema))
+	h.Write(gen[:])
 	h.Write(formulaSum[:])
 	h.Write(traceSum[:])
 	var n [8]byte

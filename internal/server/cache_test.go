@@ -1,0 +1,38 @@
+package server
+
+import (
+	"crypto/sha256"
+	"testing"
+
+	"satcheck/internal/store"
+)
+
+// TestCacheKeySchemaGeneration pins the store-schema generation into the
+// cache key: a result cached under one store layout must be a miss under
+// any other, so a schema migration can never serve an answer the new
+// store cannot re-derive from its own blobs.
+func TestCacheKeySchemaGeneration(t *testing.T) {
+	f := sha256.Sum256([]byte("p cnf 1 2\n1 0\n-1 0\n"))
+	tr := sha256.Sum256([]byte("3 -1 1 0 1 2 0\n"))
+	opts := JobOptions{}.canonical()
+
+	cur := makeCacheKey(f, tr, opts)
+	if got := makeCacheKeyAtSchema(f, tr, opts, store.SchemaVersion); got != cur {
+		t.Fatal("makeCacheKey must key at the current store schema version")
+	}
+	old := makeCacheKeyAtSchema(f, tr, opts, store.SchemaVersion-1)
+	if old == cur {
+		t.Fatal("cache keys from different store schema generations must differ")
+	}
+
+	// A key from the previous generation is unfindable: an old-layout entry
+	// behaves as a miss, not a stale hit.
+	c := newResultCache(4)
+	c.Put(old, &CheckResponse{Verdict: VerdictValid})
+	if _, ok := c.Get(cur); ok {
+		t.Fatal("old-generation cache entry served at the current schema")
+	}
+	if _, ok := c.Get(old); !ok {
+		t.Fatal("sanity: the old-generation entry should still be addressable by its own key")
+	}
+}

@@ -144,6 +144,21 @@ func (s *Server) Serve() error {
 	return s.httpSrv.Serve(s.listener)
 }
 
+// Close force-stops the server without draining: the listener and every
+// active connection are closed immediately and the queue stops admitting.
+// In-flight clients see connection errors, not answers — this is the
+// "shard crashed" primitive the cluster chaos harness kills shards with;
+// production shutdown is Shutdown.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Close()
+	}
+	s.queue.Close()
+	return err
+}
+
 // Shutdown drains gracefully: stop admitting jobs (new checks get 503),
 // wait for in-flight handlers and queued jobs up to ctx's deadline, then
 // stop the workers. Safe to call without Listen/Serve (handler-only use).

@@ -1,0 +1,176 @@
+package store
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Job states. A job is terminal once it is StateDone or StateFailed;
+// everything else is re-dispatched after a router restart.
+const (
+	// StateQueued: accepted, waiting for a dispatch slot.
+	StateQueued = "queued"
+	// StateRunning: handed to a shard; a restart treats it as queued again
+	// (checks are deterministic and cached, so re-dispatch is safe).
+	StateRunning = "running"
+	// StateDone: a shard produced a verdict (valid or rejected — both are
+	// completions; a rejected proof means the solver is buggy, not the job).
+	StateDone = "done"
+	// StateFailed: dispatch attempts exhausted or the request was
+	// structurally bad; Error says why.
+	StateFailed = "failed"
+)
+
+// JobRecord is the persisted state of one async check job. It is written
+// atomically (spool-then-rename) on every state transition, so the set of
+// records on disk is always a consistent snapshot: a router restart
+// reloads them and re-dispatches everything non-terminal.
+type JobRecord struct {
+	ID      string `json:"id"`
+	Tenant  string `json:"tenant,omitempty"`
+	Class   string `json:"class"` // "interactive" | "batch"
+	Query   string `json:"query"` // raw check query string forwarded to the shard
+	Webhook string `json:"webhook,omitempty"`
+
+	// Content addresses of the two request parts, resolved via the blob
+	// store at dispatch time. They are pinned while the job is live.
+	FormulaHash Hash `json:"formula_hash"`
+	ProofHash   Hash `json:"proof_hash"`
+
+	State    string `json:"state"`
+	Shard    string `json:"shard,omitempty"` // shard that produced Response
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error,omitempty"`
+	// Response is the shard's verbatim CheckResponse JSON once done.
+	Response json.RawMessage `json:"response,omitempty"`
+
+	Created time.Time `json:"created"`
+	Updated time.Time `json:"updated"`
+}
+
+// Terminal reports whether the job needs no further dispatch work.
+func (r *JobRecord) Terminal() bool {
+	return r.State == StateDone || r.State == StateFailed
+}
+
+// NewJobID mints a random 96-bit job identifier (24 hex chars). IDs are
+// not content addresses: two submissions of the same payload are two jobs
+// (each may carry its own webhook and class) that share blobs.
+func NewJobID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable for ID minting.
+		panic(fmt.Sprintf("store: reading random job id: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func (s *Store) jobPath(id string) string {
+	return filepath.Join(s.root, "jobs", id+".json")
+}
+
+// validJobID rejects path-traversal shapes before an ID touches the
+// filesystem; IDs are lowercase hex from NewJobID.
+func validJobID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, c := range id {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// PutJob persists rec atomically: spooled, synced, renamed over the
+// record path. Updated is stamped on the way through.
+func (s *Store) PutJob(rec *JobRecord) error {
+	if !validJobID(rec.ID) {
+		return fmt.Errorf("store: bad job id %q", rec.ID)
+	}
+	rec.Updated = time.Now().UTC()
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding job %s: %w", rec.ID, err)
+	}
+	tmp, err := os.CreateTemp(filepath.Join(s.root, "spool"), "job-*")
+	if err != nil {
+		return fmt.Errorf("store: spooling job %s: %w", rec.ID, err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: writing job %s: %w", rec.ID, err)
+	}
+	if err := os.Rename(tmpName, s.jobPath(rec.ID)); err != nil {
+		return fmt.Errorf("store: publishing job %s: %w", rec.ID, err)
+	}
+	return nil
+}
+
+// GetJob loads one job record.
+func (s *Store) GetJob(id string) (*JobRecord, error) {
+	if !validJobID(id) {
+		return nil, fmt.Errorf("%w: job %q", ErrNotFound, id)
+	}
+	data, err := os.ReadFile(s.jobPath(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: job %s", ErrNotFound, id)
+		}
+		return nil, fmt.Errorf("store: reading job %s: %w", id, err)
+	}
+	var rec JobRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("store: decoding job %s: %w", id, err)
+	}
+	return &rec, nil
+}
+
+// ListJobs loads every persisted job record (restart recovery). Records
+// that fail to decode are skipped — a half-written file cannot exist
+// (writes are atomic), but a hand-edited one should not wedge startup.
+func (s *Store) ListJobs() ([]*JobRecord, error) {
+	ents, err := os.ReadDir(filepath.Join(s.root, "jobs"))
+	if err != nil {
+		return nil, fmt.Errorf("store: listing jobs: %w", err)
+	}
+	var out []*JobRecord
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		rec, err := s.GetJob(strings.TrimSuffix(name, ".json"))
+		if err != nil {
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// DeleteJob removes a job record (retention policies; unused by the
+// router's hot path).
+func (s *Store) DeleteJob(id string) error {
+	if !validJobID(id) {
+		return fmt.Errorf("%w: job %q", ErrNotFound, id)
+	}
+	if err := os.Remove(s.jobPath(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: deleting job %s: %w", id, err)
+	}
+	return nil
+}

@@ -1,0 +1,431 @@
+// Package store is the cluster's content-addressed, disk-backed blob and
+// job store. Every formula and proof the sharded zcheckd front end ingests
+// is written here exactly once, keyed by the SHA-256 digest the result
+// cache already computes; async job records persist beside the blobs so a
+// router restart loses nothing.
+//
+// Durability and integrity contract:
+//
+//   - writes are spool-then-rename: a blob appears under its content
+//     address only after every byte (and its digest) is on disk, so a
+//     crash mid-write leaves a spool file, never a truncated blob;
+//   - reads re-verify: Open returns a reader that re-hashes the bytes as
+//     they stream out and fails with ErrCorrupt — quarantining the blob —
+//     if the digest no longer matches its name. A flipped bit on disk can
+//     therefore cause a re-check, never a trusted verdict;
+//   - the store is an LRU disk cache: when a byte quota is set, the least
+//     recently used unpinned blobs are evicted on write. Blobs referenced
+//     by in-flight jobs are pinned and never evicted.
+//
+// The on-disk layout is versioned (SchemaVersion): blobs live under
+// root/v<N>/, so a store opened over an older layout simply sees an empty
+// generation — old bytes are treated as misses, never decoded under the
+// new schema's assumptions.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// SchemaVersion is the on-disk layout generation. It names the root
+// subdirectory every blob and job record lives under (v1, v2, ...) and is
+// folded into the zcheckd result-cache key, so any layout change makes
+// both the disk store and the result cache treat older artifacts as
+// misses instead of decoding them under the wrong assumptions.
+const SchemaVersion = 1
+
+// ErrCorrupt reports a blob whose bytes no longer hash to its name. The
+// store deletes the blob when it detects this, so the next request
+// re-ingests and re-checks from scratch.
+var ErrCorrupt = errors.New("store: blob corrupt (content hash mismatch)")
+
+// ErrNotFound reports a missing blob or job record.
+var ErrNotFound = errors.New("store: not found")
+
+// Hash is a content address: the SHA-256 of the blob's bytes.
+type Hash [sha256.Size]byte
+
+// String renders the address as lowercase hex (the on-disk file name).
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// ParseHash decodes a 64-char hex content address.
+func ParseHash(s string) (Hash, error) {
+	var h Hash
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != sha256.Size {
+		return h, fmt.Errorf("store: bad content address %q", s)
+	}
+	copy(h[:], b)
+	return h, nil
+}
+
+// HashBytes returns the content address of a byte slice.
+func HashBytes(b []byte) Hash { return sha256.Sum256(b) }
+
+// Stats is a point-in-time snapshot of the store's counters, exported for
+// the cluster's Prometheus surface.
+type Stats struct {
+	Blobs       int   // resident blobs
+	Bytes       int64 // resident blob bytes
+	Evictions   int64 // blobs evicted to stay under quota (lifetime)
+	Corruptions int64 // blobs quarantined after a read-side hash mismatch
+	Dedups      int64 // Put calls answered by an already-resident blob
+}
+
+// Store is the content-addressed blob + job store rooted at one directory.
+// All methods are safe for concurrent use.
+type Store struct {
+	root  string // root/v<SchemaVersion>
+	quota int64  // byte quota; <= 0 means unlimited
+
+	mu      sync.Mutex
+	size    int64
+	blobs   map[Hash]*blobMeta
+	order   []*blobMeta // LRU order: order[0] is least recently used
+	nextUse int64       // logical clock for LRU ordering
+
+	evictions   atomic.Int64
+	corruptions atomic.Int64
+	dedups      atomic.Int64
+}
+
+type blobMeta struct {
+	hash Hash
+	size int64
+	use  int64 // logical last-use tick
+	pins int   // > 0 blocks eviction
+}
+
+// Open opens (creating if needed) the store rooted at dir, with an LRU
+// byte quota for blobs (quotaBytes <= 0 disables eviction). Existing blobs
+// of the current schema generation are scanned back in, oldest-first by
+// modification time, so the LRU survives restarts approximately; leftover
+// spool files from a crashed writer are removed.
+func Open(dir string, quotaBytes int64) (*Store, error) {
+	root := filepath.Join(dir, fmt.Sprintf("v%d", SchemaVersion))
+	for _, sub := range []string{"blobs", "jobs", "spool"} {
+		if err := os.MkdirAll(filepath.Join(root, sub), 0o777); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	s := &Store{
+		root:  root,
+		quota: quotaBytes,
+		blobs: make(map[Hash]*blobMeta),
+	}
+	// A crash can strand spool files; they are unnamed garbage, remove them.
+	if ents, err := os.ReadDir(filepath.Join(root, "spool")); err == nil {
+		for _, e := range ents {
+			os.Remove(filepath.Join(root, "spool", e.Name()))
+		}
+	}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// scan rebuilds the in-memory index from the blobs directory.
+func (s *Store) scan() error {
+	type found struct {
+		hash  Hash
+		size  int64
+		mtime int64
+	}
+	var all []found
+	blobRoot := filepath.Join(s.root, "blobs")
+	err := filepath.WalkDir(blobRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		h, perr := ParseHash(d.Name())
+		if perr != nil {
+			return nil // not a blob; ignore
+		}
+		info, ierr := d.Info()
+		if ierr != nil {
+			return nil
+		}
+		all = append(all, found{hash: h, size: info.Size(), mtime: info.ModTime().UnixNano()})
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("store: scanning blobs: %w", err)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].mtime < all[j].mtime })
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, f := range all {
+		m := &blobMeta{hash: f.hash, size: f.size, use: s.nextUse}
+		s.nextUse++
+		s.blobs[f.hash] = m
+		s.order = append(s.order, m)
+		s.size += f.size
+	}
+	return nil
+}
+
+// Root reports the versioned root directory (root/v<SchemaVersion>).
+func (s *Store) Root() string { return s.root }
+
+// blobPath shards blobs across 256 subdirectories by the first hash byte,
+// keeping directory fan-out sane for millions of blobs.
+func (s *Store) blobPath(h Hash) string {
+	name := h.String()
+	return filepath.Join(s.root, "blobs", name[:2], name)
+}
+
+// BlobPath reports where a blob lives on disk. The path is informational
+// — reads must still go through Open/ReadAll so the hash re-verification
+// applies; the chaos tests use it to corrupt blobs behind the store's
+// back.
+func (s *Store) BlobPath(h Hash) string { return s.blobPath(h) }
+
+// Put streams r into the store and returns its content address and size.
+// The write is spool-then-rename: the blob becomes visible under its
+// address atomically, with its full content on disk. If the blob already
+// exists (another writer won the race, or the content was seen before),
+// the spool is discarded and the resident copy is reused — concurrent
+// writers of the same content are deduplicated, not duplicated.
+func (s *Store) Put(r io.Reader) (Hash, int64, error) { return s.put(r, false) }
+
+// PutPinned is Put with the blob pinned before it is ever eligible for
+// eviction — the ingest path uses it so a blob cannot be evicted between
+// its write and the job that references it taking its pin.
+func (s *Store) PutPinned(r io.Reader) (Hash, int64, error) { return s.put(r, true) }
+
+func (s *Store) put(r io.Reader, pin bool) (Hash, int64, error) {
+	var zero Hash
+	tmp, err := os.CreateTemp(filepath.Join(s.root, "spool"), "put-*")
+	if err != nil {
+		return zero, 0, fmt.Errorf("store: spooling blob: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	h := sha256.New()
+	n, err := io.Copy(io.MultiWriter(tmp, h), r)
+	if err != nil {
+		tmp.Close()
+		return zero, 0, fmt.Errorf("store: spooling blob: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return zero, 0, fmt.Errorf("store: syncing blob: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return zero, 0, fmt.Errorf("store: closing spool: %w", err)
+	}
+	var hash Hash
+	h.Sum(hash[:0])
+
+	final := s.blobPath(hash)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.blobs[hash]; ok {
+		// Already resident: dedup. The spool is removed by the defer.
+		s.dedups.Add(1)
+		s.touchLocked(m)
+		if pin {
+			m.pins++
+		}
+		return hash, m.size, nil
+	}
+	if err := os.MkdirAll(filepath.Dir(final), 0o777); err != nil {
+		return zero, 0, fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		return zero, 0, fmt.Errorf("store: publishing blob: %w", err)
+	}
+	m := &blobMeta{hash: hash, size: n, use: s.nextUse}
+	s.nextUse++
+	if pin {
+		m.pins++
+	}
+	s.blobs[hash] = m
+	s.order = append(s.order, m)
+	s.size += n
+	s.evictLocked()
+	return hash, n, nil
+}
+
+// PutBytes is Put over an in-memory slice.
+func (s *Store) PutBytes(b []byte) (Hash, int64, error) {
+	return s.Put(bytes.NewReader(b))
+}
+
+// touchLocked moves m to the most-recently-used position.
+func (s *Store) touchLocked(m *blobMeta) {
+	m.use = s.nextUse
+	s.nextUse++
+	// order is kept approximately sorted; re-sort lazily at eviction time.
+}
+
+// evictLocked drops least-recently-used unpinned blobs until the store is
+// under quota. Called with s.mu held.
+func (s *Store) evictLocked() {
+	if s.quota <= 0 || s.size <= s.quota {
+		return
+	}
+	sort.Slice(s.order, func(i, j int) bool { return s.order[i].use < s.order[j].use })
+	kept := s.order[:0]
+	for _, m := range s.order {
+		if s.size <= s.quota || m.pins > 0 {
+			kept = append(kept, m)
+			continue
+		}
+		if err := os.Remove(s.blobPath(m.hash)); err != nil && !os.IsNotExist(err) {
+			// Undeletable blob: keep it accounted rather than leaking.
+			kept = append(kept, m)
+			continue
+		}
+		delete(s.blobs, m.hash)
+		s.size -= m.size
+		s.evictions.Add(1)
+	}
+	s.order = append([]*blobMeta(nil), kept...)
+}
+
+// Has reports whether the blob is resident (without touching LRU order).
+func (s *Store) Has(h Hash) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.blobs[h]
+	return ok
+}
+
+// Pin marks the blob in use: pinned blobs are never evicted. Pins nest;
+// every Pin needs a matching Unpin. Pinning a non-resident blob is an
+// ErrNotFound.
+func (s *Store) Pin(h Hash) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.blobs[h]
+	if !ok {
+		return fmt.Errorf("%w: blob %s", ErrNotFound, h)
+	}
+	m.pins++
+	return nil
+}
+
+// Unpin releases one Pin. Unpinning below zero or a missing blob is a
+// no-op (the blob may have been quarantined by a corruption in between).
+func (s *Store) Unpin(h Hash) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.blobs[h]; ok && m.pins > 0 {
+		m.pins--
+	}
+}
+
+// Open returns a reader over the blob that re-verifies the content hash as
+// the bytes stream out: the final Read returns ErrCorrupt instead of
+// io.EOF when the bytes on disk no longer match h, and the store
+// quarantines (deletes) the blob so the content is re-ingested rather than
+// trusted. The size is the on-disk length. The caller must Close the
+// reader.
+func (s *Store) Open(h Hash) (io.ReadCloser, int64, error) {
+	s.mu.Lock()
+	m, ok := s.blobs[h]
+	if ok {
+		s.touchLocked(m)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: blob %s", ErrNotFound, h)
+	}
+	f, err := os.Open(s.blobPath(h))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, fmt.Errorf("%w: blob %s", ErrNotFound, h)
+		}
+		return nil, 0, fmt.Errorf("store: opening blob: %w", err)
+	}
+	return &verifyingReader{s: s, f: f, want: h, h: sha256.New()}, m.size, nil
+}
+
+// ReadAll returns the blob's verified bytes.
+func (s *Store) ReadAll(h Hash) ([]byte, error) {
+	r, _, err := s.Open(h)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return io.ReadAll(r)
+}
+
+// verifyingReader re-hashes the blob as it is read and converts the EOF
+// into ErrCorrupt on mismatch.
+type verifyingReader struct {
+	s    *Store
+	f    *os.File
+	want Hash
+	h    interface {
+		io.Writer
+		Sum([]byte) []byte
+	}
+	failed bool
+}
+
+func (vr *verifyingReader) Read(p []byte) (int, error) {
+	n, err := vr.f.Read(p)
+	if n > 0 {
+		vr.h.Write(p[:n])
+	}
+	if err == io.EOF {
+		var got Hash
+		vr.h.Sum(got[:0])
+		if got != vr.want {
+			vr.failed = true
+			vr.s.quarantine(vr.want)
+			return n, fmt.Errorf("%w: %s", ErrCorrupt, vr.want)
+		}
+	}
+	return n, err
+}
+
+func (vr *verifyingReader) Close() error { return vr.f.Close() }
+
+// quarantine removes a blob whose on-disk bytes failed verification.
+func (s *Store) quarantine(h Hash) {
+	s.corruptions.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.blobs[h]
+	if !ok {
+		return
+	}
+	os.Remove(s.blobPath(h))
+	delete(s.blobs, h)
+	s.size -= m.size
+	for i, o := range s.order {
+		if o == m {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	blobs, bytes := len(s.blobs), s.size
+	s.mu.Unlock()
+	return Stats{
+		Blobs:       blobs,
+		Bytes:       bytes,
+		Evictions:   s.evictions.Load(),
+		Corruptions: s.corruptions.Load(),
+		Dedups:      s.dedups.Load(),
+	}
+}

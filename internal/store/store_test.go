@@ -1,0 +1,288 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"testing"
+)
+
+func openTest(t *testing.T, quota int64) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), quota)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustPut(t *testing.T, s *Store, b []byte) Hash {
+	t.Helper()
+	h, n, err := s.PutBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(b)) {
+		t.Fatalf("Put reported %d bytes, want %d", n, len(b))
+	}
+	return h
+}
+
+func TestPutOpenRoundTrip(t *testing.T) {
+	s := openTest(t, 0)
+	payload := []byte("p cnf 1 2\n1 0\n-1 0\n")
+	h := mustPut(t, s, payload)
+	if h != HashBytes(payload) {
+		t.Fatalf("content address mismatch: %s vs %s", h, HashBytes(payload))
+	}
+	got, err := s.ReadAll(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip mismatch: %q vs %q", got, payload)
+	}
+	if _, err := s.ReadAll(HashBytes([]byte("absent"))); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing blob: got %v, want ErrNotFound", err)
+	}
+}
+
+// TestCorruptBlobDetected is the integrity half of the trust story: a
+// bit-flip on a spooled proof must surface as ErrCorrupt (forcing a
+// re-ingest and re-check), never as successfully read bytes that could
+// back a trusted verdict.
+func TestCorruptBlobDetected(t *testing.T) {
+	s := openTest(t, 0)
+	payload := bytes.Repeat([]byte("proof bytes "), 4096)
+	h := mustPut(t, s, payload)
+
+	// Flip one bit in the on-disk blob, past the first read buffer.
+	path := s.blobPath(h)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	r, _, err := s.Open(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = io.ReadAll(r)
+	r.Close()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("reading bit-flipped blob: got %v, want ErrCorrupt", err)
+	}
+	// The blob is quarantined: subsequent opens miss, so the content is
+	// re-ingested rather than trusted.
+	if s.Has(h) {
+		t.Fatal("corrupt blob still resident after detection")
+	}
+	if _, _, err := s.Open(h); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("open after quarantine: got %v, want ErrNotFound", err)
+	}
+	if st := s.Stats(); st.Corruptions != 1 {
+		t.Fatalf("Corruptions = %d, want 1", st.Corruptions)
+	}
+}
+
+// TestConcurrentWritersDedup hammers one content from many goroutines: the
+// store must end up with exactly one resident blob, every writer must get
+// the same address, and the size accounting must not double-count.
+func TestConcurrentWritersDedup(t *testing.T) {
+	s := openTest(t, 0)
+	payload := bytes.Repeat([]byte{0xAB, 0xCD}, 1<<15)
+	want := HashBytes(payload)
+
+	const writers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, _, err := s.Put(bytes.NewReader(payload))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if h != want {
+				errs <- fmt.Errorf("hash mismatch: %s", h)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.Blobs != 1 {
+		t.Fatalf("Blobs = %d, want 1", st.Blobs)
+	}
+	if st.Bytes != int64(len(payload)) {
+		t.Fatalf("Bytes = %d, want %d (no double counting)", st.Bytes, len(payload))
+	}
+	if st.Dedups != writers-1 {
+		t.Fatalf("Dedups = %d, want %d", st.Dedups, writers-1)
+	}
+	if got, err := s.ReadAll(want); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("blob unreadable after concurrent writes: %v", err)
+	}
+}
+
+// TestQuotaEvictionOrdering fills the store past its quota and checks the
+// LRU contract: the least recently *used* blobs go first, a Get refreshes
+// recency, and pinned blobs survive even when they are the oldest.
+func TestQuotaEvictionOrdering(t *testing.T) {
+	blob := func(i int) []byte {
+		return append(bytes.Repeat([]byte{byte(i)}, 1024), byte(i))
+	}
+	// Quota fits exactly 4 of the 1025-byte blobs.
+	s := openTest(t, 4*1025)
+
+	var hs []Hash
+	for i := 0; i < 4; i++ {
+		hs = append(hs, mustPut(t, s, blob(i)))
+	}
+	// Touch blob 0 so blob 1 is now the LRU.
+	if _, err := s.ReadAll(hs[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Pin blob 2 so it cannot be evicted regardless of age.
+	if err := s.Pin(hs[2]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two more blobs force two evictions: blob 1 (LRU) then blob 3 —
+	// blob 0 was refreshed and blob 2 is pinned.
+	h4 := mustPut(t, s, blob(4))
+	h5 := mustPut(t, s, blob(5))
+
+	wantGone := []Hash{hs[1], hs[3]}
+	for _, h := range wantGone {
+		if s.Has(h) {
+			t.Fatalf("blob %s should have been evicted", h)
+		}
+	}
+	for _, h := range []Hash{hs[0], hs[2], h4, h5} {
+		if !s.Has(h) {
+			t.Fatalf("blob %s should have survived", h)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 2 {
+		t.Fatalf("Evictions = %d, want 2", st.Evictions)
+	}
+	if st.Bytes > 4*1025 {
+		t.Fatalf("store over quota after eviction: %d bytes", st.Bytes)
+	}
+
+	// Unpin and shrink further: blob 2 becomes evictable again.
+	s.Unpin(hs[2])
+	mustPut(t, s, blob(6))
+	if s.Has(hs[2]) && s.Stats().Bytes > 4*1025 {
+		t.Fatal("unpinned blob not considered for eviction")
+	}
+}
+
+// TestRestartScan reopens a store directory and checks blobs and jobs
+// survive, including approximate LRU order by mtime.
+func TestRestartScan(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("survives restart")
+	h := mustPut(t, s, payload)
+	rec := &JobRecord{ID: NewJobID(), Class: "batch", State: StateQueued,
+		FormulaHash: h, ProofHash: h}
+	if err := s.PutJob(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s2.ReadAll(h); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("blob lost across restart: %v", err)
+	}
+	jobs, err := s2.ListJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != rec.ID || jobs[0].State != StateQueued {
+		t.Fatalf("job records lost across restart: %+v", jobs)
+	}
+	if st := s2.Stats(); st.Blobs != 1 || st.Bytes != int64(len(payload)) {
+		t.Fatalf("restart scan accounting wrong: %+v", st)
+	}
+}
+
+// TestSchemaGenerationIsolated writes a blob under the current layout,
+// then fakes an older generation directory: the store must not see bytes
+// from another schema generation.
+func TestSchemaGenerationIsolated(t *testing.T) {
+	dir := t.TempDir()
+	// Fake a v0 layout with a well-formed blob file.
+	old := []byte("old layout bytes")
+	oldDir := dir + "/v0/blobs/" + HashBytes(old).String()[:2]
+	if err := os.MkdirAll(oldDir, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(oldDir+"/"+HashBytes(old).String(), old, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(HashBytes(old)) {
+		t.Fatal("blob from an older schema generation is visible")
+	}
+	if _, err := s.ReadAll(HashBytes(old)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("old-layout read: got %v, want ErrNotFound", err)
+	}
+}
+
+func TestJobRecordLifecycle(t *testing.T) {
+	s := openTest(t, 0)
+	id := NewJobID()
+	rec := &JobRecord{ID: id, Class: "interactive", State: StateQueued}
+	if err := s.PutJob(rec); err != nil {
+		t.Fatal(err)
+	}
+	rec.State = StateDone
+	rec.Response = []byte(`{"verdict":"valid"}`)
+	if err := s.PutJob(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetJob(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateDone || string(got.Response) != `{"verdict":"valid"}` {
+		t.Fatalf("job record did not persist transition: %+v", got)
+	}
+	if !got.Terminal() {
+		t.Fatal("done job not terminal")
+	}
+	if _, err := s.GetJob("../../etc/passwd"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("traversal id: got %v, want ErrNotFound", err)
+	}
+	if err := s.DeleteJob(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetJob(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted job still readable: %v", err)
+	}
+}
