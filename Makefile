@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-table3 bench-bdd bench-kernel bench-cluster bench-all experiments examples fuzz zfuzz zfuzz-soak cluster-smoke clean
+.PHONY: all build test vet lint race bench bench-table3 bench-bdd bench-kernel bench-cluster bench-all experiments examples fuzz zfuzz zfuzz-soak cluster-smoke certify-smoke conformance-regen clean
 
 all: build vet test
 
@@ -87,6 +87,40 @@ bench-cluster:
 # detector. CI runs this as its own job.
 cluster-smoke:
 	$(GO) test -race -v -run 'TestClusterChaosSoak|TestClusterSmokeDrain|TestCorruptBlobNeverDispatched' ./internal/cluster/
+
+# The suite's UNSAT instances zsat must solve AND dually certify end to end
+# (exit 20 = certified; anything else fails the smoke). The conformance
+# fixtures are UNSAT by construction; the corpus entries are the pinned
+# golden-verdict instances that solve UNSAT.
+CERTIFY_UNSAT = \
+	testdata/conformance/php4.cnf testdata/conformance/rat.cnf testdata/conformance/unit.cnf \
+	testdata/corpus/php4.cnf testdata/corpus/tseitin10.cnf testdata/corpus/unsat-units.cnf \
+	testdata/corpus/bmc-counter4x8.cnf testdata/corpus/cec-adder6.cnf testdata/corpus/sched10x3.cnf
+
+# Certification battery (docs/CERTIFY.md, docs/TESTING.md): the certify
+# unit/tamper/conformance/independence tests, the server and cluster
+# dual-policy tests, and the zbulk batch tool, all under the race detector;
+# then zsat -certify over every suite UNSAT instance (a binary is built
+# because `go run` collapses exit 20 to 1) and zbulk over the conformance
+# fixtures. CI runs this as its own job.
+certify-smoke:
+	$(GO) test -race -v -run 'TestBundle|TestGoldenBundle|TestCertify|TestConformance|TestPipelineIndependence|TestDualCertifyEndToEnd|TestDualPipelineSubRequests|TestDualBadRequests|TestClusterDual|TestBulk' \
+		./internal/certify/ ./internal/server/ ./internal/cluster/ ./cmd/zbulk/
+	@set -e; bin=$$(mktemp -d); trap 'rm -rf "$$bin"' EXIT; \
+	$(GO) build -o $$bin/zsat ./cmd/zsat; \
+	for f in $(CERTIFY_UNSAT); do \
+		st=0; $$bin/zsat -certify $$f >/dev/null || st=$$?; \
+		if [ $$st -ne 20 ]; then echo "certify-smoke: zsat -certify $$f exited $$st (want 20)"; exit 1; fi; \
+		echo "certify-smoke: $$f CERTIFIED_UNSAT"; \
+	done
+	$(GO) run ./cmd/zbulk -dir testdata/conformance
+
+# Regenerate the external-tool conformance fixtures from real drat-trim /
+# lrat-trim runs when the binaries are on PATH; skips with a note otherwise
+# (CI never needs them — the fixtures are committed bytes). See
+# testdata/conformance/README.md.
+conformance-regen:
+	sh scripts/conformance_regen.sh
 
 # Every benchmark in the repository, one sample, no recording.
 bench-all:

@@ -30,6 +30,7 @@ import (
 	"satcheck/internal/gen"
 	"satcheck/internal/incremental"
 	"satcheck/internal/interp"
+	"satcheck/internal/kernelcheck"
 	"satcheck/internal/proofstat"
 	"satcheck/internal/solver"
 	"satcheck/internal/trace"
@@ -179,7 +180,7 @@ func BenchmarkTable2Kernel(b *testing.B) {
 // BenchmarkTable2KernelLRAT measures the trusted kernel's steady-state check:
 // the trace is bridged to LRAT and parsed once outside the timer, then each
 // iteration verifies the hints in the flat-array kernel
-// (drat.CheckLRATProof). This is the checker-vs-checker comparison with
+// (kernelcheck.CheckLRATProof). This is the checker-vs-checker comparison with
 // BenchmarkTable2Hybrid — both consume a prepared proof artifact — and the
 // row recorded in BENCH_kernel.json. ReportAllocs pins the allocation
 // behavior of the kernel path (a handful of allocs per run for the returned
@@ -202,7 +203,7 @@ func BenchmarkTable2KernelLRAT(b *testing.B) {
 			b.ResetTimer()
 			var res *satcheck.CheckResult
 			for i := 0; i < b.N; i++ {
-				res, err = drat.CheckLRATProof(ins.F, proof, satcheck.CheckOptions{})
+				res, err = kernelcheck.CheckLRATProof(ins.F, proof, satcheck.CheckOptions{})
 				if err != nil {
 					b.Fatal(err)
 				}

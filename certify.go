@@ -1,0 +1,63 @@
+package satcheck
+
+import (
+	"context"
+	"time"
+
+	"satcheck/internal/certify"
+)
+
+// Fail-closed dual-checker certification (docs/CERTIFY.md): an UNSAT
+// answer is certified only when two independent pipelines — the trusted
+// kernel over a native trace or LRAT proof, and the watched-literal
+// backward DRAT checker — both accept proofs of the same instance. The
+// product is a signed verdict bundle; anything short of a double accept is
+// CERTIFY_FAIL with a structured reason, never a bare UNSAT.
+type (
+	// CertifyRequest carries the raw instance and proof bytes of one
+	// certification job.
+	CertifyRequest = certify.Request
+	// CertifyBundle is the signed verdict.
+	CertifyBundle = certify.Bundle
+	// CertifyConfig tunes signing, timeout, and memory bounds.
+	CertifyConfig = certify.Config
+	// Certifier runs the dual pipeline; safe for concurrent use.
+	Certifier = certify.Certifier
+	// CertifySigner signs bundles (HMAC-SHA256 or ed25519).
+	CertifySigner = certify.Signer
+)
+
+// Certification outcome constants.
+const (
+	CertifiedUnsat = certify.OutcomeCertified
+	CertifyFail    = certify.OutcomeFail
+)
+
+// NewCertifier builds a Certifier; a nil Signer in cfg generates an
+// ephemeral ed25519 keypair (its public key travels in every bundle).
+func NewCertifier(cfg CertifyConfig) (*Certifier, error) { return certify.New(cfg) }
+
+// NewCertifyHMACSigner signs bundles under a shared secret.
+func NewCertifyHMACSigner(key []byte) CertifySigner { return certify.NewHMACSigner(key) }
+
+// NewCertifyEd25519Signer derives a deterministic ed25519 signer from a
+// 32-byte seed.
+func NewCertifyEd25519Signer(seed []byte) (CertifySigner, error) {
+	return certify.NewEd25519SignerFromSeed(seed)
+}
+
+// Certify runs the dual pipeline with default configuration: ephemeral
+// ed25519 signing, timeout and memory bounds from the arguments (0 =
+// unbounded). It never fails open — every problem is a signed
+// CERTIFY_FAIL bundle; the returned error covers only signer setup.
+func Certify(ctx context.Context, req CertifyRequest, timeout time.Duration, memLimitWords int64) (*CertifyBundle, error) {
+	c, err := certify.New(certify.Config{Timeout: timeout, MemLimitWords: memLimitWords})
+	if err != nil {
+		return nil, err
+	}
+	return c.Certify(ctx, req), nil
+}
+
+// ParseCertifyBundle decodes a serialized bundle, rejecting unknown
+// schemas. Verify signatures with (*CertifyBundle).Verify.
+func ParseCertifyBundle(data []byte) (*CertifyBundle, error) { return certify.ParseBundle(data) }

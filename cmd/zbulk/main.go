@@ -1,0 +1,253 @@
+// Command zbulk certifies a directory of DIMACS+proof pairs — the
+// SAT-competition layout of one formula.cnf with sibling proof files — under
+// the fail-closed dual-checker policy (docs/CERTIFY.md), and emits one JSON
+// report covering the whole batch.
+//
+// Usage:
+//
+//	zbulk [-dir DIR] [-out report.json] [-key HEXKEY] [-timeout D]
+//	      [-mem-limit-mb N] [-v]
+//
+// For every NAME.cnf under -dir, the proof siblings decide the pipeline
+// inputs:
+//
+//	NAME.trace           native resolution trace   → kernel pipeline
+//	NAME.lrat            LRAT proof                → kernel pipeline
+//	NAME.drat, NAME.drup clausal proof             → rup pipeline
+//	(each also accepted with a .gz suffix; encodings are sniffed)
+//
+// A pair with only a clausal proof — the common competition layout — is
+// still dually certified: the DRAT proof is forward-checked and bridged to
+// a verified LRAT derivation (kernelcheck.DRATToLRAT) which feeds the
+// trusted kernel, while the original DRAT bytes feed the independent
+// watched-literal backward checker. The bridge is recorded in the report as
+// kernel_input "derived-lrat(...)" so an auditor can see the provenance.
+//
+// Instances with no proof sibling at all are reported as skipped — a batch
+// directory may legitimately mix SAT instances (no proof) with UNSAT ones.
+// Everything else is certified fail-closed: any disagreement, rejection, or
+// error is a signed CERTIFY_FAIL bundle in the report, never a crash.
+//
+// Exit status: 0 when every certification attempt produced CERTIFIED_UNSAT,
+// 2 when any attempt failed certification, 1 on usage or I/O errors.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"satcheck"
+)
+
+// instanceReport is one DIMACS+proof pair's row in the batch report.
+type instanceReport struct {
+	Name        string                  `json:"name"`
+	Formula     string                  `json:"formula"`
+	KernelInput string                  `json:"kernel_input,omitempty"`
+	DRAT        string                  `json:"drat,omitempty"`
+	Outcome     string                  `json:"outcome"` // CERTIFIED_UNSAT | CERTIFY_FAIL | SKIPPED
+	Reason      string                  `json:"reason,omitempty"`
+	ElapsedMS   int64                   `json:"elapsed_ms"`
+	Bundle      *satcheck.CertifyBundle `json:"bundle,omitempty"`
+}
+
+// batchReport is the full zbulk output.
+type batchReport struct {
+	Dir       string           `json:"dir"`
+	Total     int              `json:"total"`
+	Certified int              `json:"certified"`
+	Failed    int              `json:"failed"`
+	Skipped   int              `json:"skipped"`
+	Instances []instanceReport `json:"instances"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("zbulk", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", ".", "directory holding NAME.cnf files with proof siblings")
+	out := fs.String("out", "", "write the JSON report here instead of stdout")
+	keyHex := fs.String("key", "", "hex HMAC-SHA256 key for bundle signing (default: ephemeral ed25519)")
+	timeout := fs.Duration("timeout", 0, "per-instance certification timeout (0 = none)")
+	memLimitMB := fs.Int64("mem-limit-mb", 0, "per-pipeline checker memory bound in MB (0 = unlimited)")
+	verbose := fs.Bool("v", false, "print one progress line per instance to stderr")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: zbulk [flags]  (instances come from -dir, not arguments)")
+		fs.PrintDefaults()
+		return 1
+	}
+
+	var signer satcheck.CertifySigner
+	if *keyHex != "" {
+		key, err := hex.DecodeString(*keyHex)
+		if err != nil || len(key) == 0 {
+			fmt.Fprintln(stderr, "zbulk: -key must be non-empty hex")
+			return 1
+		}
+		signer = satcheck.NewCertifyHMACSigner(key)
+	}
+	certifier, err := satcheck.NewCertifier(satcheck.CertifyConfig{
+		Signer:        signer,
+		Timeout:       *timeout,
+		MemLimitWords: *memLimitMB << 20 / 4,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "zbulk:", err)
+		return 1
+	}
+
+	names, err := filepath.Glob(filepath.Join(*dir, "*.cnf"))
+	if err != nil {
+		fmt.Fprintln(stderr, "zbulk:", err)
+		return 1
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintf(stderr, "zbulk: no *.cnf files under %s\n", *dir)
+		return 1
+	}
+
+	report := batchReport{Dir: *dir}
+	for _, cnfPath := range names {
+		ir := certifyOne(certifier, cnfPath)
+		report.Total++
+		switch ir.Outcome {
+		case satcheck.CertifiedUnsat:
+			report.Certified++
+		case "SKIPPED":
+			report.Skipped++
+		default:
+			report.Failed++
+		}
+		if *verbose {
+			fmt.Fprintf(stderr, "zbulk: %-30s %s %s\n", ir.Name, ir.Outcome, ir.Reason)
+		}
+		report.Instances = append(report.Instances, ir)
+	}
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "zbulk:", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(stderr, "zbulk:", err)
+			return 1
+		}
+	} else {
+		stdout.Write(data)
+	}
+	fmt.Fprintf(stderr, "zbulk: %d instances: %d certified, %d failed, %d skipped\n",
+		report.Total, report.Certified, report.Failed, report.Skipped)
+	if report.Failed > 0 {
+		return 2
+	}
+	return 0
+}
+
+// sibling returns the first existing NAME.ext (or NAME.ext.gz) next to the
+// formula, with the name it found.
+func sibling(base string, exts ...string) (string, bool) {
+	for _, ext := range exts {
+		for _, candidate := range []string{base + ext, base + ext + ".gz"} {
+			if st, err := os.Stat(candidate); err == nil && !st.IsDir() {
+				return candidate, true
+			}
+		}
+	}
+	return "", false
+}
+
+// certifyOne assembles the pipeline inputs for one formula and runs the
+// dual certifier. Every problem after "proofs exist" is a CERTIFY_FAIL
+// outcome, not an error — fail-closed applies to the batch runner too.
+func certifyOne(c *satcheck.Certifier, cnfPath string) instanceReport {
+	base := strings.TrimSuffix(cnfPath, ".cnf")
+	ir := instanceReport{Name: filepath.Base(base), Formula: filepath.Base(cnfPath)}
+	start := time.Now()
+	defer func() { ir.ElapsedMS = time.Since(start).Milliseconds() }()
+
+	formula, err := os.ReadFile(cnfPath)
+	if err != nil {
+		ir.Outcome = satcheck.CertifyFail
+		ir.Reason = err.Error()
+		return ir
+	}
+	req := satcheck.CertifyRequest{FormulaBytes: formula}
+
+	tracePath, haveTrace := sibling(base, ".trace")
+	lratPath, haveLRAT := sibling(base, ".lrat")
+	dratPath, haveDRAT := sibling(base, ".drat", ".drup")
+
+	if !haveTrace && !haveLRAT && !haveDRAT {
+		ir.Outcome = "SKIPPED"
+		ir.Reason = "no proof sibling (.trace/.lrat/.drat/.drup)"
+		return ir
+	}
+
+	if haveDRAT {
+		ir.DRAT = filepath.Base(dratPath)
+		if req.DRATBytes, err = os.ReadFile(dratPath); err != nil {
+			ir.Outcome = satcheck.CertifyFail
+			ir.Reason = err.Error()
+			return ir
+		}
+	}
+	switch {
+	case haveTrace:
+		ir.KernelInput = filepath.Base(tracePath)
+		req.TraceBytes, err = os.ReadFile(tracePath)
+	case haveLRAT:
+		ir.KernelInput = filepath.Base(lratPath)
+		req.LRATBytes, err = os.ReadFile(lratPath)
+	case haveDRAT:
+		// Competition layout: clausal proof only. Bridge it to a verified
+		// LRAT derivation so the trusted kernel has something to check; the
+		// rup pipeline still consumes the original DRAT bytes.
+		ir.KernelInput = "derived-lrat(" + filepath.Base(dratPath) + ")"
+		req.LRATBytes, err = deriveLRAT(formula, req.DRATBytes)
+	}
+	if err != nil {
+		ir.Outcome = satcheck.CertifyFail
+		ir.Reason = "kernel input: " + err.Error()
+		return ir
+	}
+
+	bundle := c.Certify(context.Background(), req)
+	ir.Outcome = bundle.Outcome
+	ir.Reason = bundle.Reason
+	ir.Bundle = bundle
+	return ir
+}
+
+// deriveLRAT forward-checks a DRAT proof and emits the accepted derivation
+// as kernel-checkable LRAT.
+func deriveLRAT(formula, dratBytes []byte) ([]byte, error) {
+	f, err := satcheck.ParseDimacs(bytes.NewReader(formula))
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if _, err := satcheck.DRATToLRAT(f, satcheck.ProofBytesSource(dratBytes), &buf, satcheck.CheckOptions{}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

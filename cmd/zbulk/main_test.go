@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"satcheck"
+	"satcheck/internal/cnf"
+	"satcheck/internal/gen"
+	"satcheck/internal/trace"
+)
+
+// writeInstance solves one generated UNSAT instance and writes NAME.cnf plus
+// the requested proof siblings into dir.
+func writeInstance(t *testing.T, dir, name string, ins gen.Instance, withTrace, withDRAT bool) {
+	t.Helper()
+	var fb bytes.Buffer
+	if err := cnf.WriteDimacs(&fb, ins.F); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".cnf"), fb.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if withTrace {
+		run, err := satcheck.SolveWithProof(ins.F, satcheck.SolverOptions{})
+		if err != nil || run.Status != satcheck.StatusUnsat {
+			t.Fatalf("solve: %v status %v", err, run.Status)
+		}
+		var tb bytes.Buffer
+		if err := run.Trace.Replay(trace.NewASCIIWriter(&tb)); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+".trace"), tb.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if withDRAT {
+		var pb bytes.Buffer
+		st, _, err := satcheck.SolveWithDRUP(ins.F, satcheck.SolverOptions{}, satcheck.NewDRATWriter(&pb))
+		if err != nil || st != satcheck.StatusUnsat {
+			t.Fatalf("solve drup: %v status %v", err, st)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+".drat"), pb.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBulkCertifiesDirectory runs the batch runner over a mixed directory:
+// a trace+DRAT pair, a DRAT-only pair (exercising the derived-LRAT bridge),
+// and a proofless instance that must be skipped, not failed.
+func TestBulkCertifiesDirectory(t *testing.T) {
+	dir := t.TempDir()
+	writeInstance(t, dir, "full", gen.Pigeonhole(4), true, true)
+	writeInstance(t, dir, "clausal", gen.Pigeonhole(3), false, true)
+	writeInstance(t, dir, "noproof", gen.Pigeonhole(3), false, false)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dir", dir, "-key", "00112233"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var rep batchReport
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, stdout.String())
+	}
+	if rep.Total != 3 || rep.Certified != 2 || rep.Failed != 0 || rep.Skipped != 1 {
+		t.Fatalf("summary %+v", rep)
+	}
+	byName := map[string]instanceReport{}
+	for _, ir := range rep.Instances {
+		byName[ir.Name] = ir
+	}
+	if ir := byName["full"]; ir.Outcome != satcheck.CertifiedUnsat || ir.KernelInput != "full.trace" {
+		t.Fatalf("full: %+v", ir)
+	}
+	if ir := byName["clausal"]; ir.Outcome != satcheck.CertifiedUnsat ||
+		!strings.HasPrefix(ir.KernelInput, "derived-lrat(") {
+		t.Fatalf("clausal: %+v", ir)
+	}
+	if ir := byName["noproof"]; ir.Outcome != "SKIPPED" || ir.Bundle != nil {
+		t.Fatalf("noproof: %+v", ir)
+	}
+	// Every certified bundle must verify under the shared HMAC key.
+	key := []byte{0x00, 0x11, 0x22, 0x33}
+	for _, name := range []string{"full", "clausal"} {
+		b := byName[name].Bundle
+		if b == nil {
+			t.Fatalf("%s: no bundle in report", name)
+		}
+		if err := b.Verify(key); err != nil {
+			t.Fatalf("%s: bundle does not verify: %v", name, err)
+		}
+	}
+}
+
+// TestBulkFailClosed corrupts one clausal proof: the batch must exit 2 and
+// the report row must be a CERTIFY_FAIL, while the intact pair still
+// certifies — one bad instance does not poison the batch.
+func TestBulkFailClosed(t *testing.T) {
+	dir := t.TempDir()
+	writeInstance(t, dir, "good", gen.Pigeonhole(4), true, true)
+	writeInstance(t, dir, "bad", gen.Pigeonhole(4), true, true)
+	path := filepath.Join(dir, "bad.drat")
+	proof, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof = bytes.Replace(proof, []byte("\n"), []byte(" 99999\n"), 1)
+	if err := os.WriteFile(path, proof, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dir", dir}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; stderr: %s", code, stderr.String())
+	}
+	var rep batchReport
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Certified != 1 || rep.Failed != 1 {
+		t.Fatalf("summary %+v", rep)
+	}
+	for _, ir := range rep.Instances {
+		switch ir.Name {
+		case "good":
+			if ir.Outcome != satcheck.CertifiedUnsat {
+				t.Fatalf("good: %+v", ir)
+			}
+		case "bad":
+			if ir.Outcome != satcheck.CertifyFail || ir.Reason == "" {
+				t.Fatalf("bad: %+v", ir)
+			}
+		}
+	}
+}
+
+// TestBulkUsageErrors pins the exit-1 surface.
+func TestBulkUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-dir", t.TempDir()}, &stdout, &stderr); code != 1 {
+		t.Fatalf("empty dir: exit %d, want 1", code)
+	}
+	if code := run([]string{"-key", "zz"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("bad key: exit %d, want 1", code)
+	}
+	if code := run([]string{"positional"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("positional arg: exit %d, want 1", code)
+	}
+}

@@ -17,16 +17,27 @@
 // job API instead of waiting synchronously: the job is queued cluster-side
 // and zcheck polls GET /v1/jobs/{id} every -poll until the job is terminal
 // (with -poll 0 it just prints the job ID and exits). -class, -tenant, and
-// -webhook pass the cluster scheduling knobs through.
+// -webhook pass the cluster scheduling knobs through. Poll requests apply
+// the same -retries budget: transport errors and 429/503 answers back off
+// and retry instead of abandoning a job the cluster is still running.
 //
-// Exit status: 0 when the proof is valid, 2 when the daemon rejected it
-// (the solver or its trace generation is buggy), 3 when the daemon applied
-// backpressure (HTTP 429/503 — retry later) even after -retries attempts,
-// 1 on usage, I/O, or transport errors.
+//	zcheck -certify [-format native|lrat] [flags] formula.cnf kernelproof proof.drat
+//
+// -certify submits three artifacts to the daemon's fail-closed dual-checker
+// policy (policy=dual, docs/CERTIFY.md): the formula, a kernel-pipeline
+// input (a native resolution trace, or an LRAT proof with -format lrat),
+// and a clausal DRAT proof. The answer is a signed verdict bundle, printed
+// as JSON; exit 0 only for CERTIFIED_UNSAT, 2 for CERTIFY_FAIL.
+//
+// Exit status: 0 when the proof is valid (certified, for -certify), 2 when
+// the daemon rejected it (the solver or its trace generation is buggy), 3
+// when the daemon applied backpressure (HTTP 429/503 — retry later) even
+// after -retries attempts, 1 on usage, I/O, or transport errors.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -66,10 +77,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	class := fs.String("class", "", "async: scheduling class, interactive or batch (cluster default: batch)")
 	tenant := fs.String("tenant", "", "tenant name for the cluster's per-tenant quotas (X-Tenant header)")
 	webhook := fs.String("webhook", "", "async: URL the cluster POSTs the terminal job status to")
+	certify := fs.Bool("certify", false, "submit to the fail-closed dual-checker policy (3 file args: formula, trace-or-lrat, drat); exit 0 only for CERTIFIED_UNSAT")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
-	if fs.NArg() != 2 {
+	if *certify {
+		if fs.NArg() != 3 {
+			fmt.Fprintln(stderr, "usage: zcheck -certify [flags] formula.cnf kernelproof proof.drat")
+			fs.PrintDefaults()
+			return 1
+		}
+	} else if fs.NArg() != 2 {
 		fmt.Fprintln(stderr, "usage: zcheck [flags] formula.cnf proof.trace")
 		fs.PrintDefaults()
 		return 1
@@ -112,15 +130,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 		retries:   *retries,
 		retryBase: *retryBase,
 		timeout:   *timeout,
-		formula:   fs.Arg(0),
-		trace:     fs.Arg(1),
-		stderr:    stderr,
+		parts: []filePart{
+			{"formula", fs.Arg(0)},
+			{"trace", fs.Arg(1)},
+		},
+		stderr: stderr,
 	}
 
+	if *certify {
+		if *async {
+			fmt.Fprintln(stderr, "zcheck: -certify is synchronous; drop -async")
+			return 1
+		}
+		kernelField := "trace"
+		switch format {
+		case satcheck.FormatNative:
+		case satcheck.FormatLRAT:
+			kernelField = "lrat"
+		default:
+			fmt.Fprintf(stderr, "zcheck: -certify takes -format native (a resolution trace) or lrat for the kernel-pipeline input, not %s\n", format)
+			return 1
+		}
+		cl.parts = []filePart{
+			{"formula", fs.Arg(0)},
+			{kernelField, fs.Arg(1)},
+			{"drat", fs.Arg(2)},
+		}
+		return cl.runCertify(stdout, opts)
+	}
 	if *async {
 		return cl.runAsync(stdout, opts, *class, *webhook, *pollEvery, *core)
 	}
 	return cl.runSync(stdout, opts, *core)
+}
+
+// filePart is one multipart upload: a form field name and the file behind it.
+type filePart struct {
+	field, path string
 }
 
 // client carries one invocation's transport state.
@@ -130,8 +176,7 @@ type client struct {
 	retries   int
 	retryBase time.Duration
 	timeout   time.Duration
-	formula   string
-	trace     string
+	parts     []filePart
 	stderr    io.Writer
 }
 
@@ -166,6 +211,57 @@ func (c *client) runSync(stdout io.Writer, opts server.JobOptions, wantCore bool
 		return 1
 	}
 	return printVerdict(stdout, &cr, wantCore)
+}
+
+// runCertify submits the three artifacts to the daemon's fail-closed dual
+// policy and prints the signed verdict bundle. Only CERTIFIED_UNSAT exits 0;
+// a CERTIFY_FAIL bundle is the solver's problem (exit 2, like a rejection).
+func (c *client) runCertify(stdout io.Writer, opts server.JobOptions) int {
+	q := opts.Query()
+	q.Set("policy", "dual")
+	resp, err := c.postWithRetry(c.addr + "/v1/check?" + q.Encode())
+	if err != nil {
+		fmt.Fprintln(c.stderr, "zcheck:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		var er server.ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&er)
+		fmt.Fprintf(c.stderr, "zcheck: server busy (%d): %s; retry after %ss\n",
+			resp.StatusCode, er.Error, resp.Header.Get("Retry-After"))
+		return 3
+	default:
+		var er server.ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&er)
+		fmt.Fprintf(c.stderr, "zcheck: HTTP %d: %s\n", resp.StatusCode, er.Error)
+		return 1
+	}
+
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintln(c.stderr, "zcheck: reading bundle:", err)
+		return 1
+	}
+	bundle, err := satcheck.ParseCertifyBundle(body)
+	if err != nil {
+		fmt.Fprintln(c.stderr, "zcheck: decoding bundle:", err)
+		return 1
+	}
+	pretty, err := json.MarshalIndent(bundle, "", "  ")
+	if err != nil {
+		fmt.Fprintln(c.stderr, "zcheck:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s\n", pretty)
+	if !bundle.Certified() {
+		fmt.Fprintf(c.stderr, "zcheck: CERTIFY_FAIL: %s\n", bundle.Reason)
+		return 2
+	}
+	return 0
 }
 
 // runAsync submits through POST /v1/jobs and polls the job to a terminal
@@ -206,12 +302,32 @@ func (c *client) runAsync(stdout io.Writer, opts server.JobOptions, class, webho
 	fmt.Fprintf(c.stderr, "zcheck: job %s queued, polling every %v\n", sub.ID, pollEvery)
 
 	httpc := &http.Client{Timeout: 30 * time.Second}
+	attempt := 0
 	for {
 		js, err := c.pollOnce(httpc, sub.ID)
 		if err != nil {
+			var te *transientError
+			if errors.As(err, &te) && attempt < c.retries {
+				// The same jittered backoff as submission: a transient poll
+				// failure must not abandon a job the cluster is still
+				// running. Retry-After wins when the server asks for more.
+				delay := backoffDelay(c.retryBase, attempt)
+				if te.hint > delay {
+					delay = te.hint
+				}
+				attempt++
+				fmt.Fprintf(c.stderr, "zcheck: poll failed (%v); retrying in %v (attempt %d of %d)\n",
+					te, delay.Round(time.Millisecond), attempt, c.retries)
+				time.Sleep(delay)
+				continue
+			}
 			fmt.Fprintln(c.stderr, "zcheck:", err)
+			if errors.As(err, &te) && te.backpressure {
+				return 3
+			}
 			return 1
 		}
+		attempt = 0 // a successful poll refills the retry budget
 		switch js.State {
 		case store.StateDone:
 			var cr server.CheckResponse
@@ -228,20 +344,39 @@ func (c *client) runAsync(stdout io.Writer, opts server.JobOptions, class, webho
 	}
 }
 
+// transientError marks a poll failure worth retrying: a transport error, or
+// a 429/503 backpressure answer (with the server's Retry-After hint).
+type transientError struct {
+	err          error
+	hint         time.Duration
+	backpressure bool
+}
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
 func (c *client) pollOnce(httpc *http.Client, id string) (*cluster.JobStatusResponse, error) {
 	resp, err := httpc.Get(c.addr + "/v1/jobs/" + url.PathEscape(id))
 	if err != nil {
-		return nil, err
+		return nil, &transientError{err: err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		var er server.ErrorResponse
 		json.NewDecoder(resp.Body).Decode(&er)
-		return nil, fmt.Errorf("polling job %s: HTTP %d: %s", id, resp.StatusCode, er.Error)
+		perr := fmt.Errorf("polling job %s: HTTP %d: %s", id, resp.StatusCode, er.Error)
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			var hint time.Duration
+			if sec, herr := time.ParseDuration(resp.Header.Get("Retry-After") + "s"); herr == nil {
+				hint = sec
+			}
+			return nil, &transientError{err: perr, hint: hint, backpressure: true}
+		}
+		return nil, perr
 	}
 	var js cluster.JobStatusResponse
 	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
-		return nil, err
+		return nil, &transientError{err: err}
 	}
 	return &js, nil
 }
@@ -331,14 +466,14 @@ func printVerdict(stdout io.Writer, cr *server.CheckResponse, wantCore bool) int
 	return 0
 }
 
-// postFiles streams the two files as one multipart body over an io.Pipe —
+// postFiles streams the part files as one multipart body over an io.Pipe —
 // the client never holds a proof in memory, mirroring the server's
 // streaming ingest.
 func (c *client) postFiles(url string) (*http.Response, error) {
 	pr, pw := io.Pipe()
 	mw := multipart.NewWriter(pw)
 	go func() {
-		err := writeParts(mw, c.formula, c.trace)
+		err := writeParts(mw, c.parts)
 		if cerr := mw.Close(); err == nil {
 			err = cerr
 		}
@@ -368,11 +503,8 @@ func transportTimeout(jobTimeout time.Duration) time.Duration {
 	return jobTimeout + 30*time.Second
 }
 
-func writeParts(mw *multipart.Writer, formulaPath, tracePath string) error {
-	for _, p := range []struct{ field, path string }{
-		{"formula", formulaPath},
-		{"trace", tracePath},
-	} {
+func writeParts(mw *multipart.Writer, parts []filePart) error {
+	for _, p := range parts {
 		f, err := os.Open(p.path)
 		if err != nil {
 			return err

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"satcheck/internal/certify"
 	"satcheck/internal/cluster"
 	"satcheck/internal/server"
 	"satcheck/internal/store"
@@ -231,5 +232,171 @@ func TestBackoffDelayJitterBounds(t *testing.T) {
 				t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, got, d/2, d/2+d)
 			}
 		}
+	}
+}
+
+// TestAsyncPollRetriesTransient answers the status poll with two 503s (the
+// cluster router draining) before the job turns up done: with -retries 2 the
+// client must ride out the blip instead of abandoning a job the cluster is
+// still running.
+func TestAsyncPollRetriesTransient(t *testing.T) {
+	f, tr := payloadFiles(t)
+	ok := validCheckJSON(t)
+	var polls atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(&cluster.JobSubmitResponse{ID: "flaky1", State: store.StateQueued})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		n := polls.Add(1)
+		if n <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(&server.ErrorResponse{Error: "router draining"})
+			return
+		}
+		json.NewEncoder(w).Encode(&cluster.JobStatusResponse{ID: "flaky1", State: store.StateDone, Check: ok})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-addr", ts.URL, "-async", "-poll", "2ms",
+		"-retries", "2", "-retry-base", "2ms", f, tr}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "PROOF VALID") {
+		t.Fatalf("missing verdict: %s", out.String())
+	}
+	if polls.Load() != 3 {
+		t.Fatalf("server saw %d polls, want 3", polls.Load())
+	}
+	if !strings.Contains(errBuf.String(), "poll failed") {
+		t.Fatalf("no poll-retry notice on stderr: %s", errBuf.String())
+	}
+}
+
+// TestAsyncPollRetriesExhausted keeps the poll endpoint at 429 and expects
+// the backpressure exit code after 1 + retries poll attempts.
+func TestAsyncPollRetriesExhausted(t *testing.T) {
+	f, tr := payloadFiles(t)
+	var polls atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(&cluster.JobSubmitResponse{ID: "stuck1", State: store.StateQueued})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		polls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(&server.ErrorResponse{Error: "quota"})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-addr", ts.URL, "-async", "-poll", "2ms",
+		"-retries", "2", "-retry-base", "2ms", f, tr}, &out, &errBuf)
+	if code != 3 {
+		t.Fatalf("exit %d, want 3 (backpressure); stderr: %s", code, errBuf.String())
+	}
+	if polls.Load() != 3 {
+		t.Fatalf("server saw %d polls, want 3 (1 + 2 retries)", polls.Load())
+	}
+}
+
+// TestAsyncPollNonTransientFailsFast: a 404 on the status poll is not
+// retryable — one attempt, exit 1.
+func TestAsyncPollNonTransientFailsFast(t *testing.T) {
+	f, tr := payloadFiles(t)
+	var polls atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(&cluster.JobSubmitResponse{ID: "gone1", State: store.StateQueued})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		polls.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(&server.ErrorResponse{Error: "unknown job"})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-addr", ts.URL, "-async", "-poll", "2ms",
+		"-retries", "5", "-retry-base", "2ms", f, tr}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errBuf.String())
+	}
+	if polls.Load() != 1 {
+		t.Fatalf("server saw %d polls, want 1 (no retry on 404)", polls.Load())
+	}
+}
+
+// certifyFiles adds a DRAT stand-in next to the formula/trace pair.
+func certifyFiles(t *testing.T) (string, string, string) {
+	t.Helper()
+	f, tr := payloadFiles(t)
+	dr := filepath.Join(filepath.Dir(f), "p.drat")
+	if err := os.WriteFile(dr, []byte("0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return f, tr, dr
+}
+
+// TestCertifyClient drives zcheck -certify against a fake dual-policy
+// endpoint: the request must carry policy=dual and all three parts, and the
+// exit code must track the bundle's outcome.
+func TestCertifyClient(t *testing.T) {
+	f, tr, dr := certifyFiles(t)
+	signer, err := certify.NewEd25519SignerFromSeed(bytes.Repeat([]byte{9}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name     string
+		bundle   *certify.Bundle
+		wantExit int
+	}{
+		{"certified", certify.Assemble(certify.Hashes{Instance: "aa"}, []certify.CheckerVerdict{
+			{Pipeline: certify.PipelineKernel, Verdict: certify.VerdictAccept},
+			{Pipeline: certify.PipelineRUP, Verdict: certify.VerdictAccept},
+		}, signer, time.Unix(1754600000, 0)), 0},
+		{"fail-closed", certify.FailBundle(certify.Hashes{Instance: "aa"},
+			"pipeline disagreement (fail-closed): kernel accepted but rup rejected: bogus",
+			signer, time.Unix(1754600000, 0)), 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if got := r.URL.Query().Get("policy"); got != "dual" {
+					t.Errorf("policy=%q, want dual", got)
+				}
+				if err := r.ParseMultipartForm(1 << 20); err != nil {
+					t.Errorf("bad multipart: %v", err)
+				}
+				for _, field := range []string{"formula", "trace", "drat"} {
+					if r.MultipartForm == nil || len(r.MultipartForm.File[field]) != 1 {
+						t.Errorf("missing part %q", field)
+					}
+				}
+				json.NewEncoder(w).Encode(tc.bundle)
+			}))
+			defer ts.Close()
+
+			var out, errBuf bytes.Buffer
+			code := run([]string{"-addr", ts.URL, "-certify", f, tr, dr}, &out, &errBuf)
+			if code != tc.wantExit {
+				t.Fatalf("exit %d, want %d\nstdout: %s\nstderr: %s", code, tc.wantExit, out.String(), errBuf.String())
+			}
+			if !strings.Contains(out.String(), tc.bundle.Outcome) {
+				t.Fatalf("bundle outcome not printed: %s", out.String())
+			}
+			if tc.wantExit == 2 && !strings.Contains(errBuf.String(), "CERTIFY_FAIL") {
+				t.Fatalf("failure reason not surfaced: %s", errBuf.String())
+			}
+		})
 	}
 }

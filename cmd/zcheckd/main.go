@@ -8,6 +8,7 @@
 //
 //	zcheckd [-addr :8347] [-workers N] [-queue N] [-cache N]
 //	        [-max-body-mb N] [-timeout D] [-max-timeout D] [-temp-dir DIR]
+//	        [-cert-key HEX]
 //
 // Cluster mode (see docs/CLUSTER.md) turns the process into a sharded
 // service: a front router over a content-addressed store that
@@ -15,7 +16,7 @@
 // the async job API:
 //
 //	zcheckd -cluster [-shards N] [-store DIR] [-store-quota-mb N]
-//	        [-tenant-rate R -tenant-burst B] [-addr :8346]
+//	        [-tenant-rate R -tenant-burst B] [-cert-key HEX] [-addr :8346]
 //
 // A standalone zcheckd can also enlist as a worker shard of a running
 // router:
@@ -30,6 +31,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -43,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"satcheck/internal/certify"
 	"satcheck/internal/cluster"
 	"satcheck/internal/server"
 )
@@ -61,6 +64,7 @@ func run() int {
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "upper clamp on client-requested timeout_ms")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long shutdown waits for queued jobs")
 	tempDir := flag.String("temp-dir", "", "directory for trace spools and checker spill files (default system temp)")
+	certKey := flag.String("cert-key", "", "hex HMAC-SHA256 key signing policy=dual bundles (default: ephemeral ed25519)")
 	quiet := flag.Bool("quiet", false, "suppress per-job logs")
 
 	// Cluster mode.
@@ -88,6 +92,16 @@ func run() int {
 		return 1
 	}
 
+	var certSigner certify.Signer
+	if *certKey != "" {
+		key, err := hex.DecodeString(*certKey)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zcheckd: -cert-key is not hex:", err)
+			return 1
+		}
+		certSigner = certify.NewHMACSigner(key)
+	}
+
 	cacheEntries := *cache
 	if cacheEntries == 0 {
 		cacheEntries = -1 // Config: 0 means default, negative disables
@@ -100,6 +114,7 @@ func run() int {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		TempDir:        *tempDir,
+		CertifySigner:  certSigner,
 		Logger:         logger,
 	}
 
@@ -114,6 +129,7 @@ func run() int {
 			maxBody:     *maxBodyMB << 20,
 			drainGrace:  *drainGrace,
 			shardCfg:    shardCfg,
+			certSigner:  certSigner,
 			logger:      logger,
 		})
 	}
@@ -200,6 +216,7 @@ type clusterOpts struct {
 	maxBody     int64
 	drainGrace  time.Duration
 	shardCfg    server.Config
+	certSigner  certify.Signer
 	logger      *slog.Logger
 }
 
@@ -213,6 +230,7 @@ func runCluster(o clusterOpts) int {
 		MaxBodyBytes:    o.maxBody,
 		TenantRate:      o.tenantRate,
 		TenantBurst:     o.tenantBurst,
+		CertifySigner:   o.certSigner,
 		Logger:          o.logger,
 	})
 	if err != nil {

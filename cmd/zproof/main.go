@@ -39,6 +39,7 @@ import (
 	"satcheck/internal/cnf"
 	"satcheck/internal/drat"
 	"satcheck/internal/interp"
+	"satcheck/internal/kernelcheck"
 	"satcheck/internal/proofstat"
 	"satcheck/internal/solver"
 	"satcheck/internal/trace"
@@ -190,13 +191,13 @@ func runCheck(args []string) int {
 		var err error
 		switch *format {
 		case "lrat":
-			_, err = drat.CheckLRAT(f, drat.FileSource(fs.Arg(0)), checker.Options{})
+			_, err = kernelcheck.CheckLRAT(f, drat.FileSource(fs.Arg(0)), checker.Options{})
 		case "er":
 			err = checkER(f, fs.Arg(0))
 		default:
 			// Forward-check the DRAT proof, then verify the recorded hints in
 			// the trusted kernel — the same gate every other format passes.
-			_, err = drat.KernelCheckDRAT(f, drat.FileSource(fs.Arg(0)), checker.Options{})
+			_, err = kernelcheck.KernelCheckDRAT(f, drat.FileSource(fs.Arg(0)), checker.Options{})
 		}
 		if err != nil {
 			var ce *checker.CheckError

@@ -9,6 +9,15 @@
 //	zsat -incremental [-assume "l1 l2 ..."]... [-model] [-stats] formula.cnf
 //	zsat -method bdd [-bdd-order static|force|natural] [-bdd-bucket]
 //	     [-er out.er] [-er-lrat out.lrat] [-model] [-stats] formula.cnf
+//	zsat -certify [-cert-out bundle.json] [-cert-key hex] [-cert-timeout d]
+//	     [-model] [-stats] formula.cnf
+//
+// -certify solves the formula while recording both a native resolution trace
+// and a clausal DRAT proof in memory, then runs the fail-closed dual-checker
+// certification pipeline (docs/CERTIFY.md) over the run's own artifacts. The
+// signed verdict bundle is printed as JSON (or written to -cert-out). Exit is
+// 20 only for CERTIFIED_UNSAT; an UNSAT answer whose certification fails
+// exits 1.
 //
 // -drup additionally records a clausal DRUP proof (checkable by
 // `zverify -format drat`), independent of the native trace: a run may record
@@ -33,14 +42,20 @@
 package main
 
 import (
+	"bytes"
 	"compress/gzip"
+	"context"
+	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"satcheck"
 	"satcheck/internal/bdd"
 	"satcheck/internal/cnf"
 	"satcheck/internal/drat"
@@ -82,6 +97,10 @@ func run() int {
 	bddMaxNodes := flag.Int("bdd-max-nodes", 0, "BDD node budget (0 = default, negative = unlimited); exceeding it answers UNKNOWN")
 	erPath := flag.String("er", "", "write the BDD backend's extended-resolution proof to this file (\".gz\" suffix gzips)")
 	erLratPath := flag.String("er-lrat", "", "write the ER proof's LRAT bridge translation to this file (\".gz\" suffix gzips)")
+	certifyRun := flag.Bool("certify", false, "solve, then dual-check the run's own proofs (trusted kernel + backward DRAT) and print a signed verdict bundle; nonzero exit unless CERTIFIED_UNSAT (or SAT with a verified model)")
+	certOut := flag.String("cert-out", "", "write the certification bundle JSON to this file instead of stdout")
+	certKey := flag.String("cert-key", "", "hex HMAC-SHA256 key for bundle signing (default: ephemeral ed25519)")
+	certTimeout := flag.Duration("cert-timeout", 0, "per-pipeline certification budget (0 = none)")
 	var assumes assumeList
 	flag.Var(&assumes, "assume", "assumption literals for one incremental call, space-separated DIMACS (repeatable; implies -incremental)")
 	flag.Parse()
@@ -112,6 +131,14 @@ func run() int {
 	default:
 		fmt.Fprintf(os.Stderr, "zsat: unknown method %q (want cdcl or bdd)\n", *method)
 		return 1
+	}
+
+	if *certifyRun {
+		if *incr || len(assumes) > 0 || *local || *tracePath != "" || *drupPath != "" {
+			fmt.Fprintln(os.Stderr, "zsat: -certify cannot be combined with -incremental, -local, -trace, or -drup (it records its own artifacts)")
+			return 1
+		}
+		return runCertify(flag.Arg(0), f, *maxConflicts, *certOut, *certKey, *certTimeout, *showModel, *showStats)
 	}
 
 	if *incr || len(assumes) > 0 {
@@ -303,6 +330,100 @@ func runBDD(f *cnf.Formula, orderName string, bucket bool, maxNodes int, erPath,
 		}
 		return 20
 	default:
+		return 1
+	}
+}
+
+// runCertify solves f while recording both an in-memory native trace and an
+// in-memory DRAT proof, then — on UNSAT — runs the fail-closed dual-checker
+// pipeline over the run's own artifacts and prints the signed verdict bundle.
+// The instance hash in the bundle covers the submitted file byte-for-byte
+// (raw), not a re-serialization. Exit: 10 SAT (verified model),
+// 20 CERTIFIED_UNSAT, 1 anything else — an uncertified UNSAT answer is an
+// error by policy, never a bare exit 20.
+func runCertify(path string, f *cnf.Formula, maxConflicts int64, certOut, certKey string, certTimeout time.Duration, showModel, showStats bool) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zsat:", err)
+		return 1
+	}
+	var signer satcheck.CertifySigner
+	if certKey != "" {
+		key, err := hex.DecodeString(certKey)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zsat: -cert-key is not hex:", err)
+			return 1
+		}
+		signer = satcheck.NewCertifyHMACSigner(key)
+	}
+
+	s, err := solver.New(f, solver.Options{MaxConflicts: maxConflicts})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zsat:", err)
+		return 1
+	}
+	var traceBuf, drupBuf bytes.Buffer
+	s.SetTrace(trace.NewASCIIWriter(&traceBuf))
+	s.SetProofSink(drat.NewWriter(&drupBuf))
+
+	status, err := s.Solve()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zsat:", err)
+		return 1
+	}
+	fmt.Printf("s %s\n", status)
+	if showStats {
+		st := s.Stats()
+		fmt.Printf("c decisions=%d propagations=%d conflicts=%d learned=%d deleted=%d restarts=%d\n",
+			st.Decisions, st.Propagations, st.Conflicts, st.Learned, st.Deleted, st.Restarts)
+		fmt.Printf("c trace-bytes=%d drup-bytes=%d\n", traceBuf.Len(), drupBuf.Len())
+	}
+
+	switch status {
+	case solver.StatusSat:
+		m := s.Model()
+		if bad, ok := cnf.VerifyModel(f, m); !ok {
+			fmt.Fprintf(os.Stderr, "zsat: internal: model fails clause %d\n", bad)
+			return 1
+		}
+		fmt.Println("c certify: SAT answer carries a verified model; no bundle emitted")
+		if showModel {
+			printModel(f, m)
+		}
+		return 10
+	case solver.StatusUnsat:
+		c, err := satcheck.NewCertifier(satcheck.CertifyConfig{Signer: signer, Timeout: certTimeout})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zsat:", err)
+			return 1
+		}
+		bundle := c.Certify(context.Background(), satcheck.CertifyRequest{
+			FormulaBytes: raw,
+			TraceBytes:   traceBuf.Bytes(),
+			DRATBytes:    drupBuf.Bytes(),
+		})
+		data, err := json.MarshalIndent(bundle, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zsat:", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if certOut != "" {
+			if err := os.WriteFile(certOut, data, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "zsat:", err)
+				return 1
+			}
+		} else {
+			os.Stdout.Write(data)
+		}
+		if !bundle.Certified() {
+			fmt.Fprintf(os.Stderr, "zsat: CERTIFY_FAIL: %s\n", bundle.Reason)
+			return 1
+		}
+		fmt.Printf("c certify: %s checkers=%d\n", bundle.Outcome, len(bundle.Checkers))
+		return 20
+	default:
+		fmt.Fprintln(os.Stderr, "zsat: certify: solver returned", status, "- nothing to certify")
 		return 1
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"satcheck/internal/checker"
 	"satcheck/internal/cnf"
 	"satcheck/internal/drat"
+	"satcheck/internal/kernelcheck"
 )
 
 // This file is the ER→LRAT bridge: it discharges extension-variable
@@ -94,7 +95,7 @@ func CheckER(f *cnf.Formula, p *Proof, opts checker.Options) (*checker.Result, e
 	for _, ln := range lines {
 		proof.Ints += int64(len(ln.Lits)) + int64(len(ln.Hints)) + 3
 	}
-	return drat.CheckLRATProof(f, proof, opts)
+	return kernelcheck.CheckLRATProof(f, proof, opts)
 }
 
 // WriteLRAT bridges the ER proof and writes the resulting LRAT text.

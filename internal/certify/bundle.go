@@ -1,0 +1,225 @@
+package certify
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// SchemaVersion names the bundle wire schema; bump on any field change.
+// The golden bundle in testdata/certify/ pins the exact bytes.
+const SchemaVersion = "satcheck-certify/1"
+
+// Bundle outcomes. There is no third value: a request that cannot be
+// decided (timeout, error, missing input, shard failure) is CERTIFY_FAIL —
+// fail-closed, never a bare UNSAT.
+const (
+	OutcomeCertified = "CERTIFIED_UNSAT"
+	OutcomeFail      = "CERTIFY_FAIL"
+)
+
+// Per-checker verdicts inside a bundle.
+const (
+	VerdictAccept       = "accept"
+	VerdictReject       = "reject"
+	VerdictError        = "error"
+	VerdictTimeout      = "timeout"
+	VerdictMissingInput = "missing-input"
+)
+
+// Pipeline names, fixed by the certification policy.
+const (
+	PipelineKernel = "kernel"
+	PipelineRUP    = "rup"
+)
+
+// CheckerVerdict is one pipeline's contribution to a bundle.
+type CheckerVerdict struct {
+	Pipeline   string `json:"pipeline"`
+	Version    string `json:"version"`
+	Verdict    string `json:"verdict"`
+	Detail     string `json:"detail,omitempty"`
+	CoreSHA256 string `json:"core_sha256,omitempty"`
+	CoreSize   int    `json:"core_size,omitempty"`
+	ElapsedMS  int64  `json:"elapsed_ms"`
+	// Shard, when the cluster router fanned this pipeline out, names the
+	// shard that ran it (informational; not part of the trust argument).
+	Shard string `json:"shard,omitempty"`
+}
+
+// Bundle is the signed certification verdict. Signature covers the
+// canonical JSON serialization of the bundle with Signature set to ""
+// (struct field order is the canonical order).
+type Bundle struct {
+	Schema         string           `json:"schema"`
+	Outcome        string           `json:"outcome"`
+	Reason         string           `json:"reason,omitempty"`
+	InstanceSHA256 string           `json:"instance_sha256"`
+	TraceSHA256    string           `json:"trace_sha256,omitempty"`
+	LRATSHA256     string           `json:"lrat_sha256,omitempty"`
+	DRATSHA256     string           `json:"drat_sha256,omitempty"`
+	Checkers       []CheckerVerdict `json:"checkers"`
+	CreatedUnix    int64            `json:"created_unix"`
+	SigAlg         string           `json:"sig_alg"`
+	PublicKey      string           `json:"public_key,omitempty"`
+	Signature      string           `json:"signature"`
+}
+
+// Certified reports whether the bundle certifies the instance UNSAT.
+func (b *Bundle) Certified() bool { return b.Outcome == OutcomeCertified }
+
+// signingPayload is the byte string the signature covers.
+func (b *Bundle) signingPayload() []byte {
+	c := *b
+	c.Signature = ""
+	p, err := json.Marshal(&c)
+	if err != nil {
+		// Bundle is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("certify: marshal bundle: %v", err))
+	}
+	return p
+}
+
+// Signer signs bundles. Implementations: NewHMACSigner (shared-secret
+// deployments) and ed25519 (public verification; the public key travels in
+// the bundle).
+type Signer interface {
+	Alg() string       // "hmac-sha256" or "ed25519"
+	PublicKey() string // hex public key for ed25519, "" for HMAC
+	Sign(msg []byte) []byte
+}
+
+type hmacSigner struct{ key []byte }
+
+// NewHMACSigner signs bundles with HMAC-SHA256 under a shared secret.
+func NewHMACSigner(key []byte) Signer { return &hmacSigner{key: append([]byte(nil), key...)} }
+
+func (s *hmacSigner) Alg() string       { return "hmac-sha256" }
+func (s *hmacSigner) PublicKey() string { return "" }
+func (s *hmacSigner) Sign(msg []byte) []byte {
+	m := hmac.New(sha256.New, s.key)
+	m.Write(msg)
+	return m.Sum(nil)
+}
+
+type ed25519Signer struct {
+	priv ed25519.PrivateKey
+	pub  string
+}
+
+// NewEd25519Signer generates a fresh keypair; the public key is embedded
+// in every bundle so any holder can verify.
+func NewEd25519Signer() (Signer, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return &ed25519Signer{priv: priv, pub: hex.EncodeToString(pub)}, nil
+}
+
+// NewEd25519SignerFromSeed derives a deterministic keypair from a 32-byte
+// seed (tests, or deployments with a provisioned key).
+func NewEd25519SignerFromSeed(seed []byte) (Signer, error) {
+	if len(seed) != ed25519.SeedSize {
+		return nil, fmt.Errorf("certify: ed25519 seed must be %d bytes, got %d", ed25519.SeedSize, len(seed))
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	pub := priv.Public().(ed25519.PublicKey)
+	return &ed25519Signer{priv: priv, pub: hex.EncodeToString(pub)}, nil
+}
+
+func (s *ed25519Signer) Alg() string            { return "ed25519" }
+func (s *ed25519Signer) PublicKey() string      { return s.pub }
+func (s *ed25519Signer) Sign(msg []byte) []byte { return ed25519.Sign(s.priv, msg) }
+
+// sign stamps alg, public key, and signature onto b.
+func (b *Bundle) sign(s Signer) {
+	b.SigAlg = s.Alg()
+	b.PublicKey = s.PublicKey()
+	b.Signature = hex.EncodeToString(s.Sign(b.signingPayload()))
+}
+
+// Verify checks the bundle signature. For ed25519 the embedded public key
+// is used and hmacKey is ignored; for hmac-sha256 the shared secret must
+// be supplied. Any mismatch — including an unknown algorithm — is an
+// error: verification is fail-closed like everything else here.
+func (b *Bundle) Verify(hmacKey []byte) error {
+	sig, err := hex.DecodeString(b.Signature)
+	if err != nil {
+		return fmt.Errorf("certify: bad signature encoding: %v", err)
+	}
+	payload := b.signingPayload()
+	switch b.SigAlg {
+	case "hmac-sha256":
+		m := hmac.New(sha256.New, hmacKey)
+		m.Write(payload)
+		if !hmac.Equal(m.Sum(nil), sig) {
+			return errors.New("certify: HMAC signature mismatch")
+		}
+		return nil
+	case "ed25519":
+		pub, err := hex.DecodeString(b.PublicKey)
+		if err != nil || len(pub) != ed25519.PublicKeySize {
+			return errors.New("certify: bad embedded public key")
+		}
+		if !ed25519.Verify(ed25519.PublicKey(pub), payload, sig) {
+			return errors.New("certify: ed25519 signature mismatch")
+		}
+		return nil
+	default:
+		return fmt.Errorf("certify: unknown signature algorithm %q", b.SigAlg)
+	}
+}
+
+// ParseBundle decodes a serialized bundle, rejecting unknown schemas.
+func ParseBundle(data []byte) (*Bundle, error) {
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("certify: parse bundle: %v", err)
+	}
+	if b.Schema != SchemaVersion {
+		return nil, fmt.Errorf("certify: unknown bundle schema %q (want %q)", b.Schema, SchemaVersion)
+	}
+	return &b, nil
+}
+
+// HashBytes is the hex SHA-256 of a payload, the hash form used for every
+// bundle field.
+func HashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// CoreHash hashes an unsat core (0-based original clause indices) in
+// ascending order, so equal cores hash equal regardless of discovery
+// order. The two pipelines define different cones (hint closure vs
+// backward marking), so bundle consumers compare hashes per pipeline
+// version, not across pipelines.
+func CoreHash(core []int) string {
+	sorted := append([]int(nil), core...)
+	sort.Ints(sorted)
+	h := sha256.New()
+	var buf []byte
+	for _, id := range sorted {
+		buf = strconv.AppendInt(buf[:0], int64(id), 10)
+		buf = append(buf, ' ')
+		h.Write(buf)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// clockOrNow defaults a nil clock to time.Now.
+func clockOrNow(clock func() time.Time) func() time.Time {
+	if clock == nil {
+		return time.Now
+	}
+	return clock
+}

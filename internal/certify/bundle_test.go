@@ -1,0 +1,141 @@
+package certify_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"satcheck/internal/certify"
+)
+
+// fixedBundle builds a fully deterministic bundle: seeded signer, pinned
+// clock, hand-built verdicts. The golden-bundle test pins its exact bytes.
+func fixedBundle(t *testing.T) *certify.Bundle {
+	t.Helper()
+	signer, err := certify.NewEd25519SignerFromSeed(bytes.Repeat([]byte{42}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := certify.Hashes{
+		Instance: "1111111111111111111111111111111111111111111111111111111111111111",
+		Trace:    "2222222222222222222222222222222222222222222222222222222222222222",
+		DRAT:     "3333333333333333333333333333333333333333333333333333333333333333",
+	}
+	verdicts := []certify.CheckerVerdict{
+		{Pipeline: certify.PipelineKernel, Version: "kernelpipe/1 trusted-kernel LRAT (flat-array hint follower)",
+			Verdict: certify.VerdictAccept, CoreSHA256: certify.CoreHash([]int{0, 2, 5}), CoreSize: 3, ElapsedMS: 0},
+		{Pipeline: certify.PipelineRUP, Version: "rupipe/1 watched-literal backward DRAT (core-first)",
+			Verdict: certify.VerdictAccept, CoreSHA256: certify.CoreHash([]int{0, 2, 5, 6}), CoreSize: 4, ElapsedMS: 0},
+	}
+	return certify.Assemble(h, verdicts, signer, time.Unix(1754600000, 0))
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	b := fixedBundle(t)
+	if !b.Certified() {
+		t.Fatalf("fixed bundle not certified: %s", b.Reason)
+	}
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := certify.ParseBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := parsed.Verify(nil); err != nil {
+		t.Fatalf("round-tripped bundle fails verification: %v", err)
+	}
+	if parsed.InstanceSHA256 != b.InstanceSHA256 || len(parsed.Checkers) != 2 {
+		t.Fatalf("round trip lost fields: %+v", parsed)
+	}
+}
+
+func TestBundleTamperDetection(t *testing.T) {
+	tampers := []struct {
+		name string
+		mut  func(*certify.Bundle)
+	}{
+		{"instance-hash", func(b *certify.Bundle) {
+			b.InstanceSHA256 = "4444444444444444444444444444444444444444444444444444444444444444"
+		}},
+		{"drat-hash", func(b *certify.Bundle) { b.DRATSHA256 = b.InstanceSHA256 }},
+		{"outcome", func(b *certify.Bundle) { b.Outcome = certify.OutcomeFail }},
+		{"reason", func(b *certify.Bundle) { b.Reason = "legitimate-looking failure" }},
+		{"checker-version", func(b *certify.Bundle) { b.Checkers[0].Version = "kernelpipe/0 downgraded" }},
+		{"checker-verdict", func(b *certify.Bundle) { b.Checkers[1].Verdict = certify.VerdictReject }},
+		{"core-hash", func(b *certify.Bundle) { b.Checkers[0].CoreSHA256 = b.Checkers[1].CoreSHA256 }},
+		{"core-size", func(b *certify.Bundle) { b.Checkers[0].CoreSize++ }},
+		{"created", func(b *certify.Bundle) { b.CreatedUnix++ }},
+		{"schema", func(b *certify.Bundle) { b.Schema = "satcheck-certify/0" }},
+		{"pubkey-swap", func(b *certify.Bundle) { b.PublicKey = "00" + b.PublicKey[2:] }},
+	}
+	for _, tc := range tampers {
+		t.Run(tc.name, func(t *testing.T) {
+			b := fixedBundle(t)
+			if err := b.Verify(nil); err != nil {
+				t.Fatalf("pristine bundle fails verification: %v", err)
+			}
+			tc.mut(b)
+			if err := b.Verify(nil); err == nil {
+				t.Fatalf("tampered field %s passed verification", tc.name)
+			}
+		})
+	}
+}
+
+func TestBundleHMACSigning(t *testing.T) {
+	key := []byte("shared-deployment-secret")
+	signer := certify.NewHMACSigner(key)
+	h := certify.Hashes{Instance: "aa"}
+	b := certify.Assemble(h, nil, signer, time.Unix(1754600000, 0))
+	if b.Certified() {
+		t.Fatal("empty verdict set must not certify")
+	}
+	if err := b.Verify(key); err != nil {
+		t.Fatalf("HMAC verify with the right key: %v", err)
+	}
+	if err := b.Verify([]byte("wrong")); err == nil {
+		t.Fatal("HMAC verify accepted the wrong key")
+	}
+	b.SigAlg = "none"
+	if err := b.Verify(key); err == nil {
+		t.Fatal("unknown algorithm must fail verification")
+	}
+}
+
+// TestGoldenBundle pins the exact wire bytes of the bundle schema: any
+// field rename, reorder, or encoding change shows up as a diff against
+// testdata/golden_bundle.json. Regenerate deliberately with
+// -run TestGoldenBundle -update-golden (and bump SchemaVersion).
+func TestGoldenBundle(t *testing.T) {
+	b := fixedBundle(t)
+	got, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "golden_bundle.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("bundle bytes diverge from golden schema pin\n got: %s\nwant: %s", got, want)
+	}
+	pinned, err := certify.ParseBundle(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pinned.Verify(nil); err != nil {
+		t.Fatalf("golden bundle fails verification: %v", err)
+	}
+}

@@ -1,0 +1,281 @@
+// Package certify is the fail-closed dual-checker certification pipeline:
+// an UNSAT answer is certified only when two independent checker
+// pipelines — the trusted kernel over a native trace or LRAT proof
+// (internal/certify/kernelpipe) and the watched-literal backward DRAT
+// checker (internal/certify/rupipe) — both accept proofs of the same
+// instance. The two pipelines share no verification package (enforced by
+// an import-graph test); any disagreement, rejection, timeout, or error
+// yields CERTIFY_FAIL with a structured reason, never a bare UNSAT.
+//
+// The product is a signed verdict Bundle: instance and proof SHA-256s,
+// per-checker verdict + version + core hash, schema version, and an
+// HMAC-SHA256 or ed25519 signature. See docs/CERTIFY.md.
+package certify
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"satcheck/internal/certify/kernelpipe"
+	"satcheck/internal/certify/rupipe"
+	"satcheck/internal/cnf"
+)
+
+// Request carries one certification job. Raw bytes, not parsed forms: the
+// hashes in the bundle must cover exactly what was submitted.
+type Request struct {
+	// FormulaBytes is the DIMACS CNF instance.
+	FormulaBytes []byte
+	// TraceBytes is a native resolution trace (kernel pipeline input).
+	// Exactly one of TraceBytes/LRATBytes should be set; if both are,
+	// the trace wins and the LRAT input is ignored.
+	TraceBytes []byte
+	// LRATBytes is an LRAT proof (alternative kernel pipeline input).
+	LRATBytes []byte
+	// DRATBytes is a DRUP/DRAT proof (rup pipeline input), required.
+	DRATBytes []byte
+}
+
+// Config tunes a Certifier.
+type Config struct {
+	// Signer signs bundles; nil generates an ephemeral ed25519 keypair.
+	Signer Signer
+	// Timeout bounds each pipeline run (0 = none). A pipeline that
+	// overruns contributes a "timeout" verdict — CERTIFY_FAIL.
+	Timeout time.Duration
+	// MemLimitWords bounds each pipeline's clause database (0 = none).
+	MemLimitWords int64
+	// Clock stamps bundles and measures elapsed time; nil = time.Now.
+	// Injectable so the golden-bundle test is byte-deterministic.
+	Clock func() time.Time
+}
+
+// Certifier runs the dual pipeline. Safe for concurrent use.
+type Certifier struct {
+	cfg Config
+}
+
+// New builds a Certifier, generating an ephemeral ed25519 signer when none
+// is configured.
+func New(cfg Config) (*Certifier, error) {
+	if cfg.Signer == nil {
+		s, err := NewEd25519Signer()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Signer = s
+	}
+	return &Certifier{cfg: cfg}, nil
+}
+
+// Certify runs both pipelines over req and returns the signed bundle. It
+// never returns an error: anything that prevents a sound double-accept —
+// malformed input, pipeline rejection, disagreement, timeout — is a signed
+// CERTIFY_FAIL bundle with the reason inside.
+func (c *Certifier) Certify(ctx context.Context, req Request) *Bundle {
+	clock := clockOrNow(c.cfg.Clock)
+	h := Hashes{Instance: HashBytes(req.FormulaBytes)}
+	if len(req.TraceBytes) > 0 {
+		h.Trace = HashBytes(req.TraceBytes)
+	} else if len(req.LRATBytes) > 0 {
+		h.LRAT = HashBytes(req.LRATBytes)
+	}
+	if len(req.DRATBytes) > 0 {
+		h.DRAT = HashBytes(req.DRATBytes)
+	}
+
+	f, err := cnf.ParseDimacs(bytes.NewReader(req.FormulaBytes))
+	if err != nil {
+		return FailBundle(h, fmt.Sprintf("instance does not parse: %v", err), c.cfg.Signer, clock())
+	}
+
+	if c.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.Timeout)
+		defer cancel()
+	}
+
+	verdicts := make([]CheckerVerdict, 2)
+	done := make(chan struct{}, 2)
+	go func() {
+		verdicts[0] = RunKernelPipe(ctx, f, req.TraceBytes, req.LRATBytes, c.cfg.MemLimitWords, clock)
+		done <- struct{}{}
+	}()
+	go func() {
+		verdicts[1] = RunRUPPipe(ctx, f, req.DRATBytes, c.cfg.MemLimitWords, clock)
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+
+	return Assemble(h, verdicts, c.cfg.Signer, clock())
+}
+
+// RunKernelPipe runs the kernel pipeline over a native trace (preferred)
+// or an LRAT proof and classifies the outcome. Exported so the cluster
+// router can fan the two pipelines out to different shards and merge with
+// Assemble.
+func RunKernelPipe(ctx context.Context, f *cnf.Formula, traceBytes, lratBytes []byte, memLimitWords int64, clock func() time.Time) CheckerVerdict {
+	clock = clockOrNow(clock)
+	v := CheckerVerdict{Pipeline: PipelineKernel, Version: kernelpipe.Version}
+	start := clock()
+	defer func() { v.ElapsedMS = clock().Sub(start).Milliseconds() }()
+	opts := kernelpipe.Options{MemLimitWords: memLimitWords, Interrupt: ctxInterrupt(ctx)}
+	var res *kernelpipe.Result
+	var err error
+	switch {
+	case len(traceBytes) > 0:
+		res, err = kernelpipe.CheckTrace(f, traceBytes, opts)
+	case len(lratBytes) > 0:
+		res, err = kernelpipe.CheckLRAT(f, lratBytes, opts)
+	default:
+		v.Verdict = VerdictMissingInput
+		v.Detail = "kernel pipeline needs a native trace or an LRAT proof"
+		return v
+	}
+	var rej *kernelpipe.Reject
+	switch {
+	case err == nil:
+		v.Verdict = VerdictAccept
+		v.CoreSHA256 = CoreHash(res.Core)
+		v.CoreSize = len(res.Core)
+	case errors.As(err, &rej):
+		v.Verdict = VerdictReject
+		v.Detail = rej.Detail
+	default:
+		v.Verdict = classifyInfra(ctx, err)
+		v.Detail = err.Error()
+	}
+	return v
+}
+
+// RunRUPPipe runs the backward DRAT pipeline and classifies the outcome.
+func RunRUPPipe(ctx context.Context, f *cnf.Formula, dratBytes []byte, memLimitWords int64, clock func() time.Time) CheckerVerdict {
+	clock = clockOrNow(clock)
+	v := CheckerVerdict{Pipeline: PipelineRUP, Version: rupipe.Version}
+	start := clock()
+	defer func() { v.ElapsedMS = clock().Sub(start).Milliseconds() }()
+	if len(dratBytes) == 0 {
+		v.Verdict = VerdictMissingInput
+		v.Detail = "rup pipeline needs a DRUP/DRAT proof"
+		return v
+	}
+	res, err := rupipe.CheckDRAT(f, dratBytes, rupipe.Options{
+		MemLimitWords: memLimitWords,
+		Interrupt:     ctxInterrupt(ctx),
+	})
+	var rej *rupipe.Reject
+	switch {
+	case err == nil:
+		v.Verdict = VerdictAccept
+		v.CoreSHA256 = CoreHash(res.Core)
+		v.CoreSize = len(res.Core)
+	case errors.As(err, &rej):
+		v.Verdict = VerdictReject
+		v.Detail = rej.Detail
+	default:
+		v.Verdict = classifyInfra(ctx, err)
+		v.Detail = err.Error()
+	}
+	return v
+}
+
+// Hashes are the request payload digests embedded in a bundle.
+type Hashes struct {
+	Instance string
+	Trace    string
+	LRAT     string
+	DRAT     string
+}
+
+// Assemble merges per-pipeline verdicts into a signed bundle with the
+// fail-closed policy: CERTIFIED_UNSAT requires exactly the kernel and rup
+// pipelines, both accepting; everything else is CERTIFY_FAIL with a
+// structured reason. Used by Certify locally and by the cluster router
+// after fanning the pipelines out to shards.
+func Assemble(h Hashes, verdicts []CheckerVerdict, signer Signer, now time.Time) *Bundle {
+	b := &Bundle{
+		Schema:         SchemaVersion,
+		InstanceSHA256: h.Instance,
+		TraceSHA256:    h.Trace,
+		LRATSHA256:     h.LRAT,
+		DRATSHA256:     h.DRAT,
+		Checkers:       verdicts,
+		CreatedUnix:    now.Unix(),
+	}
+	b.Outcome, b.Reason = mergeVerdicts(verdicts)
+	b.sign(signer)
+	return b
+}
+
+// FailBundle signs a CERTIFY_FAIL bundle for a request that never reached
+// the pipelines (unparseable instance, shard dispatch failure). Fail-closed
+// surfaces everywhere as a signed bundle, never a bare error.
+func FailBundle(h Hashes, reason string, signer Signer, now time.Time) *Bundle {
+	b := &Bundle{
+		Schema:         SchemaVersion,
+		Outcome:        OutcomeFail,
+		Reason:         reason,
+		InstanceSHA256: h.Instance,
+		TraceSHA256:    h.Trace,
+		LRATSHA256:     h.LRAT,
+		DRATSHA256:     h.DRAT,
+		CreatedUnix:    now.Unix(),
+	}
+	b.sign(signer)
+	return b
+}
+
+// mergeVerdicts is the fail-closed policy core.
+func mergeVerdicts(verdicts []CheckerVerdict) (outcome, reason string) {
+	var kernelV, rupV *CheckerVerdict
+	for i := range verdicts {
+		switch verdicts[i].Pipeline {
+		case PipelineKernel:
+			kernelV = &verdicts[i]
+		case PipelineRUP:
+			rupV = &verdicts[i]
+		}
+	}
+	if kernelV == nil || rupV == nil {
+		return OutcomeFail, fmt.Sprintf("incomplete verdict set: need pipelines %q and %q, got %d verdict(s)",
+			PipelineKernel, PipelineRUP, len(verdicts))
+	}
+	// Non-verdict failures (error/timeout/missing input) first: they mean
+	// one side never decided, so there is nothing to agree on.
+	for _, v := range []*CheckerVerdict{kernelV, rupV} {
+		switch v.Verdict {
+		case VerdictAccept, VerdictReject:
+		default:
+			return OutcomeFail, fmt.Sprintf("pipeline %s did not decide (%s): %s", v.Pipeline, v.Verdict, v.Detail)
+		}
+	}
+	kOK, rOK := kernelV.Verdict == VerdictAccept, rupV.Verdict == VerdictAccept
+	switch {
+	case kOK && rOK:
+		return OutcomeCertified, ""
+	case !kOK && !rOK:
+		return OutcomeFail, fmt.Sprintf("both pipelines rejected the proof: kernel: %s; rup: %s",
+			kernelV.Detail, rupV.Detail)
+	case kOK:
+		return OutcomeFail, fmt.Sprintf("pipeline disagreement (fail-closed): kernel accepted but rup rejected: %s", rupV.Detail)
+	default:
+		return OutcomeFail, fmt.Sprintf("pipeline disagreement (fail-closed): rup accepted but kernel rejected: %s", kernelV.Detail)
+	}
+}
+
+// classifyInfra maps a non-rejection pipeline error onto a verdict.
+func classifyInfra(ctx context.Context, err error) string {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return VerdictTimeout
+	}
+	return VerdictError
+}
+
+// ctxInterrupt adapts a context to the pipelines' polling interrupt.
+func ctxInterrupt(ctx context.Context) func() error {
+	return func() error { return ctx.Err() }
+}

@@ -1,0 +1,220 @@
+package certify_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"satcheck/internal/certify"
+	"satcheck/internal/checker"
+	"satcheck/internal/cnf"
+	"satcheck/internal/drat"
+	"satcheck/internal/faults"
+	"satcheck/internal/gen"
+	"satcheck/internal/kernelcheck"
+	"satcheck/internal/solver"
+	"satcheck/internal/trace"
+)
+
+// artifacts solves ins (must be UNSAT) recording every certification
+// input: DIMACS bytes, native ASCII trace bytes, and ASCII DRAT bytes.
+func artifacts(t testing.TB, ins gen.Instance) (formula, traceBytes, dratBytes []byte) {
+	t.Helper()
+	var fb bytes.Buffer
+	if err := cnf.WriteDimacs(&fb, ins.F); err != nil {
+		t.Fatalf("%s: write dimacs: %v", ins.Name, err)
+	}
+	s, err := solver.New(ins.F, solver.Options{})
+	if err != nil {
+		t.Fatalf("%s: solver: %v", ins.Name, err)
+	}
+	var tb, db bytes.Buffer
+	s.SetTrace(trace.NewASCIIWriter(&tb))
+	s.SetProofSink(drat.NewWriter(&db))
+	st, err := s.Solve()
+	if err != nil {
+		t.Fatalf("%s: solve: %v", ins.Name, err)
+	}
+	if st != solver.StatusUnsat {
+		t.Fatalf("%s: expected UNSAT, got %v", ins.Name, st)
+	}
+	return fb.Bytes(), tb.Bytes(), db.Bytes()
+}
+
+func testCertifier(t testing.TB) *certify.Certifier {
+	t.Helper()
+	signer, err := certify.NewEd25519SignerFromSeed(bytes.Repeat([]byte{7}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := certify.New(certify.Config{Signer: signer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCertifyAcceptsTraceAndLRAT(t *testing.T) {
+	ins := gen.Pigeonhole(4)
+	formula, traceBytes, dratBytes := artifacts(t, ins)
+	c := testCertifier(t)
+
+	b := c.Certify(context.Background(), certify.Request{
+		FormulaBytes: formula, TraceBytes: traceBytes, DRATBytes: dratBytes,
+	})
+	if !b.Certified() {
+		t.Fatalf("trace+drat request not certified: %s: %s", b.Outcome, b.Reason)
+	}
+	if err := b.Verify(nil); err != nil {
+		t.Fatalf("bundle signature: %v", err)
+	}
+	if len(b.Checkers) != 2 || b.Checkers[0].CoreSHA256 == "" || b.Checkers[1].CoreSHA256 == "" {
+		t.Fatalf("bundle missing per-checker cores: %+v", b.Checkers)
+	}
+
+	// LRAT as the kernel-side input: derive via the untrusted bridge (the
+	// kernel re-verifies every hint, so the bridge needs no trust).
+	var lrat bytes.Buffer
+	if _, err := kernelcheck.DRATToLRAT(ins.F, drat.BytesSource(dratBytes), &lrat, checker.Options{}); err != nil {
+		t.Fatalf("derive lrat: %v", err)
+	}
+	b2 := c.Certify(context.Background(), certify.Request{
+		FormulaBytes: formula, LRATBytes: lrat.Bytes(), DRATBytes: dratBytes,
+	})
+	if !b2.Certified() {
+		t.Fatalf("lrat+drat request not certified: %s: %s", b2.Outcome, b2.Reason)
+	}
+	if b2.LRATSHA256 == "" || b2.TraceSHA256 != "" {
+		t.Fatalf("hash fields wrong for lrat request: %+v", b2)
+	}
+}
+
+func TestCertifyFailClosed(t *testing.T) {
+	ins := gen.Pigeonhole(4)
+	formula, traceBytes, dratBytes := artifacts(t, ins)
+	c := testCertifier(t)
+	ctx := context.Background()
+
+	cases := []struct {
+		name       string
+		req        certify.Request
+		wantReason string
+	}{
+		{"missing-drat", certify.Request{FormulaBytes: formula, TraceBytes: traceBytes},
+			"did not decide (missing-input)"},
+		{"missing-kernel-input", certify.Request{FormulaBytes: formula, DRATBytes: dratBytes},
+			"did not decide (missing-input)"},
+		{"bad-formula", certify.Request{FormulaBytes: []byte("p cnf oops"), TraceBytes: traceBytes, DRATBytes: dratBytes},
+			"instance does not parse"},
+		{"corrupt-drat", certify.Request{FormulaBytes: formula, TraceBytes: traceBytes, DRATBytes: []byte("1 -2 zebra 0\n")},
+			"disagreement"},
+		{"corrupt-trace", certify.Request{FormulaBytes: formula, TraceBytes: []byte("L 99 <- [1 2\n"), DRATBytes: dratBytes},
+			"disagreement"},
+		{"both-corrupt", certify.Request{FormulaBytes: formula, TraceBytes: []byte("L 99 <- [1 2\n"), DRATBytes: []byte("1 -2 zebra 0\n")},
+			"both pipelines rejected"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := c.Certify(ctx, tc.req)
+			if b.Certified() {
+				t.Fatalf("certified despite %s", tc.name)
+			}
+			if b.Outcome != certify.OutcomeFail {
+				t.Fatalf("outcome = %q, want %q", b.Outcome, certify.OutcomeFail)
+			}
+			if !strings.Contains(b.Reason, tc.wantReason) {
+				t.Fatalf("reason %q does not mention %q", b.Reason, tc.wantReason)
+			}
+			if err := b.Verify(nil); err != nil {
+				t.Fatalf("fail bundles must be signed too: %v", err)
+			}
+		})
+	}
+}
+
+func TestCertifyTimeoutFailsClosed(t *testing.T) {
+	ins := gen.Pigeonhole(5)
+	formula, traceBytes, dratBytes := artifacts(t, ins)
+	signer, _ := certify.NewEd25519SignerFromSeed(bytes.Repeat([]byte{9}, 32))
+	c, err := certify.New(certify.Config{Signer: signer, Timeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := c.Certify(context.Background(), certify.Request{
+		FormulaBytes: formula, TraceBytes: traceBytes, DRATBytes: dratBytes,
+	})
+	if b.Certified() {
+		t.Fatal("certified despite a 1ns pipeline budget")
+	}
+	if !strings.Contains(b.Reason, "did not decide") {
+		t.Fatalf("timeout reason = %q", b.Reason)
+	}
+}
+
+// TestCertifyMutantsFailClosed is the faults-catalogue contract at the
+// certify layer: for every clausal mutation operator and injection seed,
+// a mutant the backward checker rejects must yield CERTIFY_FAIL with a
+// rejection/disagreement reason, and a bundle may certify only when both
+// pipelines accept (benign weakening mutants — still-valid proofs — are
+// exactly the certified ⇔ both-accept case).
+func TestCertifyMutantsFailClosed(t *testing.T) {
+	ins := gen.Pigeonhole(4)
+	formula, traceBytes, dratASCII := artifacts(t, ins)
+	proof, err := drat.Load(drat.BytesSource(dratASCII))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCertifier(t)
+	ctx := context.Background()
+
+	mutants, certified := 0, 0
+	for _, m := range faults.ClausalAll() {
+		for seed := int64(0); seed < 3; seed++ {
+			mut, ok := faults.InjectClausal(m, proof, seed)
+			if !ok {
+				continue
+			}
+			var mb bytes.Buffer
+			w := drat.NewWriter(&mb)
+			for _, st := range mut.Steps {
+				if st.Del {
+					w.Del(st.Lits)
+				} else {
+					w.Add(st.Lits)
+				}
+			}
+			w.Close()
+			mutants++
+
+			b := c.Certify(ctx, certify.Request{
+				FormulaBytes: formula, TraceBytes: traceBytes, DRATBytes: mb.Bytes(),
+			})
+			// The rup pipeline's own verdict on the mutant decides what the
+			// bundle must say: fail-closed means certified ⇔ both accept.
+			v := certify.RunRUPPipe(ctx, ins.F, mb.Bytes(), 0, nil)
+			switch v.Verdict {
+			case certify.VerdictAccept:
+				if !b.Certified() {
+					t.Errorf("%s/seed%d: benign mutant (valid proof) not certified: %s", m.Name, seed, b.Reason)
+				}
+				certified++
+			case certify.VerdictReject:
+				if b.Certified() {
+					t.Fatalf("%s/seed%d: CERTIFIED a mutant the rup pipeline rejects", m.Name, seed)
+				}
+				if !strings.Contains(b.Reason, "reject") && !strings.Contains(b.Reason, "disagreement") {
+					t.Errorf("%s/seed%d: reason %q names neither rejection nor disagreement", m.Name, seed, b.Reason)
+				}
+			default:
+				t.Errorf("%s/seed%d: unexpected rup verdict %s: %s", m.Name, seed, v.Verdict, v.Detail)
+			}
+		}
+	}
+	if mutants == 0 {
+		t.Fatal("no clausal mutants applied")
+	}
+	t.Logf("certify mutant battery: %d mutants, %d benign (certified), %d rejected fail-closed",
+		mutants, certified, mutants-certified)
+}

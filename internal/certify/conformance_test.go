@@ -1,0 +1,269 @@
+package certify
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"satcheck/internal/cnf"
+	"satcheck/internal/drat"
+)
+
+// The conformance tier pins interop with the external drat-trim/lrat-trim
+// toolchain against checked-in golden fixtures (testdata/conformance): the
+// exact bytes those tools read and write must parse, check, and dually
+// certify here — with step counts pinned in expect.json — and our emitters
+// must reproduce files their grammars accept. No external binary runs in
+// CI; `make conformance-regen` refreshes the fixtures when one is present.
+
+const conformanceDir = "../../testdata/conformance"
+
+type dratExpect struct {
+	Steps int `json:"steps"`
+	Adds  int `json:"adds"`
+	Dels  int `json:"dels"`
+}
+
+type lratExpect struct {
+	Lines int `json:"lines"`
+	Adds  int `json:"adds"`
+}
+
+type conformanceExpect struct {
+	DRAT    map[string]dratExpect `json:"drat"`
+	LRAT    map[string]lratExpect `json:"lrat"`
+	Certify []string              `json:"certify"`
+}
+
+func loadExpect(t *testing.T) *conformanceExpect {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(conformanceDir, "expect.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exp conformanceExpect
+	if err := json.Unmarshal(data, &exp); err != nil {
+		t.Fatalf("expect.json: %v", err)
+	}
+	return &exp
+}
+
+func fixture(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(conformanceDir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func fixtureFormula(t *testing.T, name string) *cnf.Formula {
+	t.Helper()
+	f, err := cnf.ParseDimacs(bytes.NewReader(fixture(t, name)))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return f
+}
+
+// TestConformanceDRATParses pins the DRAT parser on the golden bytes: ASCII
+// and binary encodings, RUP and RAT lemmas, deletion steps.
+func TestConformanceDRATParses(t *testing.T) {
+	exp := loadExpect(t)
+	if len(exp.DRAT) == 0 {
+		t.Fatal("expect.json pins no DRAT files")
+	}
+	for name, want := range exp.DRAT {
+		p, err := drat.Load(drat.BytesSource(fixture(t, name)))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		dels := len(p.Steps) - p.NumAdds()
+		if len(p.Steps) != want.Steps || p.NumAdds() != want.Adds || dels != want.Dels {
+			t.Errorf("%s: steps=%d adds=%d dels=%d, want %+v", name, len(p.Steps), p.NumAdds(), dels, want)
+		}
+	}
+	// The two encodings of the rat proof must parse to the same steps.
+	ascii, err := drat.Load(drat.BytesSource(fixture(t, "rat.drat")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary, err := drat.Load(drat.BytesSource(fixture(t, "rat.bdrat")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ascii.Steps) != len(binary.Steps) {
+		t.Fatalf("encoding mismatch: ascii %d steps, binary %d", len(ascii.Steps), len(binary.Steps))
+	}
+	for i := range ascii.Steps {
+		a, b := ascii.Steps[i], binary.Steps[i]
+		if a.Del != b.Del || !sameLits(a.Lits, b.Lits) {
+			t.Fatalf("step %d differs between encodings: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func sameLits(a, b cnf.Clause) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestConformanceLRATParses pins both independent LRAT parsers on the golden
+// bytes: internal/drat's tokenizer here, the kernel pipeline's second
+// implementation via TestConformanceCertifies.
+func TestConformanceLRATParses(t *testing.T) {
+	exp := loadExpect(t)
+	if len(exp.LRAT) == 0 {
+		t.Fatal("expect.json pins no LRAT files")
+	}
+	for name, want := range exp.LRAT {
+		p, err := drat.LoadLRAT(drat.BytesSource(fixture(t, name)))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(p.Lines) != want.Lines || p.NumAdds() != want.Adds {
+			t.Errorf("%s: lines=%d adds=%d, want %+v", name, len(p.Lines), p.NumAdds(), want)
+		}
+	}
+	// The RAT fixture must carry negative hints — the grammar feature the
+	// kernel parser's candidate groups exist for.
+	p, err := drat.LoadLRAT(drat.BytesSource(fixture(t, "rat.lrat")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasRAT := false
+	for _, ln := range p.Lines {
+		for _, h := range ln.Hints {
+			if h < 0 {
+				hasRAT = true
+			}
+		}
+	}
+	if !hasRAT {
+		t.Fatal("rat.lrat carries no negative RAT hints; fixture regressed")
+	}
+}
+
+// TestConformanceCertifies drives every pinned instance through the full
+// dual pipeline: the kernel consumes the LRAT fixture (its own independent
+// parser), the rup checker consumes the DRAT fixture, and both must accept.
+func TestConformanceCertifies(t *testing.T) {
+	exp := loadExpect(t)
+	if len(exp.Certify) == 0 {
+		t.Fatal("expect.json pins no certify instances")
+	}
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range exp.Certify {
+		bundle := c.Certify(context.Background(), Request{
+			FormulaBytes: fixture(t, name+".cnf"),
+			LRATBytes:    fixture(t, name+".lrat"),
+			DRATBytes:    fixture(t, name+".drat"),
+		})
+		if !bundle.Certified() {
+			t.Errorf("%s: %s: %s", name, bundle.Outcome, bundle.Reason)
+		}
+	}
+}
+
+// TestConformanceEmittersRoundTrip asserts our writers produce files the
+// external grammars accept: the binary DRAT writer must reproduce the golden
+// binary bytes exactly, the ASCII writer and LRAT emitter must re-parse to
+// the same proof.
+func TestConformanceEmittersRoundTrip(t *testing.T) {
+	exp := loadExpect(t)
+	for name := range exp.DRAT {
+		if filepath.Ext(name) == ".bdrat" {
+			continue
+		}
+		p, err := drat.Load(drat.BytesSource(fixture(t, name)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, enc := range []struct {
+			label  string
+			binary bool
+		}{{"ascii", false}, {"binary", true}} {
+			var buf bytes.Buffer
+			w := drat.NewWriter(&buf)
+			if enc.binary {
+				w = drat.NewBinaryWriter(&buf)
+			}
+			for _, s := range p.Steps {
+				var werr error
+				if s.Del {
+					werr = w.Del(s.Lits)
+				} else {
+					werr = w.Add(s.Lits)
+				}
+				if werr != nil {
+					t.Fatal(werr)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			rp, err := drat.Load(drat.BytesSource(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("%s: re-emitted %s does not parse: %v", name, enc.label, err)
+			}
+			if len(rp.Steps) != len(p.Steps) || rp.NumAdds() != p.NumAdds() {
+				t.Fatalf("%s: %s round-trip lost steps: %d/%d", name, enc.label, len(rp.Steps), len(p.Steps))
+			}
+		}
+	}
+	// Byte-identity for the binary encoding: re-emitting the ASCII rat proof
+	// must reproduce the golden binary fixture bit for bit.
+	p, err := drat.Load(drat.BytesSource(fixture(t, "rat.drat")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := drat.NewBinaryWriter(&buf)
+	for _, s := range p.Steps {
+		if s.Del {
+			w.Del(s.Lits)
+		} else {
+			w.Add(s.Lits)
+		}
+	}
+	w.Close()
+	if !bytes.Equal(buf.Bytes(), fixture(t, "rat.bdrat")) {
+		t.Fatalf("binary emitter drifted from the golden encoding:\n got % x\nwant % x",
+			buf.Bytes(), fixture(t, "rat.bdrat"))
+	}
+
+	// LRAT round-trip: parse → WriteLines → re-parse must preserve every
+	// line (additions, hints, deletions).
+	for name := range exp.LRAT {
+		p, err := drat.LoadLRAT(drat.BytesSource(fixture(t, name)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := drat.WriteLines(&buf, p.Lines); err != nil {
+			t.Fatal(err)
+		}
+		rp, err := drat.LoadLRAT(drat.BytesSource(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: re-emitted LRAT does not parse: %v", name, err)
+		}
+		if len(rp.Lines) != len(p.Lines) || rp.NumAdds() != p.NumAdds() {
+			t.Fatalf("%s: LRAT round-trip lost lines: %d/%d", name, len(rp.Lines), len(p.Lines))
+		}
+	}
+}

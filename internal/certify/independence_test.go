@@ -1,0 +1,80 @@
+package certify_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestPipelineIndependence is the build-time guard on the dual-checker
+// policy: the two certification pipelines must not share any verification
+// package, so a refactor cannot quietly collapse the dual check into one
+// code path. The walk uses `go list -deps`, i.e. the real build graph, not
+// source-text conventions.
+//
+// Verification packages are the ones that implement or bridge proof
+// checking. Shared substrate (cnf, trace, resolve — data structures and
+// parsing, no verdicts) is allowed and documented in docs/CERTIFY.md's
+// threat model.
+func TestPipelineIndependence(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	verification := map[string]bool{
+		"satcheck/internal/checker":     true,
+		"satcheck/internal/drat":        true,
+		"satcheck/internal/kernel":      true,
+		"satcheck/internal/kernelcheck": true,
+		"satcheck/internal/tracecheck":  true,
+		"satcheck/internal/bdd":         true,
+	}
+	kernelDeps := goListDeps(t, "satcheck/internal/certify/kernelpipe")
+	rupDeps := goListDeps(t, "satcheck/internal/certify/rupipe")
+
+	// Sanity: each pipeline really is built on its intended engine.
+	if !kernelDeps["satcheck/internal/kernel"] {
+		t.Fatal("kernelpipe no longer depends on internal/kernel — wrong packages under test?")
+	}
+	if !rupDeps["satcheck/internal/drat"] || !rupDeps["satcheck/internal/checker"] {
+		t.Fatal("rupipe no longer depends on internal/drat+checker — wrong packages under test?")
+	}
+
+	// The contract: no verification package on both sides.
+	var shared []string
+	for dep := range kernelDeps {
+		if verification[dep] && rupDeps[dep] {
+			shared = append(shared, dep)
+		}
+	}
+	if len(shared) > 0 {
+		t.Fatalf("dual-checker pipelines share verification package(s) %v — the certification policy requires disjoint code paths", shared)
+	}
+
+	// Belt and braces: the engines must not cross over at all.
+	for _, banned := range []string{"satcheck/internal/drat", "satcheck/internal/checker", "satcheck/internal/kernelcheck"} {
+		if kernelDeps[banned] {
+			t.Fatalf("kernelpipe depends on %s", banned)
+		}
+	}
+	for _, banned := range []string{"satcheck/internal/kernel", "satcheck/internal/kernelcheck", "satcheck/internal/tracecheck"} {
+		if rupDeps[banned] {
+			t.Fatalf("rupipe depends on %s", banned)
+		}
+	}
+}
+
+func goListDeps(t *testing.T, pkg string) map[string]bool {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-deps", pkg).Output()
+	if err != nil {
+		t.Fatalf("go list -deps %s: %v", pkg, err)
+	}
+	deps := make(map[string]bool)
+	for _, line := range strings.Split(string(out), "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" {
+			deps[line] = true
+		}
+	}
+	return deps
+}

@@ -1,0 +1,211 @@
+package kernelpipe
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"math"
+
+	"satcheck/internal/kernel"
+)
+
+// This file is a second, independent LRAT parser: a deliberately separate
+// implementation from internal/drat's tokenizer (different structure — it
+// scans whole lines of signed ints instead of streaming tokens) that
+// writes straight into the kernel's flat proof form. The conformance suite
+// cross-checks the two parsers against the same drat-trim/lrat-trim byte
+// fixtures, so a quirk in either grammar shows up as a disagreement.
+
+// parseLRAT parses an ASCII LRAT proof (optionally gzipped) into kp.
+// Grammar per line: `<id> <lit>* 0 <hint>* 0` for additions (negative
+// hints open RAT candidate groups) and `<id> d <id>* 0` for deletions;
+// `c` starts a comment through end of line.
+func parseLRAT(in []byte, kp *kernel.Proof) error {
+	if len(in) >= 2 && in[0] == 0x1f && in[1] == 0x8b {
+		gz, err := gzip.NewReader(bytes.NewReader(in))
+		if err != nil {
+			return fmt.Errorf("lrat: gzip: %v", err)
+		}
+		raw, err := io.ReadAll(gz)
+		gz.Close()
+		if err != nil {
+			return fmt.Errorf("lrat: gzip: %v", err)
+		}
+		in = raw
+	}
+	kp.Ops = kp.Ops[:0]
+	kp.Lits = kp.Lits[:0]
+	kp.Hints = kp.Hints[:0]
+	kp.Dels = kp.Dels[:0]
+	kp.NumAdds = 0
+	pMaxVar := 0
+
+	sc := &intScanner{in: in, line: 1}
+	for {
+		tok, ok, err := sc.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break // clean EOF between lines
+		}
+		if tok.isD {
+			return fmt.Errorf("lrat: line %d: 'd' where a clause ID was expected", sc.line)
+		}
+		if tok.val <= 0 {
+			return fmt.Errorf("lrat: line %d: bad clause ID %d", sc.line, tok.val)
+		}
+		if tok.val > math.MaxInt32 {
+			return fmt.Errorf("lrat: line %d: clause ID %d exceeds the kernel's 31-bit ID space", sc.line, tok.val)
+		}
+		id := int32(tok.val)
+		tok, ok, err = sc.next()
+		if err != nil || !ok {
+			return truncated(sc.line, "line", err)
+		}
+		if tok.isD {
+			op := kernel.Op{ID: id, Del: true, DelOff: int32(len(kp.Dels))}
+			for {
+				tok, ok, err = sc.next()
+				if err != nil || !ok {
+					return truncated(sc.line, "deletion", err)
+				}
+				if tok.isD {
+					return fmt.Errorf("lrat: line %d: 'd' inside a deletion", sc.line)
+				}
+				if tok.val == 0 {
+					break
+				}
+				if tok.val < 0 {
+					return fmt.Errorf("lrat: line %d: negative ID %d in deletion", sc.line, tok.val)
+				}
+				if tok.val > math.MaxInt32 {
+					return fmt.Errorf("lrat: line %d: clause ID %d exceeds the kernel's 31-bit ID space", sc.line, tok.val)
+				}
+				kp.Dels = append(kp.Dels, int32(tok.val))
+			}
+			op.DelN = int32(len(kp.Dels)) - op.DelOff
+			kp.Ops = append(kp.Ops, op)
+			continue
+		}
+		op := kernel.Op{ID: id, LitOff: int32(len(kp.Lits)), HintOff: int32(len(kp.Hints))}
+		// Literal section until 0.
+		for tok.val != 0 {
+			if tok.isD {
+				return fmt.Errorf("lrat: line %d: 'd' inside a clause", sc.line)
+			}
+			v := tok.val
+			if v > maxVar || v < -maxVar {
+				return fmt.Errorf("lrat: line %d: variable out of range", sc.line)
+			}
+			// DIMACS literal → kernel encoding (var<<1 | neg).
+			if v > 0 {
+				if v > pMaxVar {
+					pMaxVar = v
+				}
+				kp.Lits = append(kp.Lits, int32(v<<1))
+			} else {
+				if -v > pMaxVar {
+					pMaxVar = -v
+				}
+				kp.Lits = append(kp.Lits, int32((-v)<<1|1))
+			}
+			tok, ok, err = sc.next()
+			if err != nil || !ok {
+				return truncated(sc.line, "clause", err)
+			}
+		}
+		// Hint section until 0.
+		for {
+			tok, ok, err = sc.next()
+			if err != nil || !ok {
+				return truncated(sc.line, "hints", err)
+			}
+			if tok.isD {
+				return fmt.Errorf("lrat: line %d: 'd' inside hints", sc.line)
+			}
+			if tok.val == 0 {
+				break
+			}
+			if tok.val > math.MaxInt32 || tok.val < -math.MaxInt32 {
+				return fmt.Errorf("lrat: line %d: hint %d exceeds the kernel's 31-bit ID space", sc.line, tok.val)
+			}
+			kp.Hints = append(kp.Hints, int32(tok.val))
+		}
+		op.LitN = int32(len(kp.Lits)) - op.LitOff
+		op.HintN = int32(len(kp.Hints)) - op.HintOff
+		kp.Ops = append(kp.Ops, op)
+		kp.NumAdds++
+	}
+	if pMaxVar > (math.MaxInt32-2)/2 {
+		return fmt.Errorf("lrat: variable range exceeds the kernel's 31-bit literal space")
+	}
+	kp.MaxVar = int32(pMaxVar)
+	return nil
+}
+
+func truncated(line int, what string, err error) error {
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("lrat: line %d: truncated %s", line, what)
+}
+
+type intTok struct {
+	val int
+	isD bool
+}
+
+// intScanner yields signed integers and 'd' markers from an ASCII buffer,
+// skipping whitespace and 'c' comments.
+type intScanner struct {
+	in   []byte
+	pos  int
+	line int
+}
+
+// next returns (token, true, nil), (zero, false, nil) on EOF, or an error
+// on a malformed byte.
+func (s *intScanner) next() (intTok, bool, error) {
+	for s.pos < len(s.in) {
+		b := s.in[s.pos]
+		switch {
+		case b == ' ' || b == '\t' || b == '\r':
+			s.pos++
+		case b == '\n':
+			s.line++
+			s.pos++
+		case b == 'c':
+			for s.pos < len(s.in) && s.in[s.pos] != '\n' {
+				s.pos++
+			}
+		case b == 'd':
+			s.pos++
+			return intTok{isD: true}, true, nil
+		case b == '-' || (b >= '0' && b <= '9'):
+			neg := b == '-'
+			if neg {
+				s.pos++
+			}
+			start := s.pos
+			val := 0
+			for s.pos < len(s.in) && s.in[s.pos] >= '0' && s.in[s.pos] <= '9' {
+				if val <= maxVar*16 {
+					val = val*10 + int(s.in[s.pos]-'0')
+				}
+				s.pos++
+			}
+			if s.pos == start {
+				return intTok{}, false, fmt.Errorf("lrat: line %d: '-' without digits", s.line)
+			}
+			if neg {
+				val = -val
+			}
+			return intTok{val: val}, true, nil
+		default:
+			return intTok{}, false, fmt.Errorf("lrat: line %d: unexpected byte %q", s.line, b)
+		}
+	}
+	return intTok{}, false, nil
+}

@@ -1,0 +1,8 @@
+package certify_test
+
+import "flag"
+
+// updateGolden rewrites testdata/golden_bundle.json from the current
+// schema. Use only when a schema change is intended, together with a
+// SchemaVersion bump.
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden bundle fixture")

@@ -1,0 +1,66 @@
+// Package rupipe is the reverse-unit-propagation side of the dual-checker
+// certification pipeline (internal/certify): DRUP/DRAT proofs verified
+// backward by the watched-literal engine of internal/drat, with the
+// touched original clauses as the unsat core.
+//
+// Independence contract: this package must never import internal/kernel or
+// internal/kernelcheck — the kernel pipeline
+// (internal/certify/kernelpipe) lives there, and the certification policy
+// requires the two verdicts to come from disjoint verification code. The
+// import-graph guard test in internal/certify enforces the contract.
+package rupipe
+
+import (
+	"errors"
+
+	"satcheck/internal/checker"
+	"satcheck/internal/cnf"
+	"satcheck/internal/drat"
+)
+
+// Version names this pipeline implementation inside signed verdict
+// bundles. Bump on any change to the verification semantics.
+const Version = "rupipe/1 watched-literal backward DRAT (core-first)"
+
+// Options bounds one pipeline run.
+type Options struct {
+	// MemLimitWords bounds the checker's deterministic memory model, 0 =
+	// none.
+	MemLimitWords int64
+	// Interrupt, when non-nil, is polled periodically; a non-nil error
+	// aborts the run with that error.
+	Interrupt func() error
+}
+
+// Result reports an accepted run.
+type Result struct {
+	Adds  int   // proof addition lines
+	Steps int64 // unit propagations
+	Core  []int // 0-based original clause indices the refutation touched
+}
+
+// Reject marks a proof rejection (parse error or checker refusal), as
+// opposed to an infrastructure error or interrupt.
+type Reject struct {
+	Detail string
+}
+
+func (r *Reject) Error() string { return r.Detail }
+
+// CheckDRAT verifies a DRUP/DRAT proof (ASCII or binary, optionally
+// gzipped) of f backward — drat-trim's core-first order — and returns the
+// marked original clauses as the core.
+func CheckDRAT(f *cnf.Formula, proofBytes []byte, opts Options) (*Result, error) {
+	res, err := drat.Check(f, drat.BytesSource(proofBytes), drat.Backward, checker.Options{
+		MemLimitWords: opts.MemLimitWords,
+		Interrupt:     opts.Interrupt,
+	})
+	if err != nil {
+		var ce *checker.CheckError
+		if errors.As(err, &ce) {
+			return nil, &Reject{Detail: ce.Error()}
+		}
+		return nil, err // interrupt or infrastructure: pass through verbatim
+	}
+	return &Result{Adds: res.LearnedTotal, Steps: res.ResolutionSteps, Core: res.CoreClauses}, nil
+}

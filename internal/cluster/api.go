@@ -3,6 +3,7 @@ package cluster
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/url"
 	"sort"
@@ -146,6 +147,17 @@ func (rt *Router) handleSyncCheck(w http.ResponseWriter, r *http.Request) {
 	if !rt.admit(w, r) {
 		return
 	}
+	switch pol := r.URL.Query().Get("policy"); pol {
+	case "":
+	case "dual":
+		// Fail-closed dual certification: fan the two pipelines out to
+		// (preferably distinct) shards and merge at the router (certify.go).
+		rt.handleDualCertify(w, r)
+		return
+	default:
+		rt.badRequest(w, fmt.Sprintf("unknown policy %q (want dual)", pol))
+		return
+	}
 	in, err := rt.ingest(r, w)
 	if err != nil {
 		rt.badRequest(w, err.Error())
@@ -182,6 +194,10 @@ func (rt *Router) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
+	if q.Get("policy") != "" {
+		rt.badRequest(w, "policy=dual certification is synchronous-only; use POST /v1/check")
+		return
+	}
 	class, err := parseClass(q)
 	if err != nil {
 		rt.badRequest(w, err.Error())

@@ -66,6 +66,11 @@ type Metrics struct {
 	bytesIngested atomic.Int64
 	badRequests   atomic.Int64
 
+	// certifications counts completed policy=dual certifications merged at
+	// the router, by outcome (certified=0, fail=1). Fail-closed means both
+	// cells are 200-level answers.
+	certifications [2]atomic.Int64
+
 	// shardHealth renders zcheckd_shard_healthy; the router updates it on
 	// every probe sweep and membership change.
 	mu          sync.Mutex
@@ -81,6 +86,20 @@ func newMetrics(ring *Ring, st *store.Store) *Metrics {
 		ringRebalances: ring.Rebalances,
 		storeStats:     st.Stats,
 	}
+}
+
+// certOutcomeLabels are the {outcome=...} label values of
+// zcheckd_router_certifications_total.
+var certOutcomeLabels = [...]string{"certified", "fail"}
+
+// ObserveCertification records one completed dual-policy certification
+// merged at the router.
+func (m *Metrics) ObserveCertification(certified bool) {
+	i := 1
+	if certified {
+		i = 0
+	}
+	m.certifications[i].Add(1)
 }
 
 // ObserveJobState records a transition into state for the job class.
@@ -137,6 +156,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("zcheckd_jobs_recovered_total", "Non-terminal jobs re-queued from the store at startup.", m.jobsRecovered.Load())
 	counter("zcheckd_store_corrupt_dispatches_total", "Dispatches aborted by a corrupt blob (re-ingest required).", m.corruptRestarts.Load())
 	counter("zcheckd_router_bytes_ingested_total", "Formula and proof bytes ingested into the store.", m.bytesIngested.Load())
+	fmt.Fprintf(w, "# HELP zcheckd_router_certifications_total Completed policy=dual certifications merged at the router, by outcome.\n# TYPE zcheckd_router_certifications_total counter\n")
+	for i, label := range certOutcomeLabels {
+		fmt.Fprintf(w, "zcheckd_router_certifications_total{outcome=%q} %d\n", label, m.certifications[i].Load())
+	}
 	counter("zcheckd_router_bad_requests_total", "Malformed submissions rejected at the router.", m.badRequests.Load())
 	counter("zcheckd_ring_rebalances_total", "Consistent-hash ring membership changes (each remaps ~1/N of the key space).", m.ringRebalances())
 

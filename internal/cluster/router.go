@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"satcheck/internal/certify"
 	"satcheck/internal/server"
 	"satcheck/internal/store"
 )
@@ -85,6 +86,9 @@ type Config struct {
 	// (tokens/second and bucket size); rate 0 disables quotas.
 	TenantRate  float64
 	TenantBurst float64
+	// CertifySigner signs policy=dual verdict bundles merged at the router
+	// (default: an ephemeral ed25519 keypair generated at startup).
+	CertifySigner certify.Signer
 	// Logger receives structured router logs (default: discard).
 	Logger *slog.Logger
 }
@@ -157,6 +161,10 @@ type Router struct {
 	httpSrv  *http.Server
 	listener net.Listener
 
+	// certSigner signs policy=dual bundles merged at the router (nil only
+	// if ephemeral keygen failed; dual requests then answer 500).
+	certSigner certify.Signer
+
 	draining    atomic.Bool
 	jobsRunning atomic.Int64
 
@@ -190,6 +198,15 @@ func New(cfg Config) (*Router, error) {
 		probeClient:    defaultProbeClient(cfg.ProbeTimeout),
 		dispatchClient: &http.Client{Timeout: cfg.DispatchTimeout},
 		stopProbe:      make(chan struct{}),
+	}
+	rt.certSigner = cfg.CertifySigner
+	if rt.certSigner == nil {
+		signer, err := certify.NewEd25519Signer()
+		if err != nil {
+			rt.log.Error("ephemeral certify signer generation failed", "err", err)
+		} else {
+			rt.certSigner = signer
+		}
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		if _, err := rt.AddLocalShard(); err != nil {

@@ -12,6 +12,7 @@ import (
 	"satcheck/internal/cnf"
 	"satcheck/internal/drat"
 	"satcheck/internal/gen"
+	"satcheck/internal/kernelcheck"
 	"satcheck/internal/solver"
 	"satcheck/internal/trace"
 	"satcheck/internal/tracecheck"
@@ -285,14 +286,14 @@ func solvedInstance(t *testing.T) (*cnf.Formula, []byte) {
 func TestLRATEmissionReVerifies(t *testing.T) {
 	f, proof := solvedInstance(t)
 	var lrat bytes.Buffer
-	res, err := drat.DRATToLRAT(f, drat.BytesSource(proof), &lrat, checker.Options{})
+	res, err := kernelcheck.DRATToLRAT(f, drat.BytesSource(proof), &lrat, checker.Options{})
 	if err != nil {
 		t.Fatalf("DRATToLRAT: %v", err)
 	}
 	if res.LearnedTotal == 0 {
 		t.Fatal("expected lemmas in the proof")
 	}
-	vres, err := drat.CheckLRAT(f, drat.BytesSource(lrat.Bytes()), checker.Options{})
+	vres, err := kernelcheck.CheckLRAT(f, drat.BytesSource(lrat.Bytes()), checker.Options{})
 	if err != nil {
 		t.Fatalf("independent LRAT check rejected emitted proof: %v", err)
 	}
@@ -303,13 +304,13 @@ func TestLRATEmissionReVerifies(t *testing.T) {
 
 func TestLRATRATEmission(t *testing.T) {
 	var lrat bytes.Buffer
-	if _, err := drat.DRATToLRAT(ratFormula(), drat.BytesSource(ratProof), &lrat, checker.Options{}); err != nil {
+	if _, err := kernelcheck.DRATToLRAT(ratFormula(), drat.BytesSource(ratProof), &lrat, checker.Options{}); err != nil {
 		t.Fatalf("DRATToLRAT with RAT step: %v", err)
 	}
 	if !strings.Contains(lrat.String(), "-") {
 		t.Fatalf("expected negative RAT hints in:\n%s", lrat.String())
 	}
-	if _, err := drat.CheckLRAT(ratFormula(), drat.BytesSource(lrat.Bytes()), checker.Options{}); err != nil {
+	if _, err := kernelcheck.CheckLRAT(ratFormula(), drat.BytesSource(lrat.Bytes()), checker.Options{}); err != nil {
 		t.Fatalf("independent check of RAT LRAT: %v", err)
 	}
 }
@@ -317,7 +318,7 @@ func TestLRATRATEmission(t *testing.T) {
 func TestLRATRejectsTamperedHints(t *testing.T) {
 	f := simpleUnsat()
 	var lrat bytes.Buffer
-	if _, err := drat.DRATToLRAT(f, drat.BytesSource(simpleProof), &lrat, checker.Options{}); err != nil {
+	if _, err := kernelcheck.DRATToLRAT(f, drat.BytesSource(simpleProof), &lrat, checker.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(lrat.String()), "\n")
@@ -326,7 +327,7 @@ func TestLRATRejectsTamperedHints(t *testing.T) {
 	last := strings.Fields(lines[len(lines)-1])
 	tampered := strings.Join(append(last[:len(last)-2], "0"), " ")
 	lines[len(lines)-1] = tampered
-	_, err := drat.CheckLRAT(f, drat.BytesSource(strings.Join(lines, "\n")), checker.Options{})
+	_, err := kernelcheck.CheckLRAT(f, drat.BytesSource(strings.Join(lines, "\n")), checker.Options{})
 	var ce *checker.CheckError
 	if !errors.As(err, &ce) || ce.Kind != checker.FailHint {
 		t.Fatalf("got %v, want FailHint", err)
@@ -336,10 +337,10 @@ func TestLRATRejectsTamperedHints(t *testing.T) {
 func TestTraceToLRAT(t *testing.T) {
 	f, mem := solvedTraceInstance(t)
 	var lrat bytes.Buffer
-	if _, err := drat.TraceToLRAT(f, mem, &lrat, checker.Options{}); err != nil {
+	if _, err := kernelcheck.TraceToLRAT(f, mem, &lrat, checker.Options{}); err != nil {
 		t.Fatalf("TraceToLRAT: %v", err)
 	}
-	if _, err := drat.CheckLRAT(f, drat.BytesSource(lrat.Bytes()), checker.Options{}); err != nil {
+	if _, err := kernelcheck.CheckLRAT(f, drat.BytesSource(lrat.Bytes()), checker.Options{}); err != nil {
 		t.Fatalf("independent check: %v", err)
 	}
 }
@@ -355,10 +356,10 @@ func TestTraceCheckToLRAT(t *testing.T) {
 		t.Fatal(err)
 	}
 	var lrat bytes.Buffer
-	if _, err := drat.TraceCheckToLRAT(f, clauses, &lrat, checker.Options{}); err != nil {
+	if _, err := kernelcheck.TraceCheckToLRAT(f, clauses, &lrat, checker.Options{}); err != nil {
 		t.Fatalf("TraceCheckToLRAT: %v", err)
 	}
-	if _, err := drat.CheckLRAT(f, drat.BytesSource(lrat.Bytes()), checker.Options{}); err != nil {
+	if _, err := kernelcheck.CheckLRAT(f, drat.BytesSource(lrat.Bytes()), checker.Options{}); err != nil {
 		t.Fatalf("independent check: %v", err)
 	}
 }
@@ -402,7 +403,7 @@ func TestLRATBlockedClauseAccepted(t *testing.T) {
 	proof := "5 3 1 0 0\n" + // (3 1): var 3 is fresh, blocked on pivot 3
 		"6 1 0 1 2 0\n" +
 		"7 0 6 3 4 0\n"
-	res, err := drat.CheckLRAT(simpleUnsat(), drat.BytesSource(proof), checker.Options{})
+	res, err := kernelcheck.CheckLRAT(simpleUnsat(), drat.BytesSource(proof), checker.Options{})
 	if err != nil {
 		t.Fatalf("blocked extension rejected: %v", err)
 	}
@@ -418,7 +419,7 @@ func TestLRATNonBlockedClauseRejected(t *testing.T) {
 	proof := "5 2 1 0 0\n" + // (2 1): clauses 2 and 4 contain -2, uncovered
 		"6 1 0 1 2 0\n" +
 		"7 0 6 3 4 0\n"
-	_, err := drat.CheckLRAT(simpleUnsat(), drat.BytesSource(proof), checker.Options{})
+	_, err := kernelcheck.CheckLRAT(simpleUnsat(), drat.BytesSource(proof), checker.Options{})
 	var ce *checker.CheckError
 	if !errors.As(err, &ce) || ce.Kind != checker.FailHint || ce.ClauseID != 5 {
 		t.Fatalf("got %v, want FailHint on clause 5", err)

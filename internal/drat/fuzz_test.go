@@ -61,6 +61,9 @@ func FuzzDRATParse(f *testing.F) {
 // panic, and that any accepted LRAT proof ends in an empty clause line (the
 // verifier only returns success from an empty-lits addition or an initially
 // refuted formula — which {(1),(-1)} is not without a hinted conflict).
+// In-package the legacy verifier stands in for the kernel (which now lives
+// behind internal/kernelcheck); the two are pinned to agree in
+// lrat_edge_test.go.
 func FuzzLRATParse(f *testing.F) {
 	f.Add([]byte("3 0 1 2 0\n"))
 	f.Add([]byte("3 d 1 0\n4 0 2 3 0\n"))
@@ -72,7 +75,7 @@ func FuzzLRATParse(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if _, err := CheckLRATProof(fuzzFormula(), proof, checker.Options{}); err != nil {
+		if _, err := checkLRATProofLegacy(fuzzFormula(), proof, checker.Options{}); err != nil {
 			return
 		}
 		for _, ln := range proof.Lines {
@@ -80,7 +83,7 @@ func FuzzLRATParse(f *testing.F) {
 				return // grounded empty clause found
 			}
 		}
-		t.Fatal("CheckLRATProof accepted an LRAT proof with no empty clause")
+		t.Fatal("LRAT verifier accepted an LRAT proof with no empty clause")
 	})
 }
 

@@ -284,24 +284,16 @@ func (rec *hintRecorder) lratLines(nOrig int) []LRATLine {
 	return out
 }
 
-// CheckLRAT verifies an LRAT proof of f with the trusted kernel: a
-// deliberately small hint-following verifier (internal/kernel) that shares
-// no propagation code with the DRAT engine, so the two implementations
-// cross-check each other. Rejections come back as *checker.CheckError
-// (FailHint for bad hints).
-func CheckLRAT(f *cnf.Formula, src Source, opts checker.Options) (*checker.Result, error) {
-	proof, err := LoadLRAT(src)
+// AnnotateForward forward-checks a clausal proof with the watched-literal
+// engine, recording per-lemma unit-propagation hints, and returns the
+// engine's Result alongside the recorded LRAT lines. This is the untrusted
+// annotator feeding the trusted kernel (internal/kernelcheck): the hints
+// are re-verified there, so nothing downstream needs to trust this engine.
+func AnnotateForward(f *cnf.Formula, proof *Proof, opts checker.Options) (*checker.Result, []LRATLine, error) {
+	rec := &hintRecorder{}
+	res, err := CheckProof(f, proof, Forward, opts, rec)
 	if err != nil {
-		return nil, &checker.CheckError{Kind: checker.FailTrace, ClauseID: -1, Step: noStep, Err: err}
+		return nil, nil, err
 	}
-	return CheckLRATProof(f, proof, opts)
-}
-
-// CheckLRATProof verifies an already-parsed LRAT proof with the trusted
-// kernel (internal/kernel): the flat-array hint-following core that every
-// proof format funnels into. Verdicts and diagnostics are byte-identical
-// to the historic in-package verifier, which survives only as a test-time
-// cross-check (lrat_legacy.go).
-func CheckLRATProof(f *cnf.Formula, proof *LRATProof, opts checker.Options) (*checker.Result, error) {
-	return checkLRATKernel(f, proof, opts, false)
+	return res, rec.lratLines(len(f.Clauses)), nil
 }

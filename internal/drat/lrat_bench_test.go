@@ -7,6 +7,7 @@ import (
 	"satcheck/internal/checker"
 	"satcheck/internal/drat"
 	"satcheck/internal/gen"
+	"satcheck/internal/kernelcheck"
 	"satcheck/internal/solver"
 	"satcheck/internal/trace"
 )
@@ -25,7 +26,7 @@ func bridgedLRAT(b *testing.B, ins gen.Instance) *drat.LRATProof {
 		b.Fatalf("st=%v err=%v", st, err)
 	}
 	var buf bytes.Buffer
-	if _, err := drat.TraceToLRAT(ins.F, mt, &buf, checker.Options{}); err != nil {
+	if _, err := kernelcheck.TraceToLRAT(ins.F, mt, &buf, checker.Options{}); err != nil {
 		b.Fatal(err)
 	}
 	proof, err := drat.ParseLRAT(bytes.NewReader(buf.Bytes()))
@@ -53,7 +54,7 @@ func BenchmarkLRATKernelVsLegacy(b *testing.B) {
 		b.Run(ins.Name+"/kernel", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := drat.CheckLRATProof(ins.F, proof, checker.Options{}); err != nil {
+				if _, err := kernelcheck.CheckLRATProof(ins.F, proof, checker.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}

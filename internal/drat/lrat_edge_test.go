@@ -9,10 +9,11 @@ import (
 	"satcheck/internal/checker"
 	"satcheck/internal/cnf"
 	"satcheck/internal/drat"
+	"satcheck/internal/kernelcheck"
 )
 
 // These edge cases are pinned against BOTH LRAT verifiers — the trusted
-// kernel behind drat.CheckLRATProof and the demoted map-based legacy
+// kernel behind kernelcheck.CheckLRATProof and the demoted map-based legacy
 // checker — which must agree on verdict, failure kind, failing clause ID,
 // diagnostic detail, and (on acceptance) every Result statistic. This is
 // the contract that allowed the legacy verifier to hand over trust.
@@ -31,7 +32,7 @@ func parseLRATText(t *testing.T, text string) *drat.LRATProof {
 func checkBoth(t *testing.T, f *cnf.Formula, text string) (*checker.Result, error) {
 	t.Helper()
 	proof := parseLRATText(t, text)
-	kres, kerr := drat.CheckLRATProof(f, proof, checker.Options{})
+	kres, kerr := kernelcheck.CheckLRATProof(f, proof, checker.Options{})
 	lres, lerr := drat.CheckLRATProofLegacy(f, proof, checker.Options{})
 	if (kerr == nil) != (lerr == nil) {
 		t.Fatalf("verdicts disagree: kernel err=%v, legacy err=%v", kerr, lerr)

@@ -7,6 +7,7 @@ import (
 
 	"satcheck/internal/checker"
 	"satcheck/internal/drat"
+	"satcheck/internal/kernelcheck"
 	"satcheck/internal/solver"
 	"satcheck/internal/trace"
 )
@@ -33,7 +34,7 @@ func solveClausal(t *testing.T) (*drat.Proof, *drat.LRATProof) {
 		t.Fatal(err)
 	}
 	var lb bytes.Buffer
-	if _, err := drat.TraceToLRAT(f, mt, &lb, checker.Options{}); err != nil {
+	if _, err := kernelcheck.TraceToLRAT(f, mt, &lb, checker.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	lp, err := drat.LoadLRAT(drat.BytesSource(lb.Bytes()))

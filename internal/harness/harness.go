@@ -159,6 +159,9 @@ type Summary struct {
 var escapeKinds = map[string]bool{
 	"mutation-escape":            true,
 	"cross-checker-disagreement": true,
+	// A signed CERTIFIED_UNSAT bundle over a proof the rup checker rejects:
+	// the dual pipeline failed open (mutate.go clausal battery).
+	"certify-escape": true,
 }
 
 // disagreementKinds are the Failure kinds counted as oracle disagreements.

@@ -34,6 +34,7 @@ func TestRunClean(t *testing.T) {
 		"drat-binary/forward", "drat-binary/backward",
 		"lrat/from-trace", "lrat/from-drat",
 		"kernel/from-trace", "kernel/from-drat",
+		"certify/dual",
 		"incremental/session-call", "incremental/mus",
 		"bdd/model", "er/bridge", "er-drat/forward", "er-drat/backward",
 	} {

@@ -11,6 +11,7 @@ import (
 	"satcheck/internal/drat"
 	"satcheck/internal/faults"
 	"satcheck/internal/gen"
+	"satcheck/internal/kernelcheck"
 	"satcheck/internal/solver"
 	"satcheck/internal/trace"
 )
@@ -26,7 +27,7 @@ const injectionSeeds = 3
 func (r *round) testMutations(ins gen.Instance, mt *trace.MemoryTrace, dratASCII []byte) {
 	r.testNativeMutants(ins, mt)
 	if proof, err := drat.Load(drat.BytesSource(dratASCII)); err == nil {
-		r.testClausalMutants(ins, proof)
+		r.testClausalMutants(ins, proof, mt)
 	}
 	r.testLRATMutants(ins, mt)
 }
@@ -123,7 +124,7 @@ func (r *round) predNativeViolation(m faults.Mutation, seed int64) func(*cnf.For
 	}
 }
 
-func (r *round) testClausalMutants(ins gen.Instance, proof *drat.Proof) {
+func (r *round) testClausalMutants(ins gen.Instance, proof *drat.Proof, mt *trace.MemoryTrace) {
 	f := ins.F
 	for _, m := range faults.ClausalAll() {
 		var mut *drat.Proof
@@ -153,6 +154,22 @@ func (r *round) testClausalMutants(ins gen.Instance, proof *drat.Proof) {
 			r.rep.clausal.Benign++
 		} else {
 			r.rep.clausal.Rejected++
+		}
+		// Fail-closed certification contract: the rup pipeline checks the
+		// mutant backward, so whenever that checker rejects it, pairing the
+		// mutant with the still-valid native trace must yield CERTIFY_FAIL —
+		// the kernel accepts, rup rejects, and the merge may not fail open.
+		// A certified bundle over a rup-rejected mutant is the worst possible
+		// escape: a signed endorsement of a corrupted proof.
+		if !bwdOK {
+			bundle, err := certifyArtifacts(f, mt, stepsToBytes(mut.Steps, false))
+			if err != nil {
+				r.fail("harness-error", ins.Name, fmt.Sprintf("certify mutant %s: %v", m.Name, err), nil, nil)
+			} else if bundle.Certified() {
+				r.fail("certify-escape", ins.Name,
+					fmt.Sprintf("dual certification signed CERTIFIED_UNSAT over rup-rejected mutant %s", m.Name),
+					f, nil)
+			}
 		}
 	}
 }
@@ -186,7 +203,7 @@ func (r *round) predClausalViolation(m faults.ClausalMutation, seed int64) func(
 func (r *round) testLRATMutants(ins gen.Instance, mt *trace.MemoryTrace) {
 	f := ins.F
 	var lb bytes.Buffer
-	if _, err := drat.TraceToLRAT(f, mt, &lb, checker.Options{}); err != nil {
+	if _, err := kernelcheck.TraceToLRAT(f, mt, &lb, checker.Options{}); err != nil {
 		return // already reported by the matrix pass
 	}
 	lp, err := drat.LoadLRAT(drat.BytesSource(lb.Bytes()))
@@ -207,7 +224,7 @@ func (r *round) testLRATMutants(ins gen.Instance, mt *trace.MemoryTrace) {
 			continue
 		}
 		r.rep.lrat.Tried++
-		if _, err := drat.CheckLRAT(f, drat.BytesSource(lratBytes(mut)), checker.Options{}); err != nil {
+		if _, err := kernelcheck.CheckLRAT(f, drat.BytesSource(lratBytes(mut)), checker.Options{}); err != nil {
 			r.rep.lrat.Rejected++
 			continue
 		}
@@ -352,7 +369,7 @@ func injectRejected(f *cnf.Formula, name string, maxConflicts int64) bool {
 	}
 	if m, err := faults.LRATByName(name); err == nil {
 		var lb bytes.Buffer
-		if _, berr := drat.TraceToLRAT(f, mt, &lb, checker.Options{}); berr != nil {
+		if _, berr := kernelcheck.TraceToLRAT(f, mt, &lb, checker.Options{}); berr != nil {
 			return false
 		}
 		lp, perr := drat.LoadLRAT(drat.BytesSource(lb.Bytes()))
@@ -364,7 +381,7 @@ func injectRejected(f *cnf.Formula, name string, maxConflicts int64) bool {
 			if !ok {
 				continue
 			}
-			if _, cerr := drat.CheckLRAT(f, drat.BytesSource(lratBytes(mut)), checker.Options{}); cerr != nil {
+			if _, cerr := kernelcheck.CheckLRAT(f, drat.BytesSource(lratBytes(mut)), checker.Options{}); cerr != nil {
 				return true
 			}
 		}

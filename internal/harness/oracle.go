@@ -2,18 +2,21 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
 
 	"satcheck/internal/bdd"
+	"satcheck/internal/certify"
 	"satcheck/internal/checker"
 	"satcheck/internal/cnf"
 	"satcheck/internal/dp"
 	"satcheck/internal/drat"
 	"satcheck/internal/faults"
 	"satcheck/internal/gen"
+	"satcheck/internal/kernelcheck"
 	"satcheck/internal/solver"
 	"satcheck/internal/testutil"
 	"satcheck/internal/trace"
@@ -507,11 +510,11 @@ func (r *round) checkMatrix(ins gen.Instance, mt *trace.MemoryTrace, dratASCII [
 	}
 
 	var lratBuf bytes.Buffer
-	if _, err := drat.TraceToLRAT(f, mt, &lratBuf, checker.Options{}); err != nil {
+	if _, err := kernelcheck.TraceToLRAT(f, mt, &lratBuf, checker.Options{}); err != nil {
 		r.fail("valid-proof-rejected", ins.Name,
 			fmt.Sprintf("trace→LRAT bridge rejected a valid trace: %v", err), f, nil)
 		ok = false
-	} else if _, err := drat.CheckLRAT(f, drat.BytesSource(lratBuf.Bytes()), checker.Options{}); err != nil {
+	} else if _, err := kernelcheck.CheckLRAT(f, drat.BytesSource(lratBuf.Bytes()), checker.Options{}); err != nil {
 		r.fail("valid-proof-rejected", ins.Name,
 			fmt.Sprintf("LRAT checker rejected the trace bridge's own emission: %v", err), f, nil)
 		ok = false
@@ -520,11 +523,11 @@ func (r *round) checkMatrix(ins gen.Instance, mt *trace.MemoryTrace, dratASCII [
 	}
 
 	var lratBuf2 bytes.Buffer
-	if _, err := drat.DRATToLRAT(f, drat.BytesSource(dratASCII), &lratBuf2, checker.Options{}); err != nil {
+	if _, err := kernelcheck.DRATToLRAT(f, drat.BytesSource(dratASCII), &lratBuf2, checker.Options{}); err != nil {
 		r.fail("valid-proof-rejected", ins.Name,
 			fmt.Sprintf("DRAT→LRAT bridge rejected a valid DRUP proof: %v", err), f, nil)
 		ok = false
-	} else if _, err := drat.CheckLRAT(f, drat.BytesSource(lratBuf2.Bytes()), checker.Options{}); err != nil {
+	} else if _, err := kernelcheck.CheckLRAT(f, drat.BytesSource(lratBuf2.Bytes()), checker.Options{}); err != nil {
 		r.fail("valid-proof-rejected", ins.Name,
 			fmt.Sprintf("LRAT checker rejected the DRAT bridge's own emission: %v", err), f, nil)
 		ok = false
@@ -536,7 +539,7 @@ func (r *round) checkMatrix(ins gen.Instance, mt *trace.MemoryTrace, dratASCII [
 	// end by the flat-array kernel (trace→TraceCheck→LRAT hints and forward
 	// DRAT hint recording, both verified by internal/kernel), with the
 	// kernel's backward hint-closure core as the by-product.
-	if res, err := drat.KernelCheckTrace(f, mt, checker.Options{}); err != nil {
+	if res, err := kernelcheck.KernelCheckTrace(f, mt, checker.Options{}); err != nil {
 		r.fail("valid-proof-rejected", ins.Name,
 			fmt.Sprintf("trusted kernel rejected a valid trace: %v", err), f, nil)
 		ok = false
@@ -546,7 +549,7 @@ func (r *round) checkMatrix(ins gen.Instance, mt *trace.MemoryTrace, dratASCII [
 	} else {
 		r.cell("kernel/from-trace")
 	}
-	if res, err := drat.KernelCheckDRAT(f, drat.BytesSource(dratASCII), checker.Options{}); err != nil {
+	if res, err := kernelcheck.KernelCheckDRAT(f, drat.BytesSource(dratASCII), checker.Options{}); err != nil {
 		r.fail("valid-proof-rejected", ins.Name,
 			fmt.Sprintf("trusted kernel rejected a valid DRUP proof: %v", err), f, nil)
 		ok = false
@@ -556,7 +559,54 @@ func (r *round) checkMatrix(ins gen.Instance, mt *trace.MemoryTrace, dratASCII [
 	} else {
 		r.cell("kernel/from-drat")
 	}
+
+	// Dual-certification oracle: every cell above is an individual checker;
+	// this one is the fail-closed composition. With both proof artifacts
+	// valid, the Certifier must produce CERTIFIED_UNSAT — a CERTIFY_FAIL
+	// here is a false rejection of a proof the matrix just validated, and
+	// its verdict must equal the conjunction of the two pipelines.
+	if ok {
+		bundle, err := certifyArtifacts(f, mt, dratASCII)
+		switch {
+		case err != nil:
+			r.fail("harness-error", ins.Name, fmt.Sprintf("certify oracle: %v", err), nil, nil)
+		case !bundle.Certified():
+			r.fail("valid-proof-rejected", ins.Name,
+				fmt.Sprintf("dual certification failed on a matrix-validated run: %s", bundle.Reason), f, nil)
+			ok = false
+		default:
+			r.cell("certify/dual")
+		}
+	}
 	return ok
+}
+
+// harnessCertifier is the shared fail-closed Certifier behind the certify
+// oracle cells; construction with a nil signer cannot fail outside of
+// entropy exhaustion, which is worth a panic in a test harness.
+var harnessCertifier = func() *certify.Certifier {
+	c, err := certify.New(certify.Config{})
+	if err != nil {
+		panic("harness: certifier init: " + err.Error())
+	}
+	return c
+}()
+
+// certifyArtifacts serializes one run's artifacts and runs the dual
+// certification pipeline over them.
+func certifyArtifacts(f *cnf.Formula, mt *trace.MemoryTrace, dratASCII []byte) (*certify.Bundle, error) {
+	var fb, tb bytes.Buffer
+	if err := cnf.WriteDimacs(&fb, f); err != nil {
+		return nil, err
+	}
+	if err := mt.Replay(trace.NewASCIIWriter(&tb)); err != nil {
+		return nil, err
+	}
+	return harnessCertifier.Certify(context.Background(), certify.Request{
+		FormulaBytes: fb.Bytes(),
+		TraceBytes:   tb.Bytes(),
+		DRATBytes:    dratASCII,
+	}), nil
 }
 
 // badCore validates a kernel hint-closure core: non-empty, strictly

@@ -1,4 +1,4 @@
-package drat
+package kernelcheck
 
 import (
 	"bytes"
@@ -6,26 +6,26 @@ import (
 
 	"satcheck/internal/checker"
 	"satcheck/internal/cnf"
+	"satcheck/internal/drat"
 	"satcheck/internal/trace"
 	"satcheck/internal/tracecheck"
 )
 
 // DRATToLRAT checks a DRUP/DRAT proof forward, recording unit-propagation
 // hints, and writes the equivalent LRAT proof to w. The emitted lines are
-// re-verified by the independent LRAT checker before anything is written, so
-// a successful return certifies the output twice over. The returned Result
+// re-verified by the trusted kernel before anything is written, so a
+// successful return certifies the output twice over. The returned Result
 // is the forward DRAT check's.
-func DRATToLRAT(f *cnf.Formula, src Source, w io.Writer, opts checker.Options) (*checker.Result, error) {
-	proof, err := Load(src)
+func DRATToLRAT(f *cnf.Formula, src drat.Source, w io.Writer, opts checker.Options) (*checker.Result, error) {
+	proof, err := drat.Load(src)
 	if err != nil {
 		return nil, &checker.CheckError{Kind: checker.FailTrace, ClauseID: -1, Step: noStep, Err: err}
 	}
-	rec := &hintRecorder{}
-	res, err := CheckProof(f, proof, Forward, opts, rec)
+	res, lines, err := drat.AnnotateForward(f, proof, opts)
 	if err != nil {
 		return nil, err
 	}
-	if err := emitVerified(f, rec.lratLines(len(f.Clauses)), w, opts); err != nil {
+	if err := emitVerified(f, lines, w, opts); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -46,12 +46,11 @@ func TraceToLRAT(f *cnf.Formula, src trace.Source, w io.Writer, opts checker.Opt
 		return nil, err
 	}
 	proof := proofFromTraceCheck(clauses, len(f.Clauses))
-	rec := &hintRecorder{}
-	res, err := CheckProof(f, proof, Forward, opts, rec)
+	res, lines, err := drat.AnnotateForward(f, proof, opts)
 	if err != nil {
 		return nil, err
 	}
-	if err := emitVerified(f, rec.lratLines(len(f.Clauses)), w, opts); err != nil {
+	if err := emitVerified(f, lines, w, opts); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -63,11 +62,11 @@ func TraceToLRAT(f *cnf.Formula, src trace.Source, w io.Writer, opts checker.Opt
 // derived clause are its antecedents reversed (conflicting clause last).
 // Chains can in principle repeat pivot variables, where reversal is not a
 // valid RUP order — which is why the emitted proof is always re-verified by
-// the independent LRAT checker before being written; the returned Result is
-// that verification's.
+// the trusted kernel before being written; the returned Result is that
+// verification's.
 func TraceCheckToLRAT(f *cnf.Formula, clauses []tracecheck.Clause, w io.Writer, opts checker.Options) (*checker.Result, error) {
 	nOrig := len(f.Clauses)
-	lines := make([]LRATLine, 0, len(clauses))
+	lines := make([]drat.LRATLine, 0, len(clauses))
 	for _, c := range clauses {
 		if c.ID <= nOrig {
 			continue // originals are implied by the formula in LRAT
@@ -76,40 +75,40 @@ func TraceCheckToLRAT(f *cnf.Formula, clauses []tracecheck.Clause, w io.Writer, 
 		for i, a := range c.Antecedents {
 			hints[len(hints)-1-i] = a
 		}
-		lines = append(lines, LRATLine{ID: c.ID, Lits: c.Lits, Hints: hints})
+		lines = append(lines, drat.LRATLine{ID: c.ID, Lits: c.Lits, Hints: hints})
 	}
 	res, err := verifyLines(f, lines, opts)
 	if err != nil {
 		return nil, err
 	}
-	if err := WriteLines(w, lines); err != nil {
+	if err := drat.WriteLines(w, lines); err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
-// emitVerified re-verifies freshly generated lines with the independent
-// checker and only then writes them.
-func emitVerified(f *cnf.Formula, lines []LRATLine, w io.Writer, opts checker.Options) error {
+// emitVerified re-verifies freshly generated lines with the trusted kernel
+// and only then writes them.
+func emitVerified(f *cnf.Formula, lines []drat.LRATLine, w io.Writer, opts checker.Options) error {
 	if _, err := verifyLines(f, lines, opts); err != nil {
 		return err
 	}
-	return WriteLines(w, lines)
+	return drat.WriteLines(w, lines)
 }
 
-func verifyLines(f *cnf.Formula, lines []LRATLine, opts checker.Options) (*checker.Result, error) {
-	return CheckLRATProof(f, &LRATProof{Lines: lines}, opts)
+func verifyLines(f *cnf.Formula, lines []drat.LRATLine, opts checker.Options) (*checker.Result, error) {
+	return CheckLRATProof(f, &drat.LRATProof{Lines: lines}, opts)
 }
 
 // proofFromTraceCheck lifts the derived clauses of a TraceCheck file into a
 // clausal proof (additions only; TraceCheck has no deletions).
-func proofFromTraceCheck(clauses []tracecheck.Clause, nOrig int) *Proof {
-	p := &Proof{}
+func proofFromTraceCheck(clauses []tracecheck.Clause, nOrig int) *drat.Proof {
+	p := &drat.Proof{}
 	for _, c := range clauses {
 		if c.ID <= nOrig {
 			continue
 		}
-		p.Steps = append(p.Steps, Step{Lits: c.Lits})
+		p.Steps = append(p.Steps, drat.Step{Lits: c.Lits})
 		p.Ints += int64(len(c.Lits)) + 1
 	}
 	return p

@@ -1,4 +1,15 @@
-package drat
+// Package kernelcheck is the bridge between the untrusted annotators and
+// the trusted kernel (internal/kernel). Every proof format terminates here:
+// parsed LRAT goes straight in, native traces and DRAT proofs are first
+// annotated by the forward engine (hint recording, internal/drat) and then
+// re-verified by the kernel — so the only code path that can report
+// "verified" is kernel.Check.
+//
+// This package deliberately lives outside internal/drat: the certification
+// pipeline (internal/certify) requires that the watched-literal DRAT engine
+// and the kernel path share no verification package, and extracting the
+// bridge is what keeps internal/drat free of any internal/kernel import.
+package kernelcheck
 
 import (
 	"bytes"
@@ -8,16 +19,15 @@ import (
 
 	"satcheck/internal/checker"
 	"satcheck/internal/cnf"
+	"satcheck/internal/drat"
 	"satcheck/internal/kernel"
 	"satcheck/internal/trace"
 	"satcheck/internal/tracecheck"
 )
 
-// This file is the bridge between the untrusted annotators and the trusted
-// kernel (internal/kernel). Every proof format terminates here: parsed LRAT
-// goes straight in, native traces and DRAT proofs are first annotated by
-// the forward engine (hint recording) and then re-verified by the kernel —
-// so the only code path that can report "verified" is kernel.Check.
+// noStep fills CheckError.Step for clausal failures, which have no
+// within-clause resolution step index (mirrors internal/drat).
+const noStep = -1
 
 // kernelRun bundles a reusable kernel checker with the flat translation
 // buffers feeding it. Pooled so steady-state service traffic re-verifies
@@ -34,7 +44,7 @@ var kernelRuns = sync.Pool{New: func() any { return new(kernelRun) }}
 // checkLRATKernel flattens (f, proof) and runs the trusted kernel.
 // Rejections map onto the exact *checker.CheckError values of the historic
 // in-package verifier, so callers and tests see byte-identical diagnostics.
-func checkLRATKernel(f *cnf.Formula, proof *LRATProof, opts checker.Options, wantCore bool) (*checker.Result, error) {
+func checkLRATKernel(f *cnf.Formula, proof *drat.LRATProof, opts checker.Options, wantCore bool) (*checker.Result, error) {
 	kr := kernelRuns.Get().(*kernelRun)
 	defer kernelRuns.Put(kr)
 	if err := kr.flatten(f, proof); err != nil {
@@ -70,7 +80,7 @@ func checkLRATKernel(f *cnf.Formula, proof *LRATProof, opts checker.Options, wan
 // verifier contract since PR 3); proof lits are taken verbatim. cnf.Lit's
 // encoding (var<<1 | neg) is already the kernel's, so literals copy
 // directly.
-func (kr *kernelRun) flatten(f *cnf.Formula, proof *LRATProof) error {
+func (kr *kernelRun) flatten(f *cnf.Formula, proof *drat.LRATProof) error {
 	kf, kp := &kr.kf, &kr.kp
 	kf.Lits = kf.Lits[:0]
 	kf.Off = append(kf.Off[:0], 0)
@@ -220,6 +230,28 @@ func kernelError(err error) error {
 	return ce
 }
 
+// CheckLRAT verifies an LRAT proof of f with the trusted kernel: a
+// deliberately small hint-following verifier (internal/kernel) that shares
+// no propagation code with the DRAT engine, so the two implementations
+// cross-check each other. Rejections come back as *checker.CheckError
+// (FailHint for bad hints).
+func CheckLRAT(f *cnf.Formula, src drat.Source, opts checker.Options) (*checker.Result, error) {
+	proof, err := drat.LoadLRAT(src)
+	if err != nil {
+		return nil, &checker.CheckError{Kind: checker.FailTrace, ClauseID: -1, Step: noStep, Err: err}
+	}
+	return CheckLRATProof(f, proof, opts)
+}
+
+// CheckLRATProof verifies an already-parsed LRAT proof with the trusted
+// kernel (internal/kernel): the flat-array hint-following core that every
+// proof format funnels into. Verdicts and diagnostics are byte-identical
+// to the historic in-package verifier, which survives only as a test-time
+// cross-check (internal/drat/lrat_legacy.go).
+func CheckLRATProof(f *cnf.Formula, proof *drat.LRATProof, opts checker.Options) (*checker.Result, error) {
+	return checkLRATKernel(f, proof, opts, false)
+}
+
 // KernelCheckTrace verifies a native solver trace end to end through the
 // trusted kernel: the TraceCheck exporter materializes learned clauses, the
 // forward RUP engine (untrusted annotator) records unit-propagation hints,
@@ -239,19 +271,19 @@ func KernelCheckTrace(f *cnf.Formula, src trace.Source, opts checker.Options) (*
 		return nil, &checker.CheckError{Kind: checker.FailTrace, ClauseID: trace.NoClause, Step: -1, Err: err}
 	}
 	proof := proofFromTraceCheck(clauses, len(f.Clauses))
-	rec := &hintRecorder{}
-	if _, err := CheckProof(f, proof, Forward, opts, rec); err != nil {
+	_, lines, err := drat.AnnotateForward(f, proof, opts)
+	if err != nil {
 		return nil, err
 	}
-	return checkLRATKernel(f, &LRATProof{Lines: rec.lratLines(len(f.Clauses))}, opts, true)
+	return checkLRATKernel(f, &drat.LRATProof{Lines: lines}, opts, true)
 }
 
 // KernelCheckDRAT verifies a DRUP/DRAT proof through the trusted kernel:
 // forward annotation, then kernel verification of the hinted form. The
 // returned Result is the kernel's (LearnedTotal counts the annotated LRAT
 // additions), with the hint-closure core.
-func KernelCheckDRAT(f *cnf.Formula, src Source, opts checker.Options) (*checker.Result, error) {
-	proof, err := Load(src)
+func KernelCheckDRAT(f *cnf.Formula, src drat.Source, opts checker.Options) (*checker.Result, error) {
+	proof, err := drat.Load(src)
 	if err != nil {
 		return nil, &checker.CheckError{Kind: checker.FailTrace, ClauseID: -1, Step: noStep, Err: err}
 	}
@@ -259,10 +291,10 @@ func KernelCheckDRAT(f *cnf.Formula, src Source, opts checker.Options) (*checker
 }
 
 // KernelCheckDRATProof is KernelCheckDRAT over an already-parsed proof.
-func KernelCheckDRATProof(f *cnf.Formula, proof *Proof, opts checker.Options) (*checker.Result, error) {
-	rec := &hintRecorder{}
-	if _, err := CheckProof(f, proof, Forward, opts, rec); err != nil {
+func KernelCheckDRATProof(f *cnf.Formula, proof *drat.Proof, opts checker.Options) (*checker.Result, error) {
+	_, lines, err := drat.AnnotateForward(f, proof, opts)
+	if err != nil {
 		return nil, err
 	}
-	return checkLRATKernel(f, &LRATProof{Lines: rec.lratLines(len(f.Clauses))}, opts, true)
+	return checkLRATKernel(f, &drat.LRATProof{Lines: lines}, opts, true)
 }

@@ -1,0 +1,185 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"time"
+
+	"satcheck/internal/certify"
+	"satcheck/internal/cnf"
+)
+
+// handleDualCheck is POST /v1/check?policy=dual: the fail-closed
+// dual-checker certification policy (docs/CERTIFY.md). Parts: "formula"
+// (DIMACS), a kernel-pipeline input ("trace" — a native resolution trace —
+// or "lrat"), and "drat". The answer is HTTP 200 with a signed verdict
+// bundle whether or not certification succeeded: fail-closed means
+// CERTIFY_FAIL is a first-class, signed answer, not an HTTP error.
+// Backpressure (429/503) and malformed multipart bodies (400) are the only
+// non-bundle responses.
+//
+// With pipeline=kernel or pipeline=rup the handler runs just that pipeline
+// and answers with its bare CheckerVerdict JSON — the building block the
+// cluster router fans out to distinct shards and merges with
+// certify.Assemble.
+func (s *Server) handleDualCheck(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	pipeline := q.Get("pipeline")
+	switch pipeline {
+	case "", certify.PipelineKernel, certify.PipelineRUP:
+	default:
+		s.badRequest(w, fmt.Sprintf("unknown pipeline %q (want %q or %q)", pipeline, certify.PipelineKernel, certify.PipelineRUP))
+		return
+	}
+	memMB, err := parseInt(q, "mem_limit_mb")
+	if err != nil {
+		s.badRequest(w, err.Error())
+		return
+	}
+	ms, err := parseInt(q, "timeout_ms")
+	if err != nil {
+		s.badRequest(w, err.Error())
+		return
+	}
+	timeout := time.Duration(ms) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	// Certifications bypass the check queue (their unit of work is two
+	// pipelines, not one satcheck job) but respect the same concurrency
+	// budget: at most Workers of them run at once, beyond that the request
+	// gets the standard backpressure answer.
+	select {
+	case s.certSem <- struct{}{}:
+		defer func() { <-s.certSem }()
+	default:
+		s.metrics.jobsRejected.Add(1)
+		s.backpressure(w, http.StatusTooManyRequests, "certification capacity exhausted")
+		return
+	}
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	mr, err := r.MultipartReader()
+	if err != nil {
+		s.badRequest(w, "expected multipart/form-data with parts \"formula\", \"trace\"|\"lrat\", and \"drat\": "+err.Error())
+		return
+	}
+	parts, err := s.ingestDual(mr)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.metrics.badRequests.Add(1)
+			s.errorJSON(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit), 0)
+			return
+		}
+		s.badRequest(w, err.Error())
+		return
+	}
+	if len(parts.formula) == 0 {
+		s.badRequest(w, "missing \"formula\" part")
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	memWords := memMB << 20 / 4
+
+	if pipeline != "" {
+		s.runOnePipeline(ctx, w, pipeline, parts, memWords)
+		return
+	}
+
+	if s.certSigner == nil {
+		s.errorJSON(w, http.StatusInternalServerError, "certification signer unavailable", 0)
+		return
+	}
+	ct, err := certify.New(certify.Config{Signer: s.certSigner, MemLimitWords: memWords})
+	if err != nil {
+		s.errorJSON(w, http.StatusInternalServerError, err.Error(), 0)
+		return
+	}
+	bundle := ct.Certify(ctx, certify.Request{
+		FormulaBytes: parts.formula,
+		TraceBytes:   parts.trace,
+		LRATBytes:    parts.lrat,
+		DRATBytes:    parts.drat,
+	})
+	s.metrics.ObserveCertification(bundle.Certified())
+	s.log.Info("certification", "outcome", bundle.Outcome, "reason", bundle.Reason)
+	s.writeJSON(w, http.StatusOK, bundle)
+}
+
+// runOnePipeline answers a cluster fan-out sub-request: one pipeline, bare
+// CheckerVerdict JSON. A formula that does not parse is an "error" verdict,
+// not an HTTP error — the router merges it fail-closed.
+func (s *Server) runOnePipeline(ctx context.Context, w http.ResponseWriter, pipeline string, parts *dualParts, memWords int64) {
+	f, err := cnf.ParseDimacs(bytes.NewReader(parts.formula))
+	if err != nil {
+		s.writeJSON(w, http.StatusOK, &certify.CheckerVerdict{
+			Pipeline: pipeline,
+			Verdict:  certify.VerdictError,
+			Detail:   fmt.Sprintf("instance does not parse: %v", err),
+		})
+		return
+	}
+	var v certify.CheckerVerdict
+	if pipeline == certify.PipelineKernel {
+		v = certify.RunKernelPipe(ctx, f, parts.trace, parts.lrat, memWords, nil)
+	} else {
+		v = certify.RunRUPPipe(ctx, f, parts.drat, memWords, nil)
+	}
+	s.writeJSON(w, http.StatusOK, &v)
+}
+
+// dualParts are the buffered artifact bytes of one certification request.
+// Unlike the single-checker path there is no spool: the certifier hashes
+// and re-parses raw bytes, and the body size is already bounded by
+// MaxBodyBytes.
+type dualParts struct {
+	formula, trace, lrat, drat []byte
+}
+
+// ingestDual buffers the known parts, draining unknown ones for forward
+// compatibility.
+func (s *Server) ingestDual(mr *multipart.Reader) (*dualParts, error) {
+	p := &dualParts{}
+	slots := map[string]*[]byte{
+		"formula": &p.formula,
+		"trace":   &p.trace,
+		"lrat":    &p.lrat,
+		"drat":    &p.drat,
+	}
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			return p, nil
+		}
+		if err != nil {
+			return p, fmt.Errorf("reading multipart body: %w", err)
+		}
+		slot, ok := slots[part.FormName()]
+		if !ok {
+			io.Copy(io.Discard, part)
+			continue
+		}
+		if *slot != nil {
+			return p, fmt.Errorf("duplicate %q part", part.FormName())
+		}
+		data, err := io.ReadAll(part)
+		if err != nil {
+			return p, fmt.Errorf("reading %q part: %w", part.FormName(), err)
+		}
+		*slot = data
+		s.metrics.bytesIngested.Add(int64(len(data)))
+	}
+}

@@ -1,0 +1,198 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"mime/multipart"
+	"net/http"
+	"strings"
+	"testing"
+
+	"satcheck/internal/certify"
+	"satcheck/internal/gen"
+	"time"
+)
+
+// dualBody builds a policy=dual request body from named parts.
+func dualBody(t testing.TB, parts map[string][]byte) (string, *bytes.Buffer) {
+	t.Helper()
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	for _, field := range []string{"formula", "trace", "lrat", "drat"} {
+		data, ok := parts[field]
+		if !ok {
+			continue
+		}
+		w, err := mw.CreateFormFile(field, field+".bin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Write(data)
+	}
+	mw.Close()
+	return mw.FormDataContentType(), &body
+}
+
+// TestDualCertifyEndToEnd drives the fail-closed certification policy over a
+// real solver run: a genuine trace+DRAT pair certifies (HMAC-signed,
+// verifiable with the shared key), a corrupted DRAT comes back CERTIFY_FAIL
+// with a disagreement reason at HTTP 200, and the per-outcome metric counts
+// both.
+func TestDualCertifyEndToEnd(t *testing.T) {
+	ins := gen.Pigeonhole(5)
+	formula, traceBytes, _, _ := unsatPayload(t, ins)
+	_, proof, _ := drupPayload(t, ins)
+	key := []byte("deployment-secret")
+	_, ts := newTestServer(t, Config{Workers: 2, CertifySigner: certify.NewHMACSigner(key)})
+
+	ct, body := dualBody(t, map[string][]byte{"formula": formula, "trace": traceBytes, "drat": proof})
+	resp, data := postCheck(t, ts, "?policy=dual", ct, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, data)
+	}
+	bundle, err := certify.ParseBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bundle.Certified() {
+		t.Fatalf("expected CERTIFIED_UNSAT, got %s: %s", bundle.Outcome, bundle.Reason)
+	}
+	if len(bundle.Checkers) != 2 {
+		t.Fatalf("want 2 checker verdicts, got %d", len(bundle.Checkers))
+	}
+	if err := bundle.Verify(key); err != nil {
+		t.Fatalf("bundle does not verify under the deployment key: %v", err)
+	}
+	if err := bundle.Verify([]byte("wrong")); err == nil {
+		t.Fatal("bundle verified under the wrong key")
+	}
+
+	// Corrupt the DRAT proof: the kernel pipeline still accepts the intact
+	// trace, so the merge must report a disagreement — fail-closed, HTTP 200.
+	bad := bytes.Replace(proof, []byte("\n"), []byte(" 99999\n"), 1)
+	ct, body = dualBody(t, map[string][]byte{"formula": formula, "trace": traceBytes, "drat": bad})
+	resp, data = postCheck(t, ts, "?policy=dual", ct, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fail-closed answer must be HTTP 200, got %d: %s", resp.StatusCode, data)
+	}
+	failBundle, err := certify.ParseBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failBundle.Certified() {
+		t.Fatal("corrupted DRAT certified")
+	}
+	if !strings.Contains(failBundle.Reason, "disagreement") && !strings.Contains(failBundle.Reason, "rejected") {
+		t.Fatalf("reason does not name the rejection: %q", failBundle.Reason)
+	}
+
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mbuf bytes.Buffer
+	mbuf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	metrics := mbuf.String()
+	for _, want := range []string{
+		`zcheckd_certifications_total{outcome="certified"} 1`,
+		`zcheckd_certifications_total{outcome="fail"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestDualPipelineSubRequests exercises the cluster fan-out building block:
+// pipeline=kernel and pipeline=rup answer bare CheckerVerdicts that
+// certify.Assemble can merge into a certified bundle.
+func TestDualPipelineSubRequests(t *testing.T) {
+	ins := gen.Pigeonhole(4)
+	formula, traceBytes, _, _ := unsatPayload(t, ins)
+	_, proof, _ := drupPayload(t, ins)
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	var verdicts []certify.CheckerVerdict
+	for _, tc := range []struct {
+		pipeline string
+		parts    map[string][]byte
+	}{
+		{certify.PipelineKernel, map[string][]byte{"formula": formula, "trace": traceBytes}},
+		{certify.PipelineRUP, map[string][]byte{"formula": formula, "drat": proof}},
+	} {
+		ct, body := dualBody(t, tc.parts)
+		resp, data := postCheck(t, ts, "?policy=dual&pipeline="+tc.pipeline, ct, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pipeline=%s: HTTP %d: %s", tc.pipeline, resp.StatusCode, data)
+		}
+		var v certify.CheckerVerdict
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Pipeline != tc.pipeline || v.Verdict != certify.VerdictAccept {
+			t.Fatalf("pipeline=%s: verdict %+v", tc.pipeline, v)
+		}
+		verdicts = append(verdicts, v)
+	}
+
+	signer := certify.NewHMACSigner([]byte("router-key"))
+	bundle := certify.Assemble(certify.Hashes{Instance: certify.HashBytes(formula)}, verdicts, signer, time.Now())
+	if !bundle.Certified() {
+		t.Fatalf("merged shard verdicts did not certify: %s", bundle.Reason)
+	}
+
+	// A formula that does not parse is an "error" verdict (merged
+	// fail-closed at the router), not an HTTP error.
+	ct, body := dualBody(t, map[string][]byte{"formula": []byte("p cnf nonsense"), "drat": proof})
+	resp, data := postCheck(t, ts, "?policy=dual&pipeline=rup", ct, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, data)
+	}
+	var v certify.CheckerVerdict
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Verdict != certify.VerdictError {
+		t.Fatalf("unparseable formula: verdict %+v, want error", v)
+	}
+}
+
+// TestDualBadRequests pins the 400 surface of the dual policy.
+func TestDualBadRequests(t *testing.T) {
+	ins := gen.Pigeonhole(4)
+	formula, traceBytes, _, _ := unsatPayload(t, ins)
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	// Unknown policy token.
+	ct, body := multipartBody(t, formula, traceBytes)
+	resp, _ := postCheck(t, ts, "?policy=triple", ct, body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("policy=triple: HTTP %d, want 400", resp.StatusCode)
+	}
+	// Unknown pipeline token.
+	ct, body = dualBody(t, map[string][]byte{"formula": formula, "trace": traceBytes})
+	resp, _ = postCheck(t, ts, "?policy=dual&pipeline=both", ct, body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("pipeline=both: HTTP %d, want 400", resp.StatusCode)
+	}
+	// Missing formula part.
+	ct, body = dualBody(t, map[string][]byte{"trace": traceBytes})
+	resp, _ = postCheck(t, ts, "?policy=dual", ct, body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing formula: HTTP %d, want 400", resp.StatusCode)
+	}
+	// Missing proofs is NOT a 400: it is a signed missing-input CERTIFY_FAIL.
+	ct, body = dualBody(t, map[string][]byte{"formula": formula})
+	resp, data := postCheck(t, ts, "?policy=dual", ct, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("missing proofs: HTTP %d, want 200: %s", resp.StatusCode, data)
+	}
+	bundle, err := certify.ParseBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bundle.Certified() || !strings.Contains(bundle.Reason, "did not decide") {
+		t.Fatalf("missing proofs: %s / %q", bundle.Outcome, bundle.Reason)
+	}
+}

@@ -31,6 +31,19 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// policy=dual routes to the fail-closed dual-checker certification
+	// pipeline (certify.go); the default (empty) policy is the classic
+	// single-checker path below.
+	switch pol := r.URL.Query().Get("policy"); pol {
+	case "":
+	case "dual":
+		s.handleDualCheck(w, r)
+		return
+	default:
+		s.badRequest(w, fmt.Sprintf("unknown policy %q (want dual)", pol))
+		return
+	}
+
 	opts, err := ParseJobOptions(r.URL.Query())
 	if err != nil {
 		s.badRequest(w, err.Error())

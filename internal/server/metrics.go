@@ -41,6 +41,12 @@ type Metrics struct {
 	// native traversals it shares the queue with.
 	checksByMethod [len(methodLabels)]atomic.Int64
 
+	// certifications counts completed policy=dual certifications by
+	// outcome, indexed by certOutcomeLabels. Fail-closed means both cells
+	// are 200-level answers; the ratio is the operator's solver-health
+	// signal.
+	certifications [len(certOutcomeLabels)]atomic.Int64
+
 	// Gauges.
 	queueDepth  atomic.Int64
 	jobsRunning atomic.Int64
@@ -77,6 +83,19 @@ func (m *Metrics) ObserveMethod(method int) {
 	if method >= 0 && method < len(methodLabels) {
 		m.checksByMethod[method].Add(1)
 	}
+}
+
+// certOutcomeLabels are the {outcome=...} label values of
+// zcheckd_certifications_total.
+var certOutcomeLabels = [...]string{"certified", "fail"}
+
+// ObserveCertification records one completed dual-policy certification.
+func (m *Metrics) ObserveCertification(certified bool) {
+	i := 1
+	if certified {
+		i = 0
+	}
+	m.certifications[i].Add(1)
 }
 
 // latencyBuckets are the histogram upper bounds in seconds; checks span
@@ -134,6 +153,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP zcheckd_checks_by_method_total Completed checks by requested method.\n# TYPE zcheckd_checks_by_method_total counter\n")
 	for i, label := range methodLabels {
 		fmt.Fprintf(w, "zcheckd_checks_by_method_total{method=%q} %d\n", label, m.checksByMethod[i].Load())
+	}
+	fmt.Fprintf(w, "# HELP zcheckd_certifications_total Completed policy=dual certifications by outcome.\n# TYPE zcheckd_certifications_total counter\n")
+	for i, label := range certOutcomeLabels {
+		fmt.Fprintf(w, "zcheckd_certifications_total{outcome=%q} %d\n", label, m.certifications[i].Load())
 	}
 	gauge("zcheckd_queue_depth", "Jobs waiting in the queue.", m.queueDepth.Load())
 	gauge("zcheckd_jobs_running", "Jobs currently being checked by workers.", m.jobsRunning.Load())

@@ -9,6 +9,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"satcheck/internal/certify"
 )
 
 // Config sizes the daemon. The zero value is usable: New fills in the
@@ -38,6 +40,10 @@ type Config struct {
 	TempDir string
 	// Logger receives per-job structured logs (default: discard).
 	Logger *slog.Logger
+	// CertifySigner signs policy=dual verdict bundles (default: an
+	// ephemeral ed25519 keypair generated at startup; its public key
+	// travels in every bundle).
+	CertifySigner certify.Signer
 }
 
 // Defaults used by New for zero Config fields.
@@ -95,6 +101,12 @@ type Server struct {
 	httpSrv  *http.Server
 	listener net.Listener
 
+	// certSem bounds concurrent policy=dual certifications at Workers;
+	// certSigner signs their bundles (nil only if ephemeral keygen failed,
+	// in which case dual requests answer 500).
+	certSem    chan struct{}
+	certSigner certify.Signer
+
 	draining atomic.Bool
 	nextJob  atomic.Uint64
 }
@@ -112,6 +124,16 @@ func New(cfg Config) *Server {
 		log:     cfg.Logger,
 	}
 	s.pool = startPool(cfg.Workers, s.queue, s.cache, s.metrics, s.log)
+	s.certSem = make(chan struct{}, cfg.Workers)
+	s.certSigner = cfg.CertifySigner
+	if s.certSigner == nil {
+		signer, err := certify.NewEd25519Signer()
+		if err != nil {
+			s.log.Error("ephemeral certify signer generation failed", "err", err)
+		} else {
+			s.certSigner = signer
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/check", s.handleCheck)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)

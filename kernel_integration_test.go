@@ -19,6 +19,7 @@ import (
 	"satcheck/internal/drat"
 	"satcheck/internal/faults"
 	"satcheck/internal/gen"
+	"satcheck/internal/kernelcheck"
 	"satcheck/internal/trace"
 )
 
@@ -145,7 +146,7 @@ func TestKernelRejectsLRATFaults(t *testing.T) {
 			if !ok {
 				t.Skip("mutation not applicable to this proof")
 			}
-			if _, err := drat.CheckLRATProof(f, mut, satcheck.CheckOptions{}); err == nil {
+			if _, err := kernelcheck.CheckLRATProof(f, mut, satcheck.CheckOptions{}); err == nil {
 				t.Fatalf("kernel accepted %s mutant (%s)", m.Name, m.Bug)
 			}
 		})

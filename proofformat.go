@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"satcheck/internal/drat"
+	"satcheck/internal/kernelcheck"
 	"satcheck/internal/solver"
 )
 
@@ -110,7 +111,7 @@ func CheckDRAT(f *Formula, src ProofSource, m Method, opts CheckOptions) (*Check
 		// Forward-check the clausal proof, record the propagation hints, and
 		// verify them in the trusted kernel; the kernel's hint closure is the
 		// returned core.
-		return drat.KernelCheckDRAT(f, src, opts)
+		return kernelcheck.KernelCheckDRAT(f, src, opts)
 	}
 	mode, err := dratMode(m)
 	if err != nil {
@@ -122,19 +123,19 @@ func CheckDRAT(f *Formula, src ProofSource, m Method, opts CheckOptions) (*Check
 // CheckLRAT validates an LRAT proof by following its hints — no propagation
 // search, making it the cheapest and most independent check in the package.
 func CheckLRAT(f *Formula, src ProofSource, opts CheckOptions) (*CheckResult, error) {
-	return drat.CheckLRAT(f, src, opts)
+	return kernelcheck.CheckLRAT(f, src, opts)
 }
 
 // DRATToLRAT forward-checks a DRAT proof and writes the accepted derivation
 // as LRAT with propagation hints; the emitted proof is re-verified by the
 // independent LRAT checker before anything is written to w.
 func DRATToLRAT(f *Formula, src ProofSource, w io.Writer, opts CheckOptions) (*CheckResult, error) {
-	return drat.DRATToLRAT(f, src, w, opts)
+	return kernelcheck.DRATToLRAT(f, src, w, opts)
 }
 
 // TraceToLRAT converts a native resolution trace to a verified LRAT proof.
 func TraceToLRAT(f *Formula, src TraceSource, w io.Writer, opts CheckOptions) (*CheckResult, error) {
-	return drat.TraceToLRAT(f, src, w, opts)
+	return kernelcheck.TraceToLRAT(f, src, w, opts)
 }
 
 // SolveWithDRUP decides f while streaming a DRUP proof of an UNSAT answer

@@ -35,9 +35,9 @@ import (
 	"satcheck/internal/checker"
 	"satcheck/internal/cnf"
 	"satcheck/internal/core"
-	"satcheck/internal/drat"
 	"satcheck/internal/incremental"
 	"satcheck/internal/interp"
+	"satcheck/internal/kernelcheck"
 	"satcheck/internal/proofstat"
 	"satcheck/internal/solver"
 	"satcheck/internal/trace"
@@ -237,7 +237,7 @@ func Check(f *Formula, src TraceSource, m Method, opts CheckOptions) (*CheckResu
 	case Parallel:
 		return checker.Parallel(f, src, opts)
 	case Kernel:
-		return drat.KernelCheckTrace(f, src, opts)
+		return kernelcheck.KernelCheckTrace(f, src, opts)
 	default:
 		return nil, fmt.Errorf("satcheck: unknown check method %d", int(m))
 	}

@@ -1,0 +1,45 @@
+#!/bin/sh
+# Regenerate the golden conformance fixtures (testdata/conformance) from
+# real drat-trim / lrat-trim runs. CI never runs this: the fixtures are
+# checked in precisely so no external binary is a test dependency. Run it
+# when you have the tools locally and want to refresh the golden bytes —
+# then update the counts in testdata/conformance/expect.json and re-run
+# `go test ./internal/certify/ -run TestConformance` to re-pin.
+#
+# drat-trim: https://github.com/marijnheule/drat-trim
+# lrat-trim: https://github.com/arminbiere/lrat-trim
+set -eu
+
+cd "$(dirname "$0")/.."
+DIR=testdata/conformance
+
+if ! command -v drat-trim >/dev/null 2>&1; then
+    echo "conformance-regen: drat-trim not on PATH; keeping checked-in fixtures" >&2
+    exit 0
+fi
+
+for name in php4 rat unit; do
+    cnf="$DIR/$name.cnf"
+    drat="$DIR/$name.drat"
+    [ -f "$cnf" ] && [ -f "$drat" ] || continue
+    # drat-trim must accept our DRAT bytes, and its -L output becomes the
+    # golden LRAT fixture the kernel pipeline parses in CI.
+    drat-trim "$cnf" "$drat" -L "$DIR/$name.lrat.new"
+    mv "$DIR/$name.lrat.new" "$DIR/$name.lrat"
+    echo "conformance-regen: $name.lrat regenerated from drat-trim" >&2
+    if command -v lrat-trim >/dev/null 2>&1; then
+        # lrat-trim must in turn accept the LRAT we just pinned.
+        lrat-trim "$cnf" "$DIR/$name.lrat" >/dev/null
+        echo "conformance-regen: $name.lrat accepted by lrat-trim" >&2
+    fi
+done
+
+# Binary DRAT golden bytes: drat-trim re-emits proofs in the binary
+# encoding with -b (only rat is pinned in both encodings).
+if [ -f "$DIR/rat.drat" ]; then
+    drat-trim "$DIR/rat.cnf" "$DIR/rat.drat" -b "$DIR/rat.bdrat.new" \
+        && mv "$DIR/rat.bdrat.new" "$DIR/rat.bdrat" \
+        && echo "conformance-regen: rat.bdrat regenerated" >&2
+fi
+
+echo "conformance-regen: done — update expect.json if counts changed" >&2
