@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-table3 bench-bdd bench-kernel bench-cluster bench-all experiments examples fuzz zfuzz zfuzz-soak cluster-smoke certify-smoke conformance-regen clean
+.PHONY: all build test vet lint race bench bench-table3 bench-bdd bench-kernel bench-cluster bench-ooc bench-all experiments examples fuzz zfuzz zfuzz-soak cluster-smoke certify-smoke ooc-smoke conformance-regen clean
 
 all: build vet test
 
@@ -114,6 +114,38 @@ certify-smoke:
 		echo "certify-smoke: $$f CERTIFIED_UNSAT"; \
 	done
 	$(GO) run ./cmd/zbulk -dir testdata/conformance
+
+# Out-of-core acceptance gate (docs/OOC.md). Three layers: the ooc unit
+# tier (window shifting, spill/reload, fail-closed paths) and the stress
+# generator under the race detector; the OOC_SMOKE-gated full-size check —
+# a 2M-lemma proof verified at a 64MiB window budget with the Go runtime's
+# memory limit pinned to 256MiB in-process (debug.SetMemoryLimit); and the
+# CLI end to end — zgen -proof-stress writes a proof whose in-memory kernel
+# image peaks around 1.4 GiB RSS, zverify checks it in memory and out of
+# core under GOMEMLIMIT=256MiB, and the verdict + unsat-core output must be
+# byte-identical. CI runs this as its own job.
+ooc-smoke:
+	$(GO) test -race ./internal/ooc/... ./internal/gen/
+	$(GO) test -race -run 'TestOOC' .
+	OOC_SMOKE=1 $(GO) test -v -run TestOOCSmokeMemoryLimit -timeout 20m .
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/zgen ./cmd/zgen; \
+	$(GO) build -o $$tmp/zverify ./cmd/zverify; \
+	$$tmp/zgen -proof-stress -stress-lemmas 2000000 -o $$tmp/stress; \
+	$$tmp/zverify -format lrat -method kernel -core $$tmp/stress.cnf $$tmp/stress.lrat \
+		| grep -v -e '^method=' -e '^ooc:' > $$tmp/kernel.out; \
+	GOMEMLIMIT=256MiB $$tmp/zverify -format lrat -method ooc -mem-budget 64MiB -core $$tmp/stress.cnf $$tmp/stress.lrat \
+		| grep -v -e '^method=' -e '^ooc:' > $$tmp/ooc.out; \
+	diff $$tmp/kernel.out $$tmp/ooc.out; \
+	echo "ooc-smoke: verdict and core identical in and out of core"
+
+# Record the out-of-core ablation as BENCH_ooc.json: the in-memory kernel
+# baseline vs the window-shifted checker at descending budgets on the same
+# generated stress proof. -benchtime 1x because each run is a single
+# end-to-end verification pass; see EXPERIMENTS.md (Ablation H).
+bench-ooc:
+	$(GO) test . -run TestNone -bench 'BenchmarkOOC' -benchmem -benchtime 1x -count=3 \
+		| $(GO) run ./cmd/benchjson -o BENCH_ooc.json
 
 # Regenerate the external-tool conformance fixtures from real drat-trim /
 # lrat-trim runs when the binaries are on PATH; skips with a note otherwise

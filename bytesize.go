@@ -1,0 +1,60 @@
+package satcheck
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseByteSize parses a human-readable byte size for flags like
+// -mem-budget: a plain integer is bytes, and the binary suffixes
+// KiB/MiB/GiB/TiB (powers of 1024), their one-letter shorthands K/M/G/T,
+// and the decimal suffixes KB/MB/GB/TB (powers of 1000) are accepted,
+// case-insensitively, with an optional trailing "B" on the shorthands
+// ("64MiB", "64m", "512kb", "1073741824").
+func ParseByteSize(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("satcheck: empty byte size")
+	}
+	u := strings.ToLower(t)
+	num := u
+	var mult int64 = 1
+	switch {
+	case strings.HasSuffix(u, "kib"):
+		num, mult = u[:len(u)-3], 1<<10
+	case strings.HasSuffix(u, "mib"):
+		num, mult = u[:len(u)-3], 1<<20
+	case strings.HasSuffix(u, "gib"):
+		num, mult = u[:len(u)-3], 1<<30
+	case strings.HasSuffix(u, "tib"):
+		num, mult = u[:len(u)-3], 1<<40
+	case strings.HasSuffix(u, "kb"):
+		num, mult = u[:len(u)-2], 1e3
+	case strings.HasSuffix(u, "mb"):
+		num, mult = u[:len(u)-2], 1e6
+	case strings.HasSuffix(u, "gb"):
+		num, mult = u[:len(u)-2], 1e9
+	case strings.HasSuffix(u, "tb"):
+		num, mult = u[:len(u)-2], 1e12
+	case strings.HasSuffix(u, "k"):
+		num, mult = u[:len(u)-1], 1<<10
+	case strings.HasSuffix(u, "m"):
+		num, mult = u[:len(u)-1], 1<<20
+	case strings.HasSuffix(u, "g"):
+		num, mult = u[:len(u)-1], 1<<30
+	case strings.HasSuffix(u, "t"):
+		num, mult = u[:len(u)-1], 1<<40
+	case strings.HasSuffix(u, "b"):
+		num = u[:len(u)-1]
+	}
+	num = strings.TrimSpace(num)
+	n, err := strconv.ParseInt(num, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("satcheck: bad byte size %q", s)
+	}
+	if mult > 1 && n > (1<<62)/mult {
+		return 0, fmt.Errorf("satcheck: byte size %q overflows", s)
+	}
+	return n * mult, nil
+}

@@ -1,0 +1,39 @@
+package satcheck_test
+
+import (
+	"testing"
+
+	"satcheck"
+)
+
+func TestParseByteSize(t *testing.T) {
+	good := map[string]int64{
+		"0":      0,
+		"123":    123,
+		"64KiB":  64 << 10,
+		"64k":    64 << 10,
+		"64KB":   64_000,
+		"256MiB": 256 << 20,
+		"2GiB":   2 << 30,
+		"2g":     2 << 30,
+		"1TiB":   1 << 40,
+		"1tb":    1_000_000_000_000,
+		"512B":   512,
+		" 8 MiB": 8 << 20,
+		"64mib":  64 << 20,
+	}
+	for in, want := range good {
+		got, err := satcheck.ParseByteSize(in)
+		if err != nil {
+			t.Errorf("ParseByteSize(%q): %v", in, err)
+		} else if got != want {
+			t.Errorf("ParseByteSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+	bad := []string{"", "MiB", "-1", "1.5GiB", "64QiB", "banana", "9999999999GiB"}
+	for _, in := range bad {
+		if got, err := satcheck.ParseByteSize(in); err == nil {
+			t.Errorf("ParseByteSize(%q) = %d, want error", in, got)
+		}
+	}
+}

@@ -141,8 +141,15 @@ func runClausalCheck(ctx context.Context, req CheckRequest, opts CheckOptions) (
 	case FormatDRAT:
 		res, err = CheckDRAT(req.Formula, src, req.Method, opts)
 	case FormatLRAT:
-		res, err = CheckLRAT(req.Formula, src, opts)
+		if req.Method == OOC {
+			res, err = CheckLRATOOC(req.Formula, src, opts)
+		} else {
+			res, err = CheckLRAT(req.Formula, src, opts)
+		}
 	case FormatER:
+		if req.Method == OOC {
+			return nil, fmt.Errorf("satcheck: the out-of-core checker does not support %s proofs (extension definitions need the full database)", req.Format)
+		}
 		res, err = CheckER(req.Formula, src, opts)
 	default:
 		return nil, fmt.Errorf("satcheck: unknown proof format %d", int(req.Format))

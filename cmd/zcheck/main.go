@@ -63,10 +63,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("zcheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "http://localhost:8347", "zcheckd base URL")
-	method := fs.String("method", "df", "checker strategy: df, bf, hybrid, parallel, or kernel")
+	method := fs.String("method", "df", "checker strategy: df, bf, hybrid, parallel, kernel, or ooc")
 	formatName := fs.String("format", "native", "proof encoding: native, drat, or lrat")
 	jobs := fs.Int("j", 0, "parallel only: requested worker count (server caps it at its pool size)")
 	memLimitMB := fs.Int64("mem-limit-mb", 0, "per-job checker memory budget in MB (0 = unlimited)")
+	memBudget := fs.String("mem-budget", "", "ooc only: window-shifting memory budget, e.g. 64MiB (mem_budget= on the wire)")
 	timeout := fs.Duration("timeout", 0, "per-job deadline (0 = server default)")
 	analyze := fs.Bool("analyze", false, "also request proof-graph statistics")
 	core := fs.Bool("core", false, "print the unsatisfiable core clause IDs (df/hybrid)")
@@ -105,6 +106,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		m = satcheck.Parallel
 	case "kernel":
 		m = satcheck.Kernel
+	case "ooc":
+		m = satcheck.OOC
 	default:
 		fmt.Fprintf(stderr, "zcheck: unknown method %q\n", *method)
 		return 1
@@ -114,14 +117,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "zcheck:", err)
 		return 1
 	}
+	var memBudgetBytes int64
+	if *memBudget != "" {
+		if memBudgetBytes, err = satcheck.ParseByteSize(*memBudget); err != nil {
+			fmt.Fprintln(stderr, "zcheck:", err)
+			return 1
+		}
+	}
 	opts := server.JobOptions{
-		Method:      m,
-		Format:      format,
-		MemLimitMB:  *memLimitMB,
-		Timeout:     *timeout,
-		Analyze:     *analyze,
-		IncludeCore: *core,
-		Parallelism: *jobs,
+		Method:         m,
+		Format:         format,
+		MemLimitMB:     *memLimitMB,
+		MemBudgetBytes: memBudgetBytes,
+		Timeout:        *timeout,
+		Analyze:        *analyze,
+		IncludeCore:    *core,
+		Parallelism:    *jobs,
 	}
 
 	cl := client{
@@ -442,6 +453,10 @@ func printVerdict(stdout io.Writer, cr *server.CheckResponse, wantCore bool) int
 	fmt.Fprintf(stdout, "method=%s server-time=%.1fms learned=%d built=%d (%.1f%%) resolutions=%d peak-mem=%dKB\n",
 		cr.Method, cr.ElapsedMS, r.LearnedTotal, r.ClausesBuilt,
 		100*r.BuiltFraction, r.ResolutionSteps, r.PeakMemWords*4/1024)
+	if r.OOCWindows > 0 {
+		fmt.Fprintf(stdout, "ooc: windows=%d spilled-clauses=%d spilled-bytes=%d mem-budget=%dKB\n",
+			r.OOCWindows, r.SpilledClauses, r.SpilledBytes, r.PeakMemBoundWords*4/1024)
+	}
 	if r.CoreSize > 0 {
 		fmt.Fprintf(stdout, "core: %d original clauses, %d vars involved\n", r.CoreSize, r.CoreVars)
 		if wantCore {

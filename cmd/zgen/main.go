@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -53,7 +54,20 @@ func run() int {
 	list := flag.Bool("list", false, "list available families")
 	suite := flag.String("suite", "", "write a whole suite (full or quick) of .cnf files into the -dir directory")
 	dir := flag.String("dir", ".", "output directory for -suite")
+	stress := flag.Bool("proof-stress", false, "stream a stress CNF + valid proof pair for the out-of-core checker; -o is the output path prefix")
+	stressLemmas := flag.Int("stress-lemmas", 1<<20, "proof-stress: pad lemma count (proof size grows linearly)")
+	stressWidth := flag.Int("stress-width", 64, "proof-stress: distinct pad variables")
+	stressGap := flag.Int("stress-gap", 0, "proof-stress: lemma-to-hint ID distance (0 = lemmas/8); larger gaps force more spilling")
+	stressDRAT := flag.String("stress-drat", "", "proof-stress: also write a DRAT proof (ascii or binary)")
 	flag.Parse()
+
+	if *stress {
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "zgen: -proof-stress needs -o as the output path prefix")
+			return 1
+		}
+		return runProofStress(gen.StressOpts{Lemmas: *stressLemmas, Width: *stressWidth, Gap: *stressGap}, *out, *stressDRAT)
+	}
 
 	if *suite != "" {
 		var instances []gen.Instance
@@ -125,4 +139,55 @@ func run() int {
 	}
 	fmt.Fprintf(os.Stderr, "zgen: unknown family %q (try -list)\n", *fam)
 	return 1
+}
+
+// runProofStress streams the out-of-core stress pair <prefix>.cnf +
+// <prefix>.lrat (and optionally <prefix>.drat) in O(1) memory, so the proof
+// can be made arbitrarily larger than the machine's RAM.
+func runProofStress(o gen.StressOpts, prefix, dratMode string) int {
+	write := func(path string, emit func(w *bufio.Writer) error) bool {
+		fh, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zgen:", err)
+			return false
+		}
+		bw := bufio.NewWriterSize(fh, 1<<20)
+		err = emit(bw)
+		if ferr := bw.Flush(); err == nil {
+			err = ferr
+		}
+		if cerr := fh.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zgen:", err)
+			return false
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zgen:", err)
+			return false
+		}
+		fmt.Printf("%s: %d bytes\n", path, st.Size())
+		return true
+	}
+	if !write(prefix+".cnf", func(w *bufio.Writer) error { return gen.WriteStressCNF(w, o) }) {
+		return 1
+	}
+	if !write(prefix+".lrat", func(w *bufio.Writer) error { return gen.WriteStressLRAT(w, o) }) {
+		return 1
+	}
+	switch dratMode {
+	case "":
+	case "ascii", "binary":
+		if !write(prefix+".drat", func(w *bufio.Writer) error {
+			return gen.WriteStressDRAT(w, o, dratMode == "binary")
+		}) {
+			return 1
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "zgen: -stress-drat must be ascii or binary, not %q\n", dratMode)
+		return 1
+	}
+	return 0
 }

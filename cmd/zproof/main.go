@@ -6,11 +6,12 @@
 //	    format (every derived clause with its literals and chain), the
 //	    precursor of today's DRUP/DRAT proof formats;
 //
-//	zproof check -cnf f.cnf [-format tc|drat|lrat|er] proof.tc
+//	zproof check -cnf f.cnf [-format tc|drat|lrat|er] [-mem-budget 64MiB] proof.tc
 //	    independently verify a proof file against the formula: a TraceCheck
 //	    file (default), a clausal DRUP/DRAT proof, an LRAT proof, or an
 //	    extended-resolution proof from the BDD backend (checked through the
-//	    ER→LRAT bridge);
+//	    ER→LRAT bridge); -mem-budget checks drat/lrat out of core, window by
+//	    window under the budget (see docs/OOC.md);
 //
 //	zproof stats -cnf f.cnf -trace proof.trace [-format native|drat|lrat|er]
 //	    print proof statistics: resolution-graph analytics for native traces
@@ -34,12 +35,14 @@ import (
 	"io"
 	"os"
 
+	"satcheck"
 	"satcheck/internal/bdd"
 	"satcheck/internal/checker"
 	"satcheck/internal/cnf"
 	"satcheck/internal/drat"
 	"satcheck/internal/interp"
 	"satcheck/internal/kernelcheck"
+	"satcheck/internal/ooc"
 	"satcheck/internal/proofstat"
 	"satcheck/internal/solver"
 	"satcheck/internal/trace"
@@ -54,7 +57,7 @@ func main() {
 func usage() int {
 	fmt.Fprintln(os.Stderr, `usage:
   zproof export -cnf formula.cnf -trace proof.trace [-o proof.tc]
-  zproof check  -cnf formula.cnf [-format tc|drat|lrat|er] proof.tc
+  zproof check  -cnf formula.cnf [-format tc|drat|lrat|er] [-mem-budget 64MiB] proof.tc
   zproof stats  -cnf formula.cnf -trace proof.trace [-format native|drat|lrat|er]
   zproof trim   -cnf formula.cnf -trace proof.trace -o trimmed.trace
   zproof interpolate -cnf formula.cnf -trace proof.trace -split K`)
@@ -175,12 +178,22 @@ func runCheck(args []string) int {
 	fs := flag.NewFlagSet("check", flag.ContinueOnError)
 	cnfPath := fs.String("cnf", "", "DIMACS formula (omit to accept arbitrary axioms; required for drat/lrat)")
 	format := fs.String("format", "tc", "proof encoding: tc (TraceCheck), drat, lrat, or er")
+	memBudget := fs.String("mem-budget", "", "check drat/lrat out of core under this memory budget (e.g. 64MiB)")
 	if fs.Parse(args) != nil {
 		return 1
 	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "zproof: check needs exactly one proof file")
 		return 1
+	}
+	var copts checker.Options
+	if *memBudget != "" {
+		b, err := satcheck.ParseByteSize(*memBudget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zproof:", err)
+			return 1
+		}
+		copts.MemBudgetBytes = b
 	}
 	switch *format {
 	case "drat", "drup", "lrat", "er":
@@ -189,15 +202,25 @@ func runCheck(args []string) int {
 			return 1
 		}
 		var err error
-		switch *format {
-		case "lrat":
-			_, err = kernelcheck.CheckLRAT(f, drat.FileSource(fs.Arg(0)), checker.Options{})
-		case "er":
+		switch {
+		case *format == "er":
+			if *memBudget != "" {
+				fmt.Fprintln(os.Stderr, "zproof: -mem-budget does not apply to er proofs (extension definitions need the full database)")
+				return 1
+			}
 			err = checkER(f, fs.Arg(0))
+		case *format == "lrat" && *memBudget != "":
+			// A set budget routes through the out-of-core checker: the same
+			// kernel, window by window (see docs/OOC.md).
+			_, err = ooc.CheckLRAT(f, drat.FileSource(fs.Arg(0)), copts)
+		case *format == "lrat":
+			_, err = kernelcheck.CheckLRAT(f, drat.FileSource(fs.Arg(0)), copts)
+		case *memBudget != "":
+			_, err = ooc.CheckDRAT(f, drat.FileSource(fs.Arg(0)), copts)
 		default:
 			// Forward-check the DRAT proof, then verify the recorded hints in
 			// the trusted kernel — the same gate every other format passes.
-			_, err = kernelcheck.KernelCheckDRAT(f, drat.FileSource(fs.Arg(0)), checker.Options{})
+			_, err = kernelcheck.KernelCheckDRAT(f, drat.FileSource(fs.Arg(0)), copts)
 		}
 		if err != nil {
 			var ce *checker.CheckError

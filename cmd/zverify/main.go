@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	zverify [-method df|bf|hybrid|parallel|kernel] [-format native|drat|lrat]
-//	        [-j N] [-mem-limit-mb N] [-counts-on-disk] formula.cnf proof.trace
+//	zverify [-method df|bf|hybrid|parallel|kernel|ooc] [-format native|drat|lrat]
+//	        [-j N] [-mem-limit-mb N] [-mem-budget 64MiB] [-counts-on-disk]
+//	        formula.cnf proof.trace
 //
 // -format selects the proof encoding: the native resolution trace (default),
 // a clausal DRUP/DRAT proof (zsat -drup), or LRAT. For DRAT, the method maps
@@ -15,8 +16,11 @@
 // unsatisfiable core as the by-product, exactly like their native
 // counterparts). The kernel method bridges native traces and DRAT proofs to
 // propagation hints and verifies them in the trusted flat-array kernel
-// (internal/kernel), producing a core from the hint closure. LRAT always
-// verifies in the kernel.
+// (internal/kernel), producing a core from the hint closure. LRAT verifies
+// in the kernel by default; the ooc method runs the same kernel window by
+// window, out of core, under the -mem-budget ceiling (see docs/OOC.md),
+// with a verdict and core identical to the unconstrained kernel on RUP
+// proofs.
 //
 // Exit status: 0 when the proof is valid, 2 when checking fails (the solver
 // or its trace generation is buggy), 1 on usage or I/O errors. Exit 2 is
@@ -42,10 +46,11 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("zverify", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	method := fs.String("method", "df", "checker strategy: df, bf, hybrid, parallel, or kernel")
+	method := fs.String("method", "df", "checker strategy: df, bf, hybrid, parallel, kernel, or ooc")
 	formatName := fs.String("format", "native", "proof encoding: native, drat, or lrat")
 	jobs := fs.Int("j", 0, "parallel only: worker count (0 = one per available CPU)")
 	memLimitMB := fs.Int64("mem-limit-mb", 0, "abort if the checker memory model exceeds this many MB (0 = unlimited)")
+	memBudget := fs.String("mem-budget", "", "ooc only: window-shifting memory budget (e.g. 64MiB; default 256MiB)")
 	countsOnDisk := fs.Bool("counts-on-disk", false, "bf only: keep use counts in a temp file, computed in ranges")
 	countRange := fs.Int("count-range", 1<<20, "bf only: counters per counting pass with -counts-on-disk")
 	core := fs.Bool("core", false, "df/hybrid/parallel: print the unsatisfiable core clause IDs")
@@ -70,6 +75,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		m = satcheck.Parallel
 	case "kernel":
 		m = satcheck.Kernel
+	case "ooc":
+		m = satcheck.OOC
 	default:
 		fmt.Fprintf(stderr, "zverify: unknown method %q\n", *method)
 		return 1
@@ -93,13 +100,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		CountRange:    *countRange,
 		Parallelism:   *jobs,
 	}
+	if *memBudget != "" {
+		opts.MemBudgetBytes, err = satcheck.ParseByteSize(*memBudget)
+		if err != nil {
+			fmt.Fprintln(stderr, "zverify:", err)
+			return 1
+		}
+	}
 	start := time.Now()
 	var res *satcheck.CheckResult
 	switch format {
 	case satcheck.FormatDRAT:
 		res, err = satcheck.CheckDRAT(f, satcheck.ProofFileSource(fs.Arg(1)), m, opts)
 	case satcheck.FormatLRAT:
-		res, err = satcheck.CheckLRAT(f, satcheck.ProofFileSource(fs.Arg(1)), opts)
+		switch {
+		case m == satcheck.OOC:
+			res, err = satcheck.CheckLRATOOC(f, satcheck.ProofFileSource(fs.Arg(1)), opts)
+		case *core:
+			// The plain LRAT kernel path skips core marking; ask for it so
+			// -core output (and core hashes) match the other methods.
+			res, err = satcheck.CheckLRATCore(f, satcheck.ProofFileSource(fs.Arg(1)), opts)
+		default:
+			res, err = satcheck.CheckLRAT(f, satcheck.ProofFileSource(fs.Arg(1)), opts)
+		}
 	default:
 		res, err = satcheck.CheckFile(f, fs.Arg(1), m, opts)
 	}
@@ -119,6 +142,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "method=%s format=%s time=%v learned=%d built=%d (%.1f%%) resolutions=%d peak-mem=%dKB\n",
 		m, format, elapsed.Round(time.Millisecond), res.LearnedTotal, res.ClausesBuilt,
 		100*res.BuiltFraction(), res.ResolutionSteps, res.PeakMemWords*4/1024)
+	if res.OOCWindows > 0 {
+		fmt.Fprintf(stdout, "ooc: windows=%d spilled-clauses=%d spilled-bytes=%d mem-budget=%dKB\n",
+			res.OOCWindows, res.SpilledClauses, res.SpilledBytes, res.PeakMemBoundWords*4/1024)
+	}
 	if res.CoreClauses != nil {
 		fmt.Fprintf(stdout, "core: %d of %d original clauses, %d vars involved\n",
 			len(res.CoreClauses), f.NumClauses(), res.CoreVars)

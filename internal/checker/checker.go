@@ -168,6 +168,12 @@ type Options struct {
 	// negative means runtime.GOMAXPROCS(0). The sequential checkers ignore
 	// it.
 	Parallelism int
+	// MemBudgetBytes sizes the out-of-core checker's windows (internal/ooc):
+	// resident metadata plus any single window's parse, imports, and kernel
+	// state are planned to fit inside it. 0 means the ooc default (256MiB).
+	// Checkers other than ooc ignore it; unlike MemLimitWords it is a
+	// planning target, not a mid-run abort threshold.
+	MemBudgetBytes int64
 }
 
 // interruptEvery is how many loop iterations pass between Interrupt polls —
@@ -212,7 +218,10 @@ type Result struct {
 	// credited. PeakMemWords <= PeakMemBoundWords always holds; the bound is
 	// what a memory budget should be compared against when the schedule-
 	// dependent peak must not matter. Zero for the sequential checkers,
-	// whose PeakMemWords is already schedule-free.
+	// whose PeakMemWords is already schedule-free. The out-of-core checker
+	// reports its configured byte budget (Options.MemBudgetBytes) in words
+	// here and enforces it as a hard ceiling on its model, so the
+	// invariant holds there too.
 	PeakMemBoundWords int64
 	// CoreClauses lists the original clause IDs involved in the proof, in
 	// increasing order (depth-first and hybrid only) — the unsatisfiable
@@ -220,6 +229,14 @@ type Result struct {
 	CoreClauses []int
 	// CoreVars counts the distinct variables occurring in CoreClauses.
 	CoreVars int
+	// OOCWindows is the number of proof windows the out-of-core checker
+	// actually ran (zero for every other checker).
+	OOCWindows int
+	// SpilledClauses counts learned clauses the out-of-core checker wrote
+	// to its disk spill index because a later window references them.
+	SpilledClauses int64
+	// SpilledBytes is the total size of the spill records written.
+	SpilledBytes int64
 }
 
 // BuiltFraction returns ClausesBuilt/LearnedTotal, the paper's "Built%".

@@ -1,0 +1,157 @@
+package gen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"satcheck/internal/cnf"
+	"satcheck/internal/drat"
+)
+
+// StressOpts sizes a synthetic refutation for exercising the out-of-core
+// checker: the proof is valid, RUP-only, and streams in O(1) generator
+// memory, so it can be made arbitrarily larger than any RAM budget.
+//
+// The formula is the two-clause contradiction (x1), (-x1) over Width+1
+// variables. Every pad lemma t asserts a single pad variable and is RUP via
+// the contradiction; lemmas past the warm-up additionally hint the lemma
+// Gap IDs earlier, so with a window smaller than Gap the referenced clause
+// must be spilled to disk and reloaded — exactly the access pattern window
+// shifting has to get right. Each consumed reference is deleted on the next
+// line, keeping the live set (and an in-memory checker's required state)
+// proportional to Gap while the proof grows without bound.
+type StressOpts struct {
+	// Lemmas is the number of pad lemmas before the final empty clause.
+	Lemmas int
+	// Width is the number of distinct pad variables (x2 .. x_{Width+1}).
+	// The default 64 keeps assignments trivially small.
+	Width int
+	// Gap is the ID distance between a lemma and the lemma that hints it.
+	// Larger gaps force more spilling at a given budget. Defaults to
+	// Lemmas/8. Gaps divisible by Width are bumped by one so a lemma never
+	// hints a clause over its own variable (which would satisfy, not
+	// propagate, under the lemma's negated assumption).
+	Gap int
+}
+
+func (o StressOpts) norm() StressOpts {
+	if o.Lemmas <= 0 {
+		o.Lemmas = 1 << 16
+	}
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.Gap <= 0 {
+		o.Gap = o.Lemmas / 8
+	}
+	if o.Gap <= 0 {
+		o.Gap = 1
+	}
+	if o.Gap%o.Width == 0 {
+		o.Gap++
+	}
+	return o
+}
+
+// stressVar is the pad variable asserted by lemma ID t (lemmas start at 3;
+// originals are 1 and 2).
+func stressVar(o StressOpts, t int) int { return 2 + (t-3)%o.Width }
+
+// StressFormula returns the CNF side of the stress instance: (x1) and
+// (-x1) over Width+1 variables.
+func StressFormula(o StressOpts) *cnf.Formula {
+	o = o.norm()
+	f := cnf.NewFormula(o.Width + 1)
+	f.Clauses = append(f.Clauses,
+		cnf.Clause{cnf.LitFromDimacs(1)},
+		cnf.Clause{cnf.LitFromDimacs(-1)})
+	return f
+}
+
+// WriteStressCNF streams the DIMACS encoding of StressFormula.
+func WriteStressCNF(w io.Writer, o StressOpts) error {
+	o = o.norm()
+	_, err := fmt.Fprintf(w, "c proof-stress lemmas=%d width=%d gap=%d\np cnf %d 2\n1 0\n-1 0\n",
+		o.Lemmas, o.Width, o.Gap, o.Width+1)
+	return err
+}
+
+// WriteStressLRAT streams the LRAT refutation. Lemma IDs run 3..Lemmas+2;
+// the final line derives the empty clause from the two originals, so the
+// unsatisfiable core is always {1, 2} regardless of size.
+func WriteStressLRAT(w io.Writer, o StressOpts) error {
+	o = o.norm()
+	bw := bufio.NewWriterSize(w, 1<<16)
+	buf := make([]byte, 0, 64)
+	line := func(vals ...int) error {
+		buf = buf[:0]
+		for i, v := range vals {
+			if i > 0 {
+				buf = append(buf, ' ')
+			}
+			buf = strconv.AppendInt(buf, int64(v), 10)
+		}
+		buf = append(buf, " 0\n"...)
+		_, err := bw.Write(buf)
+		return err
+	}
+	del := func(id, target int) error {
+		buf = buf[:0]
+		buf = strconv.AppendInt(buf, int64(id), 10)
+		buf = append(buf, " d "...)
+		buf = strconv.AppendInt(buf, int64(target), 10)
+		buf = append(buf, " 0\n"...)
+		_, err := bw.Write(buf)
+		return err
+	}
+	last := o.Lemmas + 2
+	for t := 3; t <= last; t++ {
+		v := stressVar(o, t)
+		var err error
+		if r := t - o.Gap; r >= 3 {
+			// buf layout: id, lits, 0, hints, 0 — line() writes one "0"
+			// between the clause and the hints and one at the end.
+			if err = line(t, v, 0, r, 1, 2); err == nil {
+				err = del(t, r)
+			}
+		} else {
+			err = line(t, v, 0, 1, 2)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if err := line(last+1, 0, 1, 2); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteStressDRAT streams the refutation in DRAT (binary when binary is
+// true). DRAT carries no hints, so the cross-gap references vanish; the
+// lemma sequence and the final empty clause are the same. Deletions are
+// omitted: DRAT deletes by clause content, and the cycling pad lemmas are
+// content-duplicates.
+func WriteStressDRAT(w io.Writer, o StressOpts, binary bool) error {
+	o = o.norm()
+	var dw *drat.Writer
+	if binary {
+		dw = drat.NewBinaryWriter(w)
+	} else {
+		dw = drat.NewWriter(w)
+	}
+	lit := make([]cnf.Lit, 1)
+	last := o.Lemmas + 2
+	for t := 3; t <= last; t++ {
+		lit[0] = cnf.LitFromDimacs(stressVar(o, t))
+		if err := dw.Add(lit); err != nil {
+			return err
+		}
+	}
+	if err := dw.Add(nil); err != nil {
+		return err
+	}
+	return dw.Close()
+}

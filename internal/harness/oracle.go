@@ -17,6 +17,7 @@ import (
 	"satcheck/internal/faults"
 	"satcheck/internal/gen"
 	"satcheck/internal/kernelcheck"
+	"satcheck/internal/ooc"
 	"satcheck/internal/solver"
 	"satcheck/internal/testutil"
 	"satcheck/internal/trace"
@@ -558,6 +559,47 @@ func (r *round) checkMatrix(ins gen.Instance, mt *trace.MemoryTrace, dratASCII [
 		ok = false
 	} else {
 		r.cell("kernel/from-drat")
+	}
+
+	// Out-of-core cell: the trace bridge's LRAT emission re-verified window
+	// by window (internal/ooc) at the smallest budget whose resident state
+	// fits, so real instances actually shift and spill. The windowed verdict,
+	// statistics, and core must be identical to the unconstrained kernel's
+	// on the same bytes.
+	if lratBuf.Len() > 0 {
+		kref, err := kernelcheck.CheckLRATCore(f, drat.BytesSource(lratBuf.Bytes()), checker.Options{})
+		if err == nil {
+			var ores *checker.Result
+			oerr := error(nil)
+			for _, budget := range []int64{256 << 10, 1 << 20, 4 << 20, 64 << 20} {
+				ores, oerr = ooc.CheckLRAT(f, drat.BytesSource(lratBuf.Bytes()),
+					checker.Options{MemBudgetBytes: budget})
+				var ce *checker.CheckError
+				if oerr != nil && errors.As(oerr, &ce) && ce.Kind == checker.FailMemoryLimit {
+					continue // resident state alone outgrew this budget; escalate
+				}
+				break
+			}
+			switch {
+			case oerr != nil:
+				r.fail("valid-proof-rejected", ins.Name,
+					fmt.Sprintf("out-of-core checker rejected the kernel-validated LRAT emission: %v", oerr), f, nil)
+				ok = false
+			case !equalInts(kref.CoreClauses, ores.CoreClauses) ||
+				kref.ClausesBuilt != ores.ClausesBuilt || kref.ResolutionSteps != ores.ResolutionSteps:
+				r.fail("core-mismatch", ins.Name,
+					fmt.Sprintf("out-of-core result diverges from kernel: core %d vs %d, built %d vs %d, steps %d vs %d",
+						len(ores.CoreClauses), len(kref.CoreClauses), ores.ClausesBuilt, kref.ClausesBuilt,
+						ores.ResolutionSteps, kref.ResolutionSteps), f, nil)
+				ok = false
+			case ores.PeakMemWords > ores.PeakMemBoundWords:
+				r.fail("peak-mem-bound-violated", ins.Name,
+					fmt.Sprintf("ooc peak %d words exceeds its budget bound %d", ores.PeakMemWords, ores.PeakMemBoundWords), f, nil)
+				ok = false
+			default:
+				r.cell("ooc/from-trace")
+			}
+		}
 	}
 
 	// Dual-certification oracle: every cell above is an individual checker;

@@ -291,6 +291,16 @@ func (c *Checker) Check(f *Formula, p *Proof, opts Options) (Result, error) {
 	return Result{}, &Error{Code: ErrNotEmpty, Line: -1}
 }
 
+// Steps reports the hint applications performed by the most recent Check,
+// whatever its outcome. Check returns a Result only on acceptance, so
+// drivers that run the kernel repeatedly over partial proofs (the
+// out-of-core window checker) read per-run statistics here.
+func (c *Checker) Steps() int64 { return c.steps }
+
+// PeakMemWords reports the most recent Check's live-clause high-water mark
+// in words, whatever its outcome (see Steps).
+func (c *Checker) PeakMemWords() int64 { return c.memPeak }
+
 // init sizes every array for the whole run (so the check loop never grows
 // anything), resets per-run state, and attaches the original clauses.
 func (c *Checker) init(f *Formula, p *Proof, opts Options) {

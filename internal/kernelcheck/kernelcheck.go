@@ -230,6 +230,43 @@ func kernelError(err error) error {
 	return ce
 }
 
+// TranslateKernelError exposes the kernel→CheckError mapping to the
+// out-of-core checker (internal/ooc), which drives kernel windows itself
+// but must surface the same diagnostics as the in-memory path.
+func TranslateKernelError(err error) error { return kernelError(err) }
+
+// TraceLRATLines bridges a native solver trace to annotated LRAT lines:
+// TraceCheck export, parse, and forward hint annotation — everything
+// KernelCheckTrace does short of the kernel run. The out-of-core checker
+// uses it to obtain a window-checkable LRAT stream from a trace.
+func TraceLRATLines(f *cnf.Formula, src trace.Source, opts checker.Options) ([]drat.LRATLine, error) {
+	var tc bytes.Buffer
+	if _, err := tracecheck.Export(f, src, &tc); err != nil {
+		return nil, &checker.CheckError{Kind: checker.FailTrace, ClauseID: trace.NoClause, Step: -1, Err: err}
+	}
+	clauses, err := tracecheck.Parse(&tc)
+	if err != nil {
+		return nil, &checker.CheckError{Kind: checker.FailTrace, ClauseID: trace.NoClause, Step: -1, Err: err}
+	}
+	proof := proofFromTraceCheck(clauses, len(f.Clauses))
+	_, lines, err := drat.AnnotateForward(f, proof, opts)
+	if err != nil {
+		return nil, err
+	}
+	return lines, nil
+}
+
+// CheckLRATCore is CheckLRAT with the kernel's hint-closure unsat core
+// computed (CheckLRAT historically reports none; core extraction is wanted
+// when cross-checking cores against the out-of-core checker).
+func CheckLRATCore(f *cnf.Formula, src drat.Source, opts checker.Options) (*checker.Result, error) {
+	proof, err := drat.LoadLRAT(src)
+	if err != nil {
+		return nil, &checker.CheckError{Kind: checker.FailTrace, ClauseID: -1, Step: noStep, Err: err}
+	}
+	return checkLRATKernel(f, proof, opts, true)
+}
+
 // CheckLRAT verifies an LRAT proof of f with the trusted kernel: a
 // deliberately small hint-following verifier (internal/kernel) that shares
 // no propagation code with the DRAT engine, so the two implementations

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package mmapio
+
+import "os"
+
+// mapFile reports mmap unavailable; FromFile uses the ReadAll fallback.
+func mapFile(_ *os.File, _ int64) ([]byte, bool) { return nil, false }
+
+func unmapFile(_ []byte) error { return nil }

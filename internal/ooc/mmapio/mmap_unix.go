@@ -1,0 +1,23 @@
+//go:build unix
+
+package mmapio
+
+import (
+	"math"
+	"os"
+	"syscall"
+)
+
+// mapFile mmaps f read-only. ok=false falls back to ReadAll (FromFile).
+func mapFile(f *os.File, size int64) ([]byte, bool) {
+	if size <= 0 || size > math.MaxInt {
+		return nil, false
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+func unmapFile(b []byte) error { return syscall.Munmap(b) }

@@ -1,0 +1,81 @@
+package mmapio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	want := bytes.Repeat([]byte("0123456789abcdef"), 4096)
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d.Bytes(), want) {
+		t.Fatalf("mapped bytes differ: %d vs %d", len(d.Bytes()), len(want))
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Double Close must be safe.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if len(d.Bytes()) != 0 {
+		t.Fatalf("empty file mapped to %d bytes", len(d.Bytes()))
+	}
+	if d.Mapped() {
+		t.Fatal("empty file should not claim a mapping")
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("Open of a missing file succeeded")
+	}
+}
+
+// TestFromFileIgnoresOffset pins the contract that FromFile reads from the
+// start of the file even when the handle has been advanced (the fallback
+// path seeks; the mmap path never looks at the offset).
+func TestFromFileIgnoresOffset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	want := []byte("window-shifted verification")
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	d, err := FromFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if !bytes.Equal(d.Bytes(), want) {
+		t.Fatalf("got %q, want %q", d.Bytes(), want)
+	}
+}

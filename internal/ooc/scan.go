@@ -1,0 +1,227 @@
+package ooc
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"satcheck/internal/cnf"
+)
+
+// lratMaxVar mirrors internal/drat's variable cap: values beyond it are
+// treated as garbage input, not a cause for a multi-gigabyte allocation.
+// The tokenizer below reproduces the in-memory LRAT tokenizer's grammar and
+// error messages exactly, so a proof rejected at parse time is rejected
+// with the same diagnostic whichever checker sees it first.
+const lratMaxVar = 1 << 28
+
+// opRef is one parsed proof line in flat form, indexing into an opBuf's
+// slabs (the window-local analogue of kernel.Op, before ID remapping).
+type opRef struct {
+	id             int32
+	del            bool
+	litOff, litN   int32
+	hintOff, hintN int32
+	delOff, delN   int32
+}
+
+// opBuf holds the flat parse of a run of proof lines. The window checker
+// reuses one across windows; the planning scans reuse one per line.
+type opBuf struct {
+	ops   []opRef
+	lits  []int32 // cnf.Lit encoding, copied verbatim into the kernel
+	hints []int32 // signed: negative opens a RAT candidate group
+	dels  []int32
+}
+
+func (b *opBuf) reset() {
+	b.ops = b.ops[:0]
+	b.lits = b.lits[:0]
+	b.hints = b.hints[:0]
+	b.dels = b.dels[:0]
+}
+
+// words is the flat parse size of the buffered ops in 4-byte words,
+// including a fixed per-op overhead for the opRef and kernel.Op records.
+func (b *opBuf) words() int64 {
+	return int64(len(b.lits)) + int64(len(b.hints)) + int64(len(b.dels)) + opOverheadWords*int64(len(b.ops))
+}
+
+// opOverheadWords approximates the per-line bookkeeping (opRef + kernel.Op
+// + ID maps) in the deterministic memory model.
+const opOverheadWords = 16
+
+// scanner tokenizes LRAT text straight off the mapped proof bytes —
+// no per-line allocation, no intermediate reader. It can start at any op
+// boundary recorded by a previous pass (window re-parsing).
+type scanner struct {
+	data []byte
+	pos  int
+	line int
+}
+
+func newScanner(data []byte, off int64) *scanner {
+	return &scanner{data: data, pos: int(off), line: 1}
+}
+
+// offset reports the current byte position (an op boundary between scanOp
+// calls).
+func (s *scanner) offset() int64 { return int64(s.pos) }
+
+type lratTok struct {
+	val int
+	isD bool
+}
+
+// next returns the next token, mirroring internal/drat's LRAT tokenizer:
+// whitespace separated signed integers, 'd' markers, comments to end of
+// line, values saturating past lratMaxVar*16.
+func (s *scanner) next() (lratTok, error) {
+	for {
+		if s.pos >= len(s.data) {
+			return lratTok{}, io.EOF
+		}
+		b := s.data[s.pos]
+		s.pos++
+		switch {
+		case b == ' ' || b == '\t' || b == '\r':
+			continue
+		case b == '\n':
+			s.line++
+			continue
+		case b == 'c':
+			for {
+				if s.pos >= len(s.data) {
+					return lratTok{}, io.EOF
+				}
+				b = s.data[s.pos]
+				s.pos++
+				if b == '\n' {
+					s.line++
+					break
+				}
+			}
+			continue
+		case b == 'd':
+			return lratTok{isD: true}, nil
+		case b == '-' || (b >= '0' && b <= '9'):
+			neg := b == '-'
+			val := 0
+			if !neg {
+				val = int(b - '0')
+			}
+			digits := !neg
+			for s.pos < len(s.data) {
+				b = s.data[s.pos]
+				if b < '0' || b > '9' {
+					break
+				}
+				s.pos++
+				digits = true
+				if val <= lratMaxVar*16 {
+					val = val*10 + int(b-'0')
+				}
+			}
+			if !digits {
+				return lratTok{}, fmt.Errorf("lrat: line %d: '-' without digits", s.line)
+			}
+			if neg {
+				val = -val
+			}
+			return lratTok{val: val}, nil
+		default:
+			return lratTok{}, fmt.Errorf("lrat: line %d: unexpected byte %q", s.line, b)
+		}
+	}
+}
+
+// errIDRange matches the kernel bridge's 31-bit ID rejection.
+func errIDRange(id int) error {
+	return fmt.Errorf("clause ID %d exceeds the kernel's 31-bit ID space", id)
+}
+
+// scanOp parses one proof line (addition or deletion) into b, returning
+// io.EOF at a clean end of input. Grammar and diagnostics follow
+// drat.ParseLRAT; IDs and hints are additionally narrowed to the kernel's
+// 31-bit ID space here, since the flat arrays are int32.
+func (s *scanner) scanOp(b *opBuf) error {
+	t, err := s.next()
+	if err != nil {
+		return err // io.EOF: clean end
+	}
+	if t.isD {
+		return fmt.Errorf("lrat: line %d: 'd' where a clause ID was expected", s.line)
+	}
+	if t.val <= 0 {
+		return fmt.Errorf("lrat: line %d: bad clause ID %d", s.line, t.val)
+	}
+	if t.val > math.MaxInt32 {
+		return errIDRange(t.val)
+	}
+	op := opRef{id: int32(t.val)}
+	t, err = s.next()
+	if err != nil {
+		return fmt.Errorf("lrat: line %d: truncated line: %w", s.line, err)
+	}
+	if t.isD {
+		op.del = true
+		op.delOff = int32(len(b.dels))
+		for {
+			t, err = s.next()
+			if err != nil {
+				return fmt.Errorf("lrat: line %d: truncated deletion: %w", s.line, err)
+			}
+			if t.isD {
+				return fmt.Errorf("lrat: line %d: 'd' inside a deletion", s.line)
+			}
+			if t.val == 0 {
+				break
+			}
+			if t.val < 0 {
+				return fmt.Errorf("lrat: line %d: negative ID %d in deletion", s.line, t.val)
+			}
+			if t.val > math.MaxInt32 {
+				return errIDRange(t.val)
+			}
+			b.dels = append(b.dels, int32(t.val))
+		}
+		op.delN = int32(len(b.dels)) - op.delOff
+		b.ops = append(b.ops, op)
+		return nil
+	}
+	op.litOff = int32(len(b.lits))
+	for t.val != 0 {
+		if t.isD {
+			return fmt.Errorf("lrat: line %d: 'd' inside a clause", s.line)
+		}
+		if t.val > lratMaxVar || t.val < -lratMaxVar {
+			return fmt.Errorf("lrat: line %d: variable out of range", s.line)
+		}
+		b.lits = append(b.lits, int32(cnf.LitFromDimacs(t.val)))
+		t, err = s.next()
+		if err != nil {
+			return fmt.Errorf("lrat: line %d: truncated clause: %w", s.line, err)
+		}
+	}
+	op.litN = int32(len(b.lits)) - op.litOff
+	op.hintOff = int32(len(b.hints))
+	for {
+		t, err = s.next()
+		if err != nil {
+			return fmt.Errorf("lrat: line %d: truncated hints: %w", s.line, err)
+		}
+		if t.isD {
+			return fmt.Errorf("lrat: line %d: 'd' inside hints", s.line)
+		}
+		if t.val == 0 {
+			break
+		}
+		if t.val > math.MaxInt32 || t.val < -math.MaxInt32 {
+			return errIDRange(t.val)
+		}
+		b.hints = append(b.hints, int32(t.val))
+	}
+	op.hintN = int32(len(b.hints)) - op.hintOff
+	b.ops = append(b.ops, op)
+	return nil
+}

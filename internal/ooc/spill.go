@@ -1,0 +1,246 @@
+package ooc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// The spill index is the disk half of window shifting: a learned clause
+// whose last reference lies in a later window is written out when its
+// window retires and re-read as an import when that later window runs.
+// Layout follows internal/store's conventions — a schema-versioned
+// directory, segments spooled under a temporary name and renamed into
+// place only when complete, and every record checksummed so a torn or
+// tampered segment fails closed instead of feeding the kernel bad clauses.
+//
+//	<tmp>/ooc-spill-*/v1/seg-000007.seg
+//
+// Segment format: "OOCS1\n" magic, then records of
+//
+//	uvarint(id) uvarint(nlits) uvarint(lit)... crc32(le, payload)
+//
+// A spill ref packs (segment, offset) into an int64: segment<<refSegShift | offset.
+const (
+	spillMagic     = "OOCS1\n"
+	spillSchemaDir = "v1"
+	refSegShift    = 40
+	refOffMask     = (1 << refSegShift) - 1
+	// maxSpillLits bounds a record's clause length during decode; anything
+	// larger is corruption, not a clause this checker could have written.
+	maxSpillLits = 1 << 28
+)
+
+// errSpillCorrupt marks integrity failures in the spill index. The checker
+// converts it to a fail-closed rejection (never a pass).
+type errSpillCorrupt struct{ detail string }
+
+func (e *errSpillCorrupt) Error() string { return "ooc: spill index corrupt: " + e.detail }
+
+type spillSeg struct {
+	f    *os.File
+	size int64
+}
+
+// spillIndex owns the spill directory for one check run.
+type spillIndex struct {
+	root    string
+	dir     string
+	segs    []spillSeg
+	cur     *os.File // current spool, nil between windows
+	curW    *bufio.Writer
+	curOff  int64
+	scratch []byte
+
+	clauses int64
+	bytes   int64
+}
+
+// afterSpillWindow is a test hook run after each segment is sealed, used to
+// fault-inject corruption between the write and the read-back.
+var afterSpillWindow func(segPath string)
+
+func newSpillIndex(tempDir string) (*spillIndex, error) {
+	root, err := os.MkdirTemp(tempDir, "ooc-spill-*")
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(root, spillSchemaDir)
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		os.RemoveAll(root)
+		return nil, err
+	}
+	return &spillIndex{root: root, dir: dir}, nil
+}
+
+// Close releases segment handles and deletes the spill directory.
+func (sp *spillIndex) Close() error {
+	if sp == nil {
+		return nil
+	}
+	for _, s := range sp.segs {
+		if s.f != nil {
+			s.f.Close()
+		}
+	}
+	sp.segs = nil
+	if sp.cur != nil {
+		sp.cur.Close()
+		sp.cur = nil
+	}
+	return os.RemoveAll(sp.root)
+}
+
+func (sp *spillIndex) segPath(idx int, spool bool) string {
+	ext := ".seg"
+	if spool {
+		ext = ".spool"
+	}
+	return filepath.Join(sp.dir, fmt.Sprintf("seg-%06d%s", idx, ext))
+}
+
+// put appends one clause to the current window's segment, opening the
+// segment lazily, and returns its spill ref. lits are kernel-encoded.
+func (sp *spillIndex) put(id int32, lits []int32) (int64, error) {
+	if sp.cur == nil {
+		f, err := os.Create(sp.segPath(len(sp.segs), true))
+		if err != nil {
+			return 0, err
+		}
+		sp.cur = f
+		if sp.curW == nil {
+			sp.curW = bufio.NewWriterSize(f, 1<<16)
+		} else {
+			sp.curW.Reset(f)
+		}
+		sp.curOff = 0
+		if _, err := sp.curW.WriteString(spillMagic); err != nil {
+			return 0, err
+		}
+		sp.curOff = int64(len(spillMagic))
+	}
+	need := 2*binary.MaxVarintLen32 + len(lits)*binary.MaxVarintLen32 + 4
+	if cap(sp.scratch) < need {
+		sp.scratch = make([]byte, need)
+	}
+	buf := sp.scratch[:0]
+	buf = binary.AppendUvarint(buf, uint64(uint32(id)))
+	buf = binary.AppendUvarint(buf, uint64(uint32(len(lits))))
+	for _, l := range lits {
+		buf = binary.AppendUvarint(buf, uint64(uint32(l)))
+	}
+	sum := crc32.ChecksumIEEE(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, sum)
+	if _, err := sp.curW.Write(buf); err != nil {
+		return 0, err
+	}
+	ref := int64(len(sp.segs))<<refSegShift | sp.curOff
+	sp.curOff += int64(len(buf))
+	sp.clauses++
+	sp.bytes += int64(len(buf))
+	return ref, nil
+}
+
+// seal finishes the current window's segment: flush, rename the spool into
+// place, and reopen it read-only for later windows. A window that spilled
+// nothing leaves no segment behind and is a no-op.
+func (sp *spillIndex) seal() error {
+	if sp.cur == nil {
+		return nil
+	}
+	idx := len(sp.segs)
+	if err := sp.curW.Flush(); err != nil {
+		return err
+	}
+	if err := sp.cur.Close(); err != nil {
+		return err
+	}
+	sp.cur = nil
+	final := sp.segPath(idx, false)
+	if err := os.Rename(sp.segPath(idx, true), final); err != nil {
+		return err
+	}
+	f, err := os.Open(final)
+	if err != nil {
+		return err
+	}
+	sp.segs = append(sp.segs, spillSeg{f: f, size: sp.curOff})
+	if afterSpillWindow != nil {
+		afterSpillWindow(final)
+	}
+	return nil
+}
+
+// crcByteReader feeds binary.ReadUvarint while accumulating the CRC of
+// every byte consumed, so get can verify the record without buffering it.
+type crcByteReader struct {
+	r   *bufio.Reader
+	crc uint32
+}
+
+func (c *crcByteReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.crc = crc32.Update(c.crc, crc32.IEEETable, []byte{b})
+	}
+	return b, err
+}
+
+// get reads the clause spilled at ref back into dst (reused), verifying
+// the stored id and checksum. Any mismatch is corruption and fails closed.
+func (sp *spillIndex) get(ref int64, wantID int32, dst []int32) ([]int32, error) {
+	seg := int(ref >> refSegShift)
+	off := ref & refOffMask
+	if seg < 0 || seg >= len(sp.segs) {
+		return nil, &errSpillCorrupt{detail: fmt.Sprintf("ref to unknown segment %d", seg)}
+	}
+	s := sp.segs[seg]
+	if off < int64(len(spillMagic)) || off >= s.size {
+		return nil, &errSpillCorrupt{detail: fmt.Sprintf("ref offset %d out of segment bounds", off)}
+	}
+	// Verify the magic once per read: cheap, and catches a truncated or
+	// rewritten segment even when the record itself happens to decode.
+	var magic [len(spillMagic)]byte
+	if _, err := s.f.ReadAt(magic[:], 0); err != nil || string(magic[:]) != spillMagic {
+		return nil, &errSpillCorrupt{detail: "bad segment magic"}
+	}
+	cr := &crcByteReader{r: bufio.NewReaderSize(io.NewSectionReader(s.f, off, s.size-off), 4096)}
+	id64, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return nil, &errSpillCorrupt{detail: "truncated record header"}
+	}
+	if int32(uint32(id64)) != wantID || id64 > uint64(^uint32(0)) {
+		return nil, &errSpillCorrupt{detail: fmt.Sprintf("record id %d, expected %d", id64, wantID)}
+	}
+	n64, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return nil, &errSpillCorrupt{detail: "truncated record length"}
+	}
+	if n64 > maxSpillLits {
+		return nil, &errSpillCorrupt{detail: fmt.Sprintf("implausible clause length %d", n64)}
+	}
+	dst = dst[:0]
+	for i := uint64(0); i < n64; i++ {
+		v, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return nil, &errSpillCorrupt{detail: "truncated record literals"}
+		}
+		if v > uint64(^uint32(0)) {
+			return nil, &errSpillCorrupt{detail: fmt.Sprintf("literal %d out of range", v)}
+		}
+		dst = append(dst, int32(uint32(v)))
+	}
+	want := cr.crc
+	var sum [4]byte
+	if _, err := io.ReadFull(cr.r, sum[:]); err != nil {
+		return nil, &errSpillCorrupt{detail: "truncated record checksum"}
+	}
+	if binary.LittleEndian.Uint32(sum[:]) != want {
+		return nil, &errSpillCorrupt{detail: fmt.Sprintf("checksum mismatch for clause %d", wantID)}
+	}
+	return dst, nil
+}

@@ -65,11 +65,18 @@ type ResultJSON struct {
 	ResolutionSteps int64   `json:"resolution_steps"`
 	PeakMemWords    int64   `json:"peak_mem_words"`
 	// PeakMemBoundWords is the parallel checker's schedule-independent
-	// memory bound (0 for the sequential checkers).
+	// memory bound, or the out-of-core checker's budget ceiling (0 for the
+	// sequential in-memory checkers).
 	PeakMemBoundWords int64 `json:"peak_mem_bound_words,omitempty"`
 	CoreSize          int   `json:"core_size,omitempty"`
 	CoreVars          int   `json:"core_vars,omitempty"`
 	CoreClauses       []int `json:"core_clauses,omitempty"` // only with core=1
+	// OOCWindows, SpilledClauses, and SpilledBytes describe a method=ooc
+	// run: how many windows the proof was shifted through and how much
+	// boundary-crossing clause data went to the spill index.
+	OOCWindows     int   `json:"ooc_windows,omitempty"`
+	SpilledClauses int64 `json:"spilled_clauses,omitempty"`
+	SpilledBytes   int64 `json:"spilled_bytes,omitempty"`
 }
 
 // FailureJSON mirrors satcheck.CheckError on the wire.
@@ -127,6 +134,10 @@ type JobOptions struct {
 	// MemLimitMB bounds the checker's deterministic memory model; 0 = server
 	// default.
 	MemLimitMB int64
+	// MemBudgetBytes is the out-of-core checker's window-shifting budget
+	// (method=ooc; 0 = the checker's 256MiB default). Parsed from
+	// mem_budget, which accepts byte-size strings like "64MiB".
+	MemBudgetBytes int64
 	// Timeout bounds the job's wall clock; 0 = server default. The server
 	// clamps it to its configured maximum.
 	Timeout time.Duration
@@ -147,9 +158,9 @@ type JobOptions struct {
 }
 
 // ParseJobOptions reads the supported query parameters: method, format,
-// mem_limit_mb, timeout_ms, analyze, core, parallelism, mus. Unknown
-// parameters are ignored (forward compatibility); malformed values are
-// errors.
+// mem_limit_mb, mem_budget, timeout_ms, analyze, core, parallelism, mus.
+// Unknown parameters are ignored (forward compatibility); malformed values
+// are errors.
 func ParseJobOptions(q url.Values) (JobOptions, error) {
 	var o JobOptions
 	var err error
@@ -186,14 +197,26 @@ func ParseJobOptions(q url.Values) (JobOptions, error) {
 		// (internal/kernel): native traces and DRAT proofs are bridged to
 		// hints and kernel-checked; LRAT and ER proofs land there anyway.
 		o.Method = satcheck.Kernel
+	case "ooc":
+		// The ooc method is the kernel run window by window out of core
+		// (internal/ooc), under the mem_budget ceiling.
+		o.Method = satcheck.OOC
 	default:
-		return o, fmt.Errorf("unknown method %q (want df, bf, hybrid, parallel, bdd, or kernel)", m)
+		return o, fmt.Errorf("unknown method %q (want df, bf, hybrid, parallel, bdd, kernel, or ooc)", m)
 	}
 	if o.Method == satcheck.BDD && o.Format != satcheck.FormatER {
 		return o, fmt.Errorf("method=bdd checks extended-resolution proofs (format=er, got format=%s)", o.Format)
 	}
+	if o.Method == satcheck.OOC && o.Format == satcheck.FormatER {
+		return o, fmt.Errorf("method=ooc cannot check extended-resolution proofs (extension definitions need the full clause database)")
+	}
 	if o.MemLimitMB, err = parseInt(q, "mem_limit_mb"); err != nil {
 		return o, err
+	}
+	if s := q.Get("mem_budget"); s != "" {
+		if o.MemBudgetBytes, err = satcheck.ParseByteSize(s); err != nil {
+			return o, fmt.Errorf("bad mem_budget=%q: %v", s, err)
+		}
 	}
 	ms, err := parseInt(q, "timeout_ms")
 	if err != nil {
@@ -264,6 +287,8 @@ func (o JobOptions) Query() url.Values {
 		q.Set("method", "bdd")
 	case satcheck.Kernel:
 		q.Set("method", "kernel")
+	case satcheck.OOC:
+		q.Set("method", "ooc")
 	default:
 		q.Set("method", "df")
 	}
@@ -272,6 +297,9 @@ func (o JobOptions) Query() url.Values {
 	}
 	if o.MemLimitMB > 0 {
 		q.Set("mem_limit_mb", strconv.FormatInt(o.MemLimitMB, 10))
+	}
+	if o.MemBudgetBytes > 0 {
+		q.Set("mem_budget", strconv.FormatInt(o.MemBudgetBytes, 10))
 	}
 	if o.Timeout > 0 {
 		q.Set("timeout_ms", strconv.FormatInt(int64(o.Timeout/time.Millisecond), 10))
@@ -297,8 +325,11 @@ func (o JobOptions) canonical() string {
 	// Parallelism is part of the key: verdicts and cores are identical at
 	// every worker count, but the reported concurrent memory peak is
 	// schedule-dependent, so answers at different counts may not be shared.
-	return fmt.Sprintf("method=%d format=%d mem=%d analyze=%t core=%t par=%d mus=%t",
-		int(o.Method), int(o.Format), o.MemLimitMB, o.Analyze, o.IncludeCore, o.Parallelism, o.MUS)
+	// MemBudgetBytes is part of the key: verdicts and cores are
+	// budget-independent, but the reported window count, spill volume, and
+	// peak bound are not, so answers at different budgets are not shared.
+	return fmt.Sprintf("method=%d format=%d mem=%d budget=%d analyze=%t core=%t par=%d mus=%t",
+		int(o.Method), int(o.Format), o.MemLimitMB, o.MemBudgetBytes, o.Analyze, o.IncludeCore, o.Parallelism, o.MUS)
 }
 
 // responseFromReport converts a facade CheckReport into the wire shape.
@@ -320,6 +351,9 @@ func responseFromReport(rep *satcheck.CheckReport, o JobOptions) *CheckResponse 
 			PeakMemBoundWords: r.PeakMemBoundWords,
 			CoreSize:          len(r.CoreClauses),
 			CoreVars:          r.CoreVars,
+			OOCWindows:        r.OOCWindows,
+			SpilledClauses:    r.SpilledClauses,
+			SpilledBytes:      r.SpilledBytes,
 		}
 		if o.IncludeCore {
 			resp.Result.CoreClauses = r.CoreClauses

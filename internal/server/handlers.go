@@ -113,9 +113,10 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		Format:  opts.Format,
 		Method:  opts.Method,
 		Options: satcheck.CheckOptions{
-			MemLimitWords: opts.MemLimitMB << 20 / 4,
-			TempDir:       s.cfg.TempDir,
-			Parallelism:   opts.Parallelism,
+			MemLimitWords:  opts.MemLimitMB << 20 / 4,
+			MemBudgetBytes: opts.MemBudgetBytes,
+			TempDir:        s.cfg.TempDir,
+			Parallelism:    opts.Parallelism,
 		},
 		Analyze: opts.Analyze,
 	}

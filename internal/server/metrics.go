@@ -24,6 +24,13 @@ type Metrics struct {
 	// musExtractions counts the validated MUS extractions performed for
 	// mus=1 requests (failed extraction attempts are not counted).
 	musExtractions atomic.Int64
+	// oocWindows / oocSpilledClauses / oocSpilledBytes accumulate the
+	// out-of-core checker's window and spill volume across completed
+	// method=ooc checks — the operator's view of how much proof traffic is
+	// actually running disk-backed.
+	oocWindows        atomic.Int64
+	oocSpilledClauses atomic.Int64
+	oocSpilledBytes   atomic.Int64
 
 	// Per-job checker statistics, previously dropped on the floor between
 	// the facade result and the HTTP response: cumulative build-set and
@@ -61,6 +68,10 @@ type Metrics struct {
 
 	// Checker latency histogram (seconds).
 	latency histogram
+	// peakMem is the per-check memory-model peak histogram (4-byte words):
+	// the distribution zcheckd_peak_mem_words (a last-value gauge) cannot
+	// show, and the number the out-of-core checker exists to bound.
+	peakMem valueHistogram
 }
 
 // formatLabels are the {format=...} label values of
@@ -69,7 +80,7 @@ var formatLabels = [...]string{"native", "drat", "lrat", "er"}
 
 // methodLabels are the {method=...} label values of
 // zcheckd_checks_by_method_total, indexed by satcheck.Method.
-var methodLabels = [...]string{"df", "bf", "hybrid", "parallel", "bdd", "kernel"}
+var methodLabels = [...]string{"df", "bf", "hybrid", "parallel", "bdd", "kernel", "ooc"}
 
 // ObserveFormat records one completed check's proof encoding.
 func (m *Metrics) ObserveFormat(format int) {
@@ -126,6 +137,42 @@ func (h *histogram) observe(d time.Duration) {
 // ObserveCheck records one completed check's latency.
 func (m *Metrics) ObserveCheck(d time.Duration) { m.latency.observe(d) }
 
+// peakMemBuckets are the peak-memory histogram upper bounds in 4-byte
+// words: 64KiB up to 4GiB by factors of 16, spanning toy formulas to
+// checks that should have been run out of core.
+var peakMemBuckets = [...]float64{1 << 14, 1 << 18, 1 << 22, 1 << 26, 1 << 30}
+
+// valueHistogram is histogram for plain int64 observations (no time unit).
+type valueHistogram struct {
+	counts [len(peakMemBuckets) + 1]atomic.Int64 // last cell is +Inf
+	sum    atomic.Int64
+	total  atomic.Int64
+}
+
+func (h *valueHistogram) observe(v int64) {
+	i := 0
+	for ; i < len(peakMemBuckets); i++ {
+		if float64(v) <= peakMemBuckets[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.total.Add(1)
+}
+
+// ObserveResult records one valid check's result statistics: the peak
+// memory-model distribution, and for out-of-core runs the window and spill
+// accumulators.
+func (m *Metrics) ObserveResult(peakMemWords, oocWindows, spilledClauses, spilledBytes int64) {
+	m.peakMem.observe(peakMemWords)
+	if oocWindows > 0 {
+		m.oocWindows.Add(oocWindows)
+		m.oocSpilledClauses.Add(spilledClauses)
+		m.oocSpilledBytes.Add(spilledBytes)
+	}
+}
+
 // WritePrometheus renders every metric in the text exposition format.
 func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter := func(name, help string, v int64) {
@@ -146,6 +193,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("zcheckd_clauses_built_total", "Learned clauses rebuilt by resolution across all completed checks.", m.clausesBuilt.Load())
 	counter("zcheckd_resolution_steps_total", "Resolution steps performed across all completed checks.", m.resolutionSteps.Load())
 	counter("zcheckd_mus_extractions_total", "Validated MUS extractions performed for mus=1 requests.", m.musExtractions.Load())
+	counter("zcheckd_ooc_windows_total", "Proof windows shifted through by completed method=ooc checks.", m.oocWindows.Load())
+	counter("zcheckd_ooc_spilled_clauses_total", "Boundary-crossing clauses written to the out-of-core spill index.", m.oocSpilledClauses.Load())
+	counter("zcheckd_ooc_spilled_bytes_total", "Bytes written to the out-of-core spill index.", m.oocSpilledBytes.Load())
 	fmt.Fprintf(w, "# HELP zcheckd_checks_by_format_total Completed checks by proof encoding.\n# TYPE zcheckd_checks_by_format_total counter\n")
 	for i, label := range formatLabels {
 		fmt.Fprintf(w, "zcheckd_checks_by_format_total{format=%q} %d\n", label, m.checksByFormat[i].Load())
@@ -174,4 +224,15 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "zcheckd_check_seconds_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(w, "zcheckd_check_seconds_sum %g\n", time.Duration(m.latency.sumNano.Load()).Seconds())
 	fmt.Fprintf(w, "zcheckd_check_seconds_count %d\n", m.latency.total.Load())
+
+	fmt.Fprintf(w, "# HELP zcheckd_check_peak_mem_words Per-check memory-model peak (4-byte words).\n# TYPE zcheckd_check_peak_mem_words histogram\n")
+	cum = 0
+	for i, ub := range peakMemBuckets {
+		cum += m.peakMem.counts[i].Load()
+		fmt.Fprintf(w, "zcheckd_check_peak_mem_words_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += m.peakMem.counts[len(peakMemBuckets)].Load()
+	fmt.Fprintf(w, "zcheckd_check_peak_mem_words_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "zcheckd_check_peak_mem_words_sum %d\n", m.peakMem.sum.Load())
+	fmt.Fprintf(w, "zcheckd_check_peak_mem_words_count %d\n", m.peakMem.total.Load())
 }

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"satcheck/internal/gen"
+)
+
+// stressPayload streams a small out-of-core stress instance: a CNF and an
+// LRAT proof whose cross-gap hints force window shifting at a small budget.
+func stressPayload(t testing.TB) (formula, proof []byte) {
+	t.Helper()
+	o := gen.StressOpts{Lemmas: 3000, Width: 8, Gap: 600}
+	var fb, pb bytes.Buffer
+	if err := gen.WriteStressCNF(&fb, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := gen.WriteStressLRAT(&pb, o); err != nil {
+		t.Fatal(err)
+	}
+	return fb.Bytes(), pb.Bytes()
+}
+
+// TestCheckOOCMethod drives method=ooc end to end: the out-of-core verdict
+// with window/spill statistics on the wire, mem_budget in the cache key,
+// parameter validation, and the ooc metrics (per-method counter, spill
+// accumulators, and the peak-memory histogram).
+func TestCheckOOCMethod(t *testing.T) {
+	formula, proof := stressPayload(t)
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	post := func(query string) (*http.Response, CheckResponse, []byte) {
+		ct, body := multipartBody(t, formula, proof)
+		resp, data := postCheck(t, ts, query, ct, body)
+		var cr CheckResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(data, &cr); err != nil {
+				t.Fatalf("bad JSON: %v: %s", err, data)
+			}
+		}
+		return resp, cr, data
+	}
+
+	resp, cr, data := post("?format=lrat&method=ooc&mem_budget=256KiB")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("method=ooc: HTTP %d: %s", resp.StatusCode, data)
+	}
+	if cr.Verdict != VerdictValid || cr.Method != "ooc" {
+		t.Fatalf("method=ooc: verdict %q method %q: %s", cr.Verdict, cr.Method, data)
+	}
+	r := cr.Result
+	if r.OOCWindows < 2 || r.SpilledClauses < 1 || r.SpilledBytes < 1 {
+		t.Fatalf("ooc stats not surfaced: windows=%d spilled=%d/%dB: %s",
+			r.OOCWindows, r.SpilledClauses, r.SpilledBytes, data)
+	}
+	if r.PeakMemBoundWords != (256<<10)/4 {
+		t.Fatalf("peak bound should echo the budget in words: got %d", r.PeakMemBoundWords)
+	}
+	if r.PeakMemWords > r.PeakMemBoundWords {
+		t.Fatalf("peak %d exceeds the budget bound %d", r.PeakMemWords, r.PeakMemBoundWords)
+	}
+
+	// A different budget is a different cache key (the window/spill stats
+	// differ), while re-asking at the same budget is a hit.
+	resp, cr2, data := post("?format=lrat&method=ooc&mem_budget=1MiB")
+	if resp.StatusCode != http.StatusOK || cr2.Cached {
+		t.Fatalf("different mem_budget must miss the cache: HTTP %d cached=%t: %s", resp.StatusCode, cr2.Cached, data)
+	}
+	if cr2.Result.PeakMemBoundWords != (1<<20)/4 {
+		t.Fatalf("1MiB budget bound: got %d", cr2.Result.PeakMemBoundWords)
+	}
+	resp, cr3, data := post("?format=lrat&method=ooc&mem_budget=256KiB")
+	if resp.StatusCode != http.StatusOK || !cr3.Cached {
+		t.Fatalf("same mem_budget must hit the cache: HTTP %d cached=%t: %s", resp.StatusCode, cr3.Cached, data)
+	}
+	if cr3.Result.OOCWindows != r.OOCWindows {
+		t.Fatalf("cached answer lost the ooc stats: %s", data)
+	}
+
+	// Parameter validation: malformed budgets and the unsupported ER
+	// combination are client errors, not worker-side surprises.
+	if resp, _, data = post("?format=lrat&method=ooc&mem_budget=banana"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mem_budget=banana: HTTP %d (want 400): %s", resp.StatusCode, data)
+	}
+	if resp, _, data = post("?format=er&method=ooc"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("format=er method=ooc: HTTP %d (want 400): %s", resp.StatusCode, data)
+	}
+
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var mbuf bytes.Buffer
+	if _, err := mbuf.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	metrics := mbuf.String()
+	for _, want := range []string{
+		`zcheckd_checks_by_method_total{method="ooc"} 2`,
+		"zcheckd_ooc_windows_total",
+		"zcheckd_ooc_spilled_clauses_total",
+		"zcheckd_ooc_spilled_bytes_total",
+		"zcheckd_check_peak_mem_words_bucket",
+		"zcheckd_check_peak_mem_words_count 2",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// The spill accumulators saw the two non-cached checks.
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "zcheckd_ooc_windows_total ") && strings.HasSuffix(line, " 0") {
+			t.Errorf("ooc window counter never observed: %s", line)
+		}
+	}
+}

@@ -78,6 +78,8 @@ func (p *workerPool) run(j *job) {
 		p.metrics.resolutionSteps.Add(rep.Result.ResolutionSteps)
 		p.metrics.peakMemWords.Store(rep.Result.PeakMemWords)
 		p.metrics.peakMemBoundWords.Store(rep.Result.PeakMemBoundWords)
+		p.metrics.ObserveResult(rep.Result.PeakMemWords, int64(rep.Result.OOCWindows),
+			rep.Result.SpilledClauses, rep.Result.SpilledBytes)
 	}
 
 	p.metrics.ObserveFormat(int(j.req.Format))

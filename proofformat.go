@@ -6,6 +6,7 @@ import (
 
 	"satcheck/internal/drat"
 	"satcheck/internal/kernelcheck"
+	"satcheck/internal/ooc"
 	"satcheck/internal/solver"
 )
 
@@ -113,6 +114,9 @@ func CheckDRAT(f *Formula, src ProofSource, m Method, opts CheckOptions) (*Check
 		// returned core.
 		return kernelcheck.KernelCheckDRAT(f, src, opts)
 	}
+	if m == OOC {
+		return ooc.CheckDRAT(f, src, opts)
+	}
 	mode, err := dratMode(m)
 	if err != nil {
 		return nil, err
@@ -124,6 +128,21 @@ func CheckDRAT(f *Formula, src ProofSource, m Method, opts CheckOptions) (*Check
 // search, making it the cheapest and most independent check in the package.
 func CheckLRAT(f *Formula, src ProofSource, opts CheckOptions) (*CheckResult, error) {
 	return kernelcheck.CheckLRAT(f, src, opts)
+}
+
+// CheckLRATCore is CheckLRAT with the kernel's hint-closure unsat core in
+// the result (CheckLRAT reports none, for historical compatibility).
+func CheckLRATCore(f *Formula, src ProofSource, opts CheckOptions) (*CheckResult, error) {
+	return kernelcheck.CheckLRATCore(f, src, opts)
+}
+
+// CheckLRATOOC validates an LRAT proof out of core: the proof is mmap'd
+// (or spooled) and checked in windows sized to CheckOptions.MemBudgetBytes
+// by the trusted kernel, with boundary-crossing clauses spilled to disk.
+// Verdicts and cores match CheckLRATCore on everything it accepts; RAT
+// lemmas are rejected fail-closed (the out-of-core checker is RUP-only).
+func CheckLRATOOC(f *Formula, src ProofSource, opts CheckOptions) (*CheckResult, error) {
+	return ooc.CheckLRAT(f, src, opts)
 }
 
 // DRATToLRAT forward-checks a DRAT proof and writes the accepted derivation
@@ -161,6 +180,17 @@ type ctxProofSource struct {
 
 // ctxDoner is the subset of context.Context the wrappers need.
 type ctxDoner interface{ Err() error }
+
+// ProofPath exposes the underlying file path when the wrapped source is
+// file-backed, letting the out-of-core checker mmap it directly (the
+// context is still honored: the ooc checker polls Interrupt, which RunCheck
+// wires to the same context).
+func (c ctxProofSource) ProofPath() string {
+	if fs, ok := c.src.(drat.FileSource); ok {
+		return string(fs)
+	}
+	return ""
+}
 
 // Open implements ProofSource.
 func (c ctxProofSource) Open() (io.ReadCloser, error) {

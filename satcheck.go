@@ -38,6 +38,7 @@ import (
 	"satcheck/internal/incremental"
 	"satcheck/internal/interp"
 	"satcheck/internal/kernelcheck"
+	"satcheck/internal/ooc"
 	"satcheck/internal/proofstat"
 	"satcheck/internal/solver"
 	"satcheck/internal/trace"
@@ -201,6 +202,13 @@ const (
 	// hint closure). For FormatDRAT it forward-checks the clausal proof and
 	// kernel-verifies the recorded hints.
 	Kernel
+	// OOC is the out-of-core variant of Kernel (internal/ooc): the proof is
+	// partitioned into windows sized to CheckOptions.MemBudgetBytes, each
+	// window is verified by the trusted kernel over a bounded working set,
+	// and learned clauses crossing window boundaries are spilled to a
+	// checksummed disk index. RUP-only — RAT lemmas are rejected fail-closed
+	// — and otherwise verdict- and core-identical to Kernel.
+	OOC
 )
 
 // String names the method.
@@ -218,6 +226,8 @@ func (m Method) String() string {
 		return "bdd"
 	case Kernel:
 		return "kernel"
+	case OOC:
+		return "ooc"
 	default:
 		return fmt.Sprintf("method(%d)", int(m))
 	}
@@ -238,6 +248,8 @@ func Check(f *Formula, src TraceSource, m Method, opts CheckOptions) (*CheckResu
 		return checker.Parallel(f, src, opts)
 	case Kernel:
 		return kernelcheck.KernelCheckTrace(f, src, opts)
+	case OOC:
+		return ooc.CheckTrace(f, src, opts)
 	default:
 		return nil, fmt.Errorf("satcheck: unknown check method %d", int(m))
 	}
